@@ -1,0 +1,80 @@
+/// \file ablation_factors.cpp
+/// \brief Ablation of the suitability metric B = SR + CR + ENR + CIF + DPF:
+/// drop each term in turn (weight 0) and measure the battery cost on the
+/// paper graphs and a few synthetic ones. Shows how much each factor
+/// contributes to the full heuristic's quality.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+namespace {
+
+struct Instance {
+  std::string name;
+  basched::graph::TaskGraph graph;
+  double deadline;
+};
+
+}  // namespace
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  std::vector<Instance> instances;
+  instances.push_back({"G2 d=75", graph::make_g2(), 75.0});
+  instances.push_back({"G3 d=230", graph::make_g3(), graph::kG3ExampleDeadline});
+  {
+    util::Rng rng(7);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 4;
+    auto g = graph::make_fork_join(3, 3, synth, rng);
+    const double d = g.column_time(0) + 0.6 * (g.column_time(3) - g.column_time(0));
+    instances.push_back({"fork-join seed=7", std::move(g), d});
+  }
+  {
+    util::Rng rng(11);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 4;
+    auto g = graph::make_layered_random(5, 3, 0.3, synth, rng);
+    const double d = g.column_time(0) + 0.6 * (g.column_time(3) - g.column_time(0));
+    instances.push_back({"layered seed=11", std::move(g), d});
+  }
+
+  struct Variant {
+    const char* name;
+    core::FactorWeights weights;
+  };
+  const std::vector<Variant> variants = {
+      {"full B", {1, 1, 1, 1, 1}},  {"no SR", {0, 1, 1, 1, 1}}, {"no CR", {1, 0, 1, 1, 1}},
+      {"no ENR", {1, 1, 0, 1, 1}}, {"no CIF", {1, 1, 1, 0, 1}}, {"no DPF", {1, 1, 1, 1, 0}},
+  };
+
+  std::printf("== Ablation: dropping individual B terms (sigma in mA*min) ==\n\n");
+  std::vector<std::string> header{"variant"};
+  for (const auto& inst : instances) header.push_back(inst.name);
+  util::Table table(std::move(header));
+  table.set_align(0, util::Align::Left);
+
+  for (const auto& var : variants) {
+    std::vector<std::string> row{var.name};
+    for (const auto& inst : instances) {
+      core::IterativeOptions opts;
+      opts.window.chooser.weights = var.weights;
+      const auto r = core::schedule_battery_aware(inst.graph, inst.deadline, model, opts);
+      row.push_back(r.feasible ? util::fmt_double(r.sigma, 0) : "infeas");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Reading: 'full B' reproduces the paper; each 'no X' row shows the cost of\n"
+              "removing one factor from the suitability metric. Infeasible cells mean the\n"
+              "ablated heuristic failed to meet the deadline at all.\n");
+  return 0;
+}

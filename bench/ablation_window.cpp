@@ -1,0 +1,74 @@
+/// \file ablation_window.cpp
+/// \brief Ablation of the paper's two structural mechanisms: the window
+/// sweep (EvaluateWindows) and the Eq. 4 weighted re-sequencing between
+/// iterations. Also covers the last-task pinning rule.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  struct Instance {
+    std::string name;
+    graph::TaskGraph graph;
+    double deadline;
+  };
+  std::vector<Instance> instances;
+  instances.push_back({"G2 d=55", graph::make_g2(), 55.0});
+  instances.push_back({"G2 d=95", graph::make_g2(), 95.0});
+  instances.push_back({"G3 d=150", graph::make_g3(), 150.0});
+  instances.push_back({"G3 d=230", graph::make_g3(), 230.0});
+  {
+    util::Rng rng(21);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 5;
+    auto g = graph::make_series_parallel(12, synth, rng);
+    const double d = g.column_time(0) + 0.55 * (g.column_time(4) - g.column_time(0));
+    instances.push_back({"series-par seed=21", std::move(g), d});
+  }
+
+  struct Variant {
+    const char* name;
+    bool sweep, reseq, pin;
+  };
+  const std::vector<Variant> variants = {
+      {"full algorithm", true, true, true},
+      {"no window sweep", false, true, true},
+      {"no re-sequencing", true, false, true},
+      {"neither", false, false, true},
+      {"no last-task pin", true, true, false},
+  };
+
+  std::printf("== Ablation: window sweep / weighted re-sequencing / last-task pin ==\n");
+  std::printf("(sigma in mA*min; smaller is better)\n\n");
+  std::vector<std::string> header{"variant"};
+  for (const auto& inst : instances) header.push_back(inst.name);
+  util::Table table(std::move(header));
+  table.set_align(0, util::Align::Left);
+
+  for (const auto& var : variants) {
+    std::vector<std::string> row{var.name};
+    for (const auto& inst : instances) {
+      core::IterativeOptions opts;
+      opts.window.sweep = var.sweep;
+      opts.resequence = var.reseq;
+      opts.window.chooser.pin_last_task = var.pin;
+      const auto r = core::schedule_battery_aware(inst.graph, inst.deadline, model, opts);
+      row.push_back(r.feasible ? util::fmt_double(r.sigma, 0) : "infeas");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("The paper's Table 3 shows why the sweep matters: at iteration 1 the narrow\n"
+              "window 4:5 wins (16353 vs 17169 for the full window), while from iteration 2\n"
+              "the full window 1:5 wins — no single fixed window dominates.\n");
+  return 0;
+}

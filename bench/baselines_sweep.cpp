@@ -1,0 +1,69 @@
+/// \file baselines_sweep.cpp
+/// \brief Context beyond the paper's Table 4: our algorithm vs. every
+/// baseline in the repo (RV-DP [1], Chowdhury [7], simulated annealing,
+/// random search, and the exhaustive optimum where tractable) on the paper
+/// graphs and a family of random instances.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/exhaustive.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  struct Instance {
+    std::string name;
+    graph::TaskGraph graph;
+    double deadline;
+  };
+  std::vector<Instance> instances;
+  instances.push_back({"G2 d=75", graph::make_g2(), 75.0});
+  instances.push_back({"G3 d=230", graph::make_g3(), 230.0});
+  for (std::uint64_t seed : {31, 32, 33}) {
+    util::Rng rng(seed);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 3;
+    auto g = graph::make_series_parallel(7, synth, rng);
+    const double d = g.column_time(0) + 0.6 * (g.column_time(2) - g.column_time(0));
+    instances.push_back({"sp7 seed=" + std::to_string(seed), std::move(g), d});
+  }
+
+  std::printf("== Scheduler shoot-out (sigma in mA*min; '-' = infeasible/intractable) ==\n");
+  std::printf("SA: 20000 moves, seed 1. Random: 2000 samples, seed 1. Exhaustive only on\n"
+              "instances small enough to enumerate.\n\n");
+
+  util::Table table({"instance", "ours", "RV-DP [1]", "Chowdhury [7]", "annealing", "random",
+                     "optimal"});
+  table.set_align(0, util::Align::Left);
+  for (const auto& inst : instances) {
+    auto cell = [](bool feasible, double sigma) {
+      return feasible ? util::fmt_double(sigma, 0) : std::string("-");
+    };
+    const auto ours = core::schedule_battery_aware(inst.graph, inst.deadline, model);
+    const auto dp = baselines::schedule_rv_dp(inst.graph, inst.deadline, model);
+    const auto ch = baselines::schedule_chowdhury(inst.graph, inst.deadline, model);
+    const auto sa = baselines::schedule_annealing(inst.graph, inst.deadline, model);
+    const auto rnd = baselines::schedule_random_search(inst.graph, inst.deadline, model);
+    const auto opt = baselines::schedule_exhaustive(inst.graph, inst.deadline, model);
+    table.add_row({inst.name, cell(ours.feasible, ours.sigma), cell(dp.feasible, dp.sigma),
+                   cell(ch.feasible, ch.sigma), cell(sa.feasible, sa.sigma),
+                   cell(rnd.feasible, rnd.sigma),
+                   (opt && opt->feasible) ? util::fmt_double(opt->sigma, 0) : std::string("-")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Expected shape: ours tracks the annealer/optimum closely and beats the\n"
+              "single-pass heuristics ([1]'s DP ignores the battery during selection;\n"
+              "[7] never re-sequences).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file battery_models.cpp
+/// \brief Battery-model study: (a) σ of the same G3 schedule as β varies —
+/// the RV model's nonlinearity knob; (b) the four models side by side on the
+/// schedules our algorithm and the naive all-fastest policy produce; (c) the
+/// rate-capacity effect as a lifetime curve under constant load.
+#include <cstdio>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/lifetime.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const auto g3 = graph::make_g3();
+
+  // (a) β sweep on a fixed schedule.
+  const battery::RakhmatovVrudhulaModel paper_model(graph::kPaperBeta);
+  const auto ours = core::schedule_battery_aware(g3, graph::kG3ExampleDeadline, paper_model);
+  if (!ours.feasible) {
+    std::printf("G3 schedule infeasible: %s\n", ours.error.c_str());
+    return 1;
+  }
+  const auto profile = ours.schedule.to_profile(g3);
+
+  std::printf("== (a) RV sigma of the chosen G3 schedule vs beta ==\n");
+  std::printf("(delivered charge = %.0f mA*min; sigma -> delivered as beta -> inf)\n\n",
+              profile.total_charge());
+  util::Table beta_table({"beta", "sigma (mA*min)", "unavailable (mA*min)"});
+  for (double beta : {0.1, 0.2, 0.273, 0.4, 0.6, 1.0, 2.0, 5.0}) {
+    const battery::RakhmatovVrudhulaModel m(beta);
+    const double sigma = m.charge_lost_at_end(profile);
+    beta_table.add_row({util::fmt_double(beta, 3), util::fmt_double(sigma, 0),
+                        util::fmt_double(sigma - profile.total_charge(), 0)});
+  }
+  std::printf("%s\n", beta_table.str().c_str());
+
+  // (b) Four models on two schedules.
+  const core::Schedule fastest{ours.schedule.sequence, core::uniform_assignment(g3, 0)};
+  const auto fast_profile = fastest.to_profile(g3);
+  const battery::IdealModel ideal;
+  const battery::PeukertModel peukert(1.2, 200.0);
+  const battery::KibamModel kibam(0.4, 0.2, 120000.0);
+
+  std::printf("== (b) model comparison on G3 schedules (charge lost at end, mA*min) ==\n\n");
+  util::Table model_table({"model", "battery-aware schedule", "all-fastest schedule"});
+  model_table.set_align(0, util::Align::Left);
+  const battery::BatteryModel* models[] = {&ideal, &peukert, &paper_model, &kibam};
+  for (const auto* m : models) {
+    model_table.add_row({m->name(), util::fmt_double(m->charge_lost_at_end(profile), 0),
+                         util::fmt_double(m->charge_lost_at_end(fast_profile), 0)});
+  }
+  std::printf("%s\n", model_table.str().c_str());
+
+  // (c) Rate-capacity effect: delivered charge vs. constant discharge rate.
+  std::printf("== (c) rate-capacity effect: constant-load lifetime (alpha = 40000 mA*min) ==\n\n");
+  util::Table rate_table({"current (mA)", "RV lifetime (min)", "RV delivered (mA*min)",
+                          "ideal lifetime (min)"});
+  const double alpha = 40000.0;
+  for (double current : {100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    const auto rv_lt = battery::constant_load_lifetime(paper_model, current, alpha);
+    const auto id_lt = battery::constant_load_lifetime(ideal, current, alpha);
+    rate_table.add_row({util::fmt_double(current, 0),
+                        rv_lt ? util::fmt_double(*rv_lt, 1) : "-",
+                        rv_lt ? util::fmt_double(current * *rv_lt, 0) : "-",
+                        id_lt ? util::fmt_double(*id_lt, 1) : "-"});
+  }
+  std::printf("%s\n", rate_table.str().c_str());
+  std::printf("Higher rates deliver visibly less total charge under RV — the effect the\n"
+              "paper's scheduler exploits by running hot early and resting late.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file battery_pack.cpp
+/// \brief Multi-battery study with the physics kept honest.
+///
+/// Two questions, two answers:
+///  1. Does *parallel* current sharing extend lifetime? Yes, under
+///     rate-nonlinear chemistry (Peukert p > 1): N cells at I/N each drain
+///     superlinearly less than one cell at I — the classic multi-battery
+///     result, quantified below as delivered charge before death.
+///  2. Does *time switching* between cells beat a monolith of the same total
+///     capacity? Not under σ-linear models (RV/KiBaM): σ is additive over
+///     intervals, so the switched cells' σ values sum to the monolith's and
+///     the worse cell always carries at least half. The table shows the
+///     measured max-cell-σ / monolith-σ ratio sitting above 0.5 exactly as
+///     the theory demands.
+#include <cstdio>
+
+#include "basched/battery/pack.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/table.hpp"
+
+namespace {
+
+basched::battery::DischargeProfile burst_train(int n, double current, double on, double off) {
+  basched::battery::DischargeProfile p;
+  for (int i = 0; i < n; ++i) {
+    p.append(on, current);
+    if (i + 1 < n) p.append_rest(off);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace basched;
+
+  // (1) Parallel splitting under Peukert: intervals served before death, at
+  // equal total capacity, for 1/2/4-cell packs.
+  std::printf("== (1) parallel splitting under Peukert (p = 1.5, rated 100 mA) ==\n\n");
+  const battery::PeukertModel peukert(1.5, 100.0);
+  const auto heavy = burst_train(40, 800.0, 3.0, 1.0);
+  const double total = 60000.0;
+  util::Table split_table({"configuration", "intervals served (of 40)", "failure time (min)"});
+  split_table.set_align(0, util::Align::Left);
+  for (std::size_t cells : {1u, 2u, 4u}) {
+    const battery::BatteryPack pack(
+        peukert, std::vector<double>(cells, total / static_cast<double>(cells)));
+    const auto r = pack.serve(heavy, battery::PackPolicy::SplitEvenly);
+    split_table.add_row({std::to_string(cells) + " cell(s), total 60000 mA*min",
+                         std::to_string(r.intervals_served),
+                         r.survived ? "-" : util::fmt_double(r.failure_time, 0)});
+  }
+  std::printf("%s\n", split_table.str().c_str());
+  std::printf("Analytic expectation: lifetime scales as N^(p-1) = sqrt(N) for p = 1.5.\n\n");
+
+  // (2) Time switching under RV: max-cell σ vs monolith σ.
+  std::printf("== (2) time switching under RV (beta = 0.2): the >= 1/2 theorem ==\n\n");
+  const battery::RakhmatovVrudhulaModel rv(0.2);
+  util::Table sw_table({"burst train", "monolith sigma", "max cell sigma (2-way RR)", "ratio"});
+  sw_table.set_align(0, util::Align::Left);
+  struct Train {
+    const char* name;
+    int n;
+    double i, on, off;
+  };
+  const Train trains[] = {{"8 x 600mA x 2min, 4min gaps", 8, 600, 2, 4},
+                          {"20 x 400mA x 1min, 1min gaps", 20, 400, 1, 1},
+                          {"6 x 900mA x 5min, 10min gaps", 6, 900, 5, 10}};
+  for (const auto& t : trains) {
+    const auto load = burst_train(t.n, t.i, t.on, t.off);
+    const battery::BatteryPack pack(rv, {1e9, 1e9});
+    const auto r = pack.serve(load, battery::PackPolicy::RoundRobin);
+    const double mono = rv.charge_lost(load, load.end_time());
+    const double worst = std::max(r.cell_sigma[0], r.cell_sigma[1]);
+    sw_table.add_row({t.name, util::fmt_double(mono, 0), util::fmt_double(worst, 0),
+                      util::fmt_double(worst / mono, 3)});
+  }
+  std::printf("%s\n", sw_table.str().c_str());
+  std::printf("Every ratio >= 0.5: a switched pack of half-capacity cells can never beat\n"
+              "the monolith under a current-linear sigma model — the multi-battery win\n"
+              "needs parallel rate sharing (above) or heterogeneous constraints.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// \file beta_sensitivity.cpp
+/// \brief How battery nonlinearity changes the *decisions*: re-runs the
+/// whole algorithm on G3 for a range of β and reports the chosen schedule's
+/// σ, plain energy, and how many tasks ended up on fast (high-power)
+/// design-points. Near-ideal batteries (large β) reduce the problem to plain
+/// energy minimization; strongly nonlinear ones (small β) make ordering and
+/// current shaping matter.
+#include <cstdio>
+
+#include "basched/analysis/sweeps.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const auto g3 = graph::make_g3();
+  const std::vector<double> betas{0.05, 0.1, 0.2, 0.273, 0.4, 0.6, 1.0, 2.0, 10.0};
+
+  const auto points = analysis::beta_sweep(g3, graph::kG3ExampleDeadline, betas);
+
+  std::printf("== beta sensitivity of the full algorithm (G3, d = %.0f) ==\n\n",
+              graph::kG3ExampleDeadline);
+  util::Table table({"beta", "sigma (mA*min)", "energy (mA*min)", "sigma/energy",
+                     "tasks on fast columns"});
+  for (const auto& p : points) {
+    if (!p.feasible) {
+      table.add_row({util::fmt_double(p.beta, 3), "infeas", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({util::fmt_double(p.beta, 3), util::fmt_double(p.sigma, 0),
+                   util::fmt_double(p.energy, 0), util::fmt_double(p.sigma / p.energy, 3),
+                   std::to_string(p.fast_tasks)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("sigma/energy -> 1 as beta grows (ideal battery); the unavailable-charge\n"
+              "premium explodes for small beta, which is when the scheduler works hardest\n"
+              "(and the paper's beta = 0.273 sits in the interesting middle).\n");
+  return 0;
+}

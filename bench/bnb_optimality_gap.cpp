@@ -1,0 +1,65 @@
+/// \file bnb_optimality_gap.cpp
+/// \brief How far from optimal is the paper's heuristic? Branch-and-bound
+/// gives exact optima on small/medium instances; this bench reports the gap
+/// of our algorithm and the baselines against it, plus BnB pruning stats.
+#include <cstdio>
+
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  struct Inst {
+    std::string name;
+    graph::TaskGraph g;
+    double deadline;
+  };
+  std::vector<Inst> insts;
+  insts.push_back({"G2 d=55", graph::make_g2(), 55.0});
+  insts.push_back({"G2 d=75", graph::make_g2(), 75.0});
+  insts.push_back({"G2 d=95", graph::make_g2(), 95.0});
+  for (std::uint64_t seed : {41, 42, 43}) {
+    util::Rng rng(seed);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 3;
+    auto g = graph::make_series_parallel(8, synth, rng);
+    const double d = g.column_time(0) + 0.6 * (g.column_time(2) - g.column_time(0));
+    insts.push_back({"sp8 seed=" + std::to_string(seed), std::move(g), d});
+  }
+
+  std::printf("== Optimality gap vs branch-and-bound (gap %% = 100*(algo-opt)/opt) ==\n\n");
+  util::Table table({"instance", "optimal sigma", "ours gap %", "RV-DP gap %", "Chowdhury gap %",
+                     "BnB nodes"});
+  table.set_align(0, util::Align::Left);
+
+  for (auto& inst : insts) {
+    baselines::BnbStats stats;
+    const auto opt = baselines::schedule_branch_and_bound(inst.g, inst.deadline, model, {}, &stats);
+    if (!opt || !opt->feasible) {
+      table.add_row({inst.name, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    auto gap = [&](bool feasible, double sigma) {
+      return feasible ? util::fmt_double(100.0 * (sigma - opt->sigma) / opt->sigma, 2)
+                      : std::string("-");
+    };
+    const auto ours = core::schedule_battery_aware(inst.g, inst.deadline, model);
+    const auto dp = baselines::schedule_rv_dp(inst.g, inst.deadline, model);
+    const auto ch = baselines::schedule_chowdhury(inst.g, inst.deadline, model);
+    table.add_row({inst.name, util::fmt_double(opt->sigma, 0), gap(ours.feasible, ours.sigma),
+                   gap(dp.feasible, dp.sigma), gap(ch.feasible, ch.sigma),
+                   std::to_string(stats.nodes_visited)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Small 'ours' gaps confirm the iterative heuristic's quality; large baseline\n"
+              "gaps show what battery-blind selection ([1]) or sequencing ([7]) costs.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file deadline_curve.cpp
+/// \brief A fine-grained Table 4: σ vs. deadline curves for G2 and G3 (ours
+/// vs. RV-DP [1] vs. Chowdhury [7]). The paper samples three deadlines per
+/// graph; this sweep shows the full curve shape — where the gaps open, where
+/// they close, and where crossovers (if any) fall. Also emits CSV for
+/// plotting.
+#include <cstdio>
+
+#include "basched/analysis/sweeps.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+
+  struct Inst {
+    const char* name;
+    graph::TaskGraph g;
+    double from, to;
+  };
+  Inst insts[] = {
+      {"G2", graph::make_g2(), 45.0, 104.0},
+      {"G3", graph::make_g3(), 90.0, 250.0},
+  };
+
+  for (auto& inst : insts) {
+    const auto points = analysis::deadline_sweep(inst.g, inst.from, inst.to, 12,
+                                                 graph::kPaperBeta);
+    std::printf("== sigma vs deadline, %s (beta %.3f) ==\n\n", inst.name, graph::kPaperBeta);
+    util::Table table({"deadline", "ours", "RV-DP [1]", "Chowdhury [7]", "[1] vs ours %"});
+    for (const auto& p : points) {
+      std::string diff = "-";
+      if (p.ours_feasible && p.rvdp_feasible && p.ours_sigma > 0.0)
+        diff = util::fmt_double(100.0 * (p.rvdp_sigma - p.ours_sigma) / p.ours_sigma, 1);
+      table.add_row({util::fmt_double(p.deadline, 1),
+                     p.ours_feasible ? util::fmt_double(p.ours_sigma, 0) : "infeas",
+                     p.rvdp_feasible ? util::fmt_double(p.rvdp_sigma, 0) : "infeas",
+                     p.chowdhury_feasible ? util::fmt_double(p.chowdhury_sigma, 0) : "infeas",
+                     diff});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("CSV:\n%s\n", analysis::deadline_sweep_csv(points).c_str());
+  }
+  std::printf("Shape to check against Table 4: all curves decrease with deadline, and ours\n"
+              "sits below [1] at the paper's sampled deadlines. The fine sweep also exposes\n"
+              "what three samples cannot: occasional mid-range crossovers where the DP's\n"
+              "energy-optimal selection happens to align with the battery's preference, and\n"
+              "the tightest deadlines where the paper-faithful last-task-pinning rule costs\n"
+              "feasibility (CT(0) fits but the pinned slowest last task does not — see the\n"
+              "'no last-task pin' ablation row in ablation_window).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file mission_lifetime.cpp
+/// \brief The title's claim, made concrete: **battery lifetime** of a
+/// periodic mission (frames completed before the battery dies) under
+/// different schedulers. One frame = one execution of the task graph within
+/// its period.
+///
+/// Two battery sizes per instance separate the regimes: on a *small*
+/// battery (a couple of frames) the transient unavailable charge still
+/// matters, while on a *large* battery the mission runs long enough that
+/// cumulative *delivered* energy dominates and the plain min-energy
+/// selection of [1] catches up — an honest boundary of the paper's
+/// single-shot σ metric that the simulator makes measurable.
+#include <cstdio>
+
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+#include "basched/sim/mission.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  struct Inst {
+    const char* name;
+    graph::TaskGraph g;
+    double period;
+    double alpha_small;
+    double alpha_large;
+  };
+  Inst insts[] = {
+      {"G2, period 75 min", graph::make_g2(), 75.0, 36000.0, 150000.0},
+      {"G3, period 230 min", graph::make_g3(), 230.0, 40000.0, 250000.0},
+  };
+
+  std::printf("== Mission lifetime: frames completed before battery death ==\n\n");
+
+  for (auto& inst : insts) {
+    util::Table table({"scheduler", "frame sigma", "frame energy", "frames (small batt)",
+                       "frames (large batt)"});
+    table.set_align(0, util::Align::Left);
+
+    auto frames_at = [&](const core::Schedule& s, double alpha) {
+      sim::MissionSpec spec;
+      spec.period = inst.period;
+      spec.alpha = alpha;
+      spec.max_frames = 500;
+      return sim::run_mission(inst.g, s, spec, model).frames_completed;
+    };
+    auto report = [&](const char* name, const core::Schedule& s) {
+      const auto profile = s.to_profile(inst.g);
+      table.add_row({name, util::fmt_double(model.charge_lost_at_end(profile), 0),
+                     util::fmt_double(profile.total_charge(), 0),
+                     std::to_string(frames_at(s, inst.alpha_small)),
+                     std::to_string(frames_at(s, inst.alpha_large))});
+    };
+
+    const auto ours = core::schedule_battery_aware(inst.g, inst.period, model);
+    if (ours.feasible) report("battery-aware (ours)", ours.schedule);
+    const auto dp = baselines::schedule_rv_dp(inst.g, inst.period, model);
+    if (dp.feasible) report("RV-DP [1]", dp.schedule);
+    const auto ch = baselines::schedule_chowdhury(inst.g, inst.period, model);
+    if (ch.feasible) report("Chowdhury [7]", ch.schedule);
+    report("all-fastest", core::Schedule{graph::topological_order(inst.g),
+                                         core::uniform_assignment(inst.g, 0)});
+
+    std::printf("%s (small battery %.0f mA*min, large %.0f mA*min)\n%s\n", inst.name,
+                inst.alpha_small, inst.alpha_large, table.str().c_str());
+  }
+  std::printf("Reading: battery-aware scheduling minimizes sigma over ONE discharge burst —\n"
+              "the paper's objective (Table 4) and the right call when the whole workload\n"
+              "must finish on the remaining charge. Once frames repeat with inter-frame\n"
+              "recovery, the transient advantage amortizes away and cumulative delivered\n"
+              "energy takes over, letting the min-energy selection of [1] tie on the small\n"
+              "battery and edge ahead on the large one. Battery-blind orders (Chowdhury's\n"
+              "single pass, all-fastest) lose in every regime. The simulator makes this\n"
+              "boundary of the single-shot sigma metric measurable.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// \file model_transfer.cpp
+/// \brief Cross-model robustness: the paper commits to the RV cost function;
+/// how much does that choice matter? Schedule G3 with each battery model as
+/// the optimization target, then evaluate every resulting schedule under
+/// every model (charge lost at the end of the schedule). Small off-diagonal
+/// penalties mean the schedules transfer — the heuristic's decisions are
+/// driven by robust structure (low energy, non-increasing currents), not by
+/// model quirks.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const auto g3 = graph::make_g3();
+  const double deadline = graph::kG3ExampleDeadline;
+
+  // The model zoo. KiBaM capacity is set far above any schedule's needs so
+  // its σ stays in the pre-death regime.
+  const battery::RakhmatovVrudhulaModel rv(graph::kPaperBeta);
+  const battery::IdealModel ideal;
+  const battery::PeukertModel peukert(1.2, 200.0);
+  const battery::KibamModel kibam(0.4, 0.2, 500000.0);
+  struct Entry {
+    const char* name;
+    const battery::BatteryModel* model;
+  };
+  const std::vector<Entry> models = {
+      {"RV (paper)", &rv}, {"ideal", &ideal}, {"Peukert", &peukert}, {"KiBaM", &kibam}};
+
+  // Schedule once per optimization target.
+  std::vector<core::Schedule> schedules;
+  for (const auto& target : models) {
+    const auto r = core::schedule_battery_aware(g3, deadline, *target.model);
+    if (!r.feasible) {
+      std::printf("scheduling under %s failed: %s\n", target.name, r.error.c_str());
+      return 1;
+    }
+    schedules.push_back(r.schedule);
+  }
+
+  std::printf("== schedule transfer across battery models (G3, d = %.0f) ==\n", deadline);
+  std::printf("rows: model the schedule was optimized FOR; columns: model it is evaluated\n"
+              "UNDER (charge lost at schedule end, mA*min)\n\n");
+  std::vector<std::string> header{"optimized for \\ evaluated under"};
+  for (const auto& m : models) header.emplace_back(m.name);
+  util::Table table(std::move(header));
+  table.set_align(0, util::Align::Left);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    std::vector<std::string> row{models[i].name};
+    for (const auto& eval : models) {
+      row.push_back(
+          util::fmt_double(eval.model->charge_lost_at_end(schedules[i].to_profile(g3)), 0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Regret per evaluation model: how much worse is the best *other* model's
+  // schedule than the matched one?
+  util::Table regret({"evaluated under", "matched schedule", "worst transferred", "regret %"});
+  regret.set_align(0, util::Align::Left);
+  for (std::size_t e = 0; e < models.size(); ++e) {
+    const double matched =
+        models[e].model->charge_lost_at_end(schedules[e].to_profile(g3));
+    double worst = matched;
+    for (std::size_t i = 0; i < models.size(); ++i)
+      worst = std::max(worst,
+                       models[e].model->charge_lost_at_end(schedules[i].to_profile(g3)));
+    regret.add_row({models[e].name, util::fmt_double(matched, 0), util::fmt_double(worst, 0),
+                    util::fmt_double(100.0 * (worst - matched) / matched, 1)});
+  }
+  std::printf("%s\n", regret.str().c_str());
+  std::printf("Reading: small regrets mean the cost-function choice is forgiving — the\n"
+              "schedules share the same structure (frugal design-points, decreasing\n"
+              "currents) — while large regrets would flag model-specific overfitting.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file online_robustness.cpp
+/// \brief Execution-time noise study: the paper schedules offline from
+/// estimates; what happens when tasks finish early or late? Compares blind
+/// execution of the stale plan against receding-horizon re-planning (the
+/// paper's own algorithm re-run on the remaining subgraph after every task),
+/// over a range of noise regimes and seeds.
+#include <cstdio>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/sim/online.hpp"
+#include "basched/util/stats.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const auto g3 = graph::make_g3();
+  const double deadline = graph::kG3ExampleDeadline;
+  constexpr int kSeeds = 10;
+
+  struct Regime {
+    const char* name;
+    double lo, hi;
+  };
+  const Regime regimes[] = {
+      {"early finishes (0.6-1.0x)", 0.6, 1.0},
+      {"symmetric jitter (0.8-1.2x)", 0.8, 1.2},
+      {"overruns (1.0-1.3x)", 1.0, 1.3},
+  };
+
+  std::printf("== Online robustness on G3 (d = %.0f, %d seeds per regime) ==\n\n", deadline,
+              kSeeds);
+  util::Table table({"noise regime", "policy", "mean sigma", "mean finish", "deadline met"});
+  table.set_align(0, util::Align::Left);
+  table.set_align(1, util::Align::Left);
+
+  for (const auto& regime : regimes) {
+    for (auto policy : {sim::ReplanPolicy::Never, sim::ReplanPolicy::Always}) {
+      std::vector<double> sigmas, finishes;
+      int met = 0;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        sim::OnlineOptions opts;
+        opts.policy = policy;
+        opts.noise = {regime.lo, regime.hi, static_cast<std::uint64_t>(seed)};
+        const auto r = sim::execute_online(g3, deadline, model, opts);
+        sigmas.push_back(r.sigma);
+        finishes.push_back(r.finish_time);
+        if (r.deadline_met) ++met;
+      }
+      table.add_row({regime.name,
+                     policy == sim::ReplanPolicy::Never ? "stale plan" : "replan each task",
+                     util::fmt_double(util::mean(sigmas), 0),
+                     util::fmt_double(util::mean(finishes), 1),
+                     std::to_string(met) + "/" + std::to_string(kSeeds)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Reading: with early finishes, re-planning converts the freed slack into\n"
+              "lower-power design-points (lower sigma); with overruns it sacrifices sigma\n"
+              "to protect the deadline. The stale plan does neither.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file perf_micro.cpp
+/// \brief google-benchmark microbenchmarks: σ-evaluation throughput and
+/// scheduler runtime scaling in task count n and design-point count m. The
+/// paper argues the heuristic is cheap enough for on-device use; these
+/// numbers quantify that on this host.
+#include <benchmark/benchmark.h>
+
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/rng.hpp"
+
+namespace {
+
+using namespace basched;
+
+void BM_SigmaEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  battery::DischargeProfile p;
+  for (std::size_t i = 0; i < n; ++i) p.append(rng.uniform(0.5, 8.0), rng.uniform(20.0, 900.0));
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const double t = p.end_time();
+  for (auto _ : state) benchmark::DoNotOptimize(model.charge_lost(p, t));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SigmaEvaluation)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_IterativeSchedulerG3(benchmark::State& state) {
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  for (auto _ : state) {
+    auto r = core::schedule_battery_aware(g, graph::kG3ExampleDeadline, model);
+    benchmark::DoNotOptimize(r.sigma);
+  }
+}
+BENCHMARK(BM_IterativeSchedulerG3)->Unit(benchmark::kMillisecond);
+
+void BM_IterativeSchedulerScalingN(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  const auto g = graph::make_layered_random(layers, 3, 0.3, synth, rng);
+  const double d = g.column_time(0) + 0.6 * (g.column_time(3) - g.column_time(0));
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  for (auto _ : state) {
+    auto r = core::schedule_battery_aware(g, d, model);
+    benchmark::DoNotOptimize(r.sigma);
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+}
+BENCHMARK(BM_IterativeSchedulerScalingN)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_IterativeSchedulerScalingM(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = m;
+  const auto g = graph::make_fork_join(3, 3, synth, rng);
+  const double d =
+      g.column_time(0) + 0.6 * (g.column_time(m - 1) - g.column_time(0));
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  for (auto _ : state) {
+    auto r = core::schedule_battery_aware(g, d, model);
+    benchmark::DoNotOptimize(r.sigma);
+  }
+}
+BENCHMARK(BM_IterativeSchedulerScalingM)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_RvDpBaselineG3(benchmark::State& state) {
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  for (auto _ : state) {
+    auto r = baselines::schedule_rv_dp(g, 230.0, model);
+    benchmark::DoNotOptimize(r.sigma);
+  }
+}
+BENCHMARK(BM_RvDpBaselineG3)->Unit(benchmark::kMillisecond);
+
+}  // namespace

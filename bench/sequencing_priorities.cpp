@@ -1,0 +1,66 @@
+/// \file sequencing_priorities.cpp
+/// \brief Sequencing-priority ablation: with the design-point assignment
+/// *fixed* (to our algorithm's choice), how much does the task order alone
+/// move the battery cost? Compares the paper's Eq. 4 weighted sequence
+/// against Eq. 5 (the [1] baseline), plain own-current, critical-path, the
+/// initial decreasing-average-energy order, and the analytic lower bound.
+#include <cstdio>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/bounds.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+
+  struct Inst {
+    std::string name;
+    graph::TaskGraph g;
+    double deadline;
+  };
+  std::vector<Inst> insts;
+  insts.push_back({"G2 d=75", graph::make_g2(), 75.0});
+  insts.push_back({"G3 d=230", graph::make_g3(), 230.0});
+  {
+    util::Rng rng(55);
+    graph::DesignPointSynthesis synth;
+    synth.num_points = 4;
+    auto g = graph::make_layered_random(5, 3, 0.3, synth, rng);
+    const double d = g.column_time(0) + 0.6 * (g.column_time(3) - g.column_time(0));
+    insts.push_back({"layered seed=55", std::move(g), d});
+  }
+
+  std::printf("== Sequencing priorities at a fixed design-point assignment ==\n");
+  std::printf("(sigma in mA*min; assignment = our algorithm's; 'noninc bound' ignores\n"
+              "dependencies and is unachievable in general)\n\n");
+
+  util::Table table({"instance", "Eq.4 (ours)", "Eq.5 [1]", "own current", "critical path",
+                     "dec energy", "noninc bound"});
+  table.set_align(0, util::Align::Left);
+
+  for (auto& inst : insts) {
+    const auto r = core::schedule_battery_aware(inst.g, inst.deadline, model);
+    if (!r.feasible) continue;
+    const core::Assignment& a = r.schedule.assignment;
+    auto sigma_of = [&](const std::vector<graph::TaskId>& seq) {
+      return core::calculate_battery_cost_unchecked(inst.g, core::Schedule{seq, a}, model).sigma;
+    };
+    const auto bounds = core::sigma_bounds(inst.g, a, model);
+    table.add_row({inst.name, util::fmt_double(sigma_of(core::weighted_sequence(inst.g, a)), 0),
+                   util::fmt_double(sigma_of(core::greedy_max_current_sequence(inst.g, a)), 0),
+                   util::fmt_double(sigma_of(core::max_current_sequence(inst.g, a)), 0),
+                   util::fmt_double(sigma_of(core::critical_path_sequence(inst.g, a)), 0),
+                   util::fmt_double(sigma_of(core::sequence_dec_energy(inst.g)), 0),
+                   util::fmt_double(bounds.lower, 0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Current-aware priorities (Eq.4/Eq.5/own-current) should sit close to the\n"
+              "unconstrained bound; battery-blind orders (critical path) drift upward.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+/// \file suite_summary.cpp
+/// \brief Breadth evaluation the paper lacks: a 20-instance synthetic suite
+/// (chains, fork-joins, layered DAGs, series-parallel, independent sets)
+/// scheduled by every practical algorithm in the repo, at two deadline
+/// tightness levels, with aggregate win counts and geometric-mean σ ratios.
+#include <cstdio>
+
+#include "basched/analysis/suite.hpp"
+
+int main() {
+  using namespace basched;
+
+  for (double tightness : {0.35, 0.7}) {
+    const auto suite = analysis::standard_suite(/*seed=*/2005, /*per_family=*/4, tightness);
+    const auto summary = analysis::run_suite(suite, 0.273);
+    std::printf("== suite shoot-out: %zu instances, deadline tightness %.2f ==\n", suite.size(),
+                tightness);
+    std::printf("(tightness = position between all-fastest and all-slowest time)\n\n%s\n",
+                analysis::format_suite(summary).c_str());
+  }
+  std::printf("Reading: 'wins' counts instances where the algorithm matched the best σ\n"
+              "among the four (ties count for all); the geomean ratio is its average\n"
+              "multiplicative distance from the per-instance best. Tight deadlines leave\n"
+              "little selection freedom (everyone converges); loose ones reward the\n"
+              "battery-aware search.\n");
+  return 0;
+}

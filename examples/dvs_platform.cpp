@@ -1,0 +1,51 @@
+/// \file dvs_platform.cpp
+/// \brief A synthetic DVS-processor platform: generate a randomized layered
+/// application with the paper's design-point recipe (D ∝ 1/s, I ∝ s³),
+/// schedule it across a range of deadlines, and show the energy-vs-battery
+/// trade-off that motivates battery-aware (rather than plain energy-aware)
+/// scheduling.
+#include <cstdio>
+#include <vector>
+
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/table.hpp"
+
+int main() {
+  using namespace basched;
+
+  constexpr std::uint64_t kSeed = 2005;  // DATE 2005
+  util::Rng rng(kSeed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  synth.max_speedup = 2.5;  // the G2 recipe's voltage span
+  const graph::TaskGraph app = graph::make_layered_random(5, 3, 0.35, synth, rng);
+  std::printf("Synthetic DVS application (seed %llu): %zu tasks, %zu edges, %zu operating "
+              "points per task\n",
+              static_cast<unsigned long long>(kSeed), app.num_tasks(), app.num_edges(),
+              app.num_design_points());
+
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const double fastest = app.column_time(0);
+  const double slowest = app.column_time(app.num_design_points() - 1);
+  std::printf("all-fastest time %.1f min, all-slowest %.1f min\n\n", fastest, slowest);
+
+  util::Table table({"deadline (min)", "ours sigma", "ours energy", "min-energy DP sigma",
+                     "sigma saved %"});
+  for (double frac : {0.35, 0.5, 0.65, 0.8, 0.95}) {
+    const double d = fastest + frac * (slowest - fastest);
+    const auto ours = core::schedule_battery_aware(app, d, model);
+    const auto dp = baselines::schedule_rv_dp(app, d, model);
+    if (!ours.feasible || !dp.feasible) continue;
+    table.add_row({util::fmt_double(d, 1), util::fmt_double(ours.sigma, 0),
+                   util::fmt_double(ours.energy, 0), util::fmt_double(dp.sigma, 0),
+                   util::fmt_double(100.0 * (dp.sigma - ours.sigma) / dp.sigma, 1)});
+  }
+  std::printf("Battery use across deadlines (ours vs. plain min-energy selection [1]):\n%s\n",
+              table.str().c_str());
+  std::printf("Positive 'sigma saved' means the battery-aware schedule preserves charge that\n"
+              "a purely energy-minimal design-point selection would waste.\n");
+  return 0;
+}

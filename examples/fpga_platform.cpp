@@ -1,0 +1,63 @@
+/// \file fpga_platform.cpp
+/// \brief FPGA-flavored scenario: design-points are alternative *bitstreams*
+/// (hardware implementations with different area/parallelism), not voltage
+/// settings, so their current/duration trade-offs are irregular — unlike the
+/// smooth cubic DVS recipe. The scheduler only needs the (I, D) table, which
+/// is exactly the paper's point about platform generality.
+///
+/// Scenario: a software-defined-radio pipeline on a battery-powered FPGA
+/// board. Each stage has 3 hand-characterized bitstreams (wide/parallel =
+/// fast but hungry, narrow/serial = slow but frugal).
+#include <cstdio>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/task_graph.hpp"
+
+int main() {
+  using namespace basched;
+
+  graph::TaskGraph sdr;
+  // (current mA, duration min) measured per bitstream; totals include the
+  // board's memory and radio front-end as the paper assumes.
+  const auto acquire = sdr.add_task(graph::Task(
+      "acquire", {{540.0, 2.0}, {365.0, 3.1}, {180.0, 5.8}}));
+  const auto chan_a = sdr.add_task(graph::Task(
+      "channelize_a", {{720.0, 1.6}, {410.0, 2.9}, {205.0, 5.2}}));
+  const auto chan_b = sdr.add_task(graph::Task(
+      "channelize_b", {{700.0, 1.8}, {395.0, 3.2}, {190.0, 5.6}}));
+  const auto demod = sdr.add_task(graph::Task(
+      "demodulate", {{830.0, 2.4}, {470.0, 4.0}, {230.0, 7.0}}));
+  const auto decode = sdr.add_task(graph::Task(
+      "decode", {{610.0, 1.9}, {340.0, 3.3}, {160.0, 6.1}}));
+  const auto sink = sdr.add_task(graph::Task(
+      "record", {{300.0, 1.0}, {170.0, 1.8}, {90.0, 3.2}}));
+  sdr.add_edge(acquire, chan_a);
+  sdr.add_edge(acquire, chan_b);
+  sdr.add_edge(chan_a, demod);
+  sdr.add_edge(chan_b, demod);
+  sdr.add_edge(demod, decode);
+  sdr.add_edge(decode, sink);
+
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  std::printf("SDR pipeline on FPGA: %zu stages, 3 bitstreams each\n", sdr.num_tasks());
+  std::printf("all-fast %.1f min .. all-frugal %.1f min\n\n", sdr.column_time(0),
+              sdr.column_time(2));
+
+  for (double deadline : {14.0, 20.0, 28.0}) {
+    const auto r = core::schedule_battery_aware(sdr, deadline, model);
+    if (!r.feasible) {
+      std::printf("deadline %5.1f min: infeasible (%s)\n", deadline, r.error.c_str());
+      continue;
+    }
+    std::printf("deadline %5.1f min: sigma %7.1f mA*min, makespan %5.1f min, bitstreams:",
+                deadline, r.sigma, r.duration);
+    for (graph::TaskId v : r.schedule.sequence)
+      std::printf(" %s=%zu", sdr.task(v).name().c_str(), r.schedule.assignment[v] + 1);
+    std::printf("\n");
+  }
+  std::printf("\nTighter deadlines force wide bitstreams (column 1); looser ones let the\n"
+              "scheduler fall back to frugal implementations and spend the slack late in\n"
+              "the sequence where the battery recovers best.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// \file robotic_arm.cpp
+/// \brief The paper's case study (§5): a robotic-arm controller (task graph
+/// G2, Mooney & De Micheli via Rakhmatov [1]) on a voltage-scalable
+/// processor, scheduled for three different deadlines and compared against
+/// the dynamic-programming baseline of [1] — the left half of Table 4.
+#include <cstdio>
+
+#include "basched/analysis/report.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+int main() {
+  using namespace basched;
+
+  const graph::TaskGraph g2 = graph::make_g2();
+  std::printf("Robotic arm controller (G2): %zu tasks, %zu design-points each\n",
+              g2.num_tasks(), g2.num_design_points());
+  std::printf("\nTask graph (Graphviz DOT):\n%s\n", graph::to_dot(g2).c_str());
+
+  const std::vector<double> deadlines(graph::kG2Deadlines.begin(), graph::kG2Deadlines.end());
+  const auto rows = analysis::run_comparisons(g2, "G2", deadlines, graph::kPaperBeta);
+
+  std::printf("Battery capacity used, ours vs. the DP baseline of [1] (Table 4, left):\n%s\n",
+              analysis::format_table4(rows).c_str());
+
+  for (const auto& row : rows) {
+    if (row.ours_feasible && row.baseline_feasible) {
+      std::printf("deadline %3.0f min: ours uses %.0f mA*min, [1] uses %.0f (%.1f%% diff)\n",
+                  row.deadline, row.ours_sigma, row.baseline_sigma, row.percent_diff);
+    }
+  }
+  std::printf("\nPaper's corresponding cells: 30913/35739 (d=55), 13751/13885 (d=75), "
+              "7961/8517 (d=95).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "basched/analysis/experiment.hpp"
+
+#include <stdexcept>
+
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::analysis {
+
+namespace {
+
+void check_spec(const RunSpec& spec) {
+  if (spec.graph == nullptr) throw std::invalid_argument("RunSpec: graph is null");
+  if (!(spec.deadline > 0.0)) throw std::invalid_argument("RunSpec: deadline must be > 0");
+  if (!(spec.beta > 0.0)) throw std::invalid_argument("RunSpec: beta must be > 0");
+}
+
+}  // namespace
+
+core::IterativeResult run_ours(const RunSpec& spec) {
+  check_spec(spec);
+  const battery::RakhmatovVrudhulaModel model(spec.beta);
+  return core::schedule_battery_aware(*spec.graph, spec.deadline, model, spec.options);
+}
+
+ComparisonRow run_comparison(const RunSpec& spec) {
+  check_spec(spec);
+  const battery::RakhmatovVrudhulaModel model(spec.beta);
+
+  ComparisonRow row;
+  row.name = spec.name;
+  row.deadline = spec.deadline;
+
+  const core::IterativeResult ours =
+      core::schedule_battery_aware(*spec.graph, spec.deadline, model, spec.options);
+  row.ours_feasible = ours.feasible;
+  row.ours_sigma = ours.sigma;
+
+  const baselines::ScheduleResult base = baselines::schedule_rv_dp(*spec.graph, spec.deadline, model);
+  row.baseline_feasible = base.feasible;
+  row.baseline_sigma = base.sigma;
+
+  if (row.ours_feasible && row.baseline_feasible && row.ours_sigma > 0.0)
+    row.percent_diff = 100.0 * (row.baseline_sigma - row.ours_sigma) / row.ours_sigma;
+  return row;
+}
+
+std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
+                                           const std::string& graph_name,
+                                           const std::vector<double>& deadlines, double beta) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(deadlines.size());
+  for (double d : deadlines) {
+    RunSpec spec;
+    spec.name = graph_name;
+    spec.graph = &graph;
+    spec.deadline = d;
+    spec.beta = beta;
+    rows.push_back(run_comparison(spec));
+  }
+  return rows;
+}
+
+}  // namespace basched::analysis

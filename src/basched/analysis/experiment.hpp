@@ -1,0 +1,52 @@
+/// \file experiment.hpp
+/// \brief Experiment descriptors and runners shared by the bench binaries.
+///
+/// An experiment is (graph, deadline, β). Runners execute the paper's
+/// algorithm and/or the baselines and collect everything the reporting layer
+/// needs to print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basched/baselines/result.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::analysis {
+
+/// One experimental configuration.
+struct RunSpec {
+  std::string name;              ///< label used in reports (e.g. "G3 d=230")
+  const graph::TaskGraph* graph = nullptr;  ///< non-owning; must outlive the spec
+  double deadline = 0.0;         ///< minutes
+  double beta = 0.273;           ///< RV model β
+  core::IterativeOptions options{};
+};
+
+/// Head-to-head row: our algorithm vs. one baseline (the shape of Table 4).
+struct ComparisonRow {
+  std::string name;
+  double deadline = 0.0;
+  double ours_sigma = 0.0;
+  double baseline_sigma = 0.0;
+  double percent_diff = 0.0;  ///< 100 · (baseline − ours) / ours, as in Table 4
+  bool ours_feasible = false;
+  bool baseline_feasible = false;
+};
+
+/// Runs the paper's algorithm for a spec. Throws on malformed specs
+/// (null graph, non-positive deadline).
+[[nodiscard]] core::IterativeResult run_ours(const RunSpec& spec);
+
+/// Runs our algorithm and the [1] DP baseline and assembles a Table 4 row.
+[[nodiscard]] ComparisonRow run_comparison(const RunSpec& spec);
+
+/// All deadlines of a spec family at once (e.g. Table 4's three deadlines
+/// per graph).
+[[nodiscard]] std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
+                                                         const std::string& graph_name,
+                                                         const std::vector<double>& deadlines,
+                                                         double beta);
+
+}  // namespace basched::analysis

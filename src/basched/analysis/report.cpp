@@ -1,0 +1,119 @@
+#include "basched/analysis/report.hpp"
+
+#include <sstream>
+
+#include "basched/util/table.hpp"
+
+namespace basched::analysis {
+
+using util::fmt_double;
+
+std::string format_sequence(const graph::TaskGraph& graph,
+                            const std::vector<graph::TaskId>& sequence) {
+  std::string out;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (i) out += ',';
+    out += graph.task(sequence[i]).name();
+  }
+  return out;
+}
+
+std::string format_assignment(const std::vector<graph::TaskId>& sequence,
+                              const core::Assignment& assignment) {
+  std::string out;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (i) out += ',';
+    out += "P" + std::to_string(assignment.at(sequence[i]) + 1);
+  }
+  return out;
+}
+
+std::string format_table2(const graph::TaskGraph& graph, const core::IterativeResult& result) {
+  util::Table t({"Iter", "Seq", "Content"});
+  t.set_align(1, util::Align::Left);
+  t.set_align(2, util::Align::Left);
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& rec = result.iterations[i];
+    const std::string iter = std::to_string(i + 1);
+    t.add_row({iter, "S" + iter, format_sequence(graph, rec.sequence)});
+    if (rec.windows.feasible()) {
+      t.add_row({"", "DP", format_assignment(rec.sequence, rec.windows.best_window().assignment)});
+    } else {
+      t.add_row({"", "DP", "(no feasible window)"});
+    }
+    if (!rec.weighted_sequence.empty())
+      t.add_row({"", "S" + iter + "w", format_sequence(graph, rec.weighted_sequence)});
+    t.add_separator();
+  }
+  return t.str();
+}
+
+std::string format_table3(const core::IterativeResult& result, std::size_t num_design_points) {
+  // Column layout mirrors the paper: one (sigma, delta) pair per window
+  // "w:m", then the per-iteration minimum.
+  const std::size_t m = num_design_points;
+  std::vector<std::string> header{"Seq"};
+  for (std::size_t ws = (m >= 2 ? m - 1 : 1); ws-- > 0;) {
+    const std::string tag = std::to_string(ws + 1) + ":" + std::to_string(m);
+    header.push_back("sigma " + tag);
+    header.push_back("delta " + tag);
+  }
+  header.emplace_back("min sigma");
+  header.emplace_back("delta");
+  util::Table t(std::move(header));
+
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& rec = result.iterations[i];
+    std::vector<std::string> row{"S" + std::to_string(i + 1)};
+    // The trace stores windows narrow → wide; the paper prints wide → narrow
+    // (Win 1:m first). Build a lookup by window_start.
+    for (std::size_t ws = (m >= 2 ? m - 1 : 1); ws-- > 0;) {
+      bool found = false;
+      for (const auto& w : rec.windows.windows) {
+        if (w.window_start == ws) {
+          row.push_back(w.feasible ? fmt_double(w.sigma, 0) : "infeas");
+          row.push_back(fmt_double(w.duration, 1));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        row.emplace_back("-");
+        row.emplace_back("-");
+      }
+    }
+    if (rec.windows.feasible()) {
+      row.push_back(fmt_double(rec.windows.best_window().sigma, 0));
+      row.push_back(fmt_double(rec.windows.best_window().duration, 1));
+    } else {
+      row.emplace_back("-");
+      row.emplace_back("-");
+    }
+    t.add_row(std::move(row));
+
+    // The weighted-sequence row ("S1w"), min column only, like the paper.
+    if (!rec.weighted_sequence.empty()) {
+      std::vector<std::string> wrow{"S" + std::to_string(i + 1) + "w"};
+      for (std::size_t k = 0; k + 1 < (m >= 2 ? m - 1 : 1) * 2 + 1; ++k) wrow.emplace_back("-");
+      wrow.push_back(fmt_double(std::min(rec.weighted_sigma, rec.best_sigma), 0));
+      wrow.push_back("");
+      t.add_row(std::move(wrow));
+    }
+  }
+  return t.str();
+}
+
+std::string format_table4(const std::vector<ComparisonRow>& rows) {
+  util::Table t({"Graph", "Deadline (min)", "Ours sigma (mAmin)", "Algo [1] sigma (mAmin)",
+                 "% Diff"});
+  t.set_align(0, util::Align::Left);
+  for (const auto& r : rows) {
+    t.add_row({r.name, fmt_double(r.deadline, 0),
+               r.ours_feasible ? fmt_double(r.ours_sigma, 0) : "infeas",
+               r.baseline_feasible ? fmt_double(r.baseline_sigma, 0) : "infeas",
+               (r.ours_feasible && r.baseline_feasible) ? fmt_double(r.percent_diff, 1) : "-"});
+  }
+  return t.str();
+}
+
+}  // namespace basched::analysis

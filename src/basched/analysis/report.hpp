@@ -1,0 +1,39 @@
+/// \file report.hpp
+/// \brief Formatters that turn traces/rows into the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basched/analysis/experiment.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::analysis {
+
+/// Renders an iteration trace as the paper's Table 2: one row per iteration
+/// with the task sequence, the chosen design-points, and the weighted
+/// sequence ("Sw") computed from it.
+[[nodiscard]] std::string format_table2(const graph::TaskGraph& graph,
+                                        const core::IterativeResult& result);
+
+/// Renders an iteration trace as the paper's Table 3: per-iteration rows of
+/// σ (mA·min) and Δ (min) for every window evaluated, plus the per-iteration
+/// minimum.
+[[nodiscard]] std::string format_table3(const core::IterativeResult& result,
+                                        std::size_t num_design_points);
+
+/// Renders comparison rows as the paper's Table 4 (ours vs. the [1] DP
+/// baseline across deadlines, with the % difference).
+[[nodiscard]] std::string format_table4(const std::vector<ComparisonRow>& rows);
+
+/// Compact "T1,T4,T5,…" rendering of a sequence using task names.
+[[nodiscard]] std::string format_sequence(const graph::TaskGraph& graph,
+                                          const std::vector<graph::TaskId>& sequence);
+
+/// Compact "P5,P4,…" rendering of the design-points of `sequence` under
+/// `assignment` (1-based column labels, matching the paper's DP/P notation).
+[[nodiscard]] std::string format_assignment(const std::vector<graph::TaskId>& sequence,
+                                            const core::Assignment& assignment);
+
+}  // namespace basched::analysis

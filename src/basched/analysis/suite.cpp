@@ -1,0 +1,124 @@
+#include "basched/analysis/suite.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+#include "basched/util/table.hpp"
+
+namespace basched::analysis {
+
+std::vector<SuiteInstance> standard_suite(std::uint64_t seed, int per_family, double tightness) {
+  if (per_family < 1) throw std::invalid_argument("standard_suite: per_family must be >= 1");
+  if (!(tightness > 0.0 && tightness <= 1.0))
+    throw std::invalid_argument("standard_suite: tightness must be in (0, 1]");
+
+  std::vector<SuiteInstance> suite;
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+
+  for (int k = 0; k < per_family; ++k) {
+    const auto stream = static_cast<std::uint64_t>(k);
+    auto add = [&](const std::string& name, graph::TaskGraph g) {
+      SuiteInstance inst;
+      inst.name = name + "#" + std::to_string(k);
+      const double fast = g.column_time(0);
+      const double slow = g.column_time(g.num_design_points() - 1);
+      inst.deadline = fast + tightness * (slow - fast);
+      inst.graph = std::move(g);
+      suite.push_back(std::move(inst));
+    };
+    {
+      util::Rng rng(util::derive_seed(seed, stream * 8 + 0));
+      add("chain8", graph::make_chain(8, synth, rng));
+    }
+    {
+      util::Rng rng(util::derive_seed(seed, stream * 8 + 1));
+      add("forkjoin3x3", graph::make_fork_join(3, 3, synth, rng));
+    }
+    {
+      util::Rng rng(util::derive_seed(seed, stream * 8 + 2));
+      add("layered5x3", graph::make_layered_random(5, 3, 0.3, synth, rng));
+    }
+    {
+      util::Rng rng(util::derive_seed(seed, stream * 8 + 3));
+      add("sp10", graph::make_series_parallel(10, synth, rng));
+    }
+    {
+      util::Rng rng(util::derive_seed(seed, stream * 8 + 4));
+      add("indep6", graph::make_independent(6, synth, rng));
+    }
+  }
+  return suite;
+}
+
+SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta) {
+  const battery::RakhmatovVrudhulaModel model(beta);
+  constexpr int kAlgos = 4;
+  const char* names[kAlgos] = {"ours", "RV-DP [1]", "Chowdhury [7]", "random-2k"};
+
+  SuiteSummary summary;
+  summary.instances = static_cast<int>(instances.size());
+  summary.algorithms.resize(kAlgos);
+  for (int a = 0; a < kAlgos; ++a) summary.algorithms[a].name = names[a];
+
+  // Gather σ per (instance, algorithm); NaN = infeasible.
+  std::vector<std::array<double, kAlgos>> sigma(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& inst = instances[i];
+    const auto ours = core::schedule_battery_aware(inst.graph, inst.deadline, model);
+    const auto dp = baselines::schedule_rv_dp(inst.graph, inst.deadline, model);
+    const auto ch = baselines::schedule_chowdhury(inst.graph, inst.deadline, model);
+    baselines::RandomSearchOptions ropts;
+    ropts.samples = 2000;
+    const auto rnd = baselines::schedule_random_search(inst.graph, inst.deadline, model, ropts);
+    const double nan = std::nan("");
+    sigma[i] = {ours.feasible ? ours.sigma : nan, dp.feasible ? dp.sigma : nan,
+                ch.feasible ? ch.sigma : nan, rnd.feasible ? rnd.sigma : nan};
+    for (int a = 0; a < kAlgos; ++a)
+      if (!std::isnan(sigma[i][a])) ++summary.algorithms[a].feasible;
+  }
+
+  // Aggregate over commonly-feasible instances.
+  std::vector<double> log_ratio_sum(kAlgos, 0.0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    bool all = true;
+    for (int a = 0; a < kAlgos; ++a) all = all && !std::isnan(sigma[i][a]);
+    if (!all) continue;
+    ++summary.commonly_feasible;
+    double best = sigma[i][0];
+    for (int a = 1; a < kAlgos; ++a) best = std::min(best, sigma[i][a]);
+    for (int a = 0; a < kAlgos; ++a) {
+      summary.algorithms[a].total_sigma += sigma[i][a];
+      log_ratio_sum[a] += std::log(sigma[i][a] / best);
+      if (sigma[i][a] <= best * (1.0 + 1e-12)) ++summary.algorithms[a].wins;
+    }
+  }
+  for (int a = 0; a < kAlgos; ++a) {
+    summary.algorithms[a].geomean_ratio =
+        summary.commonly_feasible > 0
+            ? std::exp(log_ratio_sum[a] / summary.commonly_feasible)
+            : 0.0;
+  }
+  return summary;
+}
+
+std::string format_suite(const SuiteSummary& summary) {
+  util::Table table({"algorithm", "feasible", "wins", "geomean sigma/best", "total sigma"});
+  table.set_align(0, util::Align::Left);
+  for (const auto& a : summary.algorithms) {
+    table.add_row({a.name, std::to_string(a.feasible) + "/" + std::to_string(summary.instances),
+                   std::to_string(a.wins) + "/" + std::to_string(summary.commonly_feasible),
+                   util::fmt_double(a.geomean_ratio, 3), util::fmt_double(a.total_sigma, 0)});
+  }
+  return table.str();
+}
+
+}  // namespace basched::analysis

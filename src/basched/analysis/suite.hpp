@@ -1,0 +1,52 @@
+/// \file suite.hpp
+/// \brief A standard synthetic benchmark suite and an aggregate scheduler
+/// shoot-out over it — the breadth evaluation the paper's two graphs lack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::analysis {
+
+/// One suite instance: a graph plus a deadline at a fixed tightness.
+struct SuiteInstance {
+  std::string name;
+  graph::TaskGraph graph;
+  double deadline = 0.0;
+};
+
+/// Builds the standard suite: `per_family` instances from each structural
+/// family (chain, fork-join, layered, series-parallel, independent) with
+/// deterministic seeds derived from `seed`, deadlines at
+/// `tightness` ∈ (0, 1] of the way from all-fastest to all-slowest time.
+/// Throws std::invalid_argument on per_family < 1 or tightness out of range.
+[[nodiscard]] std::vector<SuiteInstance> standard_suite(std::uint64_t seed, int per_family,
+                                                        double tightness = 0.6);
+
+/// Aggregate results of one algorithm over the suite.
+struct AlgorithmSummary {
+  std::string name;
+  int feasible = 0;        ///< instances solved within the deadline
+  int wins = 0;            ///< instances where it achieved the best σ (ties count)
+  double geomean_ratio = 0.0;  ///< geometric mean of σ / best-σ over commonly-feasible instances
+  double total_sigma = 0.0;    ///< Σ σ over commonly-feasible instances
+};
+
+/// Shoot-out outcome.
+struct SuiteSummary {
+  std::vector<AlgorithmSummary> algorithms;
+  int instances = 0;
+  int commonly_feasible = 0;  ///< instances every algorithm solved
+};
+
+/// Runs our algorithm, RV-DP [1], Chowdhury [7], and random search over the
+/// suite and aggregates. Ratios/wins are computed over the commonly-feasible
+/// instances so no algorithm is judged on instances another could not solve.
+[[nodiscard]] SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta);
+
+/// ASCII table rendering of a summary.
+[[nodiscard]] std::string format_suite(const SuiteSummary& summary);
+
+}  // namespace basched::analysis

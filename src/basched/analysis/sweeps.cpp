@@ -1,0 +1,82 @@
+#include "basched/analysis/sweeps.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/util/csv.hpp"
+#include "basched/util/table.hpp"
+
+namespace basched::analysis {
+
+std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,
+                                          int steps, double beta) {
+  graph.validate();
+  if (!(from > 0.0) || to < from) throw std::invalid_argument("deadline_sweep: bad range");
+  if (steps < 2) throw std::invalid_argument("deadline_sweep: steps must be >= 2");
+  const battery::RakhmatovVrudhulaModel model(beta);
+
+  std::vector<DeadlinePoint> points;
+  points.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    DeadlinePoint p;
+    p.deadline = from + (to - from) * i / (steps - 1);
+    const auto ours = core::schedule_battery_aware(graph, p.deadline, model);
+    p.ours_feasible = ours.feasible;
+    p.ours_sigma = ours.sigma;
+    p.ours_energy = ours.energy;
+    const auto dp = baselines::schedule_rv_dp(graph, p.deadline, model);
+    p.rvdp_feasible = dp.feasible;
+    p.rvdp_sigma = dp.sigma;
+    const auto ch = baselines::schedule_chowdhury(graph, p.deadline, model);
+    p.chowdhury_feasible = ch.feasible;
+    p.chowdhury_sigma = ch.sigma;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string deadline_sweep_csv(const std::vector<DeadlinePoint>& points) {
+  std::ostringstream os;
+  util::CsvWriter csv(os);
+  csv.write_row({"deadline", "ours", "rvdp", "chowdhury"});
+  for (const auto& p : points) {
+    csv.write_row({util::fmt_double(p.deadline, 4),
+                   p.ours_feasible ? util::fmt_double(p.ours_sigma, 2) : "",
+                   p.rvdp_feasible ? util::fmt_double(p.rvdp_sigma, 2) : "",
+                   p.chowdhury_feasible ? util::fmt_double(p.chowdhury_sigma, 2) : ""});
+  }
+  return os.str();
+}
+
+std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
+                                  const std::vector<double>& betas) {
+  graph.validate();
+  if (!(deadline > 0.0)) throw std::invalid_argument("beta_sweep: deadline must be > 0");
+  if (betas.empty()) throw std::invalid_argument("beta_sweep: no betas given");
+
+  std::vector<BetaPoint> points;
+  points.reserve(betas.size());
+  const std::size_t m = graph.num_design_points();
+  for (double beta : betas) {
+    if (!(beta > 0.0)) throw std::invalid_argument("beta_sweep: betas must be > 0");
+    const battery::RakhmatovVrudhulaModel model(beta);
+    const auto r = core::schedule_battery_aware(graph, deadline, model);
+    BetaPoint p;
+    p.beta = beta;
+    p.feasible = r.feasible;
+    if (r.feasible) {
+      p.sigma = r.sigma;
+      p.energy = r.energy;
+      for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+        if (r.schedule.assignment[v] < m / 2) ++p.fast_tasks;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace basched::analysis

@@ -1,0 +1,54 @@
+/// \file sweeps.hpp
+/// \brief Parameter sweeps that turn the paper's point tables into curves:
+/// σ vs. deadline (a fine-grained Table 4) and σ vs. β (battery-nonlinearity
+/// sensitivity of the *whole algorithm*, not just the cost function).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::analysis {
+
+/// One point of a deadline sweep.
+struct DeadlinePoint {
+  double deadline = 0.0;
+  bool ours_feasible = false;
+  double ours_sigma = 0.0;
+  double ours_energy = 0.0;
+  bool rvdp_feasible = false;
+  double rvdp_sigma = 0.0;
+  bool chowdhury_feasible = false;
+  double chowdhury_sigma = 0.0;
+};
+
+/// Runs our algorithm, the RV-DP baseline [1] and the Chowdhury heuristic
+/// [7] at `steps` evenly spaced deadlines in [from, to]. Throws
+/// std::invalid_argument on an empty/cyclic graph, from <= 0, to < from, or
+/// steps < 2.
+[[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,
+                                                        double from, double to, int steps,
+                                                        double beta);
+
+/// CSV rendering of a deadline sweep (`deadline,ours,rvdp,chowdhury` with
+/// empty cells for infeasible points).
+[[nodiscard]] std::string deadline_sweep_csv(const std::vector<DeadlinePoint>& points);
+
+/// One point of a β sweep.
+struct BetaPoint {
+  double beta = 0.0;
+  bool feasible = false;
+  double sigma = 0.0;      ///< σ of the chosen schedule under *this* β
+  double energy = 0.0;     ///< plain energy of the chosen schedule
+  std::size_t fast_tasks = 0;  ///< tasks assigned to the upper half of the columns
+};
+
+/// Re-runs the whole algorithm for each β: shows how battery nonlinearity
+/// changes the *decisions* (not just the cost of a fixed schedule). Throws
+/// std::invalid_argument on invalid graph/deadline or empty/non-positive
+/// betas.
+[[nodiscard]] std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
+                                                const std::vector<double>& betas);
+
+}  // namespace basched::analysis

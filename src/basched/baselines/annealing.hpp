@@ -1,0 +1,40 @@
+/// \file annealing.hpp
+/// \brief Simulated-annealing baseline over (sequence, assignment) pairs.
+///
+/// The paper's related-work section argues that SA (and LP formulations) are
+/// impractical *on the embedded platform itself*; we include SA as an
+/// offline quality reference: with enough moves it approaches the best
+/// achievable battery cost, showing how much headroom the iterative
+/// heuristic leaves on the table.
+///
+/// Moves: (a) bump one task's design-point one column up or down; (b) swap
+/// two adjacent sequence positions when the swap keeps the order
+/// topological. Deadline violations are penalized proportionally to the
+/// overrun, so the search can cross infeasible regions but settles feasible.
+#pragma once
+
+#include <cstdint>
+
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::baselines {
+
+/// Annealer configuration.
+struct AnnealingOptions {
+  std::uint64_t seed = 1;        ///< RNG seed (runs are deterministic per seed)
+  int iterations = 20000;        ///< total proposed moves
+  double initial_temp = 0.0;     ///< 0 = auto (10% of the initial cost)
+  double cooling = 0.999;        ///< geometric cooling factor per move
+  double deadline_penalty = 50.0;  ///< cost per mA·min-equivalent minute of overrun
+};
+
+/// Runs simulated annealing. Throws std::invalid_argument on an empty/cyclic
+/// graph or non-positive deadline. Returns the best *feasible* schedule
+/// visited; feasible == false if none was (e.g. unmeetable deadline).
+[[nodiscard]] ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline,
+                                                const battery::BatteryModel& model,
+                                                const AnnealingOptions& options = {});
+
+}  // namespace basched::baselines

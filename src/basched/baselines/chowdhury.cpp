@@ -1,0 +1,51 @@
+#include "basched/baselines/chowdhury.hpp"
+
+#include <stdexcept>
+
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/list_scheduler.hpp"
+
+namespace basched::baselines {
+
+ScheduleResult schedule_chowdhury(const graph::TaskGraph& graph, double deadline,
+                                  const battery::BatteryModel& model) {
+  graph.validate();
+  if (!(deadline > 0.0)) throw std::invalid_argument("schedule_chowdhury: deadline must be > 0");
+
+  ScheduleResult result;
+  core::Schedule sched;
+  sched.sequence = core::sequence_dec_energy(graph);
+  sched.assignment = core::uniform_assignment(graph, 0);  // everyone fastest
+
+  double duration = sched.duration(graph);
+  if (duration > deadline * (1.0 + 1e-9)) {
+    result.error = "deadline unmeetable even with all tasks at the fastest design-point";
+    return result;
+  }
+
+  // Walk the sequence backwards; give each task the slowest design-point the
+  // remaining slack allows.
+  const std::size_t m = graph.num_design_points();
+  for (std::size_t pos = sched.sequence.size(); pos-- > 0;) {
+    const graph::TaskId v = sched.sequence[pos];
+    const auto& task = graph.task(v);
+    for (std::size_t j = m; j-- > sched.assignment[v] + 1;) {
+      const double grown = duration - task.point(sched.assignment[v]).duration + task.point(j).duration;
+      if (grown <= deadline * (1.0 + 1e-9)) {
+        duration = grown;
+        sched.assignment[v] = j;
+        break;  // j scanned slowest-first, so the first fit is the best fit
+      }
+    }
+  }
+
+  const core::CostResult cost = core::calculate_battery_cost(graph, sched, model);
+  result.feasible = true;
+  result.schedule = std::move(sched);
+  result.sigma = cost.sigma;
+  result.duration = cost.duration;
+  result.energy = cost.energy;
+  return result;
+}
+
+}  // namespace basched::baselines

@@ -1,0 +1,29 @@
+/// \file chowdhury.hpp
+/// \brief Chowdhury & Chakrabarti's simplified heuristic [7]: downscale
+/// voltage levels as much as possible starting from the *last* task.
+///
+/// Rationale (proved in [7] and restated in the paper's §3): given a delay
+/// slack and two identical tasks, spending the slack on the *later* task
+/// always helps the battery more. The heuristic therefore fixes a sequence,
+/// starts every task at its fastest design-point, and walks the sequence
+/// backwards, moving each task to the slowest design-point the remaining
+/// slack permits.
+///
+/// The sequence is produced by the same initial list scheduler as the main
+/// algorithm (decreasing average energy), keeping the comparison about the
+/// assignment strategy rather than the sequencing.
+#pragma once
+
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::baselines {
+
+/// Runs the last-task-first downscaling heuristic. Throws
+/// std::invalid_argument on an empty/cyclic graph or non-positive deadline;
+/// an unmeetable deadline yields feasible == false.
+[[nodiscard]] ScheduleResult schedule_chowdhury(const graph::TaskGraph& graph, double deadline,
+                                                const battery::BatteryModel& model);
+
+}  // namespace basched::baselines

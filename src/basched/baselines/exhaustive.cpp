@@ -1,0 +1,60 @@
+#include "basched/baselines/exhaustive.hpp"
+
+#include <stdexcept>
+
+#include "basched/core/battery_cost.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::baselines {
+
+std::optional<ScheduleResult> schedule_exhaustive(const graph::TaskGraph& graph, double deadline,
+                                                  const battery::BatteryModel& model,
+                                                  const ExhaustiveOptions& options) {
+  graph.validate();
+  if (!(deadline > 0.0)) throw std::invalid_argument("schedule_exhaustive: deadline must be > 0");
+
+  const std::size_t n = graph.num_tasks();
+  const std::size_t m = graph.num_design_points();
+
+  // Bail out early if the assignment space alone is too large.
+  double space = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    space *= static_cast<double>(m);
+    if (space > static_cast<double>(options.max_assignments)) return std::nullopt;
+  }
+
+  const auto orders = graph::all_topological_orders(graph, options.max_orders);
+  if (!orders) return std::nullopt;
+
+  const double tol = deadline * (1.0 + 1e-9);
+  ScheduleResult best;
+  best.error = "deadline unmeetable: every assignment exceeds it";
+
+  core::Assignment assign(n, 0);
+  // Odometer over assignments; for each assignment, the makespan is
+  // order-independent, so check feasibility once and only then try orders.
+  while (true) {
+    core::Schedule probe{(*orders)[0], assign};
+    if (probe.duration(graph) <= tol) {
+      for (const auto& order : *orders) {
+        const core::Schedule sched{order, assign};
+        const core::CostResult cost = core::calculate_battery_cost_unchecked(graph, sched, model);
+        if (!best.feasible || cost.sigma < best.sigma) {
+          best.feasible = true;
+          best.error.clear();
+          best.schedule = sched;
+          best.sigma = cost.sigma;
+          best.duration = cost.duration;
+          best.energy = cost.energy;
+        }
+      }
+    }
+    // Advance the odometer.
+    std::size_t i = 0;
+    while (i < n && ++assign[i] == m) assign[i++] = 0;
+    if (i == n) break;
+  }
+  return best;
+}
+
+}  // namespace basched::baselines

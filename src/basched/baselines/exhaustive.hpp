@@ -1,0 +1,33 @@
+/// \file exhaustive.hpp
+/// \brief Exact optimal schedule by exhaustive enumeration — a ground-truth
+/// reference for small instances.
+///
+/// Enumerates every topological order (bounded) × every design-point
+/// assignment (bounded) and returns the feasible pair with the smallest
+/// battery cost. Exponential; intended for tests and small ablation studies
+/// (n up to ~8 with m up to ~4 is comfortable).
+#pragma once
+
+#include <optional>
+
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::baselines {
+
+/// Enumeration limits.
+struct ExhaustiveOptions {
+  std::size_t max_orders = 50000;       ///< abort if more topological orders exist
+  std::size_t max_assignments = 200000; ///< abort if m^n exceeds this
+};
+
+/// Returns the optimal feasible schedule, a feasible==false result when the
+/// deadline is unmeetable, or std::nullopt when the instance exceeds the
+/// enumeration limits. Throws std::invalid_argument on empty/cyclic graphs
+/// or non-positive deadlines.
+[[nodiscard]] std::optional<ScheduleResult> schedule_exhaustive(
+    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
+    const ExhaustiveOptions& options = {});
+
+}  // namespace basched::baselines

@@ -1,0 +1,69 @@
+#include "basched/baselines/random_search.hpp"
+
+#include <stdexcept>
+
+#include "basched/core/battery_cost.hpp"
+
+namespace basched::baselines {
+
+std::vector<graph::TaskId> random_topological_order(const graph::TaskGraph& graph,
+                                                    util::Rng& rng) {
+  const std::size_t n = graph.num_tasks();
+  std::vector<std::size_t> indeg(n);
+  for (graph::TaskId v = 0; v < n; ++v) indeg[v] = graph.predecessors(v).size();
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+
+  std::vector<graph::TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t pick = rng.pick_index(ready.size());
+    const graph::TaskId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (graph::TaskId w : graph.successors(v))
+      if (--indeg[w] == 0) ready.push_back(w);
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("random_topological_order: graph contains a cycle");
+  return order;
+}
+
+ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double deadline,
+                                      const battery::BatteryModel& model,
+                                      const RandomSearchOptions& options) {
+  graph.validate();
+  if (!(deadline > 0.0))
+    throw std::invalid_argument("schedule_random_search: deadline must be > 0");
+  if (options.samples < 1)
+    throw std::invalid_argument("schedule_random_search: samples must be >= 1");
+
+  util::Rng rng(options.seed);
+  const std::size_t n = graph.num_tasks();
+  const std::size_t m = graph.num_design_points();
+  const double tol = deadline * (1.0 + 1e-9);
+
+  ScheduleResult best;
+  best.error = "no sampled schedule met the deadline";
+  for (int s = 0; s < options.samples; ++s) {
+    core::Schedule sched;
+    sched.sequence = random_topological_order(graph, rng);
+    sched.assignment.resize(n);
+    for (auto& col : sched.assignment) col = rng.pick_index(m);
+    if (sched.duration(graph) > tol) continue;
+    const core::CostResult cost = core::calculate_battery_cost_unchecked(graph, sched, model);
+    if (!best.feasible || cost.sigma < best.sigma) {
+      best.feasible = true;
+      best.error.clear();
+      best.schedule = std::move(sched);
+      best.sigma = cost.sigma;
+      best.duration = cost.duration;
+      best.energy = cost.energy;
+    }
+  }
+  return best;
+}
+
+}  // namespace basched::baselines

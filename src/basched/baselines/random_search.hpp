@@ -1,0 +1,36 @@
+/// \file random_search.hpp
+/// \brief Random-sampling baseline: the floor any heuristic must clear.
+///
+/// Draws `samples` random (topological order, assignment) pairs and keeps
+/// the feasible one with the smallest battery cost. Random topological
+/// orders come from a randomized Kahn's algorithm (uniform choice among
+/// ready tasks); assignments are uniform per task.
+#pragma once
+
+#include <cstdint>
+
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+
+/// Random-search configuration.
+struct RandomSearchOptions {
+  std::uint64_t seed = 1;
+  int samples = 2000;
+};
+
+/// Runs the sampler. Throws std::invalid_argument on empty/cyclic graphs or
+/// non-positive deadlines; feasible == false when no sample met the deadline.
+[[nodiscard]] ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double deadline,
+                                                    const battery::BatteryModel& model,
+                                                    const RandomSearchOptions& options = {});
+
+/// A uniformly randomized topological order (randomized Kahn), exposed for
+/// reuse in tests and other baselines.
+[[nodiscard]] std::vector<graph::TaskId> random_topological_order(const graph::TaskGraph& graph,
+                                                                  util::Rng& rng);
+
+}  // namespace basched::baselines

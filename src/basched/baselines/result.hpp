@@ -1,0 +1,21 @@
+/// \file result.hpp
+/// \brief Common result type for all baseline schedulers.
+#pragma once
+
+#include <string>
+
+#include "basched/core/schedule.hpp"
+
+namespace basched::baselines {
+
+/// Outcome of a baseline scheduling run.
+struct ScheduleResult {
+  bool feasible = false;  ///< a deadline-respecting schedule was found
+  core::Schedule schedule;
+  double sigma = 0.0;     ///< battery cost σ at schedule end (mA·min)
+  double duration = 0.0;  ///< makespan (minutes)
+  double energy = 0.0;    ///< plain Σ I·D (mA·min)
+  std::string error;      ///< non-empty when !feasible
+};
+
+}  // namespace basched::baselines

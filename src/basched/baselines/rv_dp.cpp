@@ -1,0 +1,98 @@
+#include "basched/baselines/rv_dp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::baselines {
+
+std::optional<core::Assignment> min_energy_assignment(const graph::TaskGraph& graph,
+                                                      double deadline,
+                                                      const RvDpOptions& options) {
+  graph.validate();
+  if (!(deadline > 0.0)) throw std::invalid_argument("min_energy_assignment: deadline must be > 0");
+  if (!(options.time_resolution > 0.0))
+    throw std::invalid_argument("min_energy_assignment: time_resolution must be > 0");
+
+  const std::size_t n = graph.num_tasks();
+  const std::size_t m = graph.num_design_points();
+  const auto budget = static_cast<std::size_t>(std::floor(deadline / options.time_resolution));
+
+  // ticks[v][j]: duration of (v, j) on the grid, rounded up (conservative).
+  std::vector<std::vector<std::size_t>> ticks(n, std::vector<std::size_t>(m));
+  for (graph::TaskId v = 0; v < n; ++v)
+    for (std::size_t j = 0; j < m; ++j)
+      ticks[v][j] = static_cast<std::size_t>(
+          std::ceil(graph.task(v).point(j).duration / options.time_resolution - 1e-9));
+
+  // f[t] = min energy of tasks 0..v placed in total time <= t; unreachable
+  // states are +inf. Classic multiple-choice knapsack over one row at a time.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> f(budget + 1, 0.0);
+  // choice[v][t]: column chosen for task v at time budget t (for traceback).
+  std::vector<std::vector<std::uint8_t>> choice(n, std::vector<std::uint8_t>(budget + 1, 0));
+
+  for (graph::TaskId v = 0; v < n; ++v) {
+    std::vector<double> next(budget + 1, kInf);
+    for (std::size_t t = 0; t <= budget; ++t) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (ticks[v][j] > t) continue;
+        const double prev = f[t - ticks[v][j]];
+        if (prev == kInf) continue;
+        const double e = prev + graph.task(v).point(j).energy();
+        if (e < next[t]) {
+          next[t] = e;
+          choice[v][t] = static_cast<std::uint8_t>(j);
+        }
+      }
+      // Allow not using the full budget: next[t] should be min over <= t.
+      if (t > 0 && next[t - 1] < next[t]) {
+        next[t] = next[t - 1];
+        choice[v][t] = choice[v][t - 1];
+      }
+    }
+    f = std::move(next);
+  }
+  if (f[budget] == kInf) return std::nullopt;
+
+  // Traceback. Because each row was prefix-minimized, choice[v][t] is the
+  // column of task v in some optimal solution using at most t ticks.
+  core::Assignment assign(n, 0);
+  std::size_t t = budget;
+  for (std::size_t vi = n; vi-- > 0;) {
+    const std::size_t j = choice[vi][t];
+    assign[vi] = j;
+    BASCHED_ASSERT(ticks[vi][j] <= t);
+    t -= ticks[vi][j];
+  }
+  return assign;
+}
+
+ScheduleResult schedule_rv_dp(const graph::TaskGraph& graph, double deadline,
+                              const battery::BatteryModel& model, const RvDpOptions& options) {
+  ScheduleResult result;
+  auto assign = min_energy_assignment(graph, deadline, options);
+  if (!assign) {
+    result.error = "deadline unmeetable on the DP time grid";
+    return result;
+  }
+  core::Schedule sched;
+  sched.assignment = std::move(*assign);
+  sched.sequence = core::greedy_max_current_sequence(graph, sched.assignment);
+
+  const core::CostResult cost = core::calculate_battery_cost(graph, sched, model);
+  result.feasible = cost.duration <= deadline * (1.0 + 1e-9);
+  BASCHED_ASSERT(result.feasible);  // ceil-rounding guarantees real feasibility
+  result.schedule = std::move(sched);
+  result.sigma = cost.sigma;
+  result.duration = cost.duration;
+  result.energy = cost.energy;
+  return result;
+}
+
+}  // namespace basched::baselines

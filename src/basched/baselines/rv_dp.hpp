@@ -1,0 +1,43 @@
+/// \file rv_dp.hpp
+/// \brief The comparison baseline of the paper's Table 4: Rakhmatov &
+/// Vrudhula's dynamic-programming energy manager [1].
+///
+/// Two phases, exactly as the paper describes the comparator:
+///  1. **Design-point selection by dynamic programming**: choose one
+///     design-point per task minimizing total energy Σ I·D subject to
+///     Σ D <= deadline. Time is discretized at `time_resolution` minutes
+///     (the published data uses 0.1-minute granularity); durations are
+///     rounded *up*, so any discretized-feasible assignment is feasible in
+///     real time.
+///  2. **Greedy sequencing** (Eq. 5): list-schedule with weight
+///     w(v) = max(I_v, meanI(G_v)) over the chosen currents, largest weight
+///     first among ready tasks.
+///
+/// The battery cost of the resulting schedule is then evaluated with the
+/// same battery model as the main algorithm — this head-to-head is Table 4.
+#pragma once
+
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::baselines {
+
+/// Options for the DP baseline.
+struct RvDpOptions {
+  double time_resolution = 0.1;  ///< DP time grid (minutes), > 0
+};
+
+/// Runs the [1] baseline. Throws std::invalid_argument on an empty/cyclic
+/// graph, non-positive deadline, or non-positive resolution. An unmeetable
+/// deadline yields feasible == false.
+[[nodiscard]] ScheduleResult schedule_rv_dp(const graph::TaskGraph& graph, double deadline,
+                                            const battery::BatteryModel& model,
+                                            const RvDpOptions& options = {});
+
+/// Phase 1 alone (exposed for testing): the minimum-energy assignment
+/// subject to the discretized deadline, or std::nullopt when infeasible.
+[[nodiscard]] std::optional<core::Assignment> min_energy_assignment(
+    const graph::TaskGraph& graph, double deadline, const RvDpOptions& options = {});
+
+}  // namespace basched::baselines

@@ -1,0 +1,125 @@
+#include "basched/battery/discharge_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::battery {
+
+namespace {
+constexpr double kOverlapTol = 1e-9;  // tolerate FP rounding when abutting intervals
+}
+
+DischargeProfile::DischargeProfile(std::vector<DischargeInterval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const DischargeInterval& a, const DischargeInterval& b) { return a.start < b.start; });
+  for (auto& iv : intervals) validate_and_push(iv);
+}
+
+void DischargeProfile::validate_and_push(DischargeInterval iv) {
+  if (!(iv.duration > 0.0) || !std::isfinite(iv.duration))
+    throw std::invalid_argument("DischargeProfile: interval duration must be finite and > 0");
+  if (iv.current < 0.0 || !std::isfinite(iv.current))
+    throw std::invalid_argument("DischargeProfile: interval current must be finite and >= 0");
+  if (iv.start < 0.0 || !std::isfinite(iv.start))
+    throw std::invalid_argument("DischargeProfile: interval start must be finite and >= 0");
+  if (!intervals_.empty() && iv.start < intervals_.back().end() - kOverlapTol)
+    throw std::invalid_argument("DischargeProfile: intervals overlap");
+  // Clamp tiny negative gaps introduced by floating point accumulation.
+  if (!intervals_.empty()) iv.start = std::max(iv.start, intervals_.back().end());
+  intervals_.push_back(iv);
+}
+
+void DischargeProfile::append(double duration, double current) {
+  validate_and_push({end_time(), duration, current});
+}
+
+void DischargeProfile::append_at(double start, double duration, double current) {
+  validate_and_push({start, duration, current});
+}
+
+void DischargeProfile::append_rest(double duration) { append(duration, 0.0); }
+
+double DischargeProfile::end_time() const noexcept {
+  return intervals_.empty() ? 0.0 : intervals_.back().end();
+}
+
+double DischargeProfile::total_charge() const noexcept {
+  double q = 0.0;
+  for (const auto& iv : intervals_) q += iv.charge();
+  return q;
+}
+
+double DischargeProfile::current_at(double t) const noexcept {
+  for (const auto& iv : intervals_) {
+    if (t < iv.start) return 0.0;
+    if (t < iv.end()) return iv.current;
+  }
+  return 0.0;
+}
+
+double DischargeProfile::average_current() const noexcept {
+  const double T = end_time();
+  return T > 0.0 ? total_charge() / T : 0.0;
+}
+
+double DischargeProfile::peak_current() const noexcept {
+  double peak = 0.0;
+  for (const auto& iv : intervals_) peak = std::max(peak, iv.current);
+  return peak;
+}
+
+DischargeProfile DischargeProfile::simplified() const {
+  DischargeProfile out;
+  for (const auto& iv : intervals_) {
+    if (iv.current == 0.0) continue;
+    if (!out.intervals_.empty()) {
+      auto& last = out.intervals_.back();
+      if (last.current == iv.current && std::abs(last.end() - iv.start) <= kOverlapTol) {
+        last.duration = iv.end() - last.start;
+        continue;
+      }
+    }
+    out.intervals_.push_back(iv);
+  }
+  return out;
+}
+
+DischargeProfile DischargeProfile::shifted(double dt) const {
+  DischargeProfile out;
+  for (auto iv : intervals_) {
+    iv.start += dt;
+    out.validate_and_push(iv);
+  }
+  return out;
+}
+
+DischargeProfile DischargeProfile::concatenated(const DischargeProfile& other) const {
+  DischargeProfile out = *this;
+  const double base = out.end_time();
+  double first_start = other.intervals_.empty() ? 0.0 : other.intervals_.front().start;
+  for (auto iv : other.intervals_) {
+    iv.start = base + (iv.start - first_start);
+    out.validate_and_push(iv);
+  }
+  return out;
+}
+
+std::string DischargeProfile::to_string() const {
+  std::ostringstream os;
+  for (const auto& iv : intervals_) {
+    os << "[" << iv.start << ", " << iv.end() << ") " << iv.current << " mA\n";
+  }
+  return os.str();
+}
+
+DischargeProfile constant_load(double current, double duration) {
+  DischargeProfile p;
+  p.append(duration, current);
+  return p;
+}
+
+}  // namespace basched::battery

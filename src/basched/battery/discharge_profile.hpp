@@ -1,0 +1,111 @@
+/// \file discharge_profile.hpp
+/// \brief Piecewise-constant battery discharge profiles.
+///
+/// A discharge profile is the load the portable platform presents to its
+/// battery over time: an ordered list of non-overlapping intervals, each
+/// drawing a constant current. This is exactly the input to the
+/// Rakhmatov–Vrudhula model (Eq. 1 of the paper) and to every other battery
+/// model in basched.
+///
+/// Units follow the paper: time in **minutes**, current in **mA**, so charge
+/// is in **mA·min** (1 mAh = 60 mA·min).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace basched::battery {
+
+/// One constant-current discharge interval.
+struct DischargeInterval {
+  double start = 0.0;     ///< start time t_k (minutes)
+  double duration = 0.0;  ///< length Δ_k (minutes), > 0
+  double current = 0.0;   ///< current I_k (mA), >= 0
+
+  /// End time t_k + Δ_k.
+  [[nodiscard]] double end() const noexcept { return start + duration; }
+
+  /// Charge delivered over the interval, I_k · Δ_k (mA·min).
+  [[nodiscard]] double charge() const noexcept { return current * duration; }
+};
+
+/// An ordered sequence of non-overlapping constant-current intervals.
+///
+/// Invariants (enforced at mutation time):
+///  * intervals are sorted by start time;
+///  * consecutive intervals do not overlap (gaps — rest periods — are fine);
+///  * every duration is > 0 and every current is >= 0.
+///
+/// Zero-current rest periods may be represented either implicitly (a gap
+/// between intervals) or explicitly (an interval with current == 0); both
+/// yield identical model results.
+class DischargeProfile {
+ public:
+  DischargeProfile() = default;
+
+  /// Builds a profile from arbitrary intervals. Throws std::invalid_argument
+  /// if intervals overlap or have non-positive duration / negative current.
+  explicit DischargeProfile(std::vector<DischargeInterval> intervals);
+
+  /// Appends an interval starting exactly at the current end of the profile
+  /// (or at time 0 for an empty profile). Throws std::invalid_argument on
+  /// non-positive duration or negative current.
+  void append(double duration, double current);
+
+  /// Appends an interval at an explicit start time. Throws
+  /// std::invalid_argument if it would overlap the last interval or is
+  /// otherwise malformed.
+  void append_at(double start, double duration, double current);
+
+  /// Appends a zero-current rest period of the given duration.
+  void append_rest(double duration);
+
+  [[nodiscard]] const std::vector<DischargeInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+
+  /// End time of the last interval; 0 for an empty profile.
+  [[nodiscard]] double end_time() const noexcept;
+
+  /// Total charge delivered Σ I_k·Δ_k (mA·min). This is what an *ideal*
+  /// battery would lose; nonlinear models report more until recovery
+  /// completes.
+  [[nodiscard]] double total_charge() const noexcept;
+
+  /// Instantaneous current drawn at time t (0 inside gaps / outside profile).
+  [[nodiscard]] double current_at(double t) const noexcept;
+
+  /// Mean current over [0, end_time()); 0 for an empty profile.
+  [[nodiscard]] double average_current() const noexcept;
+
+  /// Peak interval current; 0 for an empty profile.
+  [[nodiscard]] double peak_current() const noexcept;
+
+  /// Returns a profile with adjacent intervals of equal current merged and
+  /// explicit zero-current intervals removed. Model-equivalent to *this.
+  [[nodiscard]] DischargeProfile simplified() const;
+
+  /// Returns a copy with every interval shifted by dt (>= -start of first
+  /// interval, so the result still begins at a non-negative time).
+  [[nodiscard]] DischargeProfile shifted(double dt) const;
+
+  /// Returns the concatenation: `other` re-based to start at this profile's
+  /// end time.
+  [[nodiscard]] DischargeProfile concatenated(const DischargeProfile& other) const;
+
+  /// Human-readable dump (one interval per line), for debugging and examples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void validate_and_push(DischargeInterval iv);
+
+  std::vector<DischargeInterval> intervals_;
+};
+
+/// Convenience: a single constant load of `current` mA for `duration` minutes.
+[[nodiscard]] DischargeProfile constant_load(double current, double duration);
+
+}  // namespace basched::battery

@@ -1,0 +1,20 @@
+#include "basched/battery/ideal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::battery {
+
+double IdealModel::charge_lost(const DischargeProfile& profile, double t) const {
+  if (t < 0.0 || !std::isfinite(t))
+    throw std::invalid_argument("IdealModel::charge_lost: t must be finite and >= 0");
+  double q = 0.0;
+  for (const auto& iv : profile.intervals()) {
+    if (iv.start >= t) break;
+    q += iv.current * std::min(iv.duration, t - iv.start);
+  }
+  return q;
+}
+
+}  // namespace basched::battery

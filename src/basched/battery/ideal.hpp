@@ -1,0 +1,22 @@
+/// \file ideal.hpp
+/// \brief Ideal (linear) battery model: σ(T) is exactly the charge delivered.
+///
+/// This is the model implicitly assumed by plain energy-minimizing DVS work;
+/// the paper's point is that real batteries deviate from it. Including it
+/// lets benches show how much battery capacity a schedule "looks like" it
+/// uses under the linear assumption vs. the nonlinear truth.
+#pragma once
+
+#include "basched/battery/model.hpp"
+
+namespace basched::battery {
+
+/// Linear charge integrator: σ(T) = ∫₀ᵀ I(t) dt.
+class IdealModel final : public BatteryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "ideal"; }
+
+  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+};
+
+}  // namespace basched::battery

@@ -1,0 +1,80 @@
+#include "basched/battery/lifetime.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/battery/model.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::battery {
+
+namespace {
+
+/// Bisects for the σ = alpha crossing inside [lo, hi] where σ(lo) < alpha and
+/// σ(hi) >= alpha.
+double bisect_crossing(const BatteryModel& model, const DischargeProfile& profile, double alpha,
+                       double lo, double hi, double tol) {
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.charge_lost(profile, mid) >= alpha)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace
+
+std::optional<double> find_lifetime(const BatteryModel& model, const DischargeProfile& profile,
+                                    double alpha, const LifetimeOptions& opts) {
+  if (alpha <= 0.0) throw std::invalid_argument("find_lifetime: alpha must be > 0");
+  BASCHED_ASSERT(opts.samples_per_interval >= 1);
+
+  // σ only grows while current flows, so the first crossing (if any) lies in
+  // a discharge interval. σ need not be monotone *within* an interval — a
+  // light load following a heavy burst can let recovery outpace consumption,
+  // producing an interior peak — so every interval is scanned at
+  // samples_per_interval resolution (an interior crossing narrower than one
+  // sample step is below the method's resolution, as in the paper's own
+  // "evaluate Eq. 1 for increasing T" procedure).
+  for (const auto& iv : profile.intervals()) {
+    if (iv.current <= 0.0) continue;
+    double lo = iv.start;
+    if (model.charge_lost(profile, lo) >= alpha) return lo;
+    const double step = iv.duration / opts.samples_per_interval;
+    for (int j = 1; j <= opts.samples_per_interval; ++j) {
+      const double t = (j == opts.samples_per_interval) ? iv.end() : iv.start + j * step;
+      if (model.charge_lost(profile, t) >= alpha)
+        return bisect_crossing(model, profile, alpha, lo, t, opts.tolerance);
+      lo = t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> constant_load_lifetime(const BatteryModel& model, double current,
+                                             double alpha, double max_time) {
+  if (current <= 0.0) throw std::invalid_argument("constant_load_lifetime: current must be > 0");
+  if (alpha <= 0.0) throw std::invalid_argument("constant_load_lifetime: alpha must be > 0");
+
+  // Grow the horizon geometrically until σ(end) >= alpha, then search within.
+  double horizon = alpha / current;  // ideal-battery lifetime as a starting guess
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) horizon = 1.0;
+  while (horizon <= max_time) {
+    const DischargeProfile p = constant_load(current, horizon);
+    if (model.charge_lost(p, horizon) >= alpha) {
+      LifetimeOptions opts;
+      opts.samples_per_interval = 256;
+      return find_lifetime(model, p, alpha, opts);
+    }
+    horizon *= 2.0;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> BatteryModel::lifetime(const DischargeProfile& profile, double alpha) const {
+  return find_lifetime(*this, profile, alpha);
+}
+
+}  // namespace basched::battery

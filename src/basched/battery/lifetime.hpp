@@ -1,0 +1,41 @@
+/// \file lifetime.hpp
+/// \brief Battery-lifetime estimation utilities.
+///
+/// The paper estimates lifetime by "evaluating Equation 1 for increasing
+/// values of T and stopping where σ ≅ α". We implement that idea robustly:
+/// scan each discharge interval (σ can only grow while current flows) and
+/// refine the first crossing with bisection.
+#pragma once
+
+#include <optional>
+
+#include "basched/battery/discharge_profile.hpp"
+
+namespace basched::battery {
+
+class BatteryModel;
+
+/// Options for the crossing search.
+struct LifetimeOptions {
+  int samples_per_interval = 64;  ///< coarse scan resolution inside each interval
+  double tolerance = 1e-9;        ///< absolute bisection tolerance (minutes)
+};
+
+/// Finds the earliest t with model.charge_lost(profile, t) >= alpha, or
+/// std::nullopt if no such t exists within the profile (battery survives).
+/// Correct for any model whose σ is non-decreasing during discharge and
+/// non-increasing during rest. Throws std::invalid_argument if alpha <= 0.
+[[nodiscard]] std::optional<double> find_lifetime(const BatteryModel& model,
+                                                  const DischargeProfile& profile, double alpha,
+                                                  const LifetimeOptions& opts = {});
+
+/// Lifetime under a constant load `current` (mA) starting at t = 0, i.e. the
+/// earliest t with σ(t) >= alpha where the profile is a single unbounded
+/// constant-current interval. Returns std::nullopt if the battery survives
+/// `max_time` minutes. Throws std::invalid_argument if current <= 0 or
+/// alpha <= 0.
+[[nodiscard]] std::optional<double> constant_load_lifetime(const BatteryModel& model,
+                                                           double current, double alpha,
+                                                           double max_time = 1e7);
+
+}  // namespace basched::battery

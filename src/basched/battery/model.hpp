@@ -1,0 +1,44 @@
+/// \file model.hpp
+/// \brief Abstract battery-model interface.
+///
+/// Every model maps a discharge profile to an *apparent charge lost* function
+/// σ(T) (mA·min). For an ideal battery σ equals the charge actually
+/// delivered; nonlinear models additionally count charge that is
+/// *temporarily unavailable* because of the rate-capacity effect, and let it
+/// come back during rest (recovery effect). A battery of capacity α is dead
+/// at the earliest T with σ(T) = α.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "basched/battery/discharge_profile.hpp"
+
+namespace basched::battery {
+
+/// Interface shared by all battery models in basched.
+class BatteryModel {
+ public:
+  virtual ~BatteryModel() = default;
+
+  /// Short human-readable model name (e.g. "rakhmatov-vrudhula").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Apparent charge lost σ(T) in mA·min, for T >= 0. Intervals beyond T
+  /// (or the parts of them past T) do not contribute.
+  [[nodiscard]] virtual double charge_lost(const DischargeProfile& profile, double t) const = 0;
+
+  /// Earliest time at which σ(t) >= alpha (battery death), or std::nullopt if
+  /// the battery survives the entire profile. The default implementation
+  /// scans discharge intervals and refines the crossing by bisection, which
+  /// is correct for any model whose σ is non-decreasing while current flows.
+  [[nodiscard]] virtual std::optional<double> lifetime(const DischargeProfile& profile,
+                                                       double alpha) const;
+
+  /// Convenience: σ evaluated at the profile's end time.
+  [[nodiscard]] double charge_lost_at_end(const DischargeProfile& profile) const {
+    return charge_lost(profile, profile.end_time());
+  }
+};
+
+}  // namespace basched::battery

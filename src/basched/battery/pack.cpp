@@ -1,0 +1,134 @@
+#include "basched/battery/pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "basched/battery/lifetime.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::battery {
+
+BatteryPack::BatteryPack(const BatteryModel& model, std::vector<double> capacities)
+    : model_(&model), capacities_(std::move(capacities)) {
+  if (capacities_.empty()) throw std::invalid_argument("BatteryPack: at least one cell required");
+  for (double a : capacities_)
+    if (!(a > 0.0) || !std::isfinite(a))
+      throw std::invalid_argument("BatteryPack: cell capacities must be finite and > 0");
+}
+
+namespace {
+
+/// Would appending `iv` to `cell` keep its σ below `alpha` throughout the
+/// interval? If not, returns the death instant via `death`.
+bool cell_survives(const BatteryModel& model, const DischargeProfile& cell,
+                   const DischargeInterval& iv, double alpha, double* death) {
+  DischargeProfile probe = cell;
+  probe.append_at(iv.start, iv.duration, iv.current);
+  const auto crossing = find_lifetime(model, probe, alpha);
+  if (!crossing) return true;
+  // Earlier intervals were validated when they were appended, so any
+  // crossing lies inside the new interval.
+  BASCHED_ASSERT(*crossing >= iv.start - 1e-9);
+  if (death != nullptr) *death = *crossing;
+  return false;
+}
+
+}  // namespace
+
+PackResult BatteryPack::serve(const DischargeProfile& load, PackPolicy policy) const {
+  const std::size_t n = num_cells();
+  std::vector<DischargeProfile> cell_profiles(n);
+
+  PackResult result;
+  result.cell_sigma.assign(n, 0.0);
+  result.cell_intervals.assign(n, 0);
+
+  std::size_t rr_next = 0;
+  for (const auto& iv : load.intervals()) {
+    if (iv.current == 0.0) continue;  // rest benefits every cell implicitly
+
+    if (policy == PackPolicy::SplitEvenly) {
+      // Parallel wiring: each cell carries current/N; the pack fails the
+      // moment any cell dies.
+      DischargeInterval share = iv;
+      share.current = iv.current / static_cast<double>(n);
+      double first_death = iv.end();
+      bool any_dead = false;
+      for (std::size_t c = 0; c < n; ++c) {
+        double death = 0.0;
+        if (!cell_survives(*model_, cell_profiles[c], share, capacities_[c], &death)) {
+          any_dead = true;
+          first_death = std::min(first_death, death);
+        }
+      }
+      if (any_dead) {
+        result.failure_time = first_death;
+        for (std::size_t c = 0; c < n; ++c) {
+          // Include the fatal interval's prefix in the final accounting.
+          DischargeProfile upto = cell_profiles[c];
+          if (first_death > iv.start + 1e-12)
+            upto.append_at(iv.start, first_death - iv.start, share.current);
+          result.cell_sigma[c] = model_->charge_lost(upto, first_death);
+        }
+        return result;
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        cell_profiles[c].append_at(iv.start, iv.duration, share.current);
+        ++result.cell_intervals[c];
+      }
+      ++result.intervals_served;
+      continue;
+    }
+
+    std::vector<std::size_t> candidates;
+    if (policy == PackPolicy::RoundRobin) {
+      candidates.push_back(rr_next);
+      rr_next = (rr_next + 1) % n;
+    } else {
+      // All cells, least current σ first (σ evaluated at the interval start).
+      candidates.resize(n);
+      std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+      std::vector<double> sigma_now(n);
+      for (std::size_t c = 0; c < n; ++c)
+        sigma_now[c] = model_->charge_lost(cell_profiles[c], iv.start);
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](std::size_t a, std::size_t b) { return sigma_now[a] < sigma_now[b]; });
+    }
+
+    bool served = false;
+    double earliest_death = iv.end();
+    for (std::size_t c : candidates) {
+      double death = 0.0;
+      if (cell_survives(*model_, cell_profiles[c], iv, capacities_[c], &death)) {
+        cell_profiles[c].append_at(iv.start, iv.duration, iv.current);
+        ++result.cell_intervals[c];
+        ++result.intervals_served;
+        served = true;
+        break;
+      }
+      earliest_death = std::min(earliest_death, death);
+    }
+    if (!served) {
+      result.failure_time = earliest_death;
+      for (std::size_t c = 0; c < n; ++c)
+        result.cell_sigma[c] = model_->charge_lost(cell_profiles[c], earliest_death);
+      return result;
+    }
+  }
+
+  result.survived = true;
+  const double end = load.end_time();
+  for (std::size_t c = 0; c < n; ++c)
+    result.cell_sigma[c] = model_->charge_lost(cell_profiles[c], end);
+  return result;
+}
+
+PackResult BatteryPack::serve_monolithic(const DischargeProfile& load) const {
+  const double total = std::accumulate(capacities_.begin(), capacities_.end(), 0.0);
+  const BatteryPack mono(*model_, {total});
+  return mono.serve(load, PackPolicy::RoundRobin);
+}
+
+}  // namespace basched::battery

@@ -1,0 +1,86 @@
+/// \file pack.hpp
+/// \brief Multi-cell battery packs: time-switched or parallel current
+/// sharing, evaluated under any battery model.
+///
+/// Two distinct physical effects, both representable here and both tested:
+///
+///  * **Parallel splitting** (`SplitEvenly`): every interval's current is
+///    divided across the cells. Under a *rate-nonlinear* model (Peukert,
+///    exponent p > 1) each cell's apparent drain is superlinear in its
+///    current, so halving the per-cell rate more than halves the per-cell
+///    drain — a pack of N cells with total capacity C outlives a monolithic
+///    C battery by a factor up to N^(p-1). This is the classic
+///    multi-battery result (Benini et al.).
+///
+///  * **Time switching** (`RoundRobin` / `LeastLoaded`): each interval goes
+///    to one cell while the others rest and recover. Important honesty note:
+///    under models whose σ is *linear in current* (Rakhmatov–Vrudhula,
+///    KiBaM) switching redistributes apparent charge but cannot reduce its
+///    sum, so a switched pack of total capacity C never outlives the
+///    monolithic C battery (each cell carries at least its share of the
+///    delivered charge *plus* its own burst transients). Switching still
+///    matters for heterogeneous packs and per-cell current limits, and the
+///    `SwitchingCannotBeatMonolith` test pins the theory down.
+///
+/// Every cell sees its own discharge profile (its share of the intervals at
+/// their true global times, rest elsewhere) and dies when its own σ reaches
+/// its capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "basched/battery/discharge_profile.hpp"
+#include "basched/battery/model.hpp"
+
+namespace basched::battery {
+
+/// How the pack serves each interval.
+enum class PackPolicy {
+  RoundRobin,   ///< interval k goes to cell k mod N (the others rest)
+  LeastLoaded,  ///< the cell with the smallest σ at the interval's start
+  SplitEvenly,  ///< parallel wiring: every cell carries current/N
+};
+
+/// Outcome of serving a load profile from a pack.
+struct PackResult {
+  bool survived = false;              ///< every interval was served
+  double failure_time = 0.0;          ///< instant the serving cell died (if !survived)
+  std::size_t intervals_served = 0;   ///< fully served intervals
+  std::vector<double> cell_sigma;     ///< per-cell σ at the end (or failure)
+  std::vector<std::size_t> cell_intervals;  ///< per-cell served-interval counts
+};
+
+/// A pack of identical-chemistry cells evaluated under a shared model.
+///
+/// The model is held by reference and must outlive the pack. Cell capacities
+/// are individual (heterogeneous packs allowed).
+class BatteryPack {
+ public:
+  /// \param model       battery model shared by all cells
+  /// \param capacities  per-cell capacity α (mA·min), all > 0, at least one
+  /// Throws std::invalid_argument on an empty or non-positive capacity list.
+  BatteryPack(const BatteryModel& model, std::vector<double> capacities);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return capacities_.size(); }
+
+  /// Serves `load`'s intervals in order per `policy`. An interval is
+  /// *unserviceable* when the serving cell would die during it; LeastLoaded
+  /// then tries the remaining cells in ascending-σ order before giving up,
+  /// RoundRobin fails immediately (a fixed wiring cannot reroute), and
+  /// SplitEvenly fails when *any* cell dies (parallel cells share the bus).
+  /// Rest gaps apply to every cell (they all recover). Under SplitEvenly
+  /// each served interval counts once toward every cell's tally.
+  [[nodiscard]] PackResult serve(const DischargeProfile& load, PackPolicy policy) const;
+
+  /// Convenience: the lifetime of a *single* cell of capacity Σ capacities
+  /// under the same load (the monolithic-battery baseline). Returns the
+  /// PackResult of that one-cell pack.
+  [[nodiscard]] PackResult serve_monolithic(const DischargeProfile& load) const;
+
+ private:
+  const BatteryModel* model_;
+  std::vector<double> capacities_;
+};
+
+}  // namespace basched::battery

@@ -1,0 +1,29 @@
+#include "basched/battery/peukert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::battery {
+
+PeukertModel::PeukertModel(double p, double i_ref) : p_(p), i_ref_(i_ref) {
+  if (!(p >= 1.0) || !std::isfinite(p))
+    throw std::invalid_argument("PeukertModel: exponent must be finite and >= 1");
+  if (!(i_ref > 0.0) || !std::isfinite(i_ref))
+    throw std::invalid_argument("PeukertModel: rated current must be finite and > 0");
+}
+
+double PeukertModel::charge_lost(const DischargeProfile& profile, double t) const {
+  if (t < 0.0 || !std::isfinite(t))
+    throw std::invalid_argument("PeukertModel::charge_lost: t must be finite and >= 0");
+  double q = 0.0;
+  for (const auto& iv : profile.intervals()) {
+    if (iv.start >= t) break;
+    if (iv.current == 0.0) continue;
+    const double elapsed = std::min(iv.duration, t - iv.start);
+    q += i_ref_ * std::pow(iv.current / i_ref_, p_) * elapsed;
+  }
+  return q;
+}
+
+}  // namespace basched::battery

@@ -1,0 +1,41 @@
+/// \file peukert.hpp
+/// \brief Peukert's-law battery model.
+///
+/// Peukert's empirical law says a battery delivering constant current I lasts
+/// L = C / I^p for an exponent p >= 1 (p ≈ 1.1–1.3 for lead-acid, closer to
+/// 1.05 for Li-ion). Luo & Jha's battery-aware scheduler [5] built on a
+/// Peukert-style model, so it is the natural "previous generation"
+/// comparator for the Rakhmatov–Vrudhula model.
+///
+/// We use the standard piecewise generalization: each interval at current I
+/// consumes apparent charge at rate I_ref · (I / I_ref)^p, where I_ref is the
+/// rated (nominal) discharge current at which the battery achieves its rated
+/// capacity. At I == I_ref this reduces to the ideal model; higher currents
+/// are penalized superlinearly (rate-capacity effect). Peukert's law has *no*
+/// recovery effect — apparent charge never comes back during rest — which is
+/// exactly the qualitative gap the RV model fills.
+#pragma once
+
+#include "basched/battery/model.hpp"
+
+namespace basched::battery {
+
+/// Peukert's-law model with exponent `p` and rated current `i_ref` (mA).
+class PeukertModel final : public BatteryModel {
+ public:
+  /// Throws std::invalid_argument unless p >= 1 and i_ref > 0.
+  explicit PeukertModel(double p = 1.2, double i_ref = 100.0);
+
+  [[nodiscard]] std::string name() const override { return "peukert"; }
+
+  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+
+  [[nodiscard]] double exponent() const noexcept { return p_; }
+  [[nodiscard]] double rated_current() const noexcept { return i_ref_; }
+
+ private:
+  double p_;
+  double i_ref_;
+};
+
+}  // namespace basched::battery

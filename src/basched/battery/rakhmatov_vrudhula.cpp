@@ -1,0 +1,56 @@
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::battery {
+
+RakhmatovVrudhulaModel::RakhmatovVrudhulaModel(double beta, int terms)
+    : beta_(beta), beta_sq_(beta * beta), terms_(terms) {
+  if (!(beta > 0.0) || !std::isfinite(beta))
+    throw std::invalid_argument("RakhmatovVrudhulaModel: beta must be finite and > 0");
+  if (terms < 1) throw std::invalid_argument("RakhmatovVrudhulaModel: terms must be >= 1");
+}
+
+double RakhmatovVrudhulaModel::series(double a, double b) const noexcept {
+  BASCHED_ASSERT(a >= -1e-12 && b >= a - 1e-12);
+  a = std::max(a, 0.0);
+  b = std::max(b, a);
+  double sum = 0.0;
+  for (int m = 1; m <= terms_; ++m) {
+    const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+    sum += (std::exp(-bm * a) - std::exp(-bm * b)) / bm;
+  }
+  return sum;
+}
+
+double RakhmatovVrudhulaModel::charge_lost(const DischargeProfile& profile, double t) const {
+  if (t < 0.0 || !std::isfinite(t))
+    throw std::invalid_argument("RakhmatovVrudhulaModel::charge_lost: t must be finite and >= 0");
+  double sigma = 0.0;
+  for (const auto& iv : profile.intervals()) {
+    if (iv.start >= t) break;  // intervals are sorted; nothing after t contributes
+    if (iv.current == 0.0) continue;
+    const double elapsed = std::min(iv.duration, t - iv.start);
+    // delivered charge + 2 * unavailable-charge series, per Eq. 1. For an
+    // interval still active at t, (t - start - elapsed) == 0 and the series'
+    // first exponential is exp(0) = 1, which is exactly the model's
+    // "discharge in progress" form.
+    sigma += iv.current * (elapsed + 2.0 * series(t - iv.start - elapsed, t - iv.start));
+  }
+  return sigma;
+}
+
+double RakhmatovVrudhulaModel::unavailable_charge(const DischargeProfile& profile, double t) const {
+  double delivered = 0.0;
+  for (const auto& iv : profile.intervals()) {
+    if (iv.start >= t) break;
+    delivered += iv.current * std::min(iv.duration, t - iv.start);
+  }
+  return charge_lost(profile, t) - delivered;
+}
+
+}  // namespace basched::battery

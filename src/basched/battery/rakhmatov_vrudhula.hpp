@@ -1,0 +1,59 @@
+/// \file rakhmatov_vrudhula.hpp
+/// \brief The Rakhmatov–Vrudhula analytical high-level battery model
+/// (ICCAD 2001), i.e. Equation 1 of Khan & Vemuri (DATE 2005).
+///
+/// For a piecewise-constant discharge profile with intervals (t_k, Δ_k, I_k)
+/// the apparent charge lost by time T is
+///
+///   σ(T) = Σ_k I_k · [ δ_k + 2 · Σ_{m=1}^{M} ( e^{-β²m²(T - t_k - δ_k)}
+///                                            - e^{-β²m²(T - t_k)} ) / (β²m²) ]
+///
+/// where δ_k = min(Δ_k, max(0, T - t_k)) is the part of interval k elapsed by
+/// T. The first term is the charge actually delivered; the exponential sum is
+/// the charge made temporarily *unavailable* by diffusion limits (rate
+/// capacity effect), which decays back to zero after the load is removed
+/// (recovery effect). β (min^-1/2) captures the battery's nonlinearity:
+/// β → ∞ approaches an ideal battery, small β means strong rate dependence.
+/// The paper truncates the series at M = 10 terms and uses β = 0.273 for its
+/// experiments; both are defaults here.
+#pragma once
+
+#include "basched/battery/model.hpp"
+
+namespace basched::battery {
+
+/// Rakhmatov–Vrudhula diffusion-based analytical battery model.
+class RakhmatovVrudhulaModel final : public BatteryModel {
+ public:
+  /// Number of exponential series terms used by the paper.
+  static constexpr int kPaperTerms = 10;
+  /// β value used in the paper's G3 illustrative example (min^-1/2).
+  static constexpr double kPaperBeta = 0.273;
+
+  /// \param beta  nonlinearity parameter β > 0 (min^-1/2)
+  /// \param terms series truncation M >= 1
+  /// Throws std::invalid_argument on out-of-range parameters.
+  explicit RakhmatovVrudhulaModel(double beta = kPaperBeta, int terms = kPaperTerms);
+
+  [[nodiscard]] std::string name() const override { return "rakhmatov-vrudhula"; }
+
+  /// σ(T) as defined above. O(intervals · terms).
+  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+
+  /// The unavailable-charge component only: σ(T) minus the charge delivered
+  /// by time T. Non-negative; tends to 0 as T → ∞ after the last interval.
+  [[nodiscard]] double unavailable_charge(const DischargeProfile& profile, double t) const;
+
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] int terms() const noexcept { return terms_; }
+
+ private:
+  /// Σ_{m=1..M} (e^{-β²m²·a} - e^{-β²m²·b}) / (β²m²) for 0 <= a <= b.
+  [[nodiscard]] double series(double a, double b) const noexcept;
+
+  double beta_;
+  double beta_sq_;
+  int terms_;
+};
+
+}  // namespace basched::battery

@@ -1,0 +1,22 @@
+#include "basched/core/battery_cost.hpp"
+
+namespace basched::core {
+
+CostResult calculate_battery_cost_unchecked(const graph::TaskGraph& graph,
+                                            const Schedule& schedule,
+                                            const battery::BatteryModel& model) {
+  const battery::DischargeProfile profile = schedule.to_profile(graph);
+  CostResult r;
+  r.duration = profile.end_time();
+  r.energy = profile.total_charge();
+  r.sigma = model.charge_lost(profile, r.duration);
+  return r;
+}
+
+CostResult calculate_battery_cost(const graph::TaskGraph& graph, const Schedule& schedule,
+                                  const battery::BatteryModel& model) {
+  schedule.validate(graph);
+  return calculate_battery_cost_unchecked(graph, schedule, model);
+}
+
+}  // namespace basched::core

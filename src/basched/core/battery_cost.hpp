@@ -1,0 +1,32 @@
+/// \file battery_cost.hpp
+/// \brief The paper's CalculateBatteryCost: battery charge consumed by a
+/// schedule, evaluated with a (nonlinear) battery model.
+#pragma once
+
+#include "basched/battery/model.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// Battery cost of one schedule.
+struct CostResult {
+  double sigma = 0.0;     ///< apparent charge lost σ at schedule end (mA·min)
+  double duration = 0.0;  ///< makespan Δ (minutes)
+  double energy = 0.0;    ///< plain Σ I·D (mA·min), for reference
+};
+
+/// Builds the back-to-back discharge profile of `schedule` and evaluates
+/// model σ at its end time — the quantity the paper's Tables 3 and 4 report.
+/// The schedule is validated first (throws std::invalid_argument when it is
+/// not a topological order or the assignment is malformed).
+[[nodiscard]] CostResult calculate_battery_cost(const graph::TaskGraph& graph,
+                                                const Schedule& schedule,
+                                                const battery::BatteryModel& model);
+
+/// Variant without sequence/assignment validation, for hot inner loops where
+/// the caller guarantees validity (asserts in debug via the profile builder).
+[[nodiscard]] CostResult calculate_battery_cost_unchecked(const graph::TaskGraph& graph,
+                                                          const Schedule& schedule,
+                                                          const battery::BatteryModel& model);
+
+}  // namespace basched::core

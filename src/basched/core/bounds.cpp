@@ -1,0 +1,41 @@
+#include "basched/core/bounds.hpp"
+
+#include <algorithm>
+
+namespace basched::core {
+
+double sigma_in_order(const std::vector<Load>& loads, const battery::BatteryModel& model) {
+  battery::DischargeProfile p;
+  for (const Load& l : loads) p.append(l.duration, l.current);
+  return model.charge_lost(p, p.end_time());
+}
+
+double sigma_noninc_current(std::vector<Load> loads, const battery::BatteryModel& model) {
+  std::stable_sort(loads.begin(), loads.end(),
+                   [](const Load& a, const Load& b) { return a.current > b.current; });
+  return sigma_in_order(loads, model);
+}
+
+double sigma_nondec_current(std::vector<Load> loads, const battery::BatteryModel& model) {
+  std::stable_sort(loads.begin(), loads.end(),
+                   [](const Load& a, const Load& b) { return a.current < b.current; });
+  return sigma_in_order(loads, model);
+}
+
+std::vector<Load> loads_of(const graph::TaskGraph& graph, const Assignment& assignment) {
+  std::vector<Load> loads;
+  loads.reserve(graph.num_tasks());
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v) {
+    const auto& pt = graph.task(v).point(assignment.at(v));
+    loads.push_back({pt.current, pt.duration});
+  }
+  return loads;
+}
+
+SigmaBounds sigma_bounds(const graph::TaskGraph& graph, const Assignment& assignment,
+                         const battery::BatteryModel& model) {
+  const auto loads = loads_of(graph, assignment);
+  return {sigma_noninc_current(loads, model), sigma_nondec_current(loads, model)};
+}
+
+}  // namespace basched::core

@@ -1,0 +1,53 @@
+/// \file bounds.hpp
+/// \brief Analytic sequencing bounds from §3 of the paper.
+///
+/// Rakhmatov et al. [1] proved that for n *independent* tasks (dependencies
+/// ignored) and a sufficiently large battery, executing them in
+/// non-increasing order of current minimizes σ at the end of the profile and
+/// non-decreasing order maximizes it. For a task graph these two orders
+/// (which generally violate dependencies) bound the achievable cost of any
+/// legal sequence under a *fixed* design-point assignment — a cheap sanity
+/// envelope used by tests and the bounds bench.
+#pragma once
+
+#include <vector>
+
+#include "basched/battery/model.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// (current, duration) pairs of whatever jobs are being ordered.
+struct Load {
+  double current = 0.0;
+  double duration = 0.0;
+};
+
+/// σ at the end of the back-to-back profile obtained by executing `loads` in
+/// non-increasing current order (the [1] lower bound).
+[[nodiscard]] double sigma_noninc_current(std::vector<Load> loads,
+                                          const battery::BatteryModel& model);
+
+/// σ for the non-decreasing current order (the [1] upper bound).
+[[nodiscard]] double sigma_nondec_current(std::vector<Load> loads,
+                                          const battery::BatteryModel& model);
+
+/// σ for the given explicit order.
+[[nodiscard]] double sigma_in_order(const std::vector<Load>& loads,
+                                    const battery::BatteryModel& model);
+
+/// Extracts the loads of a graph under a design-point assignment.
+[[nodiscard]] std::vector<Load> loads_of(const graph::TaskGraph& graph,
+                                         const Assignment& assignment);
+
+/// Bounds of a (graph, assignment) pair, dependencies ignored.
+struct SigmaBounds {
+  double lower = 0.0;  ///< non-increasing-current order
+  double upper = 0.0;  ///< non-decreasing-current order
+};
+
+[[nodiscard]] SigmaBounds sigma_bounds(const graph::TaskGraph& graph,
+                                       const Assignment& assignment,
+                                       const battery::BatteryModel& model);
+
+}  // namespace basched::core

@@ -1,0 +1,157 @@
+#include "basched/core/design_point_chooser.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/core/list_scheduler.hpp"
+#include "basched/graph/topology.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+namespace {
+
+double total_duration(const graph::TaskGraph& graph, const Assignment& assignment) {
+  double t = 0.0;
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    t += graph.task(v).point(assignment[v]).duration;
+  return t;
+}
+
+double total_energy(const graph::TaskGraph& graph, const Assignment& assignment) {
+  double e = 0.0;
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    e += graph.task(v).point(assignment[v]).energy();
+  return e;
+}
+
+double sequence_cif(const graph::TaskGraph& graph, const std::vector<graph::TaskId>& sequence,
+                    const Assignment& assignment) {
+  std::vector<double> currents;
+  currents.reserve(sequence.size());
+  for (graph::TaskId v : sequence) currents.push_back(graph.task(v).point(assignment[v]).current);
+  return current_increase_fraction(currents);
+}
+
+}  // namespace
+
+DpfFactors calculate_dpf(const graph::TaskGraph& graph,
+                         const std::vector<graph::TaskId>& sequence,
+                         const std::vector<graph::TaskId>& energy_order,
+                         const Assignment& assignment, const std::vector<bool>& fixed_or_tagged,
+                         std::size_t window_start, double deadline, const GraphStats& stats) {
+  const std::size_t n = graph.num_tasks();
+  const std::size_t m = graph.num_design_points();
+  BASCHED_ASSERT(assignment.size() == n && fixed_or_tagged.size() == n);
+  BASCHED_ASSERT(window_start < m);
+
+  // Scratch copies (the paper's Stemp / Etemp).
+  Assignment a = assignment;
+  std::vector<bool> efixed = fixed_or_tagged;
+  // A free task already at the window's fastest column cannot be upgraded.
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (a[v] <= window_start) efixed[v] = true;
+
+  double te = total_duration(graph, a);
+
+  // Upgrade free tasks, cheapest average energy first, until the deadline is
+  // met or nobody is left to upgrade.
+  while (te > deadline) {
+    graph::TaskId q = n;  // sentinel
+    for (graph::TaskId cand : energy_order) {
+      if (!efixed[cand]) {
+        q = cand;
+        break;
+      }
+    }
+    if (q == n) {
+      // Deadline unmeetable with this tag: DPF = ∞; ENR/CIF still reported
+      // on the scratch state, per Fig. 2.
+      return {energy_ratio(total_energy(graph, a), stats), sequence_cif(graph, sequence, a),
+              kInfeasible};
+    }
+    BASCHED_ASSERT(a[q] > window_start);
+    te -= graph.task(q).point(a[q]).duration;
+    --a[q];
+    te += graph.task(q).point(a[q]).duration;
+    if (a[q] == window_start) efixed[q] = true;
+  }
+
+  // DPF per Eq. 2/3 over the *free* tasks (free in S: not fixed, not tagged).
+  std::vector<std::size_t> counts(m, 0);
+  std::size_t free_total = 0;
+  for (graph::TaskId v = 0; v < n; ++v) {
+    if (!fixed_or_tagged[v]) {
+      ++counts[a[v]];
+      ++free_total;
+    }
+  }
+  double dpf = 0.0;
+  if (free_total == 0) {
+    // "If we are considering the last task we set DPF equal to the slack
+    // ratio so that more emphasis is given to decreasing the slack."
+    dpf = (deadline - te) / deadline;
+  } else {
+    dpf = dpf_from_histogram(counts, free_total);
+  }
+  return {energy_ratio(total_energy(graph, a), stats), sequence_cif(graph, sequence, a), dpf};
+}
+
+Assignment choose_design_points(const graph::TaskGraph& graph,
+                                const std::vector<graph::TaskId>& sequence,
+                                std::size_t window_start, double deadline,
+                                const GraphStats& stats, const ChooserOptions& options) {
+  const std::size_t n = graph.num_tasks();
+  const std::size_t m = graph.num_design_points();
+  if (n == 0) throw std::invalid_argument("choose_design_points: empty graph");
+  if (window_start >= m) throw std::invalid_argument("choose_design_points: window_start >= m");
+  if (!(deadline > 0.0)) throw std::invalid_argument("choose_design_points: deadline must be > 0");
+  if (!graph::is_topological_order(graph, sequence))
+    throw std::invalid_argument("choose_design_points: sequence is not a topological order");
+
+  const std::vector<graph::TaskId> energy_order = energy_vector(graph);
+
+  Assignment assign(n, m - 1);           // everyone starts on the lowest-power column
+  std::vector<bool> fixed(n, false);     // fixed in S
+  double tsum = 0.0;                     // execution time of the fixed tasks
+
+  std::size_t first_pos = n;  // first sequence position that still needs a choice (exclusive)
+  if (options.pin_last_task) {
+    const graph::TaskId last = sequence.back();
+    fixed[last] = true;  // pinned to column m-1
+    tsum += graph.task(last).point(m - 1).duration;
+    first_pos = n - 1;
+  }
+
+  for (std::size_t pos = first_pos; pos-- > 0;) {
+    const graph::TaskId tid = sequence[pos];
+    double best_b = kInfeasible;
+    std::size_t best_j = window_start;  // fall back to the fastest column if every tag is infeasible
+    bool found = false;
+
+    for (std::size_t j = m; j-- > window_start;) {  // j = m-1 downto window_start
+      assign[tid] = j;                              // tag
+      fixed[tid] = true;
+      const double ttemp = tsum + graph.task(tid).point(j).duration;
+      const double sr = slack_ratio(deadline, ttemp);
+      const double cr = current_ratio(graph.task(tid).point(j).current, stats);
+      const DpfFactors f =
+          calculate_dpf(graph, sequence, energy_order, assign, fixed, window_start, deadline, stats);
+      const double b = options.weights.combine(sr, cr, f.enr, f.cif, f.dpf);
+      fixed[tid] = false;  // untag
+      if (!std::isinf(b) && b < best_b) {
+        best_b = b;
+        best_j = j;
+        found = true;
+      }
+    }
+    if (!found) best_j = window_start;  // infeasible either way; run as fast as allowed
+
+    assign[tid] = best_j;
+    fixed[tid] = true;
+    tsum += graph.task(tid).point(best_j).duration;
+  }
+  return assign;
+}
+
+}  // namespace basched::core

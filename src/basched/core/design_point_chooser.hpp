@@ -1,0 +1,95 @@
+/// \file design_point_chooser.hpp
+/// \brief ChooseDesignPoints + CalculateDPF (Figs. 1 and 2 of the paper): the
+/// backward pass that assigns one design-point column to every task of a
+/// given sequence.
+///
+/// The pass walks the sequence from the last task to the first. The last task
+/// is pinned to the lowest-power column (paper: "S(n,m) = 1"). For every
+/// earlier task the pass *tags* each column j inside the window
+/// [window_start .. m-1], scores it with the suitability
+/// B = SR + CR + ENR + CIF + DPF, and *fixes* the task at the column with the
+/// smallest B (ties go to the lower-power column, which the scan order makes
+/// automatic).
+///
+/// Scoring a tagged column requires the DPF simulation (CalculateDPF,
+/// Fig. 2): on a scratch copy of the assignment, *free* tasks (those not yet
+/// fixed/tagged — the ones earlier in the sequence, still parked on the
+/// lowest-power column) are upgraded one column at a time, in increasing
+/// average-energy order (the paper's Energy Vector E), until the tentative
+/// total execution time meets the deadline. If the deadline cannot be met
+/// even with every free task at the window's fastest column, DPF = +∞ (the
+/// tagged choice is infeasible). Otherwise DPF scores how far up the power
+/// scale the free tasks had to move (Eq. 2/3, `dpf_from_histogram`), and ENR
+/// / CIF are evaluated on the scratch assignment (CalculateFactors).
+///
+/// Interpretation notes vs. the paper's garbled pseudocode (DESIGN.md §5.3):
+///  * "first free task in E" = the free task with the smallest average
+///    energy (Fig. 4's E = [3,4,5,1,2] picks T1 before T2).
+///  * a free task that reaches column window_start is fixed in Etemp (cannot
+///    be upgraded further), per the "p = WindowStart+1 → fix" branch.
+///  * DPF uses Eq. 2/3 over free tasks — weight (m-k)/(m-1) for 1-based
+///    column k — which reproduces Fig. 4's worked example (DPF = 1/3).
+///  * when the tagged task is the first of the sequence (no free tasks
+///    remain), DPF = (d - Te)/d, the "last free task" special case.
+#pragma once
+
+#include <vector>
+
+#include "basched/core/metrics.hpp"
+#include "basched/core/schedule.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::core {
+
+/// Configuration for the chooser (and everything above it).
+struct ChooserOptions {
+  FactorWeights weights{};  ///< B-term multipliers (1s reproduce the paper)
+  /// Paper-faithful pinning of the sequence's last task to the lowest-power
+  /// column. Disable to let the last task compete like any other (an
+  /// ablation; also rescues single-task graphs with tight deadlines).
+  bool pin_last_task = true;
+};
+
+/// Result of one CalculateDPF evaluation (the three factors it produces).
+struct DpfFactors {
+  double enr = 0.0;
+  double cif = 0.0;
+  double dpf = 0.0;  ///< +∞ when the tagged choice makes the deadline unmeetable
+};
+
+/// CalculateDPF (Fig. 2), exposed for unit testing against the paper's
+/// worked example.
+///
+/// \param graph        the task graph
+/// \param sequence     execution order L (positions, not ids)
+/// \param energy_order tasks in increasing average-energy order (Energy
+///                     Vector E)
+/// \param assignment   current columns per task; free tasks sit at m-1 (or
+///                     wherever the caller parked them), fixed tasks at their
+///                     fixed columns, and the tagged task at the tagged column
+/// \param fixed_or_tagged flags per task: true for tasks fixed in S *and* for
+///                     the tagged task (these are never upgraded)
+/// \param window_start lowest (fastest) column the window allows
+/// \param deadline     the task-graph deadline d
+/// \param stats        graph normalization constants
+[[nodiscard]] DpfFactors calculate_dpf(const graph::TaskGraph& graph,
+                                       const std::vector<graph::TaskId>& sequence,
+                                       const std::vector<graph::TaskId>& energy_order,
+                                       const Assignment& assignment,
+                                       const std::vector<bool>& fixed_or_tagged,
+                                       std::size_t window_start, double deadline,
+                                       const GraphStats& stats);
+
+/// ChooseDesignPoints (Fig. 1): returns the column assignment for `sequence`
+/// under the window [window_start .. m-1]. Always returns a complete
+/// assignment; it may exceed the deadline when no feasible assignment exists
+/// within this window (the window evaluator checks and discards those).
+/// Throws std::invalid_argument on malformed inputs (bad window, sequence
+/// not a permutation).
+[[nodiscard]] Assignment choose_design_points(const graph::TaskGraph& graph,
+                                              const std::vector<graph::TaskId>& sequence,
+                                              std::size_t window_start, double deadline,
+                                              const GraphStats& stats,
+                                              const ChooserOptions& options = {});
+
+}  // namespace basched::core

@@ -1,0 +1,96 @@
+#include "basched/core/iterative_scheduler.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+IterativeResult schedule_battery_aware(const graph::TaskGraph& graph, double deadline,
+                                       const battery::BatteryModel& model,
+                                       const IterativeOptions& options) {
+  graph.validate();
+  if (!(deadline > 0.0))
+    throw std::invalid_argument("schedule_battery_aware: deadline must be > 0");
+
+  const GraphStats stats(graph);
+  IterativeResult result;
+
+  std::vector<graph::TaskId> sequence = sequence_dec_energy(graph);
+  double prev_iter_cost = std::numeric_limits<double>::infinity();
+  double global_best = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    IterationRecord rec;
+    rec.sequence = sequence;
+
+    auto sweep = evaluate_windows(graph, sequence, deadline, model, stats, options.window);
+    if (!sweep) {
+      result.error = "deadline unmeetable: even the fastest design-points exceed it (d < CT(0))";
+      result.iterations.push_back(std::move(rec));
+      return result;
+    }
+    rec.windows = std::move(*sweep);
+
+    double min_b_cost = std::numeric_limits<double>::infinity();
+    Schedule iter_best;
+    if (rec.windows.feasible()) {
+      const WindowResult& w = rec.windows.best_window();
+      min_b_cost = w.sigma;
+      iter_best = Schedule{sequence, w.assignment};
+    }
+
+    // FindWeightedSequence: Eq. 4 re-sequencing from the sweep's assignment.
+    // The makespan is order-independent, so (Ltemp, S) is feasible whenever
+    // (L, S) is.
+    if (options.resequence && rec.windows.feasible()) {
+      const Assignment& s = rec.windows.best_window().assignment;
+      rec.weighted_sequence = weighted_sequence(graph, s);
+      const CostResult wc =
+          calculate_battery_cost_unchecked(graph, Schedule{rec.weighted_sequence, s}, model);
+      rec.weighted_sigma = wc.sigma;
+      if (wc.sigma < min_b_cost) {
+        min_b_cost = wc.sigma;
+        iter_best = Schedule{rec.weighted_sequence, s};
+        rec.weighted_improved = true;
+      }
+    }
+    rec.best_sigma = min_b_cost;
+
+    // Track the best schedule seen across all iterations.
+    if (rec.windows.feasible() && min_b_cost < global_best) {
+      global_best = min_b_cost;
+      result.schedule = iter_best;
+      result.feasible = true;
+    }
+
+    const bool improved = min_b_cost < prev_iter_cost;
+    const std::vector<graph::TaskId> next_sequence =
+        (options.resequence && rec.windows.feasible()) ? rec.weighted_sequence : sequence;
+    result.iterations.push_back(std::move(rec));
+
+    // Termination: "if the solution does not improve over two consecutive
+    // iterations the algorithm terminates" — i.e. stop as soon as an
+    // iteration's best fails to beat the previous iteration's.
+    if (!improved) break;
+    prev_iter_cost = min_b_cost;
+
+    if (!options.resequence) break;  // nothing changes without re-sequencing
+    sequence = next_sequence;
+  }
+
+  if (result.feasible) {
+    const CostResult c = calculate_battery_cost_unchecked(graph, result.schedule, model);
+    result.sigma = c.sigma;
+    result.duration = c.duration;
+    result.energy = c.energy;
+  } else if (result.error.empty()) {
+    result.error = "no deadline-respecting schedule found by the heuristic";
+  }
+  return result;
+}
+
+}  // namespace basched::core

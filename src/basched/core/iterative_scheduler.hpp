@@ -1,0 +1,69 @@
+/// \file iterative_scheduler.hpp
+/// \brief BatteryAwareSQNDPAllocation (Fig. 1): the paper's top-level
+/// iterative loop that alternates window sweeps with weighted re-sequencing.
+///
+/// Each iteration:
+///  1. run the window sweep on the current sequence L (EvaluateWindows) and
+///     take its best assignment S with cost MinBCost;
+///  2. re-sequence with Eq. 4 weights computed from S (FindWeightedSequence),
+///     yielding Ltemp, and evaluate (Ltemp, S) — if it beats MinBCost, it
+///     becomes the iteration's solution;
+///  3. terminate when the iteration's best cost fails to improve on the
+///     previous iteration's (the paper's "no improvement over two
+///     consecutive iterations" rule); otherwise continue with L = Ltemp.
+///
+/// The full per-iteration trace (sequences, every window's σ/Δ, the weighted
+/// sequence and its cost) is recorded so the benches can regenerate the
+/// paper's Tables 2 and 3 directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basched/battery/model.hpp"
+#include "basched/core/window_evaluator.hpp"
+
+namespace basched::core {
+
+/// Everything that happened in one iteration of the top-level loop.
+struct IterationRecord {
+  std::vector<graph::TaskId> sequence;          ///< L used by this iteration
+  WindowsOutcome windows;                       ///< the sweep's per-window results
+  std::vector<graph::TaskId> weighted_sequence; ///< Ltemp (Eq. 4 re-sequencing)
+  double weighted_sigma = 0.0;                  ///< cost of (Ltemp, best S); 0 if sweep failed
+  double best_sigma = 0.0;                      ///< iteration's MinBCost (min of sweep and weighted)
+  bool weighted_improved = false;               ///< weighted beat the sweep's best
+};
+
+/// Options of the full algorithm.
+struct IterativeOptions {
+  WindowOptions window{};
+  /// When false, skip the Eq. 4 re-sequencing (ablation: the algorithm
+  /// becomes a single window sweep on the initial sequence).
+  bool resequence = true;
+  /// Hard cap on iterations (the paper's loop terminates on its own in a
+  /// handful of iterations; this is a safety net against cycling).
+  int max_iterations = 64;
+};
+
+/// Result of the full algorithm.
+struct IterativeResult {
+  bool feasible = false;   ///< a deadline-respecting schedule was found
+  Schedule schedule;       ///< best schedule (valid iff feasible)
+  double sigma = 0.0;      ///< its battery cost σ (mA·min)
+  double duration = 0.0;   ///< its makespan Δ (minutes)
+  double energy = 0.0;     ///< its plain energy Σ I·D (mA·min)
+  std::vector<IterationRecord> iterations;  ///< full trace
+  std::string error;       ///< non-empty when !feasible
+};
+
+/// Runs the paper's algorithm on `graph` with the given deadline and battery
+/// model. Throws std::invalid_argument on an empty or cyclic graph or a
+/// non-positive deadline; an unmeetable deadline is reported via
+/// IterativeResult::feasible == false (the paper's error exit).
+[[nodiscard]] IterativeResult schedule_battery_aware(const graph::TaskGraph& graph,
+                                                     double deadline,
+                                                     const battery::BatteryModel& model,
+                                                     const IterativeOptions& options = {});
+
+}  // namespace basched::core

@@ -1,0 +1,123 @@
+#include "basched/core/list_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "basched/graph/topology.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+std::vector<graph::TaskId> list_schedule(const graph::TaskGraph& graph,
+                                         std::span<const double> weights) {
+  const std::size_t n = graph.num_tasks();
+  if (weights.size() != n)
+    throw std::invalid_argument("list_schedule: weights size != task count");
+
+  std::vector<std::size_t> indeg(n);
+  for (graph::TaskId v = 0; v < n; ++v) indeg[v] = graph.predecessors(v).size();
+
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+
+  std::vector<graph::TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    // Largest weight wins; ties go to the smaller id for determinism.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (weights[ready[i]] > weights[ready[best]] ||
+          (weights[ready[i]] == weights[ready[best]] && ready[i] < ready[best]))
+        best = i;
+    }
+    const graph::TaskId v = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    order.push_back(v);
+    for (graph::TaskId w : graph.successors(v))
+      if (--indeg[w] == 0) ready.push_back(w);
+  }
+  if (order.size() != n) throw std::invalid_argument("list_schedule: graph contains a cycle");
+  return order;
+}
+
+std::vector<graph::TaskId> sequence_dec_energy(const graph::TaskGraph& graph) {
+  std::vector<double> w(graph.num_tasks());
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v) w[v] = graph.task(v).average_energy();
+  return list_schedule(graph, w);
+}
+
+namespace {
+
+double chosen_current(const graph::TaskGraph& graph, const Assignment& assignment,
+                      graph::TaskId v) {
+  return graph.task(v).point(assignment.at(v)).current;
+}
+
+}  // namespace
+
+std::vector<graph::TaskId> weighted_sequence(const graph::TaskGraph& graph,
+                                             const Assignment& assignment) {
+  if (assignment.size() != graph.num_tasks())
+    throw std::invalid_argument("weighted_sequence: assignment size != task count");
+  std::vector<double> w(graph.num_tasks(), 0.0);
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v) {
+    for (graph::TaskId u : graph::descendants_inclusive(graph, v))
+      w[v] += chosen_current(graph, assignment, u);
+  }
+  return list_schedule(graph, w);
+}
+
+std::vector<graph::TaskId> greedy_max_current_sequence(const graph::TaskGraph& graph,
+                                                       const Assignment& assignment) {
+  if (assignment.size() != graph.num_tasks())
+    throw std::invalid_argument("greedy_max_current_sequence: assignment size != task count");
+  std::vector<double> w(graph.num_tasks(), 0.0);
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v) {
+    const auto sub = graph::descendants_inclusive(graph, v);
+    BASCHED_ASSERT(!sub.empty());
+    double sum = 0.0;
+    for (graph::TaskId u : sub) sum += chosen_current(graph, assignment, u);
+    const double mean = sum / static_cast<double>(sub.size());
+    w[v] = std::max(chosen_current(graph, assignment, v), mean);
+  }
+  return list_schedule(graph, w);
+}
+
+std::vector<graph::TaskId> max_current_sequence(const graph::TaskGraph& graph,
+                                                const Assignment& assignment) {
+  if (assignment.size() != graph.num_tasks())
+    throw std::invalid_argument("max_current_sequence: assignment size != task count");
+  std::vector<double> w(graph.num_tasks());
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    w[v] = chosen_current(graph, assignment, v);
+  return list_schedule(graph, w);
+}
+
+std::vector<graph::TaskId> critical_path_sequence(const graph::TaskGraph& graph,
+                                                  const Assignment& assignment) {
+  if (assignment.size() != graph.num_tasks())
+    throw std::invalid_argument("critical_path_sequence: assignment size != task count");
+  // Longest chosen-duration path from each task to a sink, computed in
+  // reverse topological order.
+  const auto order = graph::topological_order(graph);
+  std::vector<double> w(graph.num_tasks(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const graph::TaskId v = *it;
+    double best_succ = 0.0;
+    for (graph::TaskId s : graph.successors(v)) best_succ = std::max(best_succ, w[s]);
+    w[v] = graph.task(v).point(assignment.at(v)).duration + best_succ;
+  }
+  return list_schedule(graph, w);
+}
+
+std::vector<graph::TaskId> energy_vector(const graph::TaskGraph& graph) {
+  std::vector<graph::TaskId> order(graph.num_tasks());
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](graph::TaskId a, graph::TaskId b) {
+    return graph.task(a).average_energy() < graph.task(b).average_energy();
+  });
+  return order;
+}
+
+}  // namespace basched::core

@@ -1,0 +1,67 @@
+/// \file list_scheduler.hpp
+/// \brief Priority-driven list scheduling and the paper's three sequencing
+/// priorities.
+///
+/// All sequences in the paper come from the same skeleton: keep a ready list
+/// (tasks whose predecessors are all scheduled) and repeatedly emit the ready
+/// task with the *largest* weight. What varies is the weight:
+///
+///  * `sequence_dec_energy` — initial sequence: w(v) = average energy of v's
+///    design-points (SequenceDecEnergy in Fig. 1).
+///  * `weighted_sequence` — the re-sequencing step between iterations:
+///    w(v) = Σ_{u ∈ G_v} I(u, chosen) over the sub-graph rooted at v, using
+///    the current design-point assignment (Eq. 4).
+///  * `greedy_max_current_sequence` — the sequencing rule of the Rakhmatov
+///    comparison baseline [1]: w(v) = max(I_v, meanI(G_v)) (Eq. 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "basched/core/schedule.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::core {
+
+/// Generic list scheduler: emits a topological order that always picks the
+/// ready task with the highest weight (ties broken by lower task id, making
+/// the result deterministic). `weights` is indexed by TaskId and must cover
+/// all tasks. Throws std::invalid_argument on cyclic graphs or size
+/// mismatches.
+[[nodiscard]] std::vector<graph::TaskId> list_schedule(const graph::TaskGraph& graph,
+                                                       std::span<const double> weights);
+
+/// Initial sequence: priority = average design-point energy, larger first.
+[[nodiscard]] std::vector<graph::TaskId> sequence_dec_energy(const graph::TaskGraph& graph);
+
+/// Eq. 4 re-sequencing: priority = total chosen current of the sub-graph
+/// rooted at each task (descendants including the task itself).
+[[nodiscard]] std::vector<graph::TaskId> weighted_sequence(const graph::TaskGraph& graph,
+                                                           const Assignment& assignment);
+
+/// Eq. 5 sequencing of the comparison baseline [1]:
+/// priority = max(own chosen current, mean chosen current of the sub-graph
+/// rooted at the task).
+[[nodiscard]] std::vector<graph::TaskId> greedy_max_current_sequence(
+    const graph::TaskGraph& graph, const Assignment& assignment);
+
+/// Tasks ordered by *increasing* average design-point energy — the paper's
+/// Energy Vector E, which prioritizes free-task upgrades inside the DPF
+/// computation ("moving the first free task in E ... yields the least
+/// increase in overall energy"). Ties broken by lower task id.
+[[nodiscard]] std::vector<graph::TaskId> energy_vector(const graph::TaskGraph& graph);
+
+/// Own-current priority: w(v) = I(v, chosen). The most literal reading of
+/// the §3 ordering property ("non-increasing order of their currents"),
+/// ignoring the subtree aggregation of Eq. 4/5. Useful as a sequencing
+/// ablation.
+[[nodiscard]] std::vector<graph::TaskId> max_current_sequence(const graph::TaskGraph& graph,
+                                                              const Assignment& assignment);
+
+/// Critical-path priority: w(v) = longest chain of chosen durations from v
+/// to any sink (inclusive). The classic makespan-oriented list-scheduling
+/// priority [9] — battery-blind, included as a sequencing ablation.
+[[nodiscard]] std::vector<graph::TaskId> critical_path_sequence(const graph::TaskGraph& graph,
+                                                                const Assignment& assignment);
+
+}  // namespace basched::core

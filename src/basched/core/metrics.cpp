@@ -1,0 +1,68 @@
+#include "basched/core/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::core {
+
+double FactorWeights::combine(double sr_v, double cr_v, double enr_v, double cif_v,
+                              double dpf_v) const noexcept {
+  // Infeasibility must survive a zero ablation weight (0 * inf == NaN), so
+  // handle infinite factors explicitly.
+  if (std::isinf(sr_v) || std::isinf(cr_v) || std::isinf(enr_v) || std::isinf(cif_v) ||
+      std::isinf(dpf_v))
+    return kInfeasible;
+  return sr * sr_v + cr * cr_v + enr * enr_v + cif * cif_v + dpf * dpf_v;
+}
+
+GraphStats::GraphStats(const graph::TaskGraph& graph)
+    : i_min(graph.min_current_overall()),
+      i_max(graph.max_current_overall()),
+      e_min(graph.min_total_energy()),
+      e_max(graph.max_total_energy()) {}
+
+double slack_ratio(double deadline, double elapsed) {
+  if (!(deadline > 0.0)) throw std::invalid_argument("slack_ratio: deadline must be > 0");
+  return (deadline - elapsed) / deadline;
+}
+
+double current_ratio(double current, const GraphStats& stats) noexcept {
+  const double range = stats.i_max - stats.i_min;
+  if (range <= 0.0) return 0.0;
+  return (current - stats.i_min) / range;
+}
+
+double energy_ratio(double total_energy, const GraphStats& stats) noexcept {
+  const double range = stats.e_max - stats.e_min;
+  if (range <= 0.0) return 0.0;
+  return (total_energy - stats.e_min) / range;
+}
+
+double current_increase_fraction(std::span<const double> sequence_currents) noexcept {
+  if (sequence_currents.size() < 2) return 0.0;
+  std::size_t increases = 0;
+  for (std::size_t k = 1; k < sequence_currents.size(); ++k)
+    if (sequence_currents[k - 1] < sequence_currents[k]) ++increases;
+  return static_cast<double>(increases) / static_cast<double>(sequence_currents.size() - 1);
+}
+
+double current_increase_fraction(const graph::TaskGraph& graph, const Schedule& schedule) {
+  std::vector<double> currents;
+  currents.reserve(schedule.sequence.size());
+  for (graph::TaskId v : schedule.sequence)
+    currents.push_back(graph.task(v).point(schedule.assignment.at(v)).current);
+  return current_increase_fraction(currents);
+}
+
+double dpf_from_histogram(std::span<const std::size_t> counts, std::size_t free_total) noexcept {
+  const std::size_t m = counts.size();
+  if (m <= 1 || free_total == 0) return 0.0;
+  double dpf = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double weight = static_cast<double>(m - 1 - k) / static_cast<double>(m - 1);
+    dpf += weight * static_cast<double>(counts[k]) / static_cast<double>(free_total);
+  }
+  return dpf;
+}
+
+}  // namespace basched::core

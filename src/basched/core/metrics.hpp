@@ -1,0 +1,90 @@
+/// \file metrics.hpp
+/// \brief The five components of the paper's design-point suitability metric
+///        B = SR + CR + ENR + CIF + DPF (§4 of the paper).
+///
+/// Each factor is normalized to [0, 1] (DPF can additionally be +∞ to encode
+/// "choosing this design-point makes the deadline unmeetable"); *smaller is
+/// better* for every one of them:
+///
+///  * **SR** — slack ratio (d - t)/d: how much of the deadline is still
+///    unused. Small SR = slack is being used up, which the paper prefers.
+///  * **CR** — current ratio (I - Imin)/(Imax - Imin): how high this
+///    design-point's current is relative to all design-points of all tasks.
+///  * **ENR** — energy ratio (En - Emin)/(Emax - Emin) of a whole tentative
+///    assignment, where Emin/Emax are the total energies with all tasks at
+///    their lowest-/highest-power points.
+///  * **CIF** — current-increase fraction: the fraction of adjacent task
+///    pairs in the sequence whose current steps *up* (the battery model
+///    favors non-increasing discharge profiles).
+///  * **DPF** — design-point fraction (Eq. 2/3): penalizes parking free
+///    tasks on high-power columns; computed by the chooser (it needs the
+///    free-task upgrade simulation) from the F_k histogram via
+///    `dpf_from_histogram`.
+///
+/// `FactorWeights` scales each term so ablation studies can knock out
+/// individual factors.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "basched/core/schedule.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::core {
+
+/// Multipliers for the five B-terms (1.0 each reproduces the paper).
+struct FactorWeights {
+  double sr = 1.0;
+  double cr = 1.0;
+  double enr = 1.0;
+  double cif = 1.0;
+  double dpf = 1.0;
+
+  /// Combines the five factors. Any factor that is +∞ makes B +∞ regardless
+  /// of its weight (an infeasible choice stays infeasible under ablation).
+  [[nodiscard]] double combine(double sr_v, double cr_v, double enr_v, double cif_v,
+                               double dpf_v) const noexcept;
+};
+
+/// Per-graph normalization constants, computed once per run.
+struct GraphStats {
+  double i_min = 0.0;  ///< min current over all design-points of all tasks
+  double i_max = 0.0;  ///< max current over all design-points of all tasks
+  double e_min = 0.0;  ///< Σ_i lowest-power design-point energy
+  double e_max = 0.0;  ///< Σ_i highest-power design-point energy
+
+  explicit GraphStats(const graph::TaskGraph& graph);
+};
+
+/// SR = (d - t)/d. Requires d > 0 (throws std::invalid_argument otherwise);
+/// may be negative when t exceeds the deadline.
+[[nodiscard]] double slack_ratio(double deadline, double elapsed);
+
+/// CR = (I - Imin)/(Imax - Imin); 0 when Imax == Imin.
+[[nodiscard]] double current_ratio(double current, const GraphStats& stats) noexcept;
+
+/// ENR = (En - Emin)/(Emax - Emin); 0 when Emax == Emin.
+[[nodiscard]] double energy_ratio(double total_energy, const GraphStats& stats) noexcept;
+
+/// CIF over explicit per-position currents: the fraction of positions k >= 1
+/// with current[k-1] < current[k]; 0 for fewer than two entries.
+[[nodiscard]] double current_increase_fraction(std::span<const double> sequence_currents) noexcept;
+
+/// CIF of a schedule: currents of the chosen design-points in sequence order.
+[[nodiscard]] double current_increase_fraction(const graph::TaskGraph& graph,
+                                               const Schedule& schedule);
+
+/// DPF from the free-task column histogram (Eq. 2/3): given `counts[k]` free
+/// tasks parked on column k (0-based, m columns total) out of `free_total`,
+///   DPF = Σ_k (m-1-k)/(m-1) · counts[k]/free_total.
+/// The highest-power column (k = 0) carries weight 1, the lowest-power
+/// column weight 0. Returns 0 when m == 1 or free_total == 0.
+[[nodiscard]] double dpf_from_histogram(std::span<const std::size_t> counts,
+                                        std::size_t free_total) noexcept;
+
+/// The +∞ used for infeasible DPF values.
+inline constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+}  // namespace basched::core

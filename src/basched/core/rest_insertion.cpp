@@ -1,0 +1,89 @@
+#include "basched/core/rest_insertion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/battery/lifetime.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+double RestPlan::total_rest() const {
+  double s = 0.0;
+  for (double r : rest_before) s += r;
+  return s;
+}
+
+bool survives_without_rest(const graph::TaskGraph& graph, const Schedule& schedule,
+                           const battery::BatteryModel& model, double alpha) {
+  schedule.validate(graph);
+  if (!(alpha > 0.0)) throw std::invalid_argument("survives_without_rest: alpha must be > 0");
+  return !battery::find_lifetime(model, schedule.to_profile(graph), alpha).has_value();
+}
+
+namespace {
+
+/// Does appending `task_current/task_duration` after `prefix` plus `rest`
+/// idle minutes keep σ below the cap for the whole task?
+bool task_survives(const battery::DischargeProfile& prefix, double rest, double current,
+                   double duration, const battery::BatteryModel& model, double cap) {
+  battery::DischargeProfile p = prefix;
+  if (rest > 0.0) p.append_rest(rest);
+  p.append(duration, current);
+  // σ only grows while the task discharges, so checking the crossing over
+  // the whole extended profile is equivalent to checking this task (the
+  // prefix was already verified by the caller).
+  return !battery::find_lifetime(model, p, cap).has_value();
+}
+
+}  // namespace
+
+std::optional<RestPlan> insert_rest_for_survival(const graph::TaskGraph& graph,
+                                                 const Schedule& schedule, double deadline,
+                                                 const battery::BatteryModel& model, double alpha,
+                                                 const RestOptions& options) {
+  schedule.validate(graph);
+  if (!(deadline > 0.0))
+    throw std::invalid_argument("insert_rest_for_survival: deadline must be > 0");
+  if (!(alpha > 0.0)) throw std::invalid_argument("insert_rest_for_survival: alpha must be > 0");
+  if (options.safety_margin < 0.0 || options.safety_margin >= 1.0)
+    throw std::invalid_argument("insert_rest_for_survival: safety_margin must be in [0, 1)");
+
+  const double cap = alpha * (1.0 - options.safety_margin);
+  const double work = schedule.duration(graph);
+  if (work > deadline * (1.0 + 1e-12)) return std::nullopt;  // tasks alone miss the deadline
+
+  RestPlan plan;
+  plan.rest_before.assign(schedule.sequence.size(), 0.0);
+  double slack = deadline - work;
+
+  for (std::size_t pos = 0; pos < schedule.sequence.size(); ++pos) {
+    const graph::TaskId v = schedule.sequence[pos];
+    const auto& pt = graph.task(v).point(schedule.assignment[v]);
+
+    if (!task_survives(plan.profile, 0.0, pt.current, pt.duration, model, cap)) {
+      // Monotone in rest → bisect the minimal saving rest within the slack.
+      if (slack <= 0.0 || !task_survives(plan.profile, slack, pt.current, pt.duration, model, cap))
+        return std::nullopt;  // even all remaining slack cannot save this task
+      double lo = 0.0, hi = slack;
+      while (hi - lo > options.bisect_tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (task_survives(plan.profile, mid, pt.current, pt.duration, model, cap))
+          hi = mid;
+        else
+          lo = mid;
+      }
+      plan.rest_before[pos] = hi;
+      slack -= hi;
+      plan.profile.append_rest(hi);
+    }
+    plan.profile.append(pt.duration, pt.current);
+    plan.peak_sigma =
+        std::max(plan.peak_sigma, model.charge_lost(plan.profile, plan.profile.end_time()));
+  }
+  plan.completion_time = plan.profile.end_time();
+  BASCHED_ASSERT(plan.completion_time <= deadline * (1.0 + 1e-9));
+  return plan;
+}
+
+}  // namespace basched::core

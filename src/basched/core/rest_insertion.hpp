@@ -1,0 +1,63 @@
+/// \file rest_insertion.hpp
+/// \brief Rest-period insertion for finite-capacity batteries — exploiting
+/// the *recovery effect* directly.
+///
+/// The paper's cost function σ is evaluated with an effectively unbounded
+/// battery ("we assumed that the amount of battery capacity available α was
+/// sufficiently large"). On a real battery of capacity α the schedule can
+/// *die mid-execution*: σ(t) reaches α inside some task. Because the RV (and
+/// KiBaM) models recover unavailable charge during idle periods, inserting a
+/// rest before the offending task can pull σ back below α and let the
+/// mission finish — at the price of deadline slack.
+///
+/// `insert_rest_for_survival` implements the natural greedy: walk the
+/// sequence; whenever the next task would kill the battery, bisect the
+/// minimal rest that lets it survive (more rest before a task strictly helps:
+/// the prefix's unavailable charge decays further and the task shifts later,
+/// so survivability is monotone in the rest length — which makes bisection
+/// sound); fail if even the maximal affordable rest cannot save it or the
+/// deadline is exhausted.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "basched/battery/model.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// A schedule augmented with idle periods.
+struct RestPlan {
+  std::vector<double> rest_before;  ///< idle minutes before each sequence position
+  double completion_time = 0.0;     ///< finish time of the last task
+  double peak_sigma = 0.0;          ///< max σ observed at any task boundary
+  /// The realized discharge profile (tasks + gaps).
+  battery::DischargeProfile profile;
+
+  /// Total idle time inserted.
+  [[nodiscard]] double total_rest() const;
+};
+
+/// Options for the rest inserter.
+struct RestOptions {
+  double safety_margin = 0.0;   ///< keep σ <= alpha * (1 - margin), margin in [0, 1)
+  double bisect_tolerance = 1e-6;  ///< rest-length resolution (minutes)
+};
+
+/// Tries to execute `schedule` on a battery of capacity `alpha` finishing by
+/// `deadline`, inserting the minimum greedy rest periods needed to survive.
+/// Returns std::nullopt when no amount of affordable rest saves the battery
+/// (or the tasks alone exceed the deadline). Throws std::invalid_argument on
+/// malformed inputs (invalid schedule, non-positive deadline/alpha, margin
+/// out of range).
+[[nodiscard]] std::optional<RestPlan> insert_rest_for_survival(
+    const graph::TaskGraph& graph, const Schedule& schedule, double deadline,
+    const battery::BatteryModel& model, double alpha, const RestOptions& options = {});
+
+/// True iff the back-to-back execution of `schedule` (no rests) keeps
+/// σ(t) < alpha throughout.
+[[nodiscard]] bool survives_without_rest(const graph::TaskGraph& graph, const Schedule& schedule,
+                                         const battery::BatteryModel& model, double alpha);
+
+}  // namespace basched::core

@@ -1,0 +1,56 @@
+#include "basched/core/schedule.hpp"
+
+#include <stdexcept>
+
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+
+double Schedule::duration(const graph::TaskGraph& graph) const {
+  double t = 0.0;
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    t += graph.task(v).point(assignment.at(v)).duration;
+  return t;
+}
+
+double Schedule::energy(const graph::TaskGraph& graph) const {
+  double e = 0.0;
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    e += graph.task(v).point(assignment.at(v)).energy();
+  return e;
+}
+
+battery::DischargeProfile Schedule::to_profile(const graph::TaskGraph& graph) const {
+  battery::DischargeProfile p;
+  for (graph::TaskId v : sequence) {
+    const auto& pt = graph.task(v).point(assignment.at(v));
+    p.append(pt.duration, pt.current);
+  }
+  return p;
+}
+
+bool Schedule::is_valid(const graph::TaskGraph& graph) const {
+  if (assignment.size() != graph.num_tasks()) return false;
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    if (assignment[v] >= graph.num_design_points()) return false;
+  return graph::is_topological_order(graph, sequence);
+}
+
+void Schedule::validate(const graph::TaskGraph& graph) const {
+  if (assignment.size() != graph.num_tasks())
+    throw std::invalid_argument("Schedule: assignment size != task count");
+  for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
+    if (assignment[v] >= graph.num_design_points())
+      throw std::invalid_argument("Schedule: design-point column out of range for task '" +
+                                  graph.task(v).name() + "'");
+  if (!graph::is_topological_order(graph, sequence))
+    throw std::invalid_argument("Schedule: sequence is not a topological order of the graph");
+}
+
+Assignment uniform_assignment(const graph::TaskGraph& graph, std::size_t column) {
+  if (column >= graph.num_design_points())
+    throw std::invalid_argument("uniform_assignment: column out of range");
+  return Assignment(graph.num_tasks(), column);
+}
+
+}  // namespace basched::core

@@ -1,0 +1,50 @@
+/// \file schedule.hpp
+/// \brief A complete scheduling decision: task order plus design-point
+/// assignment.
+///
+/// The platform has one processing element, so a schedule is (a) a
+/// topological order in which tasks execute back-to-back, and (b) one chosen
+/// design-point column per task. The order determines the shape of the
+/// battery discharge profile; the assignment determines both the profile and
+/// the makespan (which is order-independent: the sum of chosen durations).
+#pragma once
+
+#include <vector>
+
+#include "basched/battery/discharge_profile.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::core {
+
+/// Design-point column chosen for each task, indexed by TaskId.
+/// Column 0 is the fastest/highest-power point, column m-1 the slowest/
+/// lowest-power one (the canonical Task ordering).
+using Assignment = std::vector<std::size_t>;
+
+/// A (sequence, assignment) pair.
+struct Schedule {
+  std::vector<graph::TaskId> sequence;  ///< execution order (all tasks exactly once)
+  Assignment assignment;                ///< chosen column per task
+
+  /// Makespan: Σ duration of the chosen design-points (order-independent).
+  [[nodiscard]] double duration(const graph::TaskGraph& graph) const;
+
+  /// Total energy proxy Σ I·D of the chosen design-points (mA·min).
+  [[nodiscard]] double energy(const graph::TaskGraph& graph) const;
+
+  /// The battery discharge profile of executing the tasks back-to-back from
+  /// t = 0 in `sequence` order with the assigned design-points.
+  [[nodiscard]] battery::DischargeProfile to_profile(const graph::TaskGraph& graph) const;
+
+  /// True iff sequence is a topological order of the graph and assignment
+  /// has one in-range column per task.
+  [[nodiscard]] bool is_valid(const graph::TaskGraph& graph) const;
+
+  /// Throws std::invalid_argument with a description if !is_valid(graph).
+  void validate(const graph::TaskGraph& graph) const;
+};
+
+/// An all-same-column assignment (e.g. all tasks at the lowest-power point).
+[[nodiscard]] Assignment uniform_assignment(const graph::TaskGraph& graph, std::size_t column);
+
+}  // namespace basched::core

@@ -1,0 +1,92 @@
+#include "basched/core/schedule_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/util/csv.hpp"
+#include "basched/util/table.hpp"
+
+namespace basched::core {
+
+std::string serialize_schedule(const graph::TaskGraph& graph, const Schedule& schedule) {
+  schedule.validate(graph);
+  std::ostringstream os;
+  os << "schedule\n";
+  for (graph::TaskId v : schedule.sequence)
+    os << "run " << graph.task(v).name() << ' ' << (schedule.assignment[v] + 1) << "\n";
+  return os.str();
+}
+
+Schedule parse_schedule(const graph::TaskGraph& graph, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+
+  Schedule sched;
+  sched.assignment.assign(graph.num_tasks(), 0);
+  std::vector<bool> seen(graph.num_tasks(), false);
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::invalid_argument("schedule parse error at line " + std::to_string(line_no) + ": " +
+                                msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    if (directive == "schedule") {
+      if (saw_header) fail("duplicate 'schedule' header");
+      saw_header = true;
+    } else if (directive == "run") {
+      if (!saw_header) fail("'run' before 'schedule' header");
+      std::string name;
+      std::size_t column = 0;
+      if (!(ls >> name >> column)) fail("expected 'run <task> <column>'");
+      graph::TaskId id = 0;
+      try {
+        id = graph.task_by_name(name);
+      } catch (const std::invalid_argument&) {
+        fail("unknown task '" + name + "'");
+      }
+      if (column < 1 || column > graph.num_design_points())
+        fail("design-point column out of range (1.." +
+             std::to_string(graph.num_design_points()) + ")");
+      if (seen[id]) fail("task '" + name + "' listed twice");
+      seen[id] = true;
+      sched.sequence.push_back(id);
+      sched.assignment[id] = column - 1;
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_header) throw std::invalid_argument("schedule parse error: missing 'schedule' header");
+  if (sched.sequence.size() != graph.num_tasks())
+    throw std::invalid_argument("schedule parse error: " +
+                                std::to_string(graph.num_tasks() - sched.sequence.size()) +
+                                " task(s) missing from the schedule");
+  sched.validate(graph);  // rejects non-topological orders
+  return sched;
+}
+
+std::string profile_csv(const graph::TaskGraph& graph, const Schedule& schedule) {
+  schedule.validate(graph);
+  std::ostringstream os;
+  util::CsvWriter csv(os);
+  csv.write_row({"task", "start_min", "duration_min", "current_mA", "energy_mAmin"});
+  double t = 0.0;
+  for (graph::TaskId v : schedule.sequence) {
+    const auto& pt = graph.task(v).point(schedule.assignment[v]);
+    csv.write_row({graph.task(v).name(), util::fmt_double(t, 6), util::fmt_double(pt.duration, 6),
+                   util::fmt_double(pt.current, 6), util::fmt_double(pt.energy(), 6)});
+    t += pt.duration;
+  }
+  return os.str();
+}
+
+}  // namespace basched::core

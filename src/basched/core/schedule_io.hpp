@@ -1,0 +1,38 @@
+/// \file schedule_io.hpp
+/// \brief Schedule serialization: a text format tied to task *names* (stable
+/// across graph rebuilds) and a CSV export of the realized discharge
+/// profile for offline plotting.
+///
+/// Text format, one entry per line:
+///
+///     schedule
+///     run <task_name> <design_point_column_1_based>
+///     ...
+///
+/// Entries appear in execution order. Round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// Serializes a schedule against its graph (task ids → names). The schedule
+/// is validated first (throws std::invalid_argument when invalid).
+[[nodiscard]] std::string serialize_schedule(const graph::TaskGraph& graph,
+                                             const Schedule& schedule);
+
+/// Parses the text format against a graph. Throws std::invalid_argument with
+/// a line number on syntax errors, unknown task names, out-of-range columns,
+/// duplicate or missing tasks, or a sequence that is not a topological order
+/// of `graph`.
+[[nodiscard]] Schedule parse_schedule(const graph::TaskGraph& graph, const std::string& text);
+
+/// CSV of the schedule's discharge profile: header
+/// `task,start_min,duration_min,current_mA,energy_mAmin` and one row per
+/// executed task in sequence order.
+[[nodiscard]] std::string profile_csv(const graph::TaskGraph& graph, const Schedule& schedule);
+
+}  // namespace basched::core

@@ -1,0 +1,55 @@
+#include "basched/core/window_evaluator.hpp"
+
+#include <stdexcept>
+
+#include "basched/core/battery_cost.hpp"
+#include "basched/graph/topology.hpp"
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+std::optional<WindowsOutcome> evaluate_windows(const graph::TaskGraph& graph,
+                                               const std::vector<graph::TaskId>& sequence,
+                                               double deadline,
+                                               const battery::BatteryModel& model,
+                                               const GraphStats& stats,
+                                               const WindowOptions& options) {
+  const std::size_t m = graph.num_design_points();
+  if (graph.num_tasks() == 0) throw std::invalid_argument("evaluate_windows: empty graph");
+  if (!(deadline > 0.0)) throw std::invalid_argument("evaluate_windows: deadline must be > 0");
+  if (!graph::is_topological_order(graph, sequence))
+    throw std::invalid_argument("evaluate_windows: sequence is not a topological order");
+
+  // The paper's feasibility walk: start at WindowStart = m-1 (1-based; the
+  // second-to-last column) and retreat while even the window's fastest
+  // column cannot meet the deadline. If that drives us past the first
+  // column, the deadline is unmeetable outright.
+  std::size_t start = (m >= 2) ? m - 2 : 0;
+  while (deadline < graph.column_time(start)) {
+    if (start == 0) return std::nullopt;  // d < CT(0): "Exit with error"
+    --start;
+  }
+  if (!options.sweep) start = 0;  // ablation: only the full window
+
+  WindowsOutcome outcome;
+  const double tol = deadline * (1.0 + kDeadlineRelTol);
+  for (std::size_t ws = start + 1; ws-- > 0;) {  // ws = start downto 0
+    WindowResult wr;
+    wr.window_start = ws;
+    wr.assignment = choose_design_points(graph, sequence, ws, deadline, stats, options.chooser);
+    const CostResult cost = calculate_battery_cost_unchecked(
+        graph, Schedule{sequence, wr.assignment}, model);
+    wr.sigma = cost.sigma;
+    wr.duration = cost.duration;
+    wr.feasible = cost.duration <= tol;
+    outcome.windows.push_back(std::move(wr));
+    const auto& added = outcome.windows.back();
+    if (added.feasible &&
+        (!outcome.best || added.sigma < outcome.windows[*outcome.best].sigma)) {
+      outcome.best = outcome.windows.size() - 1;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace basched::core

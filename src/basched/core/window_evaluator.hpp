@@ -1,0 +1,62 @@
+/// \file window_evaluator.hpp
+/// \brief EvaluateWindows (Fig. 1): sweep design-point windows and keep the
+/// assignment with the smallest battery cost.
+///
+/// A *window* [w .. m-1] restricts the chooser to the w-th through last
+/// design-point columns (the paper's "Window w:m" notation, Fig. 3; columns
+/// are 0-based here). The sweep starts at the narrowest window whose fastest
+/// column can meet the deadline — the paper's CT(k) feasibility walk — and
+/// widens one column at a time until the full window [0 .. m-1] has been
+/// evaluated. Each window's assignment is scored with CalculateBatteryCost;
+/// the best *feasible* (deadline-respecting) one wins.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "basched/battery/model.hpp"
+#include "basched/core/design_point_chooser.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// Outcome of one window's evaluation.
+struct WindowResult {
+  std::size_t window_start = 0;  ///< 0-based first column of the window
+  Assignment assignment;         ///< chooser output for this window
+  double sigma = 0.0;            ///< battery cost σ of (sequence, assignment)
+  double duration = 0.0;         ///< makespan Δ of the assignment
+  bool feasible = false;         ///< duration <= deadline (within tolerance)
+};
+
+/// Outcome of the full sweep for one sequence.
+struct WindowsOutcome {
+  std::vector<WindowResult> windows;  ///< in evaluation order (narrow → wide)
+  /// Index into `windows` of the best feasible result, or std::nullopt when
+  /// every window violated the deadline.
+  std::optional<std::size_t> best;
+
+  [[nodiscard]] bool feasible() const noexcept { return best.has_value(); }
+  [[nodiscard]] const WindowResult& best_window() const { return windows.at(best.value()); }
+};
+
+/// Sweep options.
+struct WindowOptions {
+  ChooserOptions chooser{};
+  /// When false, only the widest window [0 .. m-1] is evaluated (ablation:
+  /// "no window function").
+  bool sweep = true;
+};
+
+/// Runs the sweep. Returns std::nullopt if the deadline is unmeetable even
+/// with every task at the fastest column (d < CT(0)) — the paper's
+/// "Exit with error" branch. Throws std::invalid_argument on malformed
+/// inputs (invalid sequence, non-positive deadline, empty graph).
+[[nodiscard]] std::optional<WindowsOutcome> evaluate_windows(
+    const graph::TaskGraph& graph, const std::vector<graph::TaskId>& sequence, double deadline,
+    const battery::BatteryModel& model, const GraphStats& stats, const WindowOptions& options = {});
+
+/// Tolerance used for deadline feasibility checks: duration <= d * (1 + eps).
+inline constexpr double kDeadlineRelTol = 1e-9;
+
+}  // namespace basched::core

@@ -1,0 +1,28 @@
+/// \file design_point.hpp
+/// \brief A design-point: one concrete implementation choice for a task.
+///
+/// On a DVS processor a design-point is a (voltage, frequency) operating
+/// point; on an FPGA platform it is one of several bitstreams implementing
+/// the task with a different area/speed trade-off. Either way, the scheduler
+/// only sees the two numbers the paper's model needs: execution time and the
+/// average *total platform* current drawn while the task runs (CPU/FPGA plus
+/// memory, display, and other peripherals — the battery sees the sum).
+#pragma once
+
+namespace basched::graph {
+
+/// One implementation option for a task.
+struct DesignPoint {
+  double current = 0.0;   ///< average platform current I (mA) while running
+  double duration = 0.0;  ///< execution time D (minutes)
+  double voltage = 0.0;   ///< optional supply voltage (V); 0 = unspecified
+
+  /// Energy proxy E = I · D (mA·min). The paper defines energy as I·V·D but
+  /// publishes only I and D; since its current numbers already scale with
+  /// the cube of the voltage-scaling factor (total platform current at a
+  /// constant battery voltage), I·D is the consistent energy measure — see
+  /// DESIGN.md §5.2.
+  [[nodiscard]] double energy() const noexcept { return current * duration; }
+};
+
+}  // namespace basched::graph

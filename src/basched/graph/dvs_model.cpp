@@ -1,0 +1,61 @@
+#include "basched/graph/dvs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::graph {
+
+namespace {
+
+void check_params(const CmosParams& p) {
+  if (!(p.v_max > 0.0) || !(p.v_t >= 0.0) || !(p.v_t < p.v_max))
+    throw std::invalid_argument("CmosParams: require 0 <= v_t < v_max");
+  if (!(p.alpha > 1.0) || !(p.alpha <= 2.0))
+    throw std::invalid_argument("CmosParams: alpha must be in (1, 2]");
+  if (!(p.f_max > 0.0)) throw std::invalid_argument("CmosParams: f_max must be > 0");
+  if (!(p.c_eff > 0.0)) throw std::invalid_argument("CmosParams: c_eff must be > 0");
+  if (p.i_leak < 0.0) throw std::invalid_argument("CmosParams: i_leak must be >= 0");
+  if (!(p.v_battery > 0.0)) throw std::invalid_argument("CmosParams: v_battery must be > 0");
+  if (p.i_overhead < 0.0) throw std::invalid_argument("CmosParams: i_overhead must be >= 0");
+}
+
+}  // namespace
+
+double dvs_frequency(const CmosParams& params, double v) {
+  check_params(params);
+  if (!(v > params.v_t))
+    throw std::invalid_argument("dvs_frequency: operating voltage must exceed v_t");
+  if (v > params.v_max * (1.0 + 1e-12))
+    throw std::invalid_argument("dvs_frequency: operating voltage exceeds v_max");
+  const double norm = std::pow(params.v_max - params.v_t, params.alpha) / params.v_max;
+  return params.f_max * (std::pow(v - params.v_t, params.alpha) / v) / norm;
+}
+
+DesignPoint dvs_design_point(const CmosParams& params, double v, double cycles) {
+  if (!(cycles > 0.0)) throw std::invalid_argument("dvs_design_point: cycles must be > 0");
+  const double f = dvs_frequency(params, v);
+  DesignPoint pt;
+  pt.voltage = v;
+  pt.duration = cycles / f;
+  pt.current = (params.c_eff * v * v * f + v * params.i_leak) / params.v_battery +
+               params.i_overhead;
+  return pt;
+}
+
+std::vector<DesignPoint> dvs_design_points(const CmosParams& params,
+                                           std::span<const double> voltages, double cycles) {
+  if (voltages.empty()) throw std::invalid_argument("dvs_design_points: no voltages given");
+  std::vector<double> sorted(voltages.begin(), voltages.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (sorted[i] == sorted[i - 1])
+      throw std::invalid_argument("dvs_design_points: duplicate voltage");
+
+  std::vector<DesignPoint> pts;
+  pts.reserve(sorted.size());
+  for (double v : sorted) pts.push_back(dvs_design_point(params, v, cycles));
+  return pts;
+}
+
+}  // namespace basched::graph

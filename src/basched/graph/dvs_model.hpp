@@ -1,0 +1,58 @@
+/// \file dvs_model.hpp
+/// \brief Physical CMOS model for synthesizing DVS design-points from
+/// voltage levels.
+///
+/// The paper's published data uses the shorthand "durations ∝ 1/s, currents
+/// ∝ s³" for voltage-scaling factor s. That shorthand is the limiting case
+/// of the standard alpha-power CMOS model with negligible threshold voltage:
+/// f ∝ V and P_dyn = C_eff·V²·f ⇒ I_battery = P/V_batt ∝ V³. This module
+/// provides the *full* model so users can generate design-points from real
+/// operating voltages:
+///
+///   f(V)      = f_max · (V − V_t)^α / V  ÷  ((V_max − V_t)^α / V_max)
+///   D(V)      = cycles / f(V)
+///   I(V)      = (C_eff · V² · f(V) + V · I_leak) / V_batt + I_overhead
+///
+/// with α ∈ (1, 2] the velocity-saturation exponent (2 = classic long
+/// channel), I_leak a crude leakage current at the core rail, and
+/// I_overhead the constant platform draw (memory, display, radio) the paper
+/// insists must be part of each task's current.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "basched/graph/design_point.hpp"
+
+namespace basched::graph {
+
+/// Parameters of the CMOS DVS platform model.
+struct CmosParams {
+  double v_max = 1.8;          ///< maximum core voltage (V)
+  double v_t = 0.4;            ///< threshold voltage (V); must be < every operating V
+  double alpha = 2.0;          ///< velocity-saturation exponent, in (1, 2]
+  double f_max = 600.0;        ///< clock at v_max, in Mcycles/min units of `cycles`
+  double c_eff = 1.0;          ///< effective switched capacitance scale (mA·min·V⁻²·f⁻¹ units)
+  double i_leak = 0.0;         ///< leakage current at the core rail (mA)
+  double v_battery = 3.7;      ///< battery terminal voltage (V)
+  double i_overhead = 0.0;     ///< constant platform current (mA)
+};
+
+/// Clock frequency at voltage v (same unit as f_max). Throws
+/// std::invalid_argument if v <= v_t or v > v_max or parameters are invalid.
+[[nodiscard]] double dvs_frequency(const CmosParams& params, double v);
+
+/// One design-point for a task of `cycles` work at voltage v (current
+/// referred to the battery rail, duration in minutes given f in
+/// cycles/minute). Throws like dvs_frequency; cycles must be > 0.
+[[nodiscard]] DesignPoint dvs_design_point(const CmosParams& params, double v, double cycles);
+
+/// Design-points for a list of operating voltages, returned fastest-first
+/// (i.e. sorted by descending voltage). Voltages may be given in any order;
+/// duplicates are rejected. The result always satisfies the canonical Task
+/// ordering (durations ascending, currents descending).
+[[nodiscard]] std::vector<DesignPoint> dvs_design_points(const CmosParams& params,
+                                                         std::span<const double> voltages,
+                                                         double cycles);
+
+}  // namespace basched::graph

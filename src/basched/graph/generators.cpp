@@ -1,0 +1,196 @@
+#include "basched/graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::graph {
+
+namespace {
+
+std::string task_name(std::size_t i) { return "T" + std::to_string(i + 1); }
+
+void check_positive(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v))
+    throw std::invalid_argument(std::string("generators: ") + what + " must be finite and > 0");
+}
+
+}  // namespace
+
+std::vector<DesignPoint> dvs_points_speedup(double i_ref, double d_ref,
+                                            std::span<const double> speedups) {
+  check_positive(i_ref, "i_ref");
+  check_positive(d_ref, "d_ref");
+  if (speedups.empty()) throw std::invalid_argument("dvs_points_speedup: factors empty");
+  std::vector<DesignPoint> pts;
+  pts.reserve(speedups.size());
+  for (double s : speedups) {
+    if (!(s >= 1.0)) throw std::invalid_argument("dvs_points_speedup: speedups must be >= 1");
+    pts.push_back({i_ref * s * s * s, d_ref / s, 0.0});
+  }
+  return pts;
+}
+
+std::vector<DesignPoint> dvs_points_g3_style(double i_peak, double d_max,
+                                             std::span<const double> factors) {
+  check_positive(i_peak, "i_peak");
+  check_positive(d_max, "d_max");
+  if (factors.empty()) throw std::invalid_argument("dvs_points_g3_style: factors empty");
+  for (std::size_t j = 0; j < factors.size(); ++j) {
+    if (!(factors[j] > 0.0 && factors[j] <= 1.0))
+      throw std::invalid_argument("dvs_points_g3_style: factors must lie in (0, 1]");
+    if (j > 0 && factors[j] >= factors[j - 1])
+      throw std::invalid_argument("dvs_points_g3_style: factors must be strictly descending");
+  }
+  const std::size_t m = factors.size();
+  std::vector<DesignPoint> pts;
+  pts.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    // I_j = I_pk * s_j^3, D_j = D_max * s_{m+1-j} (1-based) — the reversed
+    // factor list for durations, matching Table 1 of the paper.
+    const double s = factors[j];
+    const double srev = factors[m - 1 - j];
+    pts.push_back({i_peak * s * s * s, d_max * srev, 0.0});
+  }
+  return pts;
+}
+
+std::vector<DesignPoint> random_dvs_points(const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (synth.num_points == 0)
+    throw std::invalid_argument("random_dvs_points: num_points must be >= 1");
+  if (!(synth.max_speedup >= 1.0))
+    throw std::invalid_argument("random_dvs_points: max_speedup must be >= 1");
+  const double i_peak = rng.uniform(synth.min_peak_current, synth.max_peak_current);
+  const double d_fast = rng.uniform(synth.min_fast_duration, synth.max_fast_duration);
+  // Speedups evenly spaced over [1, max_speedup]; point 0 is the fastest, so
+  // build speedups descending and reference the slowest point.
+  const std::size_t m = synth.num_points;
+  std::vector<double> speedups(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double frac = (m == 1) ? 1.0 : static_cast<double>(m - 1 - j) / static_cast<double>(m - 1);
+    speedups[j] = 1.0 + frac * (synth.max_speedup - 1.0);
+  }
+  const double d_ref = d_fast * synth.max_speedup;           // slowest duration
+  const double i_ref = i_peak / std::pow(synth.max_speedup, 3.0);  // lowest current
+  return dvs_points_speedup(i_ref, d_ref, speedups);
+}
+
+TaskGraph make_chain(std::size_t n, const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_chain: n must be >= 1");
+  TaskGraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_task(Task(task_name(i), random_dvs_points(synth, rng)));
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(i - 1, i);
+  return g;
+}
+
+TaskGraph make_independent(std::size_t n, const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_independent: n must be >= 1");
+  TaskGraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_task(Task(task_name(i), random_dvs_points(synth, rng)));
+  return g;
+}
+
+TaskGraph make_fork_join(std::size_t stages, std::size_t max_width,
+                         const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (stages == 0) throw std::invalid_argument("make_fork_join: stages must be >= 1");
+  if (max_width < 2) throw std::invalid_argument("make_fork_join: max_width must be >= 2");
+  TaskGraph g;
+  std::size_t counter = 0;
+  auto fresh = [&] { return g.add_task(Task(task_name(counter++), random_dvs_points(synth, rng))); };
+
+  TaskId tail = fresh();  // source
+  for (std::size_t s = 0; s < stages; ++s) {
+    const auto width = static_cast<std::size_t>(rng.uniform_int(2, static_cast<std::int64_t>(max_width)));
+    std::vector<TaskId> branch(width);
+    for (auto& b : branch) {
+      b = fresh();
+      g.add_edge(tail, b);
+    }
+    const TaskId join = fresh();
+    for (TaskId b : branch) g.add_edge(b, join);
+    tail = join;
+  }
+  return g;
+}
+
+TaskGraph make_layered_random(std::size_t layers, std::size_t max_width, double edge_prob,
+                              const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (layers == 0) throw std::invalid_argument("make_layered_random: layers must be >= 1");
+  if (max_width == 0) throw std::invalid_argument("make_layered_random: max_width must be >= 1");
+  if (edge_prob < 0.0 || edge_prob > 1.0)
+    throw std::invalid_argument("make_layered_random: edge_prob must be in [0, 1]");
+  TaskGraph g;
+  std::size_t counter = 0;
+  std::vector<std::vector<TaskId>> layer_ids;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const auto width =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(max_width)));
+    std::vector<TaskId> ids(width);
+    for (auto& id : ids)
+      id = g.add_task(Task(task_name(counter++), random_dvs_points(synth, rng)));
+    if (l > 0) {
+      const auto& prev = layer_ids.back();
+      for (TaskId v : ids) {
+        // Guarantee connectivity to the previous layer, then sprinkle extras.
+        g.add_edge(prev[rng.pick_index(prev.size())], v);
+        for (TaskId p : prev)
+          if (!g.has_edge(p, v) && rng.bernoulli(edge_prob)) g.add_edge(p, v);
+      }
+    }
+    layer_ids.push_back(std::move(ids));
+  }
+  return g;
+}
+
+namespace {
+
+/// Recursive series-parallel skeleton: fills `g` with `n` tasks and returns
+/// the (entry, exit) pair of the built component.
+std::pair<TaskId, TaskId> build_sp(TaskGraph& g, std::size_t n, std::size_t& counter,
+                                   const DesignPointSynthesis& synth, util::Rng& rng) {
+  auto fresh = [&] { return g.add_task(Task(task_name(counter++), random_dvs_points(synth, rng))); };
+  if (n == 1) {
+    const TaskId v = fresh();
+    return {v, v};
+  }
+  if (n == 2) {
+    const TaskId a = fresh();
+    const TaskId b = fresh();
+    g.add_edge(a, b);
+    return {a, b};
+  }
+  // Split: series with probability 1/2, otherwise parallel between fresh
+  // entry/exit nodes.
+  if (rng.bernoulli(0.5)) {
+    const std::size_t left = 1 + rng.pick_index(n - 1);
+    auto [e1, x1] = build_sp(g, left, counter, synth, rng);
+    auto [e2, x2] = build_sp(g, n - left, counter, synth, rng);
+    g.add_edge(x1, e2);
+    return {e1, x2};
+  }
+  const TaskId entry = fresh();
+  const TaskId exit = fresh();
+  std::size_t remaining = n - 2;
+  while (remaining > 0) {
+    const std::size_t part = 1 + rng.pick_index(remaining);
+    auto [e, x] = build_sp(g, part, counter, synth, rng);
+    g.add_edge(entry, e);
+    g.add_edge(x, exit);
+    remaining -= part;
+  }
+  return {entry, exit};
+}
+
+}  // namespace
+
+TaskGraph make_series_parallel(std::size_t n, const DesignPointSynthesis& synth, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_series_parallel: n must be >= 1");
+  TaskGraph g;
+  std::size_t counter = 0;
+  build_sp(g, n, counter, synth, rng);
+  return g;
+}
+
+}  // namespace basched::graph

@@ -1,0 +1,86 @@
+/// \file generators.hpp
+/// \brief Synthetic task-graph and design-point generators.
+///
+/// The paper evaluates on a fork-join graph (G3) — "a class of task graphs
+/// ... used in multiprocessor scheduling research to model the structure of
+/// commonly encountered parallel algorithms" [9] — and a robotic-arm
+/// controller (G2). For experiments beyond those two inputs we provide the
+/// standard structural families (chains, independent sets, fork-join,
+/// layered random, series-parallel) plus the paper's own design-point
+/// synthesis recipes:
+///
+///  * speedup style (G2): given the slowest/lowest-power reference point
+///    (I_ref, D_ref) and speedup factors s >= 1 relative to it,
+///    I_j = I_ref · s_j³ and D_j = D_ref / s_j ("durations inversely
+///    proportional to the scaling factor, currents proportional to its
+///    cube").
+///  * G3 style: given the peak current I_pk and slowest duration D_max and
+///    *descending* voltage factors s_1 = 1 > s_2 > … > s_m, I_j = I_pk·s_j³
+///    and D_j = D_max · s_{m+1-j} — the factor list applied in reverse for
+///    durations, which is exactly how Table 1 of the paper was produced
+///    (verified against its numbers; see tests/graph/paper_graphs_test).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "basched/graph/task_graph.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::graph {
+
+/// G2-style DVS synthesis: s >= 1 are speedups over the reference point.
+/// Throws std::invalid_argument if any factor < 1 or inputs are non-positive.
+[[nodiscard]] std::vector<DesignPoint> dvs_points_speedup(double i_ref, double d_ref,
+                                                          std::span<const double> speedups);
+
+/// G3-style DVS synthesis: descending factors in (0, 1], first == 1.
+/// Throws std::invalid_argument on non-descending factors or non-positive
+/// inputs.
+[[nodiscard]] std::vector<DesignPoint> dvs_points_g3_style(double i_peak, double d_max,
+                                                           std::span<const double> factors);
+
+/// Parameters for randomized design-point synthesis.
+struct DesignPointSynthesis {
+  std::size_t num_points = 4;       ///< m
+  double min_peak_current = 300.0;  ///< mA, peak current drawn uniformly in range
+  double max_peak_current = 1000.0;
+  double min_fast_duration = 1.0;  ///< minutes, fastest-DP duration range
+  double max_fast_duration = 10.0;
+  double max_speedup = 2.5;  ///< slowest point is max_speedup× slower than fastest
+};
+
+/// Draws one random design-point table per the DVS recipe: speedup factors
+/// are evenly spaced in [1, max_speedup], durations/currents follow the
+/// speedup-style rule with uniformly drawn (I_ref, D_ref).
+[[nodiscard]] std::vector<DesignPoint> random_dvs_points(const DesignPointSynthesis& synth,
+                                                         util::Rng& rng);
+
+/// A chain T0 -> T1 -> … -> T(n-1).
+[[nodiscard]] TaskGraph make_chain(std::size_t n, const DesignPointSynthesis& synth,
+                                   util::Rng& rng);
+
+/// n tasks with no edges (every sequence is legal — the setting of the
+/// paper's §3 ordering bounds).
+[[nodiscard]] TaskGraph make_independent(std::size_t n, const DesignPointSynthesis& synth,
+                                         util::Rng& rng);
+
+/// Fork-join ([9], the family G3 belongs to): a source task, `stages`
+/// alternating fork/join stages where each fork spawns between 2 and
+/// `max_width` parallel tasks that rejoin into a single task.
+[[nodiscard]] TaskGraph make_fork_join(std::size_t stages, std::size_t max_width,
+                                       const DesignPointSynthesis& synth, util::Rng& rng);
+
+/// Layered random DAG: `layers` layers of 1..max_width tasks; every task gets
+/// at least one predecessor in the previous layer, plus extra backward edges
+/// with probability `edge_prob`.
+[[nodiscard]] TaskGraph make_layered_random(std::size_t layers, std::size_t max_width,
+                                            double edge_prob, const DesignPointSynthesis& synth,
+                                            util::Rng& rng);
+
+/// Series-parallel DAG built by random series/parallel compositions with
+/// `n` tasks (n >= 1).
+[[nodiscard]] TaskGraph make_series_parallel(std::size_t n, const DesignPointSynthesis& synth,
+                                             util::Rng& rng);
+
+}  // namespace basched::graph

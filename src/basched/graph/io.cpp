@@ -1,0 +1,119 @@
+#include "basched/graph/io.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace basched::graph {
+
+namespace {
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  // %.17g round-trips any finite double.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::invalid_argument("taskgraph parse error at line " + std::to_string(line_no) + ": " +
+                              msg);
+}
+
+}  // namespace
+
+std::string serialize(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "taskgraph " << graph.num_design_points() << "\n";
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) {
+    const Task& t = graph.task(v);
+    os << "task " << t.name();
+    for (const DesignPoint& p : t.points()) os << ' ' << fmt_exact(p.current) << ' ' << fmt_exact(p.duration);
+    os << "\n";
+  }
+  for (TaskId v = 0; v < graph.num_tasks(); ++v)
+    for (TaskId w : graph.successors(v))
+      os << "edge " << graph.task(v).name() << ' ' << graph.task(w).name() << "\n";
+  return os.str();
+}
+
+TaskGraph parse(std::istream& in) {
+  TaskGraph g;
+  std::unordered_map<std::string, TaskId> by_name;
+  std::size_t declared_m = 0;
+  bool saw_header = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank line
+
+    if (directive == "taskgraph") {
+      if (saw_header) fail(line_no, "duplicate 'taskgraph' header");
+      if (!(ls >> declared_m) || declared_m == 0) fail(line_no, "expected positive design-point count");
+      saw_header = true;
+    } else if (directive == "task") {
+      if (!saw_header) fail(line_no, "'task' before 'taskgraph' header");
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "expected task name");
+      std::vector<DesignPoint> pts;
+      double i = 0.0, d = 0.0;
+      while (ls >> i >> d) pts.push_back({i, d, 0.0});
+      if (!ls.eof()) fail(line_no, "malformed design-point pair");
+      if (pts.size() != declared_m)
+        fail(line_no, "task '" + name + "' has " + std::to_string(pts.size()) +
+                          " design-points, header declared " + std::to_string(declared_m));
+      try {
+        const TaskId id = g.add_task(Task(name, std::move(pts)));
+        by_name.emplace(name, id);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else if (directive == "edge") {
+      std::string from, to;
+      if (!(ls >> from >> to)) fail(line_no, "expected 'edge <parent> <child>'");
+      const auto fit = by_name.find(from);
+      const auto tit = by_name.find(to);
+      if (fit == by_name.end()) fail(line_no, "unknown task '" + from + "'");
+      if (tit == by_name.end()) fail(line_no, "unknown task '" + to + "'");
+      try {
+        g.add_edge(fit->second, tit->second);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_header) throw std::invalid_argument("taskgraph parse error: missing 'taskgraph' header");
+  return g;
+}
+
+TaskGraph parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::string to_dot(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) {
+    const Task& t = graph.task(v);
+    os << "  \"" << t.name() << "\" [label=\"" << t.name() << "\\n" << t.max_current() << "mA/"
+       << t.min_duration() << "min .. " << t.min_current() << "mA/" << t.max_duration()
+       << "min\"];\n";
+  }
+  for (TaskId v = 0; v < graph.num_tasks(); ++v)
+    for (TaskId w : graph.successors(v))
+      os << "  \"" << graph.task(v).name() << "\" -> \"" << graph.task(w).name() << "\";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace basched::graph

@@ -1,0 +1,38 @@
+/// \file io.hpp
+/// \brief Task-graph serialization: a simple line-based text format plus
+/// Graphviz DOT export.
+///
+/// Text format (one record per line, '#' starts a comment):
+///
+///     taskgraph <num_design_points>
+///     task <name> <I1> <D1> <I2> <D2> ...      # m (current, duration) pairs
+///     edge <parent_name> <child_name>
+///
+/// Tasks must be declared before edges that reference them. Round-trips
+/// exactly for graphs with finite data (doubles are printed with enough
+/// digits to be recovered bit-exactly).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::graph {
+
+/// Serializes the graph in the text format above.
+[[nodiscard]] std::string serialize(const TaskGraph& graph);
+
+/// Parses the text format. Throws std::invalid_argument with a line number
+/// on any syntax or semantic error (unknown directive, wrong pair count,
+/// unknown task names, duplicate edges, …).
+[[nodiscard]] TaskGraph parse(const std::string& text);
+
+/// Streaming variant of parse().
+[[nodiscard]] TaskGraph parse(std::istream& in);
+
+/// Graphviz DOT rendering; node labels show the task name and its
+/// fastest/slowest design-point as "I mA / D min" ranges.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph);
+
+}  // namespace basched::graph

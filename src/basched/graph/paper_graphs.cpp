@@ -1,0 +1,100 @@
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::graph {
+
+TaskGraph make_g3() {
+  // Table 1 of the paper: I (mA) / D (min) for DP1..DP5, plus parents.
+  struct Row {
+    const char* name;
+    double data[10];  // I1 D1 I2 D2 I3 D3 I4 D4 I5 D5
+  };
+  static constexpr Row rows[] = {
+      {"T1", {917, 7.3, 563, 11.2, 288, 15.0, 122, 18.7, 33, 22.0}},
+      {"T2", {519, 11.2, 319, 17.3, 163, 23.1, 69, 28.9, 19, 34.0}},
+      {"T3", {611, 5.9, 375, 9.2, 192, 12.2, 81, 15.3, 22, 18.0}},
+      {"T4", {938, 5.3, 576, 8.2, 295, 10.9, 124, 13.6, 34, 16.0}},
+      {"T5", {781, 4.0, 480, 6.1, 246, 8.2, 104, 10.2, 28, 12.0}},
+      {"T6", {800, 4.6, 491, 7.1, 252, 9.5, 106, 11.9, 29, 14.0}},
+      {"T7", {720, 7.3, 442, 11.2, 226, 15.0, 96, 18.7, 26, 22.0}},
+      {"T8", {600, 5.3, 368, 8.2, 189, 10.9, 80, 13.6, 22, 16.0}},
+      {"T9", {650, 4.6, 399, 7.1, 204, 9.5, 86, 11.9, 23, 14.0}},
+      {"T10", {710, 5.9, 436, 9.2, 223, 12.2, 94, 15.3, 26, 18.0}},
+      {"T11", {500, 6.6, 307, 10.2, 157, 13.6, 66, 17.0, 18, 20.0}},
+      {"T12", {510, 4.6, 313, 7.1, 160, 9.5, 68, 11.9, 18, 14.0}},
+      {"T13", {700, 4.0, 430, 6.1, 220, 8.2, 93, 10.2, 25, 12.0}},
+      {"T14", {400, 5.3, 246, 8.2, 126, 10.9, 53, 13.6, 14, 16.0}},
+      {"T15", {380, 3.3, 233, 5.1, 119, 6.8, 50, 8.5, 14, 10.0}},
+  };
+
+  TaskGraph g;
+  for (const Row& r : rows) {
+    std::vector<DesignPoint> pts;
+    for (int j = 0; j < 5; ++j) pts.push_back({r.data[2 * j], r.data[2 * j + 1], 0.0});
+    g.add_task(Task(r.name, std::move(pts)));
+  }
+
+  // Parents column of Table 1 (0-based ids: T1 == 0).
+  auto edge = [&g](TaskId parent, TaskId child) { g.add_edge(parent, child); };
+  edge(0, 1);             // T2 <- T1
+  edge(0, 2);             // T3 <- T1
+  edge(0, 3);             // T4 <- T1
+  edge(0, 4);             // T5 <- T1
+  edge(1, 5);             // T6 <- T2, T3
+  edge(2, 5);
+  edge(3, 6);             // T7 <- T4, T5
+  edge(4, 6);
+  edge(5, 7);             // T8 <- T6, T7
+  edge(6, 7);
+  edge(7, 8);             // T9 <- T8
+  edge(7, 9);             // T10 <- T8
+  edge(8, 10);            // T11 <- T9
+  edge(9, 11);            // T12 <- T10
+  edge(8, 12);            // T13 <- T9
+  edge(10, 13);           // T14 <- T11, T12, T13
+  edge(11, 13);
+  edge(12, 13);
+  edge(13, 14);           // T15 <- T14
+  return g;
+}
+
+TaskGraph make_g2() {
+  // Figure 5 of the paper: I (mA) / D (min) for DP1..DP4.
+  struct Row {
+    const char* name;
+    double data[8];  // I1 D1 I2 D2 I3 D3 I4 D4
+  };
+  static constexpr Row rows[] = {
+      {"N1", {938, 8.8, 278, 13.2, 117, 17.6, 60, 22.0}},
+      {"N2", {781, 1.2, 231, 1.9, 98, 2.5, 50, 3.1}},
+      {"N3", {781, 8.1, 231, 12.1, 98, 16.2, 50, 20.2}},
+      {"N4", {656, 3.6, 194, 5.4, 82, 7.2, 42, 9.0}},
+      {"N5", {781, 6.5, 231, 9.8, 98, 13.0, 50, 16.3}},
+      {"N6", {531, 3.5, 157, 5.3, 66, 7.0, 34, 8.8}},
+      {"N7", {531, 3.5, 157, 5.3, 66, 7.0, 34, 8.8}},
+      {"N8", {531, 3.5, 157, 5.3, 66, 7.0, 34, 8.8}},
+      {"N9", {531, 3.5, 157, 5.3, 66, 7.0, 34, 8.8}},
+  };
+
+  TaskGraph g;
+  for (const Row& r : rows) {
+    std::vector<DesignPoint> pts;
+    for (int j = 0; j < 4; ++j) pts.push_back({r.data[2 * j], r.data[2 * j + 1], 0.0});
+    g.add_task(Task(r.name, std::move(pts)));
+  }
+
+  // Reconstructed edge set (DESIGN.md §5.1): the scanned figure's layers read
+  // 2 | 3 4 | 5 | 6 | 1 | 7 | 9 8 between ENTER and EXIT. 0-based ids:
+  // node k has id k-1.
+  g.add_edge(1, 2);  // 2 -> 3
+  g.add_edge(1, 3);  // 2 -> 4
+  g.add_edge(2, 4);  // 3 -> 5
+  g.add_edge(3, 4);  // 4 -> 5
+  g.add_edge(4, 5);  // 5 -> 6
+  g.add_edge(5, 0);  // 6 -> 1
+  g.add_edge(0, 6);  // 1 -> 7
+  g.add_edge(6, 7);  // 7 -> 8
+  g.add_edge(6, 8);  // 7 -> 9
+  return g;
+}
+
+}  // namespace basched::graph

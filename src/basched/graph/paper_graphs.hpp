@@ -1,0 +1,41 @@
+/// \file paper_graphs.hpp
+/// \brief The two task graphs the paper evaluates on, with their exact
+/// published design-point data.
+///
+///  * **G3** — 15-task fork-join graph, 5 design-points per task. All data is
+///    taken verbatim from Table 1 (currents in mA, durations in minutes,
+///    parents column). Used for the illustrative example (Tables 2 and 3,
+///    deadline 230 min, β = 0.273) and the right half of Table 4
+///    (deadlines 100 / 150 / 230).
+///  * **G2** — 9-task robotic-arm controller (Mooney & De Micheli via
+///    Rakhmatov [1]), 4 design-points per task. Node data is verbatim from
+///    Figure 5; the *edge set* is a reconstruction of the scanned figure's
+///    layer structure (2 → {3,4} → 5 → 6 → 1 → 7 → {8,9}) — see DESIGN.md §5.1.
+///    Used for the left half of Table 4 (deadlines 55 / 75 / 95).
+#pragma once
+
+#include <array>
+
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::graph {
+
+/// β used by the paper's experiments (min^-1/2).
+inline constexpr double kPaperBeta = 0.273;
+
+/// Deadline of the illustrative example (minutes).
+inline constexpr double kG3ExampleDeadline = 230.0;
+
+/// Deadlines of Table 4 for each graph (minutes).
+inline constexpr std::array<double, 3> kG2Deadlines{55.0, 75.0, 95.0};
+inline constexpr std::array<double, 3> kG3Deadlines{100.0, 150.0, 230.0};
+
+/// Builds G3 exactly as published in Table 1. Task ids 0..14 correspond to
+/// T1..T15; design-point columns 0..4 to DP1..DP5.
+[[nodiscard]] TaskGraph make_g3();
+
+/// Builds G2 with Figure 5's node data (ids 0..8 = nodes 1..9, columns 0..3 =
+/// DP1..DP4) and the reconstructed edge set described above.
+[[nodiscard]] TaskGraph make_g2();
+
+}  // namespace basched::graph

@@ -1,0 +1,37 @@
+#include "basched/graph/task.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::graph {
+
+Task::Task(std::string name, std::vector<DesignPoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (name_.empty()) throw std::invalid_argument("Task: name must be non-empty");
+  if (name_.find_first_of(" \t\n\r") != std::string::npos)
+    throw std::invalid_argument("Task: name must not contain whitespace");
+  if (points_.empty()) throw std::invalid_argument("Task: at least one design-point required");
+  for (const auto& p : points_) {
+    if (!(p.duration > 0.0) || !std::isfinite(p.duration))
+      throw std::invalid_argument("Task '" + name_ + "': design-point duration must be > 0");
+    if (p.current < 0.0 || !std::isfinite(p.current))
+      throw std::invalid_argument("Task '" + name_ + "': design-point current must be >= 0");
+  }
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const DesignPoint& a, const DesignPoint& b) { return a.duration < b.duration; });
+  for (std::size_t j = 1; j < points_.size(); ++j) {
+    if (points_[j].current > points_[j - 1].current)
+      throw std::invalid_argument("Task '" + name_ +
+                                  "': currents must be non-increasing as durations increase "
+                                  "(monotone power/performance trade-off)");
+  }
+}
+
+double Task::average_energy() const noexcept {
+  double s = 0.0;
+  for (const auto& p : points_) s += p.energy();
+  return s / static_cast<double>(points_.size());
+}
+
+}  // namespace basched::graph

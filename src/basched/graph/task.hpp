@@ -1,0 +1,59 @@
+/// \file task.hpp
+/// \brief A task: a named node of the application DAG with its design-points.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "basched/graph/design_point.hpp"
+
+namespace basched::graph {
+
+/// A schedulable unit of work with m alternative implementations.
+///
+/// Design-points are stored in the paper's canonical order: execution times
+/// ascending, currents (weakly) descending — i.e. index 0 is the fastest,
+/// highest-power option and index m-1 the slowest, lowest-power one. The
+/// constructor sorts by duration and rejects inputs whose currents are not
+/// weakly descending in that order, because the algorithm's window mechanism
+/// and "upgrade one column left" moves rely on this monotone trade-off.
+class Task {
+ public:
+  /// \param name   non-empty display name (also used by the text I/O format,
+  ///               so it must not contain whitespace)
+  /// \param points at least one design-point with duration > 0, current >= 0
+  /// Throws std::invalid_argument on violations (including non-monotone
+  /// current/duration trade-offs and duplicate durations with increasing
+  /// current).
+  Task(std::string name, std::vector<DesignPoint> points);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// All design-points, fastest (index 0) to slowest (index m-1).
+  [[nodiscard]] std::span<const DesignPoint> points() const noexcept { return points_; }
+
+  [[nodiscard]] std::size_t num_points() const noexcept { return points_.size(); }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] const DesignPoint& point(std::size_t j) const { return points_.at(j); }
+
+  /// Mean of I·D over all design-points — the priority used by the paper's
+  /// initial sequencing (SequenceDecEnergy) and the ordering of the Energy
+  /// Vector E.
+  [[nodiscard]] double average_energy() const noexcept;
+
+  /// Fastest / slowest execution times.
+  [[nodiscard]] double min_duration() const noexcept { return points_.front().duration; }
+  [[nodiscard]] double max_duration() const noexcept { return points_.back().duration; }
+
+  /// Highest / lowest currents (index 0 / m-1 by the canonical order).
+  [[nodiscard]] double max_current() const noexcept { return points_.front().current; }
+  [[nodiscard]] double min_current() const noexcept { return points_.back().current; }
+
+ private:
+  std::string name_;
+  std::vector<DesignPoint> points_;
+};
+
+}  // namespace basched::graph

@@ -1,0 +1,91 @@
+#include "basched/graph/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "basched/graph/topology.hpp"
+
+namespace basched::graph {
+
+TaskId TaskGraph::add_task(Task task) {
+  if (num_points_ == 0) {
+    num_points_ = task.num_points();
+  } else if (task.num_points() != num_points_) {
+    throw std::invalid_argument("TaskGraph: all tasks must have the same number of design-points (" +
+                                std::to_string(num_points_) + "), task '" + task.name() + "' has " +
+                                std::to_string(task.num_points()));
+  }
+  for (const auto& t : tasks_) {
+    if (t.name() == task.name())
+      throw std::invalid_argument("TaskGraph: duplicate task name '" + task.name() + "'");
+  }
+  tasks_.push_back(std::move(task));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return tasks_.size() - 1;
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (from >= tasks_.size() || to >= tasks_.size())
+    throw std::invalid_argument("TaskGraph::add_edge: task id out of range");
+  if (from == to) throw std::invalid_argument("TaskGraph::add_edge: self-loop");
+  if (has_edge(from, to)) throw std::invalid_argument("TaskGraph::add_edge: duplicate edge");
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++num_edges_;
+}
+
+TaskId TaskGraph::task_by_name(const std::string& name) const {
+  for (TaskId i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].name() == name) return i;
+  throw std::invalid_argument("TaskGraph: no task named '" + name + "'");
+}
+
+bool TaskGraph::has_edge(TaskId from, TaskId to) const {
+  if (from >= tasks_.size()) return false;
+  const auto& s = succ_[from];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+bool TaskGraph::is_acyclic() const {
+  if (tasks_.empty()) return true;
+  return topological_order_if_acyclic(*this).has_value();
+}
+
+void TaskGraph::validate() const {
+  if (tasks_.empty()) throw std::invalid_argument("TaskGraph: graph is empty");
+  if (!is_acyclic()) throw std::invalid_argument("TaskGraph: graph contains a cycle");
+}
+
+double TaskGraph::column_time(std::size_t j) const {
+  double t = 0.0;
+  for (const auto& task : tasks_) t += task.point(j).duration;
+  return t;
+}
+
+double TaskGraph::max_current_overall() const noexcept {
+  double v = 0.0;
+  for (const auto& t : tasks_) v = std::max(v, t.max_current());
+  return v;
+}
+
+double TaskGraph::min_current_overall() const noexcept {
+  if (tasks_.empty()) return 0.0;
+  double v = tasks_.front().min_current();
+  for (const auto& t : tasks_) v = std::min(v, t.min_current());
+  return v;
+}
+
+double TaskGraph::min_total_energy() const noexcept {
+  double e = 0.0;
+  for (const auto& t : tasks_) e += t.points().back().energy();
+  return e;
+}
+
+double TaskGraph::max_total_energy() const noexcept {
+  double e = 0.0;
+  for (const auto& t : tasks_) e += t.points().front().energy();
+  return e;
+}
+
+}  // namespace basched::graph

@@ -1,0 +1,86 @@
+/// \file task_graph.hpp
+/// \brief The application model: a directed acyclic task graph G(V, E).
+///
+/// Vertices are Tasks (each with the same number m of design-points — the
+/// paper's uniform-m assumption, enforced here); edges are data/control
+/// dependencies. The platform has a single processing element, so any
+/// schedule executes the tasks *sequentially* in some topological order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "basched/graph/task.hpp"
+
+namespace basched::graph {
+
+/// Index of a task within its TaskGraph (dense, 0-based, stable).
+using TaskId = std::size_t;
+
+/// A directed acyclic task graph with per-task design-point tables.
+///
+/// Mutation API (`add_task` / `add_edge`) performs local validation
+/// (duplicate edges, self-loops, id range, uniform m); acyclicity is checked
+/// by `is_acyclic()` / `validate()` and by every scheduler entry point.
+class TaskGraph {
+ public:
+  /// Adds a task and returns its id (== previous num_tasks()). Throws
+  /// std::invalid_argument if the task's design-point count differs from the
+  /// graph's (set by the first task) or if the name duplicates an existing
+  /// task's name.
+  TaskId add_task(Task task);
+
+  /// Adds a dependency edge from -> to ("to" cannot start before "from"
+  /// completes). Throws std::invalid_argument on out-of-range ids,
+  /// self-loops, or duplicate edges. Cycles are detected by validate().
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Uniform design-point count m (0 for an empty graph).
+  [[nodiscard]] std::size_t num_design_points() const noexcept { return num_points_; }
+
+  /// Bounds-checked task access; throws std::out_of_range.
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_.at(id); }
+
+  /// Looks up a task id by name; throws std::invalid_argument if absent.
+  [[nodiscard]] TaskId task_by_name(const std::string& name) const;
+
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const { return pred_.at(id); }
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const { return succ_.at(id); }
+
+  [[nodiscard]] bool has_edge(TaskId from, TaskId to) const;
+
+  /// True iff the graph contains no directed cycle (empty graphs are acyclic).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Throws std::invalid_argument if the graph is empty or cyclic.
+  void validate() const;
+
+  /// Total execution time if every task ran at design-point column j —
+  /// the paper's CT(j). Throws std::out_of_range if j >= m.
+  [[nodiscard]] double column_time(std::size_t j) const;
+
+  /// Extremes of current over *all* design-points of *all* tasks (the
+  /// paper's Imax / Imin used by the Current Ratio). Zero for empty graphs.
+  [[nodiscard]] double max_current_overall() const noexcept;
+  [[nodiscard]] double min_current_overall() const noexcept;
+
+  /// Σ_i energy of task i's lowest-power (slowest) design-point — the
+  /// paper's Emin ("all the lowest power design-points used for all tasks").
+  [[nodiscard]] double min_total_energy() const noexcept;
+  /// Σ_i energy of task i's highest-power (fastest) design-point (Emax).
+  [[nodiscard]] double max_total_energy() const noexcept;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  std::size_t num_edges_ = 0;
+  std::size_t num_points_ = 0;
+};
+
+}  // namespace basched::graph

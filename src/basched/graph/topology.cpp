@@ -1,0 +1,183 @@
+#include "basched/graph/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::graph {
+
+std::optional<std::vector<TaskId>> topological_order_if_acyclic(const TaskGraph& graph) {
+  const std::size_t n = graph.num_tasks();
+  std::vector<std::size_t> indeg(n, 0);
+  for (TaskId v = 0; v < n; ++v) indeg[v] = graph.predecessors(v).size();
+
+  // Min-heap on id for deterministic tie-breaking.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push(v);
+
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (TaskId w : graph.successors(v))
+      if (--indeg[w] == 0) ready.push(w);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+std::vector<TaskId> topological_order(const TaskGraph& graph) {
+  auto order = topological_order_if_acyclic(graph);
+  if (!order) throw std::invalid_argument("topological_order: graph contains a cycle");
+  return std::move(*order);
+}
+
+bool is_topological_order(const TaskGraph& graph, const std::vector<TaskId>& sequence) {
+  const std::size_t n = graph.num_tasks();
+  if (sequence.size() != n) return false;
+  std::vector<std::size_t> pos(n, n);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i] >= n || pos[sequence[i]] != n) return false;  // out of range or repeated
+    pos[sequence[i]] = i;
+  }
+  for (TaskId v = 0; v < n; ++v)
+    for (TaskId w : graph.successors(v))
+      if (pos[v] >= pos[w]) return false;
+  return true;
+}
+
+std::vector<std::size_t> asap_levels(const TaskGraph& graph) {
+  const auto order = topological_order(graph);
+  std::vector<std::size_t> level(graph.num_tasks(), 0);
+  for (TaskId v : order)
+    for (TaskId p : graph.predecessors(v)) level[v] = std::max(level[v], level[p] + 1);
+  return level;
+}
+
+namespace {
+
+std::vector<TaskId> closure(const TaskGraph& graph, TaskId v, bool forward) {
+  if (v >= graph.num_tasks()) throw std::out_of_range("closure: task id out of range");
+  std::vector<bool> seen(graph.num_tasks(), false);
+  std::vector<TaskId> stack{v};
+  seen[v] = true;
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    const auto next = forward ? graph.successors(u) : graph.predecessors(u);
+    for (TaskId w : next) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  std::vector<TaskId> out;
+  for (TaskId u = 0; u < graph.num_tasks(); ++u)
+    if (seen[u]) out.push_back(u);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskId> descendants_inclusive(const TaskGraph& graph, TaskId v) {
+  return closure(graph, v, /*forward=*/true);
+}
+
+std::vector<TaskId> ancestors_inclusive(const TaskGraph& graph, TaskId v) {
+  return closure(graph, v, /*forward=*/false);
+}
+
+double critical_path_duration(const TaskGraph& graph, std::size_t column) {
+  const auto order = topological_order(graph);
+  std::vector<double> finish(graph.num_tasks(), 0.0);
+  double best = 0.0;
+  for (TaskId v : order) {
+    double start = 0.0;
+    for (TaskId p : graph.predecessors(v)) start = std::max(start, finish[p]);
+    finish[v] = start + graph.task(v).point(column).duration;
+    best = std::max(best, finish[v]);
+  }
+  return best;
+}
+
+namespace {
+
+bool enumerate_orders(const TaskGraph& graph, std::vector<std::size_t>& indeg,
+                      std::vector<TaskId>& current, std::vector<std::vector<TaskId>>& out,
+                      std::size_t limit) {
+  const std::size_t n = graph.num_tasks();
+  if (current.size() == n) {
+    if (out.size() >= limit) return false;
+    out.push_back(current);
+    return true;
+  }
+  for (TaskId v = 0; v < n; ++v) {
+    if (indeg[v] != 0 || indeg[v] == static_cast<std::size_t>(-1)) continue;
+    // v is ready and unscheduled.
+    indeg[v] = static_cast<std::size_t>(-1);
+    for (TaskId w : graph.successors(v)) --indeg[w];
+    current.push_back(v);
+    const bool ok = enumerate_orders(graph, indeg, current, out, limit);
+    current.pop_back();
+    for (TaskId w : graph.successors(v)) ++indeg[w];
+    indeg[v] = 0;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<TaskId>>> all_topological_orders(const TaskGraph& graph,
+                                                                       std::size_t limit) {
+  if (!graph.is_acyclic())
+    throw std::invalid_argument("all_topological_orders: graph contains a cycle");
+  std::vector<std::size_t> indeg(graph.num_tasks(), 0);
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) indeg[v] = graph.predecessors(v).size();
+  std::vector<TaskId> current;
+  std::vector<std::vector<TaskId>> out;
+  if (!enumerate_orders(graph, indeg, current, out, limit)) return std::nullopt;
+  return out;
+}
+
+std::size_t num_sources(const TaskGraph& graph) {
+  std::size_t k = 0;
+  for (TaskId v = 0; v < graph.num_tasks(); ++v)
+    if (graph.predecessors(v).empty()) ++k;
+  return k;
+}
+
+std::size_t num_sinks(const TaskGraph& graph) {
+  std::size_t k = 0;
+  for (TaskId v = 0; v < graph.num_tasks(); ++v)
+    if (graph.successors(v).empty()) ++k;
+  return k;
+}
+
+Subgraph induced_subgraph(const TaskGraph& graph, const std::vector<TaskId>& keep) {
+  if (keep.empty()) throw std::invalid_argument("induced_subgraph: keep set is empty");
+  std::vector<std::size_t> new_id(graph.num_tasks(), static_cast<std::size_t>(-1));
+  Subgraph out;
+  out.original_ids.reserve(keep.size());
+  for (TaskId v : keep) {
+    if (v >= graph.num_tasks())
+      throw std::invalid_argument("induced_subgraph: task id out of range");
+    if (new_id[v] != static_cast<std::size_t>(-1))
+      throw std::invalid_argument("induced_subgraph: duplicate task id in keep set");
+    new_id[v] = out.original_ids.size();
+    out.original_ids.push_back(v);
+    out.graph.add_task(graph.task(v));
+  }
+  for (TaskId v : keep)
+    for (TaskId w : graph.successors(v))
+      if (new_id[w] != static_cast<std::size_t>(-1)) out.graph.add_edge(new_id[v], new_id[w]);
+  return out;
+}
+
+}  // namespace basched::graph

@@ -1,0 +1,69 @@
+/// \file topology.hpp
+/// \brief Topological algorithms on task graphs: orders, levels, reachability,
+/// critical paths, and (bounded) enumeration of all topological orders.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::graph {
+
+/// Kahn's algorithm. Returns a topological order (ties broken by smallest id,
+/// so the result is deterministic), or std::nullopt if the graph is cyclic.
+[[nodiscard]] std::optional<std::vector<TaskId>> topological_order_if_acyclic(
+    const TaskGraph& graph);
+
+/// As above but throws std::invalid_argument on a cyclic graph.
+[[nodiscard]] std::vector<TaskId> topological_order(const TaskGraph& graph);
+
+/// True iff `sequence` is a permutation of all task ids that respects every
+/// edge of the graph.
+[[nodiscard]] bool is_topological_order(const TaskGraph& graph,
+                                        const std::vector<TaskId>& sequence);
+
+/// ASAP level of each task: sources are level 0, every other task is
+/// 1 + max(level of predecessors). Throws on cyclic graphs.
+[[nodiscard]] std::vector<std::size_t> asap_levels(const TaskGraph& graph);
+
+/// Set of tasks reachable from v following successor edges, *including v
+/// itself* — the paper's "sub-graph rooted at node v" (G_v) used by the
+/// weighted-sequence priorities (Eq. 4 and Eq. 5). Returned as a sorted id
+/// vector.
+[[nodiscard]] std::vector<TaskId> descendants_inclusive(const TaskGraph& graph, TaskId v);
+
+/// Set of tasks from which v is reachable, including v itself.
+[[nodiscard]] std::vector<TaskId> ancestors_inclusive(const TaskGraph& graph, TaskId v);
+
+/// Length of the longest path (sum of per-task durations at design-point
+/// column j) through the DAG. On a single processing element this is a lower
+/// bound on any schedule's makespan only when tasks could overlap; here it
+/// is mainly a graph statistic for generators/tests.
+[[nodiscard]] double critical_path_duration(const TaskGraph& graph, std::size_t column);
+
+/// Enumerates topological orders up to `limit`. Returns std::nullopt if the
+/// graph has more than `limit` orders (enumeration aborted), otherwise all
+/// orders. Intended for the exhaustive baseline on small graphs. Throws on
+/// cyclic graphs.
+[[nodiscard]] std::optional<std::vector<std::vector<TaskId>>> all_topological_orders(
+    const TaskGraph& graph, std::size_t limit);
+
+/// Number of source (no predecessor) and sink (no successor) tasks.
+[[nodiscard]] std::size_t num_sources(const TaskGraph& graph);
+[[nodiscard]] std::size_t num_sinks(const TaskGraph& graph);
+
+/// A vertex-induced subgraph together with the id mapping back to the
+/// original graph.
+struct Subgraph {
+  TaskGraph graph;                      ///< the induced graph (fresh dense ids)
+  std::vector<TaskId> original_ids;     ///< original id of each new id
+};
+
+/// Builds the subgraph induced by `keep` (edges between kept tasks are
+/// preserved; task data is copied). `keep` must be non-empty, in-range, and
+/// duplicate-free (throws std::invalid_argument otherwise). Used by the
+/// online executor to re-plan the unexecuted remainder of an application.
+[[nodiscard]] Subgraph induced_subgraph(const TaskGraph& graph, const std::vector<TaskId>& keep);
+
+}  // namespace basched::graph

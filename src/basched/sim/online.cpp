@@ -1,0 +1,111 @@
+#include "basched/sim/online.hpp"
+
+#include <stdexcept>
+
+#include "basched/graph/topology.hpp"
+#include "basched/util/assert.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::sim {
+
+namespace {
+
+/// The queue of (original task id, column) pairs still to execute.
+struct PendingPlan {
+  std::vector<graph::TaskId> order;  // original ids, execution order
+  core::Assignment columns;          // indexed by original id
+};
+
+PendingPlan plan_or_fallback(const graph::TaskGraph& graph, double deadline,
+                             const battery::BatteryModel& model,
+                             const core::IterativeOptions& planner, bool* feasible) {
+  PendingPlan plan;
+  const auto r = core::schedule_battery_aware(graph, deadline, model, planner);
+  if (r.feasible) {
+    plan.order = r.schedule.sequence;
+    plan.columns = r.schedule.assignment;
+    if (feasible != nullptr) *feasible = true;
+    return plan;
+  }
+  // Fall back to all-fastest in deterministic topological order.
+  plan.order = graph::topological_order(graph);
+  plan.columns = core::uniform_assignment(graph, 0);
+  if (feasible != nullptr) *feasible = false;
+  return plan;
+}
+
+}  // namespace
+
+OnlineResult execute_online(const graph::TaskGraph& graph, double deadline,
+                            const battery::BatteryModel& model, const OnlineOptions& options) {
+  graph.validate();
+  if (!(deadline > 0.0)) throw std::invalid_argument("execute_online: deadline must be > 0");
+  if (!(options.noise.factor_lo > 0.0) || options.noise.factor_hi < options.noise.factor_lo)
+    throw std::invalid_argument("execute_online: require 0 < factor_lo <= factor_hi");
+
+  util::Rng rng(options.noise.seed);
+  OnlineResult result;
+
+  bool initial_feasible = false;
+  PendingPlan plan = plan_or_fallback(graph, deadline, model, options.planner, &initial_feasible);
+  result.planned = initial_feasible;
+
+  std::vector<bool> executed(graph.num_tasks(), false);
+  std::size_t cursor = 0;  // next position in plan.order
+  double now = 0.0;
+  std::size_t done = 0;
+
+  while (done < graph.num_tasks()) {
+    BASCHED_ASSERT(cursor < plan.order.size());
+    const graph::TaskId v = plan.order[cursor++];
+    BASCHED_ASSERT(!executed[v]);
+    const auto& pt = graph.task(v).point(plan.columns[v]);
+    const double factor = (options.noise.factor_lo == options.noise.factor_hi)
+                              ? options.noise.factor_lo
+                              : rng.uniform(options.noise.factor_lo, options.noise.factor_hi);
+    const double actual = pt.duration * factor;
+    result.realized.append(actual, pt.current);
+    now += actual;
+    executed[v] = true;
+    ++done;
+
+    if (done == graph.num_tasks()) break;
+
+    if (options.policy == ReplanPolicy::Always) {
+      // Re-plan the unexecuted remainder against the remaining deadline.
+      std::vector<graph::TaskId> remaining;
+      for (graph::TaskId u = 0; u < graph.num_tasks(); ++u)
+        if (!executed[u]) remaining.push_back(u);
+      const graph::Subgraph sub = graph::induced_subgraph(graph, remaining);
+      const double left = deadline - now;
+      PendingPlan next;
+      if (left > 0.0) {
+        bool ok = false;
+        const PendingPlan sub_plan =
+            plan_or_fallback(sub.graph, left, model, options.planner, &ok);
+        if (ok) ++result.replans;
+        next.order.reserve(sub_plan.order.size());
+        next.columns.assign(graph.num_tasks(), 0);
+        for (std::size_t i = 0; i < sub_plan.order.size(); ++i) {
+          const graph::TaskId orig = sub.original_ids[sub_plan.order[i]];
+          next.order.push_back(orig);
+          next.columns[orig] = sub_plan.columns[sub_plan.order[i]];
+        }
+      } else {
+        // Slack exhausted: sprint — fastest columns, deterministic order.
+        const auto sub_order = graph::topological_order(sub.graph);
+        next.columns.assign(graph.num_tasks(), 0);
+        for (graph::TaskId s : sub_order) next.order.push_back(sub.original_ids[s]);
+      }
+      plan = std::move(next);
+      cursor = 0;
+    }
+  }
+
+  result.finish_time = now;
+  result.deadline_met = now <= deadline * (1.0 + 1e-9);
+  result.sigma = model.charge_lost(result.realized, now);
+  return result;
+}
+
+}  // namespace basched::sim

@@ -1,0 +1,69 @@
+/// \file online.hpp
+/// \brief Online (receding-horizon) execution with execution-time noise.
+///
+/// The paper schedules *offline* from worst/average-case execution-time
+/// estimates. On a real platform tasks finish early or late, which skews the
+/// carefully-shaped discharge profile. The paper's related-work section
+/// notes that its own algorithm is cheap enough to run "on an embedded
+/// computing platform"; this module takes that seriously: after each task
+/// completes, the executor can *re-plan* the unexecuted remainder of the
+/// DAG against the remaining deadline, using the same iterative algorithm.
+///
+/// Noise model: each task's realized duration is its estimate multiplied by
+/// an independent uniform factor in [factor_lo, factor_hi]; the platform
+/// current is unchanged (the implementation draws what it draws — only the
+/// time varies). Re-planning optimizes the suffix in isolation, which is
+/// justified by the RV model's additivity over intervals (the prefix's
+/// contribution to future σ is fixed by the time already spent).
+#pragma once
+
+#include <cstdint>
+
+#include "basched/battery/model.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::sim {
+
+/// When the executor recomputes the plan.
+enum class ReplanPolicy {
+  Never,   ///< execute the offline plan verbatim (assignment and order fixed)
+  Always,  ///< re-run the scheduler on the remaining subgraph after every task
+};
+
+/// Execution-time noise: realized = estimate · U[factor_lo, factor_hi].
+struct ExecutionNoise {
+  double factor_lo = 1.0;  ///< must be > 0
+  double factor_hi = 1.0;  ///< must be >= factor_lo
+  std::uint64_t seed = 1;
+};
+
+/// Online-execution configuration.
+struct OnlineOptions {
+  ReplanPolicy policy = ReplanPolicy::Never;
+  ExecutionNoise noise{};
+  core::IterativeOptions planner{};  ///< options for the (re)planning calls
+};
+
+/// What actually happened.
+struct OnlineResult {
+  bool planned = false;       ///< the initial offline plan existed
+  bool deadline_met = false;  ///< realized finish time <= deadline
+  double finish_time = 0.0;   ///< realized completion of the last task
+  double sigma = 0.0;         ///< σ of the realized profile at finish_time
+  int replans = 0;            ///< re-planning invocations that produced a new plan
+  battery::DischargeProfile realized;  ///< the profile the battery actually saw
+};
+
+/// Executes `graph` online against `deadline`. The initial plan comes from
+/// the paper's algorithm; when it is infeasible the executor falls back to
+/// the all-fastest assignment in deterministic topological order (reporting
+/// deadline_met accordingly — the show must go on). When a mid-run re-plan
+/// is infeasible (overruns ate the slack), the remaining tasks run at their
+/// fastest design-points. Throws std::invalid_argument on invalid graph,
+/// deadline, or noise bounds.
+[[nodiscard]] OnlineResult execute_online(const graph::TaskGraph& graph, double deadline,
+                                          const battery::BatteryModel& model,
+                                          const OnlineOptions& options = {});
+
+}  // namespace basched::sim

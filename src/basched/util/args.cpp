@@ -1,0 +1,81 @@
+#include "basched/util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace basched::util {
+
+Args::Args(int argc, const char* const* argv) {
+  int i = 0;
+  if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) command_ = argv[i++];
+  while (i < argc) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument '" + tok + "'");
+    const std::string key = tok.substr(2);
+    if (key.empty()) throw std::invalid_argument("empty option name '--'");
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[i + 1];
+      i += 2;
+    } else {
+      values_[key] = "";  // boolean flag
+      ++i;
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  used_[key] = true;
+  return true;
+}
+
+std::string Args::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) throw std::invalid_argument("missing required option --" + key);
+  used_[key] = true;
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& key, const std::string& fallback) const {
+  return has(key) ? get_string(key) : fallback;
+}
+
+double Args::get_double(const std::string& key) const {
+  const std::string s = get_string(key);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("option --" + key + " expects a number, got '" + s + "'");
+  return v;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+long long Args::get_int(const std::string& key) const {
+  const std::string s = get_string(key);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("option --" + key + " expects an integer, got '" + s + "'");
+  return v;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+std::vector<std::string> Args::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    const auto it = used_.find(key);
+    if (it == used_.end() || !it->second) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace basched::util

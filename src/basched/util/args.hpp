@@ -1,0 +1,46 @@
+/// \file args.hpp
+/// \brief Minimal command-line option parser for the bundled tools.
+///
+/// Grammar: `prog <command> [--key value]... [--flag]...`. Values never start
+/// with "--"; everything else is rejected so typos fail loudly instead of
+/// being ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace basched::util {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+  /// malformed input (missing value, stray positional after the command).
+  Args(int argc, const char* const* argv);
+
+  /// The first positional token ("" if none).
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters; the non-optional overloads throw std::invalid_argument
+  /// when the key is absent (naming the key), the defaulted ones fall back.
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+
+  /// Keys that were supplied but never read — for unknown-option errors.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace basched::util

@@ -1,0 +1,25 @@
+/// \file assert.hpp
+/// \brief Internal invariant checking for basched.
+///
+/// `BASCHED_ASSERT` guards *internal* invariants: conditions that can only be
+/// false if basched itself has a bug. Violations abort with a source
+/// location. API-boundary precondition violations (caller errors) instead
+/// throw `std::invalid_argument` — see the individual module headers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace basched::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "basched internal invariant violated: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace basched::detail
+
+#define BASCHED_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) ::basched::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

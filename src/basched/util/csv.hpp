@@ -1,0 +1,29 @@
+/// \file csv.hpp
+/// \brief Tiny CSV writer for exporting experiment series (e.g. to plot the
+/// paper's tables/figures offline).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace basched::util {
+
+/// Streams rows of cells as RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes, or newlines; doubles embedded quotes).
+class CsvWriter {
+ public:
+  /// Binds the writer to an output stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row. Cells are escaped as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell according to the quoting rules above.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace basched::util

@@ -1,0 +1,64 @@
+#include "basched/util/rng.hpp"
+
+#include <cmath>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::util {
+
+std::uint64_t Rng::next_u64() noexcept {
+  // SplitMix64 step.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() noexcept {
+  // 53 high-quality bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  BASCHED_ASSERT(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit span
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  BASCHED_ASSERT(lo < hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::size_t Rng::pick_index(std::size_t n) noexcept {
+  BASCHED_ASSERT(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  Rng mixer(seed ^ (stream * 0xD6E8FEB86659FD93ULL + 0xA5A5A5A5A5A5A5A5ULL));
+  return mixer.next_u64();
+}
+
+}  // namespace basched::util

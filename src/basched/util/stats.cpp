@@ -1,0 +1,52 @@
+#include "basched/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  if (xs.size() >= 2) {
+    double acc = 0.0;
+    for (double x : xs) acc += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(xs.size() - 1));
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return s;
+}
+
+double percent_diff(double a, double b) {
+  BASCHED_ASSERT(a != 0.0);
+  return 100.0 * (b - a) / a;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    BASCHED_ASSERT(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace basched::util

@@ -1,0 +1,33 @@
+/// \file stats.hpp
+/// \brief Small descriptive-statistics helpers for experiment reporting.
+#pragma once
+
+#include <span>
+
+namespace basched::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator; 0 if n < 2)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes summary statistics over a sample. Empty input yields a
+/// zero-initialized Summary with count == 0.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Percent difference of `b` relative to `a`: 100 * (b - a) / a.
+/// Requires a != 0 (asserted).
+[[nodiscard]] double percent_diff(double a, double b);
+
+/// Geometric mean of strictly positive samples; 0 for an empty span.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+}  // namespace basched::util

@@ -1,0 +1,83 @@
+#include "basched/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace basched::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  aligns_.assign(header_.size(), Align::Right);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.empty()) row.emplace_back("");  // never confuse a data row with a separator
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::set_align(std::size_t column, Align align) {
+  if (aligns_.size() <= column) aligns_.resize(column + 1, Align::Right);
+  aligns_[column] = align;
+}
+
+std::size_t Table::row_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (!r.empty()) ++n;
+  return n;
+}
+
+std::string Table::str() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_)
+    if (!r.empty()) measure(r);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t i = 0; i < cols; ++i) {
+      s.append(width[i] + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : std::string{};
+      const Align a = i < aligns_.size() ? aligns_[i] : Align::Right;
+      const std::size_t pad = width[i] - cell.size();
+      s += ' ';
+      if (a == Align::Right) s.append(pad, ' ');
+      s += cell;
+      if (a == Align::Left) s.append(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule();
+  out += line(header_);
+  out += rule();
+  for (const auto& r : rows_) out += r.empty() ? rule() : line(r);
+  out += rule();
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace basched::util

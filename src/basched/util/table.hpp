@@ -1,0 +1,53 @@
+/// \file table.hpp
+/// \brief Minimal ASCII table formatter used by benches and examples to print
+/// paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace basched::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+///
+/// Usage:
+/// \code
+///   Table t({"Deadline", "sigma (ours)", "sigma [1]", "% diff"});
+///   t.add_row({"55", "30913", "35739", "15.6"});
+///   std::cout << t.str();
+/// \endcode
+class Table {
+ public:
+  /// Creates a table with the given header cells.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Sets the alignment for a column (default: Right for all columns).
+  void set_align(std::size_t column, Align align);
+
+  /// Number of data rows added so far (separators excluded).
+  [[nodiscard]] std::size_t row_count() const noexcept;
+
+  /// Renders the table, including header and rule lines.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a separator
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact form
+/// (e.g. fmt_double(16353.04, 1) == "16353.0").
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+
+}  // namespace basched::util

@@ -1,0 +1,65 @@
+#include "basched/analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::analysis {
+namespace {
+
+TEST(Experiment, RunOursOnG2) {
+  const auto g = graph::make_g2();
+  RunSpec spec;
+  spec.name = "G2";
+  spec.graph = &g;
+  spec.deadline = 75.0;
+  const auto r = run_ours(spec);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.duration, 75.0 + 1e-6);
+}
+
+TEST(Experiment, SpecValidation) {
+  RunSpec spec;
+  spec.deadline = 10.0;
+  EXPECT_THROW((void)run_ours(spec), std::invalid_argument);  // null graph
+  const auto g = graph::make_g2();
+  spec.graph = &g;
+  spec.deadline = 0.0;
+  EXPECT_THROW((void)run_ours(spec), std::invalid_argument);
+  spec.deadline = 10.0;
+  spec.beta = 0.0;
+  EXPECT_THROW((void)run_ours(spec), std::invalid_argument);
+}
+
+TEST(Experiment, ComparisonRowFields) {
+  const auto g = graph::make_g2();
+  RunSpec spec;
+  spec.name = "G2";
+  spec.graph = &g;
+  spec.deadline = 75.0;
+  const ComparisonRow row = run_comparison(spec);
+  EXPECT_EQ(row.name, "G2");
+  EXPECT_DOUBLE_EQ(row.deadline, 75.0);
+  EXPECT_TRUE(row.ours_feasible);
+  EXPECT_TRUE(row.baseline_feasible);
+  EXPECT_GT(row.ours_sigma, 0.0);
+  EXPECT_GT(row.baseline_sigma, 0.0);
+  // percent_diff definition: 100 · (baseline − ours) / ours.
+  EXPECT_NEAR(row.percent_diff,
+              100.0 * (row.baseline_sigma - row.ours_sigma) / row.ours_sigma, 1e-9);
+}
+
+TEST(Experiment, RunComparisonsCoversAllDeadlines) {
+  const auto g = graph::make_g3();
+  const auto rows = run_comparisons(g, "G3", {100.0, 150.0, 230.0}, graph::kPaperBeta);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i].name, "G3");
+  // Battery use decreases with looser deadlines (the paper's observation).
+  EXPECT_GT(rows[0].ours_sigma, rows[1].ours_sigma);
+  EXPECT_GT(rows[1].ours_sigma, rows[2].ours_sigma);
+}
+
+}  // namespace
+}  // namespace basched::analysis

@@ -1,0 +1,72 @@
+#include "basched/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::analysis {
+namespace {
+
+TEST(Report, FormatSequenceUsesNames) {
+  const auto g = graph::make_g3();
+  const std::string s = format_sequence(g, {0, 3, 14});
+  EXPECT_EQ(s, "T1,T4,T15");
+}
+
+TEST(Report, FormatAssignmentUsesOneBasedColumns) {
+  const auto g = graph::make_g3();
+  core::Assignment a(g.num_tasks(), 4);
+  a[3] = 0;
+  const std::string s = format_assignment({0, 3, 14}, a);
+  EXPECT_EQ(s, "P5,P1,P5");
+}
+
+TEST(Report, Table2ListsAllIterations) {
+  const auto g = graph::make_g3();
+  RunSpec spec;
+  spec.name = "G3";
+  spec.graph = &g;
+  spec.deadline = graph::kG3ExampleDeadline;
+  const auto r = run_ours(spec);
+  const std::string t2 = format_table2(g, r);
+  EXPECT_NE(t2.find("S1"), std::string::npos);
+  EXPECT_NE(t2.find("S1w"), std::string::npos);
+  EXPECT_NE(t2.find("T1"), std::string::npos);
+  EXPECT_NE(t2.find("P5"), std::string::npos);
+}
+
+TEST(Report, Table3ShowsWindowColumns) {
+  const auto g = graph::make_g3();
+  RunSpec spec;
+  spec.name = "G3";
+  spec.graph = &g;
+  spec.deadline = graph::kG3ExampleDeadline;
+  const auto r = run_ours(spec);
+  const std::string t3 = format_table3(r, g.num_design_points());
+  EXPECT_NE(t3.find("sigma 1:5"), std::string::npos);
+  EXPECT_NE(t3.find("sigma 4:5"), std::string::npos);
+  EXPECT_NE(t3.find("min sigma"), std::string::npos);
+}
+
+TEST(Report, Table4ContainsRows) {
+  const auto g = graph::make_g2();
+  const auto rows = run_comparisons(g, "G2", {55.0, 75.0}, graph::kPaperBeta);
+  const std::string t4 = format_table4(rows);
+  EXPECT_NE(t4.find("G2"), std::string::npos);
+  EXPECT_NE(t4.find("% Diff"), std::string::npos);
+  EXPECT_NE(t4.find("55"), std::string::npos);
+}
+
+TEST(Report, Table4MarksInfeasible) {
+  ComparisonRow row;
+  row.name = "X";
+  row.deadline = 5.0;
+  row.ours_feasible = false;
+  row.baseline_feasible = false;
+  const std::string t4 = format_table4({row});
+  EXPECT_NE(t4.find("infeas"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basched::analysis

@@ -1,0 +1,93 @@
+#include "basched/analysis/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::analysis {
+namespace {
+
+TEST(Suite, StandardSuiteShape) {
+  const auto suite = standard_suite(7, 2);
+  EXPECT_EQ(suite.size(), 10u);  // 5 families × 2
+  for (const auto& inst : suite) {
+    EXPECT_FALSE(inst.name.empty());
+    EXPECT_GT(inst.graph.num_tasks(), 0u);
+    EXPECT_TRUE(inst.graph.is_acyclic());
+    // Deadline strictly between all-fastest and all-slowest.
+    EXPECT_GT(inst.deadline, inst.graph.column_time(0));
+    EXPECT_LE(inst.deadline,
+              inst.graph.column_time(inst.graph.num_design_points() - 1) + 1e-9);
+  }
+}
+
+TEST(Suite, DeterministicPerSeed) {
+  const auto a = standard_suite(3, 1);
+  const auto b = standard_suite(3, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].deadline, b[i].deadline);
+    EXPECT_EQ(a[i].graph.num_tasks(), b[i].graph.num_tasks());
+  }
+}
+
+TEST(Suite, DifferentSeedsDiffer) {
+  const auto a = standard_suite(1, 1);
+  const auto b = standard_suite(2, 1);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].deadline != b[i].deadline) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Suite, TightnessControlsDeadline) {
+  const auto loose = standard_suite(5, 1, 0.9);
+  const auto tight = standard_suite(5, 1, 0.2);
+  for (std::size_t i = 0; i < loose.size(); ++i)
+    EXPECT_GT(loose[i].deadline, tight[i].deadline);
+}
+
+TEST(Suite, Validation) {
+  EXPECT_THROW((void)standard_suite(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)standard_suite(1, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)standard_suite(1, 1, 1.5), std::invalid_argument);
+}
+
+TEST(Suite, RunSuiteAggregates) {
+  const auto suite = standard_suite(11, 1);
+  const auto summary = run_suite(suite, 0.273);
+  EXPECT_EQ(summary.instances, 5);
+  ASSERT_EQ(summary.algorithms.size(), 4u);
+  EXPECT_EQ(summary.algorithms[0].name, "ours");
+  // Wins per instance sum to at least commonly_feasible (ties can exceed).
+  int wins = 0;
+  for (const auto& a : summary.algorithms) {
+    wins += a.wins;
+    EXPECT_GE(a.geomean_ratio, 1.0 - 1e-9);  // ratio vs best is >= 1
+    EXPECT_LE(a.feasible, summary.instances);
+  }
+  EXPECT_GE(wins, summary.commonly_feasible);
+}
+
+TEST(Suite, OursCompetitive) {
+  // Quality guard over the suite: our algorithm's geomean ratio to the best
+  // feasible result stays within 15%.
+  const auto suite = standard_suite(13, 2);
+  const auto summary = run_suite(suite, 0.273);
+  ASSERT_GT(summary.commonly_feasible, 0);
+  EXPECT_LE(summary.algorithms[0].geomean_ratio, 1.15);
+}
+
+TEST(Suite, FormatMentionsAllAlgorithms) {
+  const auto suite = standard_suite(17, 1);
+  const auto summary = run_suite(suite, 0.273);
+  const std::string s = format_suite(summary);
+  EXPECT_NE(s.find("ours"), std::string::npos);
+  EXPECT_NE(s.find("RV-DP [1]"), std::string::npos);
+  EXPECT_NE(s.find("Chowdhury [7]"), std::string::npos);
+  EXPECT_NE(s.find("random-2k"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basched::analysis

@@ -1,0 +1,85 @@
+#include "basched/analysis/sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::analysis {
+namespace {
+
+TEST(DeadlineSweep, CoversRangeEvenly) {
+  const auto g = graph::make_g2();
+  const auto pts = deadline_sweep(g, 50.0, 100.0, 6, graph::kPaperBeta);
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_DOUBLE_EQ(pts.front().deadline, 50.0);
+  EXPECT_DOUBLE_EQ(pts.back().deadline, 100.0);
+  EXPECT_NEAR(pts[1].deadline - pts[0].deadline, 10.0, 1e-12);
+}
+
+TEST(DeadlineSweep, InfeasibleBelowColumnZeroTime) {
+  const auto g = graph::make_g2();  // CT(0) = 42.2
+  const auto pts = deadline_sweep(g, 30.0, 50.0, 3, graph::kPaperBeta);
+  EXPECT_FALSE(pts.front().ours_feasible);
+  EXPECT_FALSE(pts.front().rvdp_feasible);
+  EXPECT_TRUE(pts.back().ours_feasible);
+}
+
+TEST(DeadlineSweep, SigmaMonotoneNonIncreasingForOurs) {
+  const auto g = graph::make_g3();
+  const auto pts = deadline_sweep(g, 100.0, 240.0, 6, graph::kPaperBeta);
+  double prev = 1e300;
+  for (const auto& p : pts) {
+    if (!p.ours_feasible) continue;
+    EXPECT_LE(p.ours_sigma, prev * 1.02);  // near-monotone decrease
+    prev = p.ours_sigma;
+  }
+}
+
+TEST(DeadlineSweep, CsvWellFormed) {
+  const auto g = graph::make_g2();
+  const auto pts = deadline_sweep(g, 50.0, 100.0, 3, graph::kPaperBeta);
+  const std::string csv = deadline_sweep_csv(pts);
+  EXPECT_NE(csv.find("deadline,ours,rvdp,chowdhury"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + pts.size());
+}
+
+TEST(DeadlineSweep, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)deadline_sweep(g, 0.0, 10.0, 3, 0.273), std::invalid_argument);
+  EXPECT_THROW((void)deadline_sweep(g, 10.0, 5.0, 3, 0.273), std::invalid_argument);
+  EXPECT_THROW((void)deadline_sweep(g, 10.0, 20.0, 1, 0.273), std::invalid_argument);
+}
+
+TEST(BetaSweep, ReportsEveryBeta) {
+  const auto g = graph::make_g2();
+  const auto pts = beta_sweep(g, 75.0, {0.1, 0.273, 1.0});
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(p.feasible);
+    EXPECT_GE(p.sigma, p.energy);  // σ >= delivered under any β
+  }
+}
+
+TEST(BetaSweep, SigmaPremiumShrinksWithBeta) {
+  const auto g = graph::make_g3();
+  const auto pts = beta_sweep(g, 230.0, {0.1, 0.5, 5.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_GT(pts[0].sigma / pts[0].energy, pts[1].sigma / pts[1].energy);
+  EXPECT_GT(pts[1].sigma / pts[1].energy, pts[2].sigma / pts[2].energy);
+  EXPECT_NEAR(pts[2].sigma / pts[2].energy, 1.0, 0.05);
+}
+
+TEST(BetaSweep, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)beta_sweep(g, 0.0, {0.3}), std::invalid_argument);
+  EXPECT_THROW((void)beta_sweep(g, 75.0, {}), std::invalid_argument);
+  EXPECT_THROW((void)beta_sweep(g, 75.0, {0.3, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::analysis

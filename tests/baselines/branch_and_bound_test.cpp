@@ -1,0 +1,122 @@
+#include "basched/baselines/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/baselines/exhaustive.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph small_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::make_series_parallel(6, synth, rng);
+}
+
+double mid_deadline(const graph::TaskGraph& g) {
+  return g.column_time(0) +
+         0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+}
+
+class BnbVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbVsExhaustive, MatchesExhaustiveOptimum) {
+  const auto g = small_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto exhaustive = schedule_exhaustive(g, d, kModel);
+  const auto bnb = schedule_branch_and_bound(g, d, kModel);
+  ASSERT_TRUE(exhaustive.has_value());
+  ASSERT_TRUE(bnb.has_value());
+  ASSERT_EQ(exhaustive->feasible, bnb->feasible);
+  if (exhaustive->feasible) EXPECT_NEAR(bnb->sigma, exhaustive->sigma, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsExhaustive, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Bnb, NeverWorseThanHeuristicSeed) {
+  const auto g = graph::make_g2();
+  const auto bnb = schedule_branch_and_bound(g, 75.0, kModel);
+  ASSERT_TRUE(bnb.has_value());
+  ASSERT_TRUE(bnb->feasible);
+  const auto ours = core::schedule_battery_aware(g, 75.0, kModel);
+  ASSERT_TRUE(ours.feasible);
+  EXPECT_LE(bnb->sigma, ours.sigma + 1e-9);
+  EXPECT_LE(bnb->duration, 75.0 + 1e-9);
+}
+
+TEST(Bnb, HandlesGraphsBeyondExhaustiveReach) {
+  // 10 tasks × 3 points: 3^10 ≈ 59k assignments per order, too many orders
+  // for the exhaustive limits used in tests, but fine for BnB.
+  util::Rng rng(77);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  const auto g = graph::make_series_parallel(10, synth, rng);
+  const double d = mid_deadline(g);
+  const auto bnb = schedule_branch_and_bound(g, d, kModel);
+  ASSERT_TRUE(bnb.has_value());
+  ASSERT_TRUE(bnb->feasible);
+  const auto ours = core::schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(ours.feasible);
+  EXPECT_LE(bnb->sigma, ours.sigma + 1e-9);
+}
+
+TEST(Bnb, NodeLimitAborts) {
+  util::Rng rng(5);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  const auto g = graph::make_independent(9, synth, rng);
+  BnbOptions opts;
+  opts.max_nodes = 50;
+  opts.seed_with_heuristic = false;
+  EXPECT_FALSE(schedule_branch_and_bound(g, 1e6, kModel, opts).has_value());
+}
+
+TEST(Bnb, UnmeetableDeadlineReported) {
+  const auto g = graph::make_g3();
+  const auto bnb = schedule_branch_and_bound(g, 50.0, kModel);
+  ASSERT_TRUE(bnb.has_value());
+  EXPECT_FALSE(bnb->feasible);
+  EXPECT_FALSE(bnb->error.empty());
+}
+
+TEST(Bnb, StatsReportPruning) {
+  const auto g = small_graph(3);
+  BnbStats stats;
+  const auto bnb = schedule_branch_and_bound(g, mid_deadline(g), kModel, {}, &stats);
+  ASSERT_TRUE(bnb.has_value());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  // The heuristic seed makes the σ bound bite on any nontrivial instance.
+  EXPECT_GT(stats.pruned_sigma + stats.pruned_deadline, 0u);
+}
+
+TEST(Bnb, SeedingOnlyChangesSpeedNotResult) {
+  const auto g = small_graph(4);
+  const double d = mid_deadline(g);
+  BnbOptions unseeded;
+  unseeded.seed_with_heuristic = false;
+  const auto a = schedule_branch_and_bound(g, d, kModel);
+  const auto b = schedule_branch_and_bound(g, d, kModel, unseeded);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ASSERT_EQ(a->feasible, b->feasible);
+  if (a->feasible) EXPECT_NEAR(a->sigma, b->sigma, 1e-9);
+}
+
+TEST(Bnb, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)schedule_branch_and_bound(g, 0.0, kModel), std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_branch_and_bound(empty, 10.0, kModel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::baselines

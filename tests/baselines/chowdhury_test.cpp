@@ -1,0 +1,83 @@
+#include "basched/baselines/chowdhury.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+TEST(Chowdhury, FeasibleOnPaperGraphs) {
+  for (const auto& [g, deadlines] :
+       {std::pair{graph::make_g2(), graph::kG2Deadlines},
+        std::pair{graph::make_g3(), graph::kG3Deadlines}}) {
+    for (double d : deadlines) {
+      const auto r = schedule_chowdhury(g, d, kModel);
+      ASSERT_TRUE(r.feasible) << "deadline " << d;
+      EXPECT_TRUE(r.schedule.is_valid(g));
+      EXPECT_LE(r.duration, d + 1e-6);
+    }
+  }
+}
+
+TEST(Chowdhury, InfeasibleDeadline) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_chowdhury(g, 50.0, kModel);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Chowdhury, GenerousDeadlineDownscalesEverything) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_chowdhury(g, 10000.0, kModel);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.assignment,
+            core::uniform_assignment(g, g.num_design_points() - 1));
+}
+
+TEST(Chowdhury, ExactFitKeepsEverythingFast) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 2.0}, {100.0, 4.0}}));
+  g.add_task(graph::Task("B", {{400.0, 2.0}, {100.0, 4.0}}));
+  g.add_edge(0, 1);
+  const auto r = schedule_chowdhury(g, 4.0, kModel);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.assignment, (core::Assignment{0, 0}));
+}
+
+TEST(Chowdhury, SlackGoesToLaterTaskFirst) {
+  // One unit of slack, two identical tasks: [7] proves the later task should
+  // take it, and the backward walk does exactly that.
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 2.0}, {100.0, 4.0}}));
+  g.add_task(graph::Task("B", {{400.0, 2.0}, {100.0, 4.0}}));
+  g.add_edge(0, 1);
+  const auto r = schedule_chowdhury(g, 6.0, kModel);
+  ASSERT_TRUE(r.feasible);
+  // Sequence is A then B; B (later) gets the slow point.
+  EXPECT_EQ(r.schedule.assignment[0], 0u);
+  EXPECT_EQ(r.schedule.assignment[1], 1u);
+}
+
+TEST(Chowdhury, PartialDownscaleUsesIntermediateColumns) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{800.0, 1.0}, {400.0, 2.0}, {100.0, 4.0}}));
+  const auto r = schedule_chowdhury(g, 2.5, kModel);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.assignment[0], 1u);  // the middle point fits, slowest doesn't
+}
+
+TEST(Chowdhury, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)schedule_chowdhury(g, 0.0, kModel), std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_chowdhury(empty, 10.0, kModel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::baselines

@@ -1,0 +1,100 @@
+/// Cross-checks all schedulers against each other and against the exhaustive
+/// optimum on small random instances.
+#include <gtest/gtest.h>
+
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/exhaustive.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph small_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  switch (seed % 3) {
+    case 0:
+      return graph::make_chain(5, synth, rng);
+    case 1:
+      return graph::make_series_parallel(6, synth, rng);
+    default:
+      return graph::make_layered_random(3, 2, 0.4, synth, rng);
+  }
+}
+
+double mid_deadline(const graph::TaskGraph& g) {
+  const double fast = g.column_time(0);
+  const double slow = g.column_time(g.num_design_points() - 1);
+  return fast + 0.6 * (slow - fast);
+}
+
+class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossValidation, NoHeuristicBeatsExhaustiveOptimum) {
+  const auto g = small_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto opt = schedule_exhaustive(g, d, kModel);
+  ASSERT_TRUE(opt.has_value() && opt->feasible);
+
+  const auto ours = core::schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(ours.feasible);
+  EXPECT_GE(ours.sigma, opt->sigma - 1e-6);
+
+  const auto dp = schedule_rv_dp(g, d, kModel);
+  ASSERT_TRUE(dp.feasible);
+  EXPECT_GE(dp.sigma, opt->sigma - 1e-6);
+
+  const auto ch = schedule_chowdhury(g, d, kModel);
+  if (ch.feasible) EXPECT_GE(ch.sigma, opt->sigma - 1e-6);
+
+  AnnealingOptions aopts;
+  aopts.iterations = 3000;
+  const auto sa = schedule_annealing(g, d, kModel, aopts);
+  if (sa.feasible) EXPECT_GE(sa.sigma, opt->sigma - 1e-6);
+
+  RandomSearchOptions ropts;
+  ropts.samples = 500;
+  const auto rnd = schedule_random_search(g, d, kModel, ropts);
+  if (rnd.feasible) EXPECT_GE(rnd.sigma, opt->sigma - 1e-6);
+}
+
+TEST_P(CrossValidation, OursWithinModestFactorOfOptimum) {
+  // Quality guard: the iterative heuristic should stay within 30% of the
+  // exhaustive optimum on these small instances.
+  const auto g = small_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto opt = schedule_exhaustive(g, d, kModel);
+  ASSERT_TRUE(opt.has_value() && opt->feasible);
+  const auto ours = core::schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(ours.feasible);
+  EXPECT_LE(ours.sigma, opt->sigma * 1.30);
+}
+
+TEST_P(CrossValidation, EveryFeasibleResultRespectsDeadline) {
+  const auto g = small_graph(GetParam());
+  const double d = mid_deadline(g);
+  const double tol = d * (1.0 + 1e-9);
+  const auto ours = core::schedule_battery_aware(g, d, kModel);
+  if (ours.feasible) EXPECT_LE(ours.duration, tol);
+  for (const auto& r : {schedule_rv_dp(g, d, kModel), schedule_chowdhury(g, d, kModel),
+                        schedule_random_search(g, d, kModel)}) {
+    if (r.feasible) {
+      EXPECT_LE(r.duration, tol);
+      EXPECT_TRUE(r.schedule.is_valid(g));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace basched::baselines

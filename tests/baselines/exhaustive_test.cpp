@@ -1,0 +1,86 @@
+#include "basched/baselines/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/topology.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph tiny_graph() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{800.0, 1.0}, {100.0, 2.0}}));
+  g.add_task(graph::Task("B", {{600.0, 1.0}, {75.0, 2.0}}));
+  g.add_task(graph::Task("C", {{400.0, 1.0}, {50.0, 2.0}}));
+  g.add_edge(0, 1);
+  return g;  // C independent of the A→B chain
+}
+
+TEST(Exhaustive, FindsOptimum) {
+  const auto g = tiny_graph();
+  const auto r = schedule_exhaustive(g, 5.0, kModel);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->feasible);
+  EXPECT_TRUE(r->schedule.is_valid(g));
+  EXPECT_LE(r->duration, 5.0 + 1e-9);
+
+  // Verify optimality by brute force here in the test.
+  const auto orders = graph::all_topological_orders(g, 100);
+  ASSERT_TRUE(orders.has_value());
+  double best = 1e300;
+  for (const auto& order : *orders) {
+    for (int mask = 0; mask < 8; ++mask) {
+      core::Assignment a{static_cast<std::size_t>(mask & 1),
+                         static_cast<std::size_t>((mask >> 1) & 1),
+                         static_cast<std::size_t>((mask >> 2) & 1)};
+      const core::Schedule s{order, a};
+      if (s.duration(g) > 5.0) continue;
+      best = std::min(best, core::calculate_battery_cost_unchecked(g, s, kModel).sigma);
+    }
+  }
+  EXPECT_NEAR(r->sigma, best, 1e-9);
+}
+
+TEST(Exhaustive, InfeasibleDeadlineReported) {
+  const auto g = tiny_graph();
+  const auto r = schedule_exhaustive(g, 2.5, kModel);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->feasible);
+  EXPECT_FALSE(r->error.empty());
+}
+
+TEST(Exhaustive, OrderLimitAborts) {
+  util::Rng rng(3);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 2;
+  const auto g = graph::make_independent(8, synth, rng);  // 40320 orders
+  ExhaustiveOptions opts;
+  opts.max_orders = 100;
+  EXPECT_FALSE(schedule_exhaustive(g, 1e6, kModel, opts).has_value());
+}
+
+TEST(Exhaustive, AssignmentLimitAborts) {
+  util::Rng rng(4);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 6;
+  const auto g = graph::make_chain(9, synth, rng);  // 6^9 ≈ 10M assignments
+  ExhaustiveOptions opts;
+  opts.max_assignments = 1000;
+  EXPECT_FALSE(schedule_exhaustive(g, 1e6, kModel, opts).has_value());
+}
+
+TEST(Exhaustive, Validation) {
+  const auto g = tiny_graph();
+  EXPECT_THROW((void)schedule_exhaustive(g, 0.0, kModel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::baselines

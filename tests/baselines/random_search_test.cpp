@@ -1,0 +1,84 @@
+#include "basched/baselines/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+TEST(RandomTopoOrder, AlwaysTopological) {
+  const auto g = graph::make_g3();
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(graph::is_topological_order(g, random_topological_order(g, rng)));
+}
+
+TEST(RandomTopoOrder, ExploresMultipleOrders) {
+  const auto g = graph::make_g3();
+  util::Rng rng(6);
+  std::set<std::vector<graph::TaskId>> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(random_topological_order(g, rng));
+  EXPECT_GT(seen.size(), 5u);
+}
+
+TEST(RandomSearch, FeasibleOnG2) {
+  const auto g = graph::make_g2();
+  RandomSearchOptions opts;
+  opts.samples = 3000;
+  const auto r = schedule_random_search(g, 95.0, kModel, opts);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_TRUE(r.schedule.is_valid(g));
+  EXPECT_LE(r.duration, 95.0 + 1e-6);
+}
+
+TEST(RandomSearch, DeterministicPerSeed) {
+  const auto g = graph::make_g2();
+  RandomSearchOptions opts;
+  opts.samples = 500;
+  opts.seed = 77;
+  const auto a = schedule_random_search(g, 95.0, kModel, opts);
+  const auto b = schedule_random_search(g, 95.0, kModel, opts);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+TEST(RandomSearch, InfeasibleDeadline) {
+  const auto g = graph::make_g3();
+  RandomSearchOptions opts;
+  opts.samples = 200;
+  const auto r = schedule_random_search(g, 50.0, kModel, opts);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(RandomSearch, MoreSamplesNeverHurt) {
+  const auto g = graph::make_g2();
+  RandomSearchOptions small, large;
+  small.samples = 100;
+  large.samples = 5000;
+  small.seed = large.seed = 3;
+  const auto rs = schedule_random_search(g, 95.0, kModel, small);
+  const auto rl = schedule_random_search(g, 95.0, kModel, large);
+  if (rs.feasible) {
+    ASSERT_TRUE(rl.feasible);
+    EXPECT_LE(rl.sigma, rs.sigma + 1e-9);  // shared seed replays the prefix
+  }
+}
+
+TEST(RandomSearch, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)schedule_random_search(g, 0.0, kModel), std::invalid_argument);
+  RandomSearchOptions opts;
+  opts.samples = 0;
+  EXPECT_THROW((void)schedule_random_search(g, 95.0, kModel, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::baselines

@@ -1,0 +1,120 @@
+#include "basched/baselines/rv_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+TEST(RvDp, MinEnergyAssignmentOnTinyInstance) {
+  // Two tasks, two points each. Deadline admits exactly one slow task; the
+  // DP must slow the task with the larger energy saving.
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{800.0, 1.0}, {100.0, 2.0}}));  // saves 600 by slowing
+  g.add_task(graph::Task("B", {{500.0, 1.0}, {400.0, 2.0}}));  // saves -300 (slowing costs!)
+  g.add_edge(0, 1);
+  const auto a = min_energy_assignment(g, 3.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, (core::Assignment{1, 0}));  // slow A, keep B fast
+}
+
+TEST(RvDp, GenerousDeadlinePicksGlobalMinEnergy) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{800.0, 1.0}, {100.0, 2.0}}));
+  g.add_task(graph::Task("B", {{500.0, 1.0}, {400.0, 2.0}}));
+  const auto a = min_energy_assignment(g, 100.0);
+  ASSERT_TRUE(a.has_value());
+  // A: 200 < 800 → slow; B: 500 < 800 → fast.
+  EXPECT_EQ(*a, (core::Assignment{1, 0}));
+}
+
+TEST(RvDp, InfeasibleDeadline) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{800.0, 2.0}, {100.0, 4.0}}));
+  EXPECT_FALSE(min_energy_assignment(g, 1.0).has_value());
+  const auto r = schedule_rv_dp(g, 1.0, kModel);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(RvDp, CeilRoundingKeepsRealFeasibility) {
+  // Durations that do not align with the grid: rounding up must never emit a
+  // schedule that exceeds the real deadline.
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 1.04}, {100.0, 2.09}}));
+  g.add_task(graph::Task("B", {{400.0, 1.04 }, {100.0, 2.09}}));
+  for (double d : {2.2, 3.2, 4.2, 5.0}) {
+    const auto r = schedule_rv_dp(g, d, kModel);
+    if (r.feasible) EXPECT_LE(r.duration, d + 1e-9) << "deadline " << d;
+  }
+}
+
+TEST(RvDp, G3PaperDeadlinesAllFeasible) {
+  const auto g = graph::make_g3();
+  for (double d : graph::kG3Deadlines) {
+    const auto r = schedule_rv_dp(g, d, kModel);
+    ASSERT_TRUE(r.feasible) << "deadline " << d;
+    EXPECT_TRUE(r.schedule.is_valid(g));
+    EXPECT_LE(r.duration, d + 1e-9);
+  }
+}
+
+TEST(RvDp, EnergyOptimalAmongAssignments) {
+  // On G3 with d = 230 the DP's energy must not exceed that of any uniform
+  // column assignment that fits the deadline.
+  const auto g = graph::make_g3();
+  const auto r = schedule_rv_dp(g, 230.0, kModel);
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t col = 0; col < g.num_design_points(); ++col) {
+    if (g.column_time(col) > 230.0) continue;
+    double e = 0.0;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) e += g.task(v).point(col).energy();
+    EXPECT_LE(r.energy, e + 1e-6);
+  }
+}
+
+TEST(RvDp, TighterDeadlineNeverDecreasesEnergy) {
+  const auto g = graph::make_g2();
+  double prev = -1.0;
+  for (double d : {95.0, 75.0, 55.0}) {
+    const auto r = schedule_rv_dp(g, d, kModel);
+    ASSERT_TRUE(r.feasible);
+    if (prev >= 0.0) EXPECT_GE(r.energy, prev - 1e-9);
+    prev = r.energy;
+  }
+}
+
+TEST(RvDp, ResolutionValidation) {
+  const auto g = graph::make_g2();
+  RvDpOptions opts;
+  opts.time_resolution = 0.0;
+  EXPECT_THROW((void)schedule_rv_dp(g, 55.0, kModel, opts), std::invalid_argument);
+  EXPECT_THROW((void)schedule_rv_dp(g, 0.0, kModel), std::invalid_argument);
+}
+
+TEST(RvDp, CoarserGridStillFeasible) {
+  const auto g = graph::make_g3();
+  RvDpOptions coarse;
+  coarse.time_resolution = 1.0;
+  const auto r = schedule_rv_dp(g, 230.0, kModel, coarse);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.duration, 230.0 + 1e-9);
+}
+
+TEST(RvDp, SequencingUsesGreedyMaxCurrent) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_rv_dp(g, 230.0, kModel);
+  ASSERT_TRUE(r.feasible);
+  const auto expect = core::greedy_max_current_sequence(g, r.schedule.assignment);
+  EXPECT_EQ(r.schedule.sequence, expect);
+}
+
+}  // namespace
+}  // namespace basched::baselines

@@ -1,0 +1,158 @@
+#include "basched/battery/discharge_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::battery {
+namespace {
+
+TEST(DischargeProfile, EmptyProfile) {
+  DischargeProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_DOUBLE_EQ(p.end_time(), 0.0);
+  EXPECT_DOUBLE_EQ(p.total_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(p.average_current(), 0.0);
+  EXPECT_DOUBLE_EQ(p.peak_current(), 0.0);
+}
+
+TEST(DischargeProfile, AppendChainsIntervals) {
+  DischargeProfile p;
+  p.append(2.0, 100.0);
+  p.append(3.0, 50.0);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.intervals()[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(p.end_time(), 5.0);
+  EXPECT_DOUBLE_EQ(p.total_charge(), 2.0 * 100.0 + 3.0 * 50.0);
+}
+
+TEST(DischargeProfile, AppendAtAllowsGaps) {
+  DischargeProfile p;
+  p.append_at(0.0, 1.0, 10.0);
+  p.append_at(5.0, 1.0, 20.0);
+  EXPECT_DOUBLE_EQ(p.end_time(), 6.0);
+  EXPECT_DOUBLE_EQ(p.current_at(3.0), 0.0);  // inside the gap
+}
+
+TEST(DischargeProfile, OverlapThrows) {
+  DischargeProfile p;
+  p.append_at(0.0, 2.0, 10.0);
+  EXPECT_THROW(p.append_at(1.0, 1.0, 5.0), std::invalid_argument);
+}
+
+TEST(DischargeProfile, NonPositiveDurationThrows) {
+  DischargeProfile p;
+  EXPECT_THROW(p.append(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(p.append(-1.0, 10.0), std::invalid_argument);
+}
+
+TEST(DischargeProfile, NegativeCurrentThrows) {
+  DischargeProfile p;
+  EXPECT_THROW(p.append(1.0, -0.5), std::invalid_argument);
+}
+
+TEST(DischargeProfile, NegativeStartThrows) {
+  DischargeProfile p;
+  EXPECT_THROW(p.append_at(-1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(DischargeProfile, ConstructorSortsIntervals) {
+  const DischargeProfile p({{5.0, 1.0, 20.0}, {0.0, 2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(p.intervals().front().start, 0.0);
+  EXPECT_DOUBLE_EQ(p.intervals().back().start, 5.0);
+}
+
+TEST(DischargeProfile, ConstructorDetectsOverlap) {
+  EXPECT_THROW(DischargeProfile({{0.0, 2.0, 1.0}, {1.0, 2.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(DischargeProfile, CurrentAt) {
+  DischargeProfile p;
+  p.append(2.0, 100.0);
+  p.append(2.0, 50.0);
+  EXPECT_DOUBLE_EQ(p.current_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.current_at(1.99), 100.0);
+  EXPECT_DOUBLE_EQ(p.current_at(2.0), 50.0);
+  EXPECT_DOUBLE_EQ(p.current_at(4.5), 0.0);  // past the end
+}
+
+TEST(DischargeProfile, AverageAndPeak) {
+  DischargeProfile p;
+  p.append(1.0, 100.0);
+  p.append(3.0, 20.0);
+  EXPECT_DOUBLE_EQ(p.average_current(), (100.0 + 60.0) / 4.0);
+  EXPECT_DOUBLE_EQ(p.peak_current(), 100.0);
+}
+
+TEST(DischargeProfile, AppendRest) {
+  DischargeProfile p;
+  p.append(1.0, 10.0);
+  p.append_rest(2.0);
+  p.append(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.end_time(), 4.0);
+  EXPECT_DOUBLE_EQ(p.current_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.total_charge(), 20.0);
+}
+
+TEST(DischargeProfile, SimplifiedMergesEqualAdjacents) {
+  DischargeProfile p;
+  p.append(1.0, 10.0);
+  p.append(1.0, 10.0);
+  p.append(1.0, 20.0);
+  const DischargeProfile s = p.simplified();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].duration, 2.0);
+  EXPECT_DOUBLE_EQ(s.total_charge(), p.total_charge());
+}
+
+TEST(DischargeProfile, SimplifiedDropsZeroCurrent) {
+  DischargeProfile p;
+  p.append(1.0, 10.0);
+  p.append_rest(5.0);
+  p.append(1.0, 10.0);
+  const DischargeProfile s = p.simplified();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.total_charge(), 20.0);
+}
+
+TEST(DischargeProfile, ShiftedPreservesShape) {
+  DischargeProfile p;
+  p.append(2.0, 10.0);
+  const DischargeProfile s = p.shifted(3.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 3.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 5.0);
+  EXPECT_DOUBLE_EQ(s.total_charge(), 20.0);
+}
+
+TEST(DischargeProfile, ConcatenatedRebasesOther) {
+  DischargeProfile a;
+  a.append(2.0, 10.0);
+  DischargeProfile b;
+  b.append(1.0, 5.0);
+  const DischargeProfile c = a.concatenated(b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.intervals()[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(c.total_charge(), 25.0);
+}
+
+TEST(DischargeProfile, ConstantLoadHelper) {
+  const DischargeProfile p = constant_load(250.0, 4.0);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.total_charge(), 1000.0);
+}
+
+TEST(DischargeProfile, IntervalAccessors) {
+  const DischargeInterval iv{1.0, 2.0, 30.0};
+  EXPECT_DOUBLE_EQ(iv.end(), 3.0);
+  EXPECT_DOUBLE_EQ(iv.charge(), 60.0);
+}
+
+TEST(DischargeProfile, ToStringMentionsIntervals) {
+  DischargeProfile p;
+  p.append(1.0, 42.0);
+  EXPECT_NE(p.to_string().find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basched::battery

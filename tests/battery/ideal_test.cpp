@@ -1,0 +1,56 @@
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::battery {
+namespace {
+
+TEST(IdealModel, SigmaEqualsDelivered) {
+  const IdealModel m;
+  DischargeProfile p;
+  p.append(2.0, 100.0);
+  p.append(3.0, 50.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(p, p.end_time()), 350.0);
+}
+
+TEST(IdealModel, PartialInterval) {
+  const IdealModel m;
+  const auto p = constant_load(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(p, 4.0), 400.0);
+}
+
+TEST(IdealModel, NoRecoveryNoPenalty) {
+  const IdealModel m;
+  const auto p = constant_load(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(p, 10.0), m.charge_lost(p, 100.0));
+}
+
+TEST(IdealModel, OrderIndependent) {
+  const IdealModel m;
+  DischargeProfile a, b;
+  a.append(1.0, 500.0);
+  a.append(1.0, 10.0);
+  b.append(1.0, 10.0);
+  b.append(1.0, 500.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(a, 2.0), m.charge_lost(b, 2.0));
+}
+
+TEST(IdealModel, NegativeTimeThrows) {
+  const IdealModel m;
+  EXPECT_THROW((void)m.charge_lost(constant_load(1.0, 1.0), -0.1), std::invalid_argument);
+}
+
+TEST(IdealModel, LifetimeIsAlphaOverCurrent) {
+  const IdealModel m;
+  const auto lt = constant_load_lifetime(m, 200.0, 1000.0);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_NEAR(*lt, 5.0, 1e-6);
+}
+
+TEST(IdealModel, Name) { EXPECT_EQ(IdealModel{}.name(), "ideal"); }
+
+}  // namespace
+}  // namespace basched::battery

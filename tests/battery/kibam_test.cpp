@@ -1,0 +1,130 @@
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::battery {
+namespace {
+
+constexpr double kC = 0.4;
+constexpr double kK = 0.5;      // 1/min
+constexpr double kAlpha = 10000.0;  // mA·min
+
+KibamModel model() { return {kC, kK, kAlpha}; }
+
+TEST(Kibam, ParameterValidation) {
+  EXPECT_THROW(KibamModel(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KibamModel(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KibamModel(0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KibamModel(0.5, 1.0, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(KibamModel(0.5, 1.0, 1.0));
+}
+
+TEST(Kibam, FullBatteryAtTimeZero) {
+  const auto m = model();
+  const auto s = m.state_at(constant_load(100.0, 10.0), 0.0);
+  EXPECT_NEAR(s.y1, kC * kAlpha, 1e-9);
+  EXPECT_NEAR(s.y2, (1.0 - kC) * kAlpha, 1e-9);
+  EXPECT_NEAR(m.charge_lost(constant_load(100.0, 10.0), 0.0), 0.0, 1e-9);
+}
+
+TEST(Kibam, ChargeConservationBeforeDeath) {
+  const auto m = model();
+  const auto p = constant_load(100.0, 10.0);
+  const auto s = m.state_at(p, 10.0);
+  // d(y1+y2)/dt = -I, so total content must equal initial minus delivered.
+  EXPECT_NEAR(s.y1 + s.y2, kAlpha - 1000.0, 1e-6);
+}
+
+TEST(Kibam, ClosedFormMatchesEulerSimulation) {
+  const auto m = model();
+  DischargeProfile p;
+  p.append(4.0, 600.0);
+  p.append_rest(3.0);
+  p.append(5.0, 200.0);
+
+  // Fine-step Euler reference of the two-well ODE.
+  double y1 = kC * kAlpha, y2 = (1.0 - kC) * kAlpha;
+  const double dt = 1e-4;
+  for (double t = 0.0; t < p.end_time(); t += dt) {
+    const double i = p.current_at(t);
+    const double h1 = y1 / kC, h2 = y2 / (1.0 - kC);
+    const double flow = kK * kC * (1.0 - kC) * (h2 - h1);
+    y1 += dt * (-i + flow);
+    y2 += dt * (-flow);
+  }
+  const auto s = m.state_at(p, p.end_time());
+  EXPECT_NEAR(s.y1, y1, kAlpha * 1e-3);
+  EXPECT_NEAR(s.y2, y2, kAlpha * 1e-3);
+}
+
+TEST(Kibam, SigmaExceedsDeliveredUnderLoad) {
+  const auto m = model();
+  const auto p = constant_load(800.0, 4.0);
+  EXPECT_GT(m.charge_lost(p, 4.0), p.total_charge());
+}
+
+TEST(Kibam, RecoveryAfterRest) {
+  const auto m = model();
+  const auto p = constant_load(800.0, 4.0);
+  const double at_end = m.charge_lost(p, 4.0);
+  const double rested = m.charge_lost(p, 100.0);
+  EXPECT_LT(rested, at_end);
+  EXPECT_NEAR(rested, p.total_charge(), p.total_charge() * 1e-3);
+}
+
+TEST(Kibam, DeathWhenAvailableWellEmpties) {
+  const auto m = model();
+  // Draw hard enough to empty the available well well before the bound well.
+  const double i = 2000.0;
+  const auto p = constant_load(i, 60.0);
+  const auto lt = m.lifetime(p, kAlpha);
+  ASSERT_TRUE(lt.has_value());
+  const auto s = m.state_at(p, *lt);
+  EXPECT_NEAR(s.y1, 0.0, kAlpha * 1e-5);
+  // Dead well before an ideal battery would be (rate-capacity effect):
+  EXPECT_LT(*lt, kAlpha / i);
+}
+
+TEST(Kibam, RateCapacityEffectOnDeliveredCharge) {
+  const auto m = model();
+  const auto slow = constant_load_lifetime(m, 100.0, kAlpha);
+  const auto fast = constant_load_lifetime(m, 1500.0, kAlpha);
+  ASSERT_TRUE(slow && fast);
+  EXPECT_GT(100.0 * *slow, 1500.0 * *fast);  // delivered charge shrinks at high rate
+}
+
+TEST(Kibam, SigmaStaysAtLeastAlphaAfterDeath) {
+  const auto m = model();
+  const auto p = constant_load(2000.0, 60.0);
+  const auto lt = m.lifetime(p, kAlpha);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_GE(m.charge_lost(p, *lt + 1.0), kAlpha - 1e-6);
+}
+
+TEST(Kibam, GentleLoadNearIdeal) {
+  // Tiny current: wells stay nearly equalized. The steady-state head lag is
+  // (1-c)(h2-h1) = (1-c)·I/(k'c(1-c)) = I/(k'c) = 25 mA·min here, so σ sits
+  // within that of the delivered charge.
+  const auto m = model();
+  const auto p = constant_load(5.0, 100.0);
+  EXPECT_NEAR(m.charge_lost(p, 100.0), p.total_charge(), 26.0);
+}
+
+TEST(Kibam, Accessors) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.c(), kC);
+  EXPECT_DOUBLE_EQ(m.kprime(), kK);
+  EXPECT_DOUBLE_EQ(m.capacity(), kAlpha);
+  EXPECT_EQ(m.name(), "kibam");
+}
+
+TEST(Kibam, NegativeTimeThrows) {
+  EXPECT_THROW((void)model().state_at(constant_load(1.0, 1.0), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::battery

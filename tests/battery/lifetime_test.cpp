@@ -1,0 +1,128 @@
+#include "basched/battery/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::battery {
+namespace {
+
+TEST(Lifetime, IdealConstantLoadExact) {
+  const IdealModel m;
+  const auto p = constant_load(100.0, 100.0);
+  const auto lt = find_lifetime(m, p, 2500.0);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_NEAR(*lt, 25.0, 1e-6);
+}
+
+TEST(Lifetime, SurvivingProfileReturnsNullopt) {
+  const IdealModel m;
+  const auto p = constant_load(100.0, 10.0);  // delivers 1000
+  EXPECT_FALSE(find_lifetime(m, p, 5000.0).has_value());
+}
+
+TEST(Lifetime, InvalidAlphaThrows) {
+  const IdealModel m;
+  const auto p = constant_load(1.0, 1.0);
+  EXPECT_THROW((void)find_lifetime(m, p, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)find_lifetime(m, p, -1.0), std::invalid_argument);
+}
+
+TEST(Lifetime, CrossingInSecondInterval) {
+  const IdealModel m;
+  DischargeProfile p;
+  p.append(10.0, 50.0);   // delivers 500
+  p.append(10.0, 100.0);  // crosses 800 at t = 13
+  const auto lt = find_lifetime(m, p, 800.0);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_NEAR(*lt, 13.0, 1e-6);
+}
+
+TEST(Lifetime, NoCrossingDuringRest) {
+  // With the RV model σ *decreases* during rest, so a crossing reached only
+  // transiently inside an interval must be reported there, not later.
+  const RakhmatovVrudhulaModel m(0.5);
+  DischargeProfile p;
+  p.append(10.0, 100.0);
+  p.append_rest(50.0);
+  const double sigma_peak = m.charge_lost(p, 10.0);
+  const double alpha = sigma_peak * 0.999;  // just below the peak
+  const auto lt = find_lifetime(m, p, alpha);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_LE(*lt, 10.0 + 1e-6);
+}
+
+TEST(Lifetime, RecoveredBatterySurvivesHigherAlpha) {
+  const RakhmatovVrudhulaModel m(0.5);
+  DischargeProfile p;
+  p.append(10.0, 100.0);
+  const double sigma_peak = m.charge_lost(p, 10.0);
+  // Above the peak: never dies.
+  EXPECT_FALSE(find_lifetime(m, p, sigma_peak * 1.001).has_value());
+}
+
+TEST(Lifetime, EmptyProfileSurvives) {
+  const IdealModel m;
+  EXPECT_FALSE(find_lifetime(m, DischargeProfile{}, 1.0).has_value());
+}
+
+TEST(Lifetime, CrossingExactlyAtIntervalStart) {
+  const IdealModel m;
+  DischargeProfile p;
+  p.append(10.0, 100.0);  // delivers exactly 1000 by t=10
+  p.append(10.0, 100.0);
+  const auto lt = find_lifetime(m, p, 1000.0);
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_NEAR(*lt, 10.0, 1e-6);
+}
+
+TEST(Lifetime, ConstantLoadRvShorterThanIdeal) {
+  // Rate-capacity effect: at high current the RV battery dies before the
+  // ideal one.
+  const RakhmatovVrudhulaModel rv(0.273);
+  const IdealModel ideal;
+  const double alpha = 20000.0;
+  const auto rv_lt = constant_load_lifetime(rv, 800.0, alpha);
+  const auto id_lt = constant_load_lifetime(ideal, 800.0, alpha);
+  ASSERT_TRUE(rv_lt && id_lt);
+  EXPECT_LT(*rv_lt, *id_lt);
+  EXPECT_NEAR(*id_lt, alpha / 800.0, 1e-6);
+}
+
+TEST(Lifetime, ConstantLoadDeliveredChargeShrinksWithRate) {
+  const RakhmatovVrudhulaModel rv(0.273);
+  const double alpha = 20000.0;
+  const auto slow = constant_load_lifetime(rv, 100.0, alpha);
+  const auto fast = constant_load_lifetime(rv, 900.0, alpha);
+  ASSERT_TRUE(slow && fast);
+  EXPECT_GT(100.0 * *slow, 900.0 * *fast);
+}
+
+TEST(Lifetime, ConstantLoadValidation) {
+  const IdealModel m;
+  EXPECT_THROW((void)constant_load_lifetime(m, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)constant_load_lifetime(m, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Lifetime, ConstantLoadRespectsMaxTime) {
+  const IdealModel m;
+  // Lifetime would be 1000 minutes; cap at 10.
+  EXPECT_FALSE(constant_load_lifetime(m, 1.0, 1000.0, 10.0).has_value());
+}
+
+TEST(Lifetime, DefaultModelLifetimeMatchesFreeFunction) {
+  const RakhmatovVrudhulaModel m(0.4);
+  DischargeProfile p;
+  p.append(20.0, 500.0);
+  const double alpha = 6000.0;
+  const auto a = m.lifetime(p, alpha);
+  const auto b = find_lifetime(m, p, alpha);
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a) EXPECT_NEAR(*a, *b, 1e-9);
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -1,0 +1,101 @@
+/// Cross-model consistency: the four battery models must agree on the
+/// qualitative physics even though their numbers differ.
+#include <gtest/gtest.h>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::battery {
+namespace {
+
+DischargeProfile bursty_profile() {
+  DischargeProfile p;
+  p.append(3.0, 700.0);
+  p.append(5.0, 120.0);
+  p.append_rest(2.0);
+  p.append(4.0, 400.0);
+  return p;
+}
+
+TEST(ModelComparison, NonlinearModelsChargeMoreThanIdealUnderLoad) {
+  const auto p = bursty_profile();
+  const double t = p.end_time();
+  const IdealModel ideal;
+  const RakhmatovVrudhulaModel rv(0.273);
+  const KibamModel kibam(0.4, 0.5, 50000.0);
+  const double base = ideal.charge_lost(p, t);
+  EXPECT_GT(rv.charge_lost(p, t), base);
+  EXPECT_GT(kibam.charge_lost(p, t), base);
+}
+
+TEST(ModelComparison, PeukertAboveIdealWhenCurrentsExceedRated) {
+  const auto p = bursty_profile();  // all currents >= 120 mA
+  const PeukertModel peukert(1.2, 100.0);
+  const IdealModel ideal;
+  EXPECT_GT(peukert.charge_lost(p, p.end_time()), ideal.charge_lost(p, p.end_time()));
+}
+
+TEST(ModelComparison, RecoveryModelsConvergeToDeliveredAfterLongRest) {
+  const auto p = bursty_profile();
+  const double later = p.end_time() + 5000.0;
+  const RakhmatovVrudhulaModel rv(0.273);
+  const KibamModel kibam(0.4, 0.5, 50000.0);
+  EXPECT_NEAR(rv.charge_lost(p, later), p.total_charge(), p.total_charge() * 1e-4);
+  EXPECT_NEAR(kibam.charge_lost(p, later), p.total_charge(), p.total_charge() * 1e-4);
+}
+
+TEST(ModelComparison, MemorylessModelsIgnoreRest) {
+  DischargeProfile with_rest, without_rest;
+  with_rest.append(2.0, 300.0);
+  with_rest.append_rest(10.0);
+  with_rest.append(2.0, 300.0);
+  without_rest.append(2.0, 300.0);
+  without_rest.append(2.0, 300.0);
+
+  const IdealModel ideal;
+  const PeukertModel peukert(1.2, 100.0);
+  EXPECT_DOUBLE_EQ(ideal.charge_lost(with_rest, with_rest.end_time()),
+                   ideal.charge_lost(without_rest, without_rest.end_time()));
+  EXPECT_DOUBLE_EQ(peukert.charge_lost(with_rest, with_rest.end_time()),
+                   peukert.charge_lost(without_rest, without_rest.end_time()));
+}
+
+TEST(ModelComparison, RecoveryModelsRewardRest) {
+  DischargeProfile with_rest, without_rest;
+  with_rest.append(2.0, 600.0);
+  with_rest.append_rest(10.0);
+  with_rest.append(2.0, 600.0);
+  without_rest.append(2.0, 600.0);
+  without_rest.append(2.0, 600.0);
+
+  const RakhmatovVrudhulaModel rv(0.273);
+  const KibamModel kibam(0.4, 0.5, 50000.0);
+  EXPECT_LT(rv.charge_lost(with_rest, with_rest.end_time()),
+            rv.charge_lost(without_rest, without_rest.end_time()));
+  EXPECT_LT(kibam.charge_lost(with_rest, with_rest.end_time()),
+            kibam.charge_lost(without_rest, without_rest.end_time()));
+}
+
+TEST(ModelComparison, OrderSensitivityOnlyInRecoveryModels) {
+  DischargeProfile desc, asc;
+  desc.append(3.0, 800.0);
+  desc.append(3.0, 100.0);
+  asc.append(3.0, 100.0);
+  asc.append(3.0, 800.0);
+  const double t = 6.0;
+
+  const IdealModel ideal;
+  const PeukertModel peukert(1.2, 100.0);
+  const RakhmatovVrudhulaModel rv(0.273);
+  const KibamModel kibam(0.4, 0.5, 50000.0);
+
+  EXPECT_DOUBLE_EQ(ideal.charge_lost(desc, t), ideal.charge_lost(asc, t));
+  EXPECT_DOUBLE_EQ(peukert.charge_lost(desc, t), peukert.charge_lost(asc, t));
+  EXPECT_LT(rv.charge_lost(desc, t), rv.charge_lost(asc, t));
+  EXPECT_LT(kibam.charge_lost(desc, t), kibam.charge_lost(asc, t));
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -1,0 +1,169 @@
+#include "basched/battery/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::battery {
+namespace {
+
+DischargeProfile bursts(int count, double current = 500.0, double on = 3.0, double off = 2.0) {
+  DischargeProfile p;
+  for (int i = 0; i < count; ++i) {
+    p.append(on, current);
+    if (i + 1 < count) p.append_rest(off);
+  }
+  return p;
+}
+
+TEST(Pack, Validation) {
+  const IdealModel m;
+  EXPECT_THROW(BatteryPack(m, {}), std::invalid_argument);
+  EXPECT_THROW(BatteryPack(m, {100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(BatteryPack(m, {-1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(BatteryPack(m, {100.0}));
+}
+
+TEST(Pack, IdealCellsSplitLoadExactly) {
+  const IdealModel m;
+  const BatteryPack pack(m, {4000.0, 4000.0});
+  const auto load = bursts(4);  // 4 × 1500 mA·min
+  const auto r = pack.serve(load, PackPolicy::RoundRobin);
+  ASSERT_TRUE(r.survived);
+  EXPECT_EQ(r.intervals_served, 4u);
+  EXPECT_EQ(r.cell_intervals[0], 2u);
+  EXPECT_EQ(r.cell_intervals[1], 2u);
+  EXPECT_DOUBLE_EQ(r.cell_sigma[0], 3000.0);
+  EXPECT_DOUBLE_EQ(r.cell_sigma[1], 3000.0);
+}
+
+TEST(Pack, IdealPackFailsWhenCellExhausted) {
+  const IdealModel m;
+  const BatteryPack pack(m, {2000.0, 2000.0});
+  // Each burst delivers 1500; cell 0 gets bursts 1 and 3 -> needs 3000 > 2000.
+  const auto r = pack.serve(bursts(4), PackPolicy::RoundRobin);
+  EXPECT_FALSE(r.survived);
+  EXPECT_EQ(r.intervals_served, 2u);
+  EXPECT_GT(r.failure_time, 0.0);
+}
+
+TEST(Pack, LeastLoadedReroutesWhereRoundRobinFails) {
+  const IdealModel m;
+  // Asymmetric pack: a big and a tiny cell. Round-robin insists on the tiny
+  // cell for every second burst and dies; least-loaded keeps routing to the
+  // big one.
+  const BatteryPack pack(m, {10000.0, 1000.0});
+  const auto load = bursts(4);  // 1500 each; tiny cell cannot take even one
+  EXPECT_FALSE(pack.serve(load, PackPolicy::RoundRobin).survived);
+  const auto r = pack.serve(load, PackPolicy::LeastLoaded);
+  ASSERT_TRUE(r.survived);
+  EXPECT_EQ(r.cell_intervals[0], 4u);
+  EXPECT_EQ(r.cell_intervals[1], 0u);
+}
+
+TEST(Pack, ParallelSplitBeatsMonolithUnderPeukert) {
+  // The classic multi-battery result: under a rate-nonlinear model
+  // (Peukert, p > 1), halving the per-cell current more than halves the
+  // per-cell apparent drain, so a parallel pack of the same *total*
+  // capacity outlives the monolith. For p = 1.5 and a constant load the
+  // analytic gain is 2^(p-1) = sqrt(2).
+  const PeukertModel m(1.5, 100.0);
+  const auto load = bursts(6, 800.0, 3.0, 1.0);
+  // Monolith drain over the 6 bursts: 100·8^1.5·18 min = 40729 mA·min.
+  const double total = 35000.0;  // monolith dies, parallel pack survives
+  const BatteryPack pack(m, {total / 2.0, total / 2.0});
+  EXPECT_FALSE(pack.serve_monolithic(load).survived);
+  const auto split = pack.serve(load, PackPolicy::SplitEvenly);
+  EXPECT_TRUE(split.survived);
+  EXPECT_EQ(split.intervals_served, 6u);
+}
+
+TEST(Pack, SwitchingCannotBeatMonolithUnderLinearSigma) {
+  // Honesty theorem: RV σ is linear in current, so time-switching between
+  // two half-capacity cells cannot reduce the apparent-charge *sum*; the
+  // worse-loaded cell always carries at least half the monolith's σ. Verify
+  // on a burst train: max cell σ >= monolith σ / 2 at the end.
+  const RakhmatovVrudhulaModel m(0.2);
+  const auto load = bursts(8, 600.0, 2.0, 4.0);
+  const BatteryPack pack(m, {1e9, 1e9});  // huge cells: observe σ, not death
+  const auto split = pack.serve(load, PackPolicy::RoundRobin);
+  ASSERT_TRUE(split.survived);
+  const double mono_sigma = m.charge_lost(load, load.end_time());
+  EXPECT_GE(std::max(split.cell_sigma[0], split.cell_sigma[1]), mono_sigma / 2.0 - 1e-6);
+}
+
+TEST(Pack, SplitEvenlyHalvesPerCellCurrent) {
+  const IdealModel m;
+  const BatteryPack pack(m, {5000.0, 5000.0});
+  const auto r = pack.serve(bursts(2, 400.0, 3.0, 1.0), PackPolicy::SplitEvenly);
+  ASSERT_TRUE(r.survived);
+  // Each cell delivered half of 2 × 1200 = 2400.
+  EXPECT_DOUBLE_EQ(r.cell_sigma[0], 1200.0);
+  EXPECT_DOUBLE_EQ(r.cell_sigma[1], 1200.0);
+  EXPECT_EQ(r.cell_intervals[0], 2u);
+  EXPECT_EQ(r.cell_intervals[1], 2u);
+}
+
+TEST(Pack, SplitEvenlyFailsWhenAnyCellDies) {
+  const IdealModel m;
+  const BatteryPack pack(m, {10000.0, 500.0});  // tiny second cell
+  const auto r = pack.serve(bursts(2, 800.0, 3.0, 1.0), PackPolicy::SplitEvenly);
+  // Each interval puts 400 mA on each cell; 1200 mA·min > 500 kills cell 2
+  // during the first burst.
+  EXPECT_FALSE(r.survived);
+  EXPECT_EQ(r.intervals_served, 0u);
+  EXPECT_GT(r.failure_time, 0.0);
+  EXPECT_LT(r.failure_time, 3.0);
+}
+
+TEST(Pack, RestGapsBenefitAllCells) {
+  const RakhmatovVrudhulaModel m(0.2);
+  const BatteryPack pack(m, {12000.0, 12000.0});
+  // Bursts spaced by long rests: each cell's σ at the end is its delivered
+  // charge plus only the *last* burst's residual transient.
+  const auto r = pack.serve(bursts(4, 400.0, 2.0, 30.0), PackPolicy::RoundRobin);
+  ASSERT_TRUE(r.survived);
+  // Cell 0 served bursts 1 and 3 (delivered 1600); burst 3 ended 32 minutes
+  // before the profile end, so its transient has mostly decayed.
+  EXPECT_NEAR(r.cell_sigma[0], 1600.0, 600.0);
+  // Cell 1's last burst ends the profile: transient still fully present.
+  EXPECT_GT(r.cell_sigma[1], r.cell_sigma[0]);
+}
+
+TEST(Pack, ZeroCurrentIntervalsIgnored) {
+  const IdealModel m;
+  const BatteryPack pack(m, {1000.0});
+  DischargeProfile p;
+  p.append(5.0, 0.0);
+  p.append(1.0, 100.0);
+  const auto r = pack.serve(p, PackPolicy::RoundRobin);
+  EXPECT_TRUE(r.survived);
+  EXPECT_EQ(r.intervals_served, 1u);
+}
+
+TEST(Pack, SingleCellPackMatchesMonolithic) {
+  const RakhmatovVrudhulaModel m(0.3);
+  const BatteryPack pack(m, {6000.0});
+  const auto load = bursts(3);
+  const auto a = pack.serve(load, PackPolicy::RoundRobin);
+  const auto b = pack.serve_monolithic(load);
+  EXPECT_EQ(a.survived, b.survived);
+  if (a.survived) EXPECT_NEAR(a.cell_sigma[0], b.cell_sigma[0], 1e-9);
+}
+
+TEST(Pack, FailureTimeWithinFailingInterval) {
+  const IdealModel m;
+  const BatteryPack pack(m, {2000.0});
+  const auto load = bursts(2);  // second burst (starts at 5.0) exceeds capacity
+  const auto r = pack.serve(load, PackPolicy::RoundRobin);
+  ASSERT_FALSE(r.survived);
+  EXPECT_GE(r.failure_time, 5.0);
+  EXPECT_LE(r.failure_time, 8.0);
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -1,0 +1,92 @@
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/battery/ideal.hpp"
+
+namespace basched::battery {
+namespace {
+
+TEST(PeukertModel, ParameterValidation) {
+  EXPECT_THROW(PeukertModel(0.9, 100.0), std::invalid_argument);
+  EXPECT_THROW(PeukertModel(1.2, 0.0), std::invalid_argument);
+  EXPECT_THROW(PeukertModel(1.2, -5.0), std::invalid_argument);
+  EXPECT_NO_THROW(PeukertModel(1.0, 1.0));
+}
+
+TEST(PeukertModel, ExponentOneIsIdeal) {
+  const PeukertModel peukert(1.0, 123.0);
+  const IdealModel ideal;
+  DischargeProfile p;
+  p.append(2.0, 400.0);
+  p.append(3.0, 60.0);
+  EXPECT_NEAR(peukert.charge_lost(p, 5.0), ideal.charge_lost(p, 5.0), 1e-9);
+}
+
+TEST(PeukertModel, RatedCurrentUnpenalized) {
+  const PeukertModel m(1.3, 100.0);
+  const auto p = constant_load(100.0, 10.0);
+  EXPECT_NEAR(m.charge_lost(p, 10.0), 1000.0, 1e-9);
+}
+
+TEST(PeukertModel, HighCurrentPenalized) {
+  const PeukertModel m(1.2, 100.0);
+  const auto p = constant_load(400.0, 10.0);
+  // Apparent rate = 100 * 4^1.2 > 400.
+  EXPECT_GT(m.charge_lost(p, 10.0), p.total_charge());
+}
+
+TEST(PeukertModel, LowCurrentRewarded) {
+  const PeukertModel m(1.2, 100.0);
+  const auto p = constant_load(25.0, 10.0);
+  EXPECT_LT(m.charge_lost(p, 10.0), p.total_charge());
+}
+
+TEST(PeukertModel, GoldenValue) {
+  const PeukertModel m(1.2, 100.0);
+  const auto p = constant_load(400.0, 10.0);
+  // 100 · 4^1.2 · 10 = 1000 · 4^1.2.
+  EXPECT_NEAR(m.charge_lost(p, 10.0), 1000.0 * std::pow(4.0, 1.2), 1e-6);
+}
+
+TEST(PeukertModel, NoRecovery) {
+  const PeukertModel m(1.2, 100.0);
+  const auto p = constant_load(400.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(p, 10.0), m.charge_lost(p, 1000.0));
+}
+
+TEST(PeukertModel, OrderIndependent) {
+  // Peukert has no memory, so ordering cannot matter — exactly the
+  // qualitative defect the RV model fixes.
+  const PeukertModel m(1.25, 100.0);
+  DischargeProfile a, b;
+  a.append(1.0, 500.0);
+  a.append(1.0, 10.0);
+  b.append(1.0, 10.0);
+  b.append(1.0, 500.0);
+  EXPECT_DOUBLE_EQ(m.charge_lost(a, 2.0), m.charge_lost(b, 2.0));
+}
+
+TEST(PeukertModel, ConstantLoadLifetimeFollowsPeukertLaw) {
+  const PeukertModel m(1.5, 100.0);
+  const double alpha = 6000.0;
+  const auto l1 = constant_load_lifetime(m, 100.0, alpha);
+  const auto l2 = constant_load_lifetime(m, 400.0, alpha);
+  ASSERT_TRUE(l1 && l2);
+  // L ∝ I^-p in normalized units: L1/L2 = (I2/I1)^p = 4^1.5 = 8.
+  EXPECT_NEAR(*l1 / *l2, 8.0, 1e-3);
+}
+
+TEST(PeukertModel, Accessors) {
+  const PeukertModel m(1.3, 250.0);
+  EXPECT_DOUBLE_EQ(m.exponent(), 1.3);
+  EXPECT_DOUBLE_EQ(m.rated_current(), 250.0);
+  EXPECT_EQ(m.name(), "peukert");
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -1,0 +1,194 @@
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace basched::battery {
+namespace {
+
+TEST(RvModel, ParameterValidation) {
+  EXPECT_THROW(RakhmatovVrudhulaModel(0.0), std::invalid_argument);
+  EXPECT_THROW(RakhmatovVrudhulaModel(-1.0), std::invalid_argument);
+  EXPECT_THROW(RakhmatovVrudhulaModel(0.5, 0), std::invalid_argument);
+  EXPECT_NO_THROW(RakhmatovVrudhulaModel(0.273, 10));
+}
+
+TEST(RvModel, DefaultsMatchPaper) {
+  const RakhmatovVrudhulaModel m;
+  EXPECT_DOUBLE_EQ(m.beta(), 0.273);
+  EXPECT_EQ(m.terms(), 10);
+  EXPECT_EQ(m.name(), "rakhmatov-vrudhula");
+}
+
+TEST(RvModel, SigmaZeroAtTimeZero) {
+  const RakhmatovVrudhulaModel m(0.5);
+  EXPECT_DOUBLE_EQ(m.charge_lost(constant_load(100.0, 10.0), 0.0), 0.0);
+}
+
+TEST(RvModel, EmptyProfileZero) {
+  const RakhmatovVrudhulaModel m(0.5);
+  EXPECT_DOUBLE_EQ(m.charge_lost(DischargeProfile{}, 5.0), 0.0);
+}
+
+TEST(RvModel, NegativeTimeThrows) {
+  const RakhmatovVrudhulaModel m(0.5);
+  EXPECT_THROW((void)m.charge_lost(constant_load(1.0, 1.0), -1.0), std::invalid_argument);
+}
+
+// Golden value computed independently: β = 0.5, I = 100 mA, Δ = 10 min,
+// σ(10) = 100 · (10 + 2 · Σ_{m=1}^{10} (1 − e^{−0.25 m² · 10})/(0.25 m²)).
+TEST(RvModel, GoldenSingleInterval) {
+  const RakhmatovVrudhulaModel m(0.5);
+  const double sigma = m.charge_lost(constant_load(100.0, 10.0), 10.0);
+  EXPECT_NEAR(sigma, 2174.14, 0.05);
+}
+
+TEST(RvModel, SigmaExceedsDeliveredWhileDischarging) {
+  const RakhmatovVrudhulaModel m(0.273);
+  const auto p = constant_load(500.0, 20.0);
+  EXPECT_GT(m.charge_lost(p, 20.0), p.total_charge());
+  EXPECT_GE(m.unavailable_charge(p, 20.0), 0.0);
+}
+
+TEST(RvModel, RecoveryConvergesToDelivered) {
+  const RakhmatovVrudhulaModel m(0.5);
+  const auto p = constant_load(100.0, 10.0);
+  // Long after the load ends, the unavailable charge has been recovered.
+  EXPECT_NEAR(m.charge_lost(p, 1000.0), 1000.0, 1e-6);
+  EXPECT_NEAR(m.unavailable_charge(p, 1000.0), 0.0, 1e-6);
+}
+
+TEST(RvModel, MonotoneDuringDischarge) {
+  const RakhmatovVrudhulaModel m(0.273);
+  const auto p = constant_load(300.0, 30.0);
+  double prev = 0.0;
+  for (double t = 1.0; t <= 30.0; t += 1.0) {
+    const double s = m.charge_lost(p, t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(RvModel, DecreasesDuringRest) {
+  const RakhmatovVrudhulaModel m(0.273);
+  const auto p = constant_load(300.0, 10.0);
+  const double at_end = m.charge_lost(p, 10.0);
+  const double later = m.charge_lost(p, 20.0);
+  EXPECT_LT(later, at_end);
+  EXPECT_GE(later, p.total_charge() - 1e-9);
+}
+
+TEST(RvModel, LinearInCurrent) {
+  const RakhmatovVrudhulaModel m(0.4);
+  DischargeProfile p1, p3;
+  p1.append(5.0, 100.0);
+  p1.append(3.0, 40.0);
+  p3.append(5.0, 300.0);
+  p3.append(3.0, 120.0);
+  EXPECT_NEAR(m.charge_lost(p3, 8.0), 3.0 * m.charge_lost(p1, 8.0), 1e-9);
+}
+
+TEST(RvModel, AdditiveOverIntervals) {
+  const RakhmatovVrudhulaModel m(0.4);
+  DischargeProfile both;
+  both.append_at(0.0, 2.0, 100.0);
+  both.append_at(5.0, 3.0, 50.0);
+  DischargeProfile first, second;
+  first.append_at(0.0, 2.0, 100.0);
+  second.append_at(5.0, 3.0, 50.0);
+  const double t = 8.0;
+  EXPECT_NEAR(m.charge_lost(both, t), m.charge_lost(first, t) + m.charge_lost(second, t), 1e-9);
+}
+
+TEST(RvModel, TimeShiftInvariance) {
+  const RakhmatovVrudhulaModel m(0.35);
+  DischargeProfile p;
+  p.append(4.0, 120.0);
+  p.append(2.0, 60.0);
+  const double dt = 7.5;
+  EXPECT_NEAR(m.charge_lost(p, 6.0), m.charge_lost(p.shifted(dt), 6.0 + dt), 1e-9);
+}
+
+TEST(RvModel, LargeBetaApproachesIdeal) {
+  const RakhmatovVrudhulaModel m(50.0);
+  const auto p = constant_load(200.0, 10.0);
+  EXPECT_NEAR(m.charge_lost(p, 10.0), p.total_charge(), p.total_charge() * 1e-3);
+}
+
+TEST(RvModel, SmallBetaPenalizesMore) {
+  const auto p = constant_load(200.0, 10.0);
+  const RakhmatovVrudhulaModel strong(0.1);
+  const RakhmatovVrudhulaModel weak(1.0);
+  EXPECT_GT(strong.charge_lost(p, 10.0), weak.charge_lost(p, 10.0));
+}
+
+TEST(RvModel, SeriesTruncationBehaviour) {
+  // The paper truncates at 10 terms. For an interval still active at T the
+  // m-th term is ~(1 − e^{−β²m²·…})/(β²m²) ≈ 1/(β²m²), so the neglected tail
+  // is bounded by 2·I·Σ_{m>10} 1/(β²m²) ≈ 2I/(10β²) — a known, deliberate
+  // undercount (~10-15% here), identical to the paper's cost function. More
+  // terms must only *increase* σ, by no more than that bound.
+  const RakhmatovVrudhulaModel m10(0.273, 10);
+  const RakhmatovVrudhulaModel m60(0.273, 60);
+  DischargeProfile p;
+  p.append(7.3, 917.0);
+  p.append(11.2, 519.0);
+  p.append(5.9, 611.0);
+  const double t = p.end_time();
+  const double s10 = m10.charge_lost(p, t);
+  const double s60 = m60.charge_lost(p, t);
+  EXPECT_LE(s10, s60);  // every term is non-negative
+  const double beta_sq = 0.273 * 0.273;
+  const double tail_bound = 2.0 * 917.0 * 3.0 / (10.0 * beta_sq);  // crude per-interval bound
+  EXPECT_LE(s60 - s10, tail_bound);
+  // Long after the load, truncation does not matter (all exponentials die).
+  EXPECT_NEAR(m10.charge_lost(p, t + 2000.0), m60.charge_lost(p, t + 2000.0), 1e-6);
+}
+
+TEST(RvModel, ZeroCurrentIntervalContributesNothing) {
+  const RakhmatovVrudhulaModel m(0.3);
+  DischargeProfile with_rest, without;
+  with_rest.append(2.0, 100.0);
+  with_rest.append_rest(3.0);
+  without.append_at(0.0, 2.0, 100.0);
+  EXPECT_NEAR(m.charge_lost(with_rest, 5.0), m.charge_lost(without, 5.0), 1e-12);
+}
+
+TEST(RvModel, PartialIntervalEvaluation) {
+  // Evaluating mid-interval must equal a profile truncated at that point.
+  const RakhmatovVrudhulaModel m(0.3);
+  const auto full = constant_load(250.0, 10.0);
+  const auto half = constant_load(250.0, 5.0);
+  EXPECT_NEAR(m.charge_lost(full, 5.0), m.charge_lost(half, 5.0), 1e-9);
+}
+
+// Ordering property from [1] (§3 of the paper): for independent tasks,
+// executing in non-increasing current order never hurts.
+TEST(RvModel, HighCurrentFirstBeatsLowCurrentFirst) {
+  const RakhmatovVrudhulaModel m(0.273);
+  DischargeProfile high_first, low_first;
+  high_first.append(5.0, 800.0);
+  high_first.append(5.0, 100.0);
+  low_first.append(5.0, 100.0);
+  low_first.append(5.0, 800.0);
+  EXPECT_LT(m.charge_lost(high_first, 10.0), m.charge_lost(low_first, 10.0));
+}
+
+// The [7] property (§3): spending slack on the later of two identical tasks
+// is better than on the earlier one.
+TEST(RvModel, SlackOnLaterTaskIsBetter) {
+  const RakhmatovVrudhulaModel m(0.273);
+  // Two identical tasks; the "downscaled" variant runs at half current for
+  // double duration. Apply it to the first vs. the second task.
+  DischargeProfile slack_early, slack_late;
+  slack_early.append(8.0, 200.0);  // downscaled first task
+  slack_early.append(4.0, 400.0);
+  slack_late.append(4.0, 400.0);
+  slack_late.append(8.0, 200.0);  // downscaled second task
+  EXPECT_LT(m.charge_lost(slack_late, 12.0), m.charge_lost(slack_early, 12.0));
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -1,0 +1,147 @@
+/// Property-based sweeps of the Rakhmatov–Vrudhula model over randomized
+/// profiles and parameters (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::battery {
+namespace {
+
+class RvPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  DischargeProfile random_profile(util::Rng& rng, int max_intervals = 8) const {
+    DischargeProfile p;
+    const int k = static_cast<int>(rng.uniform_int(1, max_intervals));
+    for (int i = 0; i < k; ++i) {
+      if (rng.bernoulli(0.2)) p.append_rest(rng.uniform(0.5, 5.0));
+      p.append(rng.uniform(0.5, 10.0), rng.uniform(10.0, 900.0));
+    }
+    return p;
+  }
+};
+
+TEST_P(RvPropertyTest, SigmaNonNegativeAndAtLeastDeliveredAtEnd) {
+  util::Rng rng(GetParam());
+  const RakhmatovVrudhulaModel m(rng.uniform(0.1, 1.0));
+  const auto p = random_profile(rng);
+  const double sigma = m.charge_lost(p, p.end_time());
+  EXPECT_GE(sigma, 0.0);
+  EXPECT_GE(sigma, p.total_charge() - 1e-9);
+}
+
+TEST_P(RvPropertyTest, SigmaMonotoneWithinFirstInterval) {
+  // σ is monotone while the *first* interval discharges (there is no earlier
+  // unavailable charge to recover). Later intervals can see σ dip when a
+  // light load follows a heavy one — recovery outpaces consumption — so the
+  // global claim would be false.
+  util::Rng rng(GetParam() ^ 0xABCDEFULL);
+  const RakhmatovVrudhulaModel m(rng.uniform(0.1, 1.0));
+  const auto p = random_profile(rng);
+  const auto& iv = p.intervals().front();
+  if (iv.current > 0.0) {
+    double prev = -1.0;
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      const double s = m.charge_lost(p, iv.start + frac * iv.duration);
+      EXPECT_GE(s, prev - 1e-9);
+      prev = s;
+    }
+  }
+}
+
+TEST_P(RvPropertyTest, SigmaNeverBelowDeliveredDuringDischarge) {
+  // Even when σ dips (recovery), it can never dip below the charge actually
+  // delivered so far — the unavailable component is non-negative.
+  util::Rng rng(GetParam() ^ 0xBEEFULL);
+  const RakhmatovVrudhulaModel m(rng.uniform(0.1, 1.0));
+  const auto p = random_profile(rng);
+  const IdealModel ideal_equiv;  // delivered charge integrator
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double t = p.end_time() * frac;
+    EXPECT_GE(m.charge_lost(p, t), ideal_equiv.charge_lost(p, t) - 1e-9);
+  }
+}
+
+TEST_P(RvPropertyTest, LongRestRecoversToDelivered) {
+  util::Rng rng(GetParam() ^ 0x5555ULL);
+  const RakhmatovVrudhulaModel m(rng.uniform(0.3, 1.0));
+  const auto p = random_profile(rng);
+  const double t = p.end_time() + 2000.0;
+  EXPECT_NEAR(m.charge_lost(p, t), p.total_charge(), p.total_charge() * 1e-6 + 1e-6);
+}
+
+TEST_P(RvPropertyTest, NonIncreasingCurrentOrderIsOptimalAmongPermutations) {
+  // [1]'s theorem, checked exhaustively on 4 random independent tasks.
+  util::Rng rng(GetParam() ^ 0x777ULL);
+  const RakhmatovVrudhulaModel m(0.273);
+  struct Job {
+    double current, duration;
+  };
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back({rng.uniform(20.0, 900.0), rng.uniform(1.0, 8.0)});
+
+  auto sigma_of = [&](const std::vector<Job>& order) {
+    DischargeProfile p;
+    for (const auto& j : order) p.append(j.duration, j.current);
+    return m.charge_lost(p, p.end_time());
+  };
+
+  std::vector<std::size_t> idx{0, 1, 2, 3};
+  std::sort(idx.begin(), idx.end());
+  double best = 1e300, worst = -1.0;
+  do {
+    std::vector<Job> order;
+    for (auto i : idx) order.push_back(jobs[i]);
+    const double s = sigma_of(order);
+    best = std::min(best, s);
+    worst = std::max(worst, s);
+  } while (std::next_permutation(idx.begin(), idx.end()));
+
+  std::vector<Job> noninc = jobs;
+  std::sort(noninc.begin(), noninc.end(),
+            [](const Job& a, const Job& b) { return a.current > b.current; });
+  std::vector<Job> nondec = jobs;
+  std::sort(nondec.begin(), nondec.end(),
+            [](const Job& a, const Job& b) { return a.current < b.current; });
+
+  EXPECT_NEAR(sigma_of(noninc), best, best * 1e-12 + 1e-9);
+  EXPECT_NEAR(sigma_of(nondec), worst, worst * 1e-12 + 1e-9);
+}
+
+TEST_P(RvPropertyTest, MoreTermsOnlyIncreaseSigma) {
+  // Every series term is non-negative, so σ grows monotonically with the
+  // truncation order; the paper's 10-term cost function is a deliberate
+  // undercount of the active-interval tail.
+  util::Rng rng(GetParam() ^ 0x9999ULL);
+  const double beta = rng.uniform(0.2, 0.8);
+  const auto p = random_profile(rng);
+  const double t = p.end_time();
+  double prev = 0.0;
+  for (int terms : {1, 5, 10, 40, 80}) {
+    const RakhmatovVrudhulaModel m(beta, terms);
+    const double s = m.charge_lost(p, t);
+    EXPECT_GE(s, prev - 1e-9);
+    prev = s;
+  }
+  // And the truncated value still dominates the delivered charge.
+  EXPECT_GE(RakhmatovVrudhulaModel(beta, 10).charge_lost(p, t), p.total_charge() - 1e-9);
+}
+
+TEST_P(RvPropertyTest, UnavailableChargeNonNegativeEverywhere) {
+  util::Rng rng(GetParam() ^ 0x2468ULL);
+  const RakhmatovVrudhulaModel m(rng.uniform(0.1, 1.0));
+  const auto p = random_profile(rng);
+  for (double frac : {0.1, 0.5, 0.9, 1.0, 1.5}) {
+    const double t = p.end_time() * frac;
+    EXPECT_GE(m.unavailable_charge(p, t), -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RvPropertyTest, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace basched::battery

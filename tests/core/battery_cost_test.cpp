@@ -1,0 +1,70 @@
+#include "basched/core/battery_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::core {
+namespace {
+
+graph::TaskGraph chain() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 2.0}, {100.0, 4.0}}));
+  g.add_task(graph::Task("B", {{300.0, 1.0}, {75.0, 2.0}}));
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(BatteryCost, IdealModelGivesPlainEnergy) {
+  const auto g = chain();
+  const battery::IdealModel m;
+  const CostResult r = calculate_battery_cost(g, Schedule{{0, 1}, {0, 0}}, m);
+  EXPECT_DOUBLE_EQ(r.sigma, 400.0 * 2.0 + 300.0 * 1.0);
+  EXPECT_DOUBLE_EQ(r.energy, r.sigma);
+  EXPECT_DOUBLE_EQ(r.duration, 3.0);
+}
+
+TEST(BatteryCost, RvSigmaExceedsEnergy) {
+  const auto g = chain();
+  const battery::RakhmatovVrudhulaModel m(0.273);
+  const CostResult r = calculate_battery_cost(g, Schedule{{0, 1}, {0, 0}}, m);
+  EXPECT_GT(r.sigma, r.energy);
+}
+
+TEST(BatteryCost, SequenceOrderMatters) {
+  graph::TaskGraph g;  // independent tasks: both orders legal
+  g.add_task(graph::Task("A", {{800.0, 2.0}, {100.0, 4.0}}));
+  g.add_task(graph::Task("B", {{300.0, 2.0}, {60.0, 4.0}}));
+  const battery::RakhmatovVrudhulaModel m(0.273);
+  const CostResult high_first = calculate_battery_cost(g, Schedule{{0, 1}, {0, 0}}, m);
+  const CostResult low_first = calculate_battery_cost(g, Schedule{{1, 0}, {0, 0}}, m);
+  EXPECT_LT(high_first.sigma, low_first.sigma);  // the paper's §3 property
+  EXPECT_DOUBLE_EQ(high_first.duration, low_first.duration);
+  EXPECT_DOUBLE_EQ(high_first.energy, low_first.energy);
+}
+
+TEST(BatteryCost, ValidatesSchedule) {
+  const auto g = chain();
+  const battery::IdealModel m;
+  EXPECT_THROW((void)calculate_battery_cost(g, Schedule{{1, 0}, {0, 0}}, m),
+               std::invalid_argument);
+  EXPECT_THROW((void)calculate_battery_cost(g, Schedule{{0, 1}, {0, 5}}, m),
+               std::invalid_argument);
+}
+
+TEST(BatteryCost, UncheckedMatchesChecked) {
+  const auto g = chain();
+  const battery::RakhmatovVrudhulaModel m(0.4);
+  const Schedule s{{0, 1}, {1, 0}};
+  const CostResult a = calculate_battery_cost(g, s, m);
+  const CostResult b = calculate_battery_cost_unchecked(g, s, m);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+  EXPECT_DOUBLE_EQ(a.duration, b.duration);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,69 @@
+#include "basched/core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::core {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+TEST(Bounds, OrderingsBracketArbitraryOrder) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Load> loads;
+    const int n = static_cast<int>(rng.uniform_int(2, 7));
+    for (int i = 0; i < n; ++i) loads.push_back({rng.uniform(10, 900), rng.uniform(0.5, 8)});
+    const double lower = sigma_noninc_current(loads, kModel);
+    const double upper = sigma_nondec_current(loads, kModel);
+    EXPECT_LE(lower, upper + 1e-9);
+    rng.shuffle(loads);
+    const double any = sigma_in_order(loads, kModel);
+    EXPECT_GE(any, lower - 1e-9);
+    EXPECT_LE(any, upper + 1e-9);
+  }
+}
+
+TEST(Bounds, EqualCurrentsCollapseBounds) {
+  const std::vector<Load> loads{{100, 1}, {100, 3}, {100, 2}};
+  EXPECT_NEAR(sigma_noninc_current(loads, kModel), sigma_nondec_current(loads, kModel), 1e-9);
+}
+
+TEST(Bounds, SingleLoadTrivial) {
+  const std::vector<Load> loads{{250, 4}};
+  const double s = sigma_in_order(loads, kModel);
+  EXPECT_DOUBLE_EQ(sigma_noninc_current(loads, kModel), s);
+  EXPECT_DOUBLE_EQ(sigma_nondec_current(loads, kModel), s);
+}
+
+TEST(Bounds, LoadsOfExtractsChosenPoints) {
+  const auto g = graph::make_g2();
+  const Assignment a(g.num_tasks(), 1);
+  const auto loads = loads_of(g, a);
+  ASSERT_EQ(loads.size(), g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(loads[v].current, g.task(v).point(1).current);
+    EXPECT_DOUBLE_EQ(loads[v].duration, g.task(v).point(1).duration);
+  }
+}
+
+TEST(Bounds, SigmaBoundsOnG3) {
+  const auto g = graph::make_g3();
+  const Assignment a(g.num_tasks(), 3);
+  const SigmaBounds b = sigma_bounds(g, a, kModel);
+  EXPECT_GT(b.lower, 0.0);
+  EXPECT_LE(b.lower, b.upper);
+}
+
+TEST(Bounds, StableSortKeepsDeterminism) {
+  const std::vector<Load> loads{{100, 1}, {100, 2}, {50, 3}};
+  EXPECT_DOUBLE_EQ(sigma_noninc_current(loads, kModel), sigma_noninc_current(loads, kModel));
+}
+
+}  // namespace
+}  // namespace basched::core

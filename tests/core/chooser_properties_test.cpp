@@ -1,0 +1,121 @@
+/// Property sweeps of ChooseDesignPoints / EvaluateWindows over randomized
+/// graphs, windows, deadlines, and factor weights.
+#include <gtest/gtest.h>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/design_point_chooser.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/core/window_evaluator.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::core {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph random_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3 + seed % 3;  // m in {3, 4, 5}
+  switch (seed % 3) {
+    case 0:
+      return graph::make_fork_join(2, 3, synth, rng);
+    case 1:
+      return graph::make_layered_random(4, 3, 0.3, synth, rng);
+    default:
+      return graph::make_series_parallel(9, synth, rng);
+  }
+}
+
+class ChooserProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChooserProperty, AssignmentAlwaysInWindow) {
+  const auto g = random_graph(GetParam());
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const std::size_t m = g.num_design_points();
+  const double d = g.column_time(0) + 0.5 * (g.column_time(m - 1) - g.column_time(0));
+  for (std::size_t ws = 0; ws < m; ++ws) {
+    const auto a = choose_design_points(g, seq, ws, d, stats);
+    ASSERT_EQ(a.size(), g.num_tasks());
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      EXPECT_GE(a[v], ws) << "task " << v << " window " << ws;
+      EXPECT_LT(a[v], m);
+    }
+  }
+}
+
+TEST_P(ChooserProperty, PinnedLastTaskAlwaysLowestPower) {
+  const auto g = random_graph(GetParam() ^ 0x1111ULL);
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const std::size_t m = g.num_design_points();
+  for (double frac : {0.2, 0.5, 0.9}) {
+    const double d = g.column_time(0) + frac * (g.column_time(m - 1) - g.column_time(0)) +
+                     g.task(seq.back()).max_duration();
+    const auto a = choose_design_points(g, seq, 0, d, stats);
+    EXPECT_EQ(a[seq.back()], m - 1);
+  }
+}
+
+TEST_P(ChooserProperty, LooserDeadlineNeverIncreasesEnergy) {
+  // More slack can only push the chooser toward lower-power (lower-energy)
+  // selections in aggregate. Not a strict theorem per-task, but the total
+  // energy should be monotone non-increasing within small tolerance.
+  const auto g = random_graph(GetParam() ^ 0x2222ULL);
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const std::size_t m = g.num_design_points();
+  const double fast = g.column_time(0);
+  const double slow = g.column_time(m - 1);
+  double prev_energy = 1e300;
+  for (double frac : {0.3, 0.6, 1.0}) {
+    const double d = fast + frac * (slow - fast) + g.task(seq.back()).max_duration();
+    const auto a = choose_design_points(g, seq, 0, d, stats);
+    double energy = 0.0;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) energy += g.task(v).point(a[v]).energy();
+    EXPECT_LE(energy, prev_energy * 1.10);
+    prev_energy = energy;
+  }
+}
+
+TEST_P(ChooserProperty, WindowSweepBestIsMinOverWindows) {
+  const auto g = random_graph(GetParam() ^ 0x3333ULL);
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const std::size_t m = g.num_design_points();
+  const double d = g.column_time(0) + 0.6 * (g.column_time(m - 1) - g.column_time(0));
+  const auto out = evaluate_windows(g, seq, d, kModel, stats);
+  ASSERT_TRUE(out.has_value());
+  if (!out->feasible()) return;
+  const double best = out->best_window().sigma;
+  for (const auto& w : out->windows) {
+    if (w.feasible) EXPECT_GE(w.sigma, best - 1e-9);
+    EXPECT_LE(w.window_start, m - 1);
+  }
+  // Window starts are distinct and descending from the sweep's start.
+  for (std::size_t i = 1; i < out->windows.size(); ++i)
+    EXPECT_EQ(out->windows[i].window_start + 1, out->windows[i - 1].window_start);
+}
+
+TEST_P(ChooserProperty, ZeroWeightsStillProduceValidAssignments) {
+  // Degenerate ablation: all factor weights zero → B ties everywhere; the
+  // chooser must still emit an in-range assignment deterministically.
+  const auto g = random_graph(GetParam() ^ 0x4444ULL);
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const std::size_t m = g.num_design_points();
+  const double d = g.column_time(0) + 0.7 * (g.column_time(m - 1) - g.column_time(0));
+  ChooserOptions opts;
+  opts.weights = {0, 0, 0, 0, 0};
+  const auto a = choose_design_points(g, seq, 0, d, stats, opts);
+  const auto b = choose_design_points(g, seq, 0, d, stats, opts);
+  EXPECT_EQ(a, b);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) EXPECT_LT(a[v], m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChooserProperty, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace basched::core

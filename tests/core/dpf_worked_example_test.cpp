@@ -1,0 +1,124 @@
+/// Reproduces the paper's Figure 4 worked example of the DPF calculation:
+/// five tasks, four design-points, E = [3,4,5,1,2], T5 fixed at DP4, T4 fixed
+/// at DP1, T3 tagged at DP2, T1/T2 free at DP4. The deadline forces T1 up to
+/// DP2 (two upgrade moves), after which DPF = 1/3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basched/core/design_point_chooser.hpp"
+#include "basched/core/list_scheduler.hpp"
+
+namespace basched::core {
+namespace {
+
+/// All tasks share durations {1,2,3,4} for DP1..DP4; per-task current scale
+/// orders the average energies as T3 < T4 < T5 < T1 < T2, i.e. the paper's
+/// Energy Vector E = [3,4,5,1,2].
+graph::TaskGraph fig4_graph() {
+  graph::TaskGraph g;
+  const double scale[5] = {0.8, 0.9, 0.5, 0.6, 0.7};  // T1..T5
+  for (int i = 0; i < 5; ++i) {
+    const double s = scale[i];
+    g.add_task(graph::Task("T" + std::to_string(i + 1),
+                           {{800.0 * s, 1.0}, {400.0 * s, 2.0}, {200.0 * s, 3.0},
+                            {100.0 * s, 4.0}}));
+  }
+  return g;
+}
+
+struct Fig4State {
+  graph::TaskGraph g = fig4_graph();
+  std::vector<graph::TaskId> sequence{0, 1, 2, 3, 4};
+  std::vector<graph::TaskId> energy_order;
+  Assignment assignment{3, 3, 1, 0, 3};  // T1@DP4, T2@DP4, T3@DP2(tagged), T4@DP1, T5@DP4
+  std::vector<bool> fixed_or_tagged{false, false, true, true, true};
+  GraphStats stats{g};
+
+  Fig4State() { energy_order = energy_vector(g); }
+};
+
+TEST(Fig4, EnergyVectorMatchesPaper) {
+  const Fig4State s;
+  // E = [3,4,5,1,2] in the paper's 1-based task labels.
+  EXPECT_EQ(s.energy_order, (std::vector<graph::TaskId>{2, 3, 4, 0, 1}));
+}
+
+TEST(Fig4, DpfIsOneThirdAfterTwoUpgrades) {
+  const Fig4State s;
+  // Te with the tagged assignment: 4 + 4 + 2 + 1 + 4 = 15. A deadline of
+  // 13.5 forces two upgrade moves of T1 (DP4 → DP3 → DP2), exactly the
+  // paper's Figure 4(a)→(c) walk, leaving T1@DP2 and T2@DP4.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, /*window_start=*/0,
+                                     /*deadline=*/13.5, s.stats);
+  EXPECT_NEAR(f.dpf, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fig4, NoUpgradesWhenDeadlineAlreadyMet) {
+  const Fig4State s;
+  // d = 20 > 15: free tasks stay at DP4, whose DPF weight is 0.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 20.0, s.stats);
+  EXPECT_DOUBLE_EQ(f.dpf, 0.0);
+}
+
+TEST(Fig4, SingleUpgradeYieldsDp3Histogram) {
+  const Fig4State s;
+  // d = 14: one move (T1 → DP3). Histogram: {0,0,1,1}/2 → 1/3·1/2 = 1/6.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 14.0, s.stats);
+  EXPECT_NEAR(f.dpf, 1.0 / 6.0, 1e-12);
+}
+
+TEST(Fig4, InfeasibleDeadlineGivesInfiniteDpf) {
+  const Fig4State s;
+  // Even T1@DP1 and T2@DP1 leaves Te = 1+1+2+1+4 = 9 > 8.5.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 8.5, s.stats);
+  EXPECT_TRUE(std::isinf(f.dpf));
+}
+
+TEST(Fig4, WindowLimitsUpgrades) {
+  const Fig4State s;
+  // window_start = 2 (only DP3/DP4 usable): best Te = 3+3+2+1+4 = 13 > 12.5,
+  // so the tag is infeasible under this window even though DP1/DP2 exist.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 2, 12.5, s.stats);
+  EXPECT_TRUE(std::isinf(f.dpf));
+}
+
+TEST(Fig4, UpgradePriorityFollowsEnergyVector) {
+  const Fig4State s;
+  // d = 11: moves go T1: 4→3→2→1 (fixed at window_start=0), Te = 12; then
+  // T2: 4→3, Te = 11 → met. Histogram: T1@DP1, T2@DP3 → 1·1/2 + 1/3·1/2 = 2/3.
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 11.0, s.stats);
+  EXPECT_NEAR(f.dpf, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Fig4, LastFreeTaskUsesSlackRatio) {
+  Fig4State s;
+  // Make every task fixed/tagged: DPF degenerates to (d - Te)/d.
+  s.fixed_or_tagged = {true, true, true, true, true};
+  const double te = 4 + 4 + 2 + 1 + 4;
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 20.0, s.stats);
+  EXPECT_NEAR(f.dpf, (20.0 - te) / 20.0, 1e-12);
+}
+
+TEST(Fig4, EnrAndCifComputedOnUpgradedAssignment) {
+  const Fig4State s;
+  const DpfFactors f = calculate_dpf(s.g, s.sequence, s.energy_order, s.assignment,
+                                     s.fixed_or_tagged, 0, 13.5, s.stats);
+  // After upgrades: T1@DP2(320), T2@DP4(90), T3@DP2(200), T4@DP1(480), T5@DP4(70).
+  // Energy = 320·2 + 90·4 + 200·2 + 480·1 + 70·4 = 2160.
+  const GraphStats st(s.g);
+  EXPECT_NEAR(f.enr, (2160.0 - st.e_min) / (st.e_max - st.e_min), 1e-12);
+  // Current sequence 320, 90, 200, 480, 70: increases at positions 3 and 4
+  // (90→200, 200→480) → CIF = 2/4.
+  EXPECT_NEAR(f.cif, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace basched::core

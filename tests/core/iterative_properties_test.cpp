@@ -1,0 +1,109 @@
+/// Property sweeps of the full algorithm over randomized task graphs.
+#include <gtest/gtest.h>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/bounds.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/topology.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::core {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph random_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  switch (seed % 4) {
+    case 0:
+      return graph::make_chain(6, synth, rng);
+    case 1:
+      return graph::make_fork_join(2, 3, synth, rng);
+    case 2:
+      return graph::make_layered_random(4, 3, 0.3, synth, rng);
+    default:
+      return graph::make_series_parallel(8, synth, rng);
+  }
+}
+
+/// A deadline between all-fastest and all-slowest so the instance is tight
+/// but feasible.
+double mid_deadline(const graph::TaskGraph& g) {
+  const double fast = g.column_time(0);
+  const double slow = g.column_time(g.num_design_points() - 1);
+  return fast + 0.6 * (slow - fast);
+}
+
+class IterativeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IterativeProperty, ScheduleValidAndDeadlineRespected) {
+  const auto g = random_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto r = schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_TRUE(r.schedule.is_valid(g));
+  EXPECT_LE(r.duration, d + 1e-6);
+}
+
+TEST_P(IterativeProperty, SigmaWithinPermutationBounds) {
+  // For the final assignment, σ must lie between the non-increasing and
+  // non-decreasing current orderings of the same loads ([1]'s property,
+  // dependencies ignored).
+  const auto g = random_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto r = schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(r.feasible);
+  const SigmaBounds b = sigma_bounds(g, r.schedule.assignment, kModel);
+  EXPECT_GE(r.sigma, b.lower - 1e-6);
+  EXPECT_LE(r.sigma, b.upper + 1e-6);
+}
+
+TEST_P(IterativeProperty, NeverWorseThanAllFastestSchedule) {
+  // All-fastest is always feasible at mid_deadline; the heuristic must not
+  // lose to the crudest deadline-meeting answer.
+  const auto g = random_graph(GetParam());
+  const double d = mid_deadline(g);
+  const auto r = schedule_battery_aware(g, d, kModel);
+  ASSERT_TRUE(r.feasible);
+  const Schedule all_fast{graph::topological_order(g), uniform_assignment(g, 0)};
+  const CostResult fast_cost = calculate_battery_cost_unchecked(g, all_fast, kModel);
+  EXPECT_LE(r.sigma, fast_cost.sigma + 1e-9);
+}
+
+TEST_P(IterativeProperty, GenerousDeadlineUsesLowestPowerWithoutCif) {
+  // With 10× the all-slowest time and the CIF term ablated, every remaining
+  // B factor (SR strictly, CR/ENR weakly, DPF = 0 since no upgrades are
+  // needed) favors the lowest-power column, so the chooser must assign all
+  // tasks to it. (With CIF active the full heuristic may legitimately keep
+  // a task fast to avoid an increasing-current transition — the paper's own
+  // Table 2 shows T3 at P1 in iteration 2 despite ample slack.)
+  const auto g = random_graph(GetParam());
+  const double d = 10.0 * g.column_time(g.num_design_points() - 1);
+  IterativeOptions opts;
+  opts.window.chooser.weights.cif = 0.0;
+  const auto r = schedule_battery_aware(g, d, kModel, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.assignment, uniform_assignment(g, g.num_design_points() - 1));
+}
+
+TEST_P(IterativeProperty, AblationsNeverBreakFeasibility) {
+  const auto g = random_graph(GetParam());
+  const double d = mid_deadline(g);
+  for (int mask = 0; mask < 4; ++mask) {
+    IterativeOptions opts;
+    opts.resequence = (mask & 1) != 0;
+    opts.window.sweep = (mask & 2) != 0;
+    const auto r = schedule_battery_aware(g, d, kModel, opts);
+    ASSERT_TRUE(r.feasible) << "mask " << mask << ": " << r.error;
+    EXPECT_LE(r.duration, d + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IterativeProperty, ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,151 @@
+#include "basched/core/iterative_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(graph::kPaperBeta);
+
+TEST(Iterative, G3ExampleProducesFeasibleSchedule) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_TRUE(r.schedule.is_valid(g));
+  EXPECT_LE(r.duration, graph::kG3ExampleDeadline + 1e-6);
+  EXPECT_GT(r.sigma, 0.0);
+  EXPECT_GE(r.sigma, r.energy);  // σ includes unavailable charge
+}
+
+TEST(Iterative, TraceRecordsEveryIteration) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_GE(r.iterations.size(), 2u);  // at least one improvement + the stop iteration
+  for (const auto& rec : r.iterations) {
+    EXPECT_EQ(rec.sequence.size(), g.num_tasks());
+    EXPECT_TRUE(graph::is_topological_order(g, rec.sequence));
+    EXPECT_FALSE(rec.windows.windows.empty());
+  }
+}
+
+TEST(Iterative, PerIterationBestNeverIncreases) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  ASSERT_TRUE(r.feasible);
+  // The loop only continues while improving, so the recorded best costs are
+  // strictly decreasing except for the final (terminating) iteration.
+  for (std::size_t i = 1; i + 1 < r.iterations.size(); ++i)
+    EXPECT_LT(r.iterations[i].best_sigma, r.iterations[i - 1].best_sigma);
+  if (r.iterations.size() >= 2) {
+    const auto& last = r.iterations.back();
+    const auto& prev = r.iterations[r.iterations.size() - 2];
+    EXPECT_GE(last.best_sigma, prev.best_sigma);  // the stop condition
+  }
+}
+
+TEST(Iterative, ResultIsBestOverTrace) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  ASSERT_TRUE(r.feasible);
+  for (const auto& rec : r.iterations)
+    if (rec.windows.feasible()) EXPECT_LE(r.sigma, rec.best_sigma + 1e-9);
+}
+
+TEST(Iterative, ReportedCostMatchesSchedule) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  ASSERT_TRUE(r.feasible);
+  const CostResult c = calculate_battery_cost(g, r.schedule, kModel);
+  EXPECT_NEAR(c.sigma, r.sigma, 1e-9);
+  EXPECT_NEAR(c.duration, r.duration, 1e-9);
+  EXPECT_NEAR(c.energy, r.energy, 1e-9);
+}
+
+TEST(Iterative, UnmeetableDeadlineReportsError) {
+  const auto g = graph::make_g3();
+  const auto r = schedule_battery_aware(g, 50.0, kModel);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Iterative, InvalidArgumentsThrow) {
+  const auto g = graph::make_g3();
+  EXPECT_THROW((void)schedule_battery_aware(g, 0.0, kModel), std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_battery_aware(empty, 10.0, kModel), std::invalid_argument);
+}
+
+TEST(Iterative, G2AllPaperDeadlines) {
+  const auto g = graph::make_g2();
+  double prev_sigma = 0.0;
+  for (double d : graph::kG2Deadlines) {
+    const auto r = schedule_battery_aware(g, d, kModel);
+    ASSERT_TRUE(r.feasible) << "deadline " << d << ": " << r.error;
+    EXPECT_LE(r.duration, d + 1e-6);
+    // Looser deadlines can only help (Table 4's monotone trend).
+    if (prev_sigma > 0.0) EXPECT_LT(r.sigma, prev_sigma);
+    prev_sigma = r.sigma;
+  }
+}
+
+TEST(Iterative, G3DeadlineMonotonicity) {
+  const auto g = graph::make_g3();
+  double prev_sigma = 0.0;
+  for (double d : graph::kG3Deadlines) {
+    const auto r = schedule_battery_aware(g, d, kModel);
+    ASSERT_TRUE(r.feasible) << "deadline " << d;
+    if (prev_sigma > 0.0) EXPECT_LT(r.sigma, prev_sigma);
+    prev_sigma = r.sigma;
+  }
+}
+
+TEST(Iterative, ResequencingAblationStillFeasible) {
+  const auto g = graph::make_g3();
+  IterativeOptions opts;
+  opts.resequence = false;
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.iterations.size(), 1u);  // single pass without re-sequencing
+  // Full algorithm can only be at least as good.
+  const auto full = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  EXPECT_LE(full.sigma, r.sigma + 1e-9);
+}
+
+TEST(Iterative, WindowAblationStillFeasible) {
+  const auto g = graph::make_g3();
+  IterativeOptions opts;
+  opts.window.sweep = false;
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel, opts);
+  ASSERT_TRUE(r.feasible);
+  for (const auto& rec : r.iterations) EXPECT_EQ(rec.windows.windows.size(), 1u);
+}
+
+TEST(Iterative, MaxIterationsRespected) {
+  const auto g = graph::make_g3();
+  IterativeOptions opts;
+  opts.max_iterations = 1;
+  const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel, opts);
+  EXPECT_EQ(r.iterations.size(), 1u);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Iterative, DeterministicAcrossRuns) {
+  const auto g = graph::make_g2();
+  const auto a = schedule_battery_aware(g, 75.0, kModel);
+  const auto b = schedule_battery_aware(g, 75.0, kModel);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,178 @@
+#include "basched/core/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+namespace {
+
+graph::TaskGraph diamond(double ia = 100, double ib = 200, double ic = 300, double id = 50) {
+  graph::TaskGraph g;
+  auto mk = [](const std::string& n, double i) {
+    return graph::Task(n, {{i, 1.0}, {i / 4.0, 2.0}});
+  };
+  g.add_task(mk("A", ia));
+  g.add_task(mk("B", ib));
+  g.add_task(mk("C", ic));
+  g.add_task(mk("D", id));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(ListSchedule, PicksHighestWeightAmongReady) {
+  const auto g = diamond();
+  const std::vector<double> w{0.0, 1.0, 9.0, 0.0};
+  const auto seq = list_schedule(g, w);
+  EXPECT_EQ(seq, (std::vector<graph::TaskId>{0, 2, 1, 3}));
+}
+
+TEST(ListSchedule, TieBreaksBySmallerId) {
+  const auto g = diamond();
+  const std::vector<double> w{0.0, 5.0, 5.0, 0.0};
+  const auto seq = list_schedule(g, w);
+  EXPECT_EQ(seq[1], 1u);
+}
+
+TEST(ListSchedule, SizeMismatchThrows) {
+  const auto g = diamond();
+  EXPECT_THROW((void)list_schedule(g, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(ListSchedule, CycleThrows) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{1.0, 1.0}}));
+  g.add_task(graph::Task("B", {{1.0, 1.0}}));
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)list_schedule(g, std::vector<double>{1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(SequenceDecEnergy, OrdersByAverageEnergy) {
+  // C has the highest average energy among ready {B, C}.
+  const auto g = diamond(100, 200, 300, 50);
+  const auto seq = sequence_dec_energy(g);
+  EXPECT_EQ(seq, (std::vector<graph::TaskId>{0, 2, 1, 3}));
+  EXPECT_TRUE(graph::is_topological_order(g, seq));
+}
+
+TEST(SequenceDecEnergy, G3FirstTaskIsT1) {
+  const auto g = graph::make_g3();
+  const auto seq = sequence_dec_energy(g);
+  EXPECT_EQ(g.task(seq.front()).name(), "T1");  // unique source
+  EXPECT_EQ(g.task(seq.back()).name(), "T15");  // unique sink
+  EXPECT_TRUE(graph::is_topological_order(g, seq));
+}
+
+TEST(WeightedSequence, UsesSubtreeCurrentSums) {
+  // With everyone at column 0, w(B) = I_B + I_D, w(C) = I_C + I_D. Make B's
+  // subtree heavier even though C's own current is larger.
+  const auto g = diamond(100, 290, 300, 50);
+  const Assignment a{0, 0, 0, 0};
+  // w(B) = 290 + 50 = 340, w(C) = 300 + 50 = 350 -> C first.
+  EXPECT_EQ(weighted_sequence(g, a)[1], 2u);
+  // Downscale C only: w(C) = 75 + 50 = 125 < w(B) -> B first.
+  const Assignment b{0, 0, 1, 0};
+  EXPECT_EQ(weighted_sequence(g, b)[1], 1u);
+}
+
+TEST(WeightedSequence, AssignmentSizeChecked) {
+  const auto g = diamond();
+  EXPECT_THROW((void)weighted_sequence(g, Assignment{0}), std::invalid_argument);
+}
+
+TEST(GreedyMaxCurrent, UsesMaxOfOwnAndSubtreeMean) {
+  // Eq. 5: w(v) = max(I_v, mean over subtree). Give B a low own current but a
+  // high-current descendant-mean via D.
+  const auto g = diamond(100, 120, 130, 900);
+  const Assignment a{0, 0, 0, 0};
+  // w(B) = max(120, (120+900)/2 = 510) = 510; w(C) = max(130, 515) = 515.
+  const auto seq = greedy_max_current_sequence(g, a);
+  EXPECT_EQ(seq[1], 2u);
+}
+
+TEST(GreedyMaxCurrent, SingleTask) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{10.0, 1.0}}));
+  const auto seq = greedy_max_current_sequence(g, Assignment{0});
+  EXPECT_EQ(seq, (std::vector<graph::TaskId>{0}));
+}
+
+TEST(EnergyVector, IncreasingAverageEnergy) {
+  const auto g = diamond(100, 200, 300, 50);
+  const auto ev = energy_vector(g);
+  ASSERT_EQ(ev.size(), 4u);
+  for (std::size_t i = 1; i < ev.size(); ++i)
+    EXPECT_LE(g.task(ev[i - 1]).average_energy(), g.task(ev[i]).average_energy());
+  EXPECT_EQ(ev.front(), 3u);  // D has the smallest average energy
+  EXPECT_EQ(ev.back(), 2u);   // C the largest
+}
+
+TEST(MaxCurrentSequence, OrdersByOwnChosenCurrent) {
+  const auto g = diamond(100, 200, 300, 50);
+  // All fast: B=200, C=300 → C first among ready.
+  EXPECT_EQ(max_current_sequence(g, Assignment{0, 0, 0, 0})[1], 2u);
+  // Downscale C (300/4 = 75 < 200): B first.
+  EXPECT_EQ(max_current_sequence(g, Assignment{0, 0, 1, 0})[1], 1u);
+}
+
+TEST(MaxCurrentSequence, AssignmentSizeChecked) {
+  const auto g = diamond();
+  EXPECT_THROW((void)max_current_sequence(g, Assignment{0}), std::invalid_argument);
+}
+
+TEST(CriticalPathSequence, PrefersLongerRemainingChain) {
+  // A → B → D and A → C, with D long: B's chain is longer than C's even
+  // though C's own duration is larger.
+  graph::TaskGraph g;
+  auto mk = [](const std::string& n, double d) {
+    return graph::Task(n, {{100.0, d}, {25.0, 2.0 * d}});
+  };
+  g.add_task(mk("A", 1.0));
+  g.add_task(mk("B", 1.0));
+  g.add_task(mk("C", 3.0));
+  g.add_task(mk("D", 5.0));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  const auto seq = critical_path_sequence(g, Assignment{0, 0, 0, 0});
+  // w(B) = 1 + 5 = 6 > w(C) = 3.
+  EXPECT_EQ(seq[1], 1u);
+}
+
+TEST(CriticalPathSequence, UsesChosenDurations) {
+  graph::TaskGraph g;
+  auto mk = [](const std::string& n, double d) {
+    return graph::Task(n, {{100.0, d}, {25.0, 10.0 * d}});
+  };
+  g.add_task(mk("A", 1.0));
+  g.add_task(mk("B", 2.0));
+  g.add_task(mk("C", 3.0));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  // Fast columns: w(B) = 2 < w(C) = 3 → C first. Slow B only: w(B) = 20 → B first.
+  EXPECT_EQ(critical_path_sequence(g, Assignment{0, 0, 0})[1], 2u);
+  EXPECT_EQ(critical_path_sequence(g, Assignment{0, 1, 0})[1], 1u);
+}
+
+TEST(CriticalPathSequence, AssignmentSizeChecked) {
+  const auto g = diamond();
+  EXPECT_THROW((void)critical_path_sequence(g, Assignment{0}), std::invalid_argument);
+}
+
+TEST(EnergyVector, StableOnTies) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 1.0}}));
+  g.add_task(graph::Task("B", {{100.0, 1.0}}));
+  const auto ev = energy_vector(g);
+  EXPECT_EQ(ev, (std::vector<graph::TaskId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace basched::core

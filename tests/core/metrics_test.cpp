@@ -1,0 +1,119 @@
+#include "basched/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace basched::core {
+namespace {
+
+graph::TaskGraph sample_graph() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{900.0, 1.0}, {100.0, 2.0}}));  // energies 900, 200
+  g.add_task(graph::Task("B", {{500.0, 2.0}, {50.0, 4.0}}));   // energies 1000, 200
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(GraphStats, ComputedFromGraph) {
+  const auto g = sample_graph();
+  const GraphStats s(g);
+  EXPECT_DOUBLE_EQ(s.i_min, 50.0);
+  EXPECT_DOUBLE_EQ(s.i_max, 900.0);
+  EXPECT_DOUBLE_EQ(s.e_min, 400.0);   // both tasks at their slowest points
+  EXPECT_DOUBLE_EQ(s.e_max, 1900.0);  // both at their fastest
+}
+
+TEST(SlackRatio, Definition) {
+  EXPECT_DOUBLE_EQ(slack_ratio(100.0, 60.0), 0.4);
+  EXPECT_DOUBLE_EQ(slack_ratio(100.0, 100.0), 0.0);
+  EXPECT_LT(slack_ratio(100.0, 130.0), 0.0);  // over deadline
+}
+
+TEST(SlackRatio, RequiresPositiveDeadline) {
+  EXPECT_THROW((void)slack_ratio(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)slack_ratio(-5.0, 1.0), std::invalid_argument);
+}
+
+TEST(CurrentRatio, NormalizedToUnitInterval) {
+  const auto g = sample_graph();
+  const GraphStats s(g);
+  EXPECT_DOUBLE_EQ(current_ratio(50.0, s), 0.0);
+  EXPECT_DOUBLE_EQ(current_ratio(900.0, s), 1.0);
+  EXPECT_NEAR(current_ratio(475.0, s), 0.5, 1e-12);
+}
+
+TEST(CurrentRatio, DegenerateRangeIsZero) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 1.0}, {100.0, 2.0}}));
+  const GraphStats s(g);
+  EXPECT_DOUBLE_EQ(current_ratio(100.0, s), 0.0);
+}
+
+TEST(EnergyRatio, NormalizedToUnitInterval) {
+  const auto g = sample_graph();
+  const GraphStats s(g);
+  EXPECT_DOUBLE_EQ(energy_ratio(400.0, s), 0.0);
+  EXPECT_DOUBLE_EQ(energy_ratio(1900.0, s), 1.0);
+  EXPECT_NEAR(energy_ratio(1150.0, s), 0.5, 1e-12);
+}
+
+TEST(Cif, CountsIncreasingTransitions) {
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(current_increase_fraction(flat), 0.0);
+  const std::vector<double> rising{1, 2, 3};
+  EXPECT_DOUBLE_EQ(current_increase_fraction(rising), 1.0);
+  const std::vector<double> mixed{3, 1, 2, 2};  // one increase out of three
+  EXPECT_NEAR(current_increase_fraction(mixed), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Cif, DegenerateLengths) {
+  EXPECT_DOUBLE_EQ(current_increase_fraction(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(current_increase_fraction(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Cif, OfSchedule) {
+  const auto g = sample_graph();
+  // A@fast (900) then B@fast (500): decreasing — CIF 0.
+  EXPECT_DOUBLE_EQ(current_increase_fraction(g, Schedule{{0, 1}, {0, 0}}), 0.0);
+  // A@slow (100) then B@fast (500): one increase out of one — CIF 1.
+  EXPECT_DOUBLE_EQ(current_increase_fraction(g, Schedule{{0, 1}, {1, 0}}), 1.0);
+}
+
+TEST(Dpf, WeightsPenalizeHighPowerColumns) {
+  // m = 4: weights 1, 2/3, 1/3, 0 for columns 0..3.
+  const std::vector<std::size_t> only_fastest{2, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(dpf_from_histogram(only_fastest, 2), 1.0);
+  const std::vector<std::size_t> only_slowest{0, 0, 0, 2};
+  EXPECT_DOUBLE_EQ(dpf_from_histogram(only_slowest, 2), 0.0);
+  const std::vector<std::size_t> fig4{0, 1, 0, 1};  // T1@DP2, T2@DP4
+  EXPECT_NEAR(dpf_from_histogram(fig4, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Dpf, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(dpf_from_histogram(std::vector<std::size_t>{3}, 3), 0.0);  // m == 1
+  EXPECT_DOUBLE_EQ(dpf_from_histogram(std::vector<std::size_t>{0, 0}, 0), 0.0);
+}
+
+TEST(FactorWeights, DefaultIsPlainSum) {
+  const FactorWeights w;
+  EXPECT_DOUBLE_EQ(w.combine(0.1, 0.2, 0.3, 0.4, 0.5), 1.5);
+}
+
+TEST(FactorWeights, AblationScalesTerms) {
+  FactorWeights w;
+  w.cif = 0.0;
+  w.dpf = 2.0;
+  EXPECT_DOUBLE_EQ(w.combine(0.1, 0.2, 0.3, 1.0, 0.5), 0.1 + 0.2 + 0.3 + 0.0 + 1.0);
+}
+
+TEST(FactorWeights, InfeasibilitySurvivesZeroWeight) {
+  FactorWeights w;
+  w.dpf = 0.0;
+  EXPECT_TRUE(std::isinf(w.combine(0.1, 0.2, 0.3, 0.4, kInfeasible)));
+}
+
+}  // namespace
+}  // namespace basched::core

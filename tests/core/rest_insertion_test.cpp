@@ -1,0 +1,138 @@
+#include "basched/core/rest_insertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/lifetime.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+namespace {
+
+// Strong nonlinearity so recovery matters over minutes.
+const battery::RakhmatovVrudhulaModel kModel(0.15);
+
+graph::TaskGraph burst_chain() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{900.0, 3.0}, {300.0, 6.0}}));
+  g.add_task(graph::Task("B", {{900.0, 3.0}, {300.0, 6.0}}));
+  g.add_task(graph::Task("C", {{900.0, 3.0}, {300.0, 6.0}}));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+Schedule all_fast(const graph::TaskGraph& g) {
+  return {graph::topological_order(g), uniform_assignment(g, 0)};
+}
+
+TEST(RestInsertion, SurvivesWithoutRestOnBigBattery) {
+  const auto g = burst_chain();
+  EXPECT_TRUE(survives_without_rest(g, all_fast(g), kModel, 1e7));
+}
+
+TEST(RestInsertion, NoRestNeededMeansEmptyPlan) {
+  const auto g = burst_chain();
+  const auto plan = insert_rest_for_survival(g, all_fast(g), 100.0, kModel, 1e7);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->total_rest(), 0.0);
+  EXPECT_NEAR(plan->completion_time, 9.0, 1e-9);
+}
+
+TEST(RestInsertion, RestRescuesATightBattery) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  // Size the battery so the back-to-back run dies but a rested one survives:
+  // slightly above the burst's peak need after recovery.
+  const double sigma_all = kModel.charge_lost_at_end(s.to_profile(g));
+  const double alpha = sigma_all * 0.98;
+  ASSERT_FALSE(survives_without_rest(g, s, kModel, alpha));
+  const auto plan = insert_rest_for_survival(g, s, 1000.0, kModel, alpha);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(plan->total_rest(), 0.0);
+  // The realized profile must actually survive.
+  EXPECT_FALSE(battery::find_lifetime(kModel, plan->profile, alpha).has_value());
+}
+
+TEST(RestInsertion, RespectsDeadline) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  const double sigma_all = kModel.charge_lost_at_end(s.to_profile(g));
+  const double alpha = sigma_all * 0.98;
+  // A deadline barely above the work leaves almost no room for rest.
+  const auto plan = insert_rest_for_survival(g, s, 9.05, kModel, alpha);
+  if (plan) {
+    EXPECT_LE(plan->completion_time, 9.05 + 1e-6);
+    EXPECT_FALSE(battery::find_lifetime(kModel, plan->profile, alpha).has_value());
+  }
+  // With a generous deadline it must succeed.
+  EXPECT_TRUE(insert_rest_for_survival(g, s, 1000.0, kModel, alpha).has_value());
+}
+
+TEST(RestInsertion, HopelessBatteryFails) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  // Even one task's delivered charge exceeds this capacity; no rest helps.
+  const auto plan = insert_rest_for_survival(g, s, 1000.0, kModel, 100.0);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST(RestInsertion, TasksAloneMissDeadline) {
+  const auto g = burst_chain();
+  EXPECT_FALSE(insert_rest_for_survival(g, all_fast(g), 8.0, kModel, 1e7).has_value());
+}
+
+TEST(RestInsertion, SafetyMarginTightensTheCap) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  const double sigma_all = kModel.charge_lost_at_end(s.to_profile(g));
+  const double alpha = sigma_all * 1.01;  // survives barely without margin
+  RestOptions strict;
+  strict.safety_margin = 0.10;
+  const auto loose = insert_rest_for_survival(g, s, 1000.0, kModel, alpha);
+  const auto tight = insert_rest_for_survival(g, s, 1000.0, kModel, alpha, strict);
+  ASSERT_TRUE(loose.has_value());
+  if (tight) EXPECT_GE(tight->total_rest(), loose->total_rest());
+}
+
+TEST(RestInsertion, PlanProfileMatchesRests) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  const double alpha = kModel.charge_lost_at_end(s.to_profile(g)) * 0.98;
+  const auto plan = insert_rest_for_survival(g, s, 1000.0, kModel, alpha);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NEAR(plan->completion_time, 9.0 + plan->total_rest(), 1e-6);
+  EXPECT_EQ(plan->rest_before.size(), 3u);
+}
+
+TEST(RestInsertion, Validation) {
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  EXPECT_THROW((void)insert_rest_for_survival(g, s, 0.0, kModel, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)insert_rest_for_survival(g, s, 10.0, kModel, 0.0), std::invalid_argument);
+  RestOptions bad;
+  bad.safety_margin = 1.0;
+  EXPECT_THROW((void)insert_rest_for_survival(g, s, 10.0, kModel, 100.0, bad),
+               std::invalid_argument);
+  Schedule broken{{2, 1, 0}, {0, 0, 0}};
+  EXPECT_THROW((void)insert_rest_for_survival(g, broken, 10.0, kModel, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)survives_without_rest(g, s, kModel, 0.0), std::invalid_argument);
+}
+
+TEST(RestInsertion, G3WorksOnPaperGraph) {
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const Schedule s{graph::topological_order(g), uniform_assignment(g, 0)};
+  const double sigma = model.charge_lost_at_end(s.to_profile(g));
+  const auto plan = insert_rest_for_survival(g, s, 400.0, model, sigma * 0.97);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(plan->total_rest(), 0.0);
+  EXPECT_LE(plan->completion_time, 400.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,119 @@
+#include "basched/core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::core {
+namespace {
+
+Schedule g2_schedule() {
+  const auto g = graph::make_g2();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const auto r = schedule_battery_aware(g, 75.0, model);
+  return r.schedule;
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const auto g = graph::make_g2();
+  const Schedule s = g2_schedule();
+  const Schedule parsed = parse_schedule(g, serialize_schedule(g, s));
+  EXPECT_EQ(parsed.sequence, s.sequence);
+  EXPECT_EQ(parsed.assignment, s.assignment);
+}
+
+TEST(ScheduleIo, SerializeUsesOneBasedColumns) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 1.0}, {25.0, 2.0}}));
+  const Schedule s{{0}, {1}};
+  const std::string text = serialize_schedule(g, s);
+  EXPECT_NE(text.find("run A 2"), std::string::npos);
+}
+
+TEST(ScheduleIo, SerializeValidates) {
+  const auto g = graph::make_g2();
+  Schedule bad = g2_schedule();
+  std::swap(bad.sequence.front(), bad.sequence.back());
+  EXPECT_THROW((void)serialize_schedule(g, bad), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsMissingHeader) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)parse_schedule(g, "run N2 1\n"), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsUnknownTask) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)parse_schedule(g, "schedule\nrun NOPE 1\n"), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsColumnOutOfRange) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)parse_schedule(g, "schedule\nrun N2 5\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_schedule(g, "schedule\nrun N2 0\n"), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsDuplicateTask) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)parse_schedule(g, "schedule\nrun N2 1\nrun N2 1\n"), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsIncompleteSchedule) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)parse_schedule(g, "schedule\nrun N2 1\n"), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseRejectsNonTopologicalOrder) {
+  const auto g = graph::make_g2();
+  const Schedule s = g2_schedule();
+  std::string text = "schedule\n";
+  for (auto it = s.sequence.rbegin(); it != s.sequence.rend(); ++it)
+    text += "run " + g.task(*it).name() + " 1\n";
+  EXPECT_THROW((void)parse_schedule(g, text), std::invalid_argument);
+}
+
+TEST(ScheduleIo, ParseAllowsCommentsAndBlankLines) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 1.0}}));
+  const Schedule parsed = parse_schedule(g, "# header comment\nschedule\n\nrun A 1 # tail\n");
+  EXPECT_EQ(parsed.sequence, (std::vector<graph::TaskId>{0}));
+}
+
+TEST(ScheduleIo, ErrorsCarryLineNumbers) {
+  const auto g = graph::make_g2();
+  try {
+    (void)parse_schedule(g, "schedule\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScheduleIo, ProfileCsvHasHeaderAndRows) {
+  const auto g = graph::make_g2();
+  const Schedule s = g2_schedule();
+  const std::string csv = profile_csv(g, s);
+  EXPECT_NE(csv.find("task,start_min,duration_min,current_mA,energy_mAmin"), std::string::npos);
+  // One header + one row per task.
+  std::size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + g.num_tasks());
+}
+
+TEST(ScheduleIo, ProfileCsvStartsAccumulate) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 1.5}}));
+  g.add_task(graph::Task("B", {{50.0, 2.0}}));
+  g.add_edge(0, 1);
+  const Schedule s{{0, 1}, {0, 0}};
+  const std::string csv = profile_csv(g, s);
+  EXPECT_NE(csv.find("B,1.500000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,76 @@
+#include "basched/core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::core {
+namespace {
+
+graph::TaskGraph two_task_chain() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 1.0}, {100.0, 2.0}}));
+  g.add_task(graph::Task("B", {{600.0, 3.0}, {150.0, 6.0}}));
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(Schedule, DurationIsOrderIndependentSum) {
+  const auto g = two_task_chain();
+  const Schedule s{{0, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(s.duration(g), 1.0 + 6.0);
+}
+
+TEST(Schedule, EnergySumsChosenPoints) {
+  const auto g = two_task_chain();
+  const Schedule s{{0, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(s.energy(g), 100.0 * 2.0 + 600.0 * 3.0);
+}
+
+TEST(Schedule, ToProfileFollowsSequenceOrder) {
+  const auto g = two_task_chain();
+  const Schedule s{{0, 1}, {0, 0}};
+  const auto p = s.to_profile(g);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.intervals()[0].current, 400.0);
+  EXPECT_DOUBLE_EQ(p.intervals()[0].duration, 1.0);
+  EXPECT_DOUBLE_EQ(p.intervals()[1].current, 600.0);
+  EXPECT_DOUBLE_EQ(p.end_time(), 4.0);
+}
+
+TEST(Schedule, ValidAcceptsTopologicalOrder) {
+  const auto g = two_task_chain();
+  EXPECT_TRUE((Schedule{{0, 1}, {0, 0}}).is_valid(g));
+}
+
+TEST(Schedule, InvalidOnDependencyViolation) {
+  const auto g = two_task_chain();
+  EXPECT_FALSE((Schedule{{1, 0}, {0, 0}}).is_valid(g));
+  EXPECT_THROW((Schedule{{1, 0}, {0, 0}}).validate(g), std::invalid_argument);
+}
+
+TEST(Schedule, InvalidOnBadAssignmentSize) {
+  const auto g = two_task_chain();
+  EXPECT_FALSE((Schedule{{0, 1}, {0}}).is_valid(g));
+  EXPECT_THROW((Schedule{{0, 1}, {0}}).validate(g), std::invalid_argument);
+}
+
+TEST(Schedule, InvalidOnColumnOutOfRange) {
+  const auto g = two_task_chain();
+  EXPECT_FALSE((Schedule{{0, 1}, {0, 2}}).is_valid(g));
+  EXPECT_THROW((Schedule{{0, 1}, {0, 2}}).validate(g), std::invalid_argument);
+}
+
+TEST(Schedule, InvalidOnIncompleteSequence) {
+  const auto g = two_task_chain();
+  EXPECT_FALSE((Schedule{{0}, {0, 0}}).is_valid(g));
+}
+
+TEST(UniformAssignment, FillsColumn) {
+  const auto g = two_task_chain();
+  EXPECT_EQ(uniform_assignment(g, 1), (Assignment{1, 1}));
+  EXPECT_THROW((void)uniform_assignment(g, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,114 @@
+#include "basched/core/window_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/list_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+TEST(Windows, G3ExampleEvaluatesFourWindows) {
+  // CT(4) = 219.3 <= 230 < CT(5) = 258 → start at 0-based column 3 and sweep
+  // 3, 2, 1, 0 — the paper's "Win 4:5 … 1:5".
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const auto out = evaluate_windows(g, seq, graph::kG3ExampleDeadline, kModel, stats);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->windows.size(), 4u);
+  EXPECT_EQ(out->windows[0].window_start, 3u);
+  EXPECT_EQ(out->windows[3].window_start, 0u);
+  EXPECT_TRUE(out->feasible());
+  for (const auto& w : out->windows) {
+    EXPECT_TRUE(w.feasible);
+    EXPECT_LE(w.duration, graph::kG3ExampleDeadline + 1e-6);
+    EXPECT_GT(w.sigma, 0.0);
+  }
+}
+
+TEST(Windows, BestWindowHasMinimalSigma) {
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  const auto out = evaluate_windows(g, seq, graph::kG3ExampleDeadline, kModel, stats);
+  ASSERT_TRUE(out.has_value() && out->feasible());
+  const double best = out->best_window().sigma;
+  for (const auto& w : out->windows)
+    if (w.feasible) EXPECT_GE(w.sigma, best - 1e-9);
+}
+
+TEST(Windows, UnmeetableDeadlineReturnsNullopt) {
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  // CT(0) = 85.2 for G3; a deadline of 50 is hopeless.
+  EXPECT_FALSE(evaluate_windows(g, seq, 50.0, kModel, stats).has_value());
+}
+
+TEST(Windows, TightDeadlineStartsAtWiderWindow) {
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  // d = 100: CT(1) = 162.4 > 100 > CT(0) = 85.2 → only the full window runs.
+  const auto out = evaluate_windows(g, seq, 100.0, kModel, stats);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->windows.size(), 1u);
+  EXPECT_EQ(out->windows[0].window_start, 0u);
+}
+
+TEST(Windows, SweepDisabledEvaluatesOnlyFullWindow) {
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  WindowOptions opts;
+  opts.sweep = false;
+  const auto out = evaluate_windows(g, seq, graph::kG3ExampleDeadline, kModel, stats, opts);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->windows.size(), 1u);
+  EXPECT_EQ(out->windows[0].window_start, 0u);
+}
+
+TEST(Windows, InvalidInputsThrow) {
+  const auto g = graph::make_g3();
+  const GraphStats stats(g);
+  auto seq = sequence_dec_energy(g);
+  EXPECT_THROW((void)evaluate_windows(g, seq, 0.0, kModel, stats), std::invalid_argument);
+  std::swap(seq.front(), seq.back());
+  EXPECT_THROW((void)evaluate_windows(g, seq, 230.0, kModel, stats), std::invalid_argument);
+}
+
+TEST(Windows, SingleDesignPointGraph) {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{100.0, 2.0}}));
+  g.add_task(graph::Task("B", {{50.0, 3.0}}));
+  g.add_edge(0, 1);
+  const GraphStats stats(g);
+  const auto seq = graph::topological_order(g);
+  const auto ok = evaluate_windows(g, seq, 10.0, kModel, stats);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->feasible());
+  EXPECT_EQ(ok->windows.size(), 1u);
+  EXPECT_FALSE(evaluate_windows(g, seq, 4.0, kModel, stats).has_value());
+}
+
+TEST(Windows, G2AllPaperDeadlinesFeasible) {
+  const auto g = graph::make_g2();
+  const GraphStats stats(g);
+  const auto seq = sequence_dec_energy(g);
+  for (double d : graph::kG2Deadlines) {
+    const auto out = evaluate_windows(g, seq, d, kModel, stats);
+    ASSERT_TRUE(out.has_value()) << "deadline " << d;
+    EXPECT_TRUE(out->feasible()) << "deadline " << d;
+    EXPECT_LE(out->best_window().duration, d + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -1,0 +1,136 @@
+#include "basched/graph/dvs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/graph/task.hpp"
+
+namespace basched::graph {
+namespace {
+
+CmosParams nominal() {
+  CmosParams p;
+  p.v_max = 1.8;
+  p.v_t = 0.4;
+  p.alpha = 2.0;
+  p.f_max = 600.0;
+  p.c_eff = 1.0;
+  p.v_battery = 3.7;
+  return p;
+}
+
+TEST(DvsModel, FrequencyMaxAtVmax) {
+  const auto p = nominal();
+  EXPECT_NEAR(dvs_frequency(p, p.v_max), p.f_max, 1e-9);
+}
+
+TEST(DvsModel, FrequencyMonotoneInVoltage) {
+  const auto p = nominal();
+  double prev = 0.0;
+  for (double v = 0.6; v <= 1.8; v += 0.1) {
+    const double f = dvs_frequency(p, v);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(DvsModel, FrequencyValidation) {
+  const auto p = nominal();
+  EXPECT_THROW((void)dvs_frequency(p, 0.4), std::invalid_argument);   // v == v_t
+  EXPECT_THROW((void)dvs_frequency(p, 0.2), std::invalid_argument);   // below threshold
+  EXPECT_THROW((void)dvs_frequency(p, 2.0), std::invalid_argument);   // above v_max
+  CmosParams bad = nominal();
+  bad.alpha = 2.5;
+  EXPECT_THROW((void)dvs_frequency(bad, 1.0), std::invalid_argument);
+  bad = nominal();
+  bad.v_t = 2.0;
+  EXPECT_THROW((void)dvs_frequency(bad, 1.0), std::invalid_argument);
+}
+
+TEST(DvsModel, DesignPointScalesWithCycles) {
+  const auto p = nominal();
+  const auto small = dvs_design_point(p, 1.8, 600.0);
+  const auto large = dvs_design_point(p, 1.8, 1200.0);
+  EXPECT_NEAR(large.duration, 2.0 * small.duration, 1e-12);
+  EXPECT_NEAR(large.current, small.current, 1e-12);  // current depends on V only
+}
+
+TEST(DvsModel, CubeLawRecoveredWhenThresholdNegligible) {
+  // With v_t ≈ 0 and α = 2: f ∝ V, so I ∝ V³ and D ∝ 1/V — the paper's
+  // "currents ∝ s³, durations ∝ 1/s" recipe.
+  CmosParams p = nominal();
+  p.v_t = 1e-9;
+  p.i_leak = 0.0;
+  p.i_overhead = 0.0;
+  const auto hi = dvs_design_point(p, 1.8, 600.0);
+  const auto lo = dvs_design_point(p, 0.9, 600.0);
+  EXPECT_NEAR(hi.current / lo.current, 8.0, 1e-6);     // (2)³
+  EXPECT_NEAR(lo.duration / hi.duration, 2.0, 1e-6);   // 1/(1/2)
+}
+
+TEST(DvsModel, OverheadAddsConstantCurrent) {
+  CmosParams p = nominal();
+  const auto base = dvs_design_point(p, 1.2, 600.0);
+  p.i_overhead = 150.0;
+  const auto loaded = dvs_design_point(p, 1.2, 600.0);
+  EXPECT_NEAR(loaded.current - base.current, 150.0, 1e-9);
+  EXPECT_NEAR(loaded.duration, base.duration, 1e-12);
+}
+
+TEST(DvsModel, LeakageScalesWithVoltage) {
+  CmosParams p = nominal();
+  p.i_leak = 37.0;
+  const auto pt = dvs_design_point(p, 1.0, 600.0);
+  CmosParams q = nominal();
+  const auto base = dvs_design_point(q, 1.0, 600.0);
+  EXPECT_NEAR(pt.current - base.current, 1.0 * 37.0 / 3.7, 1e-9);
+}
+
+TEST(DvsModel, DesignPointsSortedFastestFirst) {
+  const auto p = nominal();
+  const std::vector<double> volts{0.9, 1.8, 1.2};  // deliberately unsorted
+  const auto pts = dvs_design_points(p, volts, 600.0);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].voltage, 1.8);
+  EXPECT_DOUBLE_EQ(pts[2].voltage, 0.9);
+  for (std::size_t j = 1; j < pts.size(); ++j) {
+    EXPECT_LT(pts[j - 1].duration, pts[j].duration);
+    EXPECT_GT(pts[j - 1].current, pts[j].current);
+  }
+}
+
+TEST(DvsModel, DesignPointsAcceptedByTask) {
+  const auto p = nominal();
+  const std::vector<double> volts{1.8, 1.4, 1.0, 0.7};
+  EXPECT_NO_THROW(Task("X", dvs_design_points(p, volts, 900.0)));
+}
+
+TEST(DvsModel, DuplicateVoltageRejected) {
+  const auto p = nominal();
+  const std::vector<double> volts{1.2, 1.2};
+  EXPECT_THROW((void)dvs_design_points(p, volts, 600.0), std::invalid_argument);
+  EXPECT_THROW((void)dvs_design_points(p, std::vector<double>{}, 600.0), std::invalid_argument);
+}
+
+TEST(DvsModel, CyclesValidation) {
+  const auto p = nominal();
+  EXPECT_THROW((void)dvs_design_point(p, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)dvs_design_point(p, 1.0, -5.0), std::invalid_argument);
+}
+
+TEST(DvsModel, VelocitySaturationSlowsFrequencyGrowth) {
+  // α < 2 (velocity-saturated) yields higher relative frequency at low V
+  // than the classic α = 2 model.
+  CmosParams classic = nominal();
+  CmosParams saturated = nominal();
+  saturated.alpha = 1.3;
+  const double f_lo_classic = dvs_frequency(classic, 0.8) / dvs_frequency(classic, 1.8);
+  const double f_lo_sat = dvs_frequency(saturated, 0.8) / dvs_frequency(saturated, 1.8);
+  EXPECT_GT(f_lo_sat, f_lo_classic);
+}
+
+}  // namespace
+}  // namespace basched::graph

@@ -1,0 +1,172 @@
+#include "basched/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/graph/topology.hpp"
+
+namespace basched::graph {
+namespace {
+
+TEST(DvsSpeedup, FollowsCubeLaw) {
+  const std::vector<double> s{2.5, 1.66, 1.25, 1.0};
+  const auto pts = dvs_points_speedup(34.0, 8.8, s);
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    EXPECT_NEAR(pts[j].current, 34.0 * std::pow(s[j], 3.0), 1e-9);
+    EXPECT_NEAR(pts[j].duration, 8.8 / s[j], 1e-9);
+  }
+}
+
+TEST(DvsSpeedup, ReproducesG2Node1) {
+  // Figure 5 node 1: reference (DP4) I = 60 mA, D = 22 min; factors
+  // {2.5, 1.66, 1.25, 1} relative to V4.
+  const std::vector<double> s{2.5, 1.66, 1.25, 1.0};
+  const auto pts = dvs_points_speedup(60.0, 22.0, s);
+  EXPECT_NEAR(pts[0].current, 938.0, 1.0);   // 60 · 2.5³ = 937.5
+  EXPECT_NEAR(pts[0].duration, 8.8, 0.01);   // 22 / 2.5
+  EXPECT_NEAR(pts[1].current, 278.0, 4.0);   // 60 · 1.66³ ≈ 274.4 (paper rounds)
+  EXPECT_NEAR(pts[1].duration, 13.2, 0.1);   // 22 / 1.66 ≈ 13.25
+  EXPECT_NEAR(pts[2].current, 117.0, 0.2);   // 60 · 1.25³ = 117.2
+  EXPECT_NEAR(pts[2].duration, 17.6, 0.01);
+}
+
+TEST(DvsSpeedup, Validation) {
+  const std::vector<double> ok{1.5, 1.0};
+  EXPECT_THROW((void)dvs_points_speedup(0.0, 1.0, ok), std::invalid_argument);
+  EXPECT_THROW((void)dvs_points_speedup(1.0, 0.0, ok), std::invalid_argument);
+  const std::vector<double> bad{0.9};
+  EXPECT_THROW((void)dvs_points_speedup(1.0, 1.0, bad), std::invalid_argument);
+  EXPECT_THROW((void)dvs_points_speedup(1.0, 1.0, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(DvsG3Style, ReproducesG3Task1) {
+  // Table 1 T1: I_pk = 917, D_max = 22, factors {1, .85, .68, .51, .33}.
+  const std::vector<double> s{1.0, 0.85, 0.68, 0.51, 0.33};
+  const auto pts = dvs_points_g3_style(917.0, 22.0, s);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_NEAR(pts[0].current, 917.0, 1e-9);
+  EXPECT_NEAR(pts[0].duration, 7.26, 0.01);   // 22 · 0.33
+  EXPECT_NEAR(pts[1].current, 563.0, 1.0);    // 917 · 0.85³
+  EXPECT_NEAR(pts[1].duration, 11.22, 0.01);  // 22 · 0.51
+  EXPECT_NEAR(pts[2].current, 288.0, 1.0);    // 917 · 0.68³
+  EXPECT_NEAR(pts[2].duration, 14.96, 0.01);  // 22 · 0.68
+  EXPECT_NEAR(pts[3].current, 122.0, 1.0);    // 917 · 0.51³
+  EXPECT_NEAR(pts[3].duration, 18.7, 0.01);   // 22 · 0.85
+  EXPECT_NEAR(pts[4].current, 33.0, 0.5);     // 917 · 0.33³
+  EXPECT_NEAR(pts[4].duration, 22.0, 1e-9);
+}
+
+TEST(DvsG3Style, Validation) {
+  EXPECT_THROW((void)dvs_points_g3_style(1.0, 1.0, std::vector<double>{1.0, 1.2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dvs_points_g3_style(1.0, 1.0, std::vector<double>{0.5, 0.8}),
+               std::invalid_argument);  // not descending
+  EXPECT_THROW((void)dvs_points_g3_style(1.0, 1.0, std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(RandomDvsPoints, ProducesValidTask) {
+  util::Rng rng(5);
+  DesignPointSynthesis synth;
+  synth.num_points = 5;
+  const auto pts = random_dvs_points(synth, rng);
+  ASSERT_EQ(pts.size(), 5u);
+  // Must satisfy the canonical trade-off so Task accepts it.
+  EXPECT_NO_THROW(Task("X", pts));
+  for (std::size_t j = 1; j < pts.size(); ++j) {
+    EXPECT_LT(pts[j - 1].duration, pts[j].duration);
+    EXPECT_GT(pts[j - 1].current, pts[j].current);
+  }
+}
+
+TEST(RandomDvsPoints, SinglePoint) {
+  util::Rng rng(6);
+  DesignPointSynthesis synth;
+  synth.num_points = 1;
+  EXPECT_EQ(random_dvs_points(synth, rng).size(), 1u);
+}
+
+TEST(Generators, Chain) {
+  util::Rng rng(7);
+  DesignPointSynthesis synth;
+  const auto g = make_chain(5, synth, rng);
+  EXPECT_EQ(g.num_tasks(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.is_acyclic());
+  const auto orders = all_topological_orders(g, 10);
+  ASSERT_TRUE(orders.has_value());
+  EXPECT_EQ(orders->size(), 1u);  // a chain has exactly one order
+}
+
+TEST(Generators, Independent) {
+  util::Rng rng(8);
+  DesignPointSynthesis synth;
+  const auto g = make_independent(4, synth, rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(num_sources(g), 4u);
+}
+
+TEST(Generators, ForkJoinShape) {
+  util::Rng rng(9);
+  DesignPointSynthesis synth;
+  const auto g = make_fork_join(3, 4, synth, rng);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(num_sources(g), 1u);
+  EXPECT_EQ(num_sinks(g), 1u);
+  EXPECT_GE(g.num_tasks(), 1u + 3u * 3u);  // source + (>=2 branches + join) per stage
+}
+
+TEST(Generators, LayeredRandomConnected) {
+  util::Rng rng(10);
+  DesignPointSynthesis synth;
+  const auto g = make_layered_random(5, 3, 0.4, synth, rng);
+  EXPECT_TRUE(g.is_acyclic());
+  // Every non-source task has at least one predecessor by construction.
+  const auto levels = asap_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    if (levels[v] > 0) EXPECT_FALSE(g.predecessors(v).empty());
+}
+
+TEST(Generators, SeriesParallelTaskCount) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    DesignPointSynthesis synth;
+    const auto g = make_series_parallel(12, synth, rng);
+    EXPECT_EQ(g.num_tasks(), 12u);
+    EXPECT_TRUE(g.is_acyclic());
+  }
+}
+
+TEST(Generators, Determinism) {
+  DesignPointSynthesis synth;
+  util::Rng a(42), b(42);
+  const auto g1 = make_layered_random(4, 3, 0.3, synth, a);
+  const auto g2 = make_layered_random(4, 3, 0.3, synth, b);
+  ASSERT_EQ(g1.num_tasks(), g2.num_tasks());
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (TaskId v = 0; v < g1.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(g1.task(v).point(0).current, g2.task(v).point(0).current);
+    EXPECT_DOUBLE_EQ(g1.task(v).point(0).duration, g2.task(v).point(0).duration);
+  }
+}
+
+TEST(Generators, InvalidArguments) {
+  util::Rng rng(1);
+  DesignPointSynthesis synth;
+  EXPECT_THROW((void)make_chain(0, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_independent(0, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_fork_join(0, 3, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_fork_join(2, 1, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_layered_random(0, 3, 0.1, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_layered_random(2, 0, 0.1, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_layered_random(2, 2, 1.5, synth, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_series_parallel(0, synth, rng), std::invalid_argument);
+  synth.num_points = 0;
+  EXPECT_THROW((void)random_dvs_points(synth, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::graph

@@ -1,0 +1,98 @@
+#include "basched/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched::graph {
+namespace {
+
+TEST(Io, RoundTripG3) {
+  const auto g = make_g3();
+  const auto parsed = parse(serialize(g));
+  ASSERT_EQ(parsed.num_tasks(), g.num_tasks());
+  ASSERT_EQ(parsed.num_design_points(), g.num_design_points());
+  EXPECT_EQ(parsed.num_edges(), g.num_edges());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(parsed.task(v).name(), g.task(v).name());
+    for (std::size_t j = 0; j < g.num_design_points(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed.task(v).point(j).current, g.task(v).point(j).current);
+      EXPECT_DOUBLE_EQ(parsed.task(v).point(j).duration, g.task(v).point(j).duration);
+    }
+    for (TaskId w = 0; w < g.num_tasks(); ++w)
+      EXPECT_EQ(parsed.has_edge(v, w), g.has_edge(v, w));
+  }
+}
+
+TEST(Io, ParseMinimalGraph) {
+  const auto g = parse(
+      "taskgraph 2\n"
+      "task A 100 1.5 25 3.0\n"
+      "task B 200 2.0 50 4.0\n"
+      "edge A B\n");
+  EXPECT_EQ(g.num_tasks(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(g.task(0).point(1).duration, 3.0);
+}
+
+TEST(Io, CommentsAndBlankLines) {
+  const auto g = parse(
+      "# a comment\n"
+      "taskgraph 1\n"
+      "\n"
+      "task A 5 1  # trailing comment\n");
+  EXPECT_EQ(g.num_tasks(), 1u);
+}
+
+TEST(Io, MissingHeaderThrows) {
+  EXPECT_THROW((void)parse("task A 1 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse(""), std::invalid_argument);
+}
+
+TEST(Io, DuplicateHeaderThrows) {
+  EXPECT_THROW((void)parse("taskgraph 1\ntaskgraph 1\n"), std::invalid_argument);
+}
+
+TEST(Io, WrongPairCountThrows) {
+  EXPECT_THROW((void)parse("taskgraph 2\ntask A 1 1\n"), std::invalid_argument);
+}
+
+TEST(Io, MalformedPairThrows) {
+  EXPECT_THROW((void)parse("taskgraph 1\ntask A 1 x\n"), std::invalid_argument);
+}
+
+TEST(Io, UnknownTaskInEdgeThrows) {
+  EXPECT_THROW((void)parse("taskgraph 1\ntask A 1 1\nedge A B\n"), std::invalid_argument);
+}
+
+TEST(Io, UnknownDirectiveThrows) {
+  EXPECT_THROW((void)parse("taskgraph 1\nfrobnicate\n"), std::invalid_argument);
+}
+
+TEST(Io, DuplicateEdgeThrows) {
+  EXPECT_THROW((void)parse("taskgraph 1\ntask A 1 1\ntask B 1 1\nedge A B\nedge A B\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse("taskgraph 1\ntask A 1 1\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Io, DotExportMentionsAllTasksAndEdges) {
+  const auto g = make_g2();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    EXPECT_NE(dot.find("\"" + g.task(v).name() + "\""), std::string::npos);
+  EXPECT_NE(dot.find("\"N2\" -> \"N3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basched::graph

@@ -1,0 +1,155 @@
+/// Checks that the built-in G2/G3 graphs match the paper's published data
+/// (Table 1 and Figure 5) and the structural facts the paper states.
+#include "basched/graph/paper_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "basched/graph/topology.hpp"
+
+namespace basched::graph {
+namespace {
+
+TEST(G3, Shape) {
+  const auto g = make_g3();
+  EXPECT_EQ(g.num_tasks(), 15u);          // "G3: 15 Nodes"
+  EXPECT_EQ(g.num_design_points(), 5u);   // "5 DPs"
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(num_sources(g), 1u);  // fork-join: T1 is the unique source
+  EXPECT_EQ(num_sinks(g), 1u);    // T15 is the unique sink
+}
+
+TEST(G3, Table1SpotValues) {
+  const auto g = make_g3();
+  // T1 row.
+  EXPECT_DOUBLE_EQ(g.task(0).point(0).current, 917.0);
+  EXPECT_DOUBLE_EQ(g.task(0).point(0).duration, 7.3);
+  EXPECT_DOUBLE_EQ(g.task(0).point(4).current, 33.0);
+  EXPECT_DOUBLE_EQ(g.task(0).point(4).duration, 22.0);
+  // T8 row, middle design-point.
+  EXPECT_DOUBLE_EQ(g.task(7).point(2).current, 189.0);
+  EXPECT_DOUBLE_EQ(g.task(7).point(2).duration, 10.9);
+  // T15 row.
+  EXPECT_DOUBLE_EQ(g.task(14).point(0).current, 380.0);
+  EXPECT_DOUBLE_EQ(g.task(14).point(4).duration, 10.0);
+}
+
+TEST(G3, ParentsColumn) {
+  const auto g = make_g3();
+  auto id = [&](const char* name) { return g.task_by_name(name); };
+  // Exactly the "Parents" column of Table 1.
+  EXPECT_TRUE(g.has_edge(id("T1"), id("T2")));
+  EXPECT_TRUE(g.has_edge(id("T1"), id("T3")));
+  EXPECT_TRUE(g.has_edge(id("T1"), id("T4")));
+  EXPECT_TRUE(g.has_edge(id("T1"), id("T5")));
+  EXPECT_TRUE(g.has_edge(id("T2"), id("T6")));
+  EXPECT_TRUE(g.has_edge(id("T3"), id("T6")));
+  EXPECT_TRUE(g.has_edge(id("T4"), id("T7")));
+  EXPECT_TRUE(g.has_edge(id("T5"), id("T7")));
+  EXPECT_TRUE(g.has_edge(id("T6"), id("T8")));
+  EXPECT_TRUE(g.has_edge(id("T7"), id("T8")));
+  EXPECT_TRUE(g.has_edge(id("T8"), id("T9")));
+  EXPECT_TRUE(g.has_edge(id("T8"), id("T10")));
+  EXPECT_TRUE(g.has_edge(id("T9"), id("T11")));
+  EXPECT_TRUE(g.has_edge(id("T10"), id("T12")));
+  EXPECT_TRUE(g.has_edge(id("T9"), id("T13")));
+  EXPECT_TRUE(g.has_edge(id("T11"), id("T14")));
+  EXPECT_TRUE(g.has_edge(id("T12"), id("T14")));
+  EXPECT_TRUE(g.has_edge(id("T13"), id("T14")));
+  EXPECT_TRUE(g.has_edge(id("T14"), id("T15")));
+  EXPECT_EQ(g.num_edges(), 19u);
+}
+
+TEST(G3, CanonicalDesignPointOrdering) {
+  const auto g = make_g3();
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto& t = g.task(v);
+    for (std::size_t j = 1; j < t.num_points(); ++j) {
+      EXPECT_LT(t.point(j - 1).duration, t.point(j).duration);
+      EXPECT_GT(t.point(j - 1).current, t.point(j).current);
+    }
+  }
+}
+
+TEST(G3, ColumnTimesBracketTheExampleDeadline) {
+  // CT(5) = 258 > 230 and CT(4) = 219.3 <= 230 — so the paper's window sweep
+  // starts at WindowStart = 4 and evaluates exactly windows 4:5 … 1:5.
+  const auto g = make_g3();
+  EXPECT_NEAR(g.column_time(4), 258.0, 0.01);
+  EXPECT_NEAR(g.column_time(3), 219.3, 0.01);
+  EXPECT_GT(g.column_time(4), kG3ExampleDeadline);
+  EXPECT_LT(g.column_time(3), kG3ExampleDeadline);
+}
+
+TEST(G3, AllDeadlinesOfTable4AreFeasibleAtColumn0) {
+  const auto g = make_g3();
+  for (double d : kG3Deadlines) EXPECT_LE(g.column_time(0), d);
+}
+
+TEST(G2, Shape) {
+  const auto g = make_g2();
+  EXPECT_EQ(g.num_tasks(), 9u);          // "G2: 9 Nodes"
+  EXPECT_EQ(g.num_design_points(), 4u);  // "4 DPs"
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(num_sources(g), 1u);
+}
+
+TEST(G2, Figure5SpotValues) {
+  const auto g = make_g2();
+  EXPECT_DOUBLE_EQ(g.task(0).point(0).current, 938.0);
+  EXPECT_DOUBLE_EQ(g.task(0).point(3).duration, 22.0);
+  EXPECT_DOUBLE_EQ(g.task(1).point(0).duration, 1.2);
+  EXPECT_DOUBLE_EQ(g.task(8).point(3).current, 34.0);
+  EXPECT_DOUBLE_EQ(g.task(4).point(2).duration, 13.0);
+}
+
+TEST(G2, ReconstructedLayerStructure) {
+  // Our reconstruction (DESIGN.md §5.1): 2 → {3,4} → 5 → 6 → 1 → 7 → {8,9}.
+  const auto g = make_g2();
+  const auto levels = asap_levels(g);
+  EXPECT_EQ(levels[g.task_by_name("N2")], 0u);
+  EXPECT_EQ(levels[g.task_by_name("N3")], 1u);
+  EXPECT_EQ(levels[g.task_by_name("N4")], 1u);
+  EXPECT_EQ(levels[g.task_by_name("N5")], 2u);
+  EXPECT_EQ(levels[g.task_by_name("N6")], 3u);
+  EXPECT_EQ(levels[g.task_by_name("N1")], 4u);
+  EXPECT_EQ(levels[g.task_by_name("N7")], 5u);
+  EXPECT_EQ(levels[g.task_by_name("N8")], 6u);
+  EXPECT_EQ(levels[g.task_by_name("N9")], 6u);
+}
+
+TEST(G2, DeadlineFeasibilityBrackets) {
+  const auto g = make_g2();
+  // All-fastest fits every Table 4 deadline; all-slowest fits none.
+  EXPECT_NEAR(g.column_time(0), 42.2, 0.01);
+  EXPECT_NEAR(g.column_time(3), 105.8, 0.01);
+  for (double d : kG2Deadlines) {
+    EXPECT_LE(g.column_time(0), d);
+    EXPECT_GT(g.column_time(3), d);
+  }
+}
+
+TEST(G2, MatchesSpeedupRecipe) {
+  // The paper generated G2 as D ∝ 1/s, I ∝ s³ with s = {2.5, 1.66, 1.25, 1}
+  // relative to DP4. Verify every node against the recipe within rounding.
+  const auto g = make_g2();
+  const double s[4] = {2.5, 1.66, 1.25, 1.0};
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto& t = g.task(v);
+    const double i_ref = t.point(3).current;
+    const double d_ref = t.point(3).duration;
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(t.point(j).current, i_ref * s[j] * s[j] * s[j], i_ref * 0.12);
+      EXPECT_NEAR(t.point(j).duration, d_ref / s[j], 0.1);
+    }
+  }
+}
+
+TEST(PaperConstants, MatchPaper) {
+  EXPECT_DOUBLE_EQ(kPaperBeta, 0.273);
+  EXPECT_DOUBLE_EQ(kG3ExampleDeadline, 230.0);
+  EXPECT_EQ(kG2Deadlines.size(), 3u);
+  EXPECT_EQ(kG3Deadlines.size(), 3u);
+}
+
+}  // namespace
+}  // namespace basched::graph

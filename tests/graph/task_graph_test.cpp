@@ -1,0 +1,136 @@
+#include "basched/graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::graph {
+namespace {
+
+Task simple_task(const std::string& name, double i = 100.0, double d = 1.0) {
+  return Task(name, {{i, d}, {i / 4.0, d * 2.0}});
+}
+
+TEST(TaskGraph, AddTaskReturnsSequentialIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(simple_task("A")), 0u);
+  EXPECT_EQ(g.add_task(simple_task("B")), 1u);
+  EXPECT_EQ(g.num_tasks(), 2u);
+}
+
+TEST(TaskGraph, UniformDesignPointCountEnforced) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));  // m = 2
+  EXPECT_THROW(g.add_task(Task("B", {{1.0, 1.0}})), std::invalid_argument);
+  EXPECT_EQ(g.num_design_points(), 2u);
+}
+
+TEST(TaskGraph, DuplicateNameThrows) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  EXPECT_THROW(g.add_task(simple_task("A")), std::invalid_argument);
+}
+
+TEST(TaskGraph, EdgesAndAdjacency) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  g.add_task(simple_task("B"));
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  ASSERT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.successors(0)[0], 1u);
+  ASSERT_EQ(g.predecessors(1).size(), 1u);
+  EXPECT_EQ(g.predecessors(1)[0], 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(TaskGraph, SelfLoopThrows) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(TaskGraph, DuplicateEdgeThrows) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  g.add_task(simple_task("B"));
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+}
+
+TEST(TaskGraph, OutOfRangeEdgeThrows) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(TaskGraph, AcyclicDetection) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  g.add_task(simple_task("B"));
+  g.add_task(simple_task("C"));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(2, 0);  // closes a cycle
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(TaskGraph, ValidateThrowsOnCycle) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  g.add_task(simple_task("B"));
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, ValidateThrowsOnEmpty) {
+  TaskGraph g;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  EXPECT_TRUE(g.is_acyclic());  // vacuously
+}
+
+TEST(TaskGraph, TaskByName) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  g.add_task(simple_task("B"));
+  EXPECT_EQ(g.task_by_name("B"), 1u);
+  EXPECT_THROW((void)g.task_by_name("Z"), std::invalid_argument);
+}
+
+TEST(TaskGraph, ColumnTime) {
+  TaskGraph g;
+  g.add_task(Task("A", {{200.0, 1.0}, {50.0, 3.0}}));
+  g.add_task(Task("B", {{200.0, 2.0}, {50.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(g.column_time(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.column_time(1), 8.0);
+  EXPECT_THROW((void)g.column_time(2), std::out_of_range);
+}
+
+TEST(TaskGraph, CurrentExtremes) {
+  TaskGraph g;
+  g.add_task(Task("A", {{900.0, 1.0}, {30.0, 3.0}}));
+  g.add_task(Task("B", {{500.0, 1.0}, {10.0, 3.0}}));
+  EXPECT_DOUBLE_EQ(g.max_current_overall(), 900.0);
+  EXPECT_DOUBLE_EQ(g.min_current_overall(), 10.0);
+}
+
+TEST(TaskGraph, EnergyExtremes) {
+  TaskGraph g;
+  g.add_task(Task("A", {{900.0, 1.0}, {30.0, 3.0}}));   // fast 900, slow 90
+  g.add_task(Task("B", {{500.0, 2.0}, {10.0, 5.0}}));   // fast 1000, slow 50
+  EXPECT_DOUBLE_EQ(g.max_total_energy(), 1900.0);
+  EXPECT_DOUBLE_EQ(g.min_total_energy(), 140.0);
+}
+
+TEST(TaskGraph, TaskAccessBoundsChecked) {
+  TaskGraph g;
+  g.add_task(simple_task("A"));
+  EXPECT_THROW((void)g.task(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace basched::graph

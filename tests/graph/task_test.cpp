@@ -1,0 +1,85 @@
+#include "basched/graph/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::graph {
+namespace {
+
+TEST(DesignPoint, EnergyIsCurrentTimesDuration) {
+  const DesignPoint p{100.0, 2.5, 0.0};
+  EXPECT_DOUBLE_EQ(p.energy(), 250.0);
+}
+
+TEST(Task, SortsByDurationAscending) {
+  const Task t("T1", {{100.0, 5.0}, {500.0, 1.0}, {200.0, 3.0}});
+  EXPECT_DOUBLE_EQ(t.point(0).duration, 1.0);
+  EXPECT_DOUBLE_EQ(t.point(1).duration, 3.0);
+  EXPECT_DOUBLE_EQ(t.point(2).duration, 5.0);
+}
+
+TEST(Task, CanonicalOrderFastestIsHighestPower) {
+  const Task t("T1", {{100.0, 5.0}, {500.0, 1.0}});
+  EXPECT_DOUBLE_EQ(t.max_current(), 500.0);
+  EXPECT_DOUBLE_EQ(t.min_current(), 100.0);
+  EXPECT_DOUBLE_EQ(t.min_duration(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_duration(), 5.0);
+}
+
+TEST(Task, RejectsNonMonotoneTradeoff) {
+  // Slower *and* hungrier second point violates the canonical trade-off.
+  EXPECT_THROW(Task("T", {{100.0, 1.0}, {200.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Task, AcceptsEqualCurrents) {
+  EXPECT_NO_THROW(Task("T", {{100.0, 1.0}, {100.0, 2.0}}));
+}
+
+TEST(Task, SinglePointTask) {
+  const Task t("T", {{50.0, 2.0}});
+  EXPECT_EQ(t.num_points(), 1u);
+  EXPECT_DOUBLE_EQ(t.average_energy(), 100.0);
+}
+
+TEST(Task, AverageEnergy) {
+  const Task t("T", {{400.0, 1.0}, {100.0, 2.0}});  // energies 400, 200
+  EXPECT_DOUBLE_EQ(t.average_energy(), 300.0);
+}
+
+TEST(Task, EmptyNameThrows) {
+  EXPECT_THROW(Task("", {{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Task, WhitespaceNameThrows) {
+  EXPECT_THROW(Task("a b", {{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Task, NoPointsThrows) { EXPECT_THROW(Task("T", {}), std::invalid_argument); }
+
+TEST(Task, NonPositiveDurationThrows) {
+  EXPECT_THROW(Task("T", {{1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Task("T", {{1.0, -2.0}}), std::invalid_argument);
+}
+
+TEST(Task, NegativeCurrentThrows) {
+  EXPECT_THROW(Task("T", {{-1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Task, ZeroCurrentAllowed) {
+  EXPECT_NO_THROW(Task("T", {{0.0, 1.0}}));
+}
+
+TEST(Task, PointAccessBoundsChecked) {
+  const Task t("T", {{1.0, 1.0}});
+  EXPECT_THROW((void)t.point(1), std::out_of_range);
+}
+
+TEST(Task, PointsSpanMatchesCount) {
+  const Task t("T", {{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_EQ(t.points().size(), 2u);
+  EXPECT_EQ(t.num_points(), 2u);
+}
+
+}  // namespace
+}  // namespace basched::graph

@@ -1,0 +1,155 @@
+#include "basched/graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::graph {
+namespace {
+
+Task t(const std::string& name) { return Task(name, {{100.0, 1.0}, {25.0, 2.0}}); }
+
+TaskGraph diamond() {
+  // A -> {B, C} -> D
+  TaskGraph g;
+  g.add_task(t("A"));
+  g.add_task(t("B"));
+  g.add_task(t("C"));
+  g.add_task(t("D"));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Topology, TopologicalOrderOfDiamond) {
+  const auto order = topological_order(diamond());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 3u);
+  EXPECT_TRUE(is_topological_order(diamond(), order));
+}
+
+TEST(Topology, DeterministicTieBreaking) {
+  const auto a = topological_order(diamond());
+  const auto b = topological_order(diamond());
+  EXPECT_EQ(a, b);
+  // Smallest-id tie-break puts B before C.
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(a[2], 2u);
+}
+
+TEST(Topology, CyclicGraphDetected) {
+  TaskGraph g;
+  g.add_task(t("A"));
+  g.add_task(t("B"));
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(topological_order_if_acyclic(g).has_value());
+  EXPECT_THROW((void)topological_order(g), std::invalid_argument);
+}
+
+TEST(Topology, IsTopologicalOrderRejectsBadInputs) {
+  const auto g = diamond();
+  EXPECT_FALSE(is_topological_order(g, {0, 1, 2}));           // wrong size
+  EXPECT_FALSE(is_topological_order(g, {0, 1, 1, 3}));        // repeated id
+  EXPECT_FALSE(is_topological_order(g, {0, 1, 2, 99}));       // out of range
+  EXPECT_FALSE(is_topological_order(g, {3, 1, 2, 0}));        // violates edges
+  EXPECT_TRUE(is_topological_order(g, {0, 2, 1, 3}));
+}
+
+TEST(Topology, AsapLevels) {
+  const auto levels = asap_levels(diamond());
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+}
+
+TEST(Topology, DescendantsInclusive) {
+  const auto g = diamond();
+  EXPECT_EQ(descendants_inclusive(g, 0), (std::vector<TaskId>{0, 1, 2, 3}));
+  EXPECT_EQ(descendants_inclusive(g, 1), (std::vector<TaskId>{1, 3}));
+  EXPECT_EQ(descendants_inclusive(g, 3), (std::vector<TaskId>{3}));
+}
+
+TEST(Topology, AncestorsInclusive) {
+  const auto g = diamond();
+  EXPECT_EQ(ancestors_inclusive(g, 3), (std::vector<TaskId>{0, 1, 2, 3}));
+  EXPECT_EQ(ancestors_inclusive(g, 0), (std::vector<TaskId>{0}));
+}
+
+TEST(Topology, DescendantsOutOfRangeThrows) {
+  EXPECT_THROW((void)descendants_inclusive(diamond(), 99), std::out_of_range);
+}
+
+TEST(Topology, CriticalPathDuration) {
+  // Diamond with unit durations at column 0: A + B/C + D = 3.
+  EXPECT_DOUBLE_EQ(critical_path_duration(diamond(), 0), 3.0);
+  EXPECT_DOUBLE_EQ(critical_path_duration(diamond(), 1), 6.0);
+}
+
+TEST(Topology, AllTopologicalOrdersOfDiamond) {
+  const auto orders = all_topological_orders(diamond(), 100);
+  ASSERT_TRUE(orders.has_value());
+  EXPECT_EQ(orders->size(), 2u);  // ABCD and ACBD
+  for (const auto& o : *orders) EXPECT_TRUE(is_topological_order(diamond(), o));
+}
+
+TEST(Topology, AllTopologicalOrdersRespectsLimit) {
+  // 6 independent tasks have 720 orders; a limit of 10 must abort.
+  util::Rng rng(1);
+  DesignPointSynthesis synth;
+  const auto g = make_independent(6, synth, rng);
+  EXPECT_FALSE(all_topological_orders(g, 10).has_value());
+  const auto all = all_topological_orders(g, 720);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), 720u);
+}
+
+TEST(Topology, SourcesAndSinks) {
+  const auto g = diamond();
+  EXPECT_EQ(num_sources(g), 1u);
+  EXPECT_EQ(num_sinks(g), 1u);
+  util::Rng rng(2);
+  DesignPointSynthesis synth;
+  const auto ind = make_independent(4, synth, rng);
+  EXPECT_EQ(num_sources(ind), 4u);
+  EXPECT_EQ(num_sinks(ind), 4u);
+}
+
+class TopologyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyPropertyTest, GeneratedGraphOrdersAreValid) {
+  util::Rng rng(GetParam());
+  DesignPointSynthesis synth;
+  const auto g = make_layered_random(4, 4, 0.3, synth, rng);
+  ASSERT_TRUE(g.is_acyclic());
+  const auto order = topological_order(g);
+  EXPECT_TRUE(is_topological_order(g, order));
+  // Levels must be consistent with every edge.
+  const auto levels = asap_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    for (TaskId w : g.successors(v)) EXPECT_LT(levels[v], levels[w]);
+}
+
+TEST_P(TopologyPropertyTest, DescendantClosureContainsAllSuccessors) {
+  util::Rng rng(GetParam() ^ 0xF00DULL);
+  DesignPointSynthesis synth;
+  const auto g = make_series_parallel(10, synth, rng);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto desc = descendants_inclusive(g, v);
+    EXPECT_TRUE(std::find(desc.begin(), desc.end(), v) != desc.end());
+    for (TaskId w : g.successors(v))
+      EXPECT_TRUE(std::find(desc.begin(), desc.end(), w) != desc.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyPropertyTest, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace basched::graph

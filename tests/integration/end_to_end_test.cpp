@@ -1,0 +1,100 @@
+/// Full-pipeline integration: text graph → scheduler → battery evaluation,
+/// plus cross-module interactions that unit tests do not cover.
+#include <gtest/gtest.h>
+
+#include "basched/analysis/report.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/lifetime.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched {
+namespace {
+
+TEST(EndToEnd, ParseScheduleEvaluate) {
+  const auto g = graph::parse(
+      "taskgraph 3\n"
+      "task prep   600 2.0 300 4.0 100 8.0\n"
+      "task encode 900 3.0 450 6.0 150 12.0\n"
+      "task send   400 1.0 200 2.0  70 4.0\n"
+      "edge prep encode\n"
+      "edge encode send\n");
+  const battery::RakhmatovVrudhulaModel model(0.3);
+  const auto r = core::schedule_battery_aware(g, 16.0, model);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_TRUE(r.schedule.is_valid(g));
+  EXPECT_LE(r.duration, 16.0 + 1e-9);
+  // The chosen schedule's profile is evaluable by every battery model.
+  const auto profile = r.schedule.to_profile(g);
+  const battery::IdealModel ideal;
+  const battery::PeukertModel peukert(1.2, 200.0);
+  const battery::KibamModel kibam(0.4, 0.5, 1e5);
+  EXPECT_GT(ideal.charge_lost(profile, profile.end_time()), 0.0);
+  EXPECT_GT(peukert.charge_lost(profile, profile.end_time()), 0.0);
+  EXPECT_GT(kibam.charge_lost(profile, profile.end_time()), 0.0);
+}
+
+TEST(EndToEnd, ScheduleRoundTripsThroughSerialization) {
+  const auto g = graph::make_g2();
+  const auto g2 = graph::parse(graph::serialize(g));
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const auto a = core::schedule_battery_aware(g, 75.0, model);
+  const auto b = core::schedule_battery_aware(g2, 75.0, model);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+TEST(EndToEnd, LifetimeOfChosenScheduleExceedsNaiveSchedule) {
+  // Run the chosen schedule against a finite battery and compare the charge
+  // headroom with the all-fastest schedule under the same battery.
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const auto r = core::schedule_battery_aware(g, graph::kG3ExampleDeadline, model);
+  ASSERT_TRUE(r.feasible);
+  const core::Schedule fast{r.schedule.sequence, core::uniform_assignment(g, 0)};
+  const double sigma_ours = model.charge_lost_at_end(r.schedule.to_profile(g));
+  const double sigma_fast = model.charge_lost_at_end(fast.to_profile(g));
+  EXPECT_LT(sigma_ours, sigma_fast);
+  // A battery sized between the two dies under all-fastest but survives ours.
+  const double alpha = 0.5 * (sigma_ours + sigma_fast);
+  EXPECT_FALSE(battery::find_lifetime(model, r.schedule.to_profile(g), alpha).has_value());
+  EXPECT_TRUE(battery::find_lifetime(model, fast.to_profile(g), alpha).has_value());
+}
+
+TEST(EndToEnd, ReportPipelineProducesAllThreeTables) {
+  const auto g3 = graph::make_g3();
+  analysis::RunSpec spec;
+  spec.name = "G3";
+  spec.graph = &g3;
+  spec.deadline = graph::kG3ExampleDeadline;
+  const auto r = analysis::run_ours(spec);
+  EXPECT_FALSE(analysis::format_table2(g3, r).empty());
+  EXPECT_FALSE(analysis::format_table3(r, g3.num_design_points()).empty());
+  const auto rows = analysis::run_comparisons(g3, "G3", {230.0}, graph::kPaperBeta);
+  EXPECT_FALSE(analysis::format_table4(rows).empty());
+}
+
+TEST(EndToEnd, DifferentBatteryModelsChangeTheChosenSchedule) {
+  // The scheduler optimizes whatever model it is given; a strongly nonlinear
+  // battery must not produce a *worse* σ under its own model than the
+  // schedule chosen for a nearly-ideal battery.
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel strong(0.15);
+  const battery::RakhmatovVrudhulaModel weak(5.0);
+  const auto tuned = core::schedule_battery_aware(g, 230.0, strong);
+  const auto mistuned = core::schedule_battery_aware(g, 230.0, weak);
+  ASSERT_TRUE(tuned.feasible && mistuned.feasible);
+  const double tuned_sigma = strong.charge_lost_at_end(tuned.schedule.to_profile(g));
+  const double mistuned_sigma = strong.charge_lost_at_end(mistuned.schedule.to_profile(g));
+  EXPECT_LE(tuned_sigma, mistuned_sigma * 1.02);
+}
+
+}  // namespace
+}  // namespace basched

@@ -1,0 +1,133 @@
+/// Guards the paper-level reproduction claims (Tables 2–4 *shape*, not exact
+/// values — the pseudocode's ambiguities make bit-exact sequences
+/// unreachable; see DESIGN.md §5.3). EXPERIMENTS.md records the measured
+/// numbers next to the paper's.
+#include <gtest/gtest.h>
+
+#include "basched/analysis/experiment.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/bounds.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+
+namespace basched {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(graph::kPaperBeta);
+
+core::IterativeResult g3_example() {
+  return core::schedule_battery_aware(graph::make_g3(), graph::kG3ExampleDeadline, kModel);
+}
+
+TEST(PaperTable3, FourWindowsEvaluatedInFirstIteration) {
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  ASSERT_FALSE(r.iterations.empty());
+  EXPECT_EQ(r.iterations.front().windows.windows.size(), 4u);  // Win 4:5 … 1:5
+}
+
+TEST(PaperTable3, SigmaInPaperBallpark) {
+  // Paper: first-iteration minimum 16353 mA·min, final 13737 mA·min. Our
+  // faithful-but-not-bit-exact implementation must land in the same regime
+  // (the all-DP5 energy floor is ~4500, all-DP4 ~16000, so this band is
+  // discriminative).
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.sigma, 8000.0);
+  EXPECT_LT(r.sigma, 20000.0);
+}
+
+TEST(PaperTable3, DurationNearlyFillsDeadline) {
+  // Paper durations: 228.3–229.8 of a 230-minute deadline.
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.duration, 230.0 + 1e-6);
+  EXPECT_GT(r.duration, 200.0);  // the slack is nearly exhausted
+}
+
+TEST(PaperTable3, IterationsImproveThenTerminate) {
+  // Paper: 16353 → 14725 → 13737 → 13737 (stop). Shape: monotone improvement
+  // followed by a non-improving final iteration, a handful of iterations
+  // total.
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.iterations.size(), 2u);
+  EXPECT_LE(r.iterations.size(), 10u);
+  EXPECT_LE(r.sigma, r.iterations.front().best_sigma);
+}
+
+TEST(PaperTable4, OursBeatsRvDpWhereThePaperSaysItDoes) {
+  // Table 4 reports our algorithm ahead of [1] on all six (graph, deadline)
+  // cells, by 0.9%–65%. Require: never more than marginally worse anywhere,
+  // and strictly better on the loose-deadline cells where the paper's gap is
+  // largest (G3 d=230: 65%, G3 d=150: 16.4%, G2 d=55: 15.6%).
+  const auto g2 = graph::make_g2();
+  const auto g3 = graph::make_g3();
+  const auto rows2 = analysis::run_comparisons(
+      g2, "G2", {graph::kG2Deadlines.begin(), graph::kG2Deadlines.end()}, graph::kPaperBeta);
+  const auto rows3 = analysis::run_comparisons(
+      g3, "G3", {graph::kG3Deadlines.begin(), graph::kG3Deadlines.end()}, graph::kPaperBeta);
+
+  int wins = 0, cells = 0;
+  for (const auto& rows : {rows2, rows3}) {
+    for (const auto& row : rows) {
+      ASSERT_TRUE(row.ours_feasible) << row.name << " d=" << row.deadline;
+      ASSERT_TRUE(row.baseline_feasible) << row.name << " d=" << row.deadline;
+      ++cells;
+      if (row.ours_sigma <= row.baseline_sigma) ++wins;
+      EXPECT_LE(row.ours_sigma, row.baseline_sigma * 1.10)
+          << row.name << " d=" << row.deadline;
+    }
+  }
+  EXPECT_EQ(cells, 6);
+  EXPECT_GE(wins, 4);
+  // The loosest G3 deadline is the paper's headline cell (65% gap).
+  EXPECT_LT(rows3.back().ours_sigma, rows3.back().baseline_sigma);
+}
+
+TEST(PaperTable4, BatteryUseDecreasesWithDeadline) {
+  // "Notice that as the deadline increases the amount of battery capacity
+  // used decreases."
+  const auto g2 = graph::make_g2();
+  const auto rows = analysis::run_comparisons(
+      g2, "G2", {graph::kG2Deadlines.begin(), graph::kG2Deadlines.end()}, graph::kPaperBeta);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[0].ours_sigma, rows[1].ours_sigma);
+  EXPECT_GT(rows[1].ours_sigma, rows[2].ours_sigma);
+  EXPECT_GT(rows[0].baseline_sigma, rows[1].baseline_sigma);
+  EXPECT_GT(rows[1].baseline_sigma, rows[2].baseline_sigma);
+}
+
+TEST(PaperSection3, OrderingBoundsHoldOnG3Loads) {
+  // §3: non-increasing current order is the best sequence for independent
+  // tasks, non-decreasing the worst — applied to G3's chosen loads.
+  const auto g = graph::make_g3();
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  const auto b = core::sigma_bounds(g, r.schedule.assignment, kModel);
+  EXPECT_GE(r.sigma, b.lower - 1e-6);
+  EXPECT_LE(r.sigma, b.upper + 1e-6);
+}
+
+TEST(PaperExample, FirstIterationSequenceStartsWithT1) {
+  // Every Table 2 sequence begins with T1 (the only source) and ends with
+  // T15 (the only sink).
+  const auto g = graph::make_g3();
+  const auto r = g3_example();
+  for (const auto& rec : r.iterations) {
+    EXPECT_EQ(g.task(rec.sequence.front()).name(), "T1");
+    EXPECT_EQ(g.task(rec.sequence.back()).name(), "T15");
+  }
+}
+
+TEST(PaperExample, LastTaskAssignedLowestPowerDesignPoint) {
+  // Table 2: T15 is at P5 in every iteration (the paper pins the last task).
+  const auto g = graph::make_g3();
+  const auto r = g3_example();
+  ASSERT_TRUE(r.feasible);
+  const auto t15 = g.task_by_name("T15");
+  EXPECT_EQ(r.schedule.assignment[t15], 4u);
+}
+
+}  // namespace
+}  // namespace basched

@@ -1,0 +1,133 @@
+#include "basched/sim/mission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::sim {
+namespace {
+
+graph::TaskGraph small_frame() {
+  graph::TaskGraph g;
+  g.add_task(graph::Task("A", {{400.0, 1.0}, {100.0, 2.0}}));
+  g.add_task(graph::Task("B", {{300.0, 1.0}, {80.0, 2.0}}));
+  g.add_edge(0, 1);
+  return g;
+}
+
+core::Schedule frame_schedule(const graph::TaskGraph& g, std::size_t col) {
+  return {graph::topological_order(g), core::uniform_assignment(g, col)};
+}
+
+TEST(Mission, IdealBatteryFrameCountIsAlphaOverFrameEnergy) {
+  const auto g = small_frame();
+  const auto s = frame_schedule(g, 0);  // energy 700 per frame
+  const battery::IdealModel model;
+  MissionSpec spec;
+  spec.period = 5.0;
+  spec.alpha = 3500.0;  // exactly 5 frames
+  spec.max_frames = 100;
+  const auto r = run_mission(g, s, spec, model);
+  EXPECT_FALSE(r.battery_survived);
+  // The 5th frame ends exactly at σ == α; death triggers at its last instant,
+  // so 4 full frames complete before the fatal one.
+  EXPECT_GE(r.frames_completed, 4);
+  EXPECT_LE(r.frames_completed, 5);
+}
+
+TEST(Mission, SurvivesHorizonOnHugeBattery) {
+  const auto g = small_frame();
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  MissionSpec spec;
+  spec.period = 5.0;
+  spec.alpha = 1e9;
+  spec.max_frames = 20;
+  const auto r = run_mission(g, frame_schedule(g, 0), spec, model);
+  EXPECT_TRUE(r.battery_survived);
+  EXPECT_EQ(r.frames_completed, 20);
+  EXPECT_GT(r.final_sigma, 0.0);
+}
+
+TEST(Mission, LowPowerScheduleLastsMoreFrames) {
+  const auto g = small_frame();
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  MissionSpec spec;
+  spec.period = 6.0;
+  spec.alpha = 5000.0;
+  spec.max_frames = 200;
+  const auto slow = run_mission(g, frame_schedule(g, 1), spec, model);  // 360 mA·min/frame
+  const auto fast = run_mission(g, frame_schedule(g, 0), spec, model);  // 700 mA·min/frame
+  EXPECT_GT(slow.frames_completed, fast.frames_completed);
+  EXPECT_EQ(compare_missions(g, frame_schedule(g, 1), frame_schedule(g, 0), spec, model),
+            slow.frames_completed - fast.frames_completed);
+}
+
+TEST(Mission, LongerPeriodNeverHurtsRecoveringBattery) {
+  const auto g = small_frame();
+  const battery::RakhmatovVrudhulaModel model(0.2);
+  MissionSpec tight, loose;
+  tight.period = 2.0;
+  loose.period = 8.0;
+  tight.alpha = loose.alpha = 4000.0;
+  tight.max_frames = loose.max_frames = 300;
+  const auto s = frame_schedule(g, 0);
+  const auto rt = run_mission(g, s, tight, model);
+  const auto rl = run_mission(g, s, loose, model);
+  EXPECT_GE(rl.frames_completed, rt.frames_completed);
+}
+
+TEST(Mission, DeathTimeLiesInFatalFrame) {
+  const auto g = small_frame();
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  MissionSpec spec;
+  spec.period = 4.0;
+  spec.alpha = 3000.0;
+  spec.max_frames = 100;
+  const auto r = run_mission(g, frame_schedule(g, 0), spec, model);
+  ASSERT_FALSE(r.battery_survived);
+  const double fatal_start = r.frames_completed * spec.period;
+  EXPECT_GE(r.death_time, fatal_start - 1e-6);
+  EXPECT_LE(r.death_time, fatal_start + spec.period + 1e-6);
+  EXPECT_NEAR(r.final_sigma, spec.alpha, spec.alpha * 1e-3);
+}
+
+TEST(Mission, BatteryAwareScheduleBeatsNaiveOnG3Mission) {
+  // The headline claim of the title: the battery-aware schedule powers more
+  // frames of the same mission than the all-fastest schedule.
+  const auto g = graph::make_g3();
+  const battery::RakhmatovVrudhulaModel model(graph::kPaperBeta);
+  const auto ours = core::schedule_battery_aware(g, graph::kG3ExampleDeadline, model);
+  ASSERT_TRUE(ours.feasible);
+  const core::Schedule naive{ours.schedule.sequence, core::uniform_assignment(g, 0)};
+  MissionSpec spec;
+  spec.period = 230.0;
+  spec.alpha = 120000.0;
+  spec.max_frames = 60;
+  const auto frames_ours = run_mission(g, ours.schedule, spec, model).frames_completed;
+  const auto frames_naive = run_mission(g, naive, spec, model).frames_completed;
+  EXPECT_GT(frames_ours, frames_naive);
+}
+
+TEST(Mission, Validation) {
+  const auto g = small_frame();
+  const battery::IdealModel model;
+  MissionSpec spec;
+  spec.period = 5.0;
+  spec.alpha = 0.0;
+  EXPECT_THROW((void)run_mission(g, frame_schedule(g, 0), spec, model), std::invalid_argument);
+  spec.alpha = 100.0;
+  spec.max_frames = 0;
+  EXPECT_THROW((void)run_mission(g, frame_schedule(g, 0), spec, model), std::invalid_argument);
+  spec.max_frames = 10;
+  spec.period = 1.0;  // shorter than the 2-minute frame
+  EXPECT_THROW((void)run_mission(g, frame_schedule(g, 0), spec, model), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::sim

@@ -1,0 +1,149 @@
+#include "basched/sim/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::sim {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(graph::kPaperBeta);
+
+TEST(InducedSubgraph, PreservesTasksAndEdges) {
+  const auto g = graph::make_g2();
+  const auto sub = graph::induced_subgraph(g, {1, 2, 3, 4});  // N2..N5
+  EXPECT_EQ(sub.graph.num_tasks(), 4u);
+  EXPECT_EQ(sub.original_ids, (std::vector<graph::TaskId>{1, 2, 3, 4}));
+  // N2->N3, N2->N4, N3->N5, N4->N5 survive; edges to dropped nodes vanish.
+  EXPECT_EQ(sub.graph.num_edges(), 4u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(2, 3));
+  EXPECT_EQ(sub.graph.task(0).name(), "N2");
+}
+
+TEST(InducedSubgraph, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)graph::induced_subgraph(g, {}), std::invalid_argument);
+  EXPECT_THROW((void)graph::induced_subgraph(g, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)graph::induced_subgraph(g, {99}), std::invalid_argument);
+}
+
+TEST(Online, NoiselessNeverMatchesOfflinePlan) {
+  const auto g = graph::make_g3();
+  OnlineOptions opts;  // Never, noiseless
+  const auto r = execute_online(g, graph::kG3ExampleDeadline, kModel, opts);
+  EXPECT_TRUE(r.planned);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.replans, 0);
+  // The realized profile is exactly the offline schedule's.
+  const auto offline = core::schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
+  EXPECT_NEAR(r.finish_time, offline.duration, 1e-9);
+  EXPECT_NEAR(r.sigma, offline.sigma, 1e-9);
+}
+
+TEST(Online, NoiselessAlwaysAlsoMeetsDeadline) {
+  const auto g = graph::make_g3();
+  OnlineOptions opts;
+  opts.policy = ReplanPolicy::Always;
+  const auto r = execute_online(g, graph::kG3ExampleDeadline, kModel, opts);
+  EXPECT_TRUE(r.deadline_met);
+  EXPECT_EQ(r.realized.size(), g.num_tasks());
+}
+
+TEST(Online, AllTasksExecutedExactlyOnce) {
+  const auto g = graph::make_g2();
+  for (auto policy : {ReplanPolicy::Never, ReplanPolicy::Always}) {
+    OnlineOptions opts;
+    opts.policy = policy;
+    opts.noise = {0.7, 1.3, 42};
+    const auto r = execute_online(g, 75.0, kModel, opts);
+    EXPECT_EQ(r.realized.size(), g.num_tasks());
+    EXPECT_GT(r.finish_time, 0.0);
+    EXPECT_GT(r.sigma, 0.0);
+  }
+}
+
+TEST(Online, DeterministicPerSeed) {
+  const auto g = graph::make_g2();
+  OnlineOptions opts;
+  opts.policy = ReplanPolicy::Always;
+  opts.noise = {0.8, 1.4, 7};
+  const auto a = execute_online(g, 75.0, kModel, opts);
+  const auto b = execute_online(g, 75.0, kModel, opts);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.replans, b.replans);
+}
+
+TEST(Online, EarlyFinishesShortenTheRun) {
+  const auto g = graph::make_g2();
+  OnlineOptions opts;
+  opts.noise = {0.5, 0.5, 1};  // everything finishes in half the time
+  const auto r = execute_online(g, 75.0, kModel, opts);
+  const auto offline = core::schedule_battery_aware(g, 75.0, kModel);
+  EXPECT_NEAR(r.finish_time, offline.duration * 0.5, 1e-9);
+  EXPECT_TRUE(r.deadline_met);
+}
+
+TEST(Online, ReplanningHarvestsEarlyFinishes) {
+  // When tasks finish early, a replanning executor can downscale the rest
+  // and must never do worse on σ than blindly following the stale plan.
+  const auto g = graph::make_g3();
+  OnlineOptions stale, adaptive;
+  stale.noise = adaptive.noise = {0.6, 0.6, 3};
+  adaptive.policy = ReplanPolicy::Always;
+  const auto rs = execute_online(g, graph::kG3ExampleDeadline, kModel, stale);
+  const auto ra = execute_online(g, graph::kG3ExampleDeadline, kModel, adaptive);
+  EXPECT_TRUE(rs.deadline_met);
+  EXPECT_TRUE(ra.deadline_met);
+  EXPECT_LE(ra.sigma, rs.sigma * 1.001);
+  EXPECT_GT(ra.replans, 0);
+}
+
+TEST(Online, OverrunsReportedHonestly) {
+  const auto g = graph::make_g2();
+  OnlineOptions opts;
+  opts.noise = {1.5, 1.5, 1};  // everything takes 50% longer
+  const auto r = execute_online(g, 75.0, kModel, opts);
+  // The offline plan nearly fills 75 minutes, so +50% must blow the deadline.
+  EXPECT_FALSE(r.deadline_met);
+  EXPECT_EQ(r.realized.size(), g.num_tasks());  // it still finishes the work
+}
+
+TEST(Online, ReplanningMitigatesOverruns) {
+  const auto g = graph::make_g2();
+  OnlineOptions stale, adaptive;
+  stale.noise = adaptive.noise = {1.25, 1.25, 1};
+  adaptive.policy = ReplanPolicy::Always;
+  const auto rs = execute_online(g, 75.0, kModel, stale);
+  const auto ra = execute_online(g, 75.0, kModel, adaptive);
+  // Replanning reacts by speeding the remainder up, finishing no later.
+  EXPECT_LE(ra.finish_time, rs.finish_time + 1e-9);
+}
+
+TEST(Online, UnmeetableDeadlineFallsBackToSprint) {
+  const auto g = graph::make_g3();
+  OnlineOptions opts;
+  const auto r = execute_online(g, 50.0, kModel, opts);  // CT(0) = 85.2 > 50
+  EXPECT_FALSE(r.planned);
+  EXPECT_FALSE(r.deadline_met);
+  EXPECT_EQ(r.realized.size(), g.num_tasks());
+  EXPECT_NEAR(r.finish_time, g.column_time(0), 1e-9);
+}
+
+TEST(Online, Validation) {
+  const auto g = graph::make_g2();
+  EXPECT_THROW((void)execute_online(g, 0.0, kModel), std::invalid_argument);
+  OnlineOptions bad;
+  bad.noise = {0.0, 1.0, 1};
+  EXPECT_THROW((void)execute_online(g, 75.0, kModel, bad), std::invalid_argument);
+  bad.noise = {1.5, 1.0, 1};
+  EXPECT_THROW((void)execute_online(g, 75.0, kModel, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::sim

@@ -1,0 +1,82 @@
+#include "basched/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace basched::util {
+namespace {
+
+Args make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> v(tokens);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, CommandAndOptions) {
+  const auto a = make({"schedule", "--graph", "g.txt", "--deadline", "75"});
+  EXPECT_EQ(a.command(), "schedule");
+  EXPECT_EQ(a.get_string("graph"), "g.txt");
+  EXPECT_DOUBLE_EQ(a.get_double("deadline"), 75.0);
+}
+
+TEST(Args, EmptyCommandLine) {
+  const auto a = make({});
+  EXPECT_EQ(a.command(), "");
+}
+
+TEST(Args, BooleanFlag) {
+  const auto a = make({"run", "--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(Args, FlagFollowedByOption) {
+  const auto a = make({"run", "--verbose", "--graph", "g.txt"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get_string("graph"), "g.txt");
+}
+
+TEST(Args, MissingRequiredThrows) {
+  const auto a = make({"run"});
+  EXPECT_THROW((void)a.get_string("graph"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("deadline"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("seed"), std::invalid_argument);
+}
+
+TEST(Args, Fallbacks) {
+  const auto a = make({"run"});
+  EXPECT_EQ(a.get_string("out", "-"), "-");
+  EXPECT_DOUBLE_EQ(a.get_double("beta", 0.273), 0.273);
+  EXPECT_EQ(a.get_int("seed", 42), 42);
+}
+
+TEST(Args, NumericValidation) {
+  const auto a = make({"run", "--deadline", "abc", "--seed", "1.5"});
+  EXPECT_THROW((void)a.get_double("deadline"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("seed"), std::invalid_argument);
+}
+
+TEST(Args, StrayPositionalThrows) {
+  EXPECT_THROW(make({"run", "oops"}), std::invalid_argument);
+}
+
+TEST(Args, EmptyOptionNameThrows) {
+  EXPECT_THROW(make({"run", "--"}), std::invalid_argument);
+}
+
+TEST(Args, UnusedKeysTracked) {
+  const auto a = make({"run", "--graph", "g", "--typo", "x"});
+  (void)a.get_string("graph");
+  const auto unused = a.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "-5" does not start with "--" so it parses as a value.
+  const auto a = make({"run", "--offset", "-5"});
+  EXPECT_EQ(a.get_int("offset"), -5);
+}
+
+}  // namespace
+}  // namespace basched::util

@@ -1,0 +1,49 @@
+#include "basched/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace basched::util {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, QuotesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, PlainCellUntouched) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"h1", "h2"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace basched::util

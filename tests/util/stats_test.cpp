@@ -1,0 +1,60 @@
+#include "basched/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace basched::util {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, SummaryKnownSample) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev (n-1)
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, SummaryOddMedian) {
+  const std::vector<double> xs{3, 1, 2};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.0);
+}
+
+TEST(Stats, SummarySingleElement) {
+  const std::vector<double> xs{7};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentDiff) {
+  EXPECT_DOUBLE_EQ(percent_diff(100.0, 115.0), 15.0);
+  EXPECT_DOUBLE_EQ(percent_diff(200.0, 100.0), -50.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs{1, 4, 16};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanEmpty) { EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0); }
+
+}  // namespace
+}  // namespace basched::util

@@ -1,0 +1,74 @@
+#include "basched/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace basched::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"A", "B"});
+  t.add_row({"1", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| A |"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, RowCountExcludesSeparators) {
+  Table t({"X"});
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"A", "B", "C"});
+  t.add_row({"1"});
+  const std::string s = t.str();
+  // Every line must have the same length in a well-formed table.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, LongRowsExtendColumns) {
+  Table t({"A"});
+  t.add_row({"1", "2", "3"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(Table, LeftAlignment) {
+  Table t({"Name", "Val"});
+  t.set_align(0, Align::Left);
+  t.add_row({"x", "1234"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| x    |"), std::string::npos);
+}
+
+TEST(Table, RightAlignmentIsDefault) {
+  Table t({"Name", "Val"});
+  t.add_row({"x", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("|    x |"), std::string::npos);
+}
+
+TEST(Table, EmptyRowBecomesDataRowNotSeparator) {
+  Table t({"A"});
+  t.add_row({});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(16353.04, 1), "16353.0");
+  EXPECT_EQ(fmt_double(2.5, 0), "2");  // round-to-even at .5
+  EXPECT_EQ(fmt_double(1.005, 2), fmt_double(1.005, 2));  // deterministic
+  EXPECT_EQ(fmt_double(-3.14159, 3), "-3.142");
+}
+
+}  // namespace
+}  // namespace basched::util

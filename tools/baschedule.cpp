@@ -1,0 +1,202 @@
+/// \file baschedule.cpp
+/// \brief Command-line front end for the basched library.
+///
+/// Commands:
+///   baschedule generate --family chain|forkjoin|layered|sp|independent
+///                       --tasks N [--points M] [--seed S] [--out FILE]
+///   baschedule schedule --graph FILE --deadline D [--beta B]
+///                       [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]
+///                       [--seed S] [--out FILE] [--csv FILE]
+///   baschedule evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]
+///   baschedule dot      --graph FILE
+///
+/// Graphs use the text format of basched/graph/io.hpp; schedules the format
+/// of basched/core/schedule_io.hpp. `--out -` (default) writes to stdout.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/lifetime.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/schedule_io.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/util/args.hpp"
+
+namespace {
+
+using namespace basched;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write '" + path + "'");
+  out << content;
+}
+
+int cmd_generate(const util::Args& args) {
+  const std::string family = args.get_string("family");
+  const auto n = static_cast<std::size_t>(args.get_int("tasks"));
+  graph::DesignPointSynthesis synth;
+  synth.num_points = static_cast<std::size_t>(args.get_int("points", 4));
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  graph::TaskGraph g;
+  if (family == "chain") {
+    g = graph::make_chain(n, synth, rng);
+  } else if (family == "forkjoin") {
+    g = graph::make_fork_join(std::max<std::size_t>(1, n / 4), 3, synth, rng);
+  } else if (family == "layered") {
+    g = graph::make_layered_random(std::max<std::size_t>(1, n / 3), 3, 0.3, synth, rng);
+  } else if (family == "sp") {
+    g = graph::make_series_parallel(n, synth, rng);
+  } else if (family == "independent") {
+    g = graph::make_independent(n, synth, rng);
+  } else {
+    throw std::invalid_argument("unknown --family '" + family + "'");
+  }
+  write_output(args.get_string("out", "-"), graph::serialize(g));
+  return 0;
+}
+
+int cmd_schedule(const util::Args& args) {
+  const auto g = graph::parse(read_file(args.get_string("graph")));
+  const double deadline = args.get_double("deadline");
+  const battery::RakhmatovVrudhulaModel model(args.get_double("beta", 0.273));
+  const std::string algorithm = args.get_string("algorithm", "ours");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  core::Schedule schedule;
+  double sigma = 0.0;
+  bool feasible = false;
+  std::string error = "unknown algorithm '" + algorithm + "'";
+  if (algorithm == "ours") {
+    const auto r = core::schedule_battery_aware(g, deadline, model);
+    feasible = r.feasible;
+    schedule = r.schedule;
+    sigma = r.sigma;
+    error = r.error;
+  } else {
+    baselines::ScheduleResult r;
+    if (algorithm == "rvdp") {
+      r = baselines::schedule_rv_dp(g, deadline, model);
+    } else if (algorithm == "chowdhury") {
+      r = baselines::schedule_chowdhury(g, deadline, model);
+    } else if (algorithm == "annealing") {
+      baselines::AnnealingOptions opts;
+      opts.seed = seed;
+      r = baselines::schedule_annealing(g, deadline, model, opts);
+    } else if (algorithm == "random") {
+      baselines::RandomSearchOptions opts;
+      opts.seed = seed;
+      r = baselines::schedule_random_search(g, deadline, model, opts);
+    } else if (algorithm == "bnb") {
+      const auto maybe = baselines::schedule_branch_and_bound(g, deadline, model);
+      if (!maybe) throw std::runtime_error("branch-and-bound exceeded its node limit");
+      r = *maybe;
+    } else {
+      throw std::invalid_argument(error);
+    }
+    feasible = r.feasible;
+    schedule = r.schedule;
+    sigma = r.sigma;
+    error = r.error;
+  }
+
+  if (!feasible) {
+    std::fprintf(stderr, "infeasible: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sigma = %.2f mA*min, duration = %.3f min\n", sigma,
+               schedule.duration(g));
+  write_output(args.get_string("out", "-"), core::serialize_schedule(g, schedule));
+  if (args.has("csv")) write_output(args.get_string("csv"), core::profile_csv(g, schedule));
+  return 0;
+}
+
+int cmd_evaluate(const util::Args& args) {
+  const auto g = graph::parse(read_file(args.get_string("graph")));
+  const auto schedule = core::parse_schedule(g, read_file(args.get_string("schedule")));
+  const battery::RakhmatovVrudhulaModel model(args.get_double("beta", 0.273));
+  const auto profile = schedule.to_profile(g);
+  std::printf("tasks        : %zu\n", schedule.sequence.size());
+  std::printf("duration     : %.3f min\n", profile.end_time());
+  std::printf("energy       : %.2f mA*min\n", profile.total_charge());
+  std::printf("sigma (RV)   : %.2f mA*min\n", model.charge_lost(profile, profile.end_time()));
+  if (args.has("alpha")) {
+    const double alpha = args.get_double("alpha");
+    const auto death = battery::find_lifetime(model, profile, alpha);
+    if (death)
+      std::printf("battery DIES : at %.3f min (capacity %.0f mA*min)\n", *death, alpha);
+    else
+      std::printf("battery OK   : survives the schedule (capacity %.0f mA*min)\n", alpha);
+  }
+  return 0;
+}
+
+int cmd_dot(const util::Args& args) {
+  const auto g = graph::parse(read_file(args.get_string("graph")));
+  write_output(args.get_string("out", "-"), graph::to_dot(g));
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: baschedule <command> [options]\n"
+      "  generate --family chain|forkjoin|layered|sp|independent --tasks N\n"
+      "           [--points M] [--seed S] [--out FILE]\n"
+      "  schedule --graph FILE --deadline D [--beta B] [--seed S]\n"
+      "           [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]\n"
+      "           [--out FILE] [--csv FILE]\n"
+      "  evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]\n"
+      "  dot      --graph FILE [--out FILE]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc - 1, argv + 1);
+    int rc = 0;
+    if (args.command() == "generate") {
+      rc = cmd_generate(args);
+    } else if (args.command() == "schedule") {
+      rc = cmd_schedule(args);
+    } else if (args.command() == "evaluate") {
+      rc = cmd_evaluate(args);
+    } else if (args.command() == "dot") {
+      rc = cmd_dot(args);
+    } else {
+      usage();
+      return 2;
+    }
+    if (rc == 0) {  // a failed command may bail before reading all options
+      for (const auto& key : args.unused_keys())
+        std::fprintf(stderr, "warning: unknown option --%s ignored\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
