@@ -23,7 +23,8 @@ std::string format_assignment(const std::vector<graph::TaskId>& sequence,
   std::string out;
   for (std::size_t i = 0; i < sequence.size(); ++i) {
     if (i) out += ',';
-    out += "P" + std::to_string(assignment.at(sequence[i]) + 1);
+    out += 'P';
+    out += std::to_string(assignment.at(sequence[i]) + 1);
   }
   return out;
 }
@@ -64,7 +65,9 @@ std::string format_table3(const core::IterativeResult& result, std::size_t num_d
 
   for (std::size_t i = 0; i < result.iterations.size(); ++i) {
     const auto& rec = result.iterations[i];
-    std::vector<std::string> row{"S" + std::to_string(i + 1)};
+    std::string label("S");
+    label += std::to_string(i + 1);
+    std::vector<std::string> row{std::move(label)};
     // The trace stores windows narrow → wide; the paper prints wide → narrow
     // (Win 1:m first). Build a lookup by window_start.
     for (std::size_t ws = (m >= 2 ? m - 1 : 1); ws-- > 0;) {
@@ -93,7 +96,10 @@ std::string format_table3(const core::IterativeResult& result, std::size_t num_d
 
     // The weighted-sequence row ("S1w"), min column only, like the paper.
     if (!rec.weighted_sequence.empty()) {
-      std::vector<std::string> wrow{"S" + std::to_string(i + 1) + "w"};
+      std::string wlabel("S");
+      wlabel += std::to_string(i + 1);
+      wlabel += 'w';
+      std::vector<std::string> wrow{std::move(wlabel)};
       for (std::size_t k = 0; k + 1 < (m >= 2 ? m - 1 : 1) * 2 + 1; ++k) wrow.emplace_back("-");
       wrow.push_back(fmt_double(std::min(rec.weighted_sigma, rec.best_sigma), 0));
       wrow.push_back("");

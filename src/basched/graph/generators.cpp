@@ -10,7 +10,14 @@ namespace basched::graph {
 
 namespace {
 
-std::string task_name(std::size_t i) { return "T" + std::to_string(i + 1); }
+// Built via append rather than `"T" + std::to_string(...)` to dodge the
+// GCC 12 -Wrestrict false positive on operator+(const char*, string&&)
+// (GCC bug 105651) at -O2.
+std::string task_name(std::size_t i) {
+  std::string name("T");
+  name += std::to_string(i + 1);
+  return name;
+}
 
 void check_positive(double v, const char* what) {
   if (!(v > 0.0) || !std::isfinite(v))

@@ -38,7 +38,7 @@ TEST_P(BnbVsExhaustive, MatchesExhaustiveOptimum) {
   ASSERT_TRUE(exhaustive.has_value());
   ASSERT_TRUE(bnb.has_value());
   ASSERT_EQ(exhaustive->feasible, bnb->feasible);
-  if (exhaustive->feasible) EXPECT_NEAR(bnb->sigma, exhaustive->sigma, 1e-6);
+  if (exhaustive->feasible) { EXPECT_NEAR(bnb->sigma, exhaustive->sigma, 1e-6); }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsExhaustive, ::testing::Range<std::uint64_t>(1, 9));
@@ -108,7 +108,7 @@ TEST(Bnb, SeedingOnlyChangesSpeedNotResult) {
   const auto b = schedule_branch_and_bound(g, d, kModel, unseeded);
   ASSERT_TRUE(a.has_value() && b.has_value());
   ASSERT_EQ(a->feasible, b->feasible);
-  if (a->feasible) EXPECT_NEAR(a->sigma, b->sigma, 1e-9);
+  if (a->feasible) { EXPECT_NEAR(a->sigma, b->sigma, 1e-9); }
 }
 
 TEST(Bnb, Validation) {

@@ -54,17 +54,17 @@ TEST_P(CrossValidation, NoHeuristicBeatsExhaustiveOptimum) {
   EXPECT_GE(dp.sigma, opt->sigma - 1e-6);
 
   const auto ch = schedule_chowdhury(g, d, kModel);
-  if (ch.feasible) EXPECT_GE(ch.sigma, opt->sigma - 1e-6);
+  if (ch.feasible) { EXPECT_GE(ch.sigma, opt->sigma - 1e-6); }
 
   AnnealingOptions aopts;
   aopts.iterations = 3000;
   const auto sa = schedule_annealing(g, d, kModel, aopts);
-  if (sa.feasible) EXPECT_GE(sa.sigma, opt->sigma - 1e-6);
+  if (sa.feasible) { EXPECT_GE(sa.sigma, opt->sigma - 1e-6); }
 
   RandomSearchOptions ropts;
   ropts.samples = 500;
   const auto rnd = schedule_random_search(g, d, kModel, ropts);
-  if (rnd.feasible) EXPECT_GE(rnd.sigma, opt->sigma - 1e-6);
+  if (rnd.feasible) { EXPECT_GE(rnd.sigma, opt->sigma - 1e-6); }
 }
 
 TEST_P(CrossValidation, OursWithinModestFactorOfOptimum) {
@@ -84,7 +84,7 @@ TEST_P(CrossValidation, EveryFeasibleResultRespectsDeadline) {
   const double d = mid_deadline(g);
   const double tol = d * (1.0 + 1e-9);
   const auto ours = core::schedule_battery_aware(g, d, kModel);
-  if (ours.feasible) EXPECT_LE(ours.duration, tol);
+  if (ours.feasible) { EXPECT_LE(ours.duration, tol); }
   for (const auto& r : {schedule_rv_dp(g, d, kModel), schedule_chowdhury(g, d, kModel),
                         schedule_random_search(g, d, kModel)}) {
     if (r.feasible) {

@@ -47,7 +47,7 @@ TEST(RandomSearch, DeterministicPerSeed) {
   const auto a = schedule_random_search(g, 95.0, kModel, opts);
   const auto b = schedule_random_search(g, 95.0, kModel, opts);
   ASSERT_EQ(a.feasible, b.feasible);
-  if (a.feasible) EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+  if (a.feasible) { EXPECT_DOUBLE_EQ(a.sigma, b.sigma); }
 }
 
 TEST(RandomSearch, InfeasibleDeadline) {

@@ -52,7 +52,7 @@ TEST(RvDp, CeilRoundingKeepsRealFeasibility) {
   g.add_task(graph::Task("B", {{400.0, 1.04 }, {100.0, 2.09}}));
   for (double d : {2.2, 3.2, 4.2, 5.0}) {
     const auto r = schedule_rv_dp(g, d, kModel);
-    if (r.feasible) EXPECT_LE(r.duration, d + 1e-9) << "deadline " << d;
+    if (r.feasible) { EXPECT_LE(r.duration, d + 1e-9) << "deadline " << d; }
   }
 }
 
@@ -86,7 +86,7 @@ TEST(RvDp, TighterDeadlineNeverDecreasesEnergy) {
   for (double d : {95.0, 75.0, 55.0}) {
     const auto r = schedule_rv_dp(g, d, kModel);
     ASSERT_TRUE(r.feasible);
-    if (prev >= 0.0) EXPECT_GE(r.energy, prev - 1e-9);
+    if (prev >= 0.0) { EXPECT_GE(r.energy, prev - 1e-9); }
     prev = r.energy;
   }
 }

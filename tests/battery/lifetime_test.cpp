@@ -121,7 +121,7 @@ TEST(Lifetime, DefaultModelLifetimeMatchesFreeFunction) {
   const auto a = m.lifetime(p, alpha);
   const auto b = find_lifetime(m, p, alpha);
   ASSERT_EQ(a.has_value(), b.has_value());
-  if (a) EXPECT_NEAR(*a, *b, 1e-9);
+  if (a) { EXPECT_NEAR(*a, *b, 1e-9); }
 }
 
 }  // namespace

@@ -152,7 +152,7 @@ TEST(Pack, SingleCellPackMatchesMonolithic) {
   const auto a = pack.serve(load, PackPolicy::RoundRobin);
   const auto b = pack.serve_monolithic(load);
   EXPECT_EQ(a.survived, b.survived);
-  if (a.survived) EXPECT_NEAR(a.cell_sigma[0], b.cell_sigma[0], 1e-9);
+  if (a.survived) { EXPECT_NEAR(a.cell_sigma[0], b.cell_sigma[0], 1e-9); }
 }
 
 TEST(Pack, FailureTimeWithinFailingInterval) {

@@ -91,7 +91,7 @@ TEST_P(ChooserProperty, WindowSweepBestIsMinOverWindows) {
   if (!out->feasible()) return;
   const double best = out->best_window().sigma;
   for (const auto& w : out->windows) {
-    if (w.feasible) EXPECT_GE(w.sigma, best - 1e-9);
+    if (w.feasible) { EXPECT_GE(w.sigma, best - 1e-9); }
     EXPECT_LE(w.window_start, m - 1);
   }
   // Window starts are distinct and descending from the sweep's start.

@@ -20,7 +20,9 @@ graph::TaskGraph fig4_graph() {
   const double scale[5] = {0.8, 0.9, 0.5, 0.6, 0.7};  // T1..T5
   for (int i = 0; i < 5; ++i) {
     const double s = scale[i];
-    g.add_task(graph::Task("T" + std::to_string(i + 1),
+    std::string name("T");
+    name += std::to_string(i + 1);
+    g.add_task(graph::Task(name,
                            {{800.0 * s, 1.0}, {400.0 * s, 2.0}, {200.0 * s, 3.0},
                             {100.0 * s, 4.0}}));
   }

@@ -56,7 +56,7 @@ TEST(Iterative, ResultIsBestOverTrace) {
   const auto r = schedule_battery_aware(g, graph::kG3ExampleDeadline, kModel);
   ASSERT_TRUE(r.feasible);
   for (const auto& rec : r.iterations)
-    if (rec.windows.feasible()) EXPECT_LE(r.sigma, rec.best_sigma + 1e-9);
+    if (rec.windows.feasible()) { EXPECT_LE(r.sigma, rec.best_sigma + 1e-9); }
 }
 
 TEST(Iterative, ReportedCostMatchesSchedule) {
@@ -91,7 +91,7 @@ TEST(Iterative, G2AllPaperDeadlines) {
     ASSERT_TRUE(r.feasible) << "deadline " << d << ": " << r.error;
     EXPECT_LE(r.duration, d + 1e-6);
     // Looser deadlines can only help (Table 4's monotone trend).
-    if (prev_sigma > 0.0) EXPECT_LT(r.sigma, prev_sigma);
+    if (prev_sigma > 0.0) { EXPECT_LT(r.sigma, prev_sigma); }
     prev_sigma = r.sigma;
   }
 }
@@ -102,7 +102,7 @@ TEST(Iterative, G3DeadlineMonotonicity) {
   for (double d : graph::kG3Deadlines) {
     const auto r = schedule_battery_aware(g, d, kModel);
     ASSERT_TRUE(r.feasible) << "deadline " << d;
-    if (prev_sigma > 0.0) EXPECT_LT(r.sigma, prev_sigma);
+    if (prev_sigma > 0.0) { EXPECT_LT(r.sigma, prev_sigma); }
     prev_sigma = r.sigma;
   }
 }

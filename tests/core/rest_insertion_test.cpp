@@ -95,7 +95,7 @@ TEST(RestInsertion, SafetyMarginTightensTheCap) {
   const auto loose = insert_rest_for_survival(g, s, 1000.0, kModel, alpha);
   const auto tight = insert_rest_for_survival(g, s, 1000.0, kModel, alpha, strict);
   ASSERT_TRUE(loose.has_value());
-  if (tight) EXPECT_GE(tight->total_rest(), loose->total_rest());
+  if (tight) { EXPECT_GE(tight->total_rest(), loose->total_rest()); }
 }
 
 TEST(RestInsertion, PlanProfileMatchesRests) {

@@ -41,7 +41,7 @@ TEST(Windows, BestWindowHasMinimalSigma) {
   ASSERT_TRUE(out.has_value() && out->feasible());
   const double best = out->best_window().sigma;
   for (const auto& w : out->windows)
-    if (w.feasible) EXPECT_GE(w.sigma, best - 1e-9);
+    if (w.feasible) { EXPECT_GE(w.sigma, best - 1e-9); }
 }
 
 TEST(Windows, UnmeetableDeadlineReturnsNullopt) {

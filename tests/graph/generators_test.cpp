@@ -127,7 +127,7 @@ TEST(Generators, LayeredRandomConnected) {
   // Every non-source task has at least one predecessor by construction.
   const auto levels = asap_levels(g);
   for (TaskId v = 0; v < g.num_tasks(); ++v)
-    if (levels[v] > 0) EXPECT_FALSE(g.predecessors(v).empty());
+    if (levels[v] > 0) { EXPECT_FALSE(g.predecessors(v).empty()); }
 }
 
 TEST(Generators, SeriesParallelTaskCount) {

@@ -1,0 +1,52 @@
+# End-to-end smoke test for the baschedule CLI:
+#   generate -> schedule -> evaluate -> dot
+# Run via: cmake -DBASCHEDULE=<exe> -DWORK_DIR=<dir> -P cli_smoke.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_step name)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name} failed (rc=${rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${name}_out "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step(generate "${BASCHEDULE}" generate --family layered --tasks 9
+  --points 4 --seed 7 --out "${WORK_DIR}/graph.txt")
+if(NOT EXISTS "${WORK_DIR}/graph.txt")
+  message(FATAL_ERROR "generate produced no graph file")
+endif()
+
+run_step(schedule "${BASCHEDULE}" schedule --graph "${WORK_DIR}/graph.txt"
+  --deadline 100 --algorithm ours --out "${WORK_DIR}/schedule.txt"
+  --csv "${WORK_DIR}/profile.csv")
+if(NOT EXISTS "${WORK_DIR}/schedule.txt")
+  message(FATAL_ERROR "schedule produced no schedule file")
+endif()
+if(NOT EXISTS "${WORK_DIR}/profile.csv")
+  message(FATAL_ERROR "schedule produced no profile CSV")
+endif()
+
+run_step(evaluate "${BASCHEDULE}" evaluate --graph "${WORK_DIR}/graph.txt"
+  --schedule "${WORK_DIR}/schedule.txt" --alpha 40000)
+foreach(needle "tasks" "duration" "sigma")
+  if(NOT evaluate_out MATCHES "${needle}")
+    message(FATAL_ERROR "evaluate output missing '${needle}':\n${evaluate_out}")
+  endif()
+endforeach()
+
+run_step(dot "${BASCHEDULE}" dot --graph "${WORK_DIR}/graph.txt"
+  --out "${WORK_DIR}/graph.dot")
+file(READ "${WORK_DIR}/graph.dot" dot_content)
+if(NOT dot_content MATCHES "digraph")
+  message(FATAL_ERROR "dot output is not a DOT digraph:\n${dot_content}")
+endif()
+
+message(STATUS "cli_smoke: all pipeline stages passed")

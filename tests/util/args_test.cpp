@@ -78,5 +78,55 @@ TEST(Args, NegativeNumbersAsValues) {
   EXPECT_EQ(a.get_int("offset"), -5);
 }
 
+TEST(Args, OptionAtEndOfLineIsFlag) {
+  // A trailing "--key" with no value parses as a boolean flag whose string
+  // value is empty; reading it as a number fails loudly.
+  const auto a = make({"run", "--graph"});
+  EXPECT_TRUE(a.has("graph"));
+  EXPECT_EQ(a.get_string("graph"), "");
+  EXPECT_THROW((void)a.get_double("graph"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("graph"), std::invalid_argument);
+}
+
+TEST(Args, MissingValueBeforeNextOption) {
+  // "--graph --deadline 5": graph gets no value (the next token is an
+  // option), so it degrades to a flag rather than swallowing "--deadline".
+  const auto a = make({"run", "--graph", "--deadline", "5"});
+  EXPECT_TRUE(a.has("graph"));
+  EXPECT_EQ(a.get_string("graph"), "");
+  EXPECT_DOUBLE_EQ(a.get_double("deadline"), 5.0);
+}
+
+TEST(Args, TrailingGarbageNumbersThrow) {
+  const auto a = make({"run", "--deadline", "5x", "--seed", "10kg"});
+  EXPECT_THROW((void)a.get_double("deadline"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("seed"), std::invalid_argument);
+}
+
+TEST(Args, FallbackDoesNotMaskBadNumeric) {
+  // A supplied-but-malformed value must throw even through the defaulted
+  // getter — the fallback is only for absent keys.
+  const auto a = make({"run", "--beta", "abc", "--seed", "x"});
+  EXPECT_THROW((void)a.get_double("beta", 0.273), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("seed", 1), std::invalid_argument);
+}
+
+TEST(Args, DuplicateKeyLastWins) {
+  const auto a = make({"run", "--seed", "1", "--seed", "2"});
+  EXPECT_EQ(a.get_int("seed"), 2);
+}
+
+TEST(Args, ScientificNotationDouble) {
+  const auto a = make({"run", "--deadline", "1e2"});
+  EXPECT_DOUBLE_EQ(a.get_double("deadline"), 100.0);
+}
+
+TEST(Args, AllKeysReadMeansNoUnused) {
+  const auto a = make({"run", "--graph", "g", "--verbose"});
+  (void)a.get_string("graph");
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.unused_keys().empty());
+}
+
 }  // namespace
 }  // namespace basched::util
