@@ -15,7 +15,9 @@ int main() {
   const auto g3 = graph::make_g3();
 
   std::printf("== Table 4: comparison of our algorithm with the approach in [1] ==\n");
-  std::printf("beta %.3f; sigma in mA*min; %%Diff = 100*(theirs - ours)/ours\n\n",
+  std::printf("beta %.3f; sigma in mA*min; %% vs [1] = 100*(ours - theirs)/theirs\n"
+              "(negative = ours uses less charge; the paper itself prints\n"
+              " 100*(theirs - ours)/ours, so its percentages differ in scale)\n\n",
               graph::kPaperBeta);
 
   std::vector<analysis::ComparisonRow> rows;

@@ -1,0 +1,99 @@
+#include "basched/analysis/executor.hpp"
+
+#include <algorithm>
+
+namespace basched::analysis {
+
+unsigned Executor::default_jobs() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned w = 0; w + 1 < jobs_; ++w) workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool Executor::claim(std::uint64_t generation, std::size_t& index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (generation != generation_ || next_index_ >= batch_n_) return false;
+  index = next_index_++;
+  return true;
+}
+
+void Executor::complete(std::size_t index, std::exception_ptr error) {
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    if (error && (!first_error_ || index < first_error_index_)) {
+      first_error_ = std::move(error);
+      first_error_index_ = index;
+    }
+    done = completed_ == batch_n_;
+  }
+  if (done) batch_done_.notify_one();
+}
+
+void Executor::drain(std::uint64_t generation) {
+  std::size_t i = 0;
+  while (claim(generation, i)) {
+    std::exception_ptr error;
+    try {
+      item_(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    complete(i, std::move(error));
+  }
+}
+
+void Executor::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batch_ready_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation = generation_;
+    }
+    drain(generation);
+  }
+}
+
+void Executor::run_batch(std::size_t n, std::function<void(std::size_t)> item) {
+  std::uint64_t generation;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_n_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    item_ = std::move(item);
+    first_error_ = nullptr;
+    first_error_index_ = 0;
+    generation = ++generation_;
+  }
+  batch_ready_.notify_all();
+
+  drain(generation);  // the calling thread works too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [&] { return completed_ == batch_n_; });
+    error = first_error_;
+    item_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace basched::analysis

@@ -1,0 +1,101 @@
+/// \file executor.hpp
+/// \brief A small thread pool for the experiment engine: indexed work items,
+/// deterministic index-ordered result collection.
+///
+/// Every sweep in analysis/ is a loop over independent (deadline, β, graph)
+/// work items; the Executor fans such loops out over a fixed set of worker
+/// threads. Results are always collected by item index, so the output of a
+/// sweep is byte-identical for any job count — parallelism changes wall
+/// time, never content. An Executor with `jobs() == 1` runs items inline on
+/// the calling thread with no synchronization at all, making the serial path
+/// exactly the pre-executor code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace basched::analysis {
+
+/// Fixed-size thread pool with batch (fork-join) semantics.
+///
+/// Thread-safety: `for_each`/`map` may be called repeatedly, but only from
+/// one thread at a time (the pool runs one batch at a time). Work items must
+/// not touch shared mutable state unless they synchronize it themselves.
+class Executor {
+ public:
+  /// Creates a pool of `jobs` workers; `jobs == 0` picks `default_jobs()`.
+  /// `jobs == 1` spawns no threads.
+  explicit Executor(unsigned jobs = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Number of threads that execute work items (including the caller).
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Hardware concurrency, clamped to at least 1.
+  [[nodiscard]] static unsigned default_jobs() noexcept;
+
+  /// Calls `fn(i)` for every i in [0, n), distributing items across the
+  /// pool; the calling thread participates. Blocks until all items finished.
+  /// If any item throws, the exception thrown by the lowest index is
+  /// rethrown here after the batch has drained (remaining items still run).
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) {
+    if (jobs_ == 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    run_batch(n, std::function<void(std::size_t)>(std::ref(fn)));
+  }
+
+  /// Like `for_each` but collects `fn(i)` into a vector indexed by i —
+  /// deterministic regardless of execution order. The result type must be
+  /// default-constructible and move-assignable.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t n, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
+    for_each(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void run_batch(std::size_t n, std::function<void(std::size_t)> item);
+  /// Claims the next unclaimed index of batch `generation`; returns false
+  /// once that batch is exhausted or superseded (so a late-waking worker can
+  /// never touch a newer batch's state).
+  bool claim(std::uint64_t generation, std::size_t& index);
+  void complete(std::size_t index, std::exception_ptr error);
+  /// Pulls and runs items of batch `generation` until it is drained.
+  void drain(std::uint64_t generation);
+
+  unsigned jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+
+  // State of the batch in flight; all of it guarded by mutex_. Work items
+  // run outside the lock, but item_ is only reset after every claimed item
+  // has completed.
+  std::uint64_t generation_ = 0;
+  std::size_t batch_n_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t completed_ = 0;
+  std::function<void(std::size_t)> item_;
+  std::exception_ptr first_error_;
+  std::size_t first_error_index_ = 0;
+};
+
+}  // namespace basched::analysis

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "basched/analysis/executor.hpp"
 #include "basched/baselines/rv_dp.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/stats.hpp"
 
 namespace basched::analysis {
 
@@ -40,25 +42,32 @@ ComparisonRow run_comparison(const RunSpec& spec) {
   row.baseline_feasible = base.feasible;
   row.baseline_sigma = base.sigma;
 
-  if (row.ours_feasible && row.baseline_feasible && row.ours_sigma > 0.0)
-    row.percent_diff = 100.0 * (row.baseline_sigma - row.ours_sigma) / row.ours_sigma;
+  // Improvement is reported relative to the baseline (the reference), not to
+  // our own σ; an infeasible side leaves no meaningful comparison → nullopt.
+  if (row.ours_feasible && row.baseline_feasible && row.baseline_sigma > 0.0)
+    row.percent_diff = util::percent_diff(row.baseline_sigma, row.ours_sigma);
   return row;
 }
 
 std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
                                            const std::string& graph_name,
-                                           const std::vector<double>& deadlines, double beta) {
-  std::vector<ComparisonRow> rows;
-  rows.reserve(deadlines.size());
-  for (double d : deadlines) {
+                                           const std::vector<double>& deadlines, double beta,
+                                           Executor& executor) {
+  return executor.map(deadlines.size(), [&](std::size_t i) {
     RunSpec spec;
     spec.name = graph_name;
     spec.graph = &graph;
-    spec.deadline = d;
+    spec.deadline = deadlines[i];
     spec.beta = beta;
-    rows.push_back(run_comparison(spec));
-  }
-  return rows;
+    return run_comparison(spec);
+  });
+}
+
+std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
+                                           const std::string& graph_name,
+                                           const std::vector<double>& deadlines, double beta) {
+  Executor serial(1);
+  return run_comparisons(graph, graph_name, deadlines, beta, serial);
 }
 
 }  // namespace basched::analysis

@@ -6,6 +6,7 @@
 /// needs to print paper-style tables.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "basched/graph/task_graph.hpp"
 
 namespace basched::analysis {
+
+class Executor;
 
 /// One experimental configuration.
 struct RunSpec {
@@ -30,7 +33,14 @@ struct ComparisonRow {
   double deadline = 0.0;
   double ours_sigma = 0.0;
   double baseline_sigma = 0.0;
-  double percent_diff = 0.0;  ///< 100 · (baseline − ours) / ours, as in Table 4
+  /// σ change of ours relative to the baseline,
+  /// `util::percent_diff(baseline_sigma, ours_sigma)` =
+  /// 100 · (ours − baseline) / baseline — negative when ours uses less
+  /// charge. std::nullopt when either side is infeasible (no meaningful
+  /// comparison exists). Note the paper's Table 4 normalizes by *ours*
+  /// instead; we report relative to the baseline, the reference being
+  /// compared against.
+  std::optional<double> percent_diff;
   bool ours_feasible = false;
   bool baseline_feasible = false;
 };
@@ -43,7 +53,14 @@ struct ComparisonRow {
 [[nodiscard]] ComparisonRow run_comparison(const RunSpec& spec);
 
 /// All deadlines of a spec family at once (e.g. Table 4's three deadlines
-/// per graph).
+/// per graph), one work item per deadline on `executor`. Rows come back in
+/// deadline order regardless of the job count.
+[[nodiscard]] std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
+                                                         const std::string& graph_name,
+                                                         const std::vector<double>& deadlines,
+                                                         double beta, Executor& executor);
+
+/// Serial convenience overload (equivalent to an Executor with jobs == 1).
 [[nodiscard]] std::vector<ComparisonRow> run_comparisons(const graph::TaskGraph& graph,
                                                          const std::string& graph_name,
                                                          const std::vector<double>& deadlines,

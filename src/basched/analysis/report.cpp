@@ -110,14 +110,16 @@ std::string format_table3(const core::IterativeResult& result, std::size_t num_d
 }
 
 std::string format_table4(const std::vector<ComparisonRow>& rows) {
+  // "% vs [1]" = 100 · (ours − baseline) / baseline; negative = ours uses
+  // less charge than the baseline.
   util::Table t({"Graph", "Deadline (min)", "Ours sigma (mAmin)", "Algo [1] sigma (mAmin)",
-                 "% Diff"});
+                 "% vs [1]"});
   t.set_align(0, util::Align::Left);
   for (const auto& r : rows) {
     t.add_row({r.name, fmt_double(r.deadline, 0),
                r.ours_feasible ? fmt_double(r.ours_sigma, 0) : "infeas",
                r.baseline_feasible ? fmt_double(r.baseline_sigma, 0) : "infeas",
-               (r.ours_feasible && r.baseline_feasible) ? fmt_double(r.percent_diff, 1) : "-"});
+               r.percent_diff ? fmt_double(*r.percent_diff, 1) : "-"});
   }
   return t.str();
 }

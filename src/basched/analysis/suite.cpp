@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "basched/analysis/executor.hpp"
 #include "basched/baselines/chowdhury.hpp"
 #include "basched/baselines/random_search.hpp"
 #include "basched/baselines/rv_dp.hpp"
@@ -59,8 +60,8 @@ std::vector<SuiteInstance> standard_suite(std::uint64_t seed, int per_family, do
   return suite;
 }
 
-SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta) {
-  const battery::RakhmatovVrudhulaModel model(beta);
+SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta,
+                       Executor& executor) {
   constexpr int kAlgos = 4;
   const char* names[kAlgos] = {"ours", "RV-DP [1]", "Chowdhury [7]", "random-2k"};
 
@@ -69,22 +70,29 @@ SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta)
   summary.algorithms.resize(kAlgos);
   for (int a = 0; a < kAlgos; ++a) summary.algorithms[a].name = names[a];
 
-  // Gather σ per (instance, algorithm); NaN = infeasible.
-  std::vector<std::array<double, kAlgos>> sigma(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    const auto& inst = instances[i];
-    const auto ours = core::schedule_battery_aware(inst.graph, inst.deadline, model);
-    const auto dp = baselines::schedule_rv_dp(inst.graph, inst.deadline, model);
-    const auto ch = baselines::schedule_chowdhury(inst.graph, inst.deadline, model);
-    baselines::RandomSearchOptions ropts;
-    ropts.samples = 2000;
-    const auto rnd = baselines::schedule_random_search(inst.graph, inst.deadline, model, ropts);
-    const double nan = std::nan("");
-    sigma[i] = {ours.feasible ? ours.sigma : nan, dp.feasible ? dp.sigma : nan,
-                ch.feasible ? ch.sigma : nan, rnd.feasible ? rnd.sigma : nan};
+  // Gather σ per (instance, algorithm); NaN = infeasible. One work item per
+  // instance; all aggregation stays serial below, so the summary is
+  // independent of the job count.
+  const std::vector<std::array<double, kAlgos>> sigma =
+      executor.map(instances.size(), [&](std::size_t i) {
+        const battery::RakhmatovVrudhulaModel model(beta);
+        const auto& inst = instances[i];
+        const auto ours = core::schedule_battery_aware(inst.graph, inst.deadline, model);
+        const auto dp = baselines::schedule_rv_dp(inst.graph, inst.deadline, model);
+        const auto ch = baselines::schedule_chowdhury(inst.graph, inst.deadline, model);
+        baselines::RandomSearchOptions ropts;
+        ropts.samples = 2000;
+        const auto rnd =
+            baselines::schedule_random_search(inst.graph, inst.deadline, model, ropts);
+        const double nan = std::nan("");
+        return std::array<double, kAlgos>{ours.feasible ? ours.sigma : nan,
+                                          dp.feasible ? dp.sigma : nan,
+                                          ch.feasible ? ch.sigma : nan,
+                                          rnd.feasible ? rnd.sigma : nan};
+      });
+  for (std::size_t i = 0; i < instances.size(); ++i)
     for (int a = 0; a < kAlgos; ++a)
       if (!std::isnan(sigma[i][a])) ++summary.algorithms[a].feasible;
-  }
 
   // Aggregate over commonly-feasible instances.
   std::vector<double> log_ratio_sum(kAlgos, 0.0);
@@ -108,6 +116,11 @@ SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta)
             : 0.0;
   }
   return summary;
+}
+
+SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta) {
+  Executor serial(1);
+  return run_suite(instances, beta, serial);
 }
 
 std::string format_suite(const SuiteSummary& summary) {

@@ -10,6 +10,8 @@
 
 namespace basched::analysis {
 
+class Executor;
+
 /// One suite instance: a graph plus a deadline at a fixed tightness.
 struct SuiteInstance {
   std::string name;
@@ -42,8 +44,14 @@ struct SuiteSummary {
 };
 
 /// Runs our algorithm, RV-DP [1], Chowdhury [7], and random search over the
-/// suite and aggregates. Ratios/wins are computed over the commonly-feasible
-/// instances so no algorithm is judged on instances another could not solve.
+/// suite and aggregates, one work item per instance on `executor`.
+/// Ratios/wins are computed over the commonly-feasible instances so no
+/// algorithm is judged on instances another could not solve. The aggregate
+/// is identical for any job count.
+[[nodiscard]] SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta,
+                                     Executor& executor);
+
+/// Serial convenience overload (equivalent to an Executor with jobs == 1).
 [[nodiscard]] SuiteSummary run_suite(const std::vector<SuiteInstance>& instances, double beta);
 
 /// ASCII table rendering of a summary.

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "basched/analysis/executor.hpp"
 #include "basched/baselines/chowdhury.hpp"
 #include "basched/baselines/rv_dp.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
@@ -13,17 +14,17 @@
 namespace basched::analysis {
 
 std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,
-                                          int steps, double beta) {
+                                          int steps, double beta, Executor& executor) {
   graph.validate();
   if (!(from > 0.0) || to < from) throw std::invalid_argument("deadline_sweep: bad range");
   if (steps < 2) throw std::invalid_argument("deadline_sweep: steps must be >= 2");
-  const battery::RakhmatovVrudhulaModel model(beta);
 
-  std::vector<DeadlinePoint> points;
-  points.reserve(static_cast<std::size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
+  return executor.map(static_cast<std::size_t>(steps), [&](std::size_t i) {
+    // Each work item owns its model: construction is trivial and the
+    // instances stay independent across threads.
+    const battery::RakhmatovVrudhulaModel model(beta);
     DeadlinePoint p;
-    p.deadline = from + (to - from) * i / (steps - 1);
+    p.deadline = from + (to - from) * static_cast<double>(i) / (steps - 1);
     const auto ours = core::schedule_battery_aware(graph, p.deadline, model);
     p.ours_feasible = ours.feasible;
     p.ours_sigma = ours.sigma;
@@ -34,9 +35,14 @@ std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double 
     const auto ch = baselines::schedule_chowdhury(graph, p.deadline, model);
     p.chowdhury_feasible = ch.feasible;
     p.chowdhury_sigma = ch.sigma;
-    points.push_back(p);
-  }
-  return points;
+    return p;
+  });
+}
+
+std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,
+                                          int steps, double beta) {
+  Executor serial(1);
+  return deadline_sweep(graph, from, to, steps, beta, serial);
 }
 
 std::string deadline_sweep_csv(const std::vector<DeadlinePoint>& points) {
@@ -53,30 +59,34 @@ std::string deadline_sweep_csv(const std::vector<DeadlinePoint>& points) {
 }
 
 std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
-                                  const std::vector<double>& betas) {
+                                  const std::vector<double>& betas, Executor& executor) {
   graph.validate();
   if (!(deadline > 0.0)) throw std::invalid_argument("beta_sweep: deadline must be > 0");
   if (betas.empty()) throw std::invalid_argument("beta_sweep: no betas given");
-
-  std::vector<BetaPoint> points;
-  points.reserve(betas.size());
-  const std::size_t m = graph.num_design_points();
-  for (double beta : betas) {
+  for (double beta : betas)
     if (!(beta > 0.0)) throw std::invalid_argument("beta_sweep: betas must be > 0");
-    const battery::RakhmatovVrudhulaModel model(beta);
+
+  const std::size_t m = graph.num_design_points();
+  return executor.map(betas.size(), [&](std::size_t i) {
+    const battery::RakhmatovVrudhulaModel model(betas[i]);
     const auto r = core::schedule_battery_aware(graph, deadline, model);
     BetaPoint p;
-    p.beta = beta;
+    p.beta = betas[i];
     p.feasible = r.feasible;
     if (r.feasible) {
       p.sigma = r.sigma;
       p.energy = r.energy;
       for (graph::TaskId v = 0; v < graph.num_tasks(); ++v)
-        if (r.schedule.assignment[v] < m / 2) ++p.fast_tasks;
+        if (r.schedule.assignment[v] < fast_column_boundary(m)) ++p.fast_tasks;
     }
-    points.push_back(p);
-  }
-  return points;
+    return p;
+  });
+}
+
+std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
+                                  const std::vector<double>& betas) {
+  Executor serial(1);
+  return beta_sweep(graph, deadline, betas, serial);
 }
 
 }  // namespace basched::analysis

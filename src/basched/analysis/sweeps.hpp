@@ -2,14 +2,21 @@
 /// \brief Parameter sweeps that turn the paper's point tables into curves:
 /// σ vs. deadline (a fine-grained Table 4) and σ vs. β (battery-nonlinearity
 /// sensitivity of the *whole algorithm*, not just the cost function).
+///
+/// Every sweep point is an independent work item; the overloads taking an
+/// Executor fan the points out across its thread pool. Results are collected
+/// in point order, so the output is byte-identical for any job count.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "basched/graph/task_graph.hpp"
 
 namespace basched::analysis {
+
+class Executor;
 
 /// One point of a deadline sweep.
 struct DeadlinePoint {
@@ -24,9 +31,14 @@ struct DeadlinePoint {
 };
 
 /// Runs our algorithm, the RV-DP baseline [1] and the Chowdhury heuristic
-/// [7] at `steps` evenly spaced deadlines in [from, to]. Throws
-/// std::invalid_argument on an empty/cyclic graph, from <= 0, to < from, or
-/// steps < 2.
+/// [7] at `steps` evenly spaced deadlines in [from, to], one work item per
+/// deadline on `executor`. Throws std::invalid_argument on an empty/cyclic
+/// graph, from <= 0, to < from, or steps < 2.
+[[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,
+                                                        double from, double to, int steps,
+                                                        double beta, Executor& executor);
+
+/// Serial convenience overload (equivalent to an Executor with jobs == 1).
 [[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,
                                                         double from, double to, int steps,
                                                         double beta);
@@ -41,13 +53,27 @@ struct BetaPoint {
   bool feasible = false;
   double sigma = 0.0;      ///< σ of the chosen schedule under *this* β
   double energy = 0.0;     ///< plain energy of the chosen schedule
-  std::size_t fast_tasks = 0;  ///< tasks assigned to the upper half of the columns
+  std::size_t fast_tasks = 0;  ///< tasks assigned to a fast column (index < fast_column_boundary)
 };
 
-/// Re-runs the whole algorithm for each β: shows how battery nonlinearity
-/// changes the *decisions* (not just the cost of a fixed schedule). Throws
-/// std::invalid_argument on invalid graph/deadline or empty/non-positive
-/// betas.
+/// The first column index that no longer counts as "fast" when classifying
+/// an assignment over m design-point columns (column 0 is the fastest, m-1
+/// the slowest). Columns [0, boundary) are fast; for odd m the middle
+/// column — the median — is classified fast, so e.g. m = 3 -> 2, m = 4 -> 2,
+/// m = 5 -> 3.
+[[nodiscard]] constexpr std::size_t fast_column_boundary(std::size_t m) noexcept {
+  return (m + 1) / 2;
+}
+
+/// Re-runs the whole algorithm for each β (one work item per β on
+/// `executor`): shows how battery nonlinearity changes the *decisions* (not
+/// just the cost of a fixed schedule). Throws std::invalid_argument on
+/// invalid graph/deadline or empty/non-positive betas.
+[[nodiscard]] std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
+                                                const std::vector<double>& betas,
+                                                Executor& executor);
+
+/// Serial convenience overload (equivalent to an Executor with jobs == 1).
 [[nodiscard]] std::vector<BetaPoint> beta_sweep(const graph::TaskGraph& graph, double deadline,
                                                 const std::vector<double>& betas);
 

@@ -89,6 +89,12 @@ DischargeProfile DischargeProfile::simplified() const {
 }
 
 DischargeProfile DischargeProfile::shifted(double dt) const {
+  if (!std::isfinite(dt))
+    throw std::invalid_argument("DischargeProfile::shifted: dt must be finite");
+  if (!intervals_.empty() && intervals_.front().start + dt < 0.0)
+    throw std::invalid_argument(
+        "DischargeProfile::shifted: dt would move the first interval before t = 0 (dt must be "
+        ">= -start of the first interval)");
   DischargeProfile out;
   for (auto iv : intervals_) {
     iv.start += dt;
@@ -98,11 +104,13 @@ DischargeProfile DischargeProfile::shifted(double dt) const {
 }
 
 DischargeProfile DischargeProfile::concatenated(const DischargeProfile& other) const {
+  // Re-base other's whole timeline (including any idle time before its first
+  // interval) onto this profile's end: an `other` that begins with rest keeps
+  // that rest as a gap after `base`.
   DischargeProfile out = *this;
   const double base = out.end_time();
-  double first_start = other.intervals_.empty() ? 0.0 : other.intervals_.front().start;
   for (auto iv : other.intervals_) {
-    iv.start = base + (iv.start - first_start);
+    iv.start += base;
     out.validate_and_push(iv);
   }
   return out;

@@ -88,12 +88,14 @@ class DischargeProfile {
   /// explicit zero-current intervals removed. Model-equivalent to *this.
   [[nodiscard]] DischargeProfile simplified() const;
 
-  /// Returns a copy with every interval shifted by dt (>= -start of first
-  /// interval, so the result still begins at a non-negative time).
+  /// Returns a copy with every interval shifted by dt. Throws
+  /// std::invalid_argument when dt is non-finite or < -start of the first
+  /// interval (the result must still begin at a non-negative time).
   [[nodiscard]] DischargeProfile shifted(double dt) const;
 
-  /// Returns the concatenation: `other` re-based to start at this profile's
-  /// end time.
+  /// Returns the concatenation: `other`'s timeline re-based so that its
+  /// t = 0 lands on this profile's end time. Idle time before `other`'s
+  /// first interval is preserved as a gap (rest), not discarded.
   [[nodiscard]] DischargeProfile concatenated(const DischargeProfile& other) const;
 
   /// Human-readable dump (one interval per line), for debugging and examples.

@@ -1,0 +1,112 @@
+#include "basched/battery/incremental_sigma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::battery {
+
+std::unique_ptr<IncrementalSigma> BatteryModel::incremental_sigma() const {
+  return std::make_unique<GenericIncrementalSigma>(*this);
+}
+
+std::unique_ptr<IncrementalSigma> RakhmatovVrudhulaModel::incremental_sigma() const {
+  return std::make_unique<RvIncrementalSigma>(*this);
+}
+
+double GenericIncrementalSigma::sigma_with_tail(double rest, double duration, double current,
+                                                double t) const {
+  // Enforce the same contract as the RV evaluator so callers cannot come to
+  // depend on looser behavior of the fallback (the appends below validate
+  // duration/current themselves).
+  if (rest < 0.0 || !std::isfinite(rest))
+    throw std::invalid_argument("GenericIncrementalSigma: rest must be finite and >= 0");
+  if (!(t >= profile_.end_time()) || !std::isfinite(t))
+    throw std::invalid_argument(
+        "GenericIncrementalSigma::sigma_with_tail: t must be >= end_time()");
+  DischargeProfile extended = profile_;
+  if (rest > 0.0) extended.append_rest(rest);
+  extended.append(duration, current);
+  return model_.charge_lost(extended, t);
+}
+
+RvIncrementalSigma::RvIncrementalSigma(const RakhmatovVrudhulaModel& model)
+    : beta_sq_(model.beta() * model.beta()), terms_(model.terms()) {}
+
+void RvIncrementalSigma::append(double duration, double current) {
+  if (!(duration > 0.0) || !std::isfinite(duration))
+    throw std::invalid_argument("RvIncrementalSigma: interval duration must be finite and > 0");
+  if (current < 0.0 || !std::isfinite(current))
+    throw std::invalid_argument("RvIncrementalSigma: interval current must be finite and >= 0");
+
+  const double start = end_time();
+  Interval iv{start, duration, current, 0.0};
+  decay_.resize(decay_.size() + static_cast<std::size_t>(terms_), 0.0);
+  double* row = decay_.data() + (intervals_.size() * static_cast<std::size_t>(terms_));
+  if (!intervals_.empty()) {
+    const Interval& prev = intervals_.back();
+    iv.delivered_before = prev.delivered_before + prev.current * prev.duration;
+    const double* prev_row =
+        decay_.data() + ((intervals_.size() - 1) * static_cast<std::size_t>(terms_));
+    // Advance the checkpoint from prev.start to start: decay the inherited
+    // sums and fold in prev's own (now fully elapsed) interval. All
+    // exponents are <= 0 because start >= prev.end() >= prev.start.
+    for (int m = 1; m <= terms_; ++m) {
+      const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+      double a = prev_row[m - 1] * std::exp(-bm * (start - prev.start));
+      a += prev.current *
+           (std::exp(-bm * (start - prev.end())) - std::exp(-bm * (start - prev.start))) / bm;
+      row[m - 1] = a;
+    }
+  }
+  intervals_.push_back(iv);
+}
+
+double RvIncrementalSigma::end_time() const noexcept {
+  return intervals_.empty() ? 0.0 : intervals_.back().end();
+}
+
+double RvIncrementalSigma::sigma_from_checkpoint(std::size_t k, double t) const noexcept {
+  const Interval& iv = intervals_[k];
+  BASCHED_ASSERT(t >= iv.start - 1e-12);
+  double sigma = iv.delivered_before;
+  const double* row = decay_.data() + (k * static_cast<std::size_t>(terms_));
+  for (int m = 1; m <= terms_; ++m) {
+    const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+    sigma += 2.0 * row[m - 1] * std::exp(-bm * std::max(0.0, t - iv.start));
+  }
+  return sigma + RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, iv.start, iv.duration,
+                                                       iv.current, t);
+}
+
+double RvIncrementalSigma::sigma(double t) const {
+  if (t < 0.0 || !std::isfinite(t))
+    throw std::invalid_argument("RvIncrementalSigma::sigma: t must be finite and >= 0");
+  if (intervals_.empty()) return 0.0;
+  // Last interval whose start is <= t; intervals past it start after t and
+  // contribute nothing (exactly charge_lost's early break).
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](double value, const Interval& iv) { return value < iv.start; });
+  if (it == intervals_.begin()) return 0.0;
+  return sigma_from_checkpoint(static_cast<std::size_t>(it - intervals_.begin()) - 1, t);
+}
+
+double RvIncrementalSigma::sigma_with_tail(double rest, double duration, double current,
+                                           double t) const {
+  if (rest < 0.0 || !std::isfinite(rest))
+    throw std::invalid_argument("RvIncrementalSigma: rest must be finite and >= 0");
+  if (!(duration > 0.0) || !std::isfinite(duration) || current < 0.0 || !std::isfinite(current))
+    throw std::invalid_argument("RvIncrementalSigma: malformed tail interval");
+  const double end = end_time();
+  if (!(t >= end) || !std::isfinite(t))
+    throw std::invalid_argument("RvIncrementalSigma::sigma_with_tail: t must be >= end_time()");
+  const double prefix =
+      intervals_.empty() ? 0.0 : sigma_from_checkpoint(intervals_.size() - 1, t);
+  return prefix + RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, end + rest, duration,
+                                                        current, t);
+}
+
+}  // namespace basched::battery

@@ -1,0 +1,107 @@
+/// \file incremental_sigma.hpp
+/// \brief Incremental σ evaluation over a *growing* discharge profile.
+///
+/// The hot loops of the scheduler extend a verified profile prefix by one
+/// interval and re-evaluate σ: the rest-insertion bisection appends
+/// (rest, task) candidates to a fixed prefix, and the window evaluator walks
+/// a schedule task by task. Recomputing Eq. 1 from scratch costs
+/// O(intervals · terms) per query; an IncrementalSigma amortizes the prefix
+/// so each extension/query is cheap.
+///
+/// `BatteryModel::incremental_sigma()` returns the best evaluator the model
+/// supports. The generic fallback just replays `charge_lost` (identical
+/// semantics, no speedup); `RakhmatovVrudhulaModel` provides an O(terms)
+/// prefix cache: for every interval boundary it stores the delivered charge
+/// and the per-term decayed partial sums
+///
+///   A_m(k) = Σ_{j<k} I_j · (e^{-β²m²(t_k - end_j)} - e^{-β²m²(t_k - t_j)}) / (β²m²)
+///
+/// keyed on the profile prefix, so that
+///
+///   σ(T) = D(k) + 2·Σ_m A_m(k)·e^{-β²m²(T - t_k)} + (interval k's own term)
+///
+/// for any T with t_k <= T < t_{k+1}. All stored exponents are non-positive,
+/// which keeps the recurrence numerically stable; agreement with the full
+/// recomputation is ~1e-14 relative (tested to 1e-12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "basched/battery/model.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+
+namespace basched::battery {
+
+/// Generic fallback evaluator: keeps a DischargeProfile and recomputes σ with
+/// the model's full `charge_lost` on every query. The model must outlive the
+/// evaluator.
+class GenericIncrementalSigma final : public IncrementalSigma {
+ public:
+  explicit GenericIncrementalSigma(const BatteryModel& model) : model_(model) {}
+
+  void append(double duration, double current) override { profile_.append(duration, current); }
+  [[nodiscard]] double end_time() const noexcept override { return profile_.end_time(); }
+  [[nodiscard]] double sigma(double t) const override { return model_.charge_lost(profile_, t); }
+  [[nodiscard]] double sigma_with_tail(double rest, double duration, double current,
+                                       double t) const override;
+
+ private:
+  const BatteryModel& model_;
+  DischargeProfile profile_;
+};
+
+/// O(terms) incremental evaluator for the Rakhmatov–Vrudhula model (the
+/// prefix-cache form of `RakhmatovVrudhulaModel::charge_lost`).
+///
+/// Copies β/terms out of the model at construction, so it remains valid even
+/// if the model is destroyed. `append` is O(terms); `sigma` is
+/// O(log intervals + terms) for arbitrary t and `sigma_with_tail` is
+/// O(terms) — independent of how many intervals the prefix holds.
+class RvIncrementalSigma final : public IncrementalSigma {
+ public:
+  explicit RvIncrementalSigma(const RakhmatovVrudhulaModel& model);
+
+  /// Appends one interval at end_time(). Throws std::invalid_argument on
+  /// non-positive/non-finite duration or negative/non-finite current —
+  /// the same contract as DischargeProfile::append.
+  void append(double duration, double current) override;
+
+  [[nodiscard]] double end_time() const noexcept override;
+
+  /// σ(t) of the appended profile, for any finite t >= 0.
+  [[nodiscard]] double sigma(double t) const override;
+
+  /// σ(t) of the appended profile extended by `rest` idle minutes plus one
+  /// interval (duration, current) — without mutating the evaluator.
+  /// Requires t >= end_time() (the tail region); throws otherwise.
+  [[nodiscard]] double sigma_with_tail(double rest, double duration, double current,
+                                       double t) const override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    double start;
+    double duration;
+    double current;
+    double delivered_before;  ///< Σ I·Δ of all earlier intervals
+
+    [[nodiscard]] double end() const noexcept { return start + duration; }
+  };
+
+  /// σ(t) given the checkpoint of interval index k (requires t >= start_k).
+  /// The per-interval Eq. 1 terms come from
+  /// RakhmatovVrudhulaModel::interval_term / series_sum, so the evaluator and
+  /// the full model share one formula.
+  [[nodiscard]] double sigma_from_checkpoint(std::size_t k, double t) const noexcept;
+
+  double beta_sq_;
+  int terms_;
+  std::vector<Interval> intervals_;
+  /// decay_[k * terms_ + (m-1)] = A_m at intervals_[k].start (see file
+  /// comment); one row per interval, covering all *earlier* intervals.
+  std::vector<double> decay_;
+};
+
+}  // namespace basched::battery

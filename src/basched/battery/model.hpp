@@ -9,12 +9,45 @@
 /// at the earliest T with σ(T) = α.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "basched/battery/discharge_profile.hpp"
 
 namespace basched::battery {
+
+/// Incremental σ evaluation over a profile built one interval at a time.
+///
+/// Semantically an IncrementalSigma is equivalent to keeping a
+/// DischargeProfile and calling `charge_lost` on it; models that can do
+/// better (see incremental_sigma.hpp) answer queries in O(terms) instead of
+/// O(intervals · terms). Obtain instances via
+/// `BatteryModel::incremental_sigma()`.
+class IncrementalSigma {
+ public:
+  virtual ~IncrementalSigma() = default;
+
+  /// Appends one interval at the current end of the profile. Throws
+  /// std::invalid_argument on malformed intervals (DischargeProfile rules).
+  virtual void append(double duration, double current) = 0;
+
+  /// Appends a zero-current rest period.
+  void append_rest(double duration) { append(duration, 0.0); }
+
+  /// End time of the profile appended so far (0 when empty).
+  [[nodiscard]] virtual double end_time() const noexcept = 0;
+
+  /// σ(t) of the profile appended so far, for any finite t >= 0.
+  [[nodiscard]] virtual double sigma(double t) const = 0;
+
+  /// σ(t) of the profile appended so far, extended by `rest` idle minutes
+  /// plus one interval (duration, current) — without mutating the
+  /// evaluator. This is the rest-insertion bisection query: the prefix stays
+  /// fixed while (rest, tail) vary. Requires t >= end_time().
+  [[nodiscard]] virtual double sigma_with_tail(double rest, double duration, double current,
+                                               double t) const = 0;
+};
 
 /// Interface shared by all battery models in basched.
 class BatteryModel {
@@ -39,6 +72,12 @@ class BatteryModel {
   [[nodiscard]] double charge_lost_at_end(const DischargeProfile& profile) const {
     return charge_lost(profile, profile.end_time());
   }
+
+  /// Returns an empty incremental evaluator for this model. The default
+  /// replays `charge_lost` on an internally grown profile (no speedup, and
+  /// the model must outlive the evaluator); models with cheap incremental
+  /// forms override it.
+  [[nodiscard]] virtual std::unique_ptr<IncrementalSigma> incremental_sigma() const;
 };
 
 }  // namespace basched::battery

@@ -15,31 +15,43 @@ RakhmatovVrudhulaModel::RakhmatovVrudhulaModel(double beta, int terms)
   if (terms < 1) throw std::invalid_argument("RakhmatovVrudhulaModel: terms must be >= 1");
 }
 
-double RakhmatovVrudhulaModel::series(double a, double b) const noexcept {
+double RakhmatovVrudhulaModel::series_sum(double beta_sq, int terms, double a,
+                                          double b) noexcept {
   BASCHED_ASSERT(a >= -1e-12 && b >= a - 1e-12);
   a = std::max(a, 0.0);
   b = std::max(b, a);
   double sum = 0.0;
-  for (int m = 1; m <= terms_; ++m) {
-    const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+  for (int m = 1; m <= terms; ++m) {
+    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
     sum += (std::exp(-bm * a) - std::exp(-bm * b)) / bm;
   }
   return sum;
 }
 
+double RakhmatovVrudhulaModel::interval_term(double beta_sq, int terms, double start,
+                                             double duration, double current,
+                                             double t) noexcept {
+  if (start >= t || current == 0.0) return 0.0;
+  const double elapsed = std::min(duration, t - start);
+  return current * (elapsed + 2.0 * series_sum(beta_sq, terms, t - start - elapsed, t - start));
+}
+
+double RakhmatovVrudhulaModel::series(double a, double b) const noexcept {
+  return series_sum(beta_sq_, terms_, a, b);
+}
+
 double RakhmatovVrudhulaModel::charge_lost(const DischargeProfile& profile, double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("RakhmatovVrudhulaModel::charge_lost: t must be finite and >= 0");
+  full_evaluations_.fetch_add(1, std::memory_order_relaxed);
   double sigma = 0.0;
   for (const auto& iv : profile.intervals()) {
     if (iv.start >= t) break;  // intervals are sorted; nothing after t contributes
-    if (iv.current == 0.0) continue;
-    const double elapsed = std::min(iv.duration, t - iv.start);
     // delivered charge + 2 * unavailable-charge series, per Eq. 1. For an
     // interval still active at t, (t - start - elapsed) == 0 and the series'
     // first exponential is exp(0) = 1, which is exactly the model's
     // "discharge in progress" form.
-    sigma += iv.current * (elapsed + 2.0 * series(t - iv.start - elapsed, t - iv.start));
+    sigma += interval_term(beta_sq_, terms_, iv.start, iv.duration, iv.current, t);
   }
   return sigma;
 }

@@ -18,6 +18,9 @@
 /// experiments; both are defaults here.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "basched/battery/model.hpp"
 
 namespace basched::battery {
@@ -44,16 +47,39 @@ class RakhmatovVrudhulaModel final : public BatteryModel {
   /// by time T. Non-negative; tends to 0 as T → ∞ after the last interval.
   [[nodiscard]] double unavailable_charge(const DischargeProfile& profile, double t) const;
 
+  /// O(terms)-per-query prefix cache (see incremental_sigma.hpp).
+  [[nodiscard]] std::unique_ptr<IncrementalSigma> incremental_sigma() const override;
+
+  /// Evaluation-count probe: how many full-profile `charge_lost` calls this
+  /// model instance has answered. Incremental evaluators never show up here,
+  /// so tests can assert a hot path stopped re-evaluating whole profiles.
+  /// Thread-safe (relaxed atomic).
+  [[nodiscard]] std::uint64_t full_evaluations() const noexcept {
+    return full_evaluations_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] int terms() const noexcept { return terms_; }
 
+  /// Σ_{m=1..M} (e^{-β²m²·a} - e^{-β²m²·b}) / (β²m²) for 0 <= a <= b (inputs
+  /// clamped). The single source of truth for Eq. 1's series, shared with the
+  /// incremental evaluator of incremental_sigma.hpp.
+  [[nodiscard]] static double series_sum(double beta_sq, int terms, double a,
+                                         double b) noexcept;
+
+  /// One interval's full Eq. 1 term at time t: I·(δ + 2·series), with
+  /// δ = min(duration, t - start); 0 when t <= start or current == 0.
+  [[nodiscard]] static double interval_term(double beta_sq, int terms, double start,
+                                            double duration, double current, double t) noexcept;
+
  private:
-  /// Σ_{m=1..M} (e^{-β²m²·a} - e^{-β²m²·b}) / (β²m²) for 0 <= a <= b.
+  /// Member shorthand for series_sum with this model's β²/terms.
   [[nodiscard]] double series(double a, double b) const noexcept;
 
   double beta_;
   double beta_sq_;
   int terms_;
+  mutable std::atomic<std::uint64_t> full_evaluations_{0};
 };
 
 }  // namespace basched::battery

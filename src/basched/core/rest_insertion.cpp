@@ -1,6 +1,8 @@
 #include "basched/core/rest_insertion.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "basched/battery/lifetime.hpp"
@@ -23,17 +25,27 @@ bool survives_without_rest(const graph::TaskGraph& graph, const Schedule& schedu
 
 namespace {
 
-/// Does appending `task_current/task_duration` after `prefix` plus `rest`
-/// idle minutes keep σ below the cap for the whole task?
-bool task_survives(const battery::DischargeProfile& prefix, double rest, double current,
-                   double duration, const battery::BatteryModel& model, double cap) {
-  battery::DischargeProfile p = prefix;
-  if (rest > 0.0) p.append_rest(rest);
-  p.append(duration, current);
-  // σ only grows while the task discharges, so checking the crossing over
-  // the whole extended profile is equivalent to checking this task (the
-  // prefix was already verified by the caller).
-  return !battery::find_lifetime(model, p, cap).has_value();
+/// Sampling resolution inside the candidate task, matching
+/// LifetimeOptions::samples_per_interval so the incremental check detects
+/// exactly the crossings the full-profile `find_lifetime` scan would.
+constexpr int kTaskSamples = 64;
+
+/// Does extending the verified prefix by `rest` idle minutes plus one task
+/// interval keep σ below the cap for the whole task? σ is non-increasing
+/// during rest and every earlier interval was already verified by the caller
+/// (σ at times inside the prefix is unaffected by what comes later), so
+/// sampling the appended task alone is equivalent to scanning the whole
+/// extended profile — but costs O(samples · terms) instead of
+/// O(samples · intervals · terms).
+bool task_survives(const battery::IncrementalSigma& eval, double rest, double current,
+                   double duration, double cap) {
+  const double start = eval.end_time() + rest;
+  for (int j = 0; j <= kTaskSamples; ++j) {
+    const double t =
+        (j == kTaskSamples) ? start + duration : start + duration * j / kTaskSamples;
+    if (eval.sigma_with_tail(rest, duration, current, t) >= cap) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -57,18 +69,22 @@ std::optional<RestPlan> insert_rest_for_survival(const graph::TaskGraph& graph,
   plan.rest_before.assign(schedule.sequence.size(), 0.0);
   double slack = deadline - work;
 
+  // The evaluator carries the verified prefix; every bisection probe is then
+  // an O(terms) tail query instead of a full-profile re-evaluation.
+  const std::unique_ptr<battery::IncrementalSigma> eval = model.incremental_sigma();
+
   for (std::size_t pos = 0; pos < schedule.sequence.size(); ++pos) {
     const graph::TaskId v = schedule.sequence[pos];
     const auto& pt = graph.task(v).point(schedule.assignment[v]);
 
-    if (!task_survives(plan.profile, 0.0, pt.current, pt.duration, model, cap)) {
+    if (!task_survives(*eval, 0.0, pt.current, pt.duration, cap)) {
       // Monotone in rest → bisect the minimal saving rest within the slack.
-      if (slack <= 0.0 || !task_survives(plan.profile, slack, pt.current, pt.duration, model, cap))
+      if (slack <= 0.0 || !task_survives(*eval, slack, pt.current, pt.duration, cap))
         return std::nullopt;  // even all remaining slack cannot save this task
       double lo = 0.0, hi = slack;
       while (hi - lo > options.bisect_tolerance) {
         const double mid = 0.5 * (lo + hi);
-        if (task_survives(plan.profile, mid, pt.current, pt.duration, model, cap))
+        if (task_survives(*eval, mid, pt.current, pt.duration, cap))
           hi = mid;
         else
           lo = mid;
@@ -76,10 +92,11 @@ std::optional<RestPlan> insert_rest_for_survival(const graph::TaskGraph& graph,
       plan.rest_before[pos] = hi;
       slack -= hi;
       plan.profile.append_rest(hi);
+      eval->append_rest(hi);
     }
     plan.profile.append(pt.duration, pt.current);
-    plan.peak_sigma =
-        std::max(plan.peak_sigma, model.charge_lost(plan.profile, plan.profile.end_time()));
+    eval->append(pt.duration, pt.current);
+    plan.peak_sigma = std::max(plan.peak_sigma, eval->sigma(eval->end_time()));
   }
   plan.completion_time = plan.profile.end_time();
   BASCHED_ASSERT(plan.completion_time <= deadline * (1.0 + 1e-9));

@@ -37,8 +37,10 @@ std::optional<WindowsOutcome> evaluate_windows(const graph::TaskGraph& graph,
     WindowResult wr;
     wr.window_start = ws;
     wr.assignment = choose_design_points(graph, sequence, ws, deadline, stats, options.chooser);
-    const CostResult cost = calculate_battery_cost_unchecked(
-        graph, Schedule{sequence, wr.assignment}, model);
+    // Per-window walk through the incremental σ evaluator: O(terms) per task
+    // for the RV model, no DischargeProfile materialized.
+    const CostResult cost =
+        calculate_battery_cost_incremental(graph, Schedule{sequence, wr.assignment}, model);
     wr.sigma = cost.sigma;
     wr.duration = cost.duration;
     wr.feasible = cost.duration <= tol;

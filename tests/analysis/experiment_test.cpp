@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "basched/analysis/executor.hpp"
 #include "basched/graph/paper_graphs.hpp"
 
 namespace basched::analysis {
@@ -46,9 +47,43 @@ TEST(Experiment, ComparisonRowFields) {
   EXPECT_TRUE(row.baseline_feasible);
   EXPECT_GT(row.ours_sigma, 0.0);
   EXPECT_GT(row.baseline_sigma, 0.0);
-  // percent_diff definition: 100 · (baseline − ours) / ours.
-  EXPECT_NEAR(row.percent_diff,
-              100.0 * (row.baseline_sigma - row.ours_sigma) / row.ours_sigma, 1e-9);
+  // percent_diff definition: 100 · (ours − baseline) / baseline, i.e. the
+  // change relative to the baseline (negative = ours uses less charge).
+  ASSERT_TRUE(row.percent_diff.has_value());
+  EXPECT_NEAR(*row.percent_diff,
+              100.0 * (row.ours_sigma - row.baseline_sigma) / row.baseline_sigma, 1e-9);
+}
+
+TEST(Experiment, PercentDiffIsEmptyWhenInfeasible) {
+  const auto g = graph::make_g2();
+  RunSpec spec;
+  spec.name = "G2";
+  spec.graph = &g;
+  spec.deadline = 1e-3;  // far below CT(0): nothing is feasible
+  const ComparisonRow row = run_comparison(spec);
+  EXPECT_FALSE(row.ours_feasible);
+  EXPECT_FALSE(row.percent_diff.has_value());
+}
+
+TEST(Experiment, ParallelComparisonsIdenticalAcrossJobs) {
+  const auto g = graph::make_g2();
+  const std::vector<double> deadlines{55.0, 65.0, 75.0, 85.0, 95.0};
+  const auto reference = run_comparisons(g, "G2", deadlines, graph::kPaperBeta);
+  for (unsigned jobs : {2u, 8u}) {
+    Executor ex(jobs);
+    const auto rows = run_comparisons(g, "G2", deadlines, graph::kPaperBeta, ex);
+    ASSERT_EQ(rows.size(), reference.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_DOUBLE_EQ(rows[i].deadline, reference[i].deadline);
+      EXPECT_EQ(rows[i].ours_feasible, reference[i].ours_feasible);
+      EXPECT_DOUBLE_EQ(rows[i].ours_sigma, reference[i].ours_sigma);
+      EXPECT_DOUBLE_EQ(rows[i].baseline_sigma, reference[i].baseline_sigma);
+      ASSERT_EQ(rows[i].percent_diff.has_value(), reference[i].percent_diff.has_value());
+      if (rows[i].percent_diff) {
+        EXPECT_DOUBLE_EQ(*rows[i].percent_diff, *reference[i].percent_diff);
+      }
+    }
+  }
 }
 
 TEST(Experiment, RunComparisonsCoversAllDeadlines) {

@@ -54,7 +54,7 @@ TEST(Report, Table4ContainsRows) {
   const auto rows = run_comparisons(g, "G2", {55.0, 75.0}, graph::kPaperBeta);
   const std::string t4 = format_table4(rows);
   EXPECT_NE(t4.find("G2"), std::string::npos);
-  EXPECT_NE(t4.find("% Diff"), std::string::npos);
+  EXPECT_NE(t4.find("% vs [1]"), std::string::npos);
   EXPECT_NE(t4.find("55"), std::string::npos);
 }
 

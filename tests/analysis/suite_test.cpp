@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+
+#include "basched/analysis/executor.hpp"
 
 namespace basched::analysis {
 namespace {
@@ -77,6 +80,25 @@ TEST(Suite, OursCompetitive) {
   const auto summary = run_suite(suite, 0.273);
   ASSERT_GT(summary.commonly_feasible, 0);
   EXPECT_LE(summary.algorithms[0].geomean_ratio, 1.15);
+}
+
+TEST(Suite, ParallelSummaryIdenticalAcrossJobs) {
+  const auto suite = standard_suite(19, 1);
+  const auto reference = run_suite(suite, 0.273);
+  for (unsigned jobs : {2u, 8u}) {
+    Executor ex(jobs);
+    const auto summary = run_suite(suite, 0.273, ex);
+    EXPECT_EQ(summary.instances, reference.instances);
+    EXPECT_EQ(summary.commonly_feasible, reference.commonly_feasible);
+    ASSERT_EQ(summary.algorithms.size(), reference.algorithms.size());
+    for (std::size_t a = 0; a < summary.algorithms.size(); ++a) {
+      EXPECT_EQ(summary.algorithms[a].feasible, reference.algorithms[a].feasible);
+      EXPECT_EQ(summary.algorithms[a].wins, reference.algorithms[a].wins);
+      EXPECT_DOUBLE_EQ(summary.algorithms[a].geomean_ratio,
+                       reference.algorithms[a].geomean_ratio);
+      EXPECT_DOUBLE_EQ(summary.algorithms[a].total_sigma, reference.algorithms[a].total_sigma);
+    }
+  }
 }
 
 TEST(Suite, FormatMentionsAllAlgorithms) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
+#include "basched/analysis/executor.hpp"
 #include "basched/graph/paper_graphs.hpp"
 
 namespace basched::analysis {
@@ -79,6 +81,53 @@ TEST(BetaSweep, Validation) {
   EXPECT_THROW((void)beta_sweep(g, 0.0, {0.3}), std::invalid_argument);
   EXPECT_THROW((void)beta_sweep(g, 75.0, {}), std::invalid_argument);
   EXPECT_THROW((void)beta_sweep(g, 75.0, {0.3, -1.0}), std::invalid_argument);
+}
+
+TEST(FastColumnBoundary, ExplicitForSmallM) {
+  // Columns [0, boundary) count as fast; the middle column of an odd m is
+  // the median and classifies as fast.
+  EXPECT_EQ(fast_column_boundary(3), 2u);
+  EXPECT_EQ(fast_column_boundary(4), 2u);
+  EXPECT_EQ(fast_column_boundary(5), 3u);
+  EXPECT_EQ(fast_column_boundary(1), 1u);
+  EXPECT_EQ(fast_column_boundary(2), 1u);
+}
+
+TEST(ParallelSweep, DeadlineSweepCsvByteIdenticalAcrossJobs) {
+  const auto g = graph::make_g3();
+  Executor serial(1);
+  const std::string reference =
+      deadline_sweep_csv(deadline_sweep(g, 100.0, 240.0, 9, graph::kPaperBeta, serial));
+  for (unsigned jobs : {2u, 8u}) {
+    Executor ex(jobs);
+    const std::string csv =
+        deadline_sweep_csv(deadline_sweep(g, 100.0, 240.0, 9, graph::kPaperBeta, ex));
+    EXPECT_EQ(csv, reference) << "jobs = " << jobs;
+  }
+}
+
+TEST(ParallelSweep, BetaSweepIdenticalAcrossJobs) {
+  const auto g = graph::make_g2();
+  const std::vector<double> betas{0.1, 0.2, 0.273, 0.5, 1.0, 2.0};
+  const auto reference = beta_sweep(g, 75.0, betas);
+  for (unsigned jobs : {2u, 8u}) {
+    Executor ex(jobs);
+    const auto pts = beta_sweep(g, 75.0, betas, ex);
+    ASSERT_EQ(pts.size(), reference.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_DOUBLE_EQ(pts[i].beta, reference[i].beta);
+      EXPECT_EQ(pts[i].feasible, reference[i].feasible);
+      EXPECT_DOUBLE_EQ(pts[i].sigma, reference[i].sigma);
+      EXPECT_DOUBLE_EQ(pts[i].energy, reference[i].energy);
+      EXPECT_EQ(pts[i].fast_tasks, reference[i].fast_tasks);
+    }
+  }
+}
+
+TEST(ParallelSweep, PropagatesWorkItemErrors) {
+  graph::TaskGraph empty;
+  Executor ex(4);
+  EXPECT_THROW((void)deadline_sweep(empty, 10.0, 20.0, 4, 0.273, ex), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace basched::battery {
 namespace {
@@ -134,6 +136,53 @@ TEST(DischargeProfile, ConcatenatedRebasesOther) {
   ASSERT_EQ(c.size(), 2u);
   EXPECT_DOUBLE_EQ(c.intervals()[1].start, 2.0);
   EXPECT_DOUBLE_EQ(c.total_charge(), 25.0);
+}
+
+TEST(DischargeProfile, ConcatenatedPreservesLeadingRestOfOther) {
+  DischargeProfile a;
+  a.append(2.0, 10.0);
+  DischargeProfile b;  // begins with 3 minutes of rest (a gap before t = 3)
+  b.append_at(3.0, 1.0, 5.0);
+  const DischargeProfile c = a.concatenated(b);
+  ASSERT_EQ(c.size(), 2u);
+  // b's whole timeline is re-based onto a's end: the leading rest survives
+  // as the gap [2, 5).
+  EXPECT_DOUBLE_EQ(c.intervals()[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(c.end_time(), 6.0);
+  EXPECT_DOUBLE_EQ(c.current_at(3.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.current_at(5.5), 5.0);
+  EXPECT_DOUBLE_EQ(c.total_charge(), 25.0);
+}
+
+TEST(DischargeProfile, ConcatenatedWithEmptyOtherIsIdentity) {
+  DischargeProfile a;
+  a.append(2.0, 10.0);
+  const DischargeProfile c = a.concatenated(DischargeProfile{});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.end_time(), 2.0);
+}
+
+TEST(DischargeProfile, ShiftedAcceptsNegativeDtDownToZeroStart) {
+  DischargeProfile p;
+  p.append_at(3.0, 2.0, 10.0);
+  const DischargeProfile s = p.shifted(-3.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 2.0);
+}
+
+TEST(DischargeProfile, ShiftedRejectsDtPushingStartBelowZero) {
+  DischargeProfile p;
+  p.append_at(3.0, 2.0, 10.0);
+  p.append_at(6.0, 1.0, 5.0);
+  try {
+    (void)p.shifted(-3.5);
+    FAIL() << "shifted(-3.5) should have thrown";
+  } catch (const std::invalid_argument& e) {
+    // The error must name the real problem (dt vs. the first interval), not
+    // a generic overlap/start complaint from interval revalidation.
+    EXPECT_NE(std::string(e.what()).find("dt"), std::string::npos);
+  }
+  EXPECT_THROW((void)p.shifted(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
 }
 
 TEST(DischargeProfile, ConstantLoadHelper) {

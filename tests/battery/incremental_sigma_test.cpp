@@ -1,0 +1,186 @@
+#include "basched/battery/incremental_sigma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::battery {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+void expect_close(double expected, double actual) {
+  const double scale = std::max(1.0, std::abs(expected));
+  EXPECT_NEAR(actual, expected, kRelTol * scale);
+}
+
+/// Builds a random profile with explicit rest intervals and gaps; returns the
+/// profile and mirrors every append into `eval`.
+DischargeProfile random_profile(util::Rng& rng, IncrementalSigma& eval, int n) {
+  DischargeProfile p;
+  for (int k = 0; k < n; ++k) {
+    const double duration = rng.uniform(0.2, 8.0);
+    double current = 0.0;
+    if (rng.bernoulli(0.7)) current = rng.uniform(5.0, 600.0);  // else explicit rest
+    p.append(duration, current);
+    eval.append(duration, current);
+  }
+  return p;
+}
+
+TEST(IncrementalSigma, RvFactoryReturnsIncrementalForm) {
+  const RakhmatovVrudhulaModel m;
+  const auto eval = m.incremental_sigma();
+  ASSERT_NE(dynamic_cast<RvIncrementalSigma*>(eval.get()), nullptr);
+}
+
+TEST(IncrementalSigma, EmptyEvaluatorIsZeroEverywhere) {
+  const RakhmatovVrudhulaModel m;
+  const auto eval = m.incremental_sigma();
+  EXPECT_DOUBLE_EQ(eval->end_time(), 0.0);
+  EXPECT_DOUBLE_EQ(eval->sigma(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(eval->sigma(123.0), 0.0);
+}
+
+TEST(IncrementalSigma, MatchesFullRecomputationOnRandomProfiles) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const RakhmatovVrudhulaModel m(seed % 3 == 0 ? 0.1 : 0.273);
+    util::Rng rng(seed);
+    const auto eval = m.incremental_sigma();
+    const DischargeProfile p = random_profile(rng, *eval, 1 + static_cast<int>(seed % 30));
+
+    // Query at interval starts, mid-interval times (truncation at a partial
+    // elapsed), exact ends, and past the profile.
+    std::vector<double> times;
+    for (const auto& iv : p.intervals()) {
+      times.push_back(iv.start);
+      times.push_back(iv.start + 0.37 * iv.duration);
+      times.push_back(iv.end());
+    }
+    times.push_back(0.0);
+    times.push_back(p.end_time() + 15.0);
+    for (double t : times) expect_close(m.charge_lost(p, t), eval->sigma(t));
+  }
+}
+
+TEST(IncrementalSigma, SigmaWithTailMatchesExtendedProfile) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const RakhmatovVrudhulaModel m(0.2);
+    util::Rng rng(seed);
+    const auto eval = m.incremental_sigma();
+    const DischargeProfile prefix = random_profile(rng, *eval, 12);
+
+    const double rest = (seed % 2 == 0) ? rng.uniform(0.1, 10.0) : 0.0;
+    const double duration = rng.uniform(0.5, 6.0);
+    const double current = rng.uniform(50.0, 900.0);
+
+    DischargeProfile extended = prefix;
+    if (rest > 0.0) extended.append_rest(rest);
+    extended.append(duration, current);
+
+    const double start = prefix.end_time() + rest;
+    for (double frac : {0.0, 0.25, 0.6183, 1.0}) {
+      const double t = start + frac * duration;
+      expect_close(m.charge_lost(extended, t), eval->sigma_with_tail(rest, duration, current, t));
+    }
+    // t inside the rest gap before the tail interval begins.
+    if (rest > 0.0) {
+      const double t = prefix.end_time() + 0.5 * rest;
+      expect_close(m.charge_lost(extended, t), eval->sigma_with_tail(rest, duration, current, t));
+    }
+  }
+}
+
+TEST(IncrementalSigma, TailQueriesDoNotMutate) {
+  const RakhmatovVrudhulaModel m;
+  const auto eval = m.incremental_sigma();
+  eval->append(2.0, 100.0);
+  const double before = eval->sigma(2.0);
+  (void)eval->sigma_with_tail(1.0, 3.0, 50.0, 4.0);
+  (void)eval->sigma_with_tail(0.0, 1.0, 500.0, 3.0);
+  EXPECT_DOUBLE_EQ(eval->sigma(2.0), before);
+  EXPECT_DOUBLE_EQ(eval->end_time(), 2.0);
+}
+
+TEST(IncrementalSigma, AgreesAfterRestHeavyProfile) {
+  // Alternating heavy bursts and rests — the recovery-effect regime where the
+  // decayed partial sums carry most of the value.
+  const RakhmatovVrudhulaModel m(0.12);
+  const auto eval = m.incremental_sigma();
+  DischargeProfile p;
+  for (int k = 0; k < 10; ++k) {
+    p.append(1.5, 800.0);
+    eval->append(1.5, 800.0);
+    p.append_rest(4.0);
+    eval->append_rest(4.0);
+  }
+  for (double t : {1.0, 1.5, 3.0, 5.5, 27.2, 54.9, 55.0, 80.0})
+    expect_close(m.charge_lost(p, t), eval->sigma(t));
+}
+
+TEST(IncrementalSigma, ValidatesArguments) {
+  const RakhmatovVrudhulaModel m;
+  const auto eval = m.incremental_sigma();
+  EXPECT_THROW(eval->append(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(eval->append(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)eval->sigma(-1.0), std::invalid_argument);
+  eval->append(1.0, 10.0);
+  EXPECT_THROW((void)eval->sigma_with_tail(0.0, 1.0, 10.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)eval->sigma_with_tail(-1.0, 1.0, 10.0, 2.0), std::invalid_argument);
+}
+
+TEST(IncrementalSigma, GenericFallbackMatchesModel) {
+  const IdealModel ideal;
+  const auto eval = ideal.incremental_sigma();
+  ASSERT_NE(dynamic_cast<GenericIncrementalSigma*>(eval.get()), nullptr);
+  eval->append(2.0, 100.0);
+  eval->append_rest(1.0);
+  eval->append(1.0, 50.0);
+  DischargeProfile p;
+  p.append(2.0, 100.0);
+  p.append_rest(1.0);
+  p.append(1.0, 50.0);
+  for (double t : {0.5, 2.0, 2.5, 3.7, 4.0, 9.0})
+    EXPECT_DOUBLE_EQ(eval->sigma(t), ideal.charge_lost(p, t));
+  EXPECT_DOUBLE_EQ(eval->sigma_with_tail(1.0, 2.0, 30.0, 7.0),
+                   ideal.charge_lost(p, 4.0) + 30.0 * 2.0);
+}
+
+TEST(IncrementalSigma, OutlivesTheRvModel) {
+  std::unique_ptr<IncrementalSigma> eval;
+  double expected = 0.0;
+  {
+    const RakhmatovVrudhulaModel m(0.3);
+    eval = m.incremental_sigma();
+    eval->append(2.0, 100.0);
+    DischargeProfile p;
+    p.append(2.0, 100.0);
+    expected = m.charge_lost(p, 2.0);
+  }
+  expect_close(expected, eval->sigma(2.0));  // β/terms were copied out
+}
+
+TEST(IncrementalSigma, FullEvaluationProbeCountsOnlyChargeLost) {
+  const RakhmatovVrudhulaModel m;
+  EXPECT_EQ(m.full_evaluations(), 0u);
+  const auto eval = m.incremental_sigma();
+  eval->append(1.0, 100.0);
+  (void)eval->sigma(1.0);
+  (void)eval->sigma_with_tail(0.0, 1.0, 10.0, 1.5);
+  EXPECT_EQ(m.full_evaluations(), 0u);  // incremental queries never count
+  DischargeProfile p;
+  p.append(1.0, 100.0);
+  (void)m.charge_lost(p, 1.0);
+  (void)m.charge_lost_at_end(p);
+  EXPECT_EQ(m.full_evaluations(), 2u);
+}
+
+}  // namespace
+}  // namespace basched::battery

@@ -55,6 +55,19 @@ TEST(BatteryCost, ValidatesSchedule) {
                std::invalid_argument);
 }
 
+TEST(BatteryCost, IncrementalMatchesFullRecomputation) {
+  const auto g = chain();
+  for (double beta : {0.1, 0.273, 1.0}) {
+    const battery::RakhmatovVrudhulaModel m(beta);
+    const Schedule s{{0, 1}, {1, 0}};
+    const CostResult full = calculate_battery_cost_unchecked(g, s, m);
+    const CostResult inc = calculate_battery_cost_incremental(g, s, m);
+    EXPECT_NEAR(inc.sigma, full.sigma, 1e-12 * full.sigma);
+    EXPECT_DOUBLE_EQ(inc.duration, full.duration);
+    EXPECT_DOUBLE_EQ(inc.energy, full.energy);
+  }
+}
+
 TEST(BatteryCost, UncheckedMatchesChecked) {
   const auto g = chain();
   const battery::RakhmatovVrudhulaModel m(0.4);

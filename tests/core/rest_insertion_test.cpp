@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "basched/battery/lifetime.hpp"
@@ -121,6 +123,36 @@ TEST(RestInsertion, Validation) {
   EXPECT_THROW((void)insert_rest_for_survival(g, broken, 10.0, kModel, 100.0),
                std::invalid_argument);
   EXPECT_THROW((void)survives_without_rest(g, s, kModel, 0.0), std::invalid_argument);
+}
+
+TEST(RestInsertion, BisectionNeverReevaluatesTheFullProfile) {
+  // The evaluation-count probe: with the incremental evaluator, the whole
+  // greedy walk — including every bisection step — must answer its σ queries
+  // from the prefix cache, never by re-evaluating the full profile through
+  // RakhmatovVrudhulaModel::charge_lost.
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  const battery::RakhmatovVrudhulaModel model(0.15);
+  const double alpha = model.charge_lost_at_end(s.to_profile(g)) * 0.98;
+  const std::uint64_t before = model.full_evaluations();
+  const auto plan = insert_rest_for_survival(g, s, 1000.0, model, alpha);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(plan->total_rest(), 0.0);  // bisection actually ran
+  EXPECT_EQ(model.full_evaluations(), before);
+}
+
+TEST(RestInsertion, IncrementalPlanMatchesFullModelEvaluation) {
+  // The plan's peak σ, computed incrementally, must agree with a full Eq. 1
+  // evaluation of the realized profile at every task boundary.
+  const auto g = burst_chain();
+  const auto s = all_fast(g);
+  const double alpha = kModel.charge_lost_at_end(s.to_profile(g)) * 0.98;
+  const auto plan = insert_rest_for_survival(g, s, 1000.0, kModel, alpha);
+  ASSERT_TRUE(plan.has_value());
+  double peak = 0.0;
+  for (const auto& iv : plan->profile.intervals())
+    if (iv.current > 0.0) peak = std::max(peak, kModel.charge_lost(plan->profile, iv.end()));
+  EXPECT_NEAR(plan->peak_sigma, peak, 1e-9 * std::max(1.0, peak));
 }
 
 TEST(RestInsertion, G3WorksOnPaperGraph) {

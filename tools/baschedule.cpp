@@ -8,8 +8,14 @@
 ///                       [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]
 ///                       [--seed S] [--out FILE] [--csv FILE]
 ///   baschedule evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]
+///   baschedule sweep    --graph FILE --from A --to B [--steps N] [--beta B]
+///                       [--jobs N] [--out FILE]
+///   baschedule suite    [--seed S] [--per-family K] [--tightness T]
+///                       [--beta B] [--jobs N]
 ///   baschedule dot      --graph FILE
 ///
+/// `--jobs N` runs sweep/suite work items on N threads (default: hardware
+/// concurrency; `--jobs 1` is serial and byte-identical to any other N).
 /// Graphs use the text format of basched/graph/io.hpp; schedules the format
 /// of basched/core/schedule_io.hpp. `--out -` (default) writes to stdout.
 #include <cstdio>
@@ -18,6 +24,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "basched/analysis/executor.hpp"
+#include "basched/analysis/suite.hpp"
+#include "basched/analysis/sweeps.hpp"
 #include "basched/baselines/annealing.hpp"
 #include "basched/baselines/branch_and_bound.hpp"
 #include "basched/baselines/chowdhury.hpp"
@@ -159,6 +168,37 @@ int cmd_dot(const util::Args& args) {
   return 0;
 }
 
+analysis::Executor make_executor(const util::Args& args) {
+  const long long jobs = args.get_int("jobs", 0);
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 1 (or omitted for the default)");
+  return analysis::Executor(static_cast<unsigned>(jobs));
+}
+
+int cmd_sweep(const util::Args& args) {
+  const auto g = graph::parse(read_file(args.get_string("graph")));
+  const double from = args.get_double("from");
+  const double to = args.get_double("to");
+  const auto steps = static_cast<int>(args.get_int("steps", 16));
+  const double beta = args.get_double("beta", 0.273);
+  analysis::Executor executor = make_executor(args);
+  const auto points = analysis::deadline_sweep(g, from, to, steps, beta, executor);
+  write_output(args.get_string("out", "-"), analysis::deadline_sweep_csv(points));
+  return 0;
+}
+
+int cmd_suite(const util::Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto per_family = static_cast<int>(args.get_int("per-family", 3));
+  const double tightness = args.get_double("tightness", 0.6);
+  const double beta = args.get_double("beta", 0.273);
+  analysis::Executor executor = make_executor(args);
+  const auto instances = analysis::standard_suite(seed, per_family, tightness);
+  const auto summary = analysis::run_suite(instances, beta, executor);
+  std::fprintf(stderr, "%zu instances, %u jobs\n", instances.size(), executor.jobs());
+  write_output(args.get_string("out", "-"), analysis::format_suite(summary));
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: baschedule <command> [options]\n"
@@ -168,6 +208,10 @@ void usage() {
       "           [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]\n"
       "           [--out FILE] [--csv FILE]\n"
       "  evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]\n"
+      "  sweep    --graph FILE --from A --to B [--steps N] [--beta B]\n"
+      "           [--jobs N] [--out FILE]\n"
+      "  suite    [--seed S] [--per-family K] [--tightness T] [--beta B]\n"
+      "           [--jobs N] [--out FILE]\n"
       "  dot      --graph FILE [--out FILE]\n",
       stderr);
 }
@@ -184,6 +228,10 @@ int main(int argc, char** argv) {
       rc = cmd_schedule(args);
     } else if (args.command() == "evaluate") {
       rc = cmd_evaluate(args);
+    } else if (args.command() == "sweep") {
+      rc = cmd_sweep(args);
+    } else if (args.command() == "suite") {
+      rc = cmd_suite(args);
     } else if (args.command() == "dot") {
       rc = cmd_dot(args);
     } else {
