@@ -2,25 +2,14 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/list_scheduler.hpp"
-#include "basched/graph/topology.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 #include "basched/util/rng.hpp"
 
 namespace basched::baselines {
-
-namespace {
-
-double penalized_cost(const graph::TaskGraph& graph, const core::Schedule& sched,
-                      const battery::BatteryModel& model, double deadline, double penalty,
-                      core::CostResult& out) {
-  out = core::calculate_battery_cost_unchecked(graph, sched, model);
-  const double overrun = std::max(0.0, out.duration - deadline);
-  return out.sigma + penalty * overrun * (1.0 + graph.max_current_overall());
-}
-
-}  // namespace
 
 ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline,
                                   const battery::BatteryModel& model,
@@ -34,6 +23,10 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   const std::size_t n = graph.num_tasks();
   const std::size_t m = graph.num_design_points();
   const double tol = deadline * (1.0 + 1e-9);
+  const double overrun_weight = options.deadline_penalty * (1.0 + graph.max_current_overall());
+  const auto penalized = [&](double sigma, double duration) {
+    return sigma + overrun_weight * std::max(0.0, duration - deadline);
+  };
 
   // Start from a sensible feasible-ish point: fastest if the slowest
   // violates, otherwise slowest everywhere.
@@ -42,64 +35,98 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   current.assignment = core::uniform_assignment(graph, m - 1);
   if (current.duration(graph) > tol) current.assignment = core::uniform_assignment(graph, 0);
 
-  core::CostResult cr;
-  double cur_cost = penalized_cost(graph, current, model, deadline, options.deadline_penalty, cr);
+  // Candidates are priced by O(terms) peeks against the evaluator's prefix
+  // state; only *accepted* moves mutate `current` (in place) and re-price the
+  // changed suffix. No per-candidate Schedule copy, no DischargeProfile.
+  core::ScheduleEvaluator eval(graph, model);
+  core::CostResult cur = eval.full_eval(current);
+  double cur_cost = penalized(cur.sigma, cur.duration);
 
   ScheduleResult best;
-  auto consider_best = [&](const core::Schedule& s, const core::CostResult& c) {
+  auto consider_best = [&](const core::CostResult& c) {
     if (c.duration <= tol && (!best.feasible || c.sigma < best.sigma)) {
       best.feasible = true;
-      best.schedule = s;
+      best.schedule = current;
       best.sigma = c.sigma;
       best.duration = c.duration;
       best.energy = c.energy;
     }
   };
-  consider_best(current, cr);
+  consider_best(cur);
 
   double temp = options.initial_temp > 0.0 ? options.initial_temp : 0.1 * (cur_cost + 1.0);
 
-  // Position lookup for the adjacent-swap legality check.
+  // Position of each task in current.sequence, for pricing column bumps.
   std::vector<std::size_t> pos(n);
   for (std::size_t i = 0; i < n; ++i) pos[current.sequence[i]] = i;
 
-  for (int it = 0; it < options.iterations; ++it) {
-    core::Schedule proposal = current;
+  // Cooling sits in the loop header so that no-op proposals (boundary column
+  // bumps, dependency-violating swaps) still cool and count toward
+  // `iterations`: runtime is bounded and fixed-seed runs are comparable.
+  for (int it = 0; it < options.iterations; ++it, temp *= options.cooling) {
+    enum class Move { Bump, Swap } kind = Move::Bump;
+    std::size_t changed_pos = 0;
+    graph::TaskId bump_task = 0;
+    std::size_t bump_col = 0;
+    double prop_sigma = 0.0;
+    double prop_duration = 0.0;
     if (m >= 2 && rng.bernoulli(0.5)) {
       // Move (a): bump one task's column.
       const graph::TaskId v = rng.pick_index(n);
       const bool up = rng.bernoulli(0.5);
-      auto& col = proposal.assignment[v];
-      if (up && col + 1 < m)
-        ++col;
-      else if (!up && col > 0)
-        --col;
-      else
-        continue;  // no-op move
+      const std::size_t col = current.assignment[v];
+      if (up ? col + 1 >= m : col == 0) continue;  // no-op move
+      bump_task = v;
+      bump_col = up ? col + 1 : col - 1;
+      changed_pos = pos[v];
+      const auto& old_pt = graph.task(v).point(col);
+      const auto& new_pt = graph.task(v).point(bump_col);
+      prop_sigma = eval.peek_replace(changed_pos, new_pt.duration, new_pt.current);
+      prop_duration = cur.duration - old_pt.duration + new_pt.duration;
     } else if (n >= 2) {
       // Move (b): swap adjacent sequence entries if legal.
       const std::size_t i = rng.pick_index(n - 1);
-      const graph::TaskId a = proposal.sequence[i];
-      const graph::TaskId b = proposal.sequence[i + 1];
-      if (graph.has_edge(a, b)) continue;  // would violate the dependency
-      std::swap(proposal.sequence[i], proposal.sequence[i + 1]);
+      if (graph.has_edge(current.sequence[i], current.sequence[i + 1]))
+        continue;  // would violate the dependency
+      kind = Move::Swap;
+      changed_pos = i;
+      prop_sigma = eval.peek_swap_adjacent(i);
+      prop_duration = cur.duration;
     } else {
       continue;
     }
 
-    core::CostResult pr;
-    const double prop_cost =
-        penalized_cost(graph, proposal, model, deadline, options.deadline_penalty, pr);
+    const double prop_cost = penalized(prop_sigma, prop_duration);
     const double delta = prop_cost - cur_cost;
     if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-12))) {
-      current = std::move(proposal);
-      cur_cost = prop_cost;
-      consider_best(current, pr);
+      if (kind == Move::Bump) {
+        current.assignment[bump_task] = bump_col;
+      } else {
+        std::swap(current.sequence[changed_pos], current.sequence[changed_pos + 1]);
+        pos[current.sequence[changed_pos]] = changed_pos;
+        pos[current.sequence[changed_pos + 1]] = changed_pos + 1;
+      }
+      // The peek already priced the move; repricing the suffix refreshes the
+      // evaluator's prefix state and is the canonical accepted cost.
+      cur = eval.reprice_suffix(current, changed_pos);
+      cur_cost = penalized(cur.sigma, cur.duration);
+      consider_best(cur);
     }
-    temp *= options.cooling;
   }
 
-  if (!best.feasible) best.error = "annealing found no deadline-respecting schedule";
+  best.nodes_explored = static_cast<std::uint64_t>(options.iterations);
+  best.evaluations = eval.evaluations();
+  if (!best.feasible) {
+    best.error = "annealing found no deadline-respecting schedule";
+    return best;
+  }
+  // Report the returned schedule at reference precision: one full evaluation,
+  // outside the search loop.
+  const core::CostResult final_cost =
+      core::calculate_battery_cost_unchecked(graph, best.schedule, model);
+  best.sigma = final_cost.sigma;
+  best.duration = final_cost.duration;
+  best.energy = final_cost.energy;
   return best;
 }
 

@@ -6,7 +6,7 @@
 
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/iterative_scheduler.hpp"
-#include "basched/util/assert.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 
 namespace basched::baselines {
 
@@ -15,7 +15,6 @@ namespace {
 struct SearchState {
   const graph::TaskGraph& graph;
   double deadline;
-  const battery::BatteryModel& model;
   const BnbOptions& options;
   BnbStats stats;
 
@@ -25,9 +24,11 @@ struct SearchState {
   std::vector<std::size_t> indeg;    ///< remaining unscheduled predecessors
   std::vector<graph::TaskId> prefix_seq;
   core::Assignment assignment;
-  battery::DischargeProfile prefix_profile;
-  double prefix_duration = 0.0;
-  double prefix_energy = 0.0;
+  /// Incremental prefix state: cumulative time/charge and the decayed RV
+  /// partial sums live here, so extending a node is O(terms) and a complete
+  /// leaf is priced in O(terms) — not O(depth · terms) as the old
+  /// full-profile re-pricing cost.
+  core::ScheduleEvaluator evaluator;
   double remaining_min_duration = 0.0;
   double remaining_min_energy = 0.0;
 
@@ -38,7 +39,7 @@ struct SearchState {
 
   explicit SearchState(const graph::TaskGraph& g, double d, const battery::BatteryModel& m,
                        const BnbOptions& o)
-      : graph(g), deadline(d), model(m), options(o) {
+      : graph(g), deadline(d), options(o), evaluator(g, m) {
     const std::size_t n = g.num_tasks();
     min_duration.resize(n);
     min_energy.resize(n);
@@ -63,7 +64,7 @@ struct SearchState {
     }
     const std::size_t n = graph.num_tasks();
     if (prefix_seq.size() == n) {
-      const double sigma = model.charge_lost(prefix_profile, prefix_profile.end_time());
+      const double sigma = evaluator.prefix_sigma();  // O(terms): prefix state is warm
       if (sigma < best_sigma) {
         best_sigma = sigma;
         best = core::Schedule{prefix_seq, assignment};
@@ -73,11 +74,11 @@ struct SearchState {
     }
 
     // Bound checks for the *current* partial node.
-    if (prefix_duration + remaining_min_duration > deadline * (1.0 + 1e-12)) {
+    if (evaluator.prefix_duration() + remaining_min_duration > deadline * (1.0 + 1e-12)) {
       ++stats.pruned_deadline;
       return;
     }
-    if (prefix_energy + remaining_min_energy >= best_sigma) {
+    if (evaluator.prefix_energy() + remaining_min_energy >= best_sigma) {
       ++stats.pruned_sigma;
       return;
     }
@@ -94,16 +95,13 @@ struct SearchState {
 
       for (std::size_t j = 0; j < graph.num_design_points(); ++j) {
         const auto& pt = graph.task(v).point(j);
-        if (prefix_duration + pt.duration + remaining_min_duration > deadline * (1.0 + 1e-12))
+        if (evaluator.prefix_duration() + pt.duration + remaining_min_duration >
+            deadline * (1.0 + 1e-12))
           continue;  // this design-point alone breaks the deadline bound
         assignment[v] = j;
-        prefix_profile.append(pt.duration, pt.current);
-        prefix_duration += pt.duration;
-        prefix_energy += pt.energy();
+        evaluator.extend(v, j);
         dfs();
-        prefix_duration -= pt.duration;
-        prefix_energy -= pt.energy();
-        pop_last_interval();
+        evaluator.pop();
         if (aborted) break;
       }
 
@@ -118,13 +116,6 @@ struct SearchState {
 
  private:
   static constexpr std::size_t kScheduled = static_cast<std::size_t>(-1);
-
-  void pop_last_interval() {
-    // DischargeProfile has no pop; rebuild from intervals minus the last.
-    auto ivs = prefix_profile.intervals();
-    ivs.pop_back();
-    prefix_profile = battery::DischargeProfile(std::move(ivs));
-  }
 };
 
 }  // namespace
@@ -154,6 +145,8 @@ std::optional<ScheduleResult> schedule_branch_and_bound(const graph::TaskGraph& 
   if (state.aborted) return std::nullopt;
 
   ScheduleResult result;
+  result.nodes_explored = state.stats.nodes_visited;
+  result.evaluations = state.evaluator.evaluations();
   if (!state.found) {
     result.error = "deadline unmeetable: every completion exceeds it";
     return result;

@@ -3,31 +3,43 @@
 #include <stdexcept>
 
 #include "basched/core/battery_cost.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 
 namespace basched::baselines {
 
+RandomOrderSampler::RandomOrderSampler(const graph::TaskGraph& graph) : graph_(&graph) {
+  indeg_.reserve(graph.num_tasks());
+  ready_.reserve(graph.num_tasks());
+}
+
+void RandomOrderSampler::sample(util::Rng& rng, std::vector<graph::TaskId>& out) {
+  const std::size_t n = graph_->num_tasks();
+  indeg_.resize(n);
+  ready_.clear();
+  for (graph::TaskId v = 0; v < n; ++v) indeg_[v] = graph_->predecessors(v).size();
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (indeg_[v] == 0) ready_.push_back(v);
+
+  out.clear();
+  out.reserve(n);
+  while (!ready_.empty()) {
+    const std::size_t pick = rng.pick_index(ready_.size());
+    const graph::TaskId v = ready_[pick];
+    ready_[pick] = ready_.back();
+    ready_.pop_back();
+    out.push_back(v);
+    for (graph::TaskId w : graph_->successors(v))
+      if (--indeg_[w] == 0) ready_.push_back(w);
+  }
+  if (out.size() != n)
+    throw std::invalid_argument("RandomOrderSampler: graph contains a cycle");
+}
+
 std::vector<graph::TaskId> random_topological_order(const graph::TaskGraph& graph,
                                                     util::Rng& rng) {
-  const std::size_t n = graph.num_tasks();
-  std::vector<std::size_t> indeg(n);
-  for (graph::TaskId v = 0; v < n; ++v) indeg[v] = graph.predecessors(v).size();
-  std::vector<graph::TaskId> ready;
-  for (graph::TaskId v = 0; v < n; ++v)
-    if (indeg[v] == 0) ready.push_back(v);
-
+  RandomOrderSampler sampler(graph);
   std::vector<graph::TaskId> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const std::size_t pick = rng.pick_index(ready.size());
-    const graph::TaskId v = ready[pick];
-    ready[pick] = ready.back();
-    ready.pop_back();
-    order.push_back(v);
-    for (graph::TaskId w : graph.successors(v))
-      if (--indeg[w] == 0) ready.push_back(w);
-  }
-  if (order.size() != n)
-    throw std::invalid_argument("random_topological_order: graph contains a cycle");
+  sampler.sample(rng, order);
   return order;
 }
 
@@ -47,21 +59,34 @@ ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double dead
 
   ScheduleResult best;
   best.error = "no sampled schedule met the deadline";
+  // One Schedule, one order sampler, one evaluator — every buffer is reused
+  // across samples; the loop allocates only when a new best is copied out.
+  RandomOrderSampler sampler(graph);
+  core::ScheduleEvaluator eval(graph, model);
+  core::Schedule sched;
+  sched.assignment.resize(n);
   for (int s = 0; s < options.samples; ++s) {
-    core::Schedule sched;
-    sched.sequence = random_topological_order(graph, rng);
-    sched.assignment.resize(n);
+    sampler.sample(rng, sched.sequence);
     for (auto& col : sched.assignment) col = rng.pick_index(m);
     if (sched.duration(graph) > tol) continue;
-    const core::CostResult cost = core::calculate_battery_cost_unchecked(graph, sched, model);
+    const core::CostResult cost = eval.full_eval(sched);
     if (!best.feasible || cost.sigma < best.sigma) {
       best.feasible = true;
       best.error.clear();
-      best.schedule = std::move(sched);
+      best.schedule = sched;
       best.sigma = cost.sigma;
       best.duration = cost.duration;
       best.energy = cost.energy;
     }
+  }
+  best.nodes_explored = static_cast<std::uint64_t>(options.samples);
+  best.evaluations = eval.evaluations();
+  if (best.feasible) {
+    const core::CostResult cost =
+        core::calculate_battery_cost_unchecked(graph, best.schedule, model);
+    best.sigma = cost.sigma;
+    best.duration = cost.duration;
+    best.energy = cost.energy;
   }
   return best;
 }

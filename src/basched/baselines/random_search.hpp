@@ -28,8 +28,27 @@ struct RandomSearchOptions {
                                                     const battery::BatteryModel& model,
                                                     const RandomSearchOptions& options = {});
 
+/// Allocation-free repeated sampling of uniformly random topological orders
+/// (randomized Kahn): one sampler per sampling loop, scratch buffers reused
+/// across samples. The graph is held by reference and must outlive the
+/// sampler.
+class RandomOrderSampler {
+ public:
+  explicit RandomOrderSampler(const graph::TaskGraph& graph);
+
+  /// Fills `out` (resized to num_tasks) with a fresh random order. Throws
+  /// std::invalid_argument if the graph contains a cycle.
+  void sample(util::Rng& rng, std::vector<graph::TaskId>& out);
+
+ private:
+  const graph::TaskGraph* graph_;
+  std::vector<std::size_t> indeg_;
+  std::vector<graph::TaskId> ready_;
+};
+
 /// A uniformly randomized topological order (randomized Kahn), exposed for
-/// reuse in tests and other baselines.
+/// reuse in tests and other baselines. Convenience wrapper over
+/// RandomOrderSampler for one-shot use.
 [[nodiscard]] std::vector<graph::TaskId> random_topological_order(const graph::TaskGraph& graph,
                                                                   util::Rng& rng);
 

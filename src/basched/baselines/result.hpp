@@ -2,6 +2,7 @@
 /// \brief Common result type for all baseline schedulers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "basched/core/schedule.hpp"
@@ -15,6 +16,12 @@ struct ScheduleResult {
   double sigma = 0.0;     ///< battery cost σ at schedule end (mA·min)
   double duration = 0.0;  ///< makespan (minutes)
   double energy = 0.0;    ///< plain Σ I·D (mA·min)
+  /// Search effort, for pruning-efficacy and evals/sec reporting. Semantics
+  /// per baseline: B&B = tree nodes visited, exhaustive = enumeration steps,
+  /// annealing = proposed moves, random search = drawn samples.
+  std::uint64_t nodes_explored = 0;
+  /// Candidate schedules priced (delta or full) via the ScheduleEvaluator.
+  std::uint64_t evaluations = 0;
   std::string error;      ///< non-empty when !feasible
 };
 

@@ -6,11 +6,11 @@
 
 namespace basched::battery {
 
-double IdealModel::charge_lost(const DischargeProfile& profile, double t) const {
+double IdealModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("IdealModel::charge_lost: t must be finite and >= 0");
   double q = 0.0;
-  for (const auto& iv : profile.intervals()) {
+  for (const auto& iv : intervals) {
     if (iv.start >= t) break;
     q += iv.current * std::min(iv.duration, t - iv.start);
   }

@@ -16,7 +16,9 @@ class IdealModel final : public BatteryModel {
  public:
   [[nodiscard]] std::string name() const override { return "ideal"; }
 
-  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+  using BatteryModel::charge_lost;
+  [[nodiscard]] double charge_lost(std::span<const DischargeInterval> intervals,
+                                   double t) const override;
 };
 
 }  // namespace basched::battery

@@ -51,15 +51,9 @@ void RvIncrementalSigma::append(double duration, double current) {
     const double* prev_row =
         decay_.data() + ((intervals_.size() - 1) * static_cast<std::size_t>(terms_));
     // Advance the checkpoint from prev.start to start: decay the inherited
-    // sums and fold in prev's own (now fully elapsed) interval. All
-    // exponents are <= 0 because start >= prev.end() >= prev.start.
-    for (int m = 1; m <= terms_; ++m) {
-      const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
-      double a = prev_row[m - 1] * std::exp(-bm * (start - prev.start));
-      a += prev.current *
-           (std::exp(-bm * (start - prev.end())) - std::exp(-bm * (start - prev.start))) / bm;
-      row[m - 1] = a;
-    }
+    // sums and fold in prev's own (now fully elapsed) interval.
+    RakhmatovVrudhulaModel::advance_decay_row(beta_sq_, terms_, prev_row, prev.start, prev.end(),
+                                              prev.current, start, row);
   }
   intervals_.push_back(iv);
 }
@@ -71,12 +65,9 @@ double RvIncrementalSigma::end_time() const noexcept {
 double RvIncrementalSigma::sigma_from_checkpoint(std::size_t k, double t) const noexcept {
   const Interval& iv = intervals_[k];
   BASCHED_ASSERT(t >= iv.start - 1e-12);
-  double sigma = iv.delivered_before;
   const double* row = decay_.data() + (k * static_cast<std::size_t>(terms_));
-  for (int m = 1; m <= terms_; ++m) {
-    const double bm = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
-    sigma += 2.0 * row[m - 1] * std::exp(-bm * std::max(0.0, t - iv.start));
-  }
+  const double sigma = RakhmatovVrudhulaModel::decayed_prefix_sigma(
+      beta_sq_, terms_, row, iv.delivered_before, t - iv.start);
   return sigma + RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, iv.start, iv.duration,
                                                        iv.current, t);
 }

@@ -29,7 +29,8 @@ KibamModel::State KibamModel::step(State s, double i, double dt) const noexcept 
   return out;
 }
 
-KibamModel::State KibamModel::state_at(const DischargeProfile& profile, double t) const {
+KibamModel::State KibamModel::state_at(std::span<const DischargeInterval> intervals,
+                                       double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("KibamModel::state_at: t must be finite and >= 0");
   State s{c_ * alpha_, (1.0 - c_) * alpha_};
@@ -67,7 +68,7 @@ KibamModel::State KibamModel::state_at(const DischargeProfile& profile, double t
     now += dt;
   };
 
-  for (const auto& iv : profile.intervals()) {
+  for (const auto& iv : intervals) {
     if (now >= t) break;
     if (iv.start > now) advance(0.0, std::min(iv.start, t) - now);  // rest gap
     if (now >= t) break;
@@ -78,8 +79,8 @@ KibamModel::State KibamModel::state_at(const DischargeProfile& profile, double t
   return s;
 }
 
-double KibamModel::charge_lost(const DischargeProfile& profile, double t) const {
-  const State s = state_at(profile, t);
+double KibamModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {
+  const State s = state_at(intervals, t);
   const double h1 = s.y1 / c_;  // head of the available well; == alpha when full
   return alpha_ - h1;
 }

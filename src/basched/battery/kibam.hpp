@@ -43,7 +43,9 @@ class KibamModel final : public BatteryModel {
   /// exhausted mid-profile the simulation clamps y1 at 0 from the moment of
   /// death (σ stays >= α afterwards), which is sufficient for lifetime
   /// queries via the common interface.
-  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+  using BatteryModel::charge_lost;
+  [[nodiscard]] double charge_lost(std::span<const DischargeInterval> intervals,
+                                   double t) const override;
 
   /// Raw two-well state at time t.
   struct State {
@@ -53,7 +55,10 @@ class KibamModel final : public BatteryModel {
 
   /// Simulates the profile up to time t from a full battery and returns the
   /// well contents. y1 is clamped at 0 once exhausted.
-  [[nodiscard]] State state_at(const DischargeProfile& profile, double t) const;
+  [[nodiscard]] State state_at(const DischargeProfile& profile, double t) const {
+    return state_at(std::span<const DischargeInterval>(profile.intervals()), t);
+  }
+  [[nodiscard]] State state_at(std::span<const DischargeInterval> intervals, double t) const;
 
   [[nodiscard]] double c() const noexcept { return c_; }
   [[nodiscard]] double kprime() const noexcept { return kprime_; }

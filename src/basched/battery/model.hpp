@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "basched/battery/discharge_profile.hpp"
@@ -59,7 +60,20 @@ class BatteryModel {
 
   /// Apparent charge lost σ(T) in mA·min, for T >= 0. Intervals beyond T
   /// (or the parts of them past T) do not contribute.
-  [[nodiscard]] virtual double charge_lost(const DischargeProfile& profile, double t) const = 0;
+  ///
+  /// The span form is the primary entry point so that hot paths can price a
+  /// reused flat interval buffer without materializing a DischargeProfile
+  /// (see core/schedule_evaluator.hpp). The intervals must satisfy the
+  /// DischargeProfile invariants (sorted by start, non-overlapping,
+  /// duration > 0, current >= 0); callers either pass a validated profile's
+  /// intervals or a buffer they maintain under the same rules.
+  [[nodiscard]] virtual double charge_lost(std::span<const DischargeInterval> intervals,
+                                           double t) const = 0;
+
+  /// Convenience overload over a validated profile.
+  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const {
+    return charge_lost(std::span<const DischargeInterval>(profile.intervals()), t);
+  }
 
   /// Earliest time at which σ(t) >= alpha (battery death), or std::nullopt if
   /// the battery survives the entire profile. The default implementation

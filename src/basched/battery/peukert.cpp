@@ -13,11 +13,11 @@ PeukertModel::PeukertModel(double p, double i_ref) : p_(p), i_ref_(i_ref) {
     throw std::invalid_argument("PeukertModel: rated current must be finite and > 0");
 }
 
-double PeukertModel::charge_lost(const DischargeProfile& profile, double t) const {
+double PeukertModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("PeukertModel::charge_lost: t must be finite and >= 0");
   double q = 0.0;
-  for (const auto& iv : profile.intervals()) {
+  for (const auto& iv : intervals) {
     if (iv.start >= t) break;
     if (iv.current == 0.0) continue;
     const double elapsed = std::min(iv.duration, t - iv.start);

@@ -28,7 +28,9 @@ class PeukertModel final : public BatteryModel {
 
   [[nodiscard]] std::string name() const override { return "peukert"; }
 
-  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+  using BatteryModel::charge_lost;
+  [[nodiscard]] double charge_lost(std::span<const DischargeInterval> intervals,
+                                   double t) const override;
 
   [[nodiscard]] double exponent() const noexcept { return p_; }
   [[nodiscard]] double rated_current() const noexcept { return i_ref_; }

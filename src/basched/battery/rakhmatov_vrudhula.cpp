@@ -36,16 +36,44 @@ double RakhmatovVrudhulaModel::interval_term(double beta_sq, int terms, double s
   return current * (elapsed + 2.0 * series_sum(beta_sq, terms, t - start - elapsed, t - start));
 }
 
+void RakhmatovVrudhulaModel::advance_decay_row(double beta_sq, int terms, const double* prev_row,
+                                               double prev_start, double prev_end,
+                                               double prev_current, double new_start,
+                                               double* out_row) noexcept {
+  BASCHED_ASSERT(prev_start <= prev_end && prev_end <= new_start + 1e-12);
+  const bool back_to_back = new_start == prev_end;  // e^{-β²m²·0} == 1 exactly
+  for (int m = 1; m <= terms; ++m) {
+    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
+    const double decay_start = std::exp(-bm * (new_start - prev_start));
+    const double decay_end = back_to_back ? 1.0 : std::exp(-bm * (new_start - prev_end));
+    out_row[m - 1] =
+        prev_row[m - 1] * decay_start + prev_current * (decay_end - decay_start) / bm;
+  }
+}
+
+double RakhmatovVrudhulaModel::decayed_prefix_sigma(double beta_sq, int terms, const double* row,
+                                                    double delivered, double since) noexcept {
+  BASCHED_ASSERT(since >= -1e-12);
+  since = std::max(since, 0.0);
+  double sigma = delivered;
+  for (int m = 1; m <= terms; ++m) {
+    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
+    sigma += 2.0 * row[m - 1] * std::exp(-bm * since);
+  }
+  return sigma;
+}
+
 double RakhmatovVrudhulaModel::series(double a, double b) const noexcept {
   return series_sum(beta_sq_, terms_, a, b);
 }
 
-double RakhmatovVrudhulaModel::charge_lost(const DischargeProfile& profile, double t) const {
+double RakhmatovVrudhulaModel::charge_lost(std::span<const DischargeInterval> intervals,
+                                           double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("RakhmatovVrudhulaModel::charge_lost: t must be finite and >= 0");
   full_evaluations_.fetch_add(1, std::memory_order_relaxed);
   double sigma = 0.0;
-  for (const auto& iv : profile.intervals()) {
+  for (const auto& iv : intervals) {
     if (iv.start >= t) break;  // intervals are sorted; nothing after t contributes
     // delivered charge + 2 * unavailable-charge series, per Eq. 1. For an
     // interval still active at t, (t - start - elapsed) == 0 and the series'

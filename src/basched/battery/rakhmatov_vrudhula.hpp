@@ -41,7 +41,9 @@ class RakhmatovVrudhulaModel final : public BatteryModel {
   [[nodiscard]] std::string name() const override { return "rakhmatov-vrudhula"; }
 
   /// σ(T) as defined above. O(intervals · terms).
-  [[nodiscard]] double charge_lost(const DischargeProfile& profile, double t) const override;
+  using BatteryModel::charge_lost;
+  [[nodiscard]] double charge_lost(std::span<const DischargeInterval> intervals,
+                                   double t) const override;
 
   /// The unavailable-charge component only: σ(T) minus the charge delivered
   /// by time T. Non-negative; tends to 0 as T → ∞ after the last interval.
@@ -71,6 +73,23 @@ class RakhmatovVrudhulaModel final : public BatteryModel {
   /// δ = min(duration, t - start); 0 when t <= start or current == 0.
   [[nodiscard]] static double interval_term(double beta_sq, int terms, double start,
                                             double duration, double current, double t) noexcept;
+
+  /// Advances a per-term decayed partial-sum row — the A_m(k) prefix cache
+  /// shared by battery/incremental_sigma.hpp and core/schedule_evaluator.hpp
+  /// — from the checkpoint at `prev_start` to `new_start`, folding in the
+  /// now fully elapsed interval (prev_start .. prev_end, prev_current).
+  /// `out_row` may alias `prev_row`. All exponents are <= 0 for
+  /// new_start >= prev_end >= prev_start, keeping the recurrence stable.
+  static void advance_decay_row(double beta_sq, int terms, const double* prev_row,
+                                double prev_start, double prev_end, double prev_current,
+                                double new_start, double* out_row) noexcept;
+
+  /// σ contribution of all intervals summarized in `row`, queried `since`
+  /// minutes (clamped at 0) past the row's checkpoint:
+  /// delivered + Σ_m 2·row[m−1]·e^{-β²m²·since}, accumulated in series
+  /// order so both row consumers stay bit-identical.
+  [[nodiscard]] static double decayed_prefix_sigma(double beta_sq, int terms, const double* row,
+                                                   double delivered, double since) noexcept;
 
  private:
   /// Member shorthand for series_sum with this model's β²/terms.

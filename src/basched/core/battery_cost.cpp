@@ -1,7 +1,5 @@
 #include "basched/core/battery_cost.hpp"
 
-#include <memory>
-
 namespace basched::core {
 
 CostResult calculate_battery_cost_unchecked(const graph::TaskGraph& graph,
@@ -19,21 +17,6 @@ CostResult calculate_battery_cost(const graph::TaskGraph& graph, const Schedule&
                                   const battery::BatteryModel& model) {
   schedule.validate(graph);
   return calculate_battery_cost_unchecked(graph, schedule, model);
-}
-
-CostResult calculate_battery_cost_incremental(const graph::TaskGraph& graph,
-                                              const Schedule& schedule,
-                                              const battery::BatteryModel& model) {
-  const std::unique_ptr<battery::IncrementalSigma> eval = model.incremental_sigma();
-  CostResult r;
-  for (graph::TaskId v : schedule.sequence) {
-    const auto& pt = graph.task(v).point(schedule.assignment[v]);
-    eval->append(pt.duration, pt.current);
-    r.energy += pt.energy();
-  }
-  r.duration = eval->end_time();
-  r.sigma = eval->sigma(r.duration);
-  return r;
 }
 
 }  // namespace basched::core

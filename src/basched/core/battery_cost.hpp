@@ -29,15 +29,4 @@ struct CostResult {
                                                           const Schedule& schedule,
                                                           const battery::BatteryModel& model);
 
-/// Unchecked variant that walks the schedule through the model's incremental
-/// σ evaluator (battery/incremental_sigma.hpp) instead of materializing a
-/// DischargeProfile: each task appends one interval — O(terms) for the RV
-/// model — and σ is read once at the end. Semantically equal to
-/// `calculate_battery_cost_unchecked` (differences are FP summation-order
-/// noise, ~1e-12 relative); used by the window evaluator's per-window walk
-/// and other hot paths that can tolerate that noise.
-[[nodiscard]] CostResult calculate_battery_cost_incremental(const graph::TaskGraph& graph,
-                                                            const Schedule& schedule,
-                                                            const battery::BatteryModel& model);
-
 }  // namespace basched::core

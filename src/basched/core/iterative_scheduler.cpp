@@ -5,6 +5,7 @@
 
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/list_scheduler.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 #include "basched/util/assert.hpp"
 
 namespace basched::core {
@@ -18,6 +19,10 @@ IterativeResult schedule_battery_aware(const graph::TaskGraph& graph, double dea
 
   const GraphStats stats(graph);
   IterativeResult result;
+  // Per-candidate pricing inside the iteration loop goes through one reused
+  // evaluator (allocation-free, O(terms)/task for RV); only the final
+  // reported schedule is re-priced by the reference full evaluation.
+  ScheduleEvaluator evaluator(graph, model);
 
   std::vector<graph::TaskId> sequence = sequence_dec_energy(graph);
   double prev_iter_cost = std::numeric_limits<double>::infinity();
@@ -49,8 +54,7 @@ IterativeResult schedule_battery_aware(const graph::TaskGraph& graph, double dea
     if (options.resequence && rec.windows.feasible()) {
       const Assignment& s = rec.windows.best_window().assignment;
       rec.weighted_sequence = weighted_sequence(graph, s);
-      const CostResult wc =
-          calculate_battery_cost_unchecked(graph, Schedule{rec.weighted_sequence, s}, model);
+      const CostResult wc = evaluator.full_eval(rec.weighted_sequence, s);
       rec.weighted_sigma = wc.sigma;
       if (wc.sigma < min_b_cost) {
         min_b_cost = wc.sigma;

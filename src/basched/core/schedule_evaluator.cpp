@@ -1,0 +1,218 @@
+#include "basched/core/schedule_evaluator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basched/util/assert.hpp"
+
+namespace basched::core {
+
+namespace {
+
+using battery::RakhmatovVrudhulaModel;
+
+}  // namespace
+
+ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
+                                     const battery::BatteryModel& model)
+    : graph_(&graph),
+      model_(&model),
+      rv_(dynamic_cast<const RakhmatovVrudhulaModel*>(&model)) {
+  if (rv_ != nullptr) {
+    beta_sq_ = rv_->beta() * rv_->beta();
+    terms_ = rv_->terms();
+  }
+  const std::size_t n = graph.num_tasks();
+  intervals_.reserve(n);
+  cum_charge_.reserve(n + 1);
+  cum_charge_.push_back(0.0);
+  if (rv_ != nullptr) rows_.reserve(n * static_cast<std::size_t>(terms_));
+}
+
+void ScheduleEvaluator::reset() { truncate(0); }
+
+void ScheduleEvaluator::truncate(std::size_t k) {
+  BASCHED_ASSERT(k <= intervals_.size());
+  intervals_.resize(k);
+  cum_charge_.resize(k + 1);
+  if (rv_ != nullptr) rows_.resize(k * static_cast<std::size_t>(terms_));
+  sigma_cached_ = false;
+}
+
+void ScheduleEvaluator::extend(graph::TaskId task, std::size_t design_point) {
+  const auto& pt = graph_->task(task).point(design_point);
+  extend_interval(pt.duration, pt.current);
+}
+
+void ScheduleEvaluator::extend_interval(double duration, double current) {
+  BASCHED_ASSERT(duration > 0.0 && current >= 0.0);
+  const double start = prefix_duration();
+  const std::size_t k = intervals_.size();
+  if (rv_ != nullptr) {
+    // Advance the decayed partial sums from checkpoint t_{k-1} to t_k = start
+    // and fold in interval k-1, which is now fully elapsed (the shared A_m
+    // recurrence of incremental_sigma.hpp).
+    rows_.resize((k + 1) * static_cast<std::size_t>(terms_));
+    double* row = rows_.data() + k * static_cast<std::size_t>(terms_);
+    if (k == 0) {
+      for (int m = 1; m <= terms_; ++m) row[m - 1] = 0.0;
+    } else {
+      const battery::DischargeInterval& prev = intervals_[k - 1];
+      RakhmatovVrudhulaModel::advance_decay_row(beta_sq_, terms_, row - terms_, prev.start,
+                                                prev.end(), prev.current, start, row);
+    }
+  }
+  intervals_.push_back({start, duration, current});
+  cum_charge_.push_back(cum_charge_.back() + current * duration);
+  sigma_cached_ = false;
+}
+
+void ScheduleEvaluator::pop() {
+  if (intervals_.empty()) throw std::logic_error("ScheduleEvaluator::pop: empty prefix");
+  truncate(intervals_.size() - 1);
+}
+
+double ScheduleEvaluator::prefix_part(std::size_t k, double t) const noexcept {
+  BASCHED_ASSERT(rv_ != nullptr && k < intervals_.size());
+  BASCHED_ASSERT(t >= intervals_[k].start - 1e-12);
+  const double* row = rows_.data() + k * static_cast<std::size_t>(terms_);
+  return RakhmatovVrudhulaModel::decayed_prefix_sigma(beta_sq_, terms_, row, cum_charge_[k],
+                                                      t - intervals_[k].start);
+}
+
+double ScheduleEvaluator::sigma_end_uncached() const {
+  if (intervals_.empty()) return 0.0;
+  const battery::DischargeInterval& last = intervals_.back();
+  const double t = last.end();
+  if (rv_ != nullptr) {
+    return prefix_part(intervals_.size() - 1, t) +
+           RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, last.start, last.duration,
+                                                 last.current, t);
+  }
+  return model_->charge_lost(std::span<const battery::DischargeInterval>(intervals_), t);
+}
+
+double ScheduleEvaluator::sigma_end() {
+  if (!sigma_cached_) {
+    sigma_cache_ = sigma_end_uncached();
+    sigma_cached_ = true;
+  }
+  return sigma_cache_;
+}
+
+CostResult ScheduleEvaluator::current() {
+  ++evaluations_;
+  CostResult r;
+  r.sigma = sigma_end();
+  r.duration = prefix_duration();
+  r.energy = prefix_energy();
+  return r;
+}
+
+CostResult ScheduleEvaluator::full_eval(const Schedule& schedule) {
+  return full_eval(schedule.sequence, schedule.assignment);
+}
+
+CostResult ScheduleEvaluator::full_eval(std::span<const graph::TaskId> sequence,
+                                        std::span<const std::size_t> assignment) {
+  reset();
+  for (const graph::TaskId v : sequence) extend(v, assignment[v]);
+  return current();
+}
+
+CostResult ScheduleEvaluator::reprice_suffix(const Schedule& schedule,
+                                             std::size_t first_changed_pos) {
+  const std::size_t n = schedule.sequence.size();
+  if (first_changed_pos > depth() || first_changed_pos > n)
+    throw std::invalid_argument(
+        "ScheduleEvaluator::reprice_suffix: first_changed_pos beyond loaded prefix");
+#ifndef NDEBUG
+  // The contract is that the loaded prefix still matches the schedule; a
+  // violation silently re-prices the wrong profile, so verify it in Debug.
+  for (std::size_t i = 0; i < first_changed_pos; ++i) {
+    const graph::TaskId v = schedule.sequence[i];
+    const auto& pt = graph_->task(v).point(schedule.assignment[v]);
+    BASCHED_ASSERT(intervals_[i].duration == pt.duration && intervals_[i].current == pt.current);
+  }
+#endif
+  truncate(first_changed_pos);
+  for (std::size_t i = first_changed_pos; i < n; ++i)
+    extend(schedule.sequence[i], schedule.assignment[schedule.sequence[i]]);
+  return current();
+}
+
+double ScheduleEvaluator::peek_swap_adjacent(std::size_t pos) {
+  if (pos + 1 >= depth())
+    throw std::out_of_range("ScheduleEvaluator::peek_swap_adjacent: pos + 1 must be < depth()");
+  ++evaluations_;
+  const battery::DischargeInterval a = intervals_[pos];
+  const battery::DischargeInterval b = intervals_[pos + 1];
+  const double t_end = prefix_duration();  // unchanged by the swap
+  if (rv_ != nullptr) {
+    // σ(T) is a sum of independent per-interval terms, so only the two
+    // swapped intervals' terms change; everything before pos comes from the
+    // decayed prefix rows, everything after pos+1 is read off as
+    // σ − prefix − old terms.
+    const double pref = prefix_part(pos, t_end);
+    const double old_terms =
+        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start, a.duration, a.current,
+                                              t_end) +
+        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, b.start, b.duration, b.current,
+                                              t_end);
+    const double suffix = sigma_end() - pref - old_terms;
+    const double new_terms =
+        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start, b.duration, b.current,
+                                              t_end) +
+        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start + b.duration, a.duration,
+                                              a.current, t_end);
+    return pref + new_terms + suffix;
+  }
+  // Generic models: mutate the buffer in place, price, restore exactly.
+  intervals_[pos] = {a.start, b.duration, b.current};
+  intervals_[pos + 1] = {a.start + b.duration, a.duration, a.current};
+  const double sigma =
+      model_->charge_lost(std::span<const battery::DischargeInterval>(intervals_), t_end);
+  intervals_[pos] = a;
+  intervals_[pos + 1] = b;
+  return sigma;
+}
+
+double ScheduleEvaluator::peek_replace(std::size_t pos, double duration, double current) {
+  if (pos >= depth())
+    throw std::out_of_range("ScheduleEvaluator::peek_replace: pos must be < depth()");
+  if (!(duration > 0.0) || !std::isfinite(duration) || current < 0.0 || !std::isfinite(current))
+    throw std::invalid_argument("ScheduleEvaluator::peek_replace: malformed interval");
+  ++evaluations_;
+  const battery::DischargeInterval old = intervals_[pos];
+  const double t_end = prefix_duration();
+  const double t_new = t_end + (duration - old.duration);
+  if (rv_ != nullptr) {
+    // All intervals after pos shift rigidly with the end time, so their Eq. 1
+    // terms are numerically invariant: recover their sum at the *old* end
+    // time and reuse it at the new one. The prefix rows answer the j < pos
+    // part at any query time in O(terms).
+    const double pref_old = prefix_part(pos, t_end);
+    const double pref_new = prefix_part(pos, t_new);
+    const double own_old = RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, old.start,
+                                                                 old.duration, old.current, t_end);
+    const double own_new = RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, old.start,
+                                                                 duration, current, t_new);
+    const double suffix = sigma_end() - pref_old - own_old;
+    return pref_new + own_new + suffix;
+  }
+  // Generic models: apply the replacement (shifting suffix starts), price,
+  // restore the saved starts bit-exactly.
+  const std::size_t n = depth();
+  scratch_.resize(n - pos - 1);
+  for (std::size_t j = pos + 1; j < n; ++j) scratch_[j - pos - 1] = intervals_[j].start;
+  intervals_[pos].duration = duration;
+  intervals_[pos].current = current;
+  for (std::size_t j = pos + 1; j < n; ++j) intervals_[j].start = intervals_[j - 1].end();
+  const double sigma =
+      model_->charge_lost(std::span<const battery::DischargeInterval>(intervals_), t_new);
+  intervals_[pos] = old;
+  for (std::size_t j = pos + 1; j < n; ++j) intervals_[j].start = scratch_[j - pos - 1];
+  return sigma;
+}
+
+}  // namespace basched::core

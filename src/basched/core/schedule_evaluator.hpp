@@ -1,0 +1,166 @@
+/// \file schedule_evaluator.hpp
+/// \brief Delta-evaluation engine for schedule search: O(terms) candidate
+/// costs under the Rakhmatov–Vrudhula model, allocation-free for any model.
+///
+/// Every search baseline in this repo — annealing, random search, exhaustive
+/// enumeration, branch-and-bound — and the paper heuristic's own inner loops
+/// share one operation: "propose a schedule, price it under the battery
+/// model". Doing that the obvious way costs O(intervals · terms) per
+/// candidate plus a fresh `DischargeProfile` heap allocation. This evaluator
+/// amortizes the work across candidates:
+///
+///  * **Enumerative search** (`extend` / `pop`): the evaluator keeps a stack
+///    of per-position prefix state — cumulative time, cumulative delivered
+///    charge, and (for RV) the per-term decayed partial sums
+///    A_m(k) = Σ_{j<k} I_j·(e^{-β²m²(t_k−e_j)} − e^{-β²m²(t_k−t_j)})/(β²m²)
+///    at each interval's start. Extending by one task is O(terms); popping is
+///    O(1); σ of the current prefix is O(terms). A branch-and-bound node or a
+///    lexicographic-enumeration step therefore costs O(terms), not
+///    O(depth · terms).
+///
+///  * **Local-move search** (`peek_swap_adjacent` / `peek_replace`): because
+///    Eq. 1's σ(T) is a sum of independent per-interval terms, an adjacent
+///    swap (T unchanged) or a single design-point change (all later intervals
+///    and T shift rigidly, leaving their terms numerically invariant) can be
+///    priced in O(terms) from the prefix rows without touching the suffix.
+///    An annealer prices every candidate this way and only pays
+///    `reprice_suffix` (O(suffix · terms)) on *accepted* moves.
+///
+///  * **Any model** (`KibamModel`, `PeukertModel`, `IdealModel`, …): a flat,
+///    reused interval buffer is priced through the span-based
+///    `BatteryModel::charge_lost` — same semantics as the profile walk, zero
+///    allocations after warm-up (no O(terms) shortcut; the asymptotics match
+///    the full evaluation).
+///
+/// Agreement with `calculate_battery_cost_unchecked` is limited only by FP
+/// summation order: ~1e-14 relative, tested to 1e-12 over randomized move
+/// sequences (tests/core/schedule_evaluator_test.cpp). The RV fast path never
+/// calls `charge_lost`, so `RakhmatovVrudhulaModel::full_evaluations()` stays
+/// flat across a search — the probe tests rely on this.
+///
+/// Not thread-safe; use one evaluator per thread (they are cheap).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "basched/battery/discharge_profile.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/schedule.hpp"
+
+namespace basched::core {
+
+/// Reusable schedule-pricing engine (see file comment). The graph and model
+/// are held by reference and must outlive the evaluator.
+class ScheduleEvaluator {
+ public:
+  ScheduleEvaluator(const graph::TaskGraph& graph, const battery::BatteryModel& model);
+
+  // ---- Enumerative interface (prefix stack) -------------------------------
+
+  /// Clears the prefix to empty. Keeps buffer capacity.
+  void reset();
+
+  /// Appends `task` at design-point column `design_point` to the prefix.
+  /// O(terms) for RV, O(1) otherwise. Throws std::out_of_range on a bad
+  /// task/column.
+  void extend(graph::TaskId task, std::size_t design_point);
+
+  /// Removes the most recently extended task. O(1). Restores cumulative
+  /// time/charge bit-exactly (values are stored per position, not
+  /// re-derived). Throws std::logic_error on an empty prefix.
+  void pop();
+
+  /// Number of tasks currently in the prefix.
+  [[nodiscard]] std::size_t depth() const noexcept { return intervals_.size(); }
+
+  /// Makespan of the prefix (end time of its last interval).
+  [[nodiscard]] double prefix_duration() const noexcept {
+    return intervals_.empty() ? 0.0 : intervals_.back().end();
+  }
+
+  /// Σ I·D of the prefix (mA·min) — equals the delivered charge.
+  [[nodiscard]] double prefix_energy() const noexcept { return cum_charge_.back(); }
+
+  /// σ at the prefix's end time. O(terms) for RV. Counts one evaluation.
+  [[nodiscard]] double prefix_sigma() { return current().sigma; }
+
+  /// CostResult of the prefix priced as a complete schedule. Counts one
+  /// evaluation.
+  [[nodiscard]] CostResult current();
+
+  // ---- Whole-schedule interface -------------------------------------------
+
+  /// Loads `schedule` (replacing the prefix) and returns its cost. The
+  /// assignment is indexed by TaskId, as everywhere in basched. No
+  /// validation — hot-loop contract of calculate_battery_cost_unchecked.
+  CostResult full_eval(const Schedule& schedule);
+  CostResult full_eval(std::span<const graph::TaskId> sequence,
+                       std::span<const std::size_t> assignment);
+
+  /// Re-prices `schedule` assuming positions < `first_changed_pos` are
+  /// unchanged since the last load: truncates the prefix there and re-extends
+  /// only the suffix — O((n − first_changed_pos) · terms) for RV. This is the
+  /// commit path of a local-move search (the candidate was already priced by
+  /// a peek). Throws std::invalid_argument when first_changed_pos exceeds the
+  /// loaded depth or the schedule length.
+  CostResult reprice_suffix(const Schedule& schedule, std::size_t first_changed_pos);
+
+  // ---- O(terms) candidate peeks (require a loaded schedule) ---------------
+
+  /// σ at the end of the loaded schedule with intervals `pos` and `pos + 1`
+  /// swapped (the annealer's adjacent-swap move; the makespan is unchanged).
+  /// Does not mutate the evaluator. Throws std::out_of_range unless
+  /// pos + 1 < depth().
+  [[nodiscard]] double peek_swap_adjacent(std::size_t pos);
+
+  /// σ at the end of the loaded schedule with interval `pos` replaced by
+  /// (duration, current) — the annealer's design-point bump; the whole
+  /// suffix and the end time shift rigidly by the duration delta. Does not
+  /// mutate the evaluator. Throws std::out_of_range on a bad pos and
+  /// std::invalid_argument on a malformed interval.
+  [[nodiscard]] double peek_replace(std::size_t pos, double duration, double current);
+
+  /// Candidate schedules priced so far (peeks + full/prefix/reprice
+  /// evaluations). Baselines surface this as ScheduleResult::evaluations.
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+  /// True when the model has the O(terms) incremental fast path (RV);
+  /// false when candidates are priced by re-walking the interval buffer.
+  [[nodiscard]] bool has_fast_path() const noexcept { return rv_ != nullptr; }
+
+ private:
+  /// Appends one back-to-back interval and maintains the RV rows.
+  void extend_interval(double duration, double current);
+
+  /// Truncates the prefix to `k` tasks (k <= depth()).
+  void truncate(std::size_t k);
+
+  /// σ at time `t` contributed by intervals j < k, for t >= start of
+  /// interval k. RV fast path only. O(terms).
+  [[nodiscard]] double prefix_part(std::size_t k, double t) const noexcept;
+
+  /// σ at the prefix end (cached until the next mutation).
+  [[nodiscard]] double sigma_end();
+  [[nodiscard]] double sigma_end_uncached() const;
+
+  const graph::TaskGraph* graph_;
+  const battery::BatteryModel* model_;
+  const battery::RakhmatovVrudhulaModel* rv_;  ///< non-null => O(terms) fast path
+  double beta_sq_ = 0.0;
+  int terms_ = 0;
+
+  std::vector<battery::DischargeInterval> intervals_;  ///< flat reused buffer
+  std::vector<double> cum_charge_;  ///< cum_charge_[k] = Σ_{j<k} I_j·Δ_j; size depth+1
+  std::vector<double> rows_;        ///< RV: rows_[k·terms + (m−1)] = A_m(k)
+  std::vector<double> scratch_;     ///< saved suffix starts for generic peeks
+
+  bool sigma_cached_ = false;
+  double sigma_cache_ = 0.0;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace basched::core

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "basched/core/battery_cost.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 #include "basched/graph/topology.hpp"
 #include "basched/util/assert.hpp"
 
@@ -32,15 +32,16 @@ std::optional<WindowsOutcome> evaluate_windows(const graph::TaskGraph& graph,
   if (!options.sweep) start = 0;  // ablation: only the full window
 
   WindowsOutcome outcome;
+  // One evaluator for the whole sweep: the per-window walk is O(terms) per
+  // task for the RV model, with every interval buffer reused across windows
+  // (no DischargeProfile, no per-window Schedule copy).
+  ScheduleEvaluator evaluator(graph, model);
   const double tol = deadline * (1.0 + kDeadlineRelTol);
   for (std::size_t ws = start + 1; ws-- > 0;) {  // ws = start downto 0
     WindowResult wr;
     wr.window_start = ws;
     wr.assignment = choose_design_points(graph, sequence, ws, deadline, stats, options.chooser);
-    // Per-window walk through the incremental σ evaluator: O(terms) per task
-    // for the RV model, no DischargeProfile materialized.
-    const CostResult cost =
-        calculate_battery_cost_incremental(graph, Schedule{sequence, wr.assignment}, model);
+    const CostResult cost = evaluator.full_eval(sequence, wr.assignment);
     wr.sigma = cost.sigma;
     wr.duration = cost.duration;
     wr.feasible = cost.duration <= tol;

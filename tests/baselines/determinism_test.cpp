@@ -1,0 +1,167 @@
+/// Determinism and no-full-evaluation guarantees of the rewired baselines.
+///
+/// 1. Every stochastic baseline is bit-identical across runs for a fixed
+///    seed (the delta-evaluation rewire must not introduce run-to-run
+///    nondeterminism).
+/// 2. The `RakhmatovVrudhulaModel::full_evaluations()` probe shows that no
+///    search *loop* prices candidates with full-profile charge_lost sweeps
+///    anymore: the only full evaluations left are the single canonical
+///    re-pricings of the returned schedule, outside the loops.
+#include <gtest/gtest.h>
+
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/exhaustive.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph small_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::make_series_parallel(7, synth, rng);
+}
+
+double mid_deadline(const graph::TaskGraph& g) {
+  return g.column_time(0) +
+         0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+}
+
+void expect_identical(const ScheduleResult& a, const ScheduleResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_EQ(a.sigma, b.sigma);  // bit-identical, not just near
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(BaselineDeterminism, AnnealingBitIdenticalPerSeed) {
+  const auto g = small_graph(11);
+  const double d = mid_deadline(g);
+  AnnealingOptions opts;
+  opts.iterations = 3000;
+  opts.seed = 42;
+  expect_identical(schedule_annealing(g, d, kModel, opts),
+                   schedule_annealing(g, d, kModel, opts));
+}
+
+TEST(BaselineDeterminism, RandomSearchBitIdenticalPerSeed) {
+  const auto g = small_graph(12);
+  const double d = mid_deadline(g);
+  RandomSearchOptions opts;
+  opts.samples = 500;
+  opts.seed = 7;
+  expect_identical(schedule_random_search(g, d, kModel, opts),
+                   schedule_random_search(g, d, kModel, opts));
+}
+
+TEST(BaselineDeterminism, ExhaustiveAndBnbBitIdentical) {
+  const auto g = small_graph(13);
+  const double d = mid_deadline(g);
+  const auto e1 = schedule_exhaustive(g, d, kModel);
+  const auto e2 = schedule_exhaustive(g, d, kModel);
+  ASSERT_TRUE(e1.has_value() && e2.has_value());
+  expect_identical(*e1, *e2);
+  const auto b1 = schedule_branch_and_bound(g, d, kModel);
+  const auto b2 = schedule_branch_and_bound(g, d, kModel);
+  ASSERT_TRUE(b1.has_value() && b2.has_value());
+  expect_identical(*b1, *b2);
+}
+
+TEST(BaselineDeterminism, EffortCountersPopulated) {
+  const auto g = small_graph(14);
+  const double d = mid_deadline(g);
+  AnnealingOptions aopts;
+  aopts.iterations = 1000;
+  const auto sa = schedule_annealing(g, d, kModel, aopts);
+  EXPECT_EQ(sa.nodes_explored, 1000u);
+  EXPECT_GT(sa.evaluations, 0u);
+  const auto rnd = schedule_random_search(g, d, kModel, {.seed = 1, .samples = 200});
+  EXPECT_EQ(rnd.nodes_explored, 200u);
+  EXPECT_GT(rnd.evaluations, 0u);
+  EXPECT_LE(rnd.evaluations, 201u);  // <= samples (+1 would mean a stray count)
+  const auto opt = schedule_exhaustive(g, d, kModel);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_GT(opt->nodes_explored, 0u);
+  EXPECT_GT(opt->evaluations, 0u);
+  BnbStats stats;
+  const auto bnb = schedule_branch_and_bound(g, d, kModel, {}, &stats);
+  ASSERT_TRUE(bnb.has_value());
+  EXPECT_EQ(bnb->nodes_explored, stats.nodes_visited);
+}
+
+// ---- full_evaluations_ probe: search loops never price full profiles ------
+
+TEST(SearchLoopProbe, AnnealingRunsExactlyOneFullEvaluation) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = small_graph(21);
+  const double d = mid_deadline(g);
+  AnnealingOptions opts;
+  opts.iterations = 2000;
+  const std::uint64_t before = model.full_evaluations();
+  const auto r = schedule_annealing(g, d, model, opts);
+  ASSERT_TRUE(r.feasible);
+  // The single full evaluation is the canonical re-pricing of the returned
+  // schedule, outside the loop; 2000 candidate pricings never show up.
+  EXPECT_EQ(model.full_evaluations(), before + 1);
+}
+
+TEST(SearchLoopProbe, RandomSearchRunsExactlyOneFullEvaluation) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = small_graph(22);
+  const double d = mid_deadline(g);
+  const std::uint64_t before = model.full_evaluations();
+  const auto r = schedule_random_search(g, d, model, {.seed = 3, .samples = 500});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(model.full_evaluations(), before + 1);
+}
+
+TEST(SearchLoopProbe, ExhaustiveRunsExactlyOneFullEvaluation) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = small_graph(23);
+  const double d = mid_deadline(g);
+  const std::uint64_t before = model.full_evaluations();
+  const auto r = schedule_exhaustive(g, d, model);
+  ASSERT_TRUE(r.has_value() && r->feasible);
+  EXPECT_EQ(model.full_evaluations(), before + 1);
+}
+
+TEST(SearchLoopProbe, BnbUnseededRunsExactlyOneFullEvaluation) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = small_graph(24);
+  const double d = mid_deadline(g);
+  BnbOptions opts;
+  opts.seed_with_heuristic = false;
+  const std::uint64_t before = model.full_evaluations();
+  const auto r = schedule_branch_and_bound(g, d, model, opts);
+  ASSERT_TRUE(r.has_value() && r->feasible);
+  // O(terms) leaf pricing via the evaluator; the one full evaluation is the
+  // final canonical re-pricing of the optimum.
+  EXPECT_EQ(model.full_evaluations(), before + 1);
+}
+
+TEST(SearchLoopProbe, IterativeHeuristicRunsExactlyOneFullEvaluation) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = graph::make_g2();
+  const std::uint64_t before = model.full_evaluations();
+  const auto r = core::schedule_battery_aware(g, 75.0, model);
+  ASSERT_TRUE(r.feasible);
+  // Window sweeps and Eq. 4 re-sequencing all price through the evaluator;
+  // only the returned schedule's final report is a full evaluation.
+  EXPECT_EQ(model.full_evaluations(), before + 1);
+}
+
+}  // namespace
+}  // namespace basched::baselines

@@ -6,6 +6,7 @@
 
 #include "basched/battery/ideal.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/schedule_evaluator.hpp"
 
 namespace basched::core {
 namespace {
@@ -55,13 +56,14 @@ TEST(BatteryCost, ValidatesSchedule) {
                std::invalid_argument);
 }
 
-TEST(BatteryCost, IncrementalMatchesFullRecomputation) {
+TEST(BatteryCost, EvaluatorMatchesFullRecomputation) {
   const auto g = chain();
   for (double beta : {0.1, 0.273, 1.0}) {
     const battery::RakhmatovVrudhulaModel m(beta);
     const Schedule s{{0, 1}, {1, 0}};
     const CostResult full = calculate_battery_cost_unchecked(g, s, m);
-    const CostResult inc = calculate_battery_cost_incremental(g, s, m);
+    ScheduleEvaluator eval(g, m);
+    const CostResult inc = eval.full_eval(s);
     EXPECT_NEAR(inc.sigma, full.sigma, 1e-12 * full.sigma);
     EXPECT_DOUBLE_EQ(inc.duration, full.duration);
     EXPECT_DOUBLE_EQ(inc.energy, full.energy);

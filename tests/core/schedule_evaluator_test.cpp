@@ -1,0 +1,249 @@
+/// Randomized equivalence suite for core::ScheduleEvaluator: every pricing
+/// path (full_eval, extend/pop prefixes, peek_swap_adjacent, peek_replace,
+/// reprice_suffix) must agree with the from-scratch full evaluation
+/// (calculate_battery_cost_unchecked) to 1e-12 relative, on random DAGs and
+/// random move sequences, under all four battery models.
+#include "basched/core/schedule_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::core {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+double tol_for(double a, double b) { return kRelTol * std::max({1.0, std::abs(a), std::abs(b)}); }
+
+graph::TaskGraph random_graph(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  switch (seed % 4) {
+    case 0:
+      return graph::make_chain(n, synth, rng);
+    case 1:
+      return graph::make_independent(n, synth, rng);
+    case 2:
+      return graph::make_series_parallel(n, synth, rng);
+    default:
+      return graph::make_layered_random(3, (n + 2) / 3, 0.4, synth, rng);
+  }
+}
+
+Schedule random_schedule(const graph::TaskGraph& g, util::Rng& rng) {
+  Schedule s;
+  s.sequence = baselines::random_topological_order(g, rng);
+  s.assignment.resize(g.num_tasks());
+  for (auto& col : s.assignment) col = rng.pick_index(g.num_design_points());
+  return s;
+}
+
+/// The four models, freshly constructed per test (KiBaM capacity chosen so
+/// the well never empties on these small profiles).
+std::vector<std::unique_ptr<battery::BatteryModel>> all_models() {
+  std::vector<std::unique_ptr<battery::BatteryModel>> models;
+  models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.273));
+  models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.6, 5));
+  models.push_back(std::make_unique<battery::KibamModel>(0.5, 0.1, 5.0e6));
+  models.push_back(std::make_unique<battery::PeukertModel>(1.2, 500.0));
+  models.push_back(std::make_unique<battery::IdealModel>());
+  return models;
+}
+
+TEST(ScheduleEvaluator, FullEvalMatchesFullEvaluationAllModels) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = random_graph(seed, 6 + seed % 5);
+    util::Rng rng(seed * 7 + 1);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      for (int rep = 0; rep < 4; ++rep) {
+        const Schedule s = random_schedule(g, rng);
+        const CostResult fast = eval.full_eval(s);
+        const CostResult full = calculate_battery_cost_unchecked(g, s, *model);
+        EXPECT_NEAR(fast.sigma, full.sigma, tol_for(fast.sigma, full.sigma)) << model->name();
+        EXPECT_NEAR(fast.duration, full.duration, tol_for(fast.duration, full.duration));
+        EXPECT_NEAR(fast.energy, full.energy, tol_for(fast.energy, full.energy));
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, ExtendPopRandomWalkMatchesPrefixEvaluation) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 8);
+    util::Rng rng(seed * 13 + 5);
+    const Schedule s = random_schedule(g, rng);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      Schedule prefix;  // the first depth() entries of s
+      prefix.assignment = s.assignment;
+      // Random walk: extend with probability 0.6 (until full), else pop.
+      for (int step = 0; step < 60; ++step) {
+        const bool can_extend = prefix.sequence.size() < s.sequence.size();
+        const bool can_pop = !prefix.sequence.empty();
+        if ((rng.bernoulli(0.6) && can_extend) || !can_pop) {
+          const graph::TaskId v = s.sequence[prefix.sequence.size()];
+          prefix.sequence.push_back(v);
+          eval.extend(v, s.assignment[v]);
+        } else {
+          prefix.sequence.pop_back();
+          eval.pop();
+        }
+        ASSERT_EQ(eval.depth(), prefix.sequence.size());
+        if (prefix.sequence.empty()) {
+          EXPECT_EQ(eval.prefix_sigma(), 0.0);
+          continue;
+        }
+        const CostResult full = calculate_battery_cost_unchecked(g, prefix, *model);
+        const double sigma = eval.prefix_sigma();
+        EXPECT_NEAR(sigma, full.sigma, tol_for(sigma, full.sigma)) << model->name();
+        EXPECT_NEAR(eval.prefix_duration(), full.duration, 1e-12);
+        EXPECT_NEAR(eval.prefix_energy(), full.energy, tol_for(0.0, full.energy));
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, PeekSwapAdjacentMatchesFullEvaluation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = random_graph(seed, 9);
+    const std::size_t n = g.num_tasks();
+    if (n < 2) continue;
+    util::Rng rng(seed * 3 + 2);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      const Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      for (int rep = 0; rep < 10; ++rep) {
+        const std::size_t pos = rng.pick_index(n - 1);
+        // The peek prices the swapped *profile*; topological legality is the
+        // caller's concern, so no has_edge filter is needed here.
+        Schedule swapped = s;
+        std::swap(swapped.sequence[pos], swapped.sequence[pos + 1]);
+        const double peek = eval.peek_swap_adjacent(pos);
+        const CostResult full = calculate_battery_cost_unchecked(g, swapped, *model);
+        EXPECT_NEAR(peek, full.sigma, tol_for(peek, full.sigma))
+            << model->name() << " seed=" << seed << " pos=" << pos;
+      }
+      // Peeks must not have mutated the loaded schedule.
+      const CostResult base = calculate_battery_cost_unchecked(g, s, *model);
+      const double sigma = eval.prefix_sigma();
+      EXPECT_NEAR(sigma, base.sigma, tol_for(sigma, base.sigma));
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, PeekReplaceMatchesFullEvaluation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = random_graph(seed, 9);
+    const std::size_t n = g.num_tasks();
+    const std::size_t m = g.num_design_points();
+    util::Rng rng(seed * 11 + 4);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      const Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      for (int rep = 0; rep < 10; ++rep) {
+        const std::size_t pos = rng.pick_index(n);
+        const std::size_t col = rng.pick_index(m);
+        const graph::TaskId v = s.sequence[pos];
+        const auto& pt = g.task(v).point(col);
+        Schedule bumped = s;
+        bumped.assignment[v] = col;
+        const double peek = eval.peek_replace(pos, pt.duration, pt.current);
+        const CostResult full = calculate_battery_cost_unchecked(g, bumped, *model);
+        EXPECT_NEAR(peek, full.sigma, tol_for(peek, full.sigma))
+            << model->name() << " seed=" << seed << " pos=" << pos << " col=" << col;
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, RepriceSuffixOverRandomMoveSequences) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 10);
+    const std::size_t n = g.num_tasks();
+    const std::size_t m = g.num_design_points();
+    if (n < 2) continue;
+    util::Rng rng(seed * 17 + 3);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      for (int move = 0; move < 30; ++move) {
+        std::size_t changed;
+        if (rng.bernoulli(0.5)) {  // adjacent swap in the sequence
+          changed = rng.pick_index(n - 1);
+          std::swap(s.sequence[changed], s.sequence[changed + 1]);
+        } else {  // design-point bump at a position
+          changed = rng.pick_index(n);
+          s.assignment[s.sequence[changed]] = rng.pick_index(m);
+        }
+        const CostResult fast = eval.reprice_suffix(s, changed);
+        const CostResult full = calculate_battery_cost_unchecked(g, s, *model);
+        EXPECT_NEAR(fast.sigma, full.sigma, tol_for(fast.sigma, full.sigma))
+            << model->name() << " seed=" << seed << " move=" << move;
+        EXPECT_NEAR(fast.duration, full.duration, 1e-12 * std::max(1.0, full.duration));
+        EXPECT_NEAR(fast.energy, full.energy, tol_for(0.0, full.energy));
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, RvFastPathNeverRunsFullEvaluations) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(2, 10);
+  util::Rng rng(5);
+  ScheduleEvaluator eval(g, model);
+  ASSERT_TRUE(eval.has_fast_path());
+  const std::uint64_t before = model.full_evaluations();
+  Schedule s = random_schedule(g, rng);
+  (void)eval.full_eval(s);
+  (void)eval.peek_swap_adjacent(0);
+  (void)eval.peek_replace(1, 2.0, 400.0);
+  std::swap(s.sequence[3], s.sequence[4]);
+  (void)eval.reprice_suffix(s, 3);
+  eval.pop();
+  (void)eval.prefix_sigma();
+  EXPECT_EQ(model.full_evaluations(), before);
+  EXPECT_EQ(eval.evaluations(), 5u);  // full_eval + 2 peeks + reprice + prefix_sigma
+}
+
+TEST(ScheduleEvaluator, GenericModelsReportNoFastPath) {
+  const battery::IdealModel ideal;
+  const auto g = random_graph(1, 5);
+  ScheduleEvaluator eval(g, ideal);
+  EXPECT_FALSE(eval.has_fast_path());
+}
+
+TEST(ScheduleEvaluator, ErrorHandling) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(3, 5);
+  util::Rng rng(9);
+  ScheduleEvaluator eval(g, model);
+  EXPECT_THROW(eval.pop(), std::logic_error);
+  EXPECT_THROW((void)eval.peek_swap_adjacent(0), std::out_of_range);
+  EXPECT_THROW((void)eval.peek_replace(0, 1.0, 1.0), std::out_of_range);
+  const Schedule s = random_schedule(g, rng);
+  (void)eval.full_eval(s);
+  EXPECT_THROW((void)eval.peek_swap_adjacent(g.num_tasks() - 1), std::out_of_range);
+  EXPECT_THROW((void)eval.peek_replace(0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)eval.reprice_suffix(s, g.num_tasks() + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace basched::core
