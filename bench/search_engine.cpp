@@ -3,40 +3,59 @@
 /// (core::ScheduleEvaluator) against from-scratch full re-evaluation.
 ///
 /// Emits **BENCH_search.json** (schema documented in README.md §Performance)
-/// so the perf trajectory has committed data points and CI can gate on it.
+/// so the perf trajectory has committed data points and CI can gate on it
+/// (tools/bench_diff compares a fresh run against the committed snapshot).
 ///
-/// Three workloads per instance size n ∈ {20, 50, 100, 200}:
+/// Schedule workloads per instance size n ∈ {20, 50, 100, 200}:
 ///
 ///  * `anneal_candidate` — price a stream of annealing moves (adjacent swaps
 ///    and design-point bumps) against a fixed schedule. Full = copy the
 ///    schedule, mutate, rebuild the profile, run charge_lost (the pre-delta
 ///    annealer's per-candidate cost). Delta = O(terms) peeks.
 ///  * `anneal_mix` — same stream, but every 4th candidate is accepted and
-///    committed (delta pays reprice_suffix on accepts); the amortized cost of
-///    a real annealing run.
+///    committed (delta commits via the O(terms)-exp row rescale); the
+///    amortized cost of a real annealing run.
+///  * `commit_move` — a stream of *accepted* moves only. Full = the PR 3
+///    commit path (reprice_suffix: truncate + re-extend, O(suffix · terms)
+///    exps). Delta = commit_swap_adjacent / commit_replace (row rescale,
+///    O(terms) exps). Isolates the commit-cost cliff at high acceptance.
 ///  * `bnb_extend` — a random extend/pop walk pricing σ after every
 ///    extension. Full = charge_lost over the whole prefix profile,
 ///    O(depth · terms); delta = warm prefix rows, O(terms).
 ///
+/// Kernel micro-mode (model-independent, emitted once):
+///
+///  * `exp_batch` — exponentials per second over a 4096-argument buffer
+///    shaped like the series' exponents. Full = element-wise std::exp,
+///    delta = util::fastmath::batch_exp under the active kernel.
+///
 /// Every mode cross-checks delta vs full pricing on a sample of the stream
-/// and reports the max relative error (expect ~1e-14).
+/// and reports the max relative error (expect ~1e-15).
 ///
 /// Flags: --quick (shorter timing windows), --out <path> (default
-/// BENCH_search.json), --check (exit 1 unless the anneal_candidate speedup at
-/// n=100 is >= 5x — the CI gate).
+/// BENCH_search.json), --model rv|kibam|peukert|ideal (battery model for the
+/// schedule workloads; default rv), --check (exit 1 unless the
+/// anneal_candidate speedup at n=100 is >= 5x and pricing agrees — rv only;
+/// CI additionally diffs against the committed snapshot via
+/// tools/bench_diff).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "basched/baselines/random_search.hpp"
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/peukert.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/schedule_evaluator.hpp"
 #include "basched/graph/generators.hpp"
+#include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
 
 namespace {
@@ -45,8 +64,9 @@ using namespace basched;
 using Clock = std::chrono::steady_clock;
 
 struct Move {
-  bool swap = false;     ///< adjacent swap at pos vs design-point bump at pos
+  bool swap = false;      ///< adjacent swap at pos vs design-point bump at pos
   std::size_t pos = 0;
+  std::size_t col = 0;    ///< bump column (catalog), so commits are replayable
   double duration = 0.0;  ///< bump replacement interval
   double current = 0.0;
 };
@@ -101,7 +121,8 @@ std::vector<Move> make_moves(const graph::TaskGraph& g, const core::Schedule& s,
       mv.pos = rng.pick_index(n - 1);
     } else {
       mv.pos = rng.pick_index(n);
-      const auto& pt = g.task(s.sequence[mv.pos]).point(rng.pick_index(m));
+      mv.col = rng.pick_index(m);
+      const auto& pt = g.task(s.sequence[mv.pos]).point(mv.col);
       mv.duration = pt.duration;
       mv.current = pt.current;
     }
@@ -194,10 +215,91 @@ Result bench_anneal(const graph::TaskGraph& g, const battery::BatteryModel& mode
       (void)price_delta(eval, mv);
       if (i % 4 == 0 && mv.swap) {
         std::swap(delta_sched.sequence[mv.pos], delta_sched.sequence[mv.pos + 1]);
-        (void)eval.reprice_suffix(delta_sched, mv.pos);
+        (void)eval.commit_swap_adjacent(mv.pos);
       }
     });
   }
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
+/// A stream of 100 %-accepted moves: the isolated commit cost. Full = the
+/// PR 3 accept path (reprice_suffix re-extends the changed suffix,
+/// O(suffix · terms) exps); delta = the analytic row rescale
+/// (commit_swap_adjacent / commit_replace, O(terms) exps).
+Result bench_commit_move(const graph::TaskGraph& g, const battery::BatteryModel& model,
+                         std::uint64_t seed, double budget_s) {
+  util::Rng rng(seed);
+  const core::Schedule base = base_schedule(g, rng);
+  const std::vector<Move> moves = make_moves(g, base, rng, 512);
+
+  Result r;
+  r.n = g.num_tasks();
+  r.mode = "commit_move";
+  r.candidates = moves.size();
+
+  // Both variants replay the identical accepted trajectory. Bumps store the
+  // catalog *column*; the concrete (duration, current) pair depends on which
+  // task currently sits at the position (swaps move tasks around), so it is
+  // resolved against the live schedule at apply time — exactly what the
+  // annealer does.
+  auto apply = [&](core::Schedule& s, const Move& mv) {
+    if (mv.swap) {
+      std::swap(s.sequence[mv.pos], s.sequence[mv.pos + 1]);
+      return battery::DischargeInterval{};
+    }
+    const graph::TaskId v = s.sequence[mv.pos];
+    s.assignment[v] = mv.col;
+    const auto& pt = g.task(v).point(mv.col);
+    return battery::DischargeInterval{0.0, pt.duration, pt.current};
+  };
+
+  // Cross-check: commit σ vs reprice σ along one trajectory.
+  {
+    core::ScheduleEvaluator commit_eval(g, model);
+    core::ScheduleEvaluator reprice_eval(g, model);
+    core::Schedule s = base;
+    (void)commit_eval.full_eval(s);
+    (void)reprice_eval.full_eval(s);
+    for (std::size_t i = 0; i < std::min<std::size_t>(moves.size(), 64); ++i) {
+      const Move& mv = moves[i];
+      const auto iv = apply(s, mv);
+      const double committed =
+          (mv.swap ? commit_eval.commit_swap_adjacent(mv.pos)
+                   : commit_eval.commit_replace(mv.pos, iv.duration, iv.current))
+              .sigma;
+      const double repriced = reprice_eval.reprice_suffix(s, mv.pos).sigma;
+      const double rel = std::abs(committed - repriced) / std::max(1.0, std::abs(repriced));
+      r.max_rel_err = std::max(r.max_rel_err, rel);
+    }
+  }
+
+  core::ScheduleEvaluator reprice_eval(g, model);
+  core::Schedule reprice_sched = base;
+  r.full_evals_per_sec = throughput(moves.size(), budget_s, [&](std::size_t i) {
+    if (i == 0) {
+      reprice_sched = base;
+      (void)reprice_eval.full_eval(reprice_sched);
+    }
+    const Move& mv = moves[i];
+    (void)apply(reprice_sched, mv);
+    (void)reprice_eval.reprice_suffix(reprice_sched, mv.pos);
+  });
+
+  core::ScheduleEvaluator commit_eval(g, model);
+  core::Schedule commit_sched = base;
+  r.delta_evals_per_sec = throughput(moves.size(), budget_s, [&](std::size_t i) {
+    if (i == 0) {
+      commit_sched = base;
+      (void)commit_eval.full_eval(commit_sched);
+    }
+    const Move& mv = moves[i];
+    const auto iv = apply(commit_sched, mv);
+    if (mv.swap)
+      (void)commit_eval.commit_swap_adjacent(mv.pos);
+    else
+      (void)commit_eval.commit_replace(mv.pos, iv.duration, iv.current);
+  });
   r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
   return r;
 }
@@ -283,14 +385,65 @@ Result bench_bnb_extend(const graph::TaskGraph& g, const battery::BatteryModel& 
   return r;
 }
 
-void write_json(const std::string& path, const std::vector<Result>& results, bool quick) {
+/// Kernel micro-mode: exponentials/sec, element-wise std::exp vs
+/// fastmath::batch_exp, over arguments shaped like the series' exponents
+/// (90 % in the working band, a slice of deep/underflow tail).
+Result bench_exp_batch(double budget_s) {
+  constexpr std::size_t kBuf = 4096;
+  std::vector<double> args(kBuf);
+  std::vector<double> out(kBuf);
+  util::Rng rng(4096);
+  for (std::size_t i = 0; i < kBuf; ++i) {
+    const double u = rng.next_double();
+    args[i] = i % 16 == 15 ? -745.0 * u : -35.0 * u * u * u;
+  }
+
+  Result r;
+  r.n = kBuf;
+  r.mode = "exp_batch";
+  r.candidates = kBuf;
+
+  for (std::size_t i = 0; i < kBuf; ++i) {
+    double v = args[i];
+    util::fastmath::batch_exp(std::span<double>(&v, 1));
+    const double want = std::exp(args[i]);
+    const double rel = want == 0.0 ? std::abs(v) : std::abs(v - want) / want;
+    r.max_rel_err = std::max(r.max_rel_err, rel);
+  }
+
+  // Both sides copy the argument buffer, so the comparison isolates the
+  // exponential itself. Throughput counts per element.
+  const double scalar_passes = throughput(1, budget_s, [&](std::size_t) {
+    std::copy(args.begin(), args.end(), out.begin());
+    for (double& x : out) x = std::exp(x);
+  });
+  r.full_evals_per_sec = scalar_passes * static_cast<double>(kBuf);
+  const double batched_passes = throughput(1, budget_s, [&](std::size_t) {
+    std::copy(args.begin(), args.end(), out.begin());
+    util::fastmath::batch_exp(out);
+  });
+  r.delta_evals_per_sec = batched_passes * static_cast<double>(kBuf);
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
+std::unique_ptr<battery::BatteryModel> make_model(const std::string& name) {
+  if (name == "rv") return std::make_unique<battery::RakhmatovVrudhulaModel>(0.273);
+  if (name == "kibam") return std::make_unique<battery::KibamModel>(0.5, 0.05, 5.0e7);
+  if (name == "peukert") return std::make_unique<battery::PeukertModel>(1.2, 500.0);
+  if (name == "ideal") return std::make_unique<battery::IdealModel>();
+  return nullptr;
+}
+
+void write_json(const std::string& path, const std::string& model_name,
+                const std::vector<Result>& results, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "search_engine: cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"basched-bench-search-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"basched-bench-search-v2\",\n");
   std::fprintf(f, "  \"build\": \"%s\",\n",
 #ifdef NDEBUG
                "release"
@@ -299,7 +452,8 @@ void write_json(const std::string& path, const std::vector<Result>& results, boo
 #endif
   );
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"model\": \"rakhmatov-vrudhula\",\n");
+  std::fprintf(f, "  \"model\": \"%s\",\n", model_name.c_str());
+  std::fprintf(f, "  \"exp_kernel\": \"%s\",\n", util::fastmath::exp_kernel_name());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -321,6 +475,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool check = false;
   std::string out = "BENCH_search.json";
+  std::string model_name = "rv";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -328,40 +483,54 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_name = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: search_engine [--quick] [--check] [--out BENCH_search.json]\n");
+                   "usage: search_engine [--quick] [--check] [--model rv|kibam|peukert|ideal] "
+                   "[--out BENCH_search.json]\n");
       return 2;
     }
   }
 
-  const battery::RakhmatovVrudhulaModel model(0.273);
+  const std::unique_ptr<battery::BatteryModel> model = make_model(model_name);
+  if (model == nullptr) {
+    std::fprintf(stderr, "search_engine: unknown --model '%s' (rv|kibam|peukert|ideal)\n",
+                 model_name.c_str());
+    return 2;
+  }
   const double budget_s = quick ? 0.08 : 0.5;
 
   std::vector<Result> results;
+  results.push_back(bench_exp_batch(budget_s));
+  std::printf("exp_batch  %10.3g -> %10.3g exps/s (%4.1fx, kernel=%s)\n",
+              results.back().full_evals_per_sec, results.back().delta_evals_per_sec,
+              results.back().speedup, util::fastmath::exp_kernel_name());
+
   for (const std::size_t n : {std::size_t{20}, std::size_t{50}, std::size_t{100},
                               std::size_t{200}}) {
     util::Rng rng(1000 + n);
     graph::DesignPointSynthesis synth;
     synth.num_points = 4;
     const auto g = graph::make_series_parallel(n, synth, rng);
-    results.push_back(bench_anneal(g, model, 7 * n + 1, budget_s, /*with_commits=*/false));
-    results.push_back(bench_anneal(g, model, 7 * n + 2, budget_s, /*with_commits=*/true));
-    results.push_back(bench_bnb_extend(g, model, 7 * n + 3, budget_s));
+    results.push_back(bench_anneal(g, *model, 7 * n + 1, budget_s, /*with_commits=*/false));
+    results.push_back(bench_anneal(g, *model, 7 * n + 2, budget_s, /*with_commits=*/true));
+    results.push_back(bench_commit_move(g, *model, 7 * n + 4, budget_s));
+    results.push_back(bench_bnb_extend(g, *model, 7 * n + 3, budget_s));
     std::printf("n=%3zu  candidate %8.0f -> %9.0f evals/s (%5.1fx)   mix %5.1fx   "
-                "bnb_extend %5.1fx\n",
-                n, results[results.size() - 3].full_evals_per_sec,
-                results[results.size() - 3].delta_evals_per_sec,
-                results[results.size() - 3].speedup, results[results.size() - 2].speedup,
-                results[results.size() - 1].speedup);
+                "commit %5.1fx   bnb_extend %5.1fx\n",
+                n, results[results.size() - 4].full_evals_per_sec,
+                results[results.size() - 4].delta_evals_per_sec,
+                results[results.size() - 4].speedup, results[results.size() - 3].speedup,
+                results[results.size() - 2].speedup, results[results.size() - 1].speedup);
   }
 
-  write_json(out, results, quick);
+  write_json(out, model->name(), results, quick);
   std::printf("wrote %s\n", out.c_str());
 
   if (check) {
     for (const Result& r : results) {
-      if (r.n == 100 && r.mode == "anneal_candidate" && r.speedup < 5.0) {
+      if (model_name == "rv" && r.n == 100 && r.mode == "anneal_candidate" && r.speedup < 5.0) {
         std::fprintf(stderr,
                      "FAIL: anneal_candidate speedup at n=100 is %.2fx (< 5x gate)\n", r.speedup);
         return 1;

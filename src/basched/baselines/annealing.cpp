@@ -36,8 +36,10 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   if (current.duration(graph) > tol) current.assignment = core::uniform_assignment(graph, 0);
 
   // Candidates are priced by O(terms) peeks against the evaluator's prefix
-  // state; only *accepted* moves mutate `current` (in place) and re-price the
-  // changed suffix. No per-candidate Schedule copy, no DischargeProfile.
+  // state; only *accepted* moves mutate `current` (in place) and commit the
+  // move, which rescales the evaluator's suffix rows with O(terms) exps
+  // instead of re-extending them. No per-candidate Schedule copy, no
+  // DischargeProfile.
   core::ScheduleEvaluator eval(graph, model);
   core::CostResult cur = eval.full_eval(current);
   double cur_cost = penalized(cur.sigma, cur.duration);
@@ -99,16 +101,19 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
     const double prop_cost = penalized(prop_sigma, prop_duration);
     const double delta = prop_cost - cur_cost;
     if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-12))) {
+      // Commit the accepted move: the evaluator rescales its suffix rows
+      // analytically — O(suffix · terms) mult/adds, O(terms) exps (zero on a
+      // warm duration cache) — instead of re-extending the suffix.
       if (kind == Move::Bump) {
         current.assignment[bump_task] = bump_col;
+        const auto& new_pt = graph.task(bump_task).point(bump_col);
+        cur = eval.commit_replace(changed_pos, new_pt.duration, new_pt.current);
       } else {
         std::swap(current.sequence[changed_pos], current.sequence[changed_pos + 1]);
         pos[current.sequence[changed_pos]] = changed_pos;
         pos[current.sequence[changed_pos + 1]] = changed_pos + 1;
+        cur = eval.commit_swap_adjacent(changed_pos);
       }
-      // The peek already priced the move; repricing the suffix refreshes the
-      // evaluator's prefix state and is the canonical accepted cost.
-      cur = eval.reprice_suffix(current, changed_pos);
       cur_cost = penalized(cur.sigma, cur.duration);
       consider_best(cur);
     }

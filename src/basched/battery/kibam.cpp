@@ -29,60 +29,64 @@ KibamModel::State KibamModel::step(State s, double i, double dt) const noexcept 
   return out;
 }
 
+KibamModel::State KibamModel::advance(State s, bool& dead, double current,
+                                      double duration) const noexcept {
+  if (duration <= 0.0) return s;
+  if (dead) {
+    // After death we freeze y1 at 0; bound charge equalizes toward y1 only
+    // conceptually — for σ purposes the battery stays dead.
+    return s;
+  }
+  // Detect y1 hitting zero inside the step: y1 is monotone within a
+  // constant-current step whenever current > 0 exceeds the recharge flow, so
+  // a simple bisection on the step suffices.
+  const State next = step(s, current, duration);
+  if (next.y1 < 0.0) {
+    double lo = 0.0, hi = duration;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (step(s, current, mid).y1 < 0.0)
+        hi = mid;
+      else
+        lo = mid;
+    }
+    s = step(s, current, lo);
+    s.y1 = 0.0;
+    dead = true;
+    return s;
+  }
+  return next;
+}
+
 KibamModel::State KibamModel::state_at(std::span<const DischargeInterval> intervals,
                                        double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("KibamModel::state_at: t must be finite and >= 0");
-  State s{c_ * alpha_, (1.0 - c_) * alpha_};
+  State s = full_state();
   double now = 0.0;
   bool dead = false;
 
-  auto advance = [&](double i, double dt) {
+  auto advance_by = [&](double i, double dt) {
     if (dt <= 0.0) return;
-    if (dead) {
-      // After death we freeze y1 at 0; bound charge equalizes toward y1 only
-      // conceptually — for σ purposes the battery stays dead.
-      now += dt;
-      return;
-    }
-    // Detect y1 hitting zero inside the step: y1 is monotone within a
-    // constant-current step whenever i > 0 exceeds the recharge flow, so a
-    // simple bisection on the step suffices.
-    State next = step(s, i, dt);
-    if (next.y1 < 0.0) {
-      double lo = 0.0, hi = dt;
-      for (int iter = 0; iter < 60; ++iter) {
-        const double mid = 0.5 * (lo + hi);
-        if (step(s, i, mid).y1 < 0.0)
-          hi = mid;
-        else
-          lo = mid;
-      }
-      s = step(s, i, lo);
-      s.y1 = 0.0;
-      dead = true;
-      now += dt;
-      return;
-    }
-    s = next;
+    s = advance(s, dead, i, dt);
     now += dt;
   };
 
   for (const auto& iv : intervals) {
     if (now >= t) break;
-    if (iv.start > now) advance(0.0, std::min(iv.start, t) - now);  // rest gap
+    if (iv.start > now) advance_by(0.0, std::min(iv.start, t) - now);  // rest gap
     if (now >= t) break;
     const double run = std::min(iv.end(), t) - now;
-    advance(iv.current, run);
+    advance_by(iv.current, run);
   }
-  if (now < t) advance(0.0, t - now);  // trailing rest
+  if (now < t) advance_by(0.0, t - now);  // trailing rest
   return s;
 }
 
 double KibamModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {
-  const State s = state_at(intervals, t);
-  const double h1 = s.y1 / c_;  // head of the available well; == alpha when full
-  return alpha_ - h1;
+  // sigma_of: alpha minus the available well's head h1 = y1/c (== alpha when
+  // full), the same formula incremental consumers apply to checkpoint states.
+  return sigma_of(state_at(intervals, t));
 }
 
 }  // namespace basched::battery

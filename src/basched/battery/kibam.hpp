@@ -60,6 +60,21 @@ class KibamModel final : public BatteryModel {
   }
   [[nodiscard]] State state_at(std::span<const DischargeInterval> intervals, double t) const;
 
+  /// Advances the two-well state across `duration` minutes at constant
+  /// `current`, applying the death clamp (y1 pinned at 0 once exhausted;
+  /// `dead` is sticky and skips further drain). Exactly the per-interval
+  /// step of `state_at`, exposed so prefix caches — core::ScheduleEvaluator's
+  /// per-position checkpoint stack — can extend and re-price schedules in
+  /// O(1) per interval instead of re-simulating from t = 0.
+  [[nodiscard]] State advance(State s, bool& dead, double current, double duration) const noexcept;
+
+  /// Fully charged state: y1 = c·α, y2 = (1−c)·α.
+  [[nodiscard]] State full_state() const noexcept { return {c_ * alpha_, (1.0 - c_) * alpha_}; }
+
+  /// σ corresponding to a well state under the file-comment semantics:
+  /// α − h1 = α − y1/c.
+  [[nodiscard]] double sigma_of(State s) const noexcept { return alpha_ - s.y1 / c_; }
+
   [[nodiscard]] double c() const noexcept { return c_; }
   [[nodiscard]] double kprime() const noexcept { return kprime_; }
   [[nodiscard]] double capacity() const noexcept { return alpha_; }

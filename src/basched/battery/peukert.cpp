@@ -13,6 +13,10 @@ PeukertModel::PeukertModel(double p, double i_ref) : p_(p), i_ref_(i_ref) {
     throw std::invalid_argument("PeukertModel: rated current must be finite and > 0");
 }
 
+double PeukertModel::apparent_rate(double current) const noexcept {
+  return current == 0.0 ? 0.0 : i_ref_ * std::pow(current / i_ref_, p_);
+}
+
 double PeukertModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {
   if (t < 0.0 || !std::isfinite(t))
     throw std::invalid_argument("PeukertModel::charge_lost: t must be finite and >= 0");
@@ -21,7 +25,7 @@ double PeukertModel::charge_lost(std::span<const DischargeInterval> intervals, d
     if (iv.start >= t) break;
     if (iv.current == 0.0) continue;
     const double elapsed = std::min(iv.duration, t - iv.start);
-    q += i_ref_ * std::pow(iv.current / i_ref_, p_) * elapsed;
+    q += apparent_rate(iv.current) * elapsed;
   }
   return q;
 }

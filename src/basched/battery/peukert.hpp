@@ -35,6 +35,12 @@ class PeukertModel final : public BatteryModel {
   [[nodiscard]] double exponent() const noexcept { return p_; }
   [[nodiscard]] double rated_current() const noexcept { return i_ref_; }
 
+  /// Apparent charge-consumption rate at constant `current`:
+  /// I_ref·(I/I_ref)^p, 0 at rest. The per-interval kernel of `charge_lost`,
+  /// exposed so prefix-sum evaluators (core::ScheduleEvaluator) share one
+  /// formula with the full sweep.
+  [[nodiscard]] double apparent_rate(double current) const noexcept;
+
  private:
   double p_;
   double i_ref_;

@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "basched/util/assert.hpp"
+#include "basched/util/fastmath.hpp"
 
 namespace basched::battery {
+
+namespace {
+
+/// Stack-chunk width for batching the m = 1..M exponentials through
+/// util::fastmath::batch_exp without heap allocation (the statics are
+/// noexcept). M is 10 in the paper, so one chunk covers every real config;
+/// larger term counts just take more chunks, same bits.
+constexpr int kChunk = 32;
+
+}  // namespace
 
 RakhmatovVrudhulaModel::RakhmatovVrudhulaModel(double beta, int terms)
     : beta_(beta), beta_sq_(beta * beta), terms_(terms) {
@@ -20,10 +32,24 @@ double RakhmatovVrudhulaModel::series_sum(double beta_sq, int terms, double a,
   BASCHED_ASSERT(a >= -1e-12 && b >= a - 1e-12);
   a = std::max(a, 0.0);
   b = std::max(b, a);
+  double ea[kChunk];
+  double eb[kChunk];
   double sum = 0.0;
-  for (int m = 1; m <= terms; ++m) {
-    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
-    sum += (std::exp(-bm * a) - std::exp(-bm * b)) / bm;
+  for (int base = 0; base < terms; base += kChunk) {
+    const int cnt = std::min(kChunk, terms - base);
+    for (int i = 0; i < cnt; ++i) {
+      const double m = static_cast<double>(base + i + 1);
+      const double bm = beta_sq * m * m;
+      ea[i] = -bm * a;
+      eb[i] = -bm * b;
+    }
+    util::fastmath::batch_exp(std::span<double>(ea, static_cast<std::size_t>(cnt)));
+    util::fastmath::batch_exp(std::span<double>(eb, static_cast<std::size_t>(cnt)));
+    for (int i = 0; i < cnt; ++i) {
+      const double m = static_cast<double>(base + i + 1);
+      const double bm = beta_sq * m * m;
+      sum += (ea[i] - eb[i]) / bm;
+    }
   }
   return sum;
 }
@@ -42,12 +68,25 @@ void RakhmatovVrudhulaModel::advance_decay_row(double beta_sq, int terms, const 
                                                double* out_row) noexcept {
   BASCHED_ASSERT(prev_start <= prev_end && prev_end <= new_start + 1e-12);
   const bool back_to_back = new_start == prev_end;  // e^{-β²m²·0} == 1 exactly
-  for (int m = 1; m <= terms; ++m) {
-    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
-    const double decay_start = std::exp(-bm * (new_start - prev_start));
-    const double decay_end = back_to_back ? 1.0 : std::exp(-bm * (new_start - prev_end));
-    out_row[m - 1] =
-        prev_row[m - 1] * decay_start + prev_current * (decay_end - decay_start) / bm;
+  double es[kChunk];
+  double ee[kChunk];
+  for (int base = 0; base < terms; base += kChunk) {
+    const int cnt = std::min(kChunk, terms - base);
+    for (int i = 0; i < cnt; ++i) {
+      const double m = static_cast<double>(base + i + 1);
+      const double bm = beta_sq * m * m;
+      es[i] = -bm * (new_start - prev_start);
+      if (!back_to_back) ee[i] = -bm * (new_start - prev_end);
+    }
+    util::fastmath::batch_exp(std::span<double>(es, static_cast<std::size_t>(cnt)));
+    if (!back_to_back)
+      util::fastmath::batch_exp(std::span<double>(ee, static_cast<std::size_t>(cnt)));
+    for (int i = 0; i < cnt; ++i) {
+      const double m = static_cast<double>(base + i + 1);
+      const double bm = beta_sq * m * m;
+      const double decay_end = back_to_back ? 1.0 : ee[i];
+      out_row[base + i] = prev_row[base + i] * es[i] + prev_current * (decay_end - es[i]) / bm;
+    }
   }
 }
 
@@ -55,11 +94,26 @@ double RakhmatovVrudhulaModel::decayed_prefix_sigma(double beta_sq, int terms, c
                                                     double delivered, double since) noexcept {
   BASCHED_ASSERT(since >= -1e-12);
   since = std::max(since, 0.0);
+  double ed[kChunk];
   double sigma = delivered;
-  for (int m = 1; m <= terms; ++m) {
-    const double bm = beta_sq * static_cast<double>(m) * static_cast<double>(m);
-    sigma += 2.0 * row[m - 1] * std::exp(-bm * since);
+  for (int base = 0; base < terms; base += kChunk) {
+    const int cnt = std::min(kChunk, terms - base);
+    for (int i = 0; i < cnt; ++i) {
+      const double m = static_cast<double>(base + i + 1);
+      const double bm = beta_sq * m * m;
+      ed[i] = -bm * since;
+    }
+    util::fastmath::batch_exp(std::span<double>(ed, static_cast<std::size_t>(cnt)));
+    for (int i = 0; i < cnt; ++i) sigma += 2.0 * row[base + i] * ed[i];
   }
+  return sigma;
+}
+
+double RakhmatovVrudhulaModel::decayed_prefix_sigma_row(int terms, const double* row,
+                                                        double delivered,
+                                                        const double* decay) noexcept {
+  double sigma = delivered;
+  for (int i = 0; i < terms; ++i) sigma += 2.0 * row[i] * decay[i];
   return sigma;
 }
 

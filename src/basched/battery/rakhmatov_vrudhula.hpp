@@ -91,6 +91,13 @@ class RakhmatovVrudhulaModel final : public BatteryModel {
   [[nodiscard]] static double decayed_prefix_sigma(double beta_sq, int terms, const double* row,
                                                    double delivered, double since) noexcept;
 
+  /// Same accumulation with the e^{-β²m²·since} factors already computed
+  /// into `decay` — e.g. a util::fastmath::DecayRowCache row keyed on
+  /// `since`, which lets σ-at-end queries run with zero exp evaluations.
+  [[nodiscard]] static double decayed_prefix_sigma_row(int terms, const double* row,
+                                                       double delivered,
+                                                       const double* decay) noexcept;
+
  private:
   /// Member shorthand for series_sum with this model's β²/terms.
   [[nodiscard]] double series(double a, double b) const noexcept;

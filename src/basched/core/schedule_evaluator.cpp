@@ -1,5 +1,6 @@
 #include "basched/core/schedule_evaluator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,7 +10,9 @@ namespace basched::core {
 
 namespace {
 
+using battery::KibamModel;
 using battery::RakhmatovVrudhulaModel;
+using util::fastmath::DecayRowCache;
 
 }  // namespace
 
@@ -17,16 +20,51 @@ ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
                                      const battery::BatteryModel& model)
     : graph_(&graph),
       model_(&model),
-      rv_(dynamic_cast<const RakhmatovVrudhulaModel*>(&model)) {
+      rv_(dynamic_cast<const RakhmatovVrudhulaModel*>(&model)),
+      kibam_(dynamic_cast<const KibamModel*>(&model)),
+      peukert_(dynamic_cast<const battery::PeukertModel*>(&model)) {
   if (rv_ != nullptr) {
-    beta_sq_ = rv_->beta() * rv_->beta();
-    terms_ = rv_->terms();
+    kind_ = ModelKind::Rv;
+  } else if (kibam_ != nullptr) {
+    kind_ = ModelKind::Kibam;
+  } else if (peukert_ != nullptr) {
+    kind_ = ModelKind::Peukert;
+  } else if (dynamic_cast<const battery::IdealModel*>(&model) != nullptr) {
+    kind_ = ModelKind::Ideal;
+  } else {
+    kind_ = ModelKind::Generic;
   }
+
   const std::size_t n = graph.num_tasks();
   intervals_.reserve(n);
   cum_charge_.reserve(n + 1);
   cum_charge_.push_back(0.0);
-  if (rv_ != nullptr) rows_.reserve(n * static_cast<std::size_t>(terms_));
+
+  if (kind_ == ModelKind::Rv) {
+    beta_sq_ = rv_->beta() * rv_->beta();
+    terms_ = rv_->terms();
+    const auto t = static_cast<std::size_t>(terms_);
+    rows_.reserve(n * t);
+    row_idx_.reserve(n);
+    bm_.resize(t);
+    for (int m = 1; m <= terms_; ++m)
+      bm_[m - 1] = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+    decay_cache_ = DecayRowCache(bm_);
+    cache_scratch_.resize(t);
+    work_.resize(4 * t);
+    // Warm the duration cache with the catalog's distinct Δt values: every
+    // extend/commit/σ-at-end decay row below is keyed on one of these, so
+    // the whole search phase runs with zero exp evaluations on this path.
+    for (graph::TaskId v = 0; v < n; ++v)
+      for (const auto& pt : graph.task(v).points())
+        (void)decay_cache_.index_of(pt.duration);
+  } else if (kind_ == ModelKind::Kibam) {
+    kstates_.reserve(n + 1);
+    kstates_.push_back({kibam_->full_state(), false});
+  } else if (kind_ == ModelKind::Peukert) {
+    peff_.reserve(n + 1);
+    peff_.push_back(0.0);
+  }
 }
 
 void ScheduleEvaluator::reset() { truncate(0); }
@@ -35,7 +73,12 @@ void ScheduleEvaluator::truncate(std::size_t k) {
   BASCHED_ASSERT(k <= intervals_.size());
   intervals_.resize(k);
   cum_charge_.resize(k + 1);
-  if (rv_ != nullptr) rows_.resize(k * static_cast<std::size_t>(terms_));
+  if (kind_ == ModelKind::Rv) {
+    rows_.resize(k * static_cast<std::size_t>(terms_));
+    row_idx_.resize(k);
+  }
+  if (kind_ == ModelKind::Kibam) kstates_.resize(k + 1);
+  if (kind_ == ModelKind::Peukert) peff_.resize(k + 1);
   sigma_cached_ = false;
 }
 
@@ -48,19 +91,41 @@ void ScheduleEvaluator::extend_interval(double duration, double current) {
   BASCHED_ASSERT(duration > 0.0 && current >= 0.0);
   const double start = prefix_duration();
   const std::size_t k = intervals_.size();
-  if (rv_ != nullptr) {
-    // Advance the decayed partial sums from checkpoint t_{k-1} to t_k = start
-    // and fold in interval k-1, which is now fully elapsed (the shared A_m
-    // recurrence of incremental_sigma.hpp).
-    rows_.resize((k + 1) * static_cast<std::size_t>(terms_));
-    double* row = rows_.data() + k * static_cast<std::size_t>(terms_);
-    if (k == 0) {
-      for (int m = 1; m <= terms_; ++m) row[m - 1] = 0.0;
-    } else {
-      const battery::DischargeInterval& prev = intervals_[k - 1];
-      RakhmatovVrudhulaModel::advance_decay_row(beta_sq_, terms_, row - terms_, prev.start,
-                                                prev.end(), prev.current, start, row);
+  switch (kind_) {
+    case ModelKind::Rv: {
+      // Advance the decayed partial sums from checkpoint t_{k-1} to
+      // t_k = start, folding in interval k-1, which is now fully elapsed
+      // (the shared A_m recurrence of incremental_sigma.hpp). Back-to-back
+      // intervals decay by exactly the previous duration, so the factors
+      // come from the warm per-Δt cache — no exp evaluations — and the
+      // row *index* recorded per position lets later commits and σ-at-end
+      // queries dereference them without even hashing.
+      rows_.resize((k + 1) * static_cast<std::size_t>(terms_));
+      row_idx_.push_back(decay_cache_.index_of(duration));  // may grow cache rows
+      double* row = rv_row(k);
+      if (k == 0) {
+        std::fill_n(row, terms_, 0.0);
+      } else {
+        const battery::DischargeInterval& prev = intervals_[k - 1];
+        const double* c = duration_row(k - 1, cache_scratch_.data());
+        const double* prev_row = rv_row(k - 1);
+        for (int i = 0; i < terms_; ++i)
+          row[i] = prev_row[i] * c[i] + prev.current * (1.0 - c[i]) / bm_[i];
+      }
+      break;
     }
+    case ModelKind::Kibam: {
+      KibamCheckpoint cp = kstates_.back();
+      cp.state = kibam_->advance(cp.state, cp.dead, current, duration);
+      kstates_.push_back(cp);
+      break;
+    }
+    case ModelKind::Peukert:
+      peff_.push_back(peff_.back() + peukert_->apparent_rate(current) * duration);
+      break;
+    case ModelKind::Ideal:
+    case ModelKind::Generic:
+      break;
   }
   intervals_.push_back({start, duration, current});
   cum_charge_.push_back(cum_charge_.back() + current * duration);
@@ -72,24 +137,57 @@ void ScheduleEvaluator::pop() {
   truncate(intervals_.size() - 1);
 }
 
-double ScheduleEvaluator::prefix_part(std::size_t k, double t) const noexcept {
-  BASCHED_ASSERT(rv_ != nullptr && k < intervals_.size());
-  BASCHED_ASSERT(t >= intervals_[k].start - 1e-12);
-  const double* row = rows_.data() + k * static_cast<std::size_t>(terms_);
-  return RakhmatovVrudhulaModel::decayed_prefix_sigma(beta_sq_, terms_, row, cum_charge_[k],
-                                                      t - intervals_[k].start);
+void ScheduleEvaluator::rebuild_tail(std::size_t first) {
+  const std::size_t n = intervals_.size();
+  for (std::size_t k = first; k < n; ++k) {
+    intervals_[k].start = k == 0 ? 0.0 : intervals_[k - 1].end();
+    cum_charge_[k + 1] = cum_charge_[k] + intervals_[k].charge();
+    if (kind_ == ModelKind::Kibam) {
+      KibamCheckpoint cp = kstates_[k];
+      cp.state = kibam_->advance(cp.state, cp.dead, intervals_[k].current,
+                                 intervals_[k].duration);
+      kstates_[k + 1] = cp;
+    } else if (kind_ == ModelKind::Peukert) {
+      peff_[k + 1] =
+          peff_[k] + peukert_->apparent_rate(intervals_[k].current) * intervals_[k].duration;
+    }
+  }
 }
 
-double ScheduleEvaluator::sigma_end_uncached() const {
+const double* ScheduleEvaluator::duration_row(std::size_t k, double* scratch) {
+  const std::uint32_t idx = row_idx_[k];
+  if (idx != DecayRowCache::kNoIndex) return decay_cache_.row_at(idx);
+  decay_cache_.compute(intervals_[k].duration, scratch);
+  return scratch;
+}
+
+double ScheduleEvaluator::sigma_end_uncached() {
   if (intervals_.empty()) return 0.0;
   const battery::DischargeInterval& last = intervals_.back();
-  const double t = last.end();
-  if (rv_ != nullptr) {
-    return prefix_part(intervals_.size() - 1, t) +
-           RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, last.start, last.duration,
-                                                 last.current, t);
+  switch (kind_) {
+    case ModelKind::Rv: {
+      // σ = decayed prefix at the last checkpoint + the last interval's own
+      // Eq. 1 term, both keyed on the last duration — warm-cache rows, no
+      // hashing (the row index was recorded at extend time).
+      const std::size_t k = intervals_.size() - 1;
+      const double* c = duration_row(k, cache_scratch_.data());
+      const double pref =
+          RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, rv_row(k), cum_charge_[k], c);
+      double tail = 0.0;
+      for (int i = 0; i < terms_; ++i) tail += (1.0 - c[i]) / bm_[i];
+      return pref + last.current * (last.duration + 2.0 * tail);
+    }
+    case ModelKind::Kibam:
+      return kibam_->sigma_of(kstates_.back().state);
+    case ModelKind::Peukert:
+      return peff_.back();
+    case ModelKind::Ideal:
+      return cum_charge_.back();
+    case ModelKind::Generic:
+      break;
   }
-  return model_->charge_lost(std::span<const battery::DischargeInterval>(intervals_), t);
+  return model_->charge_lost(std::span<const battery::DischargeInterval>(intervals_),
+                             prefix_duration());
 }
 
 double ScheduleEvaluator::sigma_end() {
@@ -148,24 +246,64 @@ double ScheduleEvaluator::peek_swap_adjacent(std::size_t pos) {
   const battery::DischargeInterval a = intervals_[pos];
   const battery::DischargeInterval b = intervals_[pos + 1];
   const double t_end = prefix_duration();  // unchanged by the swap
-  if (rv_ != nullptr) {
-    // σ(T) is a sum of independent per-interval terms, so only the two
-    // swapped intervals' terms change; everything before pos comes from the
-    // decayed prefix rows, everything after pos+1 is read off as
-    // σ − prefix − old terms.
-    const double pref = prefix_part(pos, t_end);
-    const double old_terms =
-        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start, a.duration, a.current,
-                                              t_end) +
-        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, b.start, b.duration, b.current,
-                                              t_end);
-    const double suffix = sigma_end() - pref - old_terms;
-    const double new_terms =
-        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start, b.duration, b.current,
-                                              t_end) +
-        RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, a.start + b.duration, a.duration,
-                                              a.current, t_end);
-    return pref + new_terms + suffix;
+  switch (kind_) {
+    case ModelKind::Rv: {
+      // σ(T) is a sum of independent per-interval terms, so only the two
+      // swapped intervals' terms change; everything before pos comes from
+      // the decayed prefix rows, everything after pos+1 is read off as
+      // σ − prefix − old terms. Four decay rows cover all eight series
+      // bounds — one fused batch_exp call.
+      const double x1 = t_end - a.start;     // T − t_a
+      const double x2 = x1 - a.duration;     // T − e_a == T − t_b
+      const double x4r = x2 - b.duration;    // T − e_b (clamped below)
+      const double x5 = x1 - b.duration;     // T − (t_a + Δ_b)
+      const double x4 = x4r > 0.0 ? x4r : 0.0;
+      double* e1 = work_.data();
+      double* e2 = e1 + terms_;
+      double* e4 = e2 + terms_;
+      double* e5 = e4 + terms_;
+      for (int i = 0; i < terms_; ++i) {
+        e1[i] = -bm_[i] * x1;
+        e2[i] = -bm_[i] * x2;
+        e4[i] = -bm_[i] * x4;
+        e5[i] = -bm_[i] * x5;
+      }
+      util::fastmath::batch_exp(
+          std::span<double>(work_.data(), 4 * static_cast<std::size_t>(terms_)));
+      const double pref =
+          RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, rv_row(pos), cum_charge_[pos], e1);
+      double sa_old = 0.0, sb_old = 0.0, sb_new = 0.0, sa_new = 0.0;
+      for (int i = 0; i < terms_; ++i) {
+        const double inv = 1.0 / bm_[i];
+        sa_old += (e2[i] - e1[i]) * inv;  // series(T−e_a, T−t_a)
+        sb_old += (e4[i] - e2[i]) * inv;  // series(T−e_b, T−t_b)
+        sb_new += (e5[i] - e1[i]) * inv;  // b moved first
+        sa_new += (e4[i] - e5[i]) * inv;  // a moved second
+      }
+      const double old_terms = a.current * (a.duration + 2.0 * sa_old) +
+                               b.current * (b.duration + 2.0 * sb_old);
+      const double new_terms = b.current * (b.duration + 2.0 * sb_new) +
+                               a.current * (a.duration + 2.0 * sa_new);
+      const double suffix = sigma_end() - pref - old_terms;
+      return pref + new_terms + suffix;
+    }
+    case ModelKind::Kibam: {
+      // Restart the closed-form walk at the checkpoint before the swap.
+      KibamCheckpoint cp = kstates_[pos];
+      cp.state = kibam_->advance(cp.state, cp.dead, b.current, b.duration);
+      cp.state = kibam_->advance(cp.state, cp.dead, a.current, a.duration);
+      for (std::size_t j = pos + 2; j < depth(); ++j)
+        cp.state =
+            kibam_->advance(cp.state, cp.dead, intervals_[j].current, intervals_[j].duration);
+      return kibam_->sigma_of(cp.state);
+    }
+    case ModelKind::Peukert:
+    case ModelKind::Ideal:
+      // At the (unchanged) end time every interval is fully elapsed and both
+      // models are order-independent sums — the swap cannot change σ.
+      return sigma_end();
+    case ModelKind::Generic:
+      break;
   }
   // Generic models: mutate the buffer in place, price, restore exactly.
   intervals_[pos] = {a.start, b.duration, b.current};
@@ -186,19 +324,57 @@ double ScheduleEvaluator::peek_replace(std::size_t pos, double duration, double 
   const battery::DischargeInterval old = intervals_[pos];
   const double t_end = prefix_duration();
   const double t_new = t_end + (duration - old.duration);
-  if (rv_ != nullptr) {
-    // All intervals after pos shift rigidly with the end time, so their Eq. 1
-    // terms are numerically invariant: recover their sum at the *old* end
-    // time and reuse it at the new one. The prefix rows answer the j < pos
-    // part at any query time in O(terms).
-    const double pref_old = prefix_part(pos, t_end);
-    const double pref_new = prefix_part(pos, t_new);
-    const double own_old = RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, old.start,
-                                                                 old.duration, old.current, t_end);
-    const double own_new = RakhmatovVrudhulaModel::interval_term(beta_sq_, terms_, old.start,
-                                                                 duration, current, t_new);
-    const double suffix = sigma_end() - pref_old - own_old;
-    return pref_new + own_new + suffix;
+  switch (kind_) {
+    case ModelKind::Rv: {
+      // All intervals after pos shift rigidly with the end time, so their
+      // Eq. 1 terms are numerically invariant: recover their sum at the
+      // *old* end time and reuse it at the new one. Three decay rows cover
+      // both prefix queries and both own-terms — one fused batch_exp call.
+      const double x1 = t_end - old.start;            // T − t_pos
+      const double x3r = x1 - old.duration;           // T − e_pos (clamped)
+      const double x3 = x3r > 0.0 ? x3r : 0.0;
+      const double x2 = x3 + duration;                // T' − t_pos
+      double* e1 = work_.data();
+      double* e2 = e1 + terms_;
+      double* e3 = e2 + terms_;
+      for (int i = 0; i < terms_; ++i) {
+        e1[i] = -bm_[i] * x1;
+        e2[i] = -bm_[i] * x2;
+        e3[i] = -bm_[i] * x3;
+      }
+      util::fastmath::batch_exp(
+          std::span<double>(work_.data(), 3 * static_cast<std::size_t>(terms_)));
+      const double* row = rv_row(pos);
+      const double pref_old =
+          RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, row, cum_charge_[pos], e1);
+      const double pref_new =
+          RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, row, cum_charge_[pos], e2);
+      double s_old = 0.0, s_new = 0.0;
+      for (int i = 0; i < terms_; ++i) {
+        const double inv = 1.0 / bm_[i];
+        s_old += (e3[i] - e1[i]) * inv;  // series(T−e_pos, T−t_pos)
+        s_new += (e3[i] - e2[i]) * inv;  // series(T'−e'_pos, T'−t_pos)
+      }
+      const double own_old = old.current * (old.duration + 2.0 * s_old);
+      const double own_new = current * (duration + 2.0 * s_new);
+      const double suffix = sigma_end() - pref_old - own_old;
+      return pref_new + own_new + suffix;
+    }
+    case ModelKind::Kibam: {
+      KibamCheckpoint cp = kstates_[pos];
+      cp.state = kibam_->advance(cp.state, cp.dead, current, duration);
+      for (std::size_t j = pos + 1; j < depth(); ++j)
+        cp.state =
+            kibam_->advance(cp.state, cp.dead, intervals_[j].current, intervals_[j].duration);
+      return kibam_->sigma_of(cp.state);
+    }
+    case ModelKind::Peukert:
+      return sigma_end() - peukert_->apparent_rate(old.current) * old.duration +
+             peukert_->apparent_rate(current) * duration;
+    case ModelKind::Ideal:
+      return sigma_end() - old.charge() + current * duration;
+    case ModelKind::Generic:
+      break;
   }
   // Generic models: apply the replacement (shifting suffix starts), price,
   // restore the saved starts bit-exactly.
@@ -213,6 +389,118 @@ double ScheduleEvaluator::peek_replace(std::size_t pos, double duration, double 
   intervals_[pos] = old;
   for (std::size_t j = pos + 1; j < n; ++j) intervals_[j].start = scratch_[j - pos - 1];
   return sigma;
+}
+
+CostResult ScheduleEvaluator::commit_swap_adjacent(std::size_t pos) {
+  if (pos + 1 >= depth())
+    throw std::out_of_range("ScheduleEvaluator::commit_swap_adjacent: pos + 1 must be < depth()");
+  const battery::DischargeInterval a = intervals_[pos];
+  const battery::DischargeInterval b = intervals_[pos + 1];
+  if (kind_ == ModelKind::Rv) {
+    // The swap changes later checkpoints' partial sums by a fixed per-term
+    // amount G_m (the swapped pair's contribution delta at t_{pos+2}),
+    // decayed onward by the running product of per-duration rows — so the
+    // whole commit is O(suffix · terms) mult/adds with zero exp evaluations
+    // and zero hash lookups on a warm cache (all rows by recorded index).
+    double* G = work_.data();
+    double* v = work_.data() + terms_;
+    const double* ca = duration_row(pos, work_.data() + 2 * terms_);
+    const double* cb = duration_row(pos + 1, work_.data() + 3 * terms_);
+    for (int i = 0; i < terms_; ++i) {
+      const double cab = ca[i] * cb[i];
+      G[i] = (b.current * (ca[i] - cab) + a.current * (1.0 - ca[i]) -
+              a.current * (cb[i] - cab) - b.current * (1.0 - cb[i])) /
+             bm_[i];
+      v[i] = 1.0;
+    }
+    // Checkpoint pos+1 moves to t_pos + Δ_b: re-advance it across b.
+    {
+      const double* r0 = rv_row(pos);
+      double* r1 = rv_row(pos + 1);
+      for (int i = 0; i < terms_; ++i)
+        r1[i] = r0[i] * cb[i] + b.current * (1.0 - cb[i]) / bm_[i];
+    }
+    // Buffer + bookkeeping first, then one fused sweep over the suffix:
+    // row rescale, start chain and cumulative charge in the same pass.
+    intervals_[pos] = {a.start, b.duration, b.current};
+    intervals_[pos + 1] = {a.start + b.duration, a.duration, a.current};
+    std::swap(row_idx_[pos], row_idx_[pos + 1]);
+    cum_charge_[pos + 1] = cum_charge_[pos] + intervals_[pos].charge();
+    cum_charge_[pos + 2] = cum_charge_[pos + 1] + intervals_[pos + 1].charge();
+    const std::size_t n = depth();
+    for (std::size_t k = pos + 2; k < n; ++k) {
+      double* rk = rv_row(k);
+      for (int i = 0; i < terms_; ++i) rk[i] += v[i] * G[i];
+      intervals_[k].start = intervals_[k - 1].end();
+      cum_charge_[k + 1] = cum_charge_[k] + intervals_[k].charge();
+      if (k + 1 < n) {
+        const double* ck = duration_row(k, cache_scratch_.data());
+        for (int i = 0; i < terms_; ++i) v[i] *= ck[i];
+      }
+    }
+  } else {
+    intervals_[pos].duration = b.duration;
+    intervals_[pos].current = b.current;
+    intervals_[pos + 1].duration = a.duration;
+    intervals_[pos + 1].current = a.current;
+    rebuild_tail(pos);
+  }
+  sigma_cached_ = false;
+  return current();
+}
+
+CostResult ScheduleEvaluator::commit_replace(std::size_t pos, double duration, double current) {
+  if (pos >= depth())
+    throw std::out_of_range("ScheduleEvaluator::commit_replace: pos must be < depth()");
+  if (!(duration > 0.0) || !std::isfinite(duration) || current < 0.0 || !std::isfinite(current))
+    throw std::invalid_argument("ScheduleEvaluator::commit_replace: malformed interval");
+  const battery::DischargeInterval old = intervals_[pos];
+  if (kind_ == ModelKind::Rv) {
+    // Every later checkpoint shifts rigidly with the suffix, so its partial
+    // sums change by a fixed per-term amount F_m — the prefix-before-pos
+    // decay delta plus the replaced interval's own delta, both expressible
+    // through the old/new duration rows — decayed onward exactly as in
+    // commit_swap_adjacent.
+    double* F = work_.data();
+    double* v = work_.data() + terms_;
+    // Insert the new duration first: growth may relocate cache rows, and
+    // every pointer below must stay valid through the sweep.
+    const std::uint32_t idx_new = decay_cache_.index_of(duration);
+    const double* c_old = duration_row(pos, work_.data() + 2 * terms_);
+    const double* c_new = idx_new != DecayRowCache::kNoIndex
+                              ? decay_cache_.row_at(idx_new)
+                              : [&] {
+                                  decay_cache_.compute(duration, work_.data() + 3 * terms_);
+                                  return work_.data() + 3 * terms_;
+                                }();
+    const double* r0 = rv_row(pos);
+    for (int i = 0; i < terms_; ++i) {
+      F[i] = r0[i] * (c_new[i] - c_old[i]) +
+             (current * (1.0 - c_new[i]) - old.current * (1.0 - c_old[i])) / bm_[i];
+      v[i] = 1.0;
+    }
+    intervals_[pos].duration = duration;
+    intervals_[pos].current = current;
+    row_idx_[pos] = idx_new;
+    cum_charge_[pos + 1] = cum_charge_[pos] + intervals_[pos].charge();
+    const std::size_t n = depth();
+    for (std::size_t k = pos + 1; k < n; ++k) {
+      double* rk = rv_row(k);
+      for (int i = 0; i < terms_; ++i) rk[i] += v[i] * F[i];
+      intervals_[k].start = intervals_[k - 1].end();
+      cum_charge_[k + 1] = cum_charge_[k] + intervals_[k].charge();
+      if (k + 1 < n) {
+        const double* ck = duration_row(k, cache_scratch_.data());
+        for (int i = 0; i < terms_; ++i) v[i] *= ck[i];
+      }
+    }
+  } else {
+    intervals_[pos].duration = duration;
+    intervals_[pos].current = current;
+    rebuild_tail(pos);
+  }
+  sigma_cached_ = false;
+  return this->current();  // the `current` parameter shadows the member
 }
 
 }  // namespace basched::core

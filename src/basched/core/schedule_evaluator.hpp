@@ -1,6 +1,7 @@
 /// \file schedule_evaluator.hpp
 /// \brief Delta-evaluation engine for schedule search: O(terms) candidate
-/// costs under the Rakhmatov–Vrudhula model, allocation-free for any model.
+/// costs under the Rakhmatov–Vrudhula model, incremental prefix state for
+/// every built-in battery model, allocation-free for any model.
 ///
 /// Every search baseline in this repo — annealing, random search, exhaustive
 /// enumeration, branch-and-bound — and the paper heuristic's own inner loops
@@ -16,27 +17,43 @@
 ///    at each interval's start. Extending by one task is O(terms); popping is
 ///    O(1); σ of the current prefix is O(terms). A branch-and-bound node or a
 ///    lexicographic-enumeration step therefore costs O(terms), not
-///    O(depth · terms).
+///    O(depth · terms). The decay factors the recurrence consumes are keyed
+///    (almost) exclusively on the catalog's distinct interval durations, so
+///    they come from a warm `util::fastmath::DecayRowCache` — an extension
+///    typically performs *zero* exp evaluations; cold keys batch through
+///    `fastmath::batch_exp`.
 ///
 ///  * **Local-move search** (`peek_swap_adjacent` / `peek_replace`): because
 ///    Eq. 1's σ(T) is a sum of independent per-interval terms, an adjacent
 ///    swap (T unchanged) or a single design-point change (all later intervals
 ///    and T shift rigidly, leaving their terms numerically invariant) can be
-///    priced in O(terms) from the prefix rows without touching the suffix.
-///    An annealer prices every candidate this way and only pays
-///    `reprice_suffix` (O(suffix · terms)) on *accepted* moves.
+///    priced in O(terms) from the prefix rows without touching the suffix —
+///    one fused batch of 3–4·terms exponentials per peek.
 ///
-///  * **Any model** (`KibamModel`, `PeukertModel`, `IdealModel`, …): a flat,
-///    reused interval buffer is priced through the span-based
-///    `BatteryModel::charge_lost` — same semantics as the profile walk, zero
-///    allocations after warm-up (no O(terms) shortcut; the asymptotics match
-///    the full evaluation).
+///  * **Committed moves** (`commit_swap_adjacent` / `commit_replace`): an
+///    accepted annealing move no longer re-extends the suffix
+///    (O(suffix · terms) exps). Both moves perturb the decayed partial-sum
+///    rows *analytically*: the change each move makes to the profile is, at
+///    any later checkpoint t_k, a fixed per-term amount F_m decayed by
+///    e^{-β²m²(t_k − t_ref)} — a running product of per-duration decay rows.
+///    A commit is therefore O(suffix · terms) multiply/adds with O(terms)
+///    exp evaluations worst case, and zero with a warm duration cache
+///    (probe-verified via `fastmath::exp_evaluations()`).
+///
+///  * **Every built-in model is incremental** (`KibamModel`: a prefix stack
+///    of (y1, y2) well states advanced by the model's own closed-form step —
+///    O(1) extend and σ-at-end, O(suffix) peeks/commits from the checkpoint;
+///    `PeukertModel` / `IdealModel`: prefix sums — O(1) extend, σ-at-end and
+///    peeks). Unknown models fall back to pricing a flat, reused interval
+///    buffer through the span-based `BatteryModel::charge_lost` — same
+///    semantics as the profile walk, zero allocations after warm-up.
 ///
 /// Agreement with `calculate_battery_cost_unchecked` is limited only by FP
 /// summation order: ~1e-14 relative, tested to 1e-12 over randomized move
-/// sequences (tests/core/schedule_evaluator_test.cpp). The RV fast path never
-/// calls `charge_lost`, so `RakhmatovVrudhulaModel::full_evaluations()` stays
-/// flat across a search — the probe tests rely on this.
+/// and commit sequences (tests/core/schedule_evaluator_test.cpp). The RV
+/// fast path never calls `charge_lost`, so
+/// `RakhmatovVrudhulaModel::full_evaluations()` stays flat across a search —
+/// the probe tests rely on this.
 ///
 /// Not thread-safe; use one evaluator per thread (they are cheap).
 #pragma once
@@ -46,10 +63,14 @@
 #include <vector>
 
 #include "basched/battery/discharge_profile.hpp"
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
 #include "basched/battery/model.hpp"
+#include "basched/battery/peukert.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/schedule.hpp"
+#include "basched/util/fastmath.hpp"
 
 namespace basched::core {
 
@@ -65,8 +86,8 @@ class ScheduleEvaluator {
   void reset();
 
   /// Appends `task` at design-point column `design_point` to the prefix.
-  /// O(terms) for RV, O(1) otherwise. Throws std::out_of_range on a bad
-  /// task/column.
+  /// O(terms) for RV (zero exps on a warm duration cache), O(1) for
+  /// KiBaM/Peukert/ideal. Throws std::out_of_range on a bad task/column.
   void extend(graph::TaskId task, std::size_t design_point);
 
   /// Removes the most recently extended task. O(1). Restores cumulative
@@ -103,10 +124,10 @@ class ScheduleEvaluator {
 
   /// Re-prices `schedule` assuming positions < `first_changed_pos` are
   /// unchanged since the last load: truncates the prefix there and re-extends
-  /// only the suffix — O((n − first_changed_pos) · terms) for RV. This is the
-  /// commit path of a local-move search (the candidate was already priced by
-  /// a peek). Throws std::invalid_argument when first_changed_pos exceeds the
-  /// loaded depth or the schedule length.
+  /// only the suffix — O((n − first_changed_pos) · terms) for RV. Prefer the
+  /// `commit_*` moves below for single accepted local moves; this remains the
+  /// general path for arbitrary suffix rewrites. Throws std::invalid_argument
+  /// when first_changed_pos exceeds the loaded depth or the schedule length.
   CostResult reprice_suffix(const Schedule& schedule, std::size_t first_changed_pos);
 
   // ---- O(terms) candidate peeks (require a loaded schedule) ---------------
@@ -124,39 +145,93 @@ class ScheduleEvaluator {
   /// std::invalid_argument on a malformed interval.
   [[nodiscard]] double peek_replace(std::size_t pos, double duration, double current);
 
-  /// Candidate schedules priced so far (peeks + full/prefix/reprice
+  // ---- Committed moves (the annealer's accept path) -----------------------
+
+  /// Applies the adjacent swap peeked by `peek_swap_adjacent` to the loaded
+  /// schedule and returns the new cost. RV: O(suffix · terms) mult/adds and
+  /// O(terms) exps (zero when the duration cache is warm) — the suffix rows
+  /// are rescaled in place, never re-extended. KiBaM: O(suffix) closed-form
+  /// steps from the checkpoint at pos. Peukert/ideal: O(suffix) adds.
+  /// Counts one evaluation. Throws std::out_of_range unless
+  /// pos + 1 < depth().
+  CostResult commit_swap_adjacent(std::size_t pos);
+
+  /// Applies the design-point bump peeked by `peek_replace` (same contract)
+  /// and returns the new cost. Complexity as commit_swap_adjacent. Throws
+  /// std::out_of_range on a bad pos and std::invalid_argument on a malformed
+  /// interval.
+  CostResult commit_replace(std::size_t pos, double duration, double current);
+
+  /// Candidate schedules priced so far (peeks + full/prefix/reprice/commit
   /// evaluations). Baselines surface this as ScheduleResult::evaluations.
   [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
 
-  /// True when the model has the O(terms) incremental fast path (RV);
-  /// false when candidates are priced by re-walking the interval buffer.
-  [[nodiscard]] bool has_fast_path() const noexcept { return rv_ != nullptr; }
+  /// True when the model has an incremental fast path (RV's O(terms) rows,
+  /// KiBaM's well-state stack, Peukert/ideal prefix sums); false when
+  /// candidates are priced by re-walking the interval buffer through
+  /// `charge_lost`.
+  [[nodiscard]] bool has_fast_path() const noexcept { return kind_ != ModelKind::Generic; }
 
  private:
-  /// Appends one back-to-back interval and maintains the RV rows.
+  enum class ModelKind { Rv, Kibam, Peukert, Ideal, Generic };
+
+  /// KiBaM checkpoint: well state at a position's start plus the sticky
+  /// death flag.
+  struct KibamCheckpoint {
+    battery::KibamModel::State state;
+    bool dead = false;
+  };
+
+  /// Appends one back-to-back interval and maintains all prefix state.
   void extend_interval(double duration, double current);
 
   /// Truncates the prefix to `k` tasks (k <= depth()).
   void truncate(std::size_t k);
 
-  /// σ at time `t` contributed by intervals j < k, for t >= start of
-  /// interval k. RV fast path only. O(terms).
-  [[nodiscard]] double prefix_part(std::size_t k, double t) const noexcept;
+  /// Recomputes interval starts, cumulative charge and the model prefix
+  /// stacks (KiBaM states / Peukert sums) for positions >= first, after a
+  /// commit mutated the buffer. RV rows are NOT rebuilt here — commits
+  /// rescale them analytically.
+  void rebuild_tail(std::size_t first);
 
   /// σ at the prefix end (cached until the next mutation).
   [[nodiscard]] double sigma_end();
-  [[nodiscard]] double sigma_end_uncached() const;
+  [[nodiscard]] double sigma_end_uncached();
+
+  /// Decay row e^{-β²m²·Δ_k} for position k's duration: a direct index into
+  /// the cache (recorded at extend time — no hashing), or computed into
+  /// `scratch` for the rare uncached duration. RV only.
+  [[nodiscard]] const double* duration_row(std::size_t k, double* scratch);
+
+  /// RV row pointer for position k.
+  [[nodiscard]] double* rv_row(std::size_t k) noexcept {
+    return rows_.data() + k * static_cast<std::size_t>(terms_);
+  }
+  [[nodiscard]] const double* rv_row(std::size_t k) const noexcept {
+    return rows_.data() + k * static_cast<std::size_t>(terms_);
+  }
 
   const graph::TaskGraph* graph_;
   const battery::BatteryModel* model_;
-  const battery::RakhmatovVrudhulaModel* rv_;  ///< non-null => O(terms) fast path
+  const battery::RakhmatovVrudhulaModel* rv_ = nullptr;
+  const battery::KibamModel* kibam_ = nullptr;
+  const battery::PeukertModel* peukert_ = nullptr;
+  ModelKind kind_ = ModelKind::Generic;
   double beta_sq_ = 0.0;
   int terms_ = 0;
 
   std::vector<battery::DischargeInterval> intervals_;  ///< flat reused buffer
   std::vector<double> cum_charge_;  ///< cum_charge_[k] = Σ_{j<k} I_j·Δ_j; size depth+1
   std::vector<double> rows_;        ///< RV: rows_[k·terms + (m−1)] = A_m(k)
+  std::vector<KibamCheckpoint> kstates_;  ///< KiBaM: state at t_k; size depth+1
+  std::vector<double> peff_;        ///< Peukert: Σ_{j<k} rate_j·Δ_j; size depth+1
   std::vector<double> scratch_;     ///< saved suffix starts for generic peeks
+
+  std::vector<double> bm_;          ///< RV: β²m², m = 1..terms
+  util::fastmath::DecayRowCache decay_cache_;  ///< rows e^{-β²m²·Δt} keyed on Δt
+  std::vector<std::uint32_t> row_idx_;  ///< RV: per-position cache index of Δ_k's row
+  std::vector<double> cache_scratch_;  ///< decay row landing zone on cache overflow
+  std::vector<double> work_;           ///< fused peek/commit buffers (4·terms)
 
   bool sigma_cached_ = false;
   double sigma_cache_ = 0.0;

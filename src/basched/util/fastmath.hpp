@@ -1,0 +1,138 @@
+/// \file fastmath.hpp
+/// \brief Vectorized math kernels for the Eq. 1 exponential series.
+///
+/// PR 3's profiling note (ROADMAP) put ~90 % of delta-pricing time in
+/// `std::exp` over the m = 1..M series terms — the series itself, not the
+/// search bookkeeping, is the hot path. This layer attacks it twice:
+///
+///  * **`batch_exp(span<double>)`** — in-place exponential over a buffer.
+///    The batched kernel splits x = k·ln2 + r and evaluates a degree-12
+///    Estrin-form polynomial for e^r; the loop is plain FP arithmetic plus
+///    exponent-bit assembly (no libm calls), so the compiler auto-vectorizes
+///    it, and on x86-64 an AVX2+FMA instantiation is selected at startup via
+///    cpuid (one binary serves every ISA level). Arguments outside ±706 —
+///    overflow and the denormal/underflow tail — take an element-wise
+///    `std::exp` fixup pass, keeping tails correctly rounded. Relative error
+///    vs `std::exp` is ~5e-16 worst case (the accuracy suite in
+///    tests/util/fastmath_test.cpp pins 1e-13, well inside the repo-wide
+///    1e-12 pricing tolerance).
+///
+///  * **`DecayRowCache`** — rows e^{-c_i·x} keyed on x for a fixed
+///    coefficient vector (β²m², m = 1..M). The RV prefix recurrences consume
+///    decay rows keyed almost exclusively on the catalog's distinct interval
+///    durations Δt, so a warm cache answers `extend`, σ-at-end and committed
+///    annealing moves with *zero* exp evaluations.
+///
+/// Dispatch switch, three layers:
+///  * compile time: `-DBASCHED_FASTMATH_FORCE_SCALAR` removes the batched
+///    kernel entirely (every batch_exp is a `std::exp` loop);
+///  * environment: `BASCHED_EXP_KERNEL=scalar` (read once, first use) forces
+///    the scalar kernel without rebuilding — the README documents this as
+///    the way to cross-check any result against libm;
+///  * runtime: `set_exp_kernel()` for tests and benches.
+///
+/// `exp_evaluations()` counts exp evaluations served per element (relaxed
+/// atomic, both kernels). Probe tests use deltas of this counter to verify
+/// that hot paths — e.g. the annealer's committed moves — stay O(terms)
+/// exps; a `DecayRowCache` hit performs (and counts) none.
+///
+/// Everything here is deterministic: same inputs, same bits, regardless of
+/// batch boundaries. The kernels are thread-safe; `DecayRowCache` instances
+/// are not (use one per evaluator, as with ScheduleEvaluator itself).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace basched::util::fastmath {
+
+/// Which exp kernel `batch_exp` runs.
+enum class ExpKernel {
+  Batched,  ///< vectorizable polynomial kernel with std::exp tail fixup
+  Scalar,   ///< element-wise std::exp (bit-identical to libm)
+};
+
+/// Active kernel. Defaults to Batched unless overridden (see file comment).
+[[nodiscard]] ExpKernel exp_kernel() noexcept;
+
+/// Switches the active kernel at runtime (thread-safe, relaxed).
+void set_exp_kernel(ExpKernel kernel) noexcept;
+
+/// "batched" or "scalar" — for logs and bench JSON.
+[[nodiscard]] const char* exp_kernel_name() noexcept;
+
+/// In-place xs[i] := exp(xs[i]) under the active kernel. Finite and
+/// non-finite inputs alike produce exactly what `std::exp` would for any
+/// element outside [-706, 706]; elements inside differ from libm by ~1e-15
+/// relative under the batched kernel. noexcept and allocation-free.
+void batch_exp(std::span<double> xs) noexcept;
+
+/// Total exp evaluations served so far, counted per element across both
+/// kernels and all threads (relaxed atomic). Monotone; probe via deltas.
+[[nodiscard]] std::uint64_t exp_evaluations() noexcept;
+
+/// Cache of decay rows r_i(x) = exp(-coeff[i] · x), keyed on x.
+///
+/// Built once per consumer with the fixed coefficient vector (the RV β²m²
+/// ladder) and queried with the interval durations the schedule catalog
+/// produces. Open-addressed on the key's bit pattern; insertion stops at
+/// `max_entries` (further distinct keys are computed into the caller's
+/// scratch, uncached) so adversarial key streams cannot grow it unboundedly.
+class DecayRowCache {
+ public:
+  DecayRowCache() = default;
+
+  /// \param coeffs      decay coefficients c_i (copied)
+  /// \param max_entries insertion cap; beyond it lookups fall back to
+  ///                    uncached computation
+  explicit DecayRowCache(std::span<const double> coeffs, std::size_t max_entries = 4096);
+
+  /// Number of coefficients (row length).
+  [[nodiscard]] std::size_t terms() const noexcept { return coeffs_.size(); }
+
+  /// Row of exp(-coeff[i]·key). Returns a pointer into the cache when the
+  /// key is (or becomes) cached; otherwise computes into `scratch` (which
+  /// must hold at least terms() doubles) and returns `scratch`. The returned
+  /// pointer is invalidated by the next `row`/`index_of` call with a *new*
+  /// key (cache growth may reallocate) — copy the row out before
+  /// interleaving lookups.
+  [[nodiscard]] const double* row(double key, double* scratch);
+
+  /// Sentinel for keys the cache will not hold (bit-pattern-zero key, or
+  /// capacity reached).
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  /// Index of the key's row (inserting it if possible), or kNoIndex. Row
+  /// indices are stable for the cache's lifetime, so hot loops can store
+  /// them per position and dereference with `row_at` — no hashing, no
+  /// pointer-invalidation hazard.
+  [[nodiscard]] std::uint32_t index_of(double key);
+
+  /// Row pointer for an index returned by `index_of`. Valid until the next
+  /// insertion (`row`/`index_of` with a new key) — do not hold across them.
+  [[nodiscard]] const double* row_at(std::uint32_t index) const noexcept {
+    return rows_.data() + static_cast<std::size_t>(index) * coeffs_.size();
+  }
+
+  /// Fills out[i] = exp(-coeff[i]·key) without touching the cache.
+  void compute(double key, double* out) const noexcept;
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  void grow();
+
+  std::vector<double> coeffs_;
+  std::vector<std::uint64_t> slot_keys_;  ///< key bit patterns; 0 == empty
+  std::vector<std::uint32_t> slot_rows_;  ///< row index per slot
+  std::vector<double> rows_;              ///< entries_ rows of terms() doubles
+  std::size_t entries_ = 0;
+  std::size_t max_entries_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace basched::util::fastmath

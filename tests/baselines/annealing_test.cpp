@@ -5,7 +5,10 @@
 #include <stdexcept>
 
 #include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/generators.hpp"
 #include "basched/graph/paper_graphs.hpp"
+#include "basched/util/fastmath.hpp"
+#include "basched/util/rng.hpp"
 
 namespace basched::baselines {
 namespace {
@@ -47,6 +50,39 @@ TEST(Annealing, MoreIterationsNeverHurt) {
   // Not guaranteed in general for SA, but with a shared seed the long run
   // replays the short run's prefix and keeps its best-so-far.
   EXPECT_LE(rl.sigma, rs.sigma + 1e-9);
+}
+
+TEST(Annealing, CommitPathStaysOTermsExpsPerIteration) {
+  // The probe counterpart of PR 3's full_evaluations() tests, for the commit
+  // path: one annealing run must spend O(terms) exp evaluations per
+  // iteration — peeks cost a handful of decay rows each and *accepted* moves
+  // rescale suffix rows against the warm per-Δt cache instead of paying
+  // reprice_suffix's O(suffix · terms) exps. With n = 40 the old commit path
+  // would average ~(n/2)·terms extra exps per accepted move and blow through
+  // this bound by an order of magnitude.
+  util::Rng rng(4242);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  const auto g = graph::make_series_parallel(40, synth, rng);
+  const int terms = kModel.terms();
+  AnnealingOptions opts;
+  opts.iterations = 2000;
+  opts.initial_temp = 1e6;  // hot: nearly every proposal is accepted
+
+  const std::uint64_t before = util::fastmath::exp_evaluations();
+  const auto r = schedule_annealing(g, 1e9, kModel, opts);
+  const std::uint64_t spent = util::fastmath::exp_evaluations() - before;
+  ASSERT_TRUE(r.feasible) << r.error;
+
+  // Budget: <= 8·terms per iteration (a swap peek batches 4 decay rows, a
+  // bump peek 3, commits ~0 on the warm cache) plus the one-off costs —
+  // cache warm-up (catalog × terms), the initial full_eval and the final
+  // canonical re-pricing (~2·n series terms of 2 exps each).
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(opts.iterations) * 8u * static_cast<std::uint64_t>(terms) +
+      static_cast<std::uint64_t>(g.num_tasks() * g.num_design_points() + 4 * g.num_tasks()) *
+          static_cast<std::uint64_t>(terms);
+  EXPECT_LE(spent, budget);
 }
 
 TEST(Annealing, InfeasibleDeadline) {

@@ -1,8 +1,11 @@
 /// Randomized equivalence suite for core::ScheduleEvaluator: every pricing
 /// path (full_eval, extend/pop prefixes, peek_swap_adjacent, peek_replace,
-/// reprice_suffix) must agree with the from-scratch full evaluation
-/// (calculate_battery_cost_unchecked) to 1e-12 relative, on random DAGs and
-/// random move sequences, under all four battery models.
+/// reprice_suffix, commit_swap_adjacent, commit_replace) must agree with the
+/// from-scratch full evaluation (calculate_battery_cost_unchecked) to 1e-12
+/// relative, on random DAGs and random move sequences, under all four
+/// built-in battery models plus an opaque custom model that exercises the
+/// generic span-sweep fallback. Probe tests additionally pin the committed
+/// moves to O(terms) exp evaluations via util::fastmath::exp_evaluations().
 #include "basched/core/schedule_evaluator.hpp"
 
 #include <gtest/gtest.h>
@@ -19,6 +22,7 @@
 #include "basched/battery/rakhmatov_vrudhula.hpp"
 #include "basched/core/battery_cost.hpp"
 #include "basched/graph/generators.hpp"
+#include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
 
 namespace basched::core {
@@ -27,6 +31,22 @@ namespace {
 constexpr double kRelTol = 1e-12;
 
 double tol_for(double a, double b) { return kRelTol * std::max({1.0, std::abs(a), std::abs(b)}); }
+
+/// A model the evaluator has never heard of (Peukert semantics behind an
+/// opaque type): forces the generic reused-buffer fallback through
+/// BatteryModel::charge_lost in every suite below.
+class OpaqueModel final : public battery::BatteryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "opaque-test-model"; }
+  using battery::BatteryModel::charge_lost;
+  [[nodiscard]] double charge_lost(std::span<const battery::DischargeInterval> intervals,
+                                   double t) const override {
+    return inner_.charge_lost(intervals, t);
+  }
+
+ private:
+  battery::PeukertModel inner_{1.15, 300.0};
+};
 
 graph::TaskGraph random_graph(std::uint64_t seed, std::size_t n) {
   util::Rng rng(seed);
@@ -52,15 +72,20 @@ Schedule random_schedule(const graph::TaskGraph& g, util::Rng& rng) {
   return s;
 }
 
-/// The four models, freshly constructed per test (KiBaM capacity chosen so
-/// the well never empties on these small profiles).
+/// The four built-in models plus the opaque generic-fallback model, freshly
+/// constructed per test. KiBaM appears twice: a large-capacity instance
+/// whose well never empties, and a small-capacity one that *dies*
+/// mid-profile on many of the random schedules — exercising the sticky
+/// death clamp through the checkpoint stack, peeks and commits.
 std::vector<std::unique_ptr<battery::BatteryModel>> all_models() {
   std::vector<std::unique_ptr<battery::BatteryModel>> models;
   models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.273));
   models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.6, 5));
   models.push_back(std::make_unique<battery::KibamModel>(0.5, 0.1, 5.0e6));
+  models.push_back(std::make_unique<battery::KibamModel>(0.4, 0.08, 1.5e4));
   models.push_back(std::make_unique<battery::PeukertModel>(1.2, 500.0));
   models.push_back(std::make_unique<battery::IdealModel>());
+  models.push_back(std::make_unique<OpaqueModel>());
   return models;
 }
 
@@ -223,11 +248,133 @@ TEST(ScheduleEvaluator, RvFastPathNeverRunsFullEvaluations) {
   EXPECT_EQ(eval.evaluations(), 5u);  // full_eval + 2 peeks + reprice + prefix_sigma
 }
 
-TEST(ScheduleEvaluator, GenericModelsReportNoFastPath) {
-  const battery::IdealModel ideal;
+TEST(ScheduleEvaluator, CommitMovesMatchFullEvaluationOverRandomSequences) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 10);
+    const std::size_t n = g.num_tasks();
+    const std::size_t m = g.num_design_points();
+    if (n < 2) continue;
+    util::Rng rng(seed * 23 + 9);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      // A long committed-move trajectory exercises drift: each commit
+      // *rescales* the RV suffix rows instead of rebuilding them, so errors
+      // could in principle accumulate — they must stay within 1e-12 of the
+      // from-scratch evaluation after hundreds of commits.
+      for (int move = 0; move < 200; ++move) {
+        CostResult fast;
+        if (rng.bernoulli(0.5)) {  // adjacent swap in the sequence
+          const std::size_t pos = rng.pick_index(n - 1);
+          std::swap(s.sequence[pos], s.sequence[pos + 1]);
+          fast = eval.commit_swap_adjacent(pos);
+        } else {  // design-point bump at a position
+          const std::size_t pos = rng.pick_index(n);
+          const std::size_t col = rng.pick_index(m);
+          s.assignment[s.sequence[pos]] = col;
+          const auto& pt = g.task(s.sequence[pos]).point(col);
+          fast = eval.commit_replace(pos, pt.duration, pt.current);
+        }
+        const CostResult full = calculate_battery_cost_unchecked(g, s, *model);
+        ASSERT_NEAR(fast.sigma, full.sigma, tol_for(fast.sigma, full.sigma))
+            << model->name() << " seed=" << seed << " move=" << move;
+        ASSERT_NEAR(fast.duration, full.duration, 1e-12 * std::max(1.0, full.duration));
+        ASSERT_NEAR(fast.energy, full.energy, tol_for(0.0, full.energy));
+      }
+      // The evaluator state must still support every other path afterwards.
+      const std::size_t pos = rng.pick_index(n - 1);
+      Schedule swapped = s;
+      std::swap(swapped.sequence[pos], swapped.sequence[pos + 1]);
+      const double peek = eval.peek_swap_adjacent(pos);
+      const CostResult full = calculate_battery_cost_unchecked(g, swapped, *model);
+      EXPECT_NEAR(peek, full.sigma, tol_for(peek, full.sigma)) << model->name();
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, CommitsInterleaveWithExtendPopAndReprice) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = random_graph(seed, 9);
+    const std::size_t n = g.num_tasks();
+    const std::size_t m = g.num_design_points();
+    if (n < 3) continue;
+    util::Rng rng(seed * 31 + 7);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      for (int round = 0; round < 12; ++round) {
+        // commit, then pop a few positions and re-extend from the schedule —
+        // the commit must leave a prefix stack that pops cleanly.
+        const std::size_t pos = rng.pick_index(n - 1);
+        std::swap(s.sequence[pos], s.sequence[pos + 1]);
+        (void)eval.commit_swap_adjacent(pos);
+        const std::size_t keep = rng.pick_index(n);
+        const CostResult fast = eval.reprice_suffix(s, keep);
+        const CostResult full = calculate_battery_cost_unchecked(g, s, *model);
+        ASSERT_NEAR(fast.sigma, full.sigma, tol_for(fast.sigma, full.sigma))
+            << model->name() << " seed=" << seed << " round=" << round;
+        const std::size_t bump = rng.pick_index(n);
+        const std::size_t col = rng.pick_index(m);
+        s.assignment[s.sequence[bump]] = col;
+        const auto& pt = g.task(s.sequence[bump]).point(col);
+        const CostResult fast2 = eval.commit_replace(bump, pt.duration, pt.current);
+        const CostResult full2 = calculate_battery_cost_unchecked(g, s, *model);
+        ASSERT_NEAR(fast2.sigma, full2.sigma, tol_for(fast2.sigma, full2.sigma))
+            << model->name() << " seed=" << seed << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, CommittedMovesPerformOTermsExps) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const int terms = model.terms();
+  const auto g = random_graph(2, 12);
+  const std::size_t n = g.num_tasks();
+  const std::size_t m = g.num_design_points();
+  util::Rng rng(17);
+  ScheduleEvaluator eval(g, model);  // ctor pre-warms the per-Δt decay cache
+  Schedule s = random_schedule(g, rng);
+  (void)eval.full_eval(s);
+  (void)eval.prefix_sigma();  // settle the σ cache before counting
+
+  const std::uint64_t before = util::fastmath::exp_evaluations();
+  constexpr int kMoves = 50;
+  for (int move = 0; move < kMoves; ++move) {
+    if (move % 2 == 0) {
+      const std::size_t pos = rng.pick_index(n - 1);
+      std::swap(s.sequence[pos], s.sequence[pos + 1]);
+      (void)eval.commit_swap_adjacent(pos);
+    } else {
+      const std::size_t pos = rng.pick_index(n);
+      const std::size_t col = rng.pick_index(m);
+      s.assignment[s.sequence[pos]] = col;
+      const auto& pt = g.task(s.sequence[pos]).point(col);
+      (void)eval.commit_replace(pos, pt.duration, pt.current);
+    }
+  }
+  const std::uint64_t spent = util::fastmath::exp_evaluations() - before;
+  // O(terms) exps per accepted move is the contract; with the catalog cache
+  // warm the commits run exp-free, so even 2·terms per move is generous.
+  // (The old reprice_suffix commit path costs ~depth/2 · terms exps per move
+  // — 60·terms here — so this bound cleanly discriminates.)
+  EXPECT_LE(spent, static_cast<std::uint64_t>(kMoves) * 2u * static_cast<std::uint64_t>(terms));
+}
+
+TEST(ScheduleEvaluator, OnlyOpaqueModelsReportNoFastPath) {
   const auto g = random_graph(1, 5);
-  ScheduleEvaluator eval(g, ideal);
-  EXPECT_FALSE(eval.has_fast_path());
+  const battery::RakhmatovVrudhulaModel rv(0.273);
+  const battery::KibamModel kibam(0.5, 0.1, 5.0e6);
+  const battery::PeukertModel peukert(1.2, 500.0);
+  const battery::IdealModel ideal;
+  EXPECT_TRUE(ScheduleEvaluator(g, rv).has_fast_path());
+  EXPECT_TRUE(ScheduleEvaluator(g, kibam).has_fast_path());
+  EXPECT_TRUE(ScheduleEvaluator(g, peukert).has_fast_path());
+  EXPECT_TRUE(ScheduleEvaluator(g, ideal).has_fast_path());
+  const OpaqueModel opaque;
+  EXPECT_FALSE(ScheduleEvaluator(g, opaque).has_fast_path());
 }
 
 TEST(ScheduleEvaluator, ErrorHandling) {
@@ -243,6 +390,10 @@ TEST(ScheduleEvaluator, ErrorHandling) {
   EXPECT_THROW((void)eval.peek_swap_adjacent(g.num_tasks() - 1), std::out_of_range);
   EXPECT_THROW((void)eval.peek_replace(0, -1.0, 1.0), std::invalid_argument);
   EXPECT_THROW((void)eval.reprice_suffix(s, g.num_tasks() + 1), std::invalid_argument);
+  EXPECT_THROW((void)eval.commit_swap_adjacent(g.num_tasks() - 1), std::out_of_range);
+  EXPECT_THROW((void)eval.commit_replace(g.num_tasks(), 1.0, 1.0), std::out_of_range);
+  EXPECT_THROW((void)eval.commit_replace(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)eval.commit_replace(0, 1.0, -2.0), std::invalid_argument);
 }
 
 }  // namespace

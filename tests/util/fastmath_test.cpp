@@ -1,0 +1,192 @@
+/// Accuracy and dispatch suite for util::fastmath: the batched exp kernel
+/// must agree with std::exp to 1e-12 relative across the whole argument
+/// range the RV series produces — including the deep underflow/denormal
+/// tail — the scalar kernel must be bit-identical to libm, the dispatch
+/// switch must actually switch, and DecayRowCache rows must equal direct
+/// computation while serving warm keys without new exp evaluations.
+#include "basched/util/fastmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "basched/util/rng.hpp"
+
+namespace basched::util::fastmath {
+namespace {
+
+/// Restores the active kernel on scope exit so tests cannot leak state.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(exp_kernel()) {}
+  ~KernelGuard() { set_exp_kernel(saved_); }
+
+ private:
+  ExpKernel saved_;
+};
+
+/// The argument range Eq. 1's series produces: exponents -β²m²·Δt with
+/// β² ≈ 0.0745, m up to 10 and time deltas from fractions of a minute to
+/// whole missions — i.e. (-inf, 0] in practice, with the deep tail
+/// underflowing. Positive arguments are included for kernel completeness.
+std::vector<double> series_arguments() {
+  std::vector<double> xs;
+  // Dense log-spaced sweep of magnitudes from 1e-12 up to the underflow
+  // wall and beyond (exp(-746) == 0 in double).
+  for (double mag = 1e-12; mag < 800.0; mag *= 1.07) xs.push_back(-mag);
+  for (double mag = 1e-6; mag < 700.0; mag *= 1.31) xs.push_back(mag);
+  // The denormal band: exp(x) is denormal for x in about (-745.14, -708.4).
+  for (double x = -708.0; x > -746.0; x -= 0.173) xs.push_back(x);
+  // Exact boundaries and specials.
+  xs.insert(xs.end(), {0.0, -0.0, -706.0, -707.0, -708.0, 706.0, -745.133, -746.0, -1000.0,
+                       1000.0, std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity()});
+  // Random draws shaped like β²m²·Δt for the paper's catalog durations.
+  util::Rng rng(99);
+  for (int i = 0; i < 4096; ++i) {
+    const double m = 1.0 + static_cast<double>(rng.pick_index(10));
+    const double dt = 0.05 + 60.0 * rng.next_double();
+    xs.push_back(-0.273 * 0.273 * m * m * dt);
+  }
+  return xs;
+}
+
+TEST(Fastmath, BatchedKernelMatchesStdExpAcrossSeriesRange) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Batched);
+  const std::vector<double> args = series_arguments();
+  std::vector<double> got = args;
+  batch_exp(got);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const double want = std::exp(args[i]);
+    if (std::isnan(want) || std::isinf(want)) {
+      EXPECT_EQ(std::isnan(got[i]), std::isnan(want)) << "x=" << args[i];
+      if (std::isinf(want)) {
+        EXPECT_EQ(got[i], want) << "x=" << args[i];
+      }
+      continue;
+    }
+    // 1e-12 relative everywhere; the underflow/denormal tail goes through
+    // the std::exp fixup and must match bit-for-bit.
+    const double tol = 1e-12 * std::abs(want);
+    EXPECT_NEAR(got[i], want, tol) << "x=" << args[i];
+    if (args[i] < -706.0) {
+      EXPECT_EQ(got[i], want) << "tail must be exactly libm, x=" << args[i];
+    }
+  }
+}
+
+TEST(Fastmath, BatchedKernelIsMuchTighterThanContractInCore) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Batched);
+  // Inside [-706, 0] — the region served by the polynomial — the error
+  // budget the evaluator actually consumes must be ~1e-15, far inside the
+  // repo-wide 1e-12 pricing tolerance.
+  double worst = 0.0;
+  for (double x = -700.0; x < 0.0; x += 0.0917) {
+    double v = x;
+    batch_exp(std::span<double>(&v, 1));
+    const double want = std::exp(x);
+    worst = std::max(worst, std::abs(v - want) / want);
+  }
+  EXPECT_LT(worst, 1e-13);
+}
+
+TEST(Fastmath, ScalarKernelIsBitIdenticalToStdExp) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Scalar);
+  EXPECT_STREQ(exp_kernel_name(), "scalar");
+  const std::vector<double> args = series_arguments();
+  std::vector<double> got = args;
+  batch_exp(got);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const double want = std::exp(args[i]);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got[i]));
+      continue;
+    }
+    EXPECT_EQ(got[i], want) << "x=" << args[i];
+  }
+}
+
+TEST(Fastmath, DispatchSwitchSwitches) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Batched);
+  EXPECT_EQ(exp_kernel(), ExpKernel::Batched);
+  EXPECT_STREQ(exp_kernel_name(), "batched");
+  set_exp_kernel(ExpKernel::Scalar);
+  EXPECT_EQ(exp_kernel(), ExpKernel::Scalar);
+  EXPECT_STREQ(exp_kernel_name(), "scalar");
+}
+
+TEST(Fastmath, ExpEvaluationsCountsPerElement) {
+  double xs[7] = {-1, -2, -3, -4, -5, -6, -7};
+  const std::uint64_t before = exp_evaluations();
+  batch_exp(std::span<double>(xs, 7));
+  EXPECT_EQ(exp_evaluations() - before, 7u);
+  batch_exp(std::span<double>(xs, 0));  // empty span counts nothing
+  EXPECT_EQ(exp_evaluations() - before, 7u);
+}
+
+TEST(Fastmath, DecayRowCacheRowsEqualDirectComputation) {
+  const double beta_sq = 0.273 * 0.273;
+  std::vector<double> coeffs;
+  for (int m = 1; m <= 10; ++m) coeffs.push_back(beta_sq * m * m);
+  DecayRowCache cache(coeffs, 64);
+  std::vector<double> scratch(coeffs.size());
+  std::vector<double> direct(coeffs.size());
+  util::Rng rng(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    const double key = 0.01 + 30.0 * rng.next_double();
+    const double* row = cache.row(key, scratch.data());
+    cache.compute(key, direct.data());
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      EXPECT_EQ(row[i], direct[i]) << "key=" << key << " i=" << i;
+      EXPECT_EQ(direct[i], [&] {
+        double v = -coeffs[i] * key;
+        batch_exp(std::span<double>(&v, 1));
+        return v;
+      }());
+    }
+  }
+}
+
+TEST(Fastmath, DecayRowCacheServesWarmKeysWithoutExpEvaluations) {
+  std::vector<double> coeffs{0.1, 0.2, 0.3};
+  DecayRowCache cache(coeffs, 16);
+  std::vector<double> scratch(coeffs.size());
+  (void)cache.row(2.5, scratch.data());
+  EXPECT_EQ(cache.misses(), 1u);
+  const std::uint64_t before = exp_evaluations();
+  for (int i = 0; i < 10; ++i) (void)cache.row(2.5, scratch.data());
+  EXPECT_EQ(exp_evaluations(), before);  // all hits, zero exps
+  EXPECT_EQ(cache.hits(), 10u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(Fastmath, DecayRowCacheCapsInsertionsButStaysCorrect) {
+  std::vector<double> coeffs{1.0, 2.0};
+  DecayRowCache cache(coeffs, 4);  // tiny cap
+  std::vector<double> scratch(coeffs.size());
+  std::vector<double> direct(coeffs.size());
+  for (int k = 1; k <= 20; ++k) {
+    const double key = 0.5 * k;
+    const double* row = cache.row(key, scratch.data());
+    cache.compute(key, direct.data());
+    EXPECT_EQ(row[0], direct[0]);
+    EXPECT_EQ(row[1], direct[1]);
+  }
+  EXPECT_LE(cache.entries(), 4u);
+  // Key 0.0 shares the empty-slot bit pattern and must be answered (from
+  // scratch) rather than cached.
+  const double* row = cache.row(0.0, scratch.data());
+  EXPECT_EQ(row, scratch.data());
+  EXPECT_EQ(row[0], 1.0);
+  EXPECT_EQ(row[1], 1.0);
+}
+
+}  // namespace
+}  // namespace basched::util::fastmath

@@ -1,0 +1,203 @@
+/// \file bench_diff.cpp
+/// \brief Compare a fresh BENCH_search.json against the committed snapshot.
+///
+/// CI regenerates the search-engine bench per push and needs a trend gate
+/// that survives machine-to-machine throughput differences: absolute
+/// evals/sec vary wildly across runners, but the *speedup* columns
+/// (delta vs full on the same machine, same run) are ratios and transfer.
+/// bench_diff therefore:
+///
+///  * matches rows of the two files by (mode, n),
+///  * prints a per-mode ratio table (fresh speedup / committed speedup,
+///    plus the absolute throughput ratio for context),
+///  * exits non-zero when any row's fresh speedup falls more than
+///    --max-regression percent (default 20) below the committed one, when
+///    a committed row is missing from the fresh run (silent coverage loss),
+///    or when the fresh run's max_rel_err exceeds 1e-9.
+///
+/// The parser targets exactly the flat JSON bench/search_engine writes (one
+/// result object per line); it is not a general JSON reader.
+///
+/// usage: bench_diff <fresh.json> <committed.json> [--max-regression PCT]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string mode;
+  std::size_t n = 0;
+  double full_evals_per_sec = 0.0;
+  double delta_evals_per_sec = 0.0;
+  double speedup = 0.0;
+  double max_rel_err = 0.0;
+};
+
+struct BenchFile {
+  std::string schema;
+  std::string model;
+  bool quick = false;
+  std::vector<Row> rows;
+};
+
+/// Extracts the number following `"key": ` in `line`, if present.
+std::optional<double> find_number(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* p = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p) return std::nullopt;
+  return v;
+}
+
+/// Extracts the string following `"key": "` in `line`, if present.
+std::optional<std::string> find_string(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const auto start = at + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(start, close - start);
+}
+
+std::optional<BenchFile> parse(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  BenchFile f;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (f.schema.empty()) {
+      if (auto s = find_string(line, "schema")) f.schema = *s;
+    }
+    if (f.model.empty()) {
+      if (auto s = find_string(line, "model")) f.model = *s;
+    }
+    if (line.find("\"quick\": true") != std::string::npos) f.quick = true;
+    const auto mode = find_string(line, "mode");
+    const auto n = find_number(line, "n");
+    if (!mode || !n) continue;
+    Row r;
+    r.mode = *mode;
+    r.n = static_cast<std::size_t>(*n);
+    r.full_evals_per_sec = find_number(line, "full_evals_per_sec").value_or(0.0);
+    r.delta_evals_per_sec = find_number(line, "delta_evals_per_sec").value_or(0.0);
+    r.speedup = find_number(line, "speedup").value_or(0.0);
+    r.max_rel_err = find_number(line, "max_rel_err").value_or(0.0);
+    f.rows.push_back(std::move(r));
+  }
+  if (f.rows.empty()) {
+    std::fprintf(stderr, "bench_diff: no result rows found in %s\n", path);
+    return std::nullopt;
+  }
+  return f;
+}
+
+const Row* find_row(const BenchFile& f, const std::string& mode, std::size_t n) {
+  for (const Row& r : f.rows)
+    if (r.mode == mode && r.n == n) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regression_pct = 20.0;
+  const char* fresh_path = nullptr;
+  const char* committed_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      max_regression_pct = std::strtod(argv[++i], nullptr);
+      if (!(max_regression_pct > 0.0) || !std::isfinite(max_regression_pct)) {
+        std::fprintf(stderr, "bench_diff: --max-regression must be a positive percentage\n");
+        return 2;
+      }
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else if (committed_path == nullptr) {
+      committed_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_diff <fresh.json> <committed.json> [--max-regression PCT]\n");
+      return 2;
+    }
+  }
+  if (fresh_path == nullptr || committed_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <fresh.json> <committed.json> [--max-regression PCT]\n");
+    return 2;
+  }
+
+  const auto fresh = parse(fresh_path);
+  const auto committed = parse(committed_path);
+  if (!fresh || !committed) return 2;
+  if (fresh->schema != committed->schema)
+    std::fprintf(stderr, "bench_diff: note: schema differs (fresh '%s' vs committed '%s')\n",
+                 fresh->schema.c_str(), committed->schema.c_str());
+  if (fresh->model != committed->model)
+    std::fprintf(stderr, "bench_diff: note: model differs (fresh '%s' vs committed '%s')\n",
+                 fresh->model.c_str(), committed->model.c_str());
+  if (fresh->quick != committed->quick)
+    std::fprintf(stderr,
+                 "bench_diff: note: timing budgets differ (fresh %s vs committed %s) — "
+                 "ratios carry extra noise; widen --max-regression accordingly\n",
+                 fresh->quick ? "quick" : "full", committed->quick ? "quick" : "full");
+
+  const double floor = 1.0 - max_regression_pct / 100.0;
+  bool failed = false;
+
+  std::printf("%-17s %5s  %9s %9s %7s   %9s %7s\n", "mode", "n", "spd.base", "spd.fresh",
+              "ratio", "thr.ratio", "status");
+  for (const Row& base : committed->rows) {
+    const Row* f = find_row(*fresh, base.mode, base.n);
+    if (f == nullptr) {
+      std::printf("%-17s %5zu  %9.2f %9s %7s   %9s %7s\n", base.mode.c_str(), base.n,
+                  base.speedup, "-", "-", "-", "MISSING");
+      failed = true;
+      continue;
+    }
+    const double ratio = base.speedup > 0.0 ? f->speedup / base.speedup : 0.0;
+    const double thr_ratio = base.delta_evals_per_sec > 0.0
+                                 ? f->delta_evals_per_sec / base.delta_evals_per_sec
+                                 : 0.0;
+    // exp_batch measures the batched-vs-libm kernel, whose speedup depends
+    // on the runner's ISA (AVX2+FMA vs baseline SSE2), not on the code under
+    // review — report it, gate only its accuracy.
+    const bool gated = base.mode != "exp_batch";
+    const bool regressed = gated && ratio < floor;
+    const bool inaccurate = f->max_rel_err > 1e-9;
+    failed = failed || regressed || inaccurate;
+    std::printf("%-17s %5zu  %9.2f %9.2f %7.2f   %9.2f %7s\n", base.mode.c_str(), base.n,
+                base.speedup, f->speedup, ratio, thr_ratio,
+                inaccurate ? "ERR" : (regressed ? "REGR" : (gated ? "ok" : "info")));
+  }
+  for (const Row& f : fresh->rows) {
+    if (find_row(*committed, f.mode, f.n) == nullptr)
+      std::printf("%-17s %5zu  %9s %9.2f %7s   %9s %7s\n", f.mode.c_str(), f.n, "-", f.speedup,
+                  "-", "-", "new");
+  }
+
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_diff: FAIL — speedup regression > %.0f%%, missing row, or "
+                 "max_rel_err > 1e-9 (see table)\n",
+                 max_regression_pct);
+    return 1;
+  }
+  std::printf("bench_diff: ok (no speedup regression > %.0f%%, accuracy within 1e-9)\n",
+              max_regression_pct);
+  return 0;
+}
