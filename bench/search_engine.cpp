@@ -22,6 +22,22 @@
 ///  * `bnb_extend` — a random extend/pop walk pricing σ after every
 ///    extension. Full = charge_lost over the whole prefix profile,
 ///    O(depth · terms); delta = warm prefix rows, O(terms).
+///  * `order_tree` — price the first 256 complete topological orders of the
+///    graph (one fixed assignment). Full = the legacy exhaustive shape
+///    (materialized order list, evaluator reset + full re-extension per
+///    order); delta = the streaming core::OrderTreeWalker, which shares
+///    sequence-prefix state *across orders*. The speedup is the cross-order
+///    prefix sharing the PR's refactor buys.
+///
+/// Parallel modes (wall-clock scaling; speedup = --jobs N vs 1 worker on
+/// identical work, so it depends on the runner's core count — tools/
+/// bench_diff reports these rows as info and gates only their accuracy):
+///
+///  * `parallel_bnb` — frontier-split B&B solves of a fixed 11-task
+///    instance; "max_rel_err" doubles as the byte-determinism check
+///    (σ at --jobs N must equal σ at 1 worker exactly).
+///  * `portfolio` — an 8-restart annealing portfolio on the n=50 graph,
+///    same determinism check.
 ///
 /// Kernel micro-mode (model-independent, emitted once):
 ///
@@ -34,7 +50,8 @@
 ///
 /// Flags: --quick (shorter timing windows), --out <path> (default
 /// BENCH_search.json), --model rv|kibam|peukert|ideal (battery model for the
-/// schedule workloads; default rv), --check (exit 1 unless the
+/// schedule workloads; default rv), --jobs N (worker count for the parallel
+/// modes; default: hardware concurrency), --check (exit 1 unless the
 /// anneal_candidate speedup at n=100 is >= 5x and pricing agrees — rv only;
 /// CI additionally diffs against the committed snapshot via
 /// tools/bench_diff).
@@ -47,8 +64,12 @@
 #include <string>
 #include <vector>
 
+#include "basched/analysis/executor.hpp"
+#include "basched/baselines/parallel.hpp"
 #include "basched/baselines/random_search.hpp"
 #include "basched/battery/ideal.hpp"
+#include "basched/core/order_tree.hpp"
+#include "basched/graph/topology.hpp"
 #include "basched/battery/kibam.hpp"
 #include "basched/battery/peukert.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
@@ -385,6 +406,175 @@ Result bench_bnb_extend(const graph::TaskGraph& g, const battery::BatteryModel& 
   return r;
 }
 
+/// Streaming order-tree walk vs the legacy materialize-and-reset shape: both
+/// sides price σ at the end of the *same* first-K complete topological
+/// orders under one fixed assignment; the delta side shares each order's
+/// common prefix with its predecessor instead of re-extending from scratch.
+Result bench_order_tree(const graph::TaskGraph& g, const battery::BatteryModel& model,
+                        double budget_s) {
+  constexpr std::size_t kOrders = 256;
+  const std::size_t n = g.num_tasks();
+
+  // Pinned-assignment visitor: explore column 0 only, price each leaf, stop
+  // after kOrders leaves. The DFS child order matches all_topological_orders,
+  // so both sides see the identical order set.
+  struct Walk {
+    std::size_t limit;
+    std::size_t leaves = 0;
+    double last_sigma = 0.0;
+    std::vector<std::vector<graph::TaskId>>* collect = nullptr;
+
+    bool node(core::OrderTreeWalker&) { return true; }
+    bool enter(core::OrderTreeWalker&, graph::TaskId, std::size_t col,
+               const graph::DesignPoint&) {
+      return col == 0;
+    }
+    void leaf(core::OrderTreeWalker& w) {
+      last_sigma = w.evaluator().prefix_sigma();
+      if (collect != nullptr) collect->push_back(w.sequence());
+      if (++leaves >= limit) w.stop();
+    }
+  };
+
+  // Materialize the order list once (this is the legacy data structure; its
+  // cost is *not* charged to either side — the comparison isolates the
+  // pricing walk).
+  std::vector<std::vector<graph::TaskId>> orders;
+  core::ScheduleEvaluator eval(g, model);
+  core::OrderTreeWalker walker(g, eval);
+  {
+    Walk collector{kOrders};
+    collector.collect = &orders;
+    (void)walker.walk(collector);
+  }
+
+  Result r;
+  r.n = n;
+  r.mode = "order_tree";
+  r.candidates = orders.size();
+
+  // Cross-check: streaming leaf σ vs per-order reset pricing.
+  {
+    core::ScheduleEvaluator check(g, model);
+    std::vector<double> reset_sigmas;
+    for (const auto& order : orders) {
+      check.reset();
+      for (const graph::TaskId v : order) check.extend(v, 0);
+      reset_sigmas.push_back(check.prefix_sigma());
+    }
+    std::size_t i = 0;
+    struct Verify {
+      const std::vector<double>& expect;
+      std::size_t& i;
+      double max_rel_err = 0.0;
+      bool node(core::OrderTreeWalker&) { return true; }
+      bool enter(core::OrderTreeWalker&, graph::TaskId, std::size_t col,
+                 const graph::DesignPoint&) {
+        return col == 0;
+      }
+      void leaf(core::OrderTreeWalker& w) {
+        const double sigma = w.evaluator().prefix_sigma();
+        const double want = expect[i];
+        max_rel_err =
+            std::max(max_rel_err, std::abs(sigma - want) / std::max(1.0, std::abs(want)));
+        if (++i >= expect.size()) w.stop();
+      }
+    } verify{reset_sigmas, i};
+    (void)walker.walk(verify);
+    r.max_rel_err = verify.max_rel_err;
+  }
+
+  // Full: the legacy exhaustive inner loop — reset + re-extend every task of
+  // every order. Throughput counts orders priced.
+  const double full_passes = throughput(1, budget_s, [&](std::size_t) {
+    for (const auto& order : orders) {
+      eval.reset();
+      for (const graph::TaskId v : order) eval.extend(v, 0);
+      (void)eval.prefix_sigma();
+    }
+  });
+  r.full_evals_per_sec = full_passes * static_cast<double>(orders.size());
+
+  // Delta: one streaming walk over the same leaves.
+  eval.reset();
+  const double delta_passes = throughput(1, budget_s, [&](std::size_t) {
+    Walk pass{orders.size()};
+    (void)walker.walk(pass);
+  });
+  r.delta_evals_per_sec = delta_passes * static_cast<double>(orders.size());
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
+/// Wall-clock scaling of the frontier-split parallel B&B: identical solves
+/// on 1 worker vs --jobs workers. max_rel_err doubles as the determinism
+/// check — the two σ values must match exactly.
+Result bench_parallel_bnb(const battery::BatteryModel& model, unsigned jobs, double budget_s) {
+  util::Rng rng(4242);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  const auto g = graph::make_series_parallel(11, synth, rng);
+  const double deadline =
+      g.column_time(0) + 0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+
+  Result r;
+  r.n = g.num_tasks();
+  r.mode = "parallel_bnb";
+  r.candidates = 1;
+
+  analysis::Executor serial(1);
+  analysis::Executor parallel(jobs);
+  const auto solve = [&](analysis::Executor& executor) {
+    const auto res =
+        baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor);
+    return res && res->feasible ? res->sigma : -1.0;
+  };
+  const double sigma_serial = solve(serial);
+  const double sigma_parallel = solve(parallel);
+  r.max_rel_err = std::abs(sigma_serial - sigma_parallel) /
+                  std::max(1.0, std::abs(sigma_serial));  // byte-determinism: expect 0
+
+  r.full_evals_per_sec = throughput(1, budget_s, [&](std::size_t) { (void)solve(serial); });
+  r.delta_evals_per_sec = throughput(1, budget_s, [&](std::size_t) { (void)solve(parallel); });
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
+/// Wall-clock scaling of the annealing restart portfolio (8 restarts), same
+/// determinism check as parallel_bnb.
+Result bench_portfolio(const graph::TaskGraph& g, const battery::BatteryModel& model,
+                       unsigned jobs, double budget_s) {
+  const double deadline =
+      g.column_time(0) + 0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+  baselines::AnnealingPortfolioOptions opts;
+  opts.annealing.iterations = 2000;
+  opts.annealing.seed = 77;
+  opts.restarts = 8;
+
+  Result r;
+  r.n = g.num_tasks();
+  r.mode = "portfolio";
+  r.candidates = opts.restarts;
+
+  analysis::Executor serial(1);
+  analysis::Executor parallel(jobs);
+  const auto solve = [&](analysis::Executor& executor) {
+    const auto res = baselines::schedule_annealing_portfolio(g, deadline, model, executor, opts);
+    return res.feasible ? res.sigma : -1.0;
+  };
+  const double sigma_serial = solve(serial);
+  const double sigma_parallel = solve(parallel);
+  r.max_rel_err =
+      std::abs(sigma_serial - sigma_parallel) / std::max(1.0, std::abs(sigma_serial));
+
+  r.full_evals_per_sec = throughput(1, budget_s, [&](std::size_t) { (void)solve(serial); }) *
+                         static_cast<double>(opts.restarts);
+  r.delta_evals_per_sec = throughput(1, budget_s, [&](std::size_t) { (void)solve(parallel); }) *
+                          static_cast<double>(opts.restarts);
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
 /// Kernel micro-mode: exponentials/sec, element-wise std::exp vs
 /// fastmath::batch_exp, over arguments shaped like the series' exponents
 /// (90 % in the working band, a slice of deep/underflow tail).
@@ -435,7 +625,7 @@ std::unique_ptr<battery::BatteryModel> make_model(const std::string& name) {
   return nullptr;
 }
 
-void write_json(const std::string& path, const std::string& model_name,
+void write_json(const std::string& path, const std::string& model_name, unsigned jobs,
                 const std::vector<Result>& results, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -443,7 +633,8 @@ void write_json(const std::string& path, const std::string& model_name,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"basched-bench-search-v2\",\n");
+  std::fprintf(f, "  \"schema\": \"basched-bench-search-v3\",\n");
+  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
   std::fprintf(f, "  \"build\": \"%s\",\n",
 #ifdef NDEBUG
                "release"
@@ -476,6 +667,7 @@ int main(int argc, char** argv) {
   bool check = false;
   std::string out = "BENCH_search.json";
   std::string model_name = "rv";
+  unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -485,13 +677,16 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
       model_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: search_engine [--quick] [--check] [--model rv|kibam|peukert|ideal] "
-                   "[--out BENCH_search.json]\n");
+                   "[--jobs N] [--out BENCH_search.json]\n");
       return 2;
     }
   }
+  if (jobs == 0) jobs = analysis::Executor::default_jobs();
 
   const std::unique_ptr<battery::BatteryModel> model = make_model(model_name);
   if (model == nullptr) {
@@ -507,25 +702,41 @@ int main(int argc, char** argv) {
               results.back().full_evals_per_sec, results.back().delta_evals_per_sec,
               results.back().speedup, util::fastmath::exp_kernel_name());
 
+  graph::TaskGraph portfolio_graph;  // the n=50 instance, reused below
   for (const std::size_t n : {std::size_t{20}, std::size_t{50}, std::size_t{100},
                               std::size_t{200}}) {
     util::Rng rng(1000 + n);
     graph::DesignPointSynthesis synth;
     synth.num_points = 4;
     const auto g = graph::make_series_parallel(n, synth, rng);
+    if (n == 50) portfolio_graph = g;
     results.push_back(bench_anneal(g, *model, 7 * n + 1, budget_s, /*with_commits=*/false));
     results.push_back(bench_anneal(g, *model, 7 * n + 2, budget_s, /*with_commits=*/true));
     results.push_back(bench_commit_move(g, *model, 7 * n + 4, budget_s));
     results.push_back(bench_bnb_extend(g, *model, 7 * n + 3, budget_s));
+    results.push_back(bench_order_tree(g, *model, budget_s));
     std::printf("n=%3zu  candidate %8.0f -> %9.0f evals/s (%5.1fx)   mix %5.1fx   "
-                "commit %5.1fx   bnb_extend %5.1fx\n",
-                n, results[results.size() - 4].full_evals_per_sec,
-                results[results.size() - 4].delta_evals_per_sec,
-                results[results.size() - 4].speedup, results[results.size() - 3].speedup,
-                results[results.size() - 2].speedup, results[results.size() - 1].speedup);
+                "commit %5.1fx   bnb_extend %5.1fx   order_tree %5.1fx\n",
+                n, results[results.size() - 5].full_evals_per_sec,
+                results[results.size() - 5].delta_evals_per_sec,
+                results[results.size() - 5].speedup, results[results.size() - 4].speedup,
+                results[results.size() - 3].speedup, results[results.size() - 2].speedup,
+                results[results.size() - 1].speedup);
   }
 
-  write_json(out, model->name(), results, quick);
+  // Parallel modes: wall-clock scaling at --jobs vs one worker. On a
+  // single-core container expect ~1.0x; these rows are hardware reports,
+  // not code gates (bench_diff treats them as info).
+  results.push_back(bench_parallel_bnb(*model, jobs, budget_s));
+  std::printf("parallel_bnb  n=%zu  %0.3f -> %0.3f solves/s (%4.2fx at --jobs %u)\n",
+              results.back().n, results.back().full_evals_per_sec,
+              results.back().delta_evals_per_sec, results.back().speedup, jobs);
+  results.push_back(bench_portfolio(portfolio_graph, *model, jobs, budget_s));
+  std::printf("portfolio     n=%zu  %0.3f -> %0.3f restarts/s (%4.2fx at --jobs %u)\n",
+              results.back().n, results.back().full_evals_per_sec,
+              results.back().delta_evals_per_sec, results.back().speedup, jobs);
+
+  write_json(out, model->name(), jobs, results, quick);
   std::printf("wrote %s\n", out.c_str());
 
   if (check) {

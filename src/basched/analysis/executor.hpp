@@ -11,16 +11,42 @@
 /// exactly the pre-executor code.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace basched::analysis {
+
+/// A monotonically decreasing bound shared between search workers (the
+/// parallel branch-and-bound incumbent σ). Readers use it only to prune —
+/// a stale read costs extra work, never correctness — so all accesses are
+/// relaxed; the bound itself only ever tightens.
+class SharedMinBound {
+ public:
+  explicit SharedMinBound(double initial = std::numeric_limits<double>::infinity()) noexcept
+      : value_(initial) {}
+
+  [[nodiscard]] double load() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  /// Lowers the bound to `v` when that improves it (CAS loop); returns true
+  /// iff `v` became the new minimum.
+  bool update_min(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v < cur)
+      if (value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) return true;
+    return false;
+  }
+
+ private:
+  std::atomic<double> value_;
+};
 
 /// Fixed-size thread pool with batch (fork-join) semantics.
 ///

@@ -1,5 +1,6 @@
 #include "basched/baselines/annealing.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -66,6 +67,35 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   // bumps, dependency-violating swaps) still cool and count toward
   // `iterations`: runtime is bounded and fixed-seed runs are comparable.
   for (int it = 0; it < options.iterations; ++it, temp *= options.cooling) {
+    if (options.segment_reversal && n >= 3 && rng.bernoulli(options.reversal_prob)) {
+      // Move (c): reverse a short dependency-free segment. The reversal is
+      // committed first (its σ is one read off the rescaled rows) and — being
+      // its own inverse — rolled back by a second commit when rejected.
+      const std::size_t i = rng.pick_index(n - 2);
+      const std::size_t cap = std::min(options.max_segment, n - i);
+      if (cap < 3) continue;  // no-op move: still cools and counts
+      const std::size_t len = 3 + rng.pick_index(cap - 2);
+      const std::size_t j = i + len - 1;
+      bool legal = true;
+      for (std::size_t a = i; legal && a < j; ++a)
+        for (std::size_t b = a + 1; legal && b <= j; ++b)
+          if (graph.has_edge(current.sequence[a], current.sequence[b])) legal = false;
+      if (!legal) continue;  // reversing would violate a dependency
+      const core::CostResult prop = eval.commit_reverse_segment(i, j);
+      const double prop_cost = penalized(prop.sigma, prop.duration);
+      const double delta = prop_cost - cur_cost;
+      if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-12))) {
+        std::reverse(current.sequence.begin() + static_cast<std::ptrdiff_t>(i),
+                     current.sequence.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        for (std::size_t k = i; k <= j; ++k) pos[current.sequence[k]] = k;
+        cur = prop;
+        cur_cost = prop_cost;
+        consider_best(cur);
+      } else {
+        (void)eval.commit_reverse_segment(i, j);  // roll back
+      }
+      continue;
+    }
     enum class Move { Bump, Swap } kind = Move::Bump;
     std::size_t changed_pos = 0;
     graph::TaskId bump_task = 0;

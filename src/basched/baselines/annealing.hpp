@@ -9,10 +9,15 @@
 ///
 /// Moves: (a) bump one task's design-point one column up or down; (b) swap
 /// two adjacent sequence positions when the swap keeps the order
-/// topological. Deadline violations are penalized proportionally to the
+/// topological; (c) — gated behind AnnealingOptions::segment_reversal —
+/// reverse a short dependency-free segment, committed through the
+/// evaluator's analytic adjacent-swap rescales (O(terms) exps total, zero on
+/// a warm duration cache) with one σ read, and rolled back the same way when
+/// rejected. Deadline violations are penalized proportionally to the
 /// overrun, so the search can cross infeasible regions but settles feasible.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "basched/baselines/result.hpp"
@@ -28,6 +33,12 @@ struct AnnealingOptions {
   double initial_temp = 0.0;     ///< 0 = auto (10% of the initial cost)
   double cooling = 0.999;        ///< geometric cooling factor per move
   double deadline_penalty = 50.0;  ///< cost per mA·min-equivalent minute of overrun
+
+  /// Move (c): large-neighborhood segment reversal. Off by default so
+  /// fixed-seed trajectories of existing configs are unchanged.
+  bool segment_reversal = false;
+  double reversal_prob = 0.2;    ///< chance an iteration proposes move (c)
+  std::size_t max_segment = 6;   ///< longest segment (tasks) a reversal spans
 };
 
 /// Runs simulated annealing. Throws std::invalid_argument on an empty/cyclic

@@ -1,0 +1,95 @@
+/// \file bnb_walk.hpp
+/// \brief Internal: the branch-and-bound policy on the shared order-tree
+/// walker, used by both the sequential driver (branch_and_bound.cpp) and the
+/// frontier-split parallel driver (parallel.cpp). Not part of the public
+/// baselines API.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/core/order_tree.hpp"
+
+namespace basched::baselines::detail {
+
+/// Order-tree visitor implementing the two admissible B&B bounds (deadline,
+/// incumbent σ) plus the node budget. One instance per walker/worker; the
+/// optional shared state connects workers of the parallel driver.
+struct BnbWalkVisitor {
+  double deadline = 0.0;
+  std::uint64_t max_nodes = 0;
+
+  BnbStats stats;
+  double best_sigma = std::numeric_limits<double>::infinity();
+  core::Schedule best;
+  bool found = false;
+  bool aborted = false;
+
+  /// Cross-worker incumbent / node budget; null in the single-walker path.
+  /// With sharing on, the σ prune switches from >= to a strict >, so an
+  /// equal-σ optimum *survives in every subtree that contains one* no matter
+  /// when another worker published the bound — each worker then records its
+  /// subtree's DFS-first optimal leaf deterministically, and the
+  /// index-ordered reduction in parallel.cpp picks a unique winner
+  /// regardless of thread timing.
+  analysis::SharedMinBound* shared_bound = nullptr;
+  std::atomic<std::uint64_t>* shared_nodes = nullptr;
+
+  [[nodiscard]] double bound() const noexcept {
+    return shared_bound != nullptr ? std::min(best_sigma, shared_bound->load()) : best_sigma;
+  }
+
+  bool node(core::OrderTreeWalker& w) {
+    if (!count_node(w)) return false;
+    auto& eval = w.evaluator();
+    if (eval.prefix_duration() + w.remaining_min_duration() > deadline * (1.0 + 1e-12)) {
+      ++stats.pruned_deadline;
+      return false;
+    }
+    const double lower = eval.prefix_energy() + w.remaining_min_energy();
+    const double b = bound();
+    if (shared_bound != nullptr ? lower > b : lower >= b) {
+      ++stats.pruned_sigma;
+      return false;
+    }
+    return true;
+  }
+
+  bool enter(core::OrderTreeWalker& w, graph::TaskId, std::size_t,
+             const graph::DesignPoint& pt) {
+    // This design-point alone breaks the deadline bound.
+    return w.evaluator().prefix_duration() + pt.duration + w.remaining_min_duration() <=
+           deadline * (1.0 + 1e-12);
+  }
+
+  void leaf(core::OrderTreeWalker& w) {
+    if (!count_node(w)) return;
+    const double sigma = w.evaluator().prefix_sigma();  // O(terms): prefix state is warm
+    if (sigma < best_sigma) {
+      best_sigma = sigma;
+      best = core::Schedule{w.sequence(), w.assignment()};
+      found = true;
+      if (shared_bound != nullptr) shared_bound->update_min(sigma);
+    }
+  }
+
+ private:
+  bool count_node(core::OrderTreeWalker& w) {
+    ++stats.nodes_visited;
+    const std::uint64_t total =
+        shared_nodes != nullptr ? shared_nodes->fetch_add(1, std::memory_order_relaxed) + 1
+                                : stats.nodes_visited;
+    if (total > max_nodes) {
+      aborted = true;
+      w.stop();
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace basched::baselines::detail

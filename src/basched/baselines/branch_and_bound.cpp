@@ -1,124 +1,14 @@
 #include "basched/baselines/branch_and_bound.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
 
+#include "basched/baselines/bnb_walk.hpp"
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/order_tree.hpp"
 #include "basched/core/schedule_evaluator.hpp"
 
 namespace basched::baselines {
-
-namespace {
-
-struct SearchState {
-  const graph::TaskGraph& graph;
-  double deadline;
-  const BnbOptions& options;
-  BnbStats stats;
-
-  std::vector<double> min_duration;  ///< per task, fastest design-point
-  std::vector<double> min_energy;    ///< per task, cheapest design-point energy
-
-  std::vector<std::size_t> indeg;    ///< remaining unscheduled predecessors
-  std::vector<graph::TaskId> prefix_seq;
-  core::Assignment assignment;
-  /// Incremental prefix state: cumulative time/charge and the decayed RV
-  /// partial sums live here, so extending a node is O(terms) and a complete
-  /// leaf is priced in O(terms) — not O(depth · terms) as the old
-  /// full-profile re-pricing cost.
-  core::ScheduleEvaluator evaluator;
-  double remaining_min_duration = 0.0;
-  double remaining_min_energy = 0.0;
-
-  double best_sigma = std::numeric_limits<double>::infinity();
-  core::Schedule best;
-  bool found = false;
-  bool aborted = false;
-
-  explicit SearchState(const graph::TaskGraph& g, double d, const battery::BatteryModel& m,
-                       const BnbOptions& o)
-      : graph(g), deadline(d), options(o), evaluator(g, m) {
-    const std::size_t n = g.num_tasks();
-    min_duration.resize(n);
-    min_energy.resize(n);
-    indeg.resize(n);
-    assignment.assign(n, 0);
-    for (graph::TaskId v = 0; v < n; ++v) {
-      min_duration[v] = g.task(v).min_duration();
-      double e = std::numeric_limits<double>::infinity();
-      for (const auto& pt : g.task(v).points()) e = std::min(e, pt.energy());
-      min_energy[v] = e;
-      indeg[v] = g.predecessors(v).size();
-      remaining_min_duration += min_duration[v];
-      remaining_min_energy += e;
-    }
-  }
-
-  void dfs() {
-    if (aborted) return;
-    if (++stats.nodes_visited > options.max_nodes) {
-      aborted = true;
-      return;
-    }
-    const std::size_t n = graph.num_tasks();
-    if (prefix_seq.size() == n) {
-      const double sigma = evaluator.prefix_sigma();  // O(terms): prefix state is warm
-      if (sigma < best_sigma) {
-        best_sigma = sigma;
-        best = core::Schedule{prefix_seq, assignment};
-        found = true;
-      }
-      return;
-    }
-
-    // Bound checks for the *current* partial node.
-    if (evaluator.prefix_duration() + remaining_min_duration > deadline * (1.0 + 1e-12)) {
-      ++stats.pruned_deadline;
-      return;
-    }
-    if (evaluator.prefix_energy() + remaining_min_energy >= best_sigma) {
-      ++stats.pruned_sigma;
-      return;
-    }
-
-    for (graph::TaskId v = 0; v < n; ++v) {
-      if (indeg[v] != 0 || indeg[v] == kScheduled) continue;
-      // Place v next, trying higher-current design-points first (they tend
-      // to belong early in good schedules, improving the incumbent sooner).
-      indeg[v] = kScheduled;
-      for (graph::TaskId w : graph.successors(v)) --indeg[w];
-      prefix_seq.push_back(v);
-      remaining_min_duration -= min_duration[v];
-      remaining_min_energy -= min_energy[v];
-
-      for (std::size_t j = 0; j < graph.num_design_points(); ++j) {
-        const auto& pt = graph.task(v).point(j);
-        if (evaluator.prefix_duration() + pt.duration + remaining_min_duration >
-            deadline * (1.0 + 1e-12))
-          continue;  // this design-point alone breaks the deadline bound
-        assignment[v] = j;
-        evaluator.extend(v, j);
-        dfs();
-        evaluator.pop();
-        if (aborted) break;
-      }
-
-      remaining_min_duration += min_duration[v];
-      remaining_min_energy += min_energy[v];
-      prefix_seq.pop_back();
-      for (graph::TaskId w : graph.successors(v)) ++indeg[w];
-      indeg[v] = 0;
-      if (aborted) return;
-    }
-  }
-
- private:
-  static constexpr std::size_t kScheduled = static_cast<std::size_t>(-1);
-};
-
-}  // namespace
 
 std::optional<ScheduleResult> schedule_branch_and_bound(const graph::TaskGraph& graph,
                                                         double deadline,
@@ -129,31 +19,37 @@ std::optional<ScheduleResult> schedule_branch_and_bound(const graph::TaskGraph& 
   if (!(deadline > 0.0))
     throw std::invalid_argument("schedule_branch_and_bound: deadline must be > 0");
 
-  SearchState state(graph, deadline, model, options);
+  // The search tree lives in the shared order-tree walker; this function only
+  // supplies the B&B pruning policy and the incumbent seed.
+  core::ScheduleEvaluator evaluator(graph, model);
+  core::OrderTreeWalker walker(graph, evaluator);
+  detail::BnbWalkVisitor visitor;
+  visitor.deadline = deadline;
+  visitor.max_nodes = options.max_nodes;
 
   if (options.seed_with_heuristic) {
     const auto seed = core::schedule_battery_aware(graph, deadline, model);
     if (seed.feasible) {
-      state.best_sigma = seed.sigma;
-      state.best = seed.schedule;
-      state.found = true;
+      visitor.best_sigma = seed.sigma;
+      visitor.best = seed.schedule;
+      visitor.found = true;
     }
   }
 
-  state.dfs();
-  if (stats != nullptr) *stats = state.stats;
-  if (state.aborted) return std::nullopt;
+  walker.walk(visitor);
+  if (stats != nullptr) *stats = visitor.stats;
+  if (visitor.aborted) return std::nullopt;
 
   ScheduleResult result;
-  result.nodes_explored = state.stats.nodes_visited;
-  result.evaluations = state.evaluator.evaluations();
-  if (!state.found) {
+  result.nodes_explored = visitor.stats.nodes_visited;
+  result.evaluations = evaluator.evaluations();
+  if (!visitor.found) {
     result.error = "deadline unmeetable: every completion exceeds it";
     return result;
   }
-  const core::CostResult cost = core::calculate_battery_cost(graph, state.best, model);
+  const core::CostResult cost = core::calculate_battery_cost(graph, visitor.best, model);
   result.feasible = true;
-  result.schedule = state.best;
+  result.schedule = visitor.best;
   result.sigma = cost.sigma;
   result.duration = cost.duration;
   result.energy = cost.energy;

@@ -2,9 +2,11 @@
 /// \brief Exact battery-optimal scheduling by branch-and-bound — extends the
 /// reach of the exhaustive baseline by an order of magnitude.
 ///
-/// Search tree: nodes fix a prefix of the sequence (chosen from the ready
-/// list, so every leaf is a topological order) together with the
-/// design-point of each placed task. Pruning uses two admissible bounds:
+/// The search tree is the shared order tree (core::OrderTreeWalker): nodes
+/// fix a prefix of the sequence (chosen from the Kahn ready set, so every
+/// leaf is a topological order) together with the design-point of each
+/// placed task; this file contributes only the pruning policy
+/// (bnb_walk.hpp), which uses two admissible bounds:
 ///
 ///  * **deadline bound** — prefix duration + Σ fastest durations of the
 ///    remaining tasks must fit the deadline;

@@ -3,53 +3,47 @@
 #include <stdexcept>
 
 #include "basched/core/battery_cost.hpp"
+#include "basched/core/order_tree.hpp"
 #include "basched/core/schedule_evaluator.hpp"
-#include "basched/graph/topology.hpp"
 
 namespace basched::baselines {
 
 namespace {
 
-/// Lexicographic depth-first enumeration of all design-point assignments for
-/// one fixed order, through the shared evaluator: successive assignments
-/// share maximal profile prefixes, so each enumeration step (extend one
-/// task's interval) costs O(terms) and a complete assignment is priced in
-/// O(terms) — not O(n · terms) as the old odometer's full re-evaluations.
-struct Enumerator {
-  const graph::TaskGraph& graph;
-  const std::vector<graph::TaskId>& order;
-  const std::vector<double>& suffix_min_duration;  ///< Σ fastest durations of order[i..]
-  double tol;
-  core::ScheduleEvaluator& eval;
-  core::Assignment& assign;
+/// Exhaustive policy on the shared order-tree walker: no node-level pruning
+/// (every subtree is visited), only the admissible deadline bound per child —
+/// even the fastest completion of the remaining tasks cannot rescue a child
+/// that already overruns. The walker shares sequence-prefix pricing state
+/// across orders, so each enumeration step costs O(terms).
+struct ExhaustiveVisitor {
+  double tol;                 ///< deadline * (1 + 1e-9)
+  std::uint64_t max_nodes;    ///< 0 = unbounded
   ScheduleResult& best;
-  std::uint64_t nodes = 0;
+  std::uint64_t steps = 0;
+  bool truncated = false;
 
-  void dfs(std::size_t i) {
-    const std::size_t n = order.size();
-    if (i == n) {
-      const double sigma = eval.prefix_sigma();
-      if (!best.feasible || sigma < best.sigma) {
-        best.feasible = true;
-        best.error.clear();
-        best.schedule = core::Schedule{order, assign};
-        best.sigma = sigma;
-        best.duration = eval.prefix_duration();
-        best.energy = eval.prefix_energy();
-      }
-      return;
+  bool node(core::OrderTreeWalker&) { return true; }
+
+  bool enter(core::OrderTreeWalker& w, graph::TaskId, std::size_t,
+             const graph::DesignPoint& pt) {
+    ++steps;
+    if (max_nodes != 0 && steps > max_nodes) {
+      truncated = true;
+      w.stop();
+      return false;
     }
-    const graph::TaskId v = order[i];
-    for (std::size_t j = 0; j < graph.num_design_points(); ++j) {
-      ++nodes;
-      const auto& pt = graph.task(v).point(j);
-      // Admissible deadline bound: even the fastest completion of the
-      // remaining tasks cannot rescue this subtree.
-      if (eval.prefix_duration() + pt.duration + suffix_min_duration[i + 1] > tol) continue;
-      eval.extend(v, j);
-      assign[v] = j;
-      dfs(i + 1);
-      eval.pop();
+    return w.evaluator().prefix_duration() + pt.duration + w.remaining_min_duration() <= tol;
+  }
+
+  void leaf(core::OrderTreeWalker& w) {
+    const double sigma = w.evaluator().prefix_sigma();
+    if (!best.feasible || sigma < best.sigma) {
+      best.feasible = true;
+      best.error.clear();
+      best.schedule = core::Schedule{w.sequence(), w.assignment()};
+      best.sigma = sigma;
+      best.duration = w.evaluator().prefix_duration();
+      best.energy = w.evaluator().prefix_energy();
     }
   }
 };
@@ -72,29 +66,22 @@ std::optional<ScheduleResult> schedule_exhaustive(const graph::TaskGraph& graph,
     if (space > static_cast<double>(options.max_assignments)) return std::nullopt;
   }
 
-  const auto orders = graph::all_topological_orders(graph, options.max_orders);
-  if (!orders) return std::nullopt;
-
-  const double tol = deadline * (1.0 + 1e-9);
   ScheduleResult best;
   best.error = "deadline unmeetable: every assignment exceeds it";
 
   core::ScheduleEvaluator eval(graph, model);
-  core::Assignment assign(n, 0);
-  std::vector<double> suffix_min_duration(n + 1, 0.0);
-  std::uint64_t nodes = 0;
+  core::OrderTreeWalker walker(graph, eval);
+  ExhaustiveVisitor visitor{deadline * (1.0 + 1e-9), options.max_nodes, best};
+  walker.walk(visitor);
 
-  for (const auto& order : *orders) {
-    for (std::size_t i = n; i-- > 0;)
-      suffix_min_duration[i] = suffix_min_duration[i + 1] + graph.task(order[i]).min_duration();
-    eval.reset();
-    Enumerator enumerator{graph, order, suffix_min_duration, tol, eval, assign, best};
-    enumerator.dfs(0);
-    nodes += enumerator.nodes;
-  }
-
-  best.nodes_explored = nodes;
+  best.nodes_explored = visitor.steps;
   best.evaluations = eval.evaluations();
+  best.truncated = visitor.truncated;
+  if (!best.feasible && best.truncated) {
+    // The walk stopped before covering the tree, so "unmeetable" would be
+    // an unproven claim — report the budget, not a verdict.
+    best.error = "node budget exceeded before any feasible schedule was found";
+  }
   if (best.feasible) {
     // Report the winner at reference precision (outside the enumeration).
     const core::CostResult cost = core::calculate_battery_cost_unchecked(graph, best.schedule, model);

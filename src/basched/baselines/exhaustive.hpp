@@ -2,12 +2,16 @@
 /// \brief Exact optimal schedule by exhaustive enumeration — a ground-truth
 /// reference for small instances.
 ///
-/// Enumerates every topological order (bounded) × every design-point
-/// assignment (bounded) and returns the feasible pair with the smallest
-/// battery cost. Exponential; intended for tests and small ablation studies
-/// (n up to ~8 with m up to ~4 is comfortable).
+/// Streams the order tree (core::OrderTreeWalker: backtracking Kahn over
+/// topological orders × design-point assignments) and returns the feasible
+/// leaf with the smallest battery cost. Sequence-prefix pricing state is
+/// shared across orders as well as across assignments, and nothing is
+/// materialized — the old `max_orders` order list (and its memory cliff) is
+/// gone. Exact by default; exponential, so intended for tests and small
+/// ablation studies (n up to ~8 with m up to ~4 is comfortable).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "basched/baselines/result.hpp"
@@ -18,14 +22,21 @@ namespace basched::baselines {
 
 /// Enumeration limits.
 struct ExhaustiveOptions {
-  std::size_t max_orders = 50000;       ///< abort if more topological orders exist
-  std::size_t max_assignments = 200000; ///< abort if m^n exceeds this
+  /// A-priori bail: return std::nullopt without searching when the
+  /// assignment space m^n alone exceeds this (the instance is hopeless).
+  std::size_t max_assignments = 200000;
+  /// Walk budget in enumeration steps (design-point attempts). When the
+  /// budget trips mid-walk the best schedule found so far is returned with
+  /// `ScheduleResult::truncated == true` — reported, never silent. 0 means
+  /// unbounded (fully exact).
+  std::uint64_t max_nodes = 2'000'000;
 };
 
-/// Returns the optimal feasible schedule, a feasible==false result when the
-/// deadline is unmeetable, or std::nullopt when the instance exceeds the
-/// enumeration limits. Throws std::invalid_argument on empty/cyclic graphs
-/// or non-positive deadlines.
+/// Returns the optimal feasible schedule (truncated == false), the best
+/// found when the node budget tripped (truncated == true), a
+/// feasible == false result when the deadline is unmeetable, or std::nullopt
+/// when m^n exceeds max_assignments. Throws std::invalid_argument on
+/// empty/cyclic graphs or non-positive deadlines.
 [[nodiscard]] std::optional<ScheduleResult> schedule_exhaustive(
     const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
     const ExhaustiveOptions& options = {});

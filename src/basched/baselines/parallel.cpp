@@ -1,0 +1,267 @@
+#include "basched/baselines/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "basched/baselines/bnb_walk.hpp"
+#include "basched/core/battery_cost.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/order_tree.hpp"
+#include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+
+namespace {
+
+/// One subtree of the order tree, identified by its root prefix. Jobs are
+/// recorded in DFS order, so the job index order *is* the sequential search
+/// order — the tie-break of the reduction below.
+struct FrontierJob {
+  std::vector<graph::TaskId> seq;
+  std::vector<std::size_t> cols;  ///< column of seq[i], in placement order
+};
+
+/// Enumeration visitor: applies the sequential B&B policy above the cut and
+/// records every surviving node at `cut_depth` as a subtree job instead of
+/// descending. Complete orders shallower than the cut are priced right here.
+struct FrontierCollector {
+  std::size_t cut_depth;
+  detail::BnbWalkVisitor& bnb;
+  std::vector<FrontierJob>& jobs;
+
+  bool node(core::OrderTreeWalker& w) {
+    if (w.depth() == cut_depth) {
+      FrontierJob job;
+      job.seq = w.sequence();
+      job.cols.reserve(cut_depth);
+      for (const graph::TaskId v : w.sequence()) job.cols.push_back(w.assignment()[v]);
+      jobs.push_back(std::move(job));
+      return false;  // the worker owning this subtree walks it
+    }
+    return bnb.node(w);
+  }
+
+  bool enter(core::OrderTreeWalker& w, graph::TaskId v, std::size_t col,
+             const graph::DesignPoint& pt) {
+    return bnb.enter(w, v, col, pt);
+  }
+
+  void leaf(core::OrderTreeWalker& w) { bnb.leaf(w); }
+};
+
+struct BnbJobResult {
+  double sigma = 0.0;
+  core::Schedule schedule;
+  bool found = false;
+  bool aborted = false;
+  BnbStats stats;
+  std::uint64_t evaluations = 0;
+};
+
+void accumulate(BnbStats& into, const BnbStats& from) {
+  into.nodes_visited += from.nodes_visited;
+  into.pruned_deadline += from.pruned_deadline;
+  into.pruned_sigma += from.pruned_sigma;
+}
+
+}  // namespace
+
+std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
+    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
+    analysis::Executor& executor, const ParallelBnbOptions& options, BnbStats* stats) {
+  graph.validate();
+  if (!(deadline > 0.0))
+    throw std::invalid_argument("schedule_branch_and_bound_parallel: deadline must be > 0");
+
+  const std::size_t n = graph.num_tasks();
+  const std::uint64_t max_nodes = options.base.max_nodes;
+
+  // Incumbent seed, exactly as the sequential driver.
+  double incumbent_sigma = std::numeric_limits<double>::infinity();
+  core::Schedule incumbent;
+  bool incumbent_found = false;
+  if (options.base.seed_with_heuristic) {
+    const auto seed = core::schedule_battery_aware(graph, deadline, model);
+    if (seed.feasible) {
+      incumbent_sigma = seed.sigma;
+      incumbent = seed.schedule;
+      incumbent_found = true;
+    }
+  }
+
+  // Cut the tree. The auto depth grows until the frontier is wide enough for
+  // any plausible worker count — growth consults only the tree shape, never
+  // executor.jobs(), so the job list (and therefore the returned schedule)
+  // is identical across --jobs. Each attempt restarts with fresh state; only
+  // the final attempt's enumeration effort is reported.
+  const std::size_t depth_cap = std::min(options.max_frontier_depth, n);
+  std::size_t cut = options.frontier_depth != 0 ? std::min(options.frontier_depth, n) : 1;
+  std::vector<FrontierJob> jobs;
+  detail::BnbWalkVisitor enum_vis;
+  std::uint64_t enum_evaluations = 0;
+  for (;;) {
+    jobs.clear();
+    enum_vis = detail::BnbWalkVisitor{};
+    enum_vis.deadline = deadline;
+    enum_vis.max_nodes = max_nodes;
+    if (incumbent_found) {
+      enum_vis.best_sigma = incumbent_sigma;
+      enum_vis.best = incumbent;
+      enum_vis.found = true;
+    }
+    core::ScheduleEvaluator eval(graph, model);
+    core::OrderTreeWalker walker(graph, eval);
+    FrontierCollector collector{cut, enum_vis, jobs};
+    walker.walk(collector);
+    enum_evaluations = eval.evaluations();
+    if (enum_vis.aborted) {
+      if (stats != nullptr) *stats = enum_vis.stats;
+      return std::nullopt;
+    }
+    if (options.frontier_depth != 0 || jobs.size() >= options.min_frontier_jobs ||
+        cut >= depth_cap)
+      break;
+    ++cut;
+  }
+
+  // Enumeration may have improved the incumbent (shallow complete orders).
+  incumbent_sigma = enum_vis.best_sigma;
+  if (enum_vis.found) {
+    incumbent = enum_vis.best;
+    incumbent_found = true;
+  }
+
+  // Walk the subtrees. Each worker owns its evaluator + walker; the
+  // incumbent σ is shared through a relaxed atomic purely as a prune
+  // accelerator, and the node budget through a relaxed counter.
+  analysis::SharedMinBound shared_bound(incumbent_sigma);
+  std::atomic<std::uint64_t> shared_nodes{enum_vis.stats.nodes_visited};
+  const double threshold = incumbent_sigma;
+  std::vector<BnbJobResult> results = executor.map(jobs.size(), [&](std::size_t i) {
+    core::ScheduleEvaluator eval(graph, model);
+    core::OrderTreeWalker walker(graph, eval);
+    walker.load_prefix(jobs[i].seq, jobs[i].cols);
+    detail::BnbWalkVisitor vis;
+    vis.deadline = deadline;
+    vis.max_nodes = max_nodes;
+    vis.best_sigma = threshold;  // a job result must strictly beat the incumbent
+    vis.shared_bound = &shared_bound;
+    vis.shared_nodes = &shared_nodes;
+    walker.walk(vis);
+    BnbJobResult r;
+    r.sigma = vis.best_sigma;
+    r.schedule = std::move(vis.best);
+    r.found = vis.found;
+    r.aborted = vis.aborted;
+    r.stats = vis.stats;
+    r.evaluations = eval.evaluations();
+    return r;
+  });
+
+  BnbStats total = enum_vis.stats;
+  std::uint64_t evaluations = enum_evaluations;
+  bool aborted = false;
+  for (const BnbJobResult& r : results) {
+    accumulate(total, r.stats);
+    evaluations += r.evaluations;
+    aborted = aborted || r.aborted;
+  }
+  if (stats != nullptr) *stats = total;
+  if (aborted) return std::nullopt;
+
+  // Index-ordered reduction: strictly better σ wins, ties keep the earliest
+  // job (== sequential DFS order), exact double comparison — byte-identical
+  // for any job count or thread interleaving.
+  double best_sigma = incumbent_sigma;
+  const core::Schedule* best = incumbent_found ? &incumbent : nullptr;
+  for (const BnbJobResult& r : results)
+    if (r.found && (best == nullptr || r.sigma < best_sigma)) {
+      best_sigma = r.sigma;
+      best = &r.schedule;
+    }
+
+  ScheduleResult result;
+  result.nodes_explored = total.nodes_visited;
+  result.evaluations = evaluations;
+  if (best == nullptr) {
+    result.error = "deadline unmeetable: every completion exceeds it";
+    return result;
+  }
+  const core::CostResult cost = core::calculate_battery_cost(graph, *best, model);
+  result.feasible = true;
+  result.schedule = *best;
+  result.sigma = cost.sigma;
+  result.duration = cost.duration;
+  result.energy = cost.energy;
+  return result;
+}
+
+namespace {
+
+/// Best-of reduction shared by the portfolios: strictly smaller σ wins, ties
+/// keep the lowest restart index; effort counters are exact sums.
+ScheduleResult reduce_portfolio(std::vector<ScheduleResult> results, const char* none_error) {
+  ScheduleResult best;
+  std::uint64_t nodes = 0;
+  std::uint64_t evaluations = 0;
+  for (const ScheduleResult& r : results) {
+    nodes += r.nodes_explored;
+    evaluations += r.evaluations;
+    if (r.feasible && (!best.feasible || r.sigma < best.sigma)) {
+      best.feasible = true;
+      best.error.clear();
+      best.schedule = r.schedule;
+      best.sigma = r.sigma;
+      best.duration = r.duration;
+      best.energy = r.energy;
+    }
+  }
+  if (!best.feasible) best.error = none_error;
+  best.nodes_explored = nodes;
+  best.evaluations = evaluations;
+  return best;
+}
+
+}  // namespace
+
+ScheduleResult schedule_annealing_portfolio(const graph::TaskGraph& graph, double deadline,
+                                            const battery::BatteryModel& model,
+                                            analysis::Executor& executor,
+                                            const AnnealingPortfolioOptions& options) {
+  if (options.restarts < 1)
+    throw std::invalid_argument("schedule_annealing_portfolio: restarts must be >= 1");
+  // Per-restart validation (graph, deadline, iterations) happens inside
+  // schedule_annealing; restart k runs the deterministic stream of seed
+  // derive_seed(seed, k), independent of every other restart.
+  std::vector<ScheduleResult> results =
+      executor.map(options.restarts, [&](std::size_t k) {
+        AnnealingOptions per = options.annealing;
+        per.seed = util::derive_seed(options.annealing.seed, k);
+        return schedule_annealing(graph, deadline, model, per);
+      });
+  return reduce_portfolio(std::move(results),
+                          "annealing portfolio found no deadline-respecting schedule");
+}
+
+ScheduleResult schedule_random_search_portfolio(const graph::TaskGraph& graph, double deadline,
+                                                const battery::BatteryModel& model,
+                                                analysis::Executor& executor,
+                                                const RandomPortfolioOptions& options) {
+  if (options.restarts < 1)
+    throw std::invalid_argument("schedule_random_search_portfolio: restarts must be >= 1");
+  std::vector<ScheduleResult> results =
+      executor.map(options.restarts, [&](std::size_t k) {
+        RandomSearchOptions per = options.search;
+        per.seed = util::derive_seed(options.search.seed, k);
+        return schedule_random_search(graph, deadline, model, per);
+      });
+  return reduce_portfolio(std::move(results),
+                          "random-search portfolio found no deadline-respecting schedule");
+}
+
+}  // namespace basched::baselines

@@ -1,0 +1,100 @@
+/// \file parallel.hpp
+/// \brief Parallel search on analysis::Executor: frontier-split
+/// branch-and-bound and multi-seed restart portfolios for the stochastic
+/// baselines.
+///
+/// Every entry point here is **byte-deterministic in everything but wall
+/// time**: the returned schedule, σ, duration and energy are identical for
+/// any executor job count (1, 2, 8, …), because
+///
+///  * work is split by *fixed rules* that never consult the job count — the
+///    B&B order tree is cut at a frontier depth chosen from the tree shape
+///    alone, portfolio seeds are derived per restart index;
+///  * each unit of work is internally deterministic (one evaluator + walker
+///    per worker, deterministic per-seed RNG streams);
+///  * reduction is index-ordered: strictly better σ wins, ties go to the
+///    lowest job/restart index, compared on exact double bits.
+///
+/// The only timing-dependent quantities are the effort counters of the
+/// parallel B&B (`nodes_explored`, `evaluations`, BnbStats): the shared
+/// incumbent bound (analysis::SharedMinBound, relaxed atomics) prunes more
+/// or less depending on when workers publish, which changes how many nodes
+/// are *visited* — never which result is *returned*. Portfolio counters are
+/// plain sums of deterministic per-restart counters and are exactly
+/// reproducible.
+///
+/// One caveat follows from the node counters being timing-dependent: the
+/// *abort* decision of the parallel B&B compares them against the shared
+/// `max_nodes` budget, so an instance whose (pruned) tree size sits near
+/// the budget can nondeterministically flip between a result and nullopt.
+/// The byte-determinism contract is for searches that complete; size the
+/// budget with headroom (the default leaves plenty for paper-scale
+/// instances) when reproducibility of the abort itself matters.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/result.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/task_graph.hpp"
+
+namespace basched::baselines {
+
+/// Frontier-split parallel branch-and-bound configuration.
+struct ParallelBnbOptions {
+  BnbOptions base;  ///< node budget (shared across workers) and incumbent seeding
+
+  /// Depth at which the order tree is cut into independently walkable
+  /// subtree jobs (each job replays its prefix into its own evaluator).
+  /// 0 = auto: grow the frontier until it holds at least `min_frontier_jobs`
+  /// subtrees or `max_frontier_depth` is reached. Deliberately independent
+  /// of the executor's job count so results are identical across --jobs.
+  std::size_t frontier_depth = 0;
+  std::size_t min_frontier_jobs = 64;  ///< auto-depth growth target
+  std::size_t max_frontier_depth = 8;  ///< auto-depth cap
+
+  /// Work per job varies wildly (pruning), so jobs >> workers is the load
+  /// balancing mechanism: workers drain the job queue dynamically.
+};
+
+/// Parallel B&B: same contract as schedule_branch_and_bound (nullopt when
+/// the shared node budget was exceeded; feasible == false for unmeetable
+/// deadlines), identical optimum σ, and a byte-identical result for any
+/// executor job count. `stats` aggregates enumeration + all workers.
+[[nodiscard]] std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
+    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
+    analysis::Executor& executor, const ParallelBnbOptions& options = {},
+    BnbStats* stats = nullptr);
+
+/// Multi-seed annealing restart portfolio.
+struct AnnealingPortfolioOptions {
+  AnnealingOptions annealing;  ///< per-restart configuration (seed = stream root)
+  std::size_t restarts = 8;    ///< independent restarts, seeds derived per index
+};
+
+/// Runs `restarts` independent annealing streams (seed of restart k is
+/// util::derive_seed(annealing.seed, k)) on the executor and returns the
+/// best feasible result, ties broken by lowest restart index. Deterministic
+/// for any job count; effort counters are exact sums over restarts.
+[[nodiscard]] ScheduleResult schedule_annealing_portfolio(
+    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
+    analysis::Executor& executor, const AnnealingPortfolioOptions& options = {});
+
+/// Multi-seed random-search portfolio (same reduction contract as the
+/// annealing portfolio; each shard draws `search.samples` samples from its
+/// own derived seed, so the portfolio covers restarts × samples candidates).
+struct RandomPortfolioOptions {
+  RandomSearchOptions search;
+  std::size_t restarts = 8;
+};
+
+[[nodiscard]] ScheduleResult schedule_random_search_portfolio(
+    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
+    analysis::Executor& executor, const RandomPortfolioOptions& options = {});
+
+}  // namespace basched::baselines

@@ -22,6 +22,11 @@ struct ScheduleResult {
   std::uint64_t nodes_explored = 0;
   /// Candidate schedules priced (delta or full) via the ScheduleEvaluator.
   std::uint64_t evaluations = 0;
+  /// True when an exact search stopped at its node budget before covering
+  /// the whole tree: the result is the best *found*, not a proven optimum.
+  /// Never silently set — exhaustive enumeration is exact unless the caller
+  /// configured a budget.
+  bool truncated = false;
   std::string error;      ///< non-empty when !feasible
 };
 

@@ -33,7 +33,13 @@ double GenericIncrementalSigma::sigma_with_tail(double rest, double duration, do
 }
 
 RvIncrementalSigma::RvIncrementalSigma(const RakhmatovVrudhulaModel& model)
-    : beta_sq_(model.beta() * model.beta()), terms_(model.terms()) {}
+    : beta_sq_(model.beta() * model.beta()), terms_(model.terms()) {
+  bm_.resize(static_cast<std::size_t>(terms_));
+  for (int m = 1; m <= terms_; ++m)
+    bm_[m - 1] = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
+  decay_cache_ = util::fastmath::DecayRowCache(bm_);
+  cache_scratch_.resize(static_cast<std::size_t>(terms_));
+}
 
 void RvIncrementalSigma::append(double duration, double current) {
   if (!(duration > 0.0) || !std::isfinite(duration))
@@ -51,9 +57,14 @@ void RvIncrementalSigma::append(double duration, double current) {
     const double* prev_row =
         decay_.data() + ((intervals_.size() - 1) * static_cast<std::size_t>(terms_));
     // Advance the checkpoint from prev.start to start: decay the inherited
-    // sums and fold in prev's own (now fully elapsed) interval.
-    RakhmatovVrudhulaModel::advance_decay_row(beta_sq_, terms_, prev_row, prev.start, prev.end(),
-                                              prev.current, start, row);
+    // sums and fold in prev's own (now fully elapsed) interval. Appends are
+    // back-to-back (start == prev.end()), so the decay factors are keyed on
+    // prev.duration alone and come from the per-Δt cache — zero exp
+    // evaluations for a duration seen before, same bits as the uncached
+    // advance_decay_row recurrence otherwise.
+    const double* c = decay_cache_.row(prev.duration, cache_scratch_.data());
+    for (int i = 0; i < terms_; ++i)
+      row[i] = prev_row[i] * c[i] + prev.current * (1.0 - c[i]) / bm_[i];
   }
   intervals_.push_back(iv);
 }

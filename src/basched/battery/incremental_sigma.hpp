@@ -30,6 +30,7 @@
 
 #include "basched/battery/model.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/fastmath.hpp"
 
 namespace basched::battery {
 
@@ -58,6 +59,15 @@ class GenericIncrementalSigma final : public IncrementalSigma {
 /// if the model is destroyed. `append` is O(terms); `sigma` is
 /// O(log intervals + terms) for arbitrary t and `sigma_with_tail` is
 /// O(terms) — independent of how many intervals the prefix holds.
+///
+/// Appends are always back-to-back (rest is a zero-current interval), so the
+/// decay factors the checkpoint recurrence consumes are keyed purely on the
+/// previous interval's duration — they come from a per-Δt
+/// util::fastmath::DecayRowCache, making a repeated-duration append (the
+/// window evaluator's walk, the rest-insertion loop's task intervals)
+/// exp-free. Rest durations vary per bisection probe, so expect a partial
+/// hit rate there; cold keys batch through fastmath::batch_exp exactly as
+/// before, same bits.
 class RvIncrementalSigma final : public IncrementalSigma {
  public:
   explicit RvIncrementalSigma(const RakhmatovVrudhulaModel& model);
@@ -102,6 +112,10 @@ class RvIncrementalSigma final : public IncrementalSigma {
   /// decay_[k * terms_ + (m-1)] = A_m at intervals_[k].start (see file
   /// comment); one row per interval, covering all *earlier* intervals.
   std::vector<double> decay_;
+
+  std::vector<double> bm_;  ///< β²m², m = 1..terms
+  util::fastmath::DecayRowCache decay_cache_;  ///< rows e^{-β²m²·Δt} keyed on Δt
+  std::vector<double> cache_scratch_;  ///< landing zone for uncacheable keys
 };
 
 }  // namespace basched::battery

@@ -1,0 +1,59 @@
+#include "basched/core/order_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace basched::core {
+
+OrderTreeWalker::OrderTreeWalker(const graph::TaskGraph& graph, ScheduleEvaluator& evaluator)
+    : graph_(&graph), evaluator_(&evaluator), frontier_(graph) {
+  const std::size_t n = graph.num_tasks();
+  seq_.reserve(n);
+  assignment_.assign(n, 0);
+  min_duration_.resize(n);
+  min_energy_.resize(n);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    min_duration_[v] = graph.task(v).min_duration();
+    double e = std::numeric_limits<double>::infinity();
+    for (const auto& pt : graph.task(v).points()) e = std::min(e, pt.energy());
+    min_energy_[v] = e;
+    remaining_min_duration_ += min_duration_[v];
+    remaining_min_energy_ += min_energy_[v];
+  }
+}
+
+void OrderTreeWalker::reset() {
+  while (!seq_.empty()) {
+    const graph::TaskId v = seq_.back();
+    seq_.pop_back();
+    evaluator_->pop();
+    remaining_min_duration_ += min_duration_[v];
+    remaining_min_energy_ += min_energy_[v];
+    frontier_.unschedule(v);
+  }
+  stopped_ = false;
+}
+
+void OrderTreeWalker::load_prefix(std::span<const graph::TaskId> seq,
+                                  std::span<const std::size_t> cols) {
+  if (seq.size() != cols.size() || seq.size() > graph_->num_tasks())
+    throw std::invalid_argument("OrderTreeWalker::load_prefix: malformed prefix");
+  reset();
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const graph::TaskId v = seq[i];
+    if (v >= graph_->num_tasks() || !frontier_.is_ready(v))
+      throw std::invalid_argument(
+          "OrderTreeWalker::load_prefix: prefix is not a partial topological order");
+    if (cols[i] >= graph_->num_design_points())
+      throw std::invalid_argument("OrderTreeWalker::load_prefix: column out of range");
+    frontier_.schedule(v);
+    remaining_min_duration_ -= min_duration_[v];
+    remaining_min_energy_ -= min_energy_[v];
+    seq_.push_back(v);
+    assignment_[v] = cols[i];
+    evaluator_->extend(v, cols[i]);
+  }
+}
+
+}  // namespace basched::core

@@ -1,0 +1,156 @@
+/// \file order_tree.hpp
+/// \brief Streaming walker over the order tree — the shared search core of
+/// every enumerative baseline.
+///
+/// The tree of topological orders × design-point assignments is the object
+/// all exact baselines walk: a node fixes a prefix of the sequence (chosen
+/// from the Kahn ready set, so every leaf is a topological order) together
+/// with the design-point column of each placed task. Before this walker,
+/// `schedule_exhaustive` materialized every order via
+/// `graph::all_topological_orders` (a memory cliff at the `max_orders` cap)
+/// and reset its evaluator per order, and `schedule_branch_and_bound` carried
+/// its own private `SearchState::dfs`. The walker unifies both:
+///
+///  * **Backtracking Kahn** (graph::KahnFrontier): the ready set is
+///    maintained incrementally, children are visited in ascending task id
+///    then ascending column — a fixed, deterministic child order.
+///  * **Sequence-prefix sharing *across orders***: one ScheduleEvaluator
+///    rides along the DFS, so two orders sharing a k-task prefix share its
+///    O(k · terms) pricing state; stepping to a sibling order costs only the
+///    differing suffix. The old per-order reset re-paid the whole prefix.
+///  * **Pluggable pruning** via visitor hooks — the only thing that differs
+///    between exhaustive (deadline bound) and branch-and-bound (deadline +
+///    incumbent σ bounds, node budget) is the policy, not the walk.
+///  * **Subtree jobs**: `load_prefix` replays a frontier prefix so an
+///    independent walker (own evaluator, own thread) can explore one subtree
+///    of the order tree — the unit of work of the parallel B&B layer
+///    (baselines/parallel.hpp).
+///
+/// Visitor concept (all hooks receive the walker; prefix state is loaded):
+///
+///   struct Visitor {
+///     /// Entering a node with an incomplete prefix (including the root).
+///     /// Return false to prune the subtree below it.
+///     bool node(OrderTreeWalker&);
+///     /// Child filter: task v at column `col` is about to be placed
+///     /// (`pt` = its design-point; remaining_min_* exclude v). Return false
+///     /// to skip this child without extending the evaluator.
+///     bool enter(OrderTreeWalker&, graph::TaskId v, std::size_t col,
+///                const graph::DesignPoint& pt);
+///     /// A complete topological order + assignment is loaded.
+///     void leaf(OrderTreeWalker&);
+///   };
+///
+/// A visitor may call `stop()` from any hook to abort the whole walk (node
+/// budgets, anytime search). The walker is not thread-safe; parallel search
+/// uses one walker + evaluator per worker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "basched/core/schedule.hpp"
+#include "basched/core/schedule_evaluator.hpp"
+#include "basched/graph/task_graph.hpp"
+#include "basched/graph/topology.hpp"
+
+namespace basched::core {
+
+/// Backtracking-Kahn DFS over the order tree (see file comment). The graph
+/// and evaluator are held by reference and must outlive the walker.
+class OrderTreeWalker {
+ public:
+  OrderTreeWalker(const graph::TaskGraph& graph, ScheduleEvaluator& evaluator);
+
+  /// Clears the walk state (and the evaluator prefix) back to the root.
+  void reset();
+
+  /// Replays a frontier prefix — `seq[i]` placed at column `cols[i]` — so a
+  /// subsequent `walk` explores only that subtree. Throws
+  /// std::invalid_argument when the prefix is not a valid partial topological
+  /// order or a column is out of range.
+  void load_prefix(std::span<const graph::TaskId> seq, std::span<const std::size_t> cols);
+
+  /// Runs the DFS from the current prefix. Returns false iff the visitor
+  /// called stop(). May be called repeatedly (state is restored to the
+  /// loaded prefix between calls).
+  template <typename Visitor>
+  bool walk(Visitor& visitor) {
+    stopped_ = false;
+    dfs(visitor);
+    return !stopped_;
+  }
+
+  /// Aborts the walk in progress (callable from visitor hooks).
+  void stop() noexcept { stopped_ = true; }
+
+  // ---- Prefix state visible to visitors -----------------------------------
+
+  /// Sequence prefix in placement order (root prefix included).
+  [[nodiscard]] const std::vector<graph::TaskId>& sequence() const noexcept { return seq_; }
+
+  /// Column per task id; meaningful only for placed tasks.
+  [[nodiscard]] const Assignment& assignment() const noexcept { return assignment_; }
+
+  /// Depth of the current prefix (== sequence().size()).
+  [[nodiscard]] std::size_t depth() const noexcept { return seq_.size(); }
+
+  [[nodiscard]] ScheduleEvaluator& evaluator() noexcept { return *evaluator_; }
+  [[nodiscard]] const graph::TaskGraph& graph() const noexcept { return *graph_; }
+
+  /// Σ fastest durations of the unscheduled tasks — the admissible deadline
+  /// bound both exact baselines use. Inside `enter`, v is already excluded.
+  [[nodiscard]] double remaining_min_duration() const noexcept {
+    return remaining_min_duration_;
+  }
+
+  /// Σ cheapest design-point energies of the unscheduled tasks (σ ≥ delivered
+  /// charge for every model in this repo, so prefix energy + this is an
+  /// admissible σ bound). Inside `enter`, v is already excluded.
+  [[nodiscard]] double remaining_min_energy() const noexcept { return remaining_min_energy_; }
+
+ private:
+  template <typename Visitor>
+  void dfs(Visitor& visitor) {
+    if (stopped_) return;
+    if (seq_.size() == graph_->num_tasks()) {
+      visitor.leaf(*this);
+      return;
+    }
+    if (!visitor.node(*this)) return;
+    frontier_.for_each_ready([&](graph::TaskId v) {
+      if (stopped_) return;
+      frontier_.schedule(v);
+      remaining_min_duration_ -= min_duration_[v];
+      remaining_min_energy_ -= min_energy_[v];
+      seq_.push_back(v);
+      const auto& task = graph_->task(v);
+      for (std::size_t col = 0; col < graph_->num_design_points(); ++col) {
+        if (stopped_) break;
+        if (!visitor.enter(*this, v, col, task.point(col))) continue;
+        assignment_[v] = col;
+        evaluator_->extend(v, col);
+        dfs(visitor);
+        evaluator_->pop();
+      }
+      seq_.pop_back();
+      remaining_min_energy_ += min_energy_[v];
+      remaining_min_duration_ += min_duration_[v];
+      frontier_.unschedule(v);
+    });
+  }
+
+  const graph::TaskGraph* graph_;
+  ScheduleEvaluator* evaluator_;
+  graph::KahnFrontier frontier_;
+  std::vector<graph::TaskId> seq_;
+  Assignment assignment_;
+  std::vector<double> min_duration_;  ///< per task, fastest design-point
+  std::vector<double> min_energy_;    ///< per task, cheapest design-point energy
+  double remaining_min_duration_ = 0.0;
+  double remaining_min_energy_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace basched::core

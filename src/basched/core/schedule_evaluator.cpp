@@ -394,6 +394,12 @@ double ScheduleEvaluator::peek_replace(std::size_t pos, double duration, double 
 CostResult ScheduleEvaluator::commit_swap_adjacent(std::size_t pos) {
   if (pos + 1 >= depth())
     throw std::out_of_range("ScheduleEvaluator::commit_swap_adjacent: pos + 1 must be < depth()");
+  apply_swap_adjacent(pos);
+  sigma_cached_ = false;
+  return current();
+}
+
+void ScheduleEvaluator::apply_swap_adjacent(std::size_t pos) {
   const battery::DischargeInterval a = intervals_[pos];
   const battery::DischargeInterval b = intervals_[pos + 1];
   if (kind_ == ModelKind::Rv) {
@@ -444,6 +450,26 @@ CostResult ScheduleEvaluator::commit_swap_adjacent(std::size_t pos) {
     intervals_[pos + 1].duration = a.duration;
     intervals_[pos + 1].current = a.current;
     rebuild_tail(pos);
+  }
+}
+
+CostResult ScheduleEvaluator::commit_reverse_segment(std::size_t first, std::size_t last) {
+  if (first >= last || last >= depth())
+    throw std::out_of_range(
+        "ScheduleEvaluator::commit_reverse_segment: need first < last < depth()");
+  if (kind_ == ModelKind::Rv) {
+    // Express the reversal as adjacent swaps so the decayed partial-sum rows
+    // stay analytically maintained (one bubble pass per target position:
+    // the segment's last interval sinks to `target`, preserving the order of
+    // the rest). σ is priced once, at the end.
+    for (std::size_t target = first; target < last; ++target)
+      for (std::size_t k = last; k-- > target;) apply_swap_adjacent(k);
+  } else {
+    // Everything downstream of `first` is rebuilt from its checkpoint
+    // anyway, so reverse the buffer wholesale instead of swap-by-swap.
+    std::reverse(intervals_.begin() + static_cast<std::ptrdiff_t>(first),
+                 intervals_.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+    rebuild_tail(first);
   }
   sigma_cached_ = false;
   return current();

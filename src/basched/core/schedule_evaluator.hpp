@@ -162,6 +162,17 @@ class ScheduleEvaluator {
   /// interval.
   CostResult commit_replace(std::size_t pos, double duration, double current);
 
+  /// Reverses the loaded schedule's intervals [first, last] (inclusive) and
+  /// returns the new cost — the annealer's commit-aware large-neighborhood
+  /// move (segment reversal is its own inverse, so a rejected move rolls
+  /// back with a second call). Built from the adjacent-swap commit
+  /// machinery: RV applies the (last−first+1)(last−first)/2 elementary
+  /// swaps' analytic row rescales — zero exp evaluations on a warm duration
+  /// cache — and prices σ once at the end; other models reverse the buffer
+  /// and rebuild from the checkpoint at `first`. Counts one evaluation.
+  /// Throws std::out_of_range unless first < last < depth().
+  CostResult commit_reverse_segment(std::size_t first, std::size_t last);
+
   /// Candidate schedules priced so far (peeks + full/prefix/reprice/commit
   /// evaluations). Baselines surface this as ScheduleResult::evaluations.
   [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
@@ -184,6 +195,11 @@ class ScheduleEvaluator {
 
   /// Appends one back-to-back interval and maintains all prefix state.
   void extend_interval(double duration, double current);
+
+  /// The adjacent-swap commit without the final pricing: mutates the buffer
+  /// and rescales/rebuilds all prefix state. commit_swap_adjacent and
+  /// commit_reverse_segment are thin wrappers over this.
+  void apply_swap_adjacent(std::size_t pos);
 
   /// Truncates the prefix to `k` tasks (k <= depth()).
   void truncate(std::size_t k);

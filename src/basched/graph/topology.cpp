@@ -106,30 +106,49 @@ double critical_path_duration(const TaskGraph& graph, std::size_t column) {
   return best;
 }
 
+KahnFrontier::KahnFrontier(const TaskGraph& graph) : graph_(&graph) {
+  indeg_.resize(graph.num_tasks());
+  reset();
+}
+
+void KahnFrontier::reset() {
+  for (TaskId v = 0; v < indeg_.size(); ++v) indeg_[v] = graph_->predecessors(v).size();
+  scheduled_ = 0;
+}
+
+void KahnFrontier::schedule(TaskId v) {
+  BASCHED_ASSERT(v < indeg_.size() && indeg_[v] == 0);
+  indeg_[v] = kScheduled;
+  for (TaskId w : graph_->successors(v)) --indeg_[w];
+  ++scheduled_;
+}
+
+void KahnFrontier::unschedule(TaskId v) {
+  BASCHED_ASSERT(v < indeg_.size() && indeg_[v] == kScheduled && scheduled_ > 0);
+  for (TaskId w : graph_->successors(v)) ++indeg_[w];
+  indeg_[v] = 0;
+  --scheduled_;
+}
+
 namespace {
 
-bool enumerate_orders(const TaskGraph& graph, std::vector<std::size_t>& indeg,
-                      std::vector<TaskId>& current, std::vector<std::vector<TaskId>>& out,
-                      std::size_t limit) {
-  const std::size_t n = graph.num_tasks();
+bool enumerate_orders(KahnFrontier& frontier, std::size_t n, std::vector<TaskId>& current,
+                      std::vector<std::vector<TaskId>>& out, std::size_t limit) {
   if (current.size() == n) {
     if (out.size() >= limit) return false;
     out.push_back(current);
     return true;
   }
-  for (TaskId v = 0; v < n; ++v) {
-    if (indeg[v] != 0 || indeg[v] == static_cast<std::size_t>(-1)) continue;
-    // v is ready and unscheduled.
-    indeg[v] = static_cast<std::size_t>(-1);
-    for (TaskId w : graph.successors(v)) --indeg[w];
+  bool ok = true;
+  frontier.for_each_ready([&](TaskId v) {
+    if (!ok) return;
+    frontier.schedule(v);
     current.push_back(v);
-    const bool ok = enumerate_orders(graph, indeg, current, out, limit);
+    ok = enumerate_orders(frontier, n, current, out, limit);
     current.pop_back();
-    for (TaskId w : graph.successors(v)) ++indeg[w];
-    indeg[v] = 0;
-    if (!ok) return false;
-  }
-  return true;
+    frontier.unschedule(v);
+  });
+  return ok;
 }
 
 }  // namespace
@@ -138,11 +157,10 @@ std::optional<std::vector<std::vector<TaskId>>> all_topological_orders(const Tas
                                                                        std::size_t limit) {
   if (!graph.is_acyclic())
     throw std::invalid_argument("all_topological_orders: graph contains a cycle");
-  std::vector<std::size_t> indeg(graph.num_tasks(), 0);
-  for (TaskId v = 0; v < graph.num_tasks(); ++v) indeg[v] = graph.predecessors(v).size();
+  KahnFrontier frontier(graph);
   std::vector<TaskId> current;
   std::vector<std::vector<TaskId>> out;
-  if (!enumerate_orders(graph, indeg, current, out, limit)) return std::nullopt;
+  if (!enumerate_orders(frontier, graph.num_tasks(), current, out, limit)) return std::nullopt;
   return out;
 }
 

@@ -44,10 +44,60 @@ namespace basched::graph {
 
 /// Enumerates topological orders up to `limit`. Returns std::nullopt if the
 /// graph has more than `limit` orders (enumeration aborted), otherwise all
-/// orders. Intended for the exhaustive baseline on small graphs. Throws on
-/// cyclic graphs.
+/// orders. Materializes every order — prefer core::OrderTreeWalker for search
+/// (it streams the same tree without the memory cliff); this stays as the
+/// reference enumeration for tests and small analyses. Throws on cyclic
+/// graphs.
 [[nodiscard]] std::optional<std::vector<std::vector<TaskId>>> all_topological_orders(
     const TaskGraph& graph, std::size_t limit);
+
+/// Incremental Kahn frontier: the ready set of a partially scheduled DAG,
+/// maintained under schedule/unschedule so a backtracking walk over the tree
+/// of topological orders costs O(out-degree) per step instead of a fresh
+/// O(V + E) Kahn pass per node.
+///
+/// The discipline is strictly LIFO (schedule v, recurse, unschedule v) — the
+/// inverse bookkeeping of `unschedule` assumes none of v's successors were
+/// scheduled in between, exactly the shape of a DFS over order prefixes.
+/// Every enumerative walker in basched (core::OrderTreeWalker,
+/// all_topological_orders) sits on this class, so ready-set semantics live in
+/// one place. The graph is held by reference and must outlive the frontier.
+class KahnFrontier {
+ public:
+  explicit KahnFrontier(const TaskGraph& graph);
+
+  /// Forgets all scheduling; every source task becomes ready again.
+  void reset();
+
+  /// Number of tasks scheduled so far.
+  [[nodiscard]] std::size_t num_scheduled() const noexcept { return scheduled_; }
+
+  /// True iff v is unscheduled with all predecessors scheduled.
+  [[nodiscard]] bool is_ready(TaskId v) const noexcept { return indeg_[v] == 0; }
+
+  /// Marks a ready task as scheduled and releases its successors.
+  /// Asserts is_ready(v) in Debug.
+  void schedule(TaskId v);
+
+  /// Inverse of the most recent un-undone `schedule(v)` (LIFO discipline).
+  void unschedule(TaskId v);
+
+  /// Calls fn(v) for every currently ready task, ascending id — the
+  /// deterministic child order of the order tree. fn may schedule/unschedule
+  /// as long as it restores the frontier before returning (DFS shape).
+  template <typename Fn>
+  void for_each_ready(Fn&& fn) {
+    for (TaskId v = 0; v < indeg_.size(); ++v)
+      if (indeg_[v] == 0) fn(v);
+  }
+
+ private:
+  static constexpr std::size_t kScheduled = static_cast<std::size_t>(-1);
+
+  const TaskGraph* graph_;
+  std::vector<std::size_t> indeg_;  ///< remaining predecessors; kScheduled sentinel
+  std::size_t scheduled_ = 0;
+};
 
 /// Number of source (no predecessor) and sink (no successor) tasks.
 [[nodiscard]] std::size_t num_sources(const TaskGraph& graph);

@@ -38,6 +38,46 @@ TEST(Annealing, DeterministicPerSeed) {
   EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
 }
 
+TEST(Annealing, SegmentReversalStaysFeasibleAndDeterministic) {
+  // Move (c) is gated behind AnnealingOptions: with it on, runs remain
+  // bit-deterministic per seed, results stay valid topological orders, and
+  // the commit/rollback path never corrupts the evaluator (the returned
+  // schedule is re-priced at reference precision, so a drifting evaluator
+  // would show up as an infeasible or invalid result here).
+  util::Rng rng(17);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  const auto g = graph::make_series_parallel(16, synth, rng);
+  const double d =
+      g.column_time(0) + 0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+  AnnealingOptions opts;
+  opts.iterations = 4000;
+  opts.seed = 5;
+  opts.segment_reversal = true;
+  const auto a = schedule_annealing(g, d, kModel, opts);
+  const auto b = schedule_annealing(g, d, kModel, opts);
+  ASSERT_TRUE(a.feasible) << a.error;
+  EXPECT_TRUE(a.schedule.is_valid(g));
+  EXPECT_LE(a.duration, d * (1.0 + 1e-9));
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_EQ(a.sigma, b.sigma);
+}
+
+TEST(Annealing, SegmentReversalOffByDefaultKeepsLegacyTrajectory) {
+  const auto g = graph::make_g2();
+  AnnealingOptions legacy;
+  legacy.iterations = 1500;
+  legacy.seed = 23;
+  AnnealingOptions off = legacy;
+  off.segment_reversal = false;  // explicit, == default
+  const auto a = schedule_annealing(g, 75.0, kModel, legacy);
+  const auto b = schedule_annealing(g, 75.0, kModel, off);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.sigma, b.sigma);
+}
+
 TEST(Annealing, MoreIterationsNeverHurt) {
   const auto g = graph::make_g2();
   AnnealingOptions small, large;

@@ -57,14 +57,55 @@ TEST(Exhaustive, InfeasibleDeadlineReported) {
   EXPECT_FALSE(r->error.empty());
 }
 
-TEST(Exhaustive, OrderLimitAborts) {
+TEST(Exhaustive, NodeBudgetReportsTruncation) {
   util::Rng rng(3);
   graph::DesignPointSynthesis synth;
   synth.num_points = 2;
   const auto g = graph::make_independent(8, synth, rng);  // 40320 orders
   ExhaustiveOptions opts;
-  opts.max_orders = 100;
-  EXPECT_FALSE(schedule_exhaustive(g, 1e6, kModel, opts).has_value());
+  opts.max_nodes = 1000;
+  const auto r = schedule_exhaustive(g, 1e6, kModel, opts);
+  ASSERT_TRUE(r.has_value());
+  // The budget trips mid-walk: the best-so-far is returned and the
+  // truncation is *reported*, never silent.
+  EXPECT_TRUE(r->truncated);
+  EXPECT_TRUE(r->feasible);  // a loose deadline: early leaves are feasible
+  EXPECT_LE(r->nodes_explored, 1001u);
+}
+
+TEST(Exhaustive, TruncatedInfeasibleDoesNotClaimUnmeetable) {
+  util::Rng rng(3);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 2;
+  const auto g = graph::make_independent(8, synth, rng);
+  ExhaustiveOptions opts;
+  opts.max_nodes = 2;  // stops before any leaf
+  const auto r = schedule_exhaustive(g, g.column_time(0), kModel, opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->feasible);
+  EXPECT_TRUE(r->truncated);
+  // An under-searched tree proves nothing about the deadline.
+  EXPECT_EQ(r->error.find("unmeetable"), std::string::npos);
+  EXPECT_NE(r->error.find("budget"), std::string::npos);
+}
+
+TEST(Exhaustive, ExactByDefaultAndUntruncated) {
+  const auto g = tiny_graph();
+  const auto r = schedule_exhaustive(g, 5.0, kModel);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->truncated);
+}
+
+TEST(Exhaustive, UnboundedBudgetWalksEverything) {
+  const auto g = tiny_graph();
+  ExhaustiveOptions opts;
+  opts.max_nodes = 0;  // explicit "no budget"
+  const auto bounded = schedule_exhaustive(g, 5.0, kModel);
+  const auto unbounded = schedule_exhaustive(g, 5.0, kModel, opts);
+  ASSERT_TRUE(bounded.has_value() && unbounded.has_value());
+  EXPECT_FALSE(unbounded->truncated);
+  EXPECT_EQ(bounded->sigma, unbounded->sigma);
+  EXPECT_EQ(bounded->nodes_explored, unbounded->nodes_explored);
 }
 
 TEST(Exhaustive, AssignmentLimitAborts) {

@@ -1,0 +1,247 @@
+/// Determinism contract of the parallel search layer: the frontier-split
+/// B&B and the restart portfolios must return *byte-identical* results —
+/// feasibility, schedule, σ, duration, energy — for any executor job count
+/// (the split and the reduction never consult the job count or thread
+/// timing; only the effort counters of the parallel B&B may vary, because
+/// the shared incumbent bound prunes more or less depending on when workers
+/// publish it).
+#include "basched/baselines/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/paper_graphs.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph small_graph(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::make_series_parallel(n, synth, rng);
+}
+
+double mid_deadline(const graph::TaskGraph& g) {
+  return g.column_time(0) +
+         0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+}
+
+void expect_same_payload(const ScheduleResult& a, const ScheduleResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_EQ(a.sigma, b.sigma);  // exact bits, not just near
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.energy, b.energy);
+}
+
+TEST(ParallelBnb, ByteIdenticalAcrossJobs) {
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    const auto g = small_graph(seed, 8);
+    const double d = mid_deadline(g);
+    std::optional<ScheduleResult> reference;
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+      analysis::Executor executor(jobs);
+      const auto r = schedule_branch_and_bound_parallel(g, d, kModel, executor);
+      ASSERT_TRUE(r.has_value()) << "seed " << seed << " jobs " << jobs;
+      EXPECT_GT(r->nodes_explored, 0u);
+      EXPECT_GT(r->evaluations, 0u);
+      if (!reference) {
+        reference = r;
+      } else {
+        expect_same_payload(*reference, *r);
+      }
+    }
+  }
+}
+
+TEST(ParallelBnb, MatchesSequentialOptimum) {
+  for (std::uint64_t seed : {1u, 2u, 5u, 9u}) {
+    const auto g = small_graph(seed, 7);
+    const double d = mid_deadline(g);
+    const auto sequential = schedule_branch_and_bound(g, d, kModel);
+    analysis::Executor executor(2);
+    BnbStats stats;
+    const auto parallel = schedule_branch_and_bound_parallel(g, d, kModel, executor, {}, &stats);
+    ASSERT_TRUE(sequential.has_value() && parallel.has_value());
+    ASSERT_EQ(sequential->feasible, parallel->feasible);
+    if (sequential->feasible) {
+      EXPECT_NEAR(parallel->sigma, sequential->sigma,
+                  1e-12 * std::max(1.0, sequential->sigma))
+          << "seed " << seed;
+    }
+    EXPECT_GT(stats.nodes_visited, 0u);
+  }
+}
+
+TEST(ParallelBnb, ExplicitFrontierDepthStillIdentical) {
+  const auto g = small_graph(4, 8);
+  const double d = mid_deadline(g);
+  ParallelBnbOptions opts;
+  opts.frontier_depth = 3;
+  std::optional<ScheduleResult> reference;
+  for (const unsigned jobs : {1u, 8u}) {
+    analysis::Executor executor(jobs);
+    const auto r = schedule_branch_and_bound_parallel(g, d, kModel, executor, opts);
+    ASSERT_TRUE(r.has_value());
+    if (!reference) {
+      reference = r;
+    } else {
+      expect_same_payload(*reference, *r);
+    }
+  }
+}
+
+TEST(ParallelBnb, UnmeetableDeadlineReported) {
+  const auto g = graph::make_g3();
+  analysis::Executor executor(2);
+  const auto r = schedule_branch_and_bound_parallel(g, 50.0, kModel, executor);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->feasible);
+  EXPECT_FALSE(r->error.empty());
+}
+
+TEST(ParallelBnb, SharedNodeBudgetAborts) {
+  util::Rng rng(5);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 4;
+  const auto g = graph::make_independent(9, synth, rng);
+  ParallelBnbOptions opts;
+  opts.base.max_nodes = 50;
+  opts.base.seed_with_heuristic = false;
+  analysis::Executor executor(2);
+  EXPECT_FALSE(schedule_branch_and_bound_parallel(g, 1e6, kModel, executor, opts).has_value());
+}
+
+TEST(ParallelBnb, Validation) {
+  const auto g = graph::make_g2();
+  analysis::Executor executor(1);
+  EXPECT_THROW((void)schedule_branch_and_bound_parallel(g, 0.0, kModel, executor),
+               std::invalid_argument);
+}
+
+TEST(AnnealingPortfolio, ByteIdenticalAcrossJobsIncludingCounters) {
+  const auto g = small_graph(21, 10);
+  const double d = mid_deadline(g);
+  AnnealingPortfolioOptions opts;
+  opts.annealing.iterations = 1500;
+  opts.annealing.seed = 9;
+  opts.restarts = 5;
+  std::optional<ScheduleResult> reference;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    analysis::Executor executor(jobs);
+    const auto r = schedule_annealing_portfolio(g, d, kModel, executor, opts);
+    ASSERT_TRUE(r.feasible) << r.error;
+    if (!reference) {
+      reference = r;
+    } else {
+      expect_same_payload(*reference, r);
+      // Portfolio counters are exact sums over deterministic restarts, so
+      // unlike the parallel B&B they are reproducible bit-for-bit too.
+      EXPECT_EQ(reference->nodes_explored, r.nodes_explored);
+      EXPECT_EQ(reference->evaluations, r.evaluations);
+    }
+  }
+  EXPECT_EQ(reference->nodes_explored,
+            static_cast<std::uint64_t>(opts.annealing.iterations) * opts.restarts);
+}
+
+TEST(AnnealingPortfolio, EqualsIndexOrderedBestOfManualRestarts) {
+  const auto g = small_graph(22, 9);
+  const double d = mid_deadline(g);
+  AnnealingPortfolioOptions opts;
+  opts.annealing.iterations = 1000;
+  opts.annealing.seed = 4;
+  opts.restarts = 4;
+  analysis::Executor executor(2);
+  const auto portfolio = schedule_annealing_portfolio(g, d, kModel, executor, opts);
+  ScheduleResult manual_best;
+  for (std::size_t k = 0; k < opts.restarts; ++k) {
+    AnnealingOptions per = opts.annealing;
+    per.seed = util::derive_seed(opts.annealing.seed, k);
+    const auto r = schedule_annealing(g, d, kModel, per);
+    if (r.feasible && (!manual_best.feasible || r.sigma < manual_best.sigma)) manual_best = r;
+  }
+  ASSERT_EQ(portfolio.feasible, manual_best.feasible);
+  if (portfolio.feasible) {
+    EXPECT_EQ(portfolio.sigma, manual_best.sigma);
+    EXPECT_EQ(portfolio.schedule.sequence, manual_best.schedule.sequence);
+    EXPECT_EQ(portfolio.schedule.assignment, manual_best.schedule.assignment);
+  }
+}
+
+TEST(AnnealingPortfolio, SegmentReversalConfigPropagates) {
+  const auto g = small_graph(23, 10);
+  const double d = mid_deadline(g);
+  AnnealingPortfolioOptions opts;
+  opts.annealing.iterations = 1200;
+  opts.annealing.segment_reversal = true;
+  opts.restarts = 3;
+  analysis::Executor executor(2);
+  const auto a = schedule_annealing_portfolio(g, d, kModel, executor, opts);
+  const auto b = schedule_annealing_portfolio(g, d, kModel, executor, opts);
+  ASSERT_TRUE(a.feasible) << a.error;
+  expect_same_payload(a, b);
+}
+
+TEST(AnnealingPortfolio, Validation) {
+  const auto g = graph::make_g2();
+  analysis::Executor executor(1);
+  AnnealingPortfolioOptions opts;
+  opts.restarts = 0;
+  EXPECT_THROW((void)schedule_annealing_portfolio(g, 75.0, kModel, executor, opts),
+               std::invalid_argument);
+}
+
+TEST(RandomPortfolio, ByteIdenticalAcrossJobs) {
+  const auto g = small_graph(31, 10);
+  const double d = mid_deadline(g);
+  RandomPortfolioOptions opts;
+  opts.search.samples = 300;
+  opts.search.seed = 2;
+  opts.restarts = 6;
+  std::optional<ScheduleResult> reference;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    analysis::Executor executor(jobs);
+    const auto r = schedule_random_search_portfolio(g, d, kModel, executor, opts);
+    ASSERT_TRUE(r.feasible) << r.error;
+    if (!reference) {
+      reference = r;
+    } else {
+      expect_same_payload(*reference, r);
+      EXPECT_EQ(reference->evaluations, r.evaluations);
+    }
+  }
+  EXPECT_EQ(reference->nodes_explored,
+            static_cast<std::uint64_t>(opts.search.samples) * opts.restarts);
+}
+
+TEST(RandomPortfolio, NeverWorseThanSingleShard) {
+  const auto g = small_graph(32, 9);
+  const double d = mid_deadline(g);
+  RandomPortfolioOptions opts;
+  opts.search.samples = 200;
+  opts.restarts = 5;
+  analysis::Executor executor(2);
+  const auto portfolio = schedule_random_search_portfolio(g, d, kModel, executor, opts);
+  RandomSearchOptions single = opts.search;
+  single.seed = util::derive_seed(opts.search.seed, 0);
+  const auto shard = schedule_random_search(g, d, kModel, single);
+  if (shard.feasible) {
+    ASSERT_TRUE(portfolio.feasible);
+    EXPECT_LE(portfolio.sigma, shard.sigma + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace basched::baselines

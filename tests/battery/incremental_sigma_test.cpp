@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "basched/battery/ideal.hpp"
 #include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
 
 namespace basched::battery {
@@ -165,6 +167,33 @@ TEST(IncrementalSigma, OutlivesTheRvModel) {
     expected = m.charge_lost(p, 2.0);
   }
   expect_close(expected, eval->sigma(2.0));  // β/terms were copied out
+}
+
+TEST(IncrementalSigma, RepeatedDurationAppendsAreExpFree) {
+  // The per-Δt decay cache: the checkpoint recurrence of a back-to-back
+  // append is keyed purely on the previous interval's duration, so once a
+  // duration has been seen, further appends after it perform zero exp
+  // evaluations (the window-evaluator / rest-insertion append pattern).
+  const RakhmatovVrudhulaModel m;
+  const auto eval = m.incremental_sigma();
+  const double durations[] = {2.0, 0.75, 2.0};  // the catalog of this "schedule"
+  // Warm: first append has no predecessor; the next few fill the cache.
+  for (int k = 0; k < 4; ++k) eval->append(durations[k % 3], 100.0 + k);
+  const std::uint64_t before = util::fastmath::exp_evaluations();
+  for (int k = 4; k < 64; ++k) eval->append(durations[k % 3], 100.0 + k);
+  eval->append(5.5, 10.0);  // keyed on the *previous* duration (2.0) — cached
+  EXPECT_EQ(util::fastmath::exp_evaluations(), before);  // all keys cached
+  // The first append *after* a never-seen duration costs one row, once.
+  eval->append(5.5, 10.0);  // keyed on 5.5 — cold
+  const std::uint64_t after_cold = util::fastmath::exp_evaluations();
+  EXPECT_EQ(after_cold, before + static_cast<std::uint64_t>(m.terms()));
+  eval->append(5.5, 10.0);  // keyed on 5.5 again — cached now
+  EXPECT_EQ(util::fastmath::exp_evaluations(), after_cold);
+  // The cache must not change the numbers: verify against the full model.
+  DischargeProfile p;
+  for (int k = 0; k < 64; ++k) p.append(durations[k % 3], 100.0 + k);
+  for (int k = 0; k < 3; ++k) p.append(5.5, 10.0);
+  expect_close(m.charge_lost(p, p.end_time()), eval->sigma(eval->end_time()));
 }
 
 TEST(IncrementalSigma, FullEvaluationProbeCountsOnlyChargeLost) {

@@ -293,6 +293,56 @@ TEST(ScheduleEvaluator, CommitMovesMatchFullEvaluationOverRandomSequences) {
   }
 }
 
+TEST(ScheduleEvaluator, CommitReverseSegmentMatchesFullEvaluation) {
+  // Randomized trajectories of segment reversals — including immediate
+  // rollbacks, the annealer's reject path — against from-scratch pricing of
+  // the mutated schedule, for all models (RV's analytic bubble of
+  // adjacent-swap rescales, the others' reverse + checkpoint rebuild).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 9 + seed % 4);
+    const std::size_t n = g.num_tasks();
+    for (const auto& model : all_models()) {
+      util::Rng rng(seed * 31 + 5);
+      Schedule s = random_schedule(g, rng);
+      ScheduleEvaluator eval(g, *model);
+      (void)eval.full_eval(s);
+      for (int step = 0; step < 40; ++step) {
+        const std::size_t first = rng.pick_index(n - 2);
+        const std::size_t len = 3 + rng.pick_index(std::min<std::size_t>(5, n - first) - 2);
+        const std::size_t last = first + len - 1;
+        const CostResult committed = eval.commit_reverse_segment(first, last);
+        std::reverse(s.sequence.begin() + static_cast<std::ptrdiff_t>(first),
+                     s.sequence.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+        const CostResult full = calculate_battery_cost_unchecked(g, s, *model);
+        EXPECT_NEAR(committed.sigma, full.sigma, tol_for(committed.sigma, full.sigma))
+            << model->name() << " seed " << seed << " step " << step;
+        EXPECT_NEAR(committed.duration, full.duration,
+                    tol_for(committed.duration, full.duration));
+        if (rng.bernoulli(0.4)) {
+          // Roll back (reversal is its own inverse) and re-verify.
+          const CostResult rolled = eval.commit_reverse_segment(first, last);
+          std::reverse(s.sequence.begin() + static_cast<std::ptrdiff_t>(first),
+                       s.sequence.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+          const CostResult full2 = calculate_battery_cost_unchecked(g, s, *model);
+          EXPECT_NEAR(rolled.sigma, full2.sigma, tol_for(rolled.sigma, full2.sigma))
+              << model->name() << " rollback at seed " << seed << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluator, CommitReverseSegmentValidation) {
+  const auto g = random_graph(2, 6);
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  ScheduleEvaluator eval(g, model);
+  util::Rng rng(3);
+  (void)eval.full_eval(random_schedule(g, rng));
+  EXPECT_THROW((void)eval.commit_reverse_segment(2, 2), std::out_of_range);
+  EXPECT_THROW((void)eval.commit_reverse_segment(3, 1), std::out_of_range);
+  EXPECT_THROW((void)eval.commit_reverse_segment(0, eval.depth()), std::out_of_range);
+}
+
 TEST(ScheduleEvaluator, CommitsInterleaveWithExtendPopAndReprice) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     const auto g = random_graph(seed, 9);

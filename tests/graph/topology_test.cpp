@@ -111,6 +111,57 @@ TEST(Topology, AllTopologicalOrdersRespectsLimit) {
   EXPECT_EQ(all->size(), 720u);
 }
 
+TEST(KahnFrontier, TracksReadySetUnderScheduleUnschedule) {
+  const auto g = diamond();
+  KahnFrontier frontier(g);
+  EXPECT_EQ(frontier.num_scheduled(), 0u);
+  EXPECT_TRUE(frontier.is_ready(0));
+  EXPECT_FALSE(frontier.is_ready(1));
+  EXPECT_FALSE(frontier.is_ready(3));
+
+  frontier.schedule(0);
+  EXPECT_EQ(frontier.num_scheduled(), 1u);
+  EXPECT_FALSE(frontier.is_ready(0));  // scheduled, no longer ready
+  EXPECT_TRUE(frontier.is_ready(1));
+  EXPECT_TRUE(frontier.is_ready(2));
+  EXPECT_FALSE(frontier.is_ready(3));
+
+  frontier.schedule(2);
+  EXPECT_FALSE(frontier.is_ready(3));  // still waiting on B
+  frontier.schedule(1);
+  EXPECT_TRUE(frontier.is_ready(3));
+
+  // LIFO unwind restores each earlier state exactly.
+  frontier.unschedule(1);
+  EXPECT_FALSE(frontier.is_ready(3));
+  EXPECT_TRUE(frontier.is_ready(1));
+  frontier.unschedule(2);
+  frontier.unschedule(0);
+  EXPECT_EQ(frontier.num_scheduled(), 0u);
+  EXPECT_TRUE(frontier.is_ready(0));
+  EXPECT_FALSE(frontier.is_ready(1));
+}
+
+TEST(KahnFrontier, ForEachReadyVisitsAscendingIds) {
+  const auto g = diamond();
+  KahnFrontier frontier(g);
+  frontier.schedule(0);
+  std::vector<TaskId> ready;
+  frontier.for_each_ready([&](TaskId v) { ready.push_back(v); });
+  EXPECT_EQ(ready, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(KahnFrontier, ResetRestoresSources) {
+  const auto g = diamond();
+  KahnFrontier frontier(g);
+  frontier.schedule(0);
+  frontier.schedule(1);
+  frontier.reset();
+  EXPECT_EQ(frontier.num_scheduled(), 0u);
+  EXPECT_TRUE(frontier.is_ready(0));
+  EXPECT_FALSE(frontier.is_ready(1));
+}
+
 TEST(Topology, SourcesAndSinks) {
   const auto g = diamond();
   EXPECT_EQ(num_sources(g), 1u);

@@ -6,7 +6,8 @@
 ///                       --tasks N [--points M] [--seed S] [--out FILE]
 ///   baschedule schedule --graph FILE --deadline D [--beta B]
 ///                       [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]
-///                       [--seed S] [--out FILE] [--csv FILE]
+///                       [--seed S] [--jobs N] [--restarts K]
+///                       [--frontier-depth D] [--out FILE] [--csv FILE]
 ///   baschedule evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]
 ///   baschedule sweep    --graph FILE --from A --to B [--steps N] [--beta B]
 ///                       [--jobs N] [--out FILE]
@@ -16,6 +17,10 @@
 ///
 /// `--jobs N` runs sweep/suite work items on N threads (default: hardware
 /// concurrency; `--jobs 1` is serial and byte-identical to any other N).
+/// For `schedule` it parallelizes the search itself (default 1, 0 = hardware
+/// concurrency): `bnb` splits the order tree across workers, and
+/// `annealing`/`random` with `--restarts K` run a K-seed portfolio — in
+/// every case the result is byte-identical for any job count.
 /// Graphs use the text format of basched/graph/io.hpp; schedules the format
 /// of basched/core/schedule_io.hpp. `--out -` (default) writes to stdout.
 #include <cstdio>
@@ -30,6 +35,7 @@
 #include "basched/baselines/annealing.hpp"
 #include "basched/baselines/branch_and_bound.hpp"
 #include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/parallel.hpp"
 #include "basched/baselines/random_search.hpp"
 #include "basched/baselines/rv_dp.hpp"
 #include "basched/battery/lifetime.hpp"
@@ -93,6 +99,15 @@ int cmd_schedule(const util::Args& args) {
   const battery::RakhmatovVrudhulaModel model(args.get_double("beta", 0.273));
   const std::string algorithm = args.get_string("algorithm", "ours");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  // Parallel search knobs: --jobs N workers (default 1 = serial; 0 =
+  // hardware concurrency), --restarts K portfolio restarts for the
+  // stochastic baselines. Results are byte-identical for any --jobs.
+  const long long jobs_arg = args.get_int("jobs", 1);
+  if (jobs_arg < 0) throw std::invalid_argument("--jobs must be >= 1 (or 0 for the default)");
+  const auto jobs = static_cast<unsigned>(jobs_arg);
+  const long long restarts_arg = args.get_int("restarts", 1);
+  if (restarts_arg < 1) throw std::invalid_argument("--restarts must be >= 1");
+  const auto restarts = static_cast<std::size_t>(restarts_arg);
 
   core::Schedule schedule;
   double sigma = 0.0;
@@ -113,13 +128,43 @@ int cmd_schedule(const util::Args& args) {
     } else if (algorithm == "annealing") {
       baselines::AnnealingOptions opts;
       opts.seed = seed;
-      r = baselines::schedule_annealing(g, deadline, model, opts);
+      if (restarts > 1) {
+        // Portfolio restart k streams from derive_seed(seed, k), so the
+        // result depends on --restarts and --seed but never on --jobs.
+        analysis::Executor executor(jobs);
+        baselines::AnnealingPortfolioOptions popts;
+        popts.annealing = opts;
+        popts.restarts = restarts;
+        r = baselines::schedule_annealing_portfolio(g, deadline, model, executor, popts);
+      } else {
+        r = baselines::schedule_annealing(g, deadline, model, opts);
+      }
     } else if (algorithm == "random") {
       baselines::RandomSearchOptions opts;
       opts.seed = seed;
-      r = baselines::schedule_random_search(g, deadline, model, opts);
+      if (restarts > 1) {
+        analysis::Executor executor(jobs);
+        baselines::RandomPortfolioOptions popts;
+        popts.search = opts;
+        popts.restarts = restarts;
+        r = baselines::schedule_random_search_portfolio(g, deadline, model, executor, popts);
+      } else {
+        r = baselines::schedule_random_search(g, deadline, model, opts);
+      }
     } else if (algorithm == "bnb") {
-      const auto maybe = baselines::schedule_branch_and_bound(g, deadline, model);
+      std::optional<baselines::ScheduleResult> maybe;
+      if (jobs != 1) {
+        analysis::Executor executor(jobs);
+        baselines::ParallelBnbOptions popts;
+        const long long frontier = args.get_int("frontier-depth", 0);
+        if (frontier < 0)
+          throw std::invalid_argument("--frontier-depth must be >= 0 (0 = auto)");
+        popts.frontier_depth = static_cast<std::size_t>(frontier);
+        maybe = baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor,
+                                                              popts);
+      } else {
+        maybe = baselines::schedule_branch_and_bound(g, deadline, model);
+      }
       if (!maybe) throw std::runtime_error("branch-and-bound exceeded its node limit");
       r = *maybe;
     } else {
@@ -206,6 +251,7 @@ void usage() {
       "           [--points M] [--seed S] [--out FILE]\n"
       "  schedule --graph FILE --deadline D [--beta B] [--seed S]\n"
       "           [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]\n"
+      "           [--jobs N] [--restarts K] [--frontier-depth D]\n"
       "           [--out FILE] [--csv FILE]\n"
       "  evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]\n"
       "  sweep    --graph FILE --from A --to B [--steps N] [--beta B]\n"
