@@ -1,0 +1,300 @@
+/// \file serve_latency.cpp
+/// \brief Machine-readable benchmark of the `baschedule serve` request path.
+///
+/// Emits **BENCH_serve.json** (same flat row schema as BENCH_search.json, so
+/// tools/bench_diff gates it identically). Two rows:
+///
+///  * `serve_warm` — schedule-request throughput through Service::handle_line
+///    with a cold catalog (fresh Service per request: every request pays
+///    graph parse + master decay-cache build) vs a warm one (one Service,
+///    every request after the first is a catalog hit). The speedup is the
+///    warm-catalog sharing the serve tentpole buys and is a property of the
+///    code, so bench_diff gates it. "max_rel_err" is the serving-correctness
+///    check: 0 only when the warm payload is byte-identical to both the cold
+///    payload and the direct library call (serving must change *where* work
+///    runs, never its result).
+///
+///  * `serve_rtt` — round trips per second through a real unix-socket Server
+///    (accept loop, framing, executor dispatch): pings (pure protocol
+///    overhead) in the "full" column, warm schedule requests in the "delta"
+///    column, with p50/p99 request latency as extra fields. Wall-clock
+///    socket numbers are runner-dependent, so bench_diff reports this row as
+///    info and gates only its accuracy (byte-identity of repeated payloads).
+///
+/// Flags: --quick (shorter timing windows), --out <path> (default
+/// BENCH_serve.json).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/schedule_io.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/serve/json.hpp"
+#include "basched/serve/server.hpp"
+#include "basched/serve/service.hpp"
+#include "basched/util/rng.hpp"
+
+namespace {
+
+using namespace basched;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::size_t n = 0;
+  std::string mode;
+  double full_evals_per_sec = 0.0;   ///< cold requests/sec (or pings/sec)
+  double delta_evals_per_sec = 0.0;  ///< warm requests/sec
+  double speedup = 0.0;
+  double max_rel_err = 0.0;  ///< 0 iff payloads byte-identical, else 1
+  std::uint64_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr std::size_t kTasks = 8;
+
+std::string bench_graph() {
+  util::Rng rng(42);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::serialize(graph::make_series_parallel(kTasks, synth, rng));
+}
+
+std::string schedule_request(const std::string& graph_text) {
+  serve::json::Object params;
+  params["graph"] = graph_text;
+  params["deadline"] = 100.0;
+  serve::json::Object frame;
+  frame["verb"] = "schedule";
+  frame["params"] = serve::json::Value(std::move(params));
+  return serve::json::dump(serve::json::Value(std::move(frame)));
+}
+
+std::string payload_of(const std::string& response_line) {
+  const auto frame = serve::json::parse(response_line).as_object();
+  if (!frame.at("ok").as_bool()) {
+    std::fprintf(stderr, "serve_latency: request failed: %s\n", response_line.c_str());
+    std::exit(1);
+  }
+  return frame.at("result").as_object().at("schedule").as_string();
+}
+
+Result bench_serve_warm(const std::string& graph_text, double budget_s) {
+  const std::string request = schedule_request(graph_text);
+
+  // Reference payload straight from the library (what the CLI prints).
+  const auto g = graph::parse(graph_text);
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto direct = core::schedule_battery_aware(g, 100.0, model);
+  const std::string reference =
+      direct.feasible ? core::serialize_schedule(g, direct.schedule) : "";
+
+  Result r;
+  r.n = kTasks;
+  r.mode = "serve_warm";
+
+  // Cold: a fresh Service per request — every request builds the catalog.
+  std::uint64_t cold_requests = 0;
+  std::string cold_payload;
+  auto t0 = Clock::now();
+  do {
+    serve::Service service;
+    cold_payload = payload_of(service.handle_line(request).line);
+    ++cold_requests;
+  } while (seconds_since(t0) < budget_s);
+  r.full_evals_per_sec = static_cast<double>(cold_requests) / seconds_since(t0);
+
+  // Warm: one Service — every request after the first is a catalog hit.
+  serve::Service service;
+  std::string warm_payload = payload_of(service.handle_line(request).line);
+  std::uint64_t warm_requests = 0;
+  t0 = Clock::now();
+  do {
+    warm_payload = payload_of(service.handle_line(request).line);
+    ++warm_requests;
+  } while (seconds_since(t0) < budget_s);
+  r.delta_evals_per_sec = static_cast<double>(warm_requests) / seconds_since(t0);
+
+  r.speedup = r.full_evals_per_sec > 0.0 ? r.delta_evals_per_sec / r.full_evals_per_sec : 0.0;
+  r.requests = cold_requests + warm_requests;
+  // Byte-identity is the accuracy gate: warm == cold == direct library call.
+  r.max_rel_err =
+      (warm_payload == cold_payload && warm_payload == reference && !reference.empty()) ? 0.0
+                                                                                        : 1.0;
+  return r;
+}
+
+/// One blocking JSON-lines round trip on a connected fd.
+std::string round_trip(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  if (::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(framed.size())) {
+    std::fprintf(stderr, "serve_latency: send failed\n");
+    std::exit(1);
+  }
+  std::string response;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+  return response;
+}
+
+Result bench_serve_rtt(const std::string& graph_text, double budget_s) {
+  char dir_template[] = "/tmp/basched_serve_bench_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "serve_latency: mkdtemp failed\n");
+    std::exit(1);
+  }
+  const std::string socket_path = std::string(dir_template) + "/bench.sock";
+
+  serve::Service service;
+  serve::ServerOptions options;
+  options.unix_path = socket_path;
+  options.jobs = 2;
+  serve::Server server(service, options);
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "serve_latency: cannot connect to %s\n", socket_path.c_str());
+    std::exit(1);
+  }
+
+  Result r;
+  r.n = kTasks;
+  r.mode = "serve_rtt";
+
+  // Pings: protocol + dispatch overhead with no scheduling work.
+  std::uint64_t pings = 0;
+  auto t0 = Clock::now();
+  do {
+    (void)round_trip(fd, R"({"verb":"ping"})");
+    ++pings;
+  } while (seconds_since(t0) < budget_s);
+  r.full_evals_per_sec = static_cast<double>(pings) / seconds_since(t0);
+
+  // Warm schedule requests with per-request latency for p50/p99.
+  const std::string request = schedule_request(graph_text);
+  const std::string first = payload_of(round_trip(fd, request));  // warm the catalog
+  std::vector<double> latencies_us;
+  bool identical = true;
+  t0 = Clock::now();
+  do {
+    const auto q0 = Clock::now();
+    const std::string payload = payload_of(round_trip(fd, request));
+    latencies_us.push_back(seconds_since(q0) * 1e6);
+    identical = identical && payload == first;
+  } while (seconds_since(t0) < budget_s);
+  r.delta_evals_per_sec = static_cast<double>(latencies_us.size()) / seconds_since(t0);
+  r.speedup = r.full_evals_per_sec > 0.0 ? r.delta_evals_per_sec / r.full_evals_per_sec : 0.0;
+  r.requests = pings + latencies_us.size();
+  r.max_rel_err = identical && !first.empty() ? 0.0 : 1.0;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto pct = [&latencies_us](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  if (!latencies_us.empty()) {
+    r.p50_us = pct(0.50);
+    r.p99_us = pct(0.99);
+  }
+
+  ::close(fd);
+  server.request_drain();
+  runner.join();
+  ::rmdir(dir_template);  // socket file was unlinked by the server
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results, bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "serve_latency: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"basched-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+               "release"
+#else
+               "debug"
+#endif
+  );
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"model\": \"rakhmatov-vrudhula\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"mode\": \"%s\", \"full_evals_per_sec\": %.6g, "
+                 "\"delta_evals_per_sec\": %.6g, \"speedup\": %.6g, \"max_rel_err\": %.3g, "
+                 "\"stream_len\": %llu, \"p50_us\": %.6g, \"p99_us\": %.6g}%s\n",
+                 r.n, r.mode.c_str(), r.full_evals_per_sec, r.delta_evals_per_sec, r.speedup,
+                 r.max_rel_err, static_cast<unsigned long long>(r.requests), r.p50_us, r.p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: serve_latency [--quick] [--out BENCH_serve.json]\n");
+      return 2;
+    }
+  }
+  const double budget_s = quick ? 0.2 : 1.0;
+  const std::string graph_text = bench_graph();
+
+  std::vector<Result> results;
+  results.push_back(bench_serve_warm(graph_text, budget_s));
+  std::printf("serve_warm  n=%zu  cold %.0f req/s  warm %.0f req/s  speedup %.2fx  ident=%s\n",
+              results.back().n, results.back().full_evals_per_sec,
+              results.back().delta_evals_per_sec, results.back().speedup,
+              results.back().max_rel_err == 0.0 ? "yes" : "NO");
+  results.push_back(bench_serve_rtt(graph_text, budget_s));
+  std::printf("serve_rtt   n=%zu  ping %.0f rt/s  sched %.0f req/s  p50 %.0fus  p99 %.0fus\n",
+              results.back().n, results.back().full_evals_per_sec,
+              results.back().delta_evals_per_sec, results.back().p50_us, results.back().p99_us);
+
+  write_json(out, results, quick);
+  std::printf("wrote %s\n", out.c_str());
+
+  for (const Result& r : results) {
+    if (r.max_rel_err > 0.0) {
+      std::fprintf(stderr, "FAIL: %s payload not byte-identical across requests\n",
+                   r.mode.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "basched/analysis/executor.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace basched::analysis {
 
@@ -59,15 +61,54 @@ void Executor::drain(std::uint64_t generation) {
 void Executor::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    std::uint64_t generation;
+    std::uint64_t generation = 0;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      batch_ready_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      batch_ready_.wait(
+          lock, [&] { return stop_ || generation_ != seen_generation || !tasks_.empty(); });
       if (stop_) return;
-      seen_generation = generation = generation_;
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++tasks_running_;
+      } else {
+        seen_generation = generation = generation_;
+      }
+    }
+    if (task) {
+      try {
+        task();
+      } catch (...) {
+        // Tasks own their error channel (see submit's contract); an escaped
+        // exception must not kill the worker thread.
+      }
+      bool idle;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --tasks_running_;
+        idle = tasks_.empty() && tasks_running_ == 0;
+      }
+      if (idle) tasks_idle_.notify_all();
+      continue;
     }
     drain(generation);
   }
+}
+
+void Executor::submit(std::function<void()> task) {
+  if (jobs_ < 2)
+    throw std::logic_error("Executor::submit: requires jobs() >= 2 (no worker threads)");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  batch_ready_.notify_one();
+}
+
+void Executor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  tasks_idle_.wait(lock, [&] { return tasks_.empty() && tasks_running_ == 0; });
 }
 
 void Executor::run_batch(std::size_t n, std::function<void(std::size_t)> item) {

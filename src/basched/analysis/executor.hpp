@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -48,11 +49,16 @@ class SharedMinBound {
   std::atomic<double> value_;
 };
 
-/// Fixed-size thread pool with batch (fork-join) semantics.
+/// Fixed-size thread pool with batch (fork-join) semantics, plus a
+/// fire-and-forget task mode (`submit`) for long-lived callers such as the
+/// serve daemon that dispatch independent units of work without joining.
 ///
 /// Thread-safety: `for_each`/`map` may be called repeatedly, but only from
-/// one thread at a time (the pool runs one batch at a time). Work items must
-/// not touch shared mutable state unless they synchronize it themselves.
+/// one thread at a time (the pool runs one batch at a time). `submit` and
+/// `wait_idle` are safe from any thread and coexist with batches: a worker
+/// busy with a task simply skips that batch (the batch caller participates,
+/// so batches always drain). Work items must not touch shared mutable state
+/// unless they synchronize it themselves.
 class Executor {
  public:
   /// Creates a pool of `jobs` workers; `jobs == 0` picks `default_jobs()`.
@@ -93,6 +99,18 @@ class Executor {
     return out;
   }
 
+  /// Enqueues one independent task for a worker thread; returns immediately.
+  /// Tasks must deliver their results/errors through their own channel (e.g.
+  /// a promise) — an exception escaping a task is swallowed. Throws
+  /// std::logic_error when jobs() < 2: with no worker threads there is
+  /// nobody to run the task, and running it inline would defeat the point.
+  /// The destructor drops tasks that have not started; call `wait_idle`
+  /// first when they must finish.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
  private:
   void worker_loop();
   void run_batch(std::size_t n, std::function<void(std::size_t)> item);
@@ -122,6 +140,11 @@ class Executor {
   std::function<void(std::size_t)> item_;
   std::exception_ptr first_error_;
   std::size_t first_error_index_ = 0;
+
+  // Fire-and-forget task mode (submit/wait_idle); guarded by mutex_.
+  std::deque<std::function<void()>> tasks_;
+  std::size_t tasks_running_ = 0;
+  std::condition_variable tasks_idle_;
 };
 
 }  // namespace basched::analysis

@@ -41,12 +41,20 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   // move, which rescales the evaluator's suffix rows with O(terms) exps
   // instead of re-extending them. No per-candidate Schedule copy, no
   // DischargeProfile.
-  core::ScheduleEvaluator eval(graph, model);
+  core::ScheduleEvaluator eval(graph, model, options.warm_cache);
   core::CostResult cur = eval.full_eval(current);
   double cur_cost = penalized(cur.sigma, cur.duration);
 
   ScheduleResult best;
+  bool nan_sigma = false;
   auto consider_best = [&](const core::CostResult& c) {
+    // A NaN σ from a degenerate model would win the `!best.feasible` test
+    // and then stick forever (NaN compares false against everything) —
+    // detect it at publication instead of letting it poison the incumbent.
+    if (std::isnan(c.sigma)) {
+      nan_sigma = true;
+      return;
+    }
     if (c.duration <= tol && (!best.feasible || c.sigma < best.sigma)) {
       best.feasible = true;
       best.schedule = current;
@@ -152,7 +160,9 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   best.nodes_explored = static_cast<std::uint64_t>(options.iterations);
   best.evaluations = eval.evaluations();
   if (!best.feasible) {
-    best.error = "annealing found no deadline-respecting schedule";
+    best.error = nan_sigma ? "battery model produced NaN sigma: result withheld (degenerate "
+                             "model parameters?)"
+                           : "annealing found no deadline-respecting schedule";
     return best;
   }
   // Report the returned schedule at reference precision: one full evaluation,

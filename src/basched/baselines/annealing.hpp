@@ -24,6 +24,10 @@
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
 
+namespace basched::util::fastmath {
+class DecayRowCache;
+}
+
 namespace basched::baselines {
 
 /// Annealer configuration.
@@ -39,6 +43,12 @@ struct AnnealingOptions {
   bool segment_reversal = false;
   double reversal_prob = 0.2;    ///< chance an iteration proposes move (c)
   std::size_t max_segment = 6;   ///< longest segment (tasks) a reversal spans
+
+  /// Optional pre-warmed per-Δt decay cache the annealer's evaluator adopts
+  /// (a copy) — see ScheduleEvaluator's warm constructor. Null keeps the
+  /// self-warming behaviour; the pointee must outlive the call. Trajectories
+  /// are bit-identical either way.
+  const util::fastmath::DecayRowCache* warm_cache = nullptr;
 };
 
 /// Runs simulated annealing. Throws std::invalid_argument on an empty/cyclic

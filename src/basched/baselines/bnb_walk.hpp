@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -28,6 +29,12 @@ struct BnbWalkVisitor {
   core::Schedule best;
   bool found = false;
   bool aborted = false;
+  /// A leaf priced to NaN (degenerate battery model). NaN compares false
+  /// against everything, so without this flag such a leaf would neither
+  /// become the incumbent nor tighten SharedMinBound — the search would
+  /// silently run unpruned and then claim its result optimal. Detected at
+  /// publication and surfaced by the drivers as an explicit error result.
+  bool nan_sigma = false;
 
   /// Cross-worker incumbent / node budget; null in the single-walker path.
   /// With sharing on, the σ prune switches from >= to a strict >, so an
@@ -69,6 +76,11 @@ struct BnbWalkVisitor {
   void leaf(core::OrderTreeWalker& w) {
     if (!count_node(w)) return;
     const double sigma = w.evaluator().prefix_sigma();  // O(terms): prefix state is warm
+    if (std::isnan(sigma)) {
+      nan_sigma = true;  // never publish NaN — see the flag's comment
+      w.stop();          // the result is an error either way; don't walk on unpruned
+      return;
+    }
     if (sigma < best_sigma) {
       best_sigma = sigma;
       best = core::Schedule{w.sequence(), w.assignment()};

@@ -1,5 +1,6 @@
 #include "basched/baselines/branch_and_bound.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "basched/baselines/bnb_walk.hpp"
@@ -10,18 +11,16 @@
 
 namespace basched::baselines {
 
-std::optional<ScheduleResult> schedule_branch_and_bound(const graph::TaskGraph& graph,
-                                                        double deadline,
-                                                        const battery::BatteryModel& model,
-                                                        const BnbOptions& options,
-                                                        BnbStats* stats) {
+ScheduleResult schedule_branch_and_bound(const graph::TaskGraph& graph, double deadline,
+                                         const battery::BatteryModel& model,
+                                         const BnbOptions& options, BnbStats* stats) {
   graph.validate();
   if (!(deadline > 0.0))
     throw std::invalid_argument("schedule_branch_and_bound: deadline must be > 0");
 
   // The search tree lives in the shared order-tree walker; this function only
   // supplies the B&B pruning policy and the incumbent seed.
-  core::ScheduleEvaluator evaluator(graph, model);
+  core::ScheduleEvaluator evaluator(graph, model, options.warm_cache);
   core::OrderTreeWalker walker(graph, evaluator);
   detail::BnbWalkVisitor visitor;
   visitor.deadline = deadline;
@@ -30,21 +29,32 @@ std::optional<ScheduleResult> schedule_branch_and_bound(const graph::TaskGraph& 
   if (options.seed_with_heuristic) {
     const auto seed = core::schedule_battery_aware(graph, deadline, model);
     if (seed.feasible) {
-      visitor.best_sigma = seed.sigma;
-      visitor.best = seed.schedule;
-      visitor.found = true;
+      if (std::isnan(seed.sigma)) {
+        visitor.nan_sigma = true;  // a NaN incumbent would disable σ pruning
+      } else {
+        visitor.best_sigma = seed.sigma;
+        visitor.best = seed.schedule;
+        visitor.found = true;
+      }
     }
   }
 
-  walker.walk(visitor);
+  if (!visitor.nan_sigma) walker.walk(visitor);
   if (stats != nullptr) *stats = visitor.stats;
-  if (visitor.aborted) return std::nullopt;
 
   ScheduleResult result;
   result.nodes_explored = visitor.stats.nodes_visited;
   result.evaluations = evaluator.evaluations();
+  result.truncated = visitor.aborted;
+  if (visitor.nan_sigma) {
+    result.error =
+        "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
+    return result;
+  }
   if (!visitor.found) {
-    result.error = "deadline unmeetable: every completion exceeds it";
+    result.error = visitor.aborted
+                       ? "node budget exceeded before any feasible schedule was found"
+                       : "deadline unmeetable: every completion exceeds it";
     return result;
   }
   const core::CostResult cost = core::calculate_battery_cost(graph, visitor.best, model);

@@ -21,11 +21,14 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
+
+namespace basched::util::fastmath {
+class DecayRowCache;
+}
 
 namespace basched::baselines {
 
@@ -33,6 +36,10 @@ namespace basched::baselines {
 struct BnbOptions {
   std::uint64_t max_nodes = 5'000'000;  ///< abort when the tree exceeds this
   bool seed_with_heuristic = true;      ///< start from the paper algorithm's incumbent
+  /// Optional pre-warmed per-Δt decay cache the search evaluators adopt (a
+  /// copy each) — see ScheduleEvaluator's warm constructor. Null keeps the
+  /// self-warming behaviour; the pointee must outlive the call.
+  const util::fastmath::DecayRowCache* warm_cache = nullptr;
 };
 
 /// Statistics of a completed search (for studying pruning effectiveness).
@@ -42,11 +49,15 @@ struct BnbStats {
   std::uint64_t pruned_sigma = 0;
 };
 
-/// Runs the search. Returns std::nullopt when max_nodes was exceeded
-/// (result unknown); otherwise the optimal feasible schedule or a
-/// feasible == false result for unmeetable deadlines. Throws
-/// std::invalid_argument on empty/cyclic graphs or non-positive deadlines.
-[[nodiscard]] std::optional<ScheduleResult> schedule_branch_and_bound(
+/// Runs the search. Returns the optimal feasible schedule, or a
+/// feasible == false result for unmeetable deadlines. When max_nodes trips
+/// the result carries `truncated == true`: the schedule (if any) is the best
+/// incumbent *found*, not a proven optimum — reported, never silent, exactly
+/// as schedule_exhaustive does. A NaN σ published by a degenerate battery
+/// model is surfaced as an explicit error result (never a silently unpruned
+/// search). Throws std::invalid_argument on empty/cyclic graphs or
+/// non-positive deadlines.
+[[nodiscard]] ScheduleResult schedule_branch_and_bound(
     const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
     const BnbOptions& options = {}, BnbStats* stats = nullptr);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -59,6 +60,7 @@ struct BnbJobResult {
   core::Schedule schedule;
   bool found = false;
   bool aborted = false;
+  bool nan_sigma = false;
   BnbStats stats;
   std::uint64_t evaluations = 0;
 };
@@ -71,9 +73,11 @@ void accumulate(BnbStats& into, const BnbStats& from) {
 
 }  // namespace
 
-std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
-    const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
-    analysis::Executor& executor, const ParallelBnbOptions& options, BnbStats* stats) {
+ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph, double deadline,
+                                                  const battery::BatteryModel& model,
+                                                  analysis::Executor& executor,
+                                                  const ParallelBnbOptions& options,
+                                                  BnbStats* stats) {
   graph.validate();
   if (!(deadline > 0.0))
     throw std::invalid_argument("schedule_branch_and_bound_parallel: deadline must be > 0");
@@ -81,16 +85,25 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
   const std::size_t n = graph.num_tasks();
   const std::uint64_t max_nodes = options.base.max_nodes;
 
-  // Incumbent seed, exactly as the sequential driver.
+  // Incumbent seed, exactly as the sequential driver. A NaN σ from a
+  // degenerate model must not become the incumbent: NaN compares false
+  // against everything, so it would never be replaced, never tighten
+  // SharedMinBound, and the whole parallel search would run unpruned with no
+  // signal. Detect it at publication and surface an explicit error instead.
   double incumbent_sigma = std::numeric_limits<double>::infinity();
   core::Schedule incumbent;
   bool incumbent_found = false;
+  bool nan_sigma = false;
   if (options.base.seed_with_heuristic) {
     const auto seed = core::schedule_battery_aware(graph, deadline, model);
     if (seed.feasible) {
-      incumbent_sigma = seed.sigma;
-      incumbent = seed.schedule;
-      incumbent_found = true;
+      if (std::isnan(seed.sigma)) {
+        nan_sigma = true;
+      } else {
+        incumbent_sigma = seed.sigma;
+        incumbent = seed.schedule;
+        incumbent_found = true;
+      }
     }
   }
 
@@ -104,7 +117,7 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
   std::vector<FrontierJob> jobs;
   detail::BnbWalkVisitor enum_vis;
   std::uint64_t enum_evaluations = 0;
-  for (;;) {
+  while (!nan_sigma) {
     jobs.clear();
     enum_vis = detail::BnbWalkVisitor{};
     enum_vis.deadline = deadline;
@@ -114,14 +127,14 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
       enum_vis.best = incumbent;
       enum_vis.found = true;
     }
-    core::ScheduleEvaluator eval(graph, model);
+    core::ScheduleEvaluator eval(graph, model, options.base.warm_cache);
     core::OrderTreeWalker walker(graph, eval);
     FrontierCollector collector{cut, enum_vis, jobs};
     walker.walk(collector);
     enum_evaluations = eval.evaluations();
-    if (enum_vis.aborted) {
-      if (stats != nullptr) *stats = enum_vis.stats;
-      return std::nullopt;
+    if (enum_vis.aborted || enum_vis.nan_sigma) {
+      jobs.clear();  // budget spent or result poisoned: skip the worker phase
+      break;
     }
     if (options.frontier_depth != 0 || jobs.size() >= options.min_frontier_jobs ||
         cut >= depth_cap)
@@ -143,7 +156,7 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
   std::atomic<std::uint64_t> shared_nodes{enum_vis.stats.nodes_visited};
   const double threshold = incumbent_sigma;
   std::vector<BnbJobResult> results = executor.map(jobs.size(), [&](std::size_t i) {
-    core::ScheduleEvaluator eval(graph, model);
+    core::ScheduleEvaluator eval(graph, model, options.base.warm_cache);
     core::OrderTreeWalker walker(graph, eval);
     walker.load_prefix(jobs[i].seq, jobs[i].cols);
     detail::BnbWalkVisitor vis;
@@ -158,6 +171,7 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
     r.schedule = std::move(vis.best);
     r.found = vis.found;
     r.aborted = vis.aborted;
+    r.nan_sigma = vis.nan_sigma;
     r.stats = vis.stats;
     r.evaluations = eval.evaluations();
     return r;
@@ -165,18 +179,33 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
 
   BnbStats total = enum_vis.stats;
   std::uint64_t evaluations = enum_evaluations;
-  bool aborted = false;
+  // Truncation is an any-worker property: the node budget is shared, so the
+  // walk is incomplete as soon as *any* worker tripped it (not just worker 0
+  // or the enumeration pass) — the merged result must say so.
+  bool truncated = enum_vis.aborted;
+  nan_sigma = nan_sigma || enum_vis.nan_sigma;
   for (const BnbJobResult& r : results) {
     accumulate(total, r.stats);
     evaluations += r.evaluations;
-    aborted = aborted || r.aborted;
+    truncated = truncated || r.aborted;
+    nan_sigma = nan_sigma || r.nan_sigma;
   }
   if (stats != nullptr) *stats = total;
-  if (aborted) return std::nullopt;
+
+  ScheduleResult result;
+  result.nodes_explored = total.nodes_visited;
+  result.evaluations = evaluations;
+  result.truncated = truncated;
+  if (nan_sigma) {
+    result.error =
+        "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
+    return result;
+  }
 
   // Index-ordered reduction: strictly better σ wins, ties keep the earliest
   // job (== sequential DFS order), exact double comparison — byte-identical
-  // for any job count or thread interleaving.
+  // for any job count or thread interleaving. Aborted workers still
+  // contribute their partial incumbents: the result is "best found".
   double best_sigma = incumbent_sigma;
   const core::Schedule* best = incumbent_found ? &incumbent : nullptr;
   for (const BnbJobResult& r : results)
@@ -185,11 +214,10 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
       best = &r.schedule;
     }
 
-  ScheduleResult result;
-  result.nodes_explored = total.nodes_visited;
-  result.evaluations = evaluations;
   if (best == nullptr) {
-    result.error = "deadline unmeetable: every completion exceeds it";
+    result.error = truncated
+                       ? "node budget exceeded before any feasible schedule was found"
+                       : "deadline unmeetable: every completion exceeds it";
     return result;
   }
   const core::CostResult cost = core::calculate_battery_cost(graph, *best, model);
@@ -204,14 +232,26 @@ std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
 namespace {
 
 /// Best-of reduction shared by the portfolios: strictly smaller σ wins, ties
-/// keep the lowest restart index; effort counters are exact sums.
+/// keep the lowest restart index; effort counters are exact sums; truncation
+/// is an any-member OR (a truncated member means the portfolio searched less
+/// than configured, so the merged result must not claim full coverage).
+/// A member publishing NaN σ is never allowed to become the best: the first
+/// one would win the `!best.feasible` test and then stick forever (every
+/// later `r.sigma < NaN` is false), silently poisoning the whole portfolio.
 ScheduleResult reduce_portfolio(std::vector<ScheduleResult> results, const char* none_error) {
   ScheduleResult best;
   std::uint64_t nodes = 0;
   std::uint64_t evaluations = 0;
+  bool truncated = false;
+  bool nan_sigma = false;
   for (const ScheduleResult& r : results) {
     nodes += r.nodes_explored;
     evaluations += r.evaluations;
+    truncated = truncated || r.truncated;
+    if (r.feasible && std::isnan(r.sigma)) {
+      nan_sigma = true;
+      continue;
+    }
     if (r.feasible && (!best.feasible || r.sigma < best.sigma)) {
       best.feasible = true;
       best.error.clear();
@@ -221,9 +261,24 @@ ScheduleResult reduce_portfolio(std::vector<ScheduleResult> results, const char*
       best.energy = r.energy;
     }
   }
-  if (!best.feasible) best.error = none_error;
+  if (!best.feasible) {
+    best.error = none_error;
+    if (nan_sigma) {
+      best.error =
+          "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
+    } else {
+      // Surface the members' own diagnosis (e.g. their NaN-σ error) instead
+      // of the generic "nothing feasible" when every member failed itself.
+      for (const ScheduleResult& r : results)
+        if (!r.feasible && !r.error.empty()) {
+          best.error = r.error;
+          break;
+        }
+    }
+  }
   best.nodes_explored = nodes;
   best.evaluations = evaluations;
+  best.truncated = truncated;
   return best;
 }
 

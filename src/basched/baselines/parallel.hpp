@@ -24,16 +24,15 @@
 /// reproducible.
 ///
 /// One caveat follows from the node counters being timing-dependent: the
-/// *abort* decision of the parallel B&B compares them against the shared
-/// `max_nodes` budget, so an instance whose (pruned) tree size sits near
-/// the budget can nondeterministically flip between a result and nullopt.
-/// The byte-determinism contract is for searches that complete; size the
-/// budget with headroom (the default leaves plenty for paper-scale
-/// instances) when reproducibility of the abort itself matters.
+/// *truncation* decision of the parallel B&B compares them against the
+/// shared `max_nodes` budget, so an instance whose (pruned) tree size sits
+/// near the budget can nondeterministically flip `truncated`. The
+/// byte-determinism contract is for searches that complete; size the budget
+/// with headroom (the default leaves plenty for paper-scale instances) when
+/// reproducibility of the truncation flag itself matters.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 
 #include "basched/analysis/executor.hpp"
 #include "basched/baselines/annealing.hpp"
@@ -62,11 +61,14 @@ struct ParallelBnbOptions {
   /// balancing mechanism: workers drain the job queue dynamically.
 };
 
-/// Parallel B&B: same contract as schedule_branch_and_bound (nullopt when
-/// the shared node budget was exceeded; feasible == false for unmeetable
-/// deadlines), identical optimum σ, and a byte-identical result for any
+/// Parallel B&B: same contract as schedule_branch_and_bound (truncated ==
+/// true when the shared node budget ran out in the enumeration pass *or any
+/// worker* — the result is then "best found so far", not proven optimal;
+/// feasible == false for unmeetable deadlines; a NaN σ from a degenerate
+/// model yields an explicit error result instead of a silently unpruned
+/// search), identical optimum σ, and a byte-identical schedule for any
 /// executor job count. `stats` aggregates enumeration + all workers.
-[[nodiscard]] std::optional<ScheduleResult> schedule_branch_and_bound_parallel(
+[[nodiscard]] ScheduleResult schedule_branch_and_bound_parallel(
     const graph::TaskGraph& graph, double deadline, const battery::BatteryModel& model,
     analysis::Executor& executor, const ParallelBnbOptions& options = {},
     BnbStats* stats = nullptr);

@@ -1,5 +1,6 @@
 #include "basched/baselines/random_search.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "basched/core/battery_cost.hpp"
@@ -62,14 +63,21 @@ ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double dead
   // One Schedule, one order sampler, one evaluator — every buffer is reused
   // across samples; the loop allocates only when a new best is copied out.
   RandomOrderSampler sampler(graph);
-  core::ScheduleEvaluator eval(graph, model);
+  core::ScheduleEvaluator eval(graph, model, options.warm_cache);
   core::Schedule sched;
   sched.assignment.resize(n);
+  bool nan_sigma = false;
   for (int s = 0; s < options.samples; ++s) {
     sampler.sample(rng, sched.sequence);
     for (auto& col : sched.assignment) col = rng.pick_index(m);
     if (sched.duration(graph) > tol) continue;
     const core::CostResult cost = eval.full_eval(sched);
+    // A NaN σ would win the `!best.feasible` test and then stick forever
+    // (NaN compares false against everything); never publish it.
+    if (std::isnan(cost.sigma)) {
+      nan_sigma = true;
+      continue;
+    }
     if (!best.feasible || cost.sigma < best.sigma) {
       best.feasible = true;
       best.error.clear();
@@ -81,6 +89,9 @@ ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double dead
   }
   best.nodes_explored = static_cast<std::uint64_t>(options.samples);
   best.evaluations = eval.evaluations();
+  if (!best.feasible && nan_sigma)
+    best.error =
+        "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
   if (best.feasible) {
     const core::CostResult cost =
         core::calculate_battery_cost_unchecked(graph, best.schedule, model);

@@ -14,12 +14,21 @@
 #include "basched/graph/task_graph.hpp"
 #include "basched/util/rng.hpp"
 
+namespace basched::util::fastmath {
+class DecayRowCache;
+}
+
 namespace basched::baselines {
 
 /// Random-search configuration.
 struct RandomSearchOptions {
   std::uint64_t seed = 1;
   int samples = 2000;
+
+  /// Optional pre-warmed per-Δt decay cache the sampler's evaluator adopts
+  /// (a copy) — see ScheduleEvaluator's warm constructor. Null keeps the
+  /// self-warming behaviour; the pointee must outlive the call.
+  const util::fastmath::DecayRowCache* warm_cache = nullptr;
 };
 
 /// Runs the sampler. Throws std::invalid_argument on empty/cyclic graphs or

@@ -22,7 +22,7 @@ IterativeResult schedule_battery_aware(const graph::TaskGraph& graph, double dea
   // Per-candidate pricing inside the iteration loop goes through one reused
   // evaluator (allocation-free, O(terms)/task for RV); only the final
   // reported schedule is re-priced by the reference full evaluation.
-  ScheduleEvaluator evaluator(graph, model);
+  ScheduleEvaluator evaluator(graph, model, options.window.warm_cache);
 
   std::vector<graph::TaskId> sequence = sequence_dec_energy(graph);
   double prev_iter_cost = std::numeric_limits<double>::infinity();

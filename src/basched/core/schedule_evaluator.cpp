@@ -18,6 +18,11 @@ using util::fastmath::DecayRowCache;
 
 ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
                                      const battery::BatteryModel& model)
+    : ScheduleEvaluator(graph, model, nullptr) {}
+
+ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
+                                     const battery::BatteryModel& model,
+                                     const DecayRowCache* warm)
     : graph_(&graph),
       model_(&model),
       rv_(dynamic_cast<const RakhmatovVrudhulaModel*>(&model)),
@@ -49,7 +54,16 @@ ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
     bm_.resize(t);
     for (int m = 1; m <= terms_; ++m)
       bm_[m - 1] = beta_sq_ * static_cast<double>(m) * static_cast<double>(m);
-    decay_cache_ = DecayRowCache(bm_);
+    // Adopt a compatible pre-warmed cache (a copy — caches are not shared
+    // mutably) instead of recomputing its rows; the catalog warm loop below
+    // then costs zero exp evaluations for every key the master already held.
+    const auto eq = [&](const DecayRowCache& c) {
+      return c.terms() == t && std::equal(c.coeffs().begin(), c.coeffs().end(), bm_.begin());
+    };
+    if (warm != nullptr && eq(*warm))
+      decay_cache_ = *warm;
+    else
+      decay_cache_ = DecayRowCache(bm_);
     cache_scratch_.resize(t);
     work_.resize(4 * t);
     // Warm the duration cache with the catalog's distinct Δt values: every

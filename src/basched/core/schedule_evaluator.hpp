@@ -80,6 +80,16 @@ class ScheduleEvaluator {
  public:
   ScheduleEvaluator(const graph::TaskGraph& graph, const battery::BatteryModel& model);
 
+  /// Like the two-argument constructor, but adopts a *copy* of `warm` as the
+  /// duration cache when it is compatible (same coefficient ladder β²m²):
+  /// construction then performs zero exp evaluations for every key `warm`
+  /// already holds. An incompatible or null `warm` is ignored and the
+  /// evaluator warms its own cache from the catalog as usual. This is the
+  /// warm-state injection point of the serve layer: one master cache per
+  /// catalog, copied into each request's evaluators.
+  ScheduleEvaluator(const graph::TaskGraph& graph, const battery::BatteryModel& model,
+                    const util::fastmath::DecayRowCache* warm);
+
   // ---- Enumerative interface (prefix stack) -------------------------------
 
   /// Clears the prefix to empty. Keeps buffer capacity.
@@ -176,6 +186,13 @@ class ScheduleEvaluator {
   /// Candidate schedules priced so far (peeks + full/prefix/reprice/commit
   /// evaluations). Baselines surface this as ScheduleResult::evaluations.
   [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+  /// The per-Δt decay-row cache (empty for non-RV models). Exposed so a
+  /// catalog registry can keep one evaluator's warm cache as the master copy
+  /// other evaluators adopt via the warm constructor.
+  [[nodiscard]] const util::fastmath::DecayRowCache& decay_cache() const noexcept {
+    return decay_cache_;
+  }
 
   /// True when the model has an incremental fast path (RV's O(terms) rows,
   /// KiBaM's well-state stack, Peukert/ideal prefix sums); false when

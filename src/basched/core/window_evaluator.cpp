@@ -35,7 +35,7 @@ std::optional<WindowsOutcome> evaluate_windows(const graph::TaskGraph& graph,
   // One evaluator for the whole sweep: the per-window walk is O(terms) per
   // task for the RV model, with every interval buffer reused across windows
   // (no DischargeProfile, no per-window Schedule copy).
-  ScheduleEvaluator evaluator(graph, model);
+  ScheduleEvaluator evaluator(graph, model, options.warm_cache);
   const double tol = deadline * (1.0 + kDeadlineRelTol);
   for (std::size_t ws = start + 1; ws-- > 0;) {  // ws = start downto 0
     WindowResult wr;

@@ -18,6 +18,10 @@
 #include "basched/core/design_point_chooser.hpp"
 #include "basched/core/schedule.hpp"
 
+namespace basched::util::fastmath {
+class DecayRowCache;
+}
+
 namespace basched::core {
 
 /// Outcome of one window's evaluation.
@@ -46,6 +50,11 @@ struct WindowOptions {
   /// When false, only the widest window [0 .. m-1] is evaluated (ablation:
   /// "no window function").
   bool sweep = true;
+  /// Optional pre-warmed per-Δt decay cache the sweep's evaluator adopts (a
+  /// copy) instead of warming its own — see ScheduleEvaluator's warm
+  /// constructor. Null (the default) keeps the self-warming behaviour; the
+  /// pointee must outlive the call. Results are bit-identical either way.
+  const util::fastmath::DecayRowCache* warm_cache = nullptr;
 };
 
 /// Runs the sweep. Returns std::nullopt if the deadline is unmeetable even

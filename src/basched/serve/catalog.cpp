@@ -1,0 +1,79 @@
+#include "basched/serve/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "basched/graph/io.hpp"
+
+namespace basched::serve {
+
+CatalogEntry::CatalogEntry(const std::string& graph_text, double beta)
+    : graph_(graph::parse(graph_text)), model_(beta) {
+  graph_.validate();
+  // One throwaway evaluator warms the duration cache from the catalog (the
+  // only exp() cost of this entry); its cache becomes the immutable master
+  // every request-side evaluator adopts by copy.
+  const core::ScheduleEvaluator seed(graph_, model_);
+  warm_ = seed.decay_cache();
+}
+
+std::unique_ptr<core::ScheduleEvaluator> CatalogEntry::borrow() const {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      auto evaluator = std::move(pool_.back());
+      pool_.pop_back();
+      evaluator->reset();
+      return evaluator;
+    }
+  }
+  return std::make_unique<core::ScheduleEvaluator>(graph_, model_, &warm_);
+}
+
+void CatalogEntry::give_back(std::unique_ptr<core::ScheduleEvaluator> evaluator) const {
+  if (evaluator == nullptr) return;
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(evaluator));
+}
+
+CatalogRegistry::CatalogRegistry(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::shared_ptr<const CatalogEntry> CatalogRegistry::acquire(const std::string& graph_text,
+                                                             double beta) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find({graph_text, beta});
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_used = ++tick_;
+      return it->second.entry;
+    }
+  }
+
+  // Build outside the lock: entry construction prices the whole catalog and
+  // must not serialize unrelated requests behind it. Two racing builders of
+  // the same key both succeed; the second insert wins and the first copy
+  // simply expires with its request — wasted work, never wrong results.
+  auto entry = std::make_shared<const CatalogEntry>(graph_text, beta);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  auto& slot = entries_[{graph_text, beta}];
+  slot.entry = entry;
+  slot.last_used = ++tick_;
+  while (entries_.size() > capacity_) {
+    auto lru = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    entries_.erase(lru);
+  }
+  return entry;
+}
+
+CatalogRegistry::Stats CatalogRegistry::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+}  // namespace basched::serve

@@ -1,0 +1,102 @@
+/// \file catalog.hpp
+/// \brief Per-catalog warm state shared across serve requests.
+///
+/// A "catalog" is what a request identifies by (graph text, β): the parsed
+/// task graph, the RV battery model, and — the expensive part — the decay
+/// rows e^{-β²m²·Δt} for every distinct duration in the graph's design-point
+/// catalog. Building those rows is the per-request exp() cost a cold
+/// evaluator pays in its constructor; the registry pays it once per catalog
+/// and hands every subsequent request a *copy* of the warm master cache
+/// (rows are pure functions of (coeffs, Δt), so a copy is bit-identical and
+/// the copy itself computes zero exps — see DecayRowCache::coeffs()).
+///
+/// Split of responsibilities:
+///  - CatalogEntry: immutable shared state (graph, model, master cache) plus
+///    a small evaluator pool for pricing-only verbs. Entries are handed out
+///    as shared_ptr-to-const so eviction never invalidates an in-flight
+///    request.
+///  - CatalogRegistry: the keyed LRU map, with hit/miss counters. Per
+///    *request* state (evaluators for search verbs, executors, RNGs) is
+///    never stored here — requests against the same catalog share caches,
+///    nothing else.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/schedule_evaluator.hpp"
+#include "basched/graph/task_graph.hpp"
+#include "basched/util/fastmath.hpp"
+
+namespace basched::serve {
+
+/// Immutable warm state for one (graph, β) catalog, plus an evaluator pool.
+class CatalogEntry {
+ public:
+  /// Parses the graph and warms the master cache (throws what graph::parse
+  /// or the model constructor throw on invalid input).
+  CatalogEntry(const std::string& graph_text, double beta);
+
+  [[nodiscard]] const graph::TaskGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const battery::RakhmatovVrudhulaModel& model() const noexcept { return model_; }
+  /// The pre-warmed master cache; pass as the evaluators' `warm` argument.
+  [[nodiscard]] const util::fastmath::DecayRowCache& warm_cache() const noexcept { return warm_; }
+
+  /// Borrows a ready evaluator (pooled, or freshly adopted from the master
+  /// cache when the pool is empty) for pricing-only work; return it with
+  /// give_back() so the next request can reuse it. The lease holds a
+  /// shared_ptr-style contract: the entry must outlive the lease.
+  [[nodiscard]] std::unique_ptr<core::ScheduleEvaluator> borrow() const;
+  void give_back(std::unique_ptr<core::ScheduleEvaluator> evaluator) const;
+
+ private:
+  graph::TaskGraph graph_;
+  battery::RakhmatovVrudhulaModel model_;
+  util::fastmath::DecayRowCache warm_;
+
+  static constexpr std::size_t kMaxPooled = 4;
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<core::ScheduleEvaluator>> pool_;
+};
+
+/// Thread-safe LRU registry of CatalogEntry keyed by (graph text, β).
+class CatalogRegistry {
+ public:
+  /// \param capacity most-recently-used entries kept warm; beyond it the
+  ///        least recently used entry is evicted (in-flight holders keep
+  ///        their shared_ptr alive; only the registry's reference drops).
+  explicit CatalogRegistry(std::size_t capacity = 16);
+
+  /// Returns the entry for (graph_text, beta), building it on first use.
+  /// Propagates parse/model exceptions without caching the failure.
+  [[nodiscard]] std::shared_ptr<const CatalogEntry> acquire(const std::string& graph_text,
+                                                            double beta);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t size = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CatalogEntry> entry;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::map<std::pair<std::string, double>, Slot> entries_;
+};
+
+}  // namespace basched::serve

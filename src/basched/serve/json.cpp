@@ -1,0 +1,355 @@
+#include "basched/serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <system_error>
+#include <utility>
+
+namespace basched::serve::json {
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&v_)) return *b;
+  throw Error("expected a boolean");
+}
+
+double Value::as_number() const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  throw Error("expected a number");
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+  throw Error("expected a string");
+}
+
+const Array& Value::as_array() const {
+  if (const Array* a = std::get_if<Array>(&v_)) return *a;
+  throw Error("expected an array");
+}
+
+const Object& Value::as_object() const {
+  if (const Object* o = std::get_if<Object>(&v_)) return *o;
+  throw Error("expected an object");
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Depth is capped so a
+/// hostile frame of 1 MB of '[' cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value run() {
+    Value v = value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return Value(string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return Value(number());
+    }
+  }
+
+  Value object(int depth) {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected a string key");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out[std::move(key)] = value(depth + 1);
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Value array(int depth) {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      out.push_back(value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            if (!consume_literal("\\u")) fail("unpaired surrogate");
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+      return pos_ > d0;
+    };
+    if (!digits()) fail("invalid number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("invalid number");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) fail("invalid number");
+    }
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + pos_, v);
+    if (ec == std::errc::result_out_of_range) fail("number out of double range");
+    if (ec != std::errc() || ptr != s_.data() + pos_) fail("invalid number");
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+void dump_to(const Value& value, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  // Integral doubles print without a fraction; everything else in shortest
+  // round-trip form — both so responses are byte-stable across runs.
+  if (d == 0.0) {  // covers -0.0 too: "0" is canonical
+    out.push_back('0');
+    return;
+  }
+  if (std::nearbyint(d) == d && std::fabs(d) < 9.007199254740992e15) {
+    char buf[24];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<std::int64_t>(d));
+    (void)ec;
+    out.append(buf, ptr);
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void dump_string(std::string_view s, std::string& out) {
+  out.push_back('"');
+  out += escape(s);
+  out.push_back('"');
+}
+
+void dump_to(const Value& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Value& v : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_to(v, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(k, out);
+      out.push_back(':');
+      dump_to(v, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_to(value, out);
+  return out;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace basched::serve::json

@@ -1,0 +1,80 @@
+/// \file json.hpp
+/// \brief Minimal JSON value/parser/writer for the serve wire protocol.
+///
+/// Deliberately small: objects are ordered maps (so dumps are deterministic
+/// and responses byte-stable), numbers are doubles printed in shortest
+/// round-trip form (integral values without a fraction), and the parser
+/// rejects anything outside RFC 8259 — a malformed frame from a client must
+/// become a clean protocol error, never UB. No external dependency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace basched::serve::json {
+
+/// Thrown by parse() on malformed input and by the as_*() accessors on a
+/// type mismatch; the message is safe to echo back to the client.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value: null, bool, number, string, array, or object.
+class Value {
+ public:
+  Value() noexcept : v_(nullptr) {}
+  Value(std::nullptr_t) noexcept : v_(nullptr) {}
+  Value(bool b) noexcept : v_(b) {}
+  Value(double d) noexcept : v_(d) {}
+  Value(int i) noexcept : v_(static_cast<double>(i)) {}
+  Value(unsigned u) noexcept : v_(static_cast<double>(u)) {}
+  Value(long i) noexcept : v_(static_cast<double>(i)) {}
+  Value(unsigned long u) noexcept : v_(static_cast<double>(u)) {}
+  Value(long long i) noexcept : v_(static_cast<double>(i)) {}
+  Value(unsigned long long u) noexcept : v_(static_cast<double>(u)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(v_); }
+
+  /// Checked accessors; throw json::Error naming the expected type.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed, trailing garbage is an error). Throws json::Error.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Serializes compactly (no whitespace), object keys in map order.
+[[nodiscard]] std::string dump(const Value& value);
+
+/// JSON string escaping of `s`, without the surrounding quotes.
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace basched::serve::json

@@ -1,0 +1,59 @@
+#include "basched/serve/protocol.hpp"
+
+#include <utility>
+
+namespace basched::serve {
+
+Request parse_request(const std::string& line) {
+  json::Value frame;
+  try {
+    frame = json::parse(line);
+  } catch (const json::Error& e) {
+    throw ProtocolError("bad_json", e.what());
+  }
+  if (!frame.is_object()) throw ProtocolError("bad_request", "request frame must be an object");
+  const json::Object& obj = frame.as_object();
+
+  Request req;
+  const auto verb = obj.find("verb");
+  if (verb == obj.end() || !verb->second.is_string() || verb->second.as_string().empty())
+    throw ProtocolError("bad_request", "request needs a non-empty string 'verb'");
+  req.verb = verb->second.as_string();
+
+  if (const auto id = obj.find("id"); id != obj.end()) req.id = id->second;
+
+  if (const auto params = obj.find("params"); params != obj.end()) {
+    if (!params->second.is_object())
+      throw ProtocolError("bad_request", "'params' must be an object");
+    req.params = params->second.as_object();
+  }
+
+  for (const auto& [key, value] : obj) {
+    (void)value;
+    if (key != "verb" && key != "id" && key != "params")
+      throw ProtocolError("bad_request", "unknown request field '" + key + "'");
+  }
+  return req;
+}
+
+std::string ok_line(const json::Value& id, json::Object result) {
+  json::Object frame;
+  frame["id"] = id;
+  frame["ok"] = true;
+  frame["result"] = json::Value(std::move(result));
+  return json::dump(json::Value(std::move(frame)));
+}
+
+std::string error_line(const json::Value& id, const std::string& code,
+                       const std::string& message) {
+  json::Object err;
+  err["code"] = code;
+  err["message"] = message;
+  json::Object frame;
+  frame["id"] = id;
+  frame["ok"] = false;
+  frame["error"] = json::Value(std::move(err));
+  return json::dump(json::Value(std::move(frame)));
+}
+
+}  // namespace basched::serve

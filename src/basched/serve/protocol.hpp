@@ -1,0 +1,55 @@
+/// \file protocol.hpp
+/// \brief Wire protocol of `baschedule serve`: one JSON object per line.
+///
+/// Request frame:  {"verb":"schedule","id":7,"params":{...}}\n
+///   - `verb` (string, required) selects the operation.
+///   - `id` (any JSON value, optional) is echoed verbatim in the response so
+///     clients can correlate; defaults to null.
+///   - `params` (object, optional) carries verb-specific parameters.
+///
+/// Response frame (success):  {"id":7,"ok":true,"result":{...}}\n
+/// Response frame (failure):  {"id":7,"ok":false,"error":{"code":"...","message":"..."}}\n
+///
+/// Error codes: `bad_json` (frame is not valid JSON), `bad_request` (valid
+/// JSON, invalid shape/params), `unknown_verb`, `line_too_long`,
+/// `overloaded` (admission control rejected the request; retry later),
+/// `draining` (server is shutting down), `internal`.
+#pragma once
+
+#include <string>
+
+#include "basched/serve/json.hpp"
+
+namespace basched::serve {
+
+/// A protocol-level failure carrying the wire error code; the message is
+/// safe to send to the client.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// A parsed request frame.
+struct Request {
+  std::string verb;
+  json::Value id;       ///< echoed in the response; null when absent
+  json::Object params;  ///< verb-specific parameters; empty when absent
+};
+
+/// Parses one request line. Throws ProtocolError with code `bad_json` or
+/// `bad_request`; never returns a Request with an empty verb.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Builds a success response line (no trailing newline).
+[[nodiscard]] std::string ok_line(const json::Value& id, json::Object result);
+
+/// Builds a failure response line (no trailing newline).
+[[nodiscard]] std::string error_line(const json::Value& id, const std::string& code,
+                                     const std::string& message);
+
+}  // namespace basched::serve

@@ -1,0 +1,274 @@
+#include "basched/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "basched/serve/protocol.hpp"
+
+namespace basched::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket(AF_UNIX)");
+  set_cloexec(fd);
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("bind('" + path + "')");
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("listen('" + path + "')");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket(AF_INET)");
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("getsockname");
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service),
+      opts_(std::move(options)),
+      // Request execution must run off the connection threads (submit throws
+      // with no workers), so clamp to >= 2.
+      executor_(std::max(2u, opts_.jobs == 0 ? analysis::Executor::default_jobs() : opts_.jobs)) {
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0)
+    throw std::runtime_error("serve: need a unix socket path or a TCP port");
+  if (opts_.max_line < 2) throw std::runtime_error("serve: max_line too small");
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) fail_errno("pipe");
+  pipe_rd_ = pipe_fds[0];
+  pipe_wr_ = pipe_fds[1];
+  set_cloexec(pipe_rd_);
+  set_cloexec(pipe_wr_);
+
+  try {
+    if (!opts_.unix_path.empty()) unix_fd_ = listen_unix(opts_.unix_path);
+    if (opts_.tcp_port >= 0) tcp_fd_ = listen_tcp(opts_.tcp_port, port_);
+  } catch (...) {
+    if (unix_fd_ >= 0) ::close(unix_fd_);
+    ::close(pipe_rd_);
+    ::close(pipe_wr_);
+    throw;
+  }
+}
+
+Server::~Server() {
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (pipe_rd_ >= 0) ::close(pipe_rd_);
+  if (pipe_wr_ >= 0) ::close(pipe_wr_);
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+}
+
+void Server::request_drain() noexcept {
+  const char byte = 'q';
+  // A full pipe means a drain is already pending — nothing to do.
+  [[maybe_unused]] const auto rc = ::write(pipe_wr_, &byte, 1);
+}
+
+bool Server::send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const auto n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone; the connection loop closes the fd
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Server::answer(int fd, const std::string& line) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return send_all(fd, error_line(json::Value(), "draining",
+                                   "server is shutting down") + "\n");
+  }
+
+  // Admission control: each connection has at most one outstanding request,
+  // so this counter bounds the executor queue exactly.
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >= opts_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return send_all(fd, error_line(json::Value(), "overloaded",
+                                   "too many in-flight requests; retry later") + "\n");
+  }
+
+  std::promise<Service::Outcome> promise;
+  auto future = promise.get_future();
+  executor_.submit([this, &promise, &line] {
+    try {
+      promise.set_value(service_.handle_line(line));
+    } catch (...) {
+      promise.set_exception(std::current_exception());  // defensive; handle_line never throws
+    }
+  });
+  Service::Outcome outcome;
+  try {
+    outcome = future.get();
+  } catch (const std::exception& e) {
+    outcome.line = error_line(json::Value(), "internal", e.what());
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (!send_all(fd, outcome.line + "\n")) return false;
+  if (outcome.shutdown) {
+    request_drain();
+    return false;
+  }
+  return true;
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // read error (or SHUT_RD during drain): close
+    }
+    if (n == 0) break;  // clean EOF; a partial trailing line is dropped
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;  // blank keep-alive lines are fine
+      if (!answer(fd, line)) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+
+    if (open && buffer.size() > opts_.max_line) {
+      // The line can't be framed any more; answer and drop the connection.
+      send_all(fd, error_line(json::Value(), "line_too_long",
+                              "request line exceeds " + std::to_string(opts_.max_line) +
+                                  " bytes") + "\n");
+      break;
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd), conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+void Server::run() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = pollfd{pipe_rd_, POLLIN, 0};
+    if (unix_fd_ >= 0) fds[n++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n++] = pollfd{tcp_fd_, POLLIN, 0};
+
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // drain requested
+
+    for (nfds_t i = 1; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;  // transient (ECONNABORTED etc.); keep serving
+      set_cloexec(client);
+      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn_fds_.push_back(client);
+      conn_threads_.emplace_back([this, client] { serve_connection(client); });
+    }
+  }
+
+  // Graceful drain: stop accepting, wake blocked reads, answer what's
+  // already parsed, then wait for everything to finish.
+  draining_.store(true, std::memory_order_relaxed);
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& t : conn_threads_) t.join();
+  conn_threads_.clear();
+  executor_.wait_idle();
+}
+
+}  // namespace basched::serve

@@ -1,0 +1,101 @@
+/// \file server.hpp
+/// \brief The `baschedule serve` daemon: accept loop, framing, admission
+/// control, graceful drain.
+///
+/// Architecture (one Server per process):
+///  - `run()` polls the listening sockets (unix and/or TCP) plus a self-pipe;
+///    each accepted client gets a connection thread that reads newline-framed
+///    requests and writes one response line per request.
+///  - Request *execution* happens on the Server's analysis::Executor via
+///    `submit` — connection threads only do socket I/O and block on the
+///    response future, so a slow request never stalls the accept loop.
+///  - Admission control is a bounded in-flight counter: since every
+///    connection has at most one outstanding request, `max_inflight` bounds
+///    the executor queue exactly; a request beyond the bound is refused with
+///    an `overloaded` error instead of queueing without limit.
+///  - Drain: writing one byte to `drain_notify_fd()` (async-signal-safe, so
+///    a SIGTERM handler can do it) wakes the poll loop, which stops
+///    accepting, closes the listeners, half-closes (SHUT_RD) every open
+///    connection so blocked reads wake, answers already-parsed requests,
+///    joins the connection threads, and waits for the executor to go idle.
+///    Requests that arrive after the drain began get a `draining` error.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/serve/service.hpp"
+
+namespace basched::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path to bind ("" = no unix listener). An existing
+  /// socket file at the path is replaced.
+  std::string unix_path;
+  /// TCP port to bind on 127.0.0.1 (-1 = no TCP listener; 0 = ephemeral,
+  /// read the choice back with tcp_port()).
+  int tcp_port = -1;
+  /// Longest accepted request line in bytes; longer requests are answered
+  /// with `line_too_long` and the connection is closed (the remainder of the
+  /// oversized line cannot be re-framed reliably).
+  std::size_t max_line = 1 << 20;
+  /// Admission bound on concurrently executing requests.
+  std::size_t max_inflight = 8;
+  /// Executor worker threads (0 = default_jobs(); clamped to >= 2 because
+  /// request execution must run off the connection threads).
+  unsigned jobs = 0;
+};
+
+/// Binds, listens, serves. Construction binds the listeners (throws
+/// std::runtime_error on failure); `run()` blocks until drained.
+class Server {
+ public:
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (useful with tcp_port == 0), or -1 when TCP is off.
+  [[nodiscard]] int tcp_port() const noexcept { return port_; }
+
+  /// Write one byte to this fd to begin a graceful drain; safe from a signal
+  /// handler. request_drain() is the same thing for ordinary callers.
+  [[nodiscard]] int drain_notify_fd() const noexcept { return pipe_wr_; }
+  void request_drain() noexcept;
+
+  /// Accept/serve loop; returns after a graceful drain (every in-flight
+  /// request answered, all connection threads joined).
+  void run();
+
+ private:
+  void serve_connection(int fd);
+  /// Answers one parsed request line; returns false when the connection
+  /// should close (send failure or shutdown verb).
+  bool answer(int fd, const std::string& line);
+  static bool send_all(int fd, const std::string& data);
+
+  Service& service_;
+  ServerOptions opts_;
+  analysis::Executor executor_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int pipe_rd_ = -1;
+  int pipe_wr_ = -1;
+  int port_ = -1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> inflight_{0};
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;  ///< open connection fds (for SHUT_RD on drain)
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace basched::serve

@@ -1,0 +1,336 @@
+#include "basched/serve/service.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/analysis/suite.hpp"
+#include "basched/analysis/sweeps.hpp"
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/chowdhury.hpp"
+#include "basched/baselines/parallel.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/baselines/rv_dp.hpp"
+#include "basched/battery/lifetime.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/schedule_io.hpp"
+#include "basched/util/fastmath.hpp"
+
+namespace basched::serve {
+
+namespace {
+
+// ---- param extraction -------------------------------------------------
+// Every failure names the offending parameter; all of these throw
+// ProtocolError("bad_request", ...) so handle_line maps them uniformly.
+
+const json::Value* find_param(const json::Object& params, const std::string& key) {
+  const auto it = params.find(key);
+  return it == params.end() ? nullptr : &it->second;
+}
+
+void check_keys(const json::Object& params, std::initializer_list<const char*> allowed,
+                const char* verb) {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known)
+      throw ProtocolError("bad_request",
+                          std::string("unknown param '") + key + "' for verb '" + verb + "'");
+  }
+}
+
+double as_number(const json::Value& v, const std::string& key) {
+  if (!v.is_number())
+    throw ProtocolError("bad_request", "param '" + key + "' must be a number");
+  return v.as_number();
+}
+
+double require_number(const json::Object& params, const std::string& key) {
+  const json::Value* v = find_param(params, key);
+  if (v == nullptr) throw ProtocolError("bad_request", "missing required param '" + key + "'");
+  return as_number(*v, key);
+}
+
+double number_or(const json::Object& params, const std::string& key, double fallback) {
+  const json::Value* v = find_param(params, key);
+  return v == nullptr ? fallback : as_number(*v, key);
+}
+
+std::uint64_t uint_or(const json::Object& params, const std::string& key,
+                      std::uint64_t fallback) {
+  const json::Value* v = find_param(params, key);
+  if (v == nullptr) return fallback;
+  const double d = as_number(*v, key);
+  if (!(d >= 0) || std::nearbyint(d) != d)
+    throw ProtocolError("bad_request", "param '" + key + "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string require_string(const json::Object& params, const std::string& key) {
+  const json::Value* v = find_param(params, key);
+  if (v == nullptr) throw ProtocolError("bad_request", "missing required param '" + key + "'");
+  if (!v->is_string())
+    throw ProtocolError("bad_request", "param '" + key + "' must be a string");
+  return v->as_string();
+}
+
+std::string string_or(const json::Object& params, const std::string& key,
+                      const std::string& fallback) {
+  const json::Value* v = find_param(params, key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string())
+    throw ProtocolError("bad_request", "param '" + key + "' must be a string");
+  return v->as_string();
+}
+
+}  // namespace
+
+Service::Service(std::size_t catalog_capacity) : registry_(catalog_capacity) {}
+
+ServiceStats Service::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+// Mirrors cmd_schedule in tools/baschedule.cpp at --jobs 1, with the one
+// serve-side difference that every evaluator adopts the catalog's warm
+// cache. The cache holds exact rows (pure functions of coeffs and Δt), so
+// the payload stays byte-identical to the CLI; only who computed the exps
+// changes.
+json::Object Service::run_schedule(const json::Object& params) {
+  check_keys(params, {"graph", "deadline", "beta", "algorithm", "seed", "restarts"}, "schedule");
+  const std::string graph_text = require_string(params, "graph");
+  const double deadline = require_number(params, "deadline");
+  const double beta = number_or(params, "beta", 0.273);
+  const std::string algorithm = string_or(params, "algorithm", "ours");
+  const auto seed = uint_or(params, "seed", 1);
+  const auto restarts = static_cast<std::size_t>(uint_or(params, "restarts", 1));
+  if (restarts < 1) throw ProtocolError("bad_request", "param 'restarts' must be >= 1");
+
+  const std::uint64_t exp_before = util::fastmath::exp_evaluations();
+  const auto entry = registry_.acquire(graph_text, beta);
+  const graph::TaskGraph& g = entry->graph();
+  const battery::RakhmatovVrudhulaModel& model = entry->model();
+  const util::fastmath::DecayRowCache* warm = &entry->warm_cache();
+
+  core::Schedule schedule;
+  double sigma = 0.0;
+  bool feasible = false;
+  bool truncated = false;
+  std::string error;
+  if (algorithm == "ours") {
+    core::IterativeOptions iopts;
+    iopts.window.warm_cache = warm;
+    const auto r = core::schedule_battery_aware(g, deadline, model, iopts);
+    feasible = r.feasible;
+    schedule = r.schedule;
+    sigma = r.sigma;
+    error = r.error;
+  } else {
+    baselines::ScheduleResult r;
+    if (algorithm == "rvdp") {
+      r = baselines::schedule_rv_dp(g, deadline, model);
+    } else if (algorithm == "chowdhury") {
+      r = baselines::schedule_chowdhury(g, deadline, model);
+    } else if (algorithm == "annealing") {
+      baselines::AnnealingOptions opts;
+      opts.seed = seed;
+      opts.warm_cache = warm;
+      if (restarts > 1) {
+        analysis::Executor executor(1);
+        baselines::AnnealingPortfolioOptions popts;
+        popts.annealing = opts;
+        popts.restarts = restarts;
+        r = baselines::schedule_annealing_portfolio(g, deadline, model, executor, popts);
+      } else {
+        r = baselines::schedule_annealing(g, deadline, model, opts);
+      }
+    } else if (algorithm == "random") {
+      baselines::RandomSearchOptions opts;
+      opts.seed = seed;
+      opts.warm_cache = warm;
+      if (restarts > 1) {
+        analysis::Executor executor(1);
+        baselines::RandomPortfolioOptions popts;
+        popts.search = opts;
+        popts.restarts = restarts;
+        r = baselines::schedule_random_search_portfolio(g, deadline, model, executor, popts);
+      } else {
+        r = baselines::schedule_random_search(g, deadline, model, opts);
+      }
+    } else if (algorithm == "bnb") {
+      baselines::BnbOptions opts;
+      opts.warm_cache = warm;
+      r = baselines::schedule_branch_and_bound(g, deadline, model, opts);
+      truncated = r.truncated;
+    } else {
+      throw ProtocolError("bad_request", "unknown algorithm '" + algorithm + "'");
+    }
+    feasible = r.feasible;
+    schedule = r.schedule;
+    sigma = r.sigma;
+    error = r.error;
+  }
+
+  json::Object result;
+  result["algorithm"] = algorithm;
+  result["feasible"] = feasible;
+  if (feasible) {
+    result["sigma"] = sigma;
+    result["duration"] = schedule.duration(g);
+    result["schedule"] = core::serialize_schedule(g, schedule);
+  } else {
+    result["error"] = error;
+  }
+  if (truncated) result["truncated"] = true;
+  result["exp_evals"] = util::fastmath::exp_evaluations() - exp_before;
+  return result;
+}
+
+json::Object Service::run_sweep(const json::Object& params) {
+  check_keys(params, {"graph", "from", "to", "steps", "beta"}, "sweep");
+  const std::string graph_text = require_string(params, "graph");
+  const double from = require_number(params, "from");
+  const double to = require_number(params, "to");
+  const auto steps = static_cast<int>(uint_or(params, "steps", 16));
+  const double beta = number_or(params, "beta", 0.273);
+
+  const std::uint64_t exp_before = util::fastmath::exp_evaluations();
+  const auto entry = registry_.acquire(graph_text, beta);
+  analysis::Executor executor(1);
+  const auto points = analysis::deadline_sweep(entry->graph(), from, to, steps, beta, executor);
+
+  json::Object result;
+  result["points"] = points.size();
+  result["csv"] = analysis::deadline_sweep_csv(points);
+  result["exp_evals"] = util::fastmath::exp_evaluations() - exp_before;
+  return result;
+}
+
+json::Object Service::run_suite(const json::Object& params) {
+  check_keys(params, {"seed", "per_family", "tightness", "beta"}, "suite");
+  const auto seed = uint_or(params, "seed", 1);
+  const auto per_family = static_cast<int>(uint_or(params, "per_family", 3));
+  const double tightness = number_or(params, "tightness", 0.6);
+  const double beta = number_or(params, "beta", 0.273);
+
+  const std::uint64_t exp_before = util::fastmath::exp_evaluations();
+  analysis::Executor executor(1);
+  const auto instances = analysis::standard_suite(seed, per_family, tightness);
+  const auto summary = analysis::run_suite(instances, beta, executor);
+
+  json::Object result;
+  result["instances"] = instances.size();
+  result["text"] = analysis::format_suite(summary);
+  result["exp_evals"] = util::fastmath::exp_evaluations() - exp_before;
+  return result;
+}
+
+json::Object Service::run_evaluate(const json::Object& params) {
+  check_keys(params, {"graph", "schedule", "beta", "alpha"}, "evaluate");
+  const std::string graph_text = require_string(params, "graph");
+  const std::string schedule_text = require_string(params, "schedule");
+  const double beta = number_or(params, "beta", 0.273);
+
+  const std::uint64_t exp_before = util::fastmath::exp_evaluations();
+  const auto entry = registry_.acquire(graph_text, beta);
+  const auto schedule = core::parse_schedule(entry->graph(), schedule_text);
+  const auto profile = schedule.to_profile(entry->graph());
+
+  json::Object result;
+  result["tasks"] = schedule.sequence.size();
+  result["duration"] = profile.end_time();
+  result["energy"] = profile.total_charge();
+  result["sigma"] = entry->model().charge_lost(profile, profile.end_time());
+  if (const json::Value* alpha_param = find_param(params, "alpha")) {
+    const double alpha = as_number(*alpha_param, "alpha");
+    const auto death = battery::find_lifetime(entry->model(), profile, alpha);
+    result["death"] = death ? json::Value(*death) : json::Value(nullptr);
+  }
+  result["exp_evals"] = util::fastmath::exp_evaluations() - exp_before;
+  return result;
+}
+
+json::Object Service::run_stats() {
+  const ServiceStats s = stats();
+  const CatalogRegistry::Stats c = registry_.stats();
+  json::Object by_verb;
+  by_verb["schedule"] = s.schedule;
+  by_verb["sweep"] = s.sweep;
+  by_verb["suite"] = s.suite;
+  by_verb["evaluate"] = s.evaluate;
+  by_verb["ping"] = s.ping;
+  json::Object catalog;
+  catalog["hits"] = c.hits;
+  catalog["misses"] = c.misses;
+  catalog["size"] = c.size;
+  json::Object result;
+  result["requests"] = s.requests;
+  result["errors"] = s.errors;
+  result["by_verb"] = json::Value(std::move(by_verb));
+  result["catalog"] = json::Value(std::move(catalog));
+  result["exp_evals_total"] = util::fastmath::exp_evaluations();
+  return result;
+}
+
+Service::Outcome Service::handle_line(const std::string& line) {
+  json::Value id;  // null until the frame parses far enough to know better
+  try {
+    const Request req = parse_request(line);
+    id = req.id;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests;
+    }
+
+    json::Object result;
+    bool shutdown = false;
+    const auto bump = [this](std::uint64_t ServiceStats::* counter) {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++(stats_.*counter);
+    };
+    if (req.verb == "ping") {
+      result["pong"] = true;
+      bump(&ServiceStats::ping);
+    } else if (req.verb == "schedule") {
+      result = run_schedule(req.params);
+      bump(&ServiceStats::schedule);
+    } else if (req.verb == "sweep") {
+      result = run_sweep(req.params);
+      bump(&ServiceStats::sweep);
+    } else if (req.verb == "suite") {
+      result = run_suite(req.params);
+      bump(&ServiceStats::suite);
+    } else if (req.verb == "evaluate") {
+      result = run_evaluate(req.params);
+      bump(&ServiceStats::evaluate);
+    } else if (req.verb == "stats") {
+      result = run_stats();
+    } else if (req.verb == "shutdown") {
+      result["draining"] = true;
+      shutdown = true;
+    } else {
+      throw ProtocolError("unknown_verb", "unknown verb '" + req.verb + "'");
+    }
+    return Outcome{ok_line(id, std::move(result)), shutdown};
+  } catch (const ProtocolError& e) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+    return Outcome{error_line(id, e.code(), e.what()), false};
+  } catch (const std::invalid_argument& e) {
+    // graph::parse, parse_schedule, model validation — the request's fault.
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+    return Outcome{error_line(id, "bad_request", e.what()), false};
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+    return Outcome{error_line(id, "internal", e.what()), false};
+  }
+}
+
+}  // namespace basched::serve

@@ -1,0 +1,76 @@
+/// \file service.hpp
+/// \brief Verb execution for `baschedule serve`, independent of any socket.
+///
+/// The Service owns the cross-request warm state (CatalogRegistry) and maps
+/// request frames onto the library's analysis entry points:
+///
+///   verb       params                                     result
+///   --------   ----------------------------------------   ------------------
+///   ping       —                                          {"pong":true}
+///   schedule   graph*, deadline*, beta, algorithm,        feasible/σ/duration,
+///              seed, restarts                             serialized schedule
+///   sweep      graph*, from*, to*, steps, beta            deadline-sweep CSV
+///   suite      seed, per_family, tightness, beta          suite summary text
+///   evaluate   graph*, schedule*, beta, alpha             σ/duration/energy
+///   stats      —                                          counters + catalog
+///   shutdown   —                                          {"draining":true}
+///
+/// (* = required.) Per-request analysis always runs on an inline
+/// Executor(1), so every payload is byte-identical to the equivalent CLI
+/// invocation — serving changes *where* the work runs, never its result.
+/// Each response carries `exp_evals`, the global exp-counter delta across
+/// the request: with sequential requests it shows warm-catalog sharing
+/// directly (the second request against a catalog skips the warm-up cost);
+/// with concurrent requests the deltas overlap and are indicative only.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "basched/serve/catalog.hpp"
+#include "basched/serve/protocol.hpp"
+
+namespace basched::serve {
+
+/// Request counters, by verb plus totals.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t schedule = 0;
+  std::uint64_t sweep = 0;
+  std::uint64_t suite = 0;
+  std::uint64_t evaluate = 0;
+  std::uint64_t ping = 0;
+};
+
+/// Thread-safe verb executor; one instance per daemon.
+class Service {
+ public:
+  explicit Service(std::size_t catalog_capacity = 16);
+
+  struct Outcome {
+    std::string line;       ///< response frame, no trailing newline
+    bool shutdown = false;  ///< the client asked the server to drain
+  };
+
+  /// Parses and executes one request line. Never throws: every failure
+  /// becomes an error frame (bad_json/bad_request/unknown_verb/internal).
+  [[nodiscard]] Outcome handle_line(const std::string& line);
+
+  [[nodiscard]] CatalogRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  json::Object run_schedule(const json::Object& params);
+  json::Object run_sweep(const json::Object& params);
+  json::Object run_suite(const json::Object& params);
+  json::Object run_evaluate(const json::Object& params);
+  json::Object run_stats();
+
+  CatalogRegistry registry_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace basched::serve

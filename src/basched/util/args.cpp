@@ -1,9 +1,31 @@
 #include "basched/util/args.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 namespace basched::util {
+
+namespace {
+
+/// Strict whole-token numeric parse: the value must be exactly one number —
+/// no leading whitespace or '+' (std::from_chars accepts neither), no
+/// trailing characters ("2x"), no out-of-range magnitude (strtoll-style
+/// clamping silently turned typos into LLONG_MAX). Errors name the option.
+template <typename T>
+T parse_whole(const std::string& s, const std::string& key, const char* kind) {
+  T v{};
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), last, v);
+  if (ec == std::errc::result_out_of_range)
+    throw std::invalid_argument("option --" + key + ": value '" + s + "' is out of range");
+  if (ec != std::errc() || ptr != last)
+    throw std::invalid_argument("option --" + key + " expects " + std::string(kind) + ", got '" +
+                                s + "'");
+  return v;
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
   int i = 0;
@@ -43,12 +65,7 @@ std::string Args::get_string(const std::string& key, const std::string& fallback
 }
 
 double Args::get_double(const std::string& key) const {
-  const std::string s = get_string(key);
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0')
-    throw std::invalid_argument("option --" + key + " expects a number, got '" + s + "'");
-  return v;
+  return parse_whole<double>(get_string(key), key, "a number");
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
@@ -56,16 +73,24 @@ double Args::get_double(const std::string& key, double fallback) const {
 }
 
 long long Args::get_int(const std::string& key) const {
-  const std::string s = get_string(key);
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0')
-    throw std::invalid_argument("option --" + key + " expects an integer, got '" + s + "'");
-  return v;
+  return parse_whole<long long>(get_string(key), key, "an integer");
 }
 
 long long Args::get_int(const std::string& key, long long fallback) const {
   return has(key) ? get_int(key) : fallback;
+}
+
+std::uint64_t Args::get_uint(const std::string& key) const {
+  const std::string s = get_string(key);
+  // from_chars<unsigned> would reject "-1" too, but with a generic message;
+  // a negative count deserves a pointed one (it used to wrap to 2^64-1).
+  if (!s.empty() && s[0] == '-')
+    throw std::invalid_argument("option --" + key + " must be non-negative, got '" + s + "'");
+  return parse_whole<std::uint64_t>(s, key, "a non-negative integer");
+}
+
+std::uint64_t Args::get_uint(const std::string& key, std::uint64_t fallback) const {
+  return has(key) ? get_uint(key) : fallback;
 }
 
 std::vector<std::string> Args::unused_keys() const {

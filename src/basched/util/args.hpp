@@ -6,6 +6,7 @@
 /// being ignored.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,12 +28,21 @@ class Args {
 
   /// Typed getters; the non-optional overloads throw std::invalid_argument
   /// when the key is absent (naming the key), the defaulted ones fall back.
+  ///
+  /// Numeric getters parse the *whole* token strictly: trailing garbage
+  /// ("2x"), leading whitespace (" 2"), empty values and out-of-range
+  /// magnitudes are all rejected with a message naming the option — a typo
+  /// must fail loudly, never silently truncate or wrap. `get_uint` is for
+  /// count-like options (--jobs, --samples): it additionally rejects
+  /// negative values instead of letting "-1" wrap to 2^64-1.
   [[nodiscard]] std::string get_string(const std::string& key) const;
   [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
   [[nodiscard]] double get_double(const std::string& key) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] long long get_int(const std::string& key) const;
   [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const;
 
   /// Keys that were supplied but never read — for unknown-option errors.
   [[nodiscard]] std::vector<std::string> unused_keys() const;

@@ -91,6 +91,13 @@ class DecayRowCache {
   /// Number of coefficients (row length).
   [[nodiscard]] std::size_t terms() const noexcept { return coeffs_.size(); }
 
+  /// The coefficient vector the cache was built with. Two caches with equal
+  /// coefficients are interchangeable: rows are pure functions of
+  /// (coeffs, key), so a consumer may adopt a copy of an already-warm cache
+  /// (e.g. one pre-warmed from a catalog's durations) instead of recomputing
+  /// every row — the basis of cross-request cache sharing in serve/.
+  [[nodiscard]] std::span<const double> coeffs() const noexcept { return coeffs_; }
+
   /// Row of exp(-coeff[i]·key). Returns a pointer into the cache when the
   /// key is (or becomes) cached; otherwise computes into `scratch` (which
   /// must hold at least terms() doubles) and returns `scratch`. The returned

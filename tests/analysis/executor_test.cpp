@@ -9,6 +9,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace basched::analysis {
@@ -106,6 +107,63 @@ TEST(Executor, BatchCompletesDespiteExceptions) {
                            }),
                std::runtime_error);
   EXPECT_EQ(ran.load(), 64);  // remaining items still executed
+}
+
+TEST(Executor, SubmitRunsEveryTaskOffTheCallingThread) {
+  Executor ex(3);
+  std::atomic<int> ran{0};
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> on_caller{false};
+  for (int i = 0; i < 50; ++i)
+    ex.submit([&] {
+      if (std::this_thread::get_id() == caller) on_caller = true;
+      ran.fetch_add(1);
+    });
+  ex.wait_idle();
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_FALSE(on_caller.load());
+}
+
+TEST(Executor, SubmitRequiresWorkers) {
+  Executor ex(1);
+  EXPECT_THROW(ex.submit([] {}), std::logic_error);
+}
+
+TEST(Executor, SubmitCoexistsWithBatches) {
+  // A long-running task must not stall fork-join batches: the batch caller
+  // participates, so batches drain even while workers are busy with tasks.
+  Executor ex(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  ex.submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait_for(lock, std::chrono::seconds(30), [&] { return release; });
+  });
+  const auto out = ex.map(10, [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), 10u);
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  ex.wait_idle();
+}
+
+TEST(Executor, TaskExceptionsDoNotKillWorkers) {
+  Executor ex(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    ex.submit([&] {
+      ran.fetch_add(1);
+      throw std::runtime_error("task error: swallowed by contract");
+    });
+  ex.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+  // The pool still works afterwards.
+  ex.submit([&] { ran.fetch_add(1); });
+  ex.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
 }
 
 }  // namespace

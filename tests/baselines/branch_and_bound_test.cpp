@@ -36,9 +36,9 @@ TEST_P(BnbVsExhaustive, MatchesExhaustiveOptimum) {
   const auto exhaustive = schedule_exhaustive(g, d, kModel);
   const auto bnb = schedule_branch_and_bound(g, d, kModel);
   ASSERT_TRUE(exhaustive.has_value());
-  ASSERT_TRUE(bnb.has_value());
-  ASSERT_EQ(exhaustive->feasible, bnb->feasible);
-  if (exhaustive->feasible) { EXPECT_NEAR(bnb->sigma, exhaustive->sigma, 1e-6); }
+  EXPECT_FALSE(bnb.truncated);
+  ASSERT_EQ(exhaustive->feasible, bnb.feasible);
+  if (exhaustive->feasible) { EXPECT_NEAR(bnb.sigma, exhaustive->sigma, 1e-6); }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsExhaustive, ::testing::Range<std::uint64_t>(1, 9));
@@ -46,12 +46,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsExhaustive, ::testing::Range<std::uint64_t>
 TEST(Bnb, NeverWorseThanHeuristicSeed) {
   const auto g = graph::make_g2();
   const auto bnb = schedule_branch_and_bound(g, 75.0, kModel);
-  ASSERT_TRUE(bnb.has_value());
-  ASSERT_TRUE(bnb->feasible);
+  ASSERT_TRUE(bnb.feasible);
   const auto ours = core::schedule_battery_aware(g, 75.0, kModel);
   ASSERT_TRUE(ours.feasible);
-  EXPECT_LE(bnb->sigma, ours.sigma + 1e-9);
-  EXPECT_LE(bnb->duration, 75.0 + 1e-9);
+  EXPECT_LE(bnb.sigma, ours.sigma + 1e-9);
+  EXPECT_LE(bnb.duration, 75.0 + 1e-9);
 }
 
 TEST(Bnb, HandlesGraphsBeyondExhaustiveReach) {
@@ -63,14 +62,13 @@ TEST(Bnb, HandlesGraphsBeyondExhaustiveReach) {
   const auto g = graph::make_series_parallel(10, synth, rng);
   const double d = mid_deadline(g);
   const auto bnb = schedule_branch_and_bound(g, d, kModel);
-  ASSERT_TRUE(bnb.has_value());
-  ASSERT_TRUE(bnb->feasible);
+  ASSERT_TRUE(bnb.feasible);
   const auto ours = core::schedule_battery_aware(g, d, kModel);
   ASSERT_TRUE(ours.feasible);
-  EXPECT_LE(bnb->sigma, ours.sigma + 1e-9);
+  EXPECT_LE(bnb.sigma, ours.sigma + 1e-9);
 }
 
-TEST(Bnb, NodeLimitAborts) {
+TEST(Bnb, NodeLimitReportedAsTruncated) {
   util::Rng rng(5);
   graph::DesignPointSynthesis synth;
   synth.num_points = 4;
@@ -78,22 +76,40 @@ TEST(Bnb, NodeLimitAborts) {
   BnbOptions opts;
   opts.max_nodes = 50;
   opts.seed_with_heuristic = false;
-  EXPECT_FALSE(schedule_branch_and_bound(g, 1e6, kModel, opts).has_value());
+  const auto r = schedule_branch_and_bound(g, 1e6, kModel, opts);
+  EXPECT_TRUE(r.truncated);  // budget tripped: best-found, not proven — reported, never silent
+  if (!r.feasible) {
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(Bnb, TruncatedSeededRunStillReturnsSeedIncumbent) {
+  // With the heuristic seed the budget-tripped run has an incumbent to
+  // return: feasible best-found, flagged truncated.
+  const auto g = small_graph(6);
+  BnbOptions opts;
+  opts.max_nodes = 1;
+  const auto r = schedule_branch_and_bound(g, mid_deadline(g), kModel, opts);
+  EXPECT_TRUE(r.truncated);
+  ASSERT_TRUE(r.feasible);
+  const auto seed = core::schedule_battery_aware(g, mid_deadline(g), kModel);
+  ASSERT_TRUE(seed.feasible);
+  EXPECT_LE(r.sigma, seed.sigma + 1e-9);
 }
 
 TEST(Bnb, UnmeetableDeadlineReported) {
   const auto g = graph::make_g3();
   const auto bnb = schedule_branch_and_bound(g, 50.0, kModel);
-  ASSERT_TRUE(bnb.has_value());
-  EXPECT_FALSE(bnb->feasible);
-  EXPECT_FALSE(bnb->error.empty());
+  EXPECT_FALSE(bnb.feasible);
+  EXPECT_FALSE(bnb.truncated);
+  EXPECT_FALSE(bnb.error.empty());
 }
 
 TEST(Bnb, StatsReportPruning) {
   const auto g = small_graph(3);
   BnbStats stats;
   const auto bnb = schedule_branch_and_bound(g, mid_deadline(g), kModel, {}, &stats);
-  ASSERT_TRUE(bnb.has_value());
+  ASSERT_TRUE(bnb.feasible);
   EXPECT_GT(stats.nodes_visited, 0u);
   // The heuristic seed makes the σ bound bite on any nontrivial instance.
   EXPECT_GT(stats.pruned_sigma + stats.pruned_deadline, 0u);
@@ -106,9 +122,8 @@ TEST(Bnb, SeedingOnlyChangesSpeedNotResult) {
   unseeded.seed_with_heuristic = false;
   const auto a = schedule_branch_and_bound(g, d, kModel);
   const auto b = schedule_branch_and_bound(g, d, kModel, unseeded);
-  ASSERT_TRUE(a.has_value() && b.has_value());
-  ASSERT_EQ(a->feasible, b->feasible);
-  if (a->feasible) { EXPECT_NEAR(a->sigma, b->sigma, 1e-9); }
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) { EXPECT_NEAR(a.sigma, b.sigma, 1e-9); }
 }
 
 TEST(Bnb, Validation) {

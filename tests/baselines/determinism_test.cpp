@@ -76,8 +76,7 @@ TEST(BaselineDeterminism, ExhaustiveAndBnbBitIdentical) {
   expect_identical(*e1, *e2);
   const auto b1 = schedule_branch_and_bound(g, d, kModel);
   const auto b2 = schedule_branch_and_bound(g, d, kModel);
-  ASSERT_TRUE(b1.has_value() && b2.has_value());
-  expect_identical(*b1, *b2);
+  expect_identical(b1, b2);
 }
 
 TEST(BaselineDeterminism, EffortCountersPopulated) {
@@ -98,8 +97,7 @@ TEST(BaselineDeterminism, EffortCountersPopulated) {
   EXPECT_GT(opt->evaluations, 0u);
   BnbStats stats;
   const auto bnb = schedule_branch_and_bound(g, d, kModel, {}, &stats);
-  ASSERT_TRUE(bnb.has_value());
-  EXPECT_EQ(bnb->nodes_explored, stats.nodes_visited);
+  EXPECT_EQ(bnb.nodes_explored, stats.nodes_visited);
 }
 
 // ---- full_evaluations_ probe: search loops never price full profiles ------
@@ -146,7 +144,7 @@ TEST(SearchLoopProbe, BnbUnseededRunsExactlyOneFullEvaluation) {
   opts.seed_with_heuristic = false;
   const std::uint64_t before = model.full_evaluations();
   const auto r = schedule_branch_and_bound(g, d, model, opts);
-  ASSERT_TRUE(r.has_value() && r->feasible);
+  ASSERT_TRUE(r.feasible);
   // O(terms) leaf pricing via the evaluator; the one full evaluation is the
   // final canonical re-pricing of the optimum.
   EXPECT_EQ(model.full_evaluations(), before + 1);

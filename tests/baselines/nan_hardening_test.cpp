@@ -1,0 +1,116 @@
+/// Regression tests for NaN-σ poisoning (ISSUE 6 satellite): a degenerate
+/// battery model whose σ evaluates to NaN used to silently disable every
+/// incumbent comparison — NaN compares false against everything, so it never
+/// became the incumbent, never tightened the shared bound (parallel B&B ran
+/// unpruned with no signal), and the first NaN "feasible" portfolio member
+/// stuck forever in the best-of reduction. Every search entry point must now
+/// detect NaN at result publication and return an explicit error result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/parallel.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/model.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines {
+namespace {
+
+/// Minimal degenerate model: every σ query is NaN. Uses the evaluator's
+/// generic fallback path, exactly like a real model gone numerically bad
+/// (e.g. parameters that overflow into inf - inf inside its series).
+class NanModel final : public battery::BatteryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "nan"; }
+  [[nodiscard]] double charge_lost(std::span<const battery::DischargeInterval>,
+                                   double) const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+graph::TaskGraph small_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::make_series_parallel(6, synth, rng);
+}
+
+// A deadline every schedule meets, so the NaN path (not infeasibility) is
+// what the search exercises.
+constexpr double kLooseDeadline = 1e9;
+
+void expect_nan_error(const ScheduleResult& r) {
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.error.find("NaN"), std::string::npos) << r.error;
+  EXPECT_FALSE(std::isnan(r.sigma));  // the NaN must not leak into the payload
+}
+
+TEST(NanHardening, SequentialBnbReturnsExplicitError) {
+  const NanModel model;
+  const auto g = small_graph(1);
+  for (const bool seeded : {true, false}) {
+    BnbOptions opts;
+    opts.seed_with_heuristic = seeded;
+    BnbStats stats;
+    const auto r = schedule_branch_and_bound(g, kLooseDeadline, model, opts, &stats);
+    expect_nan_error(r);
+    // The walk must stop at the first NaN leaf instead of enumerating the
+    // whole tree unpruned: a 6-task × 3-point tree has far more nodes.
+    EXPECT_LT(stats.nodes_visited, 100u) << (seeded ? "seeded" : "unseeded");
+  }
+}
+
+TEST(NanHardening, ParallelBnbReturnsExplicitError) {
+  const NanModel model;
+  const auto g = small_graph(2);
+  for (const unsigned jobs : {1u, 2u}) {
+    analysis::Executor executor(jobs);
+    for (const bool seeded : {true, false}) {
+      ParallelBnbOptions opts;
+      opts.base.seed_with_heuristic = seeded;
+      const auto r = schedule_branch_and_bound_parallel(g, kLooseDeadline, model, executor, opts);
+      expect_nan_error(r);
+    }
+  }
+}
+
+TEST(NanHardening, AnnealingReturnsExplicitError) {
+  const NanModel model;
+  const auto g = small_graph(3);
+  AnnealingOptions opts;
+  opts.iterations = 200;
+  expect_nan_error(schedule_annealing(g, kLooseDeadline, model, opts));
+}
+
+TEST(NanHardening, RandomSearchReturnsExplicitError) {
+  const NanModel model;
+  const auto g = small_graph(4);
+  expect_nan_error(schedule_random_search(g, kLooseDeadline, model, {.seed = 1, .samples = 50}));
+}
+
+TEST(NanHardening, PortfolioReductionSkipsNanMembers) {
+  // Every member publishes only NaN candidates; the reduction must not let
+  // the first one win `!best.feasible` and poison the merged result.
+  const NanModel model;
+  const auto g = small_graph(5);
+  analysis::Executor executor(2);
+  AnnealingPortfolioOptions aopts;
+  aopts.annealing.iterations = 100;
+  aopts.restarts = 3;
+  expect_nan_error(schedule_annealing_portfolio(g, kLooseDeadline, model, executor, aopts));
+  RandomPortfolioOptions ropts;
+  ropts.search.samples = 50;
+  ropts.restarts = 3;
+  expect_nan_error(schedule_random_search_portfolio(g, kLooseDeadline, model, executor, ropts));
+}
+
+}  // namespace
+}  // namespace basched::baselines

@@ -1,0 +1,196 @@
+/// End-to-end smoke of `baschedule serve`: forks the real binary as a
+/// daemon on an ephemeral unix socket and proves the serving contract —
+/// responses byte-identical to the CLI, warm-catalog sharing across
+/// same-catalog requests, and a clean SIGTERM drain.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "basched/serve/json.hpp"
+
+#ifndef BASCHEDULE_BIN
+#error "BASCHEDULE_BIN must point at the baschedule executable"
+#endif
+
+namespace {
+
+using basched::serve::json::Object;
+using basched::serve::json::Value;
+namespace json = basched::serve::json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int run_cli(const std::string& args) {
+  const std::string cmd = std::string(BASCHEDULE_BIN) + " " + args + " 2>/dev/null";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// One JSON-lines round trip over a connected unix-socket fd.
+class Conn {
+ public:
+  explicit Conn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    timeval tv{60, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~Conn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  Object rpc(const std::string& verb, Object params) {
+    Object frame;
+    frame["verb"] = verb;
+    frame["params"] = Value(std::move(params));
+    const std::string line = json::dump(Value(std::move(frame))) + "\n";
+    EXPECT_EQ(::send(fd_, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+    std::string response;
+    char c = 0;
+    while (::recv(fd_, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+    return json::parse(response).as_object();
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class ServeSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char dir_template[] = "/tmp/basched_smoke_XXXXXX";
+    ASSERT_NE(::mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+    socket_path_ = dir_ + "/serve.sock";
+
+    // Fixture inputs come from the CLI itself, so the comparison below is
+    // CLI-vs-daemon on identical artifacts.
+    ASSERT_EQ(run_cli("generate --family sp --tasks 6 --seed 3 --out " + dir_ + "/g.txt"), 0);
+    graph_ = read_file(dir_ + "/g.txt");
+
+    daemon_pid_ = ::fork();
+    ASSERT_GE(daemon_pid_, 0);
+    if (daemon_pid_ == 0) {
+      ::execl(BASCHEDULE_BIN, "baschedule", "serve", "--socket", socket_path_.c_str(),
+              static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    // Wait for the daemon to bind (the socket file appears).
+    for (int i = 0; i < 600; ++i) {
+      if (::access(socket_path_.c_str(), F_OK) == 0) return;
+      ::usleep(50'000);
+    }
+    FAIL() << "daemon never bound " << socket_path_;
+  }
+
+  void TearDown() override {
+    if (daemon_pid_ > 0) {
+      ::kill(daemon_pid_, SIGKILL);  // no-op if the test already reaped it
+      int status = 0;
+      ::waitpid(daemon_pid_, &status, 0);
+    }
+  }
+
+  /// SIGTERM must drain gracefully: exit code 0, socket file unlinked.
+  void expect_clean_sigterm_exit() {
+    ASSERT_EQ(::kill(daemon_pid_, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(daemon_pid_, &status, 0), daemon_pid_);
+    daemon_pid_ = -1;
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_NE(::access(socket_path_.c_str(), F_OK), 0);  // socket unlinked
+  }
+
+  std::string dir_;
+  std::string socket_path_;
+  std::string graph_;
+  pid_t daemon_pid_ = -1;
+};
+
+TEST_F(ServeSmoke, ScheduleAndSweepAreByteIdenticalToCli) {
+  // CLI reference outputs (--jobs 1, the daemon's per-request configuration).
+  ASSERT_EQ(run_cli("schedule --graph " + dir_ + "/g.txt --deadline 100 --out " + dir_ +
+                    "/sched.txt"),
+            0);
+  ASSERT_EQ(run_cli("sweep --graph " + dir_ + "/g.txt --from 20 --to 60 --steps 4 --jobs 1 "
+                    "--out " + dir_ + "/sweep.csv"),
+            0);
+
+  Conn conn(socket_path_);
+
+  Object sparams;
+  sparams["graph"] = graph_;
+  sparams["deadline"] = 100.0;
+  const Object sresp = conn.rpc("schedule", std::move(sparams));
+  ASSERT_TRUE(sresp.at("ok").as_bool()) << json::dump(Value(sresp));
+  const Object& sresult = sresp.at("result").as_object();
+  ASSERT_TRUE(sresult.at("feasible").as_bool());
+  EXPECT_EQ(sresult.at("schedule").as_string(), read_file(dir_ + "/sched.txt"));
+
+  Object wparams;
+  wparams["graph"] = graph_;
+  wparams["from"] = 20.0;
+  wparams["to"] = 60.0;
+  wparams["steps"] = 4;
+  const Object wresp = conn.rpc("sweep", std::move(wparams));
+  ASSERT_TRUE(wresp.at("ok").as_bool()) << json::dump(Value(wresp));
+  EXPECT_EQ(wresp.at("result").as_object().at("csv").as_string(),
+            read_file(dir_ + "/sweep.csv"));
+
+  expect_clean_sigterm_exit();
+}
+
+TEST_F(ServeSmoke, SecondSameCatalogRequestSharesTheWarmCache) {
+  Conn conn(socket_path_);
+  Object params;
+  params["graph"] = graph_;
+  params["deadline"] = 100.0;
+
+  const Object first = conn.rpc("schedule", Object(params)).at("result").as_object();
+  const Object second = conn.rpc("schedule", Object(params)).at("result").as_object();
+  ASSERT_TRUE(first.at("feasible").as_bool());
+
+  // Identical payload, strictly cheaper: the first request built the
+  // catalog's master decay cache on top of the same search work.
+  EXPECT_EQ(second.at("schedule").as_string(), first.at("schedule").as_string());
+  EXPECT_LT(second.at("exp_evals").as_number(), first.at("exp_evals").as_number());
+
+  expect_clean_sigterm_exit();
+}
+
+TEST_F(ServeSmoke, SigtermWithIdleConnectionStillDrains) {
+  Conn conn(socket_path_);  // an open, idle connection must not block drain
+  Object params;
+  params["graph"] = graph_;
+  params["deadline"] = 100.0;
+  ASSERT_TRUE(conn.rpc("schedule", std::move(params)).at("ok").as_bool());
+  expect_clean_sigterm_exit();
+}
+
+}  // namespace

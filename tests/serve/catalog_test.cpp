@@ -1,0 +1,99 @@
+/// Tests for the per-catalog warm-state registry: requests against the same
+/// (graph, β) catalog must share the decay-row warm-up cost, and eviction
+/// must never invalidate an in-flight entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/serve/catalog.hpp"
+#include "basched/util/fastmath.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+namespace {
+
+std::string graph_text(std::uint64_t seed, std::size_t tasks = 6) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::serialize(graph::make_series_parallel(tasks, synth, rng));
+}
+
+TEST(ServeCatalog, BorrowedEvaluatorsAdoptTheWarmCacheForFree) {
+  const CatalogEntry entry(graph_text(1), 0.273);
+
+  // A cold evaluator pays the warm-up exps in its constructor...
+  const std::uint64_t before_cold = util::fastmath::exp_evaluations();
+  const core::ScheduleEvaluator cold(entry.graph(), entry.model());
+  const std::uint64_t cold_cost = util::fastmath::exp_evaluations() - before_cold;
+  EXPECT_GT(cold_cost, 0u);
+
+  // ...while borrowing from the entry copies the master cache: zero exps.
+  const std::uint64_t before_borrow = util::fastmath::exp_evaluations();
+  auto borrowed = entry.borrow();
+  EXPECT_EQ(util::fastmath::exp_evaluations() - before_borrow, 0u);
+  ASSERT_NE(borrowed, nullptr);
+  entry.give_back(std::move(borrowed));
+}
+
+TEST(ServeCatalog, PoolRecyclesReturnedEvaluators) {
+  const CatalogEntry entry(graph_text(2), 0.273);
+  auto first = entry.borrow();
+  const core::ScheduleEvaluator* raw = first.get();
+  entry.give_back(std::move(first));
+  const auto second = entry.borrow();
+  EXPECT_EQ(second.get(), raw);  // same object came back out of the pool
+}
+
+TEST(ServeCatalog, RegistrySharesOneEntryPerKey) {
+  CatalogRegistry registry(4);
+  const std::string g = graph_text(3);
+  const auto a = registry.acquire(g, 0.273);
+  const auto b = registry.acquire(g, 0.273);
+  EXPECT_EQ(a.get(), b.get());
+
+  const auto s = registry.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(ServeCatalog, BetaIsPartOfTheKey) {
+  CatalogRegistry registry(4);
+  const std::string g = graph_text(4);
+  const auto a = registry.acquire(g, 0.2);
+  const auto b = registry.acquire(g, 0.3);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(registry.stats().misses, 2u);
+}
+
+TEST(ServeCatalog, LruEvictsButInFlightEntriesStayValid) {
+  CatalogRegistry registry(2);
+  const std::string g1 = graph_text(10);
+  const auto held = registry.acquire(g1, 0.273);  // keep a reference across eviction
+  (void)registry.acquire(graph_text(11), 0.273);
+  (void)registry.acquire(graph_text(12), 0.273);  // evicts g1 (capacity 2, LRU)
+  EXPECT_EQ(registry.stats().size, 2u);
+
+  // The held entry still works even though the registry dropped it...
+  EXPECT_EQ(held->borrow()->evaluations(), 0u);
+
+  // ...and re-acquiring g1 is a miss (it was evicted), not a crash.
+  const auto again = registry.acquire(g1, 0.273);
+  EXPECT_NE(again.get(), held.get());
+  EXPECT_EQ(registry.stats().misses, 4u);
+}
+
+TEST(ServeCatalog, InvalidGraphPropagatesAndIsNotCached) {
+  CatalogRegistry registry(4);
+  EXPECT_ANY_THROW((void)registry.acquire("not a graph", 0.273));
+  EXPECT_EQ(registry.stats().size, 0u);  // the failure was not cached
+  // The registry still works after a failed build.
+  EXPECT_NE(registry.acquire(graph_text(5), 0.273), nullptr);
+}
+
+}  // namespace
+}  // namespace basched::serve

@@ -1,0 +1,106 @@
+/// Tests for the serve wire-format JSON: a malformed frame from a client
+/// must become a clean json::Error (never UB), and dumps must be
+/// byte-stable so responses can be compared exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "basched/serve/json.hpp"
+
+namespace basched::serve::json {
+namespace {
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("-12.5").as_number(), -12.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(parse("  null  ").is_null());  // surrounding whitespace ok
+}
+
+TEST(ServeJson, ParsesContainers) {
+  const Value v = parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  const Object& o = v.as_object();
+  const Array& a = o.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].as_object().at("b").is_null());
+  EXPECT_EQ(o.at("c").as_string(), "x");
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(ServeJson, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  // \u00e9 = é (2-byte UTF-8); surrogate pair = U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(parse(R"("\u00e9")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(parse(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(ServeJson, MalformedInputThrowsCleanly) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1,2",        // unterminated array
+      "\"abc",       // unterminated string
+      "{\"a\":}",    // missing value
+      "{1:2}",       // non-string key
+      "[1,]",        // trailing comma
+      "tru",         // bad literal
+      "1 2",         // trailing garbage
+      "nan",         // not a JSON number
+      "-",           // sign without digits
+      "1.",          // fraction without digits
+      "1e",          // exponent without digits
+      "1e999",       // out of double range
+      "\"\\x\"",     // invalid escape
+      "\"\\uD800\"", // unpaired surrogate
+      "\"\x01\"",    // raw control character
+  };
+  for (const char* text : bad) EXPECT_THROW(parse(text), Error) << text;
+}
+
+TEST(ServeJson, DeepNestingIsBoundedNotUB) {
+  EXPECT_THROW(parse(std::string(100000, '[')), Error);
+  // Depth just inside the cap parses fine.
+  std::string ok = std::string(60, '[') + "1" + std::string(60, ']');
+  EXPECT_NO_THROW(parse(ok));
+}
+
+TEST(ServeJson, DumpIsByteStable) {
+  Object o;
+  o["b"] = 2;
+  o["a"] = 1;
+  o["s"] = "x\ny";
+  // Map order (sorted keys), compact, integral numbers without fraction.
+  EXPECT_EQ(dump(Value(std::move(o))), R"({"a":1,"b":2,"s":"x\ny"})");
+  EXPECT_EQ(dump(Value(1.5)), "1.5");
+  EXPECT_EQ(dump(Value(-0.0)), "0");
+  EXPECT_EQ(dump(Value(std::uint64_t{1} << 40)), "1099511627776");
+}
+
+TEST(ServeJson, RoundTripsItsOwnDump) {
+  const char* docs[] = {
+      R"({"verb":"schedule","id":7,"params":{"deadline":26.5,"graph":"g"}})",
+      R"([null,true,false,0.25,"\u0007"])",
+  };
+  for (const char* doc : docs) {
+    const Value v = parse(doc);
+    EXPECT_EQ(parse(dump(v)), v) << doc;
+  }
+}
+
+TEST(ServeJson, AccessorsThrowOnTypeMismatch) {
+  const Value v = parse("42");
+  EXPECT_THROW((void)v.as_string(), Error);
+  EXPECT_THROW((void)v.as_object(), Error);
+  EXPECT_THROW((void)v.as_array(), Error);
+  EXPECT_THROW((void)v.as_bool(), Error);
+  EXPECT_NO_THROW((void)v.as_number());
+}
+
+}  // namespace
+}  // namespace basched::serve::json

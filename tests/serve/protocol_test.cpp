@@ -1,0 +1,72 @@
+/// Tests for request/response framing: every malformed frame maps to a
+/// ProtocolError with the right wire code, and response lines are exact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "basched/serve/protocol.hpp"
+
+namespace basched::serve {
+namespace {
+
+std::string code_of(const std::string& line) {
+  try {
+    (void)parse_request(line);
+  } catch (const ProtocolError& e) {
+    return e.code();
+  }
+  return "";
+}
+
+TEST(ServeProtocol, ParsesMinimalAndFullFrames) {
+  const Request minimal = parse_request(R"({"verb":"ping"})");
+  EXPECT_EQ(minimal.verb, "ping");
+  EXPECT_TRUE(minimal.id.is_null());
+  EXPECT_TRUE(minimal.params.empty());
+
+  const Request full =
+      parse_request(R"({"verb":"schedule","id":7,"params":{"deadline":26.5}})");
+  EXPECT_EQ(full.verb, "schedule");
+  EXPECT_DOUBLE_EQ(full.id.as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(full.params.at("deadline").as_number(), 26.5);
+}
+
+TEST(ServeProtocol, IdMayBeAnyJsonValue) {
+  EXPECT_EQ(parse_request(R"({"verb":"v","id":"abc"})").id.as_string(), "abc");
+  EXPECT_TRUE(parse_request(R"({"verb":"v","id":null})").id.is_null());
+}
+
+TEST(ServeProtocol, MalformedJsonIsBadJson) {
+  EXPECT_EQ(code_of("this is not json"), "bad_json");
+  EXPECT_EQ(code_of("{\"verb\":"), "bad_json");
+  EXPECT_EQ(code_of(""), "bad_json");
+}
+
+TEST(ServeProtocol, WrongShapeIsBadRequest) {
+  EXPECT_EQ(code_of("[1,2,3]"), "bad_request");            // not an object
+  EXPECT_EQ(code_of("42"), "bad_request");                 // not an object
+  EXPECT_EQ(code_of(R"({})"), "bad_request");              // missing verb
+  EXPECT_EQ(code_of(R"({"verb":17})"), "bad_request");     // verb not a string
+  EXPECT_EQ(code_of(R"({"verb":""})"), "bad_request");     // empty verb
+  EXPECT_EQ(code_of(R"({"verb":"v","params":3})"), "bad_request");  // params not object
+  EXPECT_EQ(code_of(R"({"verb":"v","extra":1})"), "bad_request");   // unknown field
+}
+
+TEST(ServeProtocol, ResponseLinesAreExact) {
+  json::Object result;
+  result["pong"] = true;
+  EXPECT_EQ(ok_line(json::Value(7), std::move(result)),
+            R"({"id":7,"ok":true,"result":{"pong":true}})");
+  EXPECT_EQ(error_line(json::Value(), "bad_json", "oops"),
+            R"({"error":{"code":"bad_json","message":"oops"},"id":null,"ok":false})");
+}
+
+TEST(ServeProtocol, ErrorMessagesSurviveJsonEscaping) {
+  const std::string line = error_line(json::Value(1), "bad_request", "quote \" and \n newline");
+  const json::Value frame = json::parse(line);
+  EXPECT_EQ(frame.as_object().at("error").as_object().at("message").as_string(),
+            "quote \" and \n newline");
+}
+
+}  // namespace
+}  // namespace basched::serve

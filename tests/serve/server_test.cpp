@@ -1,0 +1,284 @@
+/// Socket-level tests of the serve daemon: wire failure modes (malformed
+/// frames, oversized lines, mid-request disconnects, requests during drain)
+/// must produce clean protocol errors or clean closes — never a crash, hang,
+/// or poisoned accept loop. Runs over real TCP/unix sockets on loopback.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/serve/json.hpp"
+#include "basched/serve/server.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+namespace {
+
+std::string graph_text(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::serialize(graph::make_series_parallel(5, synth, rng));
+}
+
+/// Blocking client socket with a receive timeout so a server bug fails the
+/// test instead of hanging it.
+class Client {
+ public:
+  static Client tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    return Client(fd);
+  }
+
+  static Client unix_socket(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    return Client(fd);
+  }
+
+  explicit Client(int fd) : fd_(fd) {
+    timeval tv{30, 0};  // generous: sanitizer builds are slow
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~Client() { close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+
+  void send(const std::string& data) const {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  /// Like send, but tolerates a peer that already closed (RST): used where
+  /// the test races a server-side drain on purpose.
+  void try_send(const std::string& data) const {
+    [[maybe_unused]] const auto rc = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  }
+
+  /// Reads up to '\n' (consumed, not returned). Empty string means EOF,
+  /// error, or timeout.
+  std::string read_line() {
+    for (;;) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+std::string error_code_of(const std::string& line) {
+  const auto frame = json::parse(line).as_object();
+  if (frame.at("ok").as_bool()) return "";
+  return frame.at("error").as_object().at("code").as_string();
+}
+
+/// Server on an ephemeral loopback port, run() on a background thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = make_tcp_options()) : service_(4) {
+    server_ = std::make_unique<Server>(service_, std::move(options));
+    runner_ = std::thread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() { drain_and_join(); }
+
+  static ServerOptions make_tcp_options() {
+    ServerOptions o;
+    o.tcp_port = 0;  // ephemeral
+    o.jobs = 2;
+    return o;
+  }
+
+  [[nodiscard]] Client connect() const { return Client::tcp(server_->tcp_port()); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] Service& service() { return service_; }
+
+  void drain_and_join() {
+    if (!runner_.joinable()) return;
+    server_->request_drain();
+    runner_.join();
+  }
+
+ private:
+  Service service_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST(ServeServer, PingOverTcp) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  c.send("{\"verb\":\"ping\",\"id\":1}\n");
+  EXPECT_EQ(c.read_line(), R"({"id":1,"ok":true,"result":{"pong":true}})");
+}
+
+TEST(ServeServer, PingOverUnixSocket) {
+  char dir_template[] = "/tmp/basched_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string path = std::string(dir_template) + "/s.sock";
+  ServerOptions o;
+  o.unix_path = path;
+  o.jobs = 2;
+  {
+    ServerFixture fx(o);
+    Client c = Client::unix_socket(path);
+    c.send("{\"verb\":\"ping\"}\n");
+    EXPECT_EQ(c.read_line(), R"({"id":null,"ok":true,"result":{"pong":true}})");
+  }
+  ::rmdir(dir_template);  // the server unlinked the socket file on exit
+}
+
+TEST(ServeServer, MalformedJsonGetsErrorAndConnectionStaysUsable) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  c.send("this is not json\n");
+  EXPECT_EQ(error_code_of(c.read_line()), "bad_json");
+  // The connection survives a bad frame: framing is intact, keep going.
+  c.send("{\"verb\":\"ping\"}\n");
+  EXPECT_EQ(error_code_of(c.read_line()), "");
+}
+
+TEST(ServeServer, UnknownVerbGetsErrorOverTheWire) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  c.send("{\"verb\":\"frobnicate\",\"id\":2}\n");
+  EXPECT_EQ(error_code_of(c.read_line()), "unknown_verb");
+}
+
+TEST(ServeServer, OversizedLineIsRefusedAndConnectionClosed) {
+  ServerOptions o = ServerFixture::make_tcp_options();
+  o.max_line = 64;
+  ServerFixture fx(o);
+  Client c = fx.connect();
+  c.send(std::string(1000, 'x'));  // no newline: unframeable
+  EXPECT_EQ(error_code_of(c.read_line()), "line_too_long");
+  EXPECT_EQ(c.read_line(), "");  // server closed the connection
+
+  // The accept loop is unharmed: a fresh connection works.
+  Client c2 = fx.connect();
+  c2.send("{\"verb\":\"ping\"}\n");
+  EXPECT_EQ(error_code_of(c2.read_line()), "");
+}
+
+TEST(ServeServer, MidRequestDisconnectLeavesServerAlive) {
+  ServerFixture fx;
+  {
+    Client c = fx.connect();
+    c.send("{\"verb\":\"schedule\",\"params\":{\"gra");  // partial frame
+    c.close();                                           // client dies mid-request
+  }
+  // The server must shrug it off and keep serving.
+  Client c2 = fx.connect();
+  c2.send("{\"verb\":\"ping\"}\n");
+  EXPECT_EQ(error_code_of(c2.read_line()), "");
+}
+
+TEST(ServeServer, ZeroInflightBudgetRefusesWithOverloaded) {
+  ServerOptions o = ServerFixture::make_tcp_options();
+  o.max_inflight = 0;  // admission control refuses everything
+  ServerFixture fx(o);
+  Client c = fx.connect();
+  c.send("{\"verb\":\"ping\"}\n");
+  EXPECT_EQ(error_code_of(c.read_line()), "overloaded");
+}
+
+TEST(ServeServer, RequestDuringDrainGetsErrorOrEof) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  c.send("{\"verb\":\"ping\"}\n");
+  ASSERT_EQ(error_code_of(c.read_line()), "");
+
+  fx.server().request_drain();
+  // request_drain() only pokes the self-pipe; the run() thread applies it
+  // asynchronously. Three races are all legitimate: the ping slips in before
+  // the flag (normal pong), it is parsed after the flag (`draining` error),
+  // or SHUT_RD wins and it is never read (EOF). What is not acceptable is a
+  // hang, a crash, or any other error code.
+  c.try_send("{\"verb\":\"ping\"}\n");
+  for (std::string line = c.read_line(); !line.empty(); line = c.read_line()) {
+    const std::string code = error_code_of(line);
+    EXPECT_TRUE(code.empty() || code == "draining") << line;
+  }
+
+  fx.drain_and_join();  // run() must return: every thread joined
+}
+
+TEST(ServeServer, ShutdownVerbDrainsTheServer) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  c.send("{\"verb\":\"shutdown\",\"id\":7}\n");
+  const std::string line = c.read_line();
+  EXPECT_EQ(error_code_of(line), "");
+  EXPECT_EQ(c.read_line(), "");  // connection closes after shutdown
+  fx.drain_and_join();           // and run() returns on its own accord
+}
+
+TEST(ServeServer, ScheduleOverTheWireMatchesRepeatedRequests) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  json::Object params;
+  params["graph"] = graph_text(1);
+  params["deadline"] = 100.0;
+  json::Object frame;
+  frame["verb"] = "schedule";
+  frame["id"] = 1;
+  frame["params"] = json::Value(std::move(params));
+  const std::string req = json::dump(json::Value(std::move(frame))) + "\n";
+
+  c.send(req);
+  const auto first = json::parse(c.read_line()).as_object();
+  ASSERT_TRUE(first.at("ok").as_bool());
+  c.send(req);
+  const auto second = json::parse(c.read_line()).as_object();
+  ASSERT_TRUE(second.at("ok").as_bool());
+
+  const auto& r1 = first.at("result").as_object();
+  const auto& r2 = second.at("result").as_object();
+  EXPECT_EQ(r1.at("schedule").as_string(), r2.at("schedule").as_string());
+  // Sequential same-catalog requests share the warm cache.
+  EXPECT_LT(r2.at("exp_evals").as_number(), r1.at("exp_evals").as_number());
+}
+
+}  // namespace
+}  // namespace basched::serve

@@ -1,0 +1,227 @@
+/// Tests for the serve verb layer: payloads must be byte-identical to the
+/// direct library calls the CLI makes, failures must map to the right wire
+/// codes, and same-catalog requests must share the warm-up cost.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/core/iterative_scheduler.hpp"
+#include "basched/core/schedule_io.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/serve/json.hpp"
+#include "basched/serve/service.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+namespace {
+
+std::string graph_text(std::uint64_t seed, std::size_t tasks = 6) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::serialize(graph::make_series_parallel(tasks, synth, rng));
+}
+
+json::Object response_of(Service& service, const std::string& request) {
+  return json::parse(service.handle_line(request).line).as_object();
+}
+
+std::string error_code(const json::Object& response) {
+  return response.at("error").as_object().at("code").as_string();
+}
+
+std::string request(const std::string& verb, json::Object params, int id = 1) {
+  json::Object frame;
+  frame["verb"] = verb;
+  frame["id"] = id;
+  frame["params"] = json::Value(std::move(params));
+  return json::dump(json::Value(std::move(frame)));
+}
+
+TEST(ServeService, PingPongs) {
+  Service service;
+  EXPECT_EQ(service.handle_line(R"({"verb":"ping","id":9})").line,
+            R"({"id":9,"ok":true,"result":{"pong":true}})");
+}
+
+TEST(ServeService, FailureModesMapToWireCodes) {
+  Service service;
+  EXPECT_EQ(error_code(response_of(service, "{{{not json")), "bad_json");
+  EXPECT_EQ(error_code(response_of(service, R"({"verb":"frobnicate"})")), "unknown_verb");
+  EXPECT_EQ(error_code(response_of(service, R"({"verb":"schedule"})")), "bad_request");
+  EXPECT_EQ(error_code(response_of(service, R"(["an","array"])")), "bad_request");
+
+  // Errors echo the request id so clients can correlate.
+  const auto r = response_of(service, R"({"verb":"frobnicate","id":"req-3"})");
+  EXPECT_EQ(r.at("id").as_string(), "req-3");
+  EXPECT_FALSE(r.at("ok").as_bool());
+}
+
+TEST(ServeService, BadParamsNameTheParam) {
+  Service service;
+  json::Object params;
+  params["graph"] = graph_text(1);
+  // missing required deadline
+  auto r = response_of(service, request("schedule", params));
+  EXPECT_EQ(error_code(r), "bad_request");
+  EXPECT_NE(r.at("error").as_object().at("message").as_string().find("deadline"),
+            std::string::npos);
+
+  // unknown param is rejected, not silently ignored
+  params["deadline"] = 100.0;
+  params["dedline"] = 90.0;
+  r = response_of(service, request("schedule", params));
+  EXPECT_EQ(error_code(r), "bad_request");
+  EXPECT_NE(r.at("error").as_object().at("message").as_string().find("dedline"),
+            std::string::npos);
+
+  // invalid graph text is the request's fault, not an internal error
+  json::Object bad;
+  bad["graph"] = "not a graph";
+  bad["deadline"] = 100.0;
+  EXPECT_EQ(error_code(response_of(service, request("schedule", bad))), "bad_request");
+}
+
+TEST(ServeService, SchedulePayloadMatchesDirectLibraryCall) {
+  Service service;
+  const std::string g_text = graph_text(2);
+  json::Object params;
+  params["graph"] = g_text;
+  params["deadline"] = 100.0;
+  const auto r = response_of(service, request("schedule", params));
+  ASSERT_TRUE(r.at("ok").as_bool()) << service.handle_line(request("schedule", params)).line;
+  const json::Object& result = r.at("result").as_object();
+  ASSERT_TRUE(result.at("feasible").as_bool());
+
+  const auto g = graph::parse(g_text);
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto direct = core::schedule_battery_aware(g, 100.0, model);
+  ASSERT_TRUE(direct.feasible);
+  EXPECT_EQ(result.at("schedule").as_string(), core::serialize_schedule(g, direct.schedule));
+  EXPECT_DOUBLE_EQ(result.at("sigma").as_number(), direct.sigma);
+}
+
+TEST(ServeService, BnbPayloadMatchesDirectLibraryCall) {
+  Service service;
+  const std::string g_text = graph_text(3, 5);
+  json::Object params;
+  params["graph"] = g_text;
+  params["deadline"] = 100.0;
+  params["algorithm"] = "bnb";
+  const auto r = response_of(service, request("schedule", params));
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const json::Object& result = r.at("result").as_object();
+  ASSERT_TRUE(result.at("feasible").as_bool());
+
+  const auto g = graph::parse(g_text);
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto direct = baselines::schedule_branch_and_bound(g, 100.0, model);
+  ASSERT_TRUE(direct.feasible);
+  EXPECT_EQ(result.at("schedule").as_string(), core::serialize_schedule(g, direct.schedule));
+  EXPECT_DOUBLE_EQ(result.at("sigma").as_number(), direct.sigma);
+}
+
+TEST(ServeService, SameCatalogRequestsShareTheWarmupCost) {
+  Service service;
+  json::Object params;
+  params["graph"] = graph_text(4);
+  params["deadline"] = 100.0;
+  const std::string req = request("schedule", params);
+
+  const auto first = response_of(service, req).at("result").as_object();
+  const auto second = response_of(service, req).at("result").as_object();
+  // Identical payload...
+  EXPECT_EQ(second.at("schedule").as_string(), first.at("schedule").as_string());
+  // ...but the second request rides the warm catalog: strictly fewer exps
+  // (the first paid the master-cache build on top of identical search work).
+  EXPECT_LT(second.at("exp_evals").as_number(), first.at("exp_evals").as_number());
+}
+
+TEST(ServeService, EvaluateRoundTripsAScheduleFromScheduleVerb) {
+  Service service;
+  const std::string g_text = graph_text(5);
+  json::Object sparams;
+  sparams["graph"] = g_text;
+  sparams["deadline"] = 100.0;
+  const auto sched = response_of(service, request("schedule", sparams));
+  ASSERT_TRUE(sched.at("ok").as_bool());
+  const json::Object& sresult = sched.at("result").as_object();
+  ASSERT_TRUE(sresult.at("feasible").as_bool());
+
+  json::Object eparams;
+  eparams["graph"] = g_text;
+  eparams["schedule"] = sresult.at("schedule").as_string();
+  eparams["alpha"] = 1e9;  // huge capacity: the battery must survive
+  const auto eval = response_of(service, request("evaluate", eparams));
+  ASSERT_TRUE(eval.at("ok").as_bool());
+  const json::Object& eresult = eval.at("result").as_object();
+  EXPECT_DOUBLE_EQ(eresult.at("sigma").as_number(), sresult.at("sigma").as_number());
+  EXPECT_DOUBLE_EQ(eresult.at("duration").as_number(), sresult.at("duration").as_number());
+  EXPECT_TRUE(eresult.at("death").is_null());
+}
+
+TEST(ServeService, InfeasibleDeadlineIsAResultNotAnError) {
+  Service service;
+  json::Object params;
+  params["graph"] = graph_text(6);
+  params["deadline"] = 1e-6;  // unmeetable
+  const auto r = response_of(service, request("schedule", params));
+  ASSERT_TRUE(r.at("ok").as_bool());  // the *request* succeeded
+  const json::Object& result = r.at("result").as_object();
+  EXPECT_FALSE(result.at("feasible").as_bool());
+  EXPECT_FALSE(result.at("error").as_string().empty());
+}
+
+TEST(ServeService, StatsCountRequestsAndCatalogTraffic) {
+  Service service;
+  json::Object params;
+  params["graph"] = graph_text(7);
+  params["deadline"] = 100.0;
+  (void)service.handle_line(request("schedule", params));
+  (void)service.handle_line(request("schedule", params));
+  (void)service.handle_line("junk");
+
+  const auto r = response_of(service, R"({"verb":"stats"})");
+  const json::Object& result = r.at("result").as_object();
+  EXPECT_DOUBLE_EQ(result.at("requests").as_number(), 3.0);  // junk never parsed
+  EXPECT_DOUBLE_EQ(result.at("errors").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(result.at("by_verb").as_object().at("schedule").as_number(), 2.0);
+  const json::Object& catalog = result.at("catalog").as_object();
+  EXPECT_DOUBLE_EQ(catalog.at("hits").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(catalog.at("misses").as_number(), 1.0);
+}
+
+TEST(ServeService, ShutdownSetsTheDrainFlag) {
+  Service service;
+  const auto outcome = service.handle_line(R"({"verb":"shutdown","id":1})");
+  EXPECT_TRUE(outcome.shutdown);
+  EXPECT_TRUE(json::parse(outcome.line).as_object().at("ok").as_bool());
+  // Ordinary requests don't.
+  EXPECT_FALSE(service.handle_line(R"({"verb":"ping"})").shutdown);
+}
+
+TEST(ServeService, SweepReturnsCsvMatchingStepCount) {
+  Service service;
+  json::Object params;
+  params["graph"] = graph_text(8);
+  params["from"] = 20.0;
+  params["to"] = 60.0;
+  params["steps"] = 4;
+  const auto r = response_of(service, request("sweep", params));
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const json::Object& result = r.at("result").as_object();
+  const std::string& csv = result.at("csv").as_string();
+  EXPECT_FALSE(csv.empty());
+  // header + one row per point
+  const auto rows = static_cast<std::size_t>(result.at("points").as_number());
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1u : 0u;
+  EXPECT_GE(lines, rows);
+}
+
+}  // namespace
+}  // namespace basched::serve

@@ -128,5 +128,46 @@ TEST(Args, AllKeysReadMeansNoUnused) {
   EXPECT_TRUE(a.unused_keys().empty());
 }
 
+TEST(Args, UintParsesAndRejectsNegative) {
+  // `--jobs -1` used to wrap to 2^64-1 through strtoll + unsigned cast — a
+  // typo'd negative count must fail loudly instead.
+  const auto a = make({"run", "--jobs", "4", "--restarts", "-1", "--big", "18446744073709551615"});
+  EXPECT_EQ(a.get_uint("jobs"), 4u);
+  EXPECT_THROW((void)a.get_uint("restarts"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_uint("restarts", 8), std::invalid_argument);
+  EXPECT_EQ(a.get_uint("big"), 18446744073709551615ull);
+  EXPECT_EQ(a.get_uint("absent", 7), 7u);
+}
+
+TEST(Args, NumericRejectsWhitespaceAndEmpty) {
+  // strtoll/strtod skipped leading whitespace; strict whole-token parsing
+  // does not — and a flag-style empty value is not a number either.
+  const auto a = make({"run", "--seed", " 2", "--jobs", "2 ", "--deadline"});
+  EXPECT_THROW((void)a.get_int("seed"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_uint("jobs"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("deadline"), std::invalid_argument);
+}
+
+TEST(Args, OutOfRangeMagnitudeThrows) {
+  // strtoll clamped to LLONG_MAX with errno nobody checked; overflow must
+  // throw, not silently saturate.
+  const auto a = make({"run", "--seed", "99999999999999999999999999", "--jobs",
+                       "18446744073709551616", "--deadline", "1e99999"});
+  EXPECT_THROW((void)a.get_int("seed"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_uint("jobs"), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("deadline"), std::invalid_argument);
+}
+
+TEST(Args, ErrorMessagesNameTheOption) {
+  const auto a = make({"run", "--jobs", "2x"});
+  try {
+    (void)a.get_uint("jobs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("2x"), std::string::npos) << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace basched::util

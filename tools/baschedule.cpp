@@ -14,6 +14,8 @@
 ///   baschedule suite    [--seed S] [--per-family K] [--tightness T]
 ///                       [--beta B] [--jobs N]
 ///   baschedule dot      --graph FILE
+///   baschedule serve    [--socket PATH] [--port N] [--max-inflight K]
+///                       [--jobs N] [--catalog-capacity K]
 ///
 /// `--jobs N` runs sweep/suite work items on N threads (default: hardware
 /// concurrency; `--jobs 1` is serial and byte-identical to any other N).
@@ -23,6 +25,10 @@
 /// every case the result is byte-identical for any job count.
 /// Graphs use the text format of basched/graph/io.hpp; schedules the format
 /// of basched/core/schedule_io.hpp. `--out -` (default) writes to stdout.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -44,6 +50,8 @@
 #include "basched/core/schedule_io.hpp"
 #include "basched/graph/generators.hpp"
 #include "basched/graph/io.hpp"
+#include "basched/serve/server.hpp"
+#include "basched/serve/service.hpp"
 #include "basched/util/args.hpp"
 
 namespace {
@@ -70,10 +78,10 @@ void write_output(const std::string& path, const std::string& content) {
 
 int cmd_generate(const util::Args& args) {
   const std::string family = args.get_string("family");
-  const auto n = static_cast<std::size_t>(args.get_int("tasks"));
+  const auto n = static_cast<std::size_t>(args.get_uint("tasks"));
   graph::DesignPointSynthesis synth;
-  synth.num_points = static_cast<std::size_t>(args.get_int("points", 4));
-  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  synth.num_points = static_cast<std::size_t>(args.get_uint("points", 4));
+  util::Rng rng(args.get_uint("seed", 1));
 
   graph::TaskGraph g;
   if (family == "chain") {
@@ -98,16 +106,13 @@ int cmd_schedule(const util::Args& args) {
   const double deadline = args.get_double("deadline");
   const battery::RakhmatovVrudhulaModel model(args.get_double("beta", 0.273));
   const std::string algorithm = args.get_string("algorithm", "ours");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto seed = args.get_uint("seed", 1);
   // Parallel search knobs: --jobs N workers (default 1 = serial; 0 =
   // hardware concurrency), --restarts K portfolio restarts for the
   // stochastic baselines. Results are byte-identical for any --jobs.
-  const long long jobs_arg = args.get_int("jobs", 1);
-  if (jobs_arg < 0) throw std::invalid_argument("--jobs must be >= 1 (or 0 for the default)");
-  const auto jobs = static_cast<unsigned>(jobs_arg);
-  const long long restarts_arg = args.get_int("restarts", 1);
-  if (restarts_arg < 1) throw std::invalid_argument("--restarts must be >= 1");
-  const auto restarts = static_cast<std::size_t>(restarts_arg);
+  const auto jobs = static_cast<unsigned>(args.get_uint("jobs", 1));
+  const auto restarts = static_cast<std::size_t>(args.get_uint("restarts", 1));
+  if (restarts < 1) throw std::invalid_argument("--restarts must be >= 1");
 
   core::Schedule schedule;
   double sigma = 0.0;
@@ -152,21 +157,18 @@ int cmd_schedule(const util::Args& args) {
         r = baselines::schedule_random_search(g, deadline, model, opts);
       }
     } else if (algorithm == "bnb") {
-      std::optional<baselines::ScheduleResult> maybe;
       if (jobs != 1) {
         analysis::Executor executor(jobs);
         baselines::ParallelBnbOptions popts;
-        const long long frontier = args.get_int("frontier-depth", 0);
-        if (frontier < 0)
-          throw std::invalid_argument("--frontier-depth must be >= 0 (0 = auto)");
-        popts.frontier_depth = static_cast<std::size_t>(frontier);
-        maybe = baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor,
-                                                              popts);
+        popts.frontier_depth =
+            static_cast<std::size_t>(args.get_uint("frontier-depth", 0));
+        r = baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor, popts);
       } else {
-        maybe = baselines::schedule_branch_and_bound(g, deadline, model);
+        r = baselines::schedule_branch_and_bound(g, deadline, model);
       }
-      if (!maybe) throw std::runtime_error("branch-and-bound exceeded its node limit");
-      r = *maybe;
+      if (r.truncated)
+        std::fprintf(stderr,
+                     "warning: node budget exceeded — result is best-found, not proven optimal\n");
     } else {
       throw std::invalid_argument(error);
     }
@@ -214,16 +216,14 @@ int cmd_dot(const util::Args& args) {
 }
 
 analysis::Executor make_executor(const util::Args& args) {
-  const long long jobs = args.get_int("jobs", 0);
-  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 1 (or omitted for the default)");
-  return analysis::Executor(static_cast<unsigned>(jobs));
+  return analysis::Executor(static_cast<unsigned>(args.get_uint("jobs", 0)));
 }
 
 int cmd_sweep(const util::Args& args) {
   const auto g = graph::parse(read_file(args.get_string("graph")));
   const double from = args.get_double("from");
   const double to = args.get_double("to");
-  const auto steps = static_cast<int>(args.get_int("steps", 16));
+  const auto steps = static_cast<int>(args.get_uint("steps", 16));
   const double beta = args.get_double("beta", 0.273);
   analysis::Executor executor = make_executor(args);
   const auto points = analysis::deadline_sweep(g, from, to, steps, beta, executor);
@@ -232,8 +232,8 @@ int cmd_sweep(const util::Args& args) {
 }
 
 int cmd_suite(const util::Args& args) {
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const auto per_family = static_cast<int>(args.get_int("per-family", 3));
+  const auto seed = args.get_uint("seed", 1);
+  const auto per_family = static_cast<int>(args.get_uint("per-family", 3));
   const double tightness = args.get_double("tightness", 0.6);
   const double beta = args.get_double("beta", 0.273);
   analysis::Executor executor = make_executor(args);
@@ -241,6 +241,54 @@ int cmd_suite(const util::Args& args) {
   const auto summary = analysis::run_suite(instances, beta, executor);
   std::fprintf(stderr, "%zu instances, %u jobs\n", instances.size(), executor.jobs());
   write_output(args.get_string("out", "-"), analysis::format_suite(summary));
+  return 0;
+}
+
+// SIGTERM/SIGINT must drain the server gracefully; the handler may only do
+// async-signal-safe work, which is exactly what the server's self-pipe is
+// for: one write(2) wakes the accept loop.
+std::atomic<int> g_drain_fd{-1};
+
+extern "C" void handle_drain_signal(int) {
+  const int fd = g_drain_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const auto rc = ::write(fd, &byte, 1);
+  }
+}
+
+int cmd_serve(const util::Args& args) {
+  serve::ServerOptions opts;
+  opts.unix_path = args.get_string("socket", "");
+  if (args.has("port")) {
+    const auto port = args.get_uint("port");
+    if (port > 65535) throw std::invalid_argument("--port must be <= 65535");
+    opts.tcp_port = static_cast<int>(port);
+  }
+  opts.max_inflight = static_cast<std::size_t>(args.get_uint("max-inflight", 8));
+  opts.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
+
+  serve::Service service(static_cast<std::size_t>(args.get_uint("catalog-capacity", 16)));
+  serve::Server server(service, opts);
+
+  g_drain_fd.store(server.drain_notify_fd(), std::memory_order_relaxed);
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+
+  if (!opts.unix_path.empty())
+    std::fprintf(stderr, "serving on unix socket %s\n", opts.unix_path.c_str());
+  if (server.tcp_port() >= 0)
+    std::fprintf(stderr, "serving on 127.0.0.1:%d\n", server.tcp_port());
+
+  server.run();
+
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_drain_fd.store(-1, std::memory_order_relaxed);
+  const auto stats = service.stats();
+  std::fprintf(stderr, "drained: %llu requests (%llu errors)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors));
   return 0;
 }
 
@@ -258,7 +306,9 @@ void usage() {
       "           [--jobs N] [--out FILE]\n"
       "  suite    [--seed S] [--per-family K] [--tightness T] [--beta B]\n"
       "           [--jobs N] [--out FILE]\n"
-      "  dot      --graph FILE [--out FILE]\n",
+      "  dot      --graph FILE [--out FILE]\n"
+      "  serve    [--socket PATH] [--port N] [--max-inflight K] [--jobs N]\n"
+      "           [--catalog-capacity K]   (JSON-lines daemon; SIGTERM drains)\n",
       stderr);
 }
 
@@ -280,6 +330,8 @@ int main(int argc, char** argv) {
       rc = cmd_suite(args);
     } else if (args.command() == "dot") {
       rc = cmd_dot(args);
+    } else if (args.command() == "serve") {
+      rc = cmd_serve(args);
     } else {
       usage();
       return 2;

@@ -115,10 +115,14 @@ const Row* find_row(const BenchFile& f, const std::string& mode, std::size_t n) 
 /// Modes whose speedup is a property of the runner hardware, not of the code
 /// under review: exp_batch measures the batched-vs-libm kernel (ISA level),
 /// parallel_bnb/portfolio measure multicore wall-clock scaling (core count,
-/// --jobs). Their rows are reported for context and gated only on accuracy —
-/// which for the parallel modes *is* the cross-job byte-determinism check.
+/// --jobs), serve_rtt measures socket round trips (scheduler/loopback
+/// latency). Their rows are reported for context and gated only on
+/// accuracy — which for the parallel modes is the cross-job
+/// byte-determinism check, and for the serve modes the byte-identity of
+/// repeated request payloads.
 bool hardware_dependent(const std::string& mode) {
-  return mode == "exp_batch" || mode == "parallel_bnb" || mode == "portfolio";
+  return mode == "exp_batch" || mode == "parallel_bnb" || mode == "portfolio" ||
+         mode == "serve_rtt";
 }
 
 }  // namespace
