@@ -17,24 +17,29 @@ Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? default_jobs() : jobs) {
 
 Executor::~Executor() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   batch_ready_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-bool Executor::claim(std::uint64_t generation, std::size_t& index) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+bool Executor::claim(std::uint64_t generation, std::size_t& index,
+                     const std::function<void(std::size_t)>*& item) {
+  const util::MutexLock lock(mutex_);
   if (generation != generation_ || next_index_ >= batch_n_) return false;
   index = next_index_++;
+  // Handing out &item_ is safe outside the lock: run_batch resets item_ only
+  // after completed_ == batch_n_, and this claim's complete() is part of that
+  // count — the pointee cannot change before the claimed item finishes.
+  item = &item_;
   return true;
 }
 
 void Executor::complete(std::size_t index, std::exception_ptr error) {
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++completed_;
     if (error && (!first_error_ || index < first_error_index_)) {
       first_error_ = std::move(error);
@@ -47,10 +52,11 @@ void Executor::complete(std::size_t index, std::exception_ptr error) {
 
 void Executor::drain(std::uint64_t generation) {
   std::size_t i = 0;
-  while (claim(generation, i)) {
+  const std::function<void(std::size_t)>* item = nullptr;
+  while (claim(generation, i, item)) {
     std::exception_ptr error;
     try {
-      item_(i);
+      (*item)(i);
     } catch (...) {
       error = std::current_exception();
     }
@@ -64,9 +70,8 @@ void Executor::worker_loop() {
     std::uint64_t generation = 0;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      batch_ready_.wait(
-          lock, [&] { return stop_ || generation_ != seen_generation || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation && tasks_.empty()) batch_ready_.wait(lock);
       if (stop_) return;
       if (!tasks_.empty()) {
         task = std::move(tasks_.front());
@@ -85,7 +90,7 @@ void Executor::worker_loop() {
       }
       bool idle;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         --tasks_running_;
         idle = tasks_.empty() && tasks_running_ == 0;
       }
@@ -100,21 +105,21 @@ void Executor::submit(std::function<void()> task) {
   if (jobs_ < 2)
     throw std::logic_error("Executor::submit: requires jobs() >= 2 (no worker threads)");
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   batch_ready_.notify_one();
 }
 
 void Executor::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  tasks_idle_.wait(lock, [&] { return tasks_.empty() && tasks_running_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!tasks_.empty() || tasks_running_ != 0) tasks_idle_.wait(lock);
 }
 
 void Executor::run_batch(std::size_t n, std::function<void(std::size_t)> item) {
   std::uint64_t generation;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     batch_n_ = n;
     next_index_ = 0;
     completed_ = 0;
@@ -129,8 +134,8 @@ void Executor::run_batch(std::size_t n, std::function<void(std::size_t)> item) {
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_done_.wait(lock, [&] { return completed_ == batch_n_; });
+    util::MutexLock lock(mutex_);
+    while (completed_ != batch_n_) batch_done_.wait(lock);
     error = first_error_;
     item_ = nullptr;
   }

@@ -12,16 +12,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "basched/util/sync.hpp"
+#include "basched/util/thread_annotations.hpp"
 
 namespace basched::analysis {
 
@@ -106,45 +108,49 @@ class Executor {
   /// nobody to run the task, and running it inline would defeat the point.
   /// The destructor drops tasks that have not started; call `wait_idle`
   /// first when they must finish.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) BASCHED_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished and the queue is empty.
-  void wait_idle();
+  void wait_idle() BASCHED_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
-  void run_batch(std::size_t n, std::function<void(std::size_t)> item);
+  void worker_loop() BASCHED_EXCLUDES(mutex_);
+  void run_batch(std::size_t n, std::function<void(std::size_t)> item) BASCHED_EXCLUDES(mutex_);
   /// Claims the next unclaimed index of batch `generation`; returns false
   /// once that batch is exhausted or superseded (so a late-waking worker can
-  /// never touch a newer batch's state).
-  bool claim(std::uint64_t generation, std::size_t& index);
-  void complete(std::size_t index, std::exception_ptr error);
+  /// never touch a newer batch's state). On success `item` points at the
+  /// batch's work function; the pointee stays valid until the claimed index
+  /// is complete()d, because run_batch resets item_ only after *every*
+  /// claimed item has completed (completed_ == batch_n_) — the one sanctioned
+  /// way to run a guarded function outside the lock.
+  bool claim(std::uint64_t generation, std::size_t& index,
+             const std::function<void(std::size_t)>*& item) BASCHED_EXCLUDES(mutex_);
+  void complete(std::size_t index, std::exception_ptr error) BASCHED_EXCLUDES(mutex_);
   /// Pulls and runs items of batch `generation` until it is drained.
-  void drain(std::uint64_t generation);
+  void drain(std::uint64_t generation) BASCHED_EXCLUDES(mutex_);
 
   unsigned jobs_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable batch_ready_;
-  std::condition_variable batch_done_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar batch_ready_;
+  util::CondVar batch_done_;
+  bool stop_ BASCHED_GUARDED_BY(mutex_) = false;
 
-  // State of the batch in flight; all of it guarded by mutex_. Work items
-  // run outside the lock, but item_ is only reset after every claimed item
-  // has completed.
-  std::uint64_t generation_ = 0;
-  std::size_t batch_n_ = 0;
-  std::size_t next_index_ = 0;
-  std::size_t completed_ = 0;
-  std::function<void(std::size_t)> item_;
-  std::exception_ptr first_error_;
-  std::size_t first_error_index_ = 0;
+  // State of the batch in flight. Work items run outside the lock through
+  // the pointer claim() hands out (see claim's contract above).
+  std::uint64_t generation_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::size_t batch_n_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::size_t next_index_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::size_t completed_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::function<void(std::size_t)> item_ BASCHED_GUARDED_BY(mutex_);
+  std::exception_ptr first_error_ BASCHED_GUARDED_BY(mutex_);
+  std::size_t first_error_index_ BASCHED_GUARDED_BY(mutex_) = 0;
 
-  // Fire-and-forget task mode (submit/wait_idle); guarded by mutex_.
-  std::deque<std::function<void()>> tasks_;
-  std::size_t tasks_running_ = 0;
-  std::condition_variable tasks_idle_;
+  // Fire-and-forget task mode (submit/wait_idle).
+  std::deque<std::function<void()>> tasks_ BASCHED_GUARDED_BY(mutex_);
+  std::size_t tasks_running_ BASCHED_GUARDED_BY(mutex_) = 0;
+  util::CondVar tasks_idle_;
 };
 
 }  // namespace basched::analysis

@@ -2,6 +2,7 @@
 /// \brief Formatters that turn traces/rows into the paper's tables.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

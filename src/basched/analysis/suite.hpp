@@ -3,6 +3,7 @@
 /// shoot-out over it — the breadth evaluation the paper's two graphs lack.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -8,6 +8,7 @@
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/list_scheduler.hpp"
 #include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
 
 namespace basched::baselines {
@@ -92,7 +93,7 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
       const core::CostResult prop = eval.commit_reverse_segment(i, j);
       const double prop_cost = penalized(prop.sigma, prop.duration);
       const double delta = prop_cost - cur_cost;
-      if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-12))) {
+      if (delta <= 0.0 || rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
         std::reverse(current.sequence.begin() + static_cast<std::ptrdiff_t>(i),
                      current.sequence.begin() + static_cast<std::ptrdiff_t>(j) + 1);
         for (std::size_t k = i; k <= j; ++k) pos[current.sequence[k]] = k;
@@ -138,7 +139,7 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
 
     const double prop_cost = penalized(prop_sigma, prop_duration);
     const double delta = prop_cost - cur_cost;
-    if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temp, 1e-12))) {
+    if (delta <= 0.0 || rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
       // Commit the accepted move: the evaluator rescales its suffix rows
       // analytically — O(suffix · terms) mult/adds, O(terms) exps (zero on a
       // warm duration cache) — instead of re-extending the suffix.

@@ -11,6 +11,7 @@
 /// ablation studies (n up to ~8 with m up to ~4 is comfortable).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 

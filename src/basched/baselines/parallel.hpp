@@ -30,6 +30,15 @@
 /// byte-determinism contract is for searches that complete; size the budget
 /// with headroom (the default leaves plenty for paper-scale instances) when
 /// reproducibility of the truncation flag itself matters.
+///
+/// Concurrency model: this layer is deliberately **lock-free** — the only
+/// shared mutable state is analysis::SharedMinBound (a relaxed atomic CAS
+/// loop) and relaxed effort counters, so there is nothing here for Clang's
+/// Thread Safety Analysis to annotate (util/thread_annotations.hpp applies
+/// to mutex-guarded state; the mutex-based machinery lives in
+/// analysis::Executor, which this header builds on). Per-worker state is
+/// confined by construction: each job owns its evaluator and walker, and
+/// results rendezvous through the executor's index-ordered reduction.
 #pragma once
 
 #include <cstddef>

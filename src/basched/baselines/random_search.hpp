@@ -7,7 +7,9 @@
 /// ready tasks); assignments are uniform per task.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"

@@ -17,6 +17,8 @@
 /// same battery model as the main algorithm — this head-to-head is Table 4.
 #pragma once
 
+#include <optional>
+
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"

@@ -11,6 +11,7 @@
 /// is in **mA·min** (1 mAh = 60 mA·min).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>

@@ -7,6 +7,9 @@
 /// uses under the linear assumption vs. the nonlinear truth.
 #pragma once
 
+#include <span>
+#include <string>
+
 #include "basched/battery/model.hpp"
 
 namespace basched::battery {

@@ -25,6 +25,7 @@
 /// recomputation is ~1e-14 relative (tested to 1e-12).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

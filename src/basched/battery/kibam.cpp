@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "basched/util/fastmath.hpp"
+
 namespace basched::battery {
 
 KibamModel::KibamModel(double c, double kprime, double alpha)
@@ -20,7 +22,7 @@ KibamModel::State KibamModel::step(State s, double i, double dt) const noexcept 
   //   y1(t) = y1_0 e^{-k't} + (y0 k' c − i)(1 − e^{-k't})/k' − i c (k' t − 1 + e^{-k't})/k'
   //   y2(t) = y2_0 e^{-k't} + y0 (1−c)(1 − e^{-k't}) − i (1−c)(k' t − 1 + e^{-k't})/k'
   const double y0 = s.y1 + s.y2;
-  const double ek = std::exp(-kprime_ * dt);
+  const double ek = util::fastmath::exp_one(-kprime_ * dt);
   const double a = (1.0 - ek) / kprime_;
   const double b = (kprime_ * dt - 1.0 + ek) / kprime_;
   State out;

@@ -23,6 +23,9 @@
 /// capacity is a constructor parameter.
 #pragma once
 
+#include <span>
+#include <string>
+
 #include "basched/battery/model.hpp"
 
 namespace basched::battery {

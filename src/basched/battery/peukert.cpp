@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "basched/util/fastmath.hpp"
+
 namespace basched::battery {
 
 PeukertModel::PeukertModel(double p, double i_ref) : p_(p), i_ref_(i_ref) {
@@ -14,7 +16,7 @@ PeukertModel::PeukertModel(double p, double i_ref) : p_(p), i_ref_(i_ref) {
 }
 
 double PeukertModel::apparent_rate(double current) const noexcept {
-  return current == 0.0 ? 0.0 : i_ref_ * std::pow(current / i_ref_, p_);
+  return current == 0.0 ? 0.0 : i_ref_ * util::fastmath::pow_one(current / i_ref_, p_);
 }
 
 double PeukertModel::charge_lost(std::span<const DischargeInterval> intervals, double t) const {

@@ -16,6 +16,9 @@
 /// exactly the qualitative gap the RV model fills.
 #pragma once
 
+#include <span>
+#include <string>
+
 #include "basched/battery/model.hpp"
 
 namespace basched::battery {

@@ -20,6 +20,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 
 #include "basched/battery/model.hpp"
 

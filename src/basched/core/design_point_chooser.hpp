@@ -33,6 +33,7 @@
 ///    remain), DPF = (d - Te)/d, the "last free task" special case.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "basched/core/metrics.hpp"

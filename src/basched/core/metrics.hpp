@@ -25,6 +25,7 @@
 /// individual factors.
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <span>
 #include <vector>

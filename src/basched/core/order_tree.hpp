@@ -46,6 +46,7 @@
 /// uses one walker + evaluator per worker.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -9,6 +9,7 @@
 /// the makespan (which is order-independent: the sum of chosen durations).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "basched/battery/discharge_profile.hpp"

@@ -58,6 +58,7 @@
 /// Not thread-safe; use one evaluator per thread (they are cheap).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -11,6 +11,7 @@
 /// the best *feasible* (deadline-respecting) one wins.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 

@@ -21,6 +21,7 @@
 ///    (verified against its numbers; see tests/graph/paper_graphs_test).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

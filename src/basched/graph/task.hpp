@@ -2,6 +2,7 @@
 /// \brief A task: a named node of the application DAG with its design-points.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>

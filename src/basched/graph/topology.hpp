@@ -3,6 +3,7 @@
 /// critical paths, and (bounded) enumeration of all topological orders.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 

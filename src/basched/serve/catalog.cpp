@@ -19,7 +19,7 @@ CatalogEntry::CatalogEntry(const std::string& graph_text, double beta)
 
 std::unique_ptr<core::ScheduleEvaluator> CatalogEntry::borrow() const {
   {
-    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    const util::MutexLock lock(pool_mutex_);
     if (!pool_.empty()) {
       auto evaluator = std::move(pool_.back());
       pool_.pop_back();
@@ -32,7 +32,7 @@ std::unique_ptr<core::ScheduleEvaluator> CatalogEntry::borrow() const {
 
 void CatalogEntry::give_back(std::unique_ptr<core::ScheduleEvaluator> evaluator) const {
   if (evaluator == nullptr) return;
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const util::MutexLock lock(pool_mutex_);
   if (pool_.size() < kMaxPooled) pool_.push_back(std::move(evaluator));
 }
 
@@ -42,7 +42,7 @@ CatalogRegistry::CatalogRegistry(std::size_t capacity)
 std::shared_ptr<const CatalogEntry> CatalogRegistry::acquire(const std::string& graph_text,
                                                              double beta) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = entries_.find({graph_text, beta});
     if (it != entries_.end()) {
       ++hits_;
@@ -57,7 +57,7 @@ std::shared_ptr<const CatalogEntry> CatalogRegistry::acquire(const std::string& 
   // simply expires with its request — wasted work, never wrong results.
   auto entry = std::make_shared<const CatalogEntry>(graph_text, beta);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   ++misses_;
   auto& slot = entries_[{graph_text, beta}];
   slot.entry = entry;
@@ -72,7 +72,7 @@ std::shared_ptr<const CatalogEntry> CatalogRegistry::acquire(const std::string& 
 }
 
 CatalogRegistry::Stats CatalogRegistry::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return Stats{hits_, misses_, entries_.size()};
 }
 

@@ -21,10 +21,10 @@
 ///    nothing else.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +33,8 @@
 #include "basched/core/schedule_evaluator.hpp"
 #include "basched/graph/task_graph.hpp"
 #include "basched/util/fastmath.hpp"
+#include "basched/util/sync.hpp"
+#include "basched/util/thread_annotations.hpp"
 
 namespace basched::serve {
 
@@ -61,8 +63,9 @@ class CatalogEntry {
   util::fastmath::DecayRowCache warm_;
 
   static constexpr std::size_t kMaxPooled = 4;
-  mutable std::mutex pool_mutex_;
-  mutable std::vector<std::unique_ptr<core::ScheduleEvaluator>> pool_;
+  mutable util::Mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<core::ScheduleEvaluator>> pool_
+      BASCHED_GUARDED_BY(pool_mutex_);
 };
 
 /// Thread-safe LRU registry of CatalogEntry keyed by (graph text, β).
@@ -91,12 +94,12 @@ class CatalogRegistry {
     std::uint64_t last_used = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::map<std::pair<std::string, double>, Slot> entries_;
+  mutable util::Mutex mutex_;
+  const std::size_t capacity_;  ///< immutable after construction
+  std::uint64_t tick_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ BASCHED_GUARDED_BY(mutex_) = 0;
+  std::map<std::pair<std::string, double>, Slot> entries_ BASCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace basched::serve

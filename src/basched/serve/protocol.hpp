@@ -16,7 +16,9 @@
 /// `draining` (server is shutting down), `internal`.
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "basched/serve/json.hpp"
 

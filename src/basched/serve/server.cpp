@@ -220,7 +220,7 @@ void Server::serve_connection(int fd) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const util::MutexLock lock(conn_mutex_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd), conn_fds_.end());
   }
   ::close(fd);
@@ -245,7 +245,7 @@ void Server::run() {
       const int client = ::accept(fds[i].fd, nullptr, nullptr);
       if (client < 0) continue;  // transient (ECONNABORTED etc.); keep serving
       set_cloexec(client);
-      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      const util::MutexLock lock(conn_mutex_);
       conn_fds_.push_back(client);
       conn_threads_.emplace_back([this, client] { serve_connection(client); });
     }
@@ -263,7 +263,7 @@ void Server::run() {
     tcp_fd_ = -1;
   }
   {
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const util::MutexLock lock(conn_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
   }
   for (auto& t : conn_threads_) t.join();

@@ -23,13 +23,14 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "basched/analysis/executor.hpp"
 #include "basched/serve/service.hpp"
+#include "basched/util/sync.hpp"
+#include "basched/util/thread_annotations.hpp"
 
 namespace basched::serve {
 
@@ -93,8 +94,13 @@ class Server {
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
 
-  std::mutex conn_mutex_;
-  std::vector<int> conn_fds_;  ///< open connection fds (for SHUT_RD on drain)
+  util::Mutex conn_mutex_;
+  /// Open connection fds (for SHUT_RD on drain). An fd is closed only after
+  /// its serve_connection thread removed it from this list, so the drain's
+  /// shutdown() can never race a close() of the same fd.
+  std::vector<int> conn_fds_ BASCHED_GUARDED_BY(conn_mutex_);
+  /// Touched only by the run() thread (accept loop + drain join) — the
+  /// connection threads never see their own std::thread handle.
   std::vector<std::thread> conn_threads_;
 };
 

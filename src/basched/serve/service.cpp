@@ -92,7 +92,7 @@ std::string string_or(const json::Object& params, const std::string& key,
 Service::Service(std::size_t catalog_capacity) : registry_(catalog_capacity) {}
 
 ServiceStats Service::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const util::MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -283,14 +283,14 @@ Service::Outcome Service::handle_line(const std::string& line) {
     const Request req = parse_request(line);
     id = req.id;
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       ++stats_.requests;
     }
 
     json::Object result;
     bool shutdown = false;
     const auto bump = [this](std::uint64_t ServiceStats::* counter) {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       ++(stats_.*counter);
     };
     if (req.verb == "ping") {
@@ -318,16 +318,16 @@ Service::Outcome Service::handle_line(const std::string& line) {
     }
     return Outcome{ok_line(id, std::move(result)), shutdown};
   } catch (const ProtocolError& e) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.errors;
     return Outcome{error_line(id, e.code(), e.what()), false};
   } catch (const std::invalid_argument& e) {
     // graph::parse, parse_schedule, model validation — the request's fault.
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.errors;
     return Outcome{error_line(id, "bad_request", e.what()), false};
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.errors;
     return Outcome{error_line(id, "internal", e.what()), false};
   }

@@ -24,12 +24,14 @@
 /// with concurrent requests the deltas overlap and are indicative only.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "basched/serve/catalog.hpp"
 #include "basched/serve/protocol.hpp"
+#include "basched/util/sync.hpp"
+#include "basched/util/thread_annotations.hpp"
 
 namespace basched::serve {
 
@@ -69,8 +71,8 @@ class Service {
   json::Object run_stats();
 
   CatalogRegistry registry_;
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
+  mutable util::Mutex stats_mutex_;
+  ServiceStats stats_ BASCHED_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace basched::serve

@@ -13,6 +13,7 @@
 namespace basched::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  // basched-lint: allow(stdout-write) process is about to abort(); stderr is the only channel left
   std::fprintf(stderr, "basched internal invariant violated: %s at %s:%d\n", expr, file, line);
   std::abort();
 }

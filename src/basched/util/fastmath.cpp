@@ -172,6 +172,16 @@ std::uint64_t exp_evaluations() noexcept {
   return g_exp_evaluations.load(std::memory_order_relaxed);
 }
 
+double exp_one(double x) noexcept {
+  g_exp_evaluations.fetch_add(1, std::memory_order_relaxed);
+  return std::exp(x);
+}
+
+double pow_one(double base, double exponent) noexcept {
+  g_exp_evaluations.fetch_add(1, std::memory_order_relaxed);
+  return std::pow(base, exponent);
+}
+
 DecayRowCache::DecayRowCache(std::span<const double> coeffs, std::size_t max_entries)
     : coeffs_(coeffs.begin(), coeffs.end()), max_entries_(max_entries) {}
 

@@ -41,6 +41,7 @@
 /// are not (use one per evaluator, as with ScheduleEvaluator itself).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -71,6 +72,19 @@ void batch_exp(std::span<double> xs) noexcept;
 /// Total exp evaluations served so far, counted per element across both
 /// kernels and all threads (relaxed atomic). Monotone; probe via deltas.
 [[nodiscard]] std::uint64_t exp_evaluations() noexcept;
+
+/// Single e^x through libm — bit-identical to `std::exp`, never the batched
+/// kernel — counted in `exp_evaluations()`. The scalar funnel for cold call
+/// sites (the annealer's Metropolis draw, KiBaM's per-step decay): routing
+/// them here keeps the repo invariant that *every* exponential flows through
+/// util/fastmath (enforced by basched_lint's raw-exp rule) and makes them
+/// observable to the probe counter, without perturbing trajectories that are
+/// pinned bit-exact against libm.
+[[nodiscard]] double exp_one(double x) noexcept;
+
+/// Single std::pow through libm, counted like `exp_one` (a pow is an
+/// exp·log; one tick keeps the counter an honest transcendental-work probe).
+[[nodiscard]] double pow_one(double base, double exponent) noexcept;
 
 /// Cache of decay rows r_i(x) = exp(-coeff[i] · x), keyed on x.
 ///

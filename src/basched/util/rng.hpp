@@ -9,7 +9,9 @@
 /// seedable from any 64-bit value.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace basched::util {

@@ -2,6 +2,7 @@
 /// \brief Small descriptive-statistics helpers for experiment reporting.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace basched::util {

@@ -3,6 +3,7 @@
 /// paper-style result tables.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

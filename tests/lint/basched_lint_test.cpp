@@ -1,0 +1,110 @@
+// Fixture-driven tests for tools/lint/basched_lint: each rule id is
+// demonstrated by a violating fixture plus an allow()-suppressed twin, with
+// exact paths, line numbers and exit codes pinned. BASCHED_LINT_BIN and
+// BASCHED_LINT_FIXTURES are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string out;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(BASCHED_LINT_BIN) + " " + args + " 2>/dev/null";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) r.out += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::string fixtures(const std::string& sub) {
+  return std::string(BASCHED_LINT_FIXTURES) + "/" + sub;
+}
+
+// True if `out` has a line starting with `<fixtures>/<suffix>` — pins file,
+// line number and rule id without caring about the message tail.
+bool has_line(const std::string& out, const std::string& suffix) {
+  const std::string want = fixtures(suffix);
+  for (std::size_t at = 0; at < out.size();) {
+    std::size_t end = out.find('\n', at);
+    if (end == std::string::npos) end = out.size();
+    if (out.compare(at, want.size(), want) == 0) return true;
+    at = end + 1;
+  }
+  return false;
+}
+
+TEST(basched_lint, fixture_tree_reports_every_rule_with_exact_locations) {
+  const LintRun r = run_lint(fixtures("src"));
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+
+  EXPECT_TRUE(has_line(r.out, "src/core/raw_exp_bad.cpp:5: raw-exp:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/battery/raw_rng_bad.cpp:5: raw-rng:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/serve/unordered_iter_bad.cpp:8: unordered-iter:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/util/stdout_bad.cpp:5: stdout-write:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/util/missing_pragma.hpp:1: pragma-once:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/util/missing_include.hpp:6: include-direct:")) << r.out;
+
+  // An allow() without a reason is itself a violation and suppresses nothing.
+  EXPECT_TRUE(has_line(r.out, "src/util/allow_no_reason.cpp:6: allow-without-reason:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/util/allow_no_reason.cpp:7: stdout-write:")) << r.out;
+
+  // Justified suppressions are reported as 'allowed', not as violations.
+  EXPECT_TRUE(has_line(r.out, "src/core/raw_exp_allowed.cpp:6: allowed: raw-exp")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/battery/raw_rng_allowed.cpp:5: allowed: raw-rng")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/serve/unordered_iter_allowed.cpp:10: allowed: unordered-iter"))
+      << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/util/stdout_allowed.cpp:6: allowed: stdout-write")) << r.out;
+
+  // raw-exp is path-scoped: the graph/ fixture uses std::exp legally.
+  EXPECT_EQ(r.out.find("raw_exp_unrestricted"), std::string::npos) << r.out;
+
+  EXPECT_NE(r.out.find("basched_lint: 12 file(s), 8 violation(s), 4 allowed suppression(s)"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(basched_lint, clean_tree_exits_zero_and_ignores_comments_and_strings) {
+  // clean.cpp mentions std::exp in comments and "std::cout"/"rand()" inside
+  // string literals; none of it may be reported.
+  const LintRun r = run_lint(fixtures("clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("basched_lint: 2 file(s), 0 violation(s), 0 allowed suppression(s)"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(basched_lint, single_file_argument_is_linted_directly) {
+  const LintRun r = run_lint(fixtures("src/core/raw_exp_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/core/raw_exp_bad.cpp:5: raw-exp:")) << r.out;
+  EXPECT_NE(r.out.find("1 file(s), 1 violation(s), 0 allowed suppression(s)"), std::string::npos)
+      << r.out;
+}
+
+TEST(basched_lint, usage_and_missing_path_exit_two) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint(fixtures("does_not_exist")).exit_code, 2);
+}
+
+TEST(basched_lint, real_library_sources_are_clean) {
+  // The ctest lint_basched_src gate runs this same invocation from CMake;
+  // duplicating it here keeps `ctest -R lint` meaningful even when filtered
+  // to the gtest binary alone.
+  const LintRun r = run_lint(std::string(BASCHED_SOURCE_DIR) + "/src");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find(" 0 violation(s),"), std::string::npos) << r.out;
+}
+
+}  // namespace

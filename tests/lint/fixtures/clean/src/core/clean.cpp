@@ -1,0 +1,12 @@
+// Fixture: a fully clean file. Mentions of std::exp in comments and
+// "std::cout" or "rand()" inside string literals must not be reported — the
+// scanner strips comments and literals before matching.
+#include <string>
+
+#include "clean.hpp"
+
+std::string describe() {
+  return "never call std::exp, rand() or std::cout from here";
+}
+
+double twice(double x) { return expand(x) + expand(x); }  // expand != exp

@@ -1,0 +1,7 @@
+// Fixture: a clean, self-contained header.
+#pragma once
+
+#include <string>
+
+std::string describe();
+inline double expand(double x) { return x + 1.0; }

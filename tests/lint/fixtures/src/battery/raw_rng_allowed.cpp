@@ -1,0 +1,6 @@
+// Fixture: raw-rng suppressed with a justification on the same line.
+#include <cstdlib>
+
+int jitter() {
+  return std::rand();  // basched-lint: allow(raw-rng) fixture for same-line suppression
+}

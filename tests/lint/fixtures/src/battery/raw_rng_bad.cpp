@@ -1,0 +1,7 @@
+// Fixture: std::random_device outside util/rng must trip raw-rng (line 5).
+#include <random>
+
+unsigned noisy_seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,7 @@
+// Fixture: the same raw std::exp, suppressed by an allow() with a reason.
+#include <cmath>
+
+double decay(double x) {
+  // basched-lint: allow(raw-exp) fixture demonstrates a justified suppression
+  return std::exp(-x);
+}

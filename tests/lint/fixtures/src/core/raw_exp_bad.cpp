@@ -1,0 +1,6 @@
+// Fixture: raw std::exp in a core/ path must trip raw-exp (line 5).
+#include <cmath>
+
+double decay(double x) {
+  return std::exp(-x);
+}

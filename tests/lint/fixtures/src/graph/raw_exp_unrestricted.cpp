@@ -1,0 +1,7 @@
+// Fixture: raw-exp is scoped to core/, battery/ and baselines/ — a std::exp
+// in graph/ is legal and must NOT be reported.
+#include <cmath>
+
+double weight(double x) {
+  return std::exp(-x) + std::pow(x, 2.0);
+}

@@ -1,0 +1,12 @@
+// Fixture: the same unordered iteration, allowed because the reduction is
+// order-independent (commutative sum would still be wrong for floats — this
+// is a fixture, not an endorsement).
+#include <string>
+#include <unordered_map>
+
+std::size_t count(const std::unordered_map<std::string, double>& weights) {
+  std::size_t n = 0;
+  // basched-lint: allow(unordered-iter) order-independent size count, no output depends on order
+  for (const auto& entry : weights) n += entry.second > 0.0 ? 1 : 0;
+  return n;
+}

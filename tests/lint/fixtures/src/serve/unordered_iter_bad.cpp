@@ -1,0 +1,10 @@
+// Fixture: iterating a std::unordered_map (range-for on line 8) feeds an
+// output path in nondeterministic order — must trip unordered-iter.
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) sum += entry.second;
+  return sum;
+}

@@ -1,0 +1,7 @@
+// Fixture: an allow() without a justification is itself a violation
+// (allow-without-reason, line 6) and does NOT suppress the underlying
+// finding (stdout-write, line 7).
+#include <cstdio>
+
+// basched-lint: allow(stdout-write)
+void shout() { std::printf("hi\n"); }

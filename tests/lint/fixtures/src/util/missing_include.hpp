@@ -1,0 +1,6 @@
+// Fixture: uses std::vector (line 6) without including <vector> — must trip
+// include-direct. <cstddef> covers the std::size_t use.
+#pragma once
+#include <cstddef>
+
+inline std::size_t width(const std::vector<int>& v) { return v.size(); }

@@ -1,0 +1,3 @@
+// Fixture: a header without #pragma once must trip pragma-once (reported at
+// line 1).
+inline int answer() { return 42; }

@@ -1,0 +1,7 @@
+// Fixture: fprintf(stderr, ...) suppressed with a justification.
+#include <cstdio>
+
+void moan(const char* what) {
+  // basched-lint: allow(stdout-write) fixture mirrors the assert.hpp abort path
+  std::fprintf(stderr, "%s\n", what);
+}

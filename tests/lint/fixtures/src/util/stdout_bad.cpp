@@ -1,0 +1,6 @@
+// Fixture: std::cout inside the library must trip stdout-write (line 5).
+#include <iostream>
+
+void report(int n) {
+  std::cout << n << "\n";
+}

@@ -1,0 +1,126 @@
+// Drives the real bench_diff binary (path injected via BENCH_DIFF_BIN) over
+// small synthetic snapshots written to a temp dir: the gate logic (exit 0/1)
+// and the hardened parse errors (exit 2 with a message naming file, row and
+// key) are both pinned here.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct DiffRun {
+  int exit_code = -1;
+  std::string out;  // stdout + stderr interleaved
+};
+
+DiffRun run_diff(const std::string& args) {
+  const std::string cmd = std::string(BENCH_DIFF_BIN) + " " + args + " 2>&1";
+  DiffRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) r.out += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+class BenchDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/bench_diff_test_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream(path) << content;
+    return path;
+  }
+
+  /// A minimal well-formed snapshot with one gated row; `speedup` varies.
+  static std::string snapshot(double speedup) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema\": \"basched-bench-search-v3\",\n"
+                  "  \"model\": \"rv\",\n"
+                  "  \"results\": [\n"
+                  "    {\"mode\": \"incremental\", \"n\": 40, \"full_evals_per_sec\": 1000.0, "
+                  "\"delta_evals_per_sec\": 8000.0, \"speedup\": %.1f, \"max_rel_err\": "
+                  "1.0e-12}\n"
+                  "  ]\n"
+                  "}\n",
+                  speedup);
+    return buf;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BenchDiffTest, identical_snapshots_pass) {
+  const std::string a = write("a.json", snapshot(8.0));
+  const DiffRun r = run_diff(a + " " + a);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("bench_diff: ok"), std::string::npos) << r.out;
+}
+
+TEST_F(BenchDiffTest, speedup_regression_beyond_threshold_fails_with_one) {
+  const std::string fresh = write("fresh.json", snapshot(5.0));   // 8.0 -> 5.0: -37.5%
+  const std::string base = write("base.json", snapshot(8.0));
+  const DiffRun r = run_diff(fresh + " " + base);
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("REGR"), std::string::npos) << r.out;
+}
+
+TEST_F(BenchDiffTest, missing_metric_key_is_a_parse_error_naming_row_and_key) {
+  std::string body = snapshot(8.0);
+  const std::string needle = ", \"speedup\": 8.0";
+  body.replace(body.find(needle), needle.size(), "");
+  const std::string broken = write("broken.json", body);
+  const std::string good = write("good.json", snapshot(8.0));
+  const DiffRun r = run_diff(broken + " " + good);
+  EXPECT_EQ(r.exit_code, 2) << r.out;
+  EXPECT_NE(r.out.find(broken), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("mode=incremental, n=40"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"speedup\""), std::string::npos) << r.out;
+}
+
+TEST_F(BenchDiffTest, malformed_metric_value_is_a_parse_error) {
+  std::string body = snapshot(8.0);
+  const std::string needle = "\"max_rel_err\": 1.0e-12";
+  body.replace(body.find(needle), needle.size(), "\"max_rel_err\": oops");
+  const std::string broken = write("broken.json", body);
+  const std::string good = write("good.json", snapshot(8.0));
+  const DiffRun r = run_diff(good + " " + broken);
+  EXPECT_EQ(r.exit_code, 2) << r.out;
+  EXPECT_NE(r.out.find("\"max_rel_err\""), std::string::npos) << r.out;
+}
+
+TEST_F(BenchDiffTest, snapshot_without_schema_is_rejected) {
+  std::string body = snapshot(8.0);
+  const std::string needle = "  \"schema\": \"basched-bench-search-v3\",\n";
+  body.replace(body.find(needle), needle.size(), "");
+  const std::string broken = write("broken.json", body);
+  const std::string good = write("good.json", snapshot(8.0));
+  const DiffRun r = run_diff(broken + " " + good);
+  EXPECT_EQ(r.exit_code, 2) << r.out;
+  EXPECT_NE(r.out.find("missing \"schema\""), std::string::npos) << r.out;
+}
+
+TEST_F(BenchDiffTest, unreadable_file_and_bad_usage_exit_two) {
+  EXPECT_EQ(run_diff(dir_ + "/nope.json " + dir_ + "/nope.json").exit_code, 2);
+  EXPECT_EQ(run_diff("").exit_code, 2);
+}
+
+}  // namespace

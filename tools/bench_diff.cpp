@@ -93,11 +93,35 @@ std::optional<BenchFile> parse(const char* path) {
     Row r;
     r.mode = *mode;
     r.n = static_cast<std::size_t>(*n);
-    r.full_evals_per_sec = find_number(line, "full_evals_per_sec").value_or(0.0);
-    r.delta_evals_per_sec = find_number(line, "delta_evals_per_sec").value_or(0.0);
-    r.speedup = find_number(line, "speedup").value_or(0.0);
-    r.max_rel_err = find_number(line, "max_rel_err").value_or(0.0);
+    // Every result row must carry all four metric keys: a silent 0.0 default
+    // would read as "infinitely regressed" (or worse, mask a real
+    // regression), so a missing or malformed key is a hard parse error.
+    const struct {
+      const char* key;
+      double Row::* field;
+    } metrics[] = {
+        {"full_evals_per_sec", &Row::full_evals_per_sec},
+        {"delta_evals_per_sec", &Row::delta_evals_per_sec},
+        {"speedup", &Row::speedup},
+        {"max_rel_err", &Row::max_rel_err},
+    };
+    for (const auto& m : metrics) {
+      const auto v = find_number(line, m.key);
+      if (!v) {
+        std::fprintf(stderr,
+                     "bench_diff: %s: result row (mode=%s, n=%zu) has a missing or "
+                     "malformed \"%s\" value\n",
+                     path, r.mode.c_str(), r.n, m.key);
+        return std::nullopt;
+      }
+      r.*m.field = *v;
+    }
     f.rows.push_back(std::move(r));
+  }
+  if (f.schema.empty()) {
+    std::fprintf(stderr, "bench_diff: %s: missing \"schema\" field — not a bench snapshot?\n",
+                 path);
+    return std::nullopt;
   }
   if (f.rows.empty()) {
     std::fprintf(stderr, "bench_diff: no result rows found in %s\n", path);

@@ -1,0 +1,591 @@
+/// \file basched_lint.cpp
+/// \brief Repo-invariant linter: enforces the contracts no off-the-shelf
+/// checker knows about.
+///
+/// The engine's performance and determinism story rests on a handful of
+/// whole-repo invariants that are easy to break silently — a stray
+/// `std::exp` in a pricing path bypasses the fastmath counter and the warm
+/// caches, a `std::random_device` breaks fixed-seed reproducibility, an
+/// iteration over an unordered container feeding output breaks the
+/// byte-identical `--jobs` contract. This tool walks the given roots
+/// (normally `src/`) and enforces them textually, on every line, as a ctest
+/// and a CI step.
+///
+/// Rules (ids are stable; tests pin them):
+///   raw-exp         std::exp/std::pow/expf/... in core/, battery/ or
+///                   baselines/ outside util/fastmath — route through
+///                   util::fastmath (batch_exp, exp_one, pow_one) so the
+///                   exp-counter probes and warm caches stay truthful.
+///   raw-rng         rand()/srand()/std::random_device/... outside util/rng —
+///                   all randomness flows through util::Rng's seeded streams.
+///   unordered-iter  iteration over a std::unordered_* container — unordered
+///                   iteration order is implementation-defined and must never
+///                   feed an output or reduction path (determinism contract).
+///                   Keyed lookup is fine; ordered iteration wants std::map.
+///   stdout-write    stdout/stderr writes (std::cout/cerr/clog, printf,
+///                   fprintf(stdout|stderr), puts, putchar, perror) inside
+///                   the library — the basched library must stay silent;
+///                   surfaces report through return values and exceptions.
+///   pragma-once     every header carries `#pragma once`.
+///   include-direct  a header using a std:: symbol must include its standard
+///                   header directly (self-containment; no transitive rides).
+///
+/// Escape hatch: a comment `basched-lint: allow(<rule>) <justification>` on
+/// the offending line or the line directly above suppresses that rule there.
+/// The justification is mandatory (an allow without one is itself the
+/// violation `allow-without-reason`), and every used suppression is counted
+/// and reported in the summary.
+///
+/// The scanner strips comments and string literals first (rules match code,
+/// not prose), so documentation may mention std::exp freely.
+///
+/// Exit status: 0 = clean (suppressions allowed), 1 = unsuppressed
+/// violations, 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- scanning helpers ---------------------------------------------------
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/// One source line split into the code view (comments and literal bodies
+/// blanked with spaces, so columns keep their positions) and the comment
+/// text (for allow() directives).
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits a file into code/comment views. Handles //, /*...*/, "...", '...'
+/// and R"tag(...)tag" spanning lines.
+std::vector<Line> split_views(const std::string& text) {
+  std::vector<Line> out;
+  enum class St { Code, LineComment, BlockComment, String, Char, RawString } st = St::Code;
+  std::string raw_close;  // )tag" terminator of the active raw string
+  Line cur;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (st == St::LineComment) st = St::Code;
+      out.push_back(std::move(cur));
+      cur = Line{};
+      continue;
+    }
+    switch (st) {
+      case St::Code:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          st = St::LineComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          st = St::BlockComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"' &&
+                   !(i > 0 && ident_char(text[i - 1]))) {
+          // R"tag( ... )tag"
+          std::size_t open = text.find('(', i + 2);
+          if (open == std::string::npos) {
+            cur.code += c;  // malformed; treat literally
+          } else {
+            raw_close = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+            st = St::RawString;
+            cur.code += ' ';
+            for (std::size_t k = i + 1; k <= open && k < text.size(); ++k)
+              cur.code += text[k] == '\n' ? '\n' : ' ';
+            i = open;
+          }
+        } else if (c == '"') {
+          st = St::String;
+          cur.code += ' ';
+        } else if (c == '\'') {
+          st = St::Char;
+          cur.code += ' ';
+        } else {
+          cur.code += c;
+        }
+        break;
+      case St::LineComment:
+        cur.comment += c;
+        cur.code += ' ';
+        break;
+      case St::BlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          st = St::Code;
+          cur.code += "  ";
+          ++i;
+        } else {
+          cur.comment += c;
+          cur.code += ' ';
+        }
+        break;
+      case St::String:
+        if (c == '\\' && i + 1 < text.size()) {
+          cur.code += "  ";
+          ++i;
+        } else {
+          if (c == '"') st = St::Code;
+          cur.code += ' ';
+        }
+        break;
+      case St::Char:
+        if (c == '\\' && i + 1 < text.size()) {
+          cur.code += "  ";
+          ++i;
+        } else {
+          if (c == '\'') st = St::Code;
+          cur.code += ' ';
+        }
+        break;
+      case St::RawString:
+        if (c == ')' && text.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k) cur.code += ' ';
+          i += raw_close.size() - 1;
+          st = St::Code;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+    }
+  }
+  if (!cur.code.empty() || !cur.comment.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// Finds `token` in `code` at identifier boundaries (the char before must
+/// not be an identifier char; `token` itself may end in '(' or any
+/// non-identifier char, which anchors the right edge).
+std::size_t find_token(const std::string& code, const std::string& token, std::size_t from = 0) {
+  for (std::size_t at = code.find(token, from); at != std::string::npos;
+       at = code.find(token, at + 1)) {
+    if (at > 0 && ident_char(code[at - 1])) continue;
+    if (ident_char(token.back())) {  // right-boundary check for bare identifiers
+      const std::size_t end = at + token.size();
+      if (end < code.size() && ident_char(code[end])) continue;
+    }
+    return at;
+  }
+  return std::string::npos;
+}
+
+bool path_contains(const std::string& path, const char* segment) {
+  return path.find(segment) != std::string::npos;
+}
+
+// ---- findings and suppression -------------------------------------------
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct Allow {
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+/// Parses `basched-lint: allow(rule) reason` directives out of a comment.
+void parse_allows(const std::string& comment, std::size_t line_no, std::vector<Allow>& allows,
+                  const std::string& path, std::vector<Finding>& findings) {
+  const std::string needle = "basched-lint:";
+  std::size_t at = comment.find(needle);
+  if (at == std::string::npos) return;
+  std::size_t p = at + needle.size();
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+  const std::string allow_kw = "allow(";
+  if (comment.compare(p, allow_kw.size(), allow_kw) != 0) {
+    findings.push_back({path, line_no, "allow-without-reason",
+                        "malformed basched-lint directive (expected 'allow(<rule>) <reason>')"});
+    return;
+  }
+  p += allow_kw.size();
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) {
+    findings.push_back({path, line_no, "allow-without-reason",
+                        "malformed basched-lint directive (unterminated allow)"});
+    return;
+  }
+  Allow a;
+  a.line = line_no;
+  a.rule = comment.substr(p, close - p);
+  std::string reason = comment.substr(close + 1);
+  // Strip leading separators (dashes, em-dashes, colons) and whitespace.
+  std::size_t r = 0;
+  while (r < reason.size() &&
+         (std::isspace(static_cast<unsigned char>(reason[r])) || reason[r] == '-' ||
+          reason[r] == ':' || static_cast<unsigned char>(reason[r]) >= 0x80))
+    ++r;
+  reason.erase(0, r);
+  while (!reason.empty() && std::isspace(static_cast<unsigned char>(reason.back())))
+    reason.pop_back();
+  if (reason.empty()) {
+    findings.push_back({path, line_no, "allow-without-reason",
+                        "allow(" + a.rule + ") needs a justification after the closing paren"});
+    return;
+  }
+  a.reason = reason;
+  allows.push_back(std::move(a));
+}
+
+// ---- rules ---------------------------------------------------------------
+
+const char* const kExpTokens[] = {"exp(",  "expf(",  "expl(",  "exp2(",  "exp2f(",
+                                  "expm1(", "pow(",  "powf(",  "powl("};
+
+void rule_raw_exp(const std::string& path, const std::vector<Line>& lines,
+                  std::vector<Finding>& out) {
+  const bool restricted = path_contains(path, "/core/") || path_contains(path, "/battery/") ||
+                          path_contains(path, "/baselines/");
+  if (!restricted || path_contains(path, "/util/fastmath")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    for (const char* tok : kExpTokens)
+      if (find_token(lines[i].code, tok) != std::string::npos) {
+        std::string name(tok);
+        name.pop_back();
+        out.push_back({path, i + 1, "raw-exp",
+                       "raw '" + name + "' call; route exponentials through util/fastmath "
+                       "(batch_exp / exp_one / pow_one) so probe counters and caches stay "
+                       "truthful"});
+        break;
+      }
+}
+
+const char* const kRngTokens[] = {"rand(", "srand(", "rand_r(", "drand48(", "lrand48(",
+                                  "random_device"};
+
+void rule_raw_rng(const std::string& path, const std::vector<Line>& lines,
+                  std::vector<Finding>& out) {
+  if (path_contains(path, "/util/rng")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    for (const char* tok : kRngTokens)
+      if (find_token(lines[i].code, tok) != std::string::npos) {
+        out.push_back({path, i + 1, "raw-rng",
+                       "raw randomness source; all randomness flows through util::Rng "
+                       "(seeded, platform-stable streams)"});
+        break;
+      }
+}
+
+void rule_unordered_iter(const std::string& path, const std::vector<Line>& lines,
+                         std::vector<Finding>& out) {
+  // Pass 1: names declared with a std::unordered_* type on one line. The
+  // needle is a *prefix* (unordered_map/set/multimap/multiset), so only the
+  // left boundary is checked.
+  const auto find_prefix = [](const std::string& code, std::size_t from) {
+    const std::string needle = "std::unordered_";
+    for (std::size_t at = code.find(needle, from); at != std::string::npos;
+         at = code.find(needle, at + 1))
+      if (at == 0 || !ident_char(code[at - 1])) return at;
+    return std::string::npos;
+  };
+  std::set<std::string> names;
+  for (const Line& l : lines) {
+    const std::string& c = l.code;
+    for (std::size_t at = find_prefix(c, 0); at != std::string::npos;
+         at = find_prefix(c, at + 1)) {
+      const std::size_t open = c.find('<', at);
+      if (open == std::string::npos) break;
+      int depth = 0;
+      std::size_t p = open;
+      for (; p < c.size(); ++p) {
+        if (c[p] == '<') ++depth;
+        if (c[p] == '>' && --depth == 0) break;
+      }
+      if (p >= c.size()) break;  // declaration spans lines; heuristic gives up
+      ++p;
+      while (p < c.size() && (std::isspace(static_cast<unsigned char>(c[p])) || c[p] == '&' ||
+                              c[p] == '*'))
+        ++p;
+      std::size_t e = p;
+      while (e < c.size() && ident_char(c[e])) ++e;
+      if (e > p) names.insert(c.substr(p, e - p));
+    }
+  }
+  if (names.empty()) return;
+  // Pass 2: range-for over, or .begin()/.cbegin() on, a tracked name.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].code;
+    for (const std::string& name : names) {
+      bool hit = false;
+      const std::size_t colon = c.find(" : " + name);
+      if (colon != std::string::npos && c.find("for") != std::string::npos) {
+        const std::size_t end = colon + 3 + name.size();
+        if (end >= c.size() || !ident_char(c[end])) hit = true;
+      }
+      if (!hit && (find_token(c, name + ".begin(") != std::string::npos ||
+                   find_token(c, name + ".cbegin(") != std::string::npos))
+        hit = true;
+      if (hit) {
+        out.push_back({path, i + 1, "unordered-iter",
+                       "iteration over std::unordered_* container '" + name +
+                           "': order is implementation-defined and breaks the deterministic "
+                           "output contract; use std::map/std::set or sort first"});
+        break;
+      }
+    }
+  }
+}
+
+void rule_stdout_write(const std::string& path, const std::vector<Line>& lines,
+                       std::vector<Finding>& out) {
+  static const char* const simple[] = {"std::cout", "std::cerr", "std::clog", "printf(",
+                                       "puts(",     "putchar(",  "perror("};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].code;
+    bool flagged = false;
+    for (const char* tok : simple)
+      if (find_token(c, tok) != std::string::npos) {
+        out.push_back({path, i + 1, "stdout-write",
+                       "stdout/stderr write inside the basched library; the library stays "
+                       "silent — report through return values, exceptions, or the caller's "
+                       "streams"});
+        flagged = true;
+        break;
+      }
+    if (flagged) continue;
+    // fprintf counts only when aimed at stdout/stderr.
+    const std::size_t at = find_token(c, "fprintf(");
+    if (at != std::string::npos) {
+      std::size_t p = at + std::strlen("fprintf(");
+      while (p < c.size() && std::isspace(static_cast<unsigned char>(c[p]))) ++p;
+      if (c.compare(p, 6, "stdout") == 0 || c.compare(p, 6, "stderr") == 0)
+        out.push_back({path, i + 1, "stdout-write",
+                       "fprintf to stdout/stderr inside the basched library; the library "
+                       "stays silent"});
+    }
+  }
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 4 && (path.compare(path.size() - 4, 4, ".hpp") == 0 ||
+                             (path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0));
+}
+
+void rule_pragma_once(const std::string& path, const std::vector<Line>& lines,
+                      std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  for (const Line& l : lines)
+    if (l.code.find("#pragma once") != std::string::npos) return;
+  out.push_back({path, 1, "pragma-once", "header is missing '#pragma once'"});
+}
+
+/// symbol (searched as `std::<symbol>`) -> standard headers satisfying it.
+struct StdSymbol {
+  const char* symbol;
+  const char* headers[3];  // nullptr-terminated alternatives
+};
+
+const StdSymbol kStdSymbols[] = {
+    {"string_view", {"string_view", nullptr}},
+    {"string", {"string", nullptr}},
+    {"vector", {"vector", nullptr}},
+    {"span", {"span", nullptr}},
+    {"array", {"array", nullptr}},
+    {"deque", {"deque", nullptr}},
+    {"map", {"map", nullptr}},
+    {"multimap", {"map", nullptr}},
+    {"set", {"set", nullptr}},
+    {"multiset", {"set", nullptr}},
+    {"unordered_map", {"unordered_map", nullptr}},
+    {"unordered_set", {"unordered_set", nullptr}},
+    {"pair", {"utility", nullptr}},
+    {"move", {"utility", nullptr}},
+    {"forward", {"utility", nullptr}},
+    {"swap", {"utility", nullptr}},
+    {"exchange", {"utility", nullptr}},
+    {"tuple", {"tuple", nullptr}},
+    {"optional", {"optional", nullptr}},
+    {"nullopt", {"optional", nullptr}},
+    {"variant", {"variant", nullptr}},
+    {"function", {"functional", nullptr}},
+    {"shared_ptr", {"memory", nullptr}},
+    {"unique_ptr", {"memory", nullptr}},
+    {"weak_ptr", {"memory", nullptr}},
+    {"make_shared", {"memory", nullptr}},
+    {"make_unique", {"memory", nullptr}},
+    {"atomic", {"atomic", nullptr}},
+    {"mutex", {"mutex", nullptr}},
+    {"lock_guard", {"mutex", nullptr}},
+    {"unique_lock", {"mutex", nullptr}},
+    {"scoped_lock", {"mutex", nullptr}},
+    {"condition_variable", {"condition_variable", nullptr}},
+    {"condition_variable_any", {"condition_variable", nullptr}},
+    {"thread", {"thread", nullptr}},
+    {"numeric_limits", {"limits", nullptr}},
+    {"initializer_list", {"initializer_list", nullptr}},
+    {"ostream", {"ostream", "iosfwd", nullptr}},
+    {"istream", {"istream", "iosfwd", nullptr}},
+    {"exception_ptr", {"exception", nullptr}},
+    {"exception", {"exception", "stdexcept", nullptr}},
+    {"current_exception", {"exception", nullptr}},
+    {"runtime_error", {"stdexcept", nullptr}},
+    {"logic_error", {"stdexcept", nullptr}},
+    {"invalid_argument", {"stdexcept", nullptr}},
+    {"out_of_range", {"stdexcept", nullptr}},
+    {"size_t", {"cstddef", nullptr}},
+    {"ptrdiff_t", {"cstddef", nullptr}},
+    {"uint8_t", {"cstdint", nullptr}},
+    {"uint16_t", {"cstdint", nullptr}},
+    {"uint32_t", {"cstdint", nullptr}},
+    {"uint64_t", {"cstdint", nullptr}},
+    {"int8_t", {"cstdint", nullptr}},
+    {"int16_t", {"cstdint", nullptr}},
+    {"int32_t", {"cstdint", nullptr}},
+    {"int64_t", {"cstdint", nullptr}},
+    {"chrono", {"chrono", nullptr}},
+    {"isnan", {"cmath", nullptr}},
+    {"isfinite", {"cmath", nullptr}},
+    {"sqrt", {"cmath", nullptr}},
+};
+
+void rule_include_direct(const std::string& path, const std::vector<Line>& lines,
+                         std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  std::set<std::string> includes;
+  for (const Line& l : lines) {
+    const std::size_t at = l.code.find("#include");
+    if (at == std::string::npos) continue;
+    const std::size_t open = l.code.find('<', at);
+    const std::size_t close = l.code.find('>', open);
+    if (open != std::string::npos && close != std::string::npos)
+      includes.insert(l.code.substr(open + 1, close - open - 1));
+  }
+  std::set<std::string> reported;  // one finding per (symbol) per file
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].code;
+    if (c.find("std::") == std::string::npos) continue;
+    for (const StdSymbol& s : kStdSymbols) {
+      if (reported.count(s.symbol) != 0) continue;
+      if (find_token(c, std::string("std::") + s.symbol) == std::string::npos) continue;
+      bool satisfied = false;
+      for (const char* const* h = s.headers; *h != nullptr; ++h)
+        satisfied = satisfied || includes.count(*h) != 0;
+      if (!satisfied) {
+        reported.insert(s.symbol);
+        out.push_back({path, i + 1, "include-direct",
+                       "header uses std::" + std::string(s.symbol) + " but does not include <" +
+                           s.headers[0] + "> directly (self-containment)"});
+      }
+    }
+  }
+}
+
+// ---- driver --------------------------------------------------------------
+
+struct Report {
+  std::vector<Finding> violations;
+  std::vector<std::pair<Finding, std::string>> suppressed;  // finding + reason
+  std::size_t files = 0;
+};
+
+bool lint_file(const std::string& path, Report& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "basched_lint: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<Line> lines = split_views(buf.str());
+
+  std::vector<Finding> findings;
+  std::vector<Allow> allows;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    parse_allows(lines[i].comment, i + 1, allows, path, findings);
+
+  rule_raw_exp(path, lines, findings);
+  rule_raw_rng(path, lines, findings);
+  rule_unordered_iter(path, lines, findings);
+  rule_stdout_write(path, lines, findings);
+  rule_pragma_once(path, lines, findings);
+  rule_include_direct(path, lines, findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+
+  for (Finding& f : findings) {
+    bool was_suppressed = false;
+    // An allow on the finding's line or the line directly above suppresses
+    // it. allow-without-reason is never suppressible.
+    if (f.rule != "allow-without-reason") {
+      for (Allow& a : allows)
+        if (a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line)) {
+          a.used = true;
+          was_suppressed = true;
+          report.suppressed.push_back({std::move(f), a.reason});
+          break;
+        }
+    }
+    if (!was_suppressed) report.violations.push_back(std::move(f));
+  }
+  ++report.files;
+  return true;
+}
+
+bool wanted_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: basched_lint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::error_code ec;
+    const fs::path root(argv[i]);
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root.string());
+    } else if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec))
+        if (entry.is_regular_file() && wanted_file(entry.path()))
+          files.push_back(entry.path().string());
+      if (ec) {
+        std::fprintf(stderr, "basched_lint: error walking %s: %s\n", argv[i],
+                     ec.message().c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "basched_lint: no such file or directory: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Report report;
+  for (const std::string& f : files)
+    if (!lint_file(f, report)) return 2;
+
+  for (const auto& [f, reason] : report.suppressed)
+    std::printf("%s:%zu: allowed: %s (%s)\n", f.path.c_str(), f.line, f.rule.c_str(),
+                reason.c_str());
+  for (const Finding& f : report.violations)
+    std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+
+  std::printf("basched_lint: %zu file(s), %zu violation(s), %zu allowed suppression(s)\n",
+              report.files, report.violations.size(), report.suppressed.size());
+  return report.violations.empty() ? 0 : 1;
+}
