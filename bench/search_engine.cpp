@@ -28,6 +28,11 @@
 ///    order); delta = the streaming core::OrderTreeWalker, which shares
 ///    sequence-prefix state *across orders*. The speedup is the cross-order
 ///    prefix sharing the PR's refactor buys.
+///  * `block_peek` — the same candidate stream priced through the SoA block
+///    peeks in groups of 8 vs one scalar peek per candidate, cold decay keys
+///    per pass (the regime block pricing accelerates: all lanes' rows leave
+///    in one fused kernel pass). `--check` additionally gates ≥ 2x at n=100
+///    with max_rel_err ≤ 1e-12 under rv.
 ///
 /// Parallel modes (wall-clock scaling; speedup = --jobs N vs 1 worker on
 /// identical work, so it depends on the runner's core count — tools/
@@ -575,6 +580,106 @@ Result bench_portfolio(const graph::TaskGraph& g, const battery::BatteryModel& m
   return r;
 }
 
+/// Horizontal block pricing (the SoA block peeks) vs per-candidate scalar
+/// peeks over the *same* move stream in groups of K = 8. Each timing pass
+/// starts from a fresh evaluator so every peek prices cold decay keys — the
+/// regime a real annealing run lives in (the schedule mutates under the
+/// search, so suffix-offset keys churn) and the one the block entry point
+/// accelerates: K candidates' rows leave in one fused kernel pass instead of
+/// one small batch_exp call per key. Both sides pay the identical per-pass
+/// full_eval, so the ratio isolates peek pricing.
+Result bench_block_peek(const graph::TaskGraph& g, const battery::BatteryModel& model,
+                        std::uint64_t seed, double budget_s) {
+  constexpr std::size_t kGroup = 8;
+  util::Rng rng(seed);
+  const core::Schedule base = base_schedule(g, rng);
+  const std::vector<Move> moves = make_moves(g, base, rng, 2048);
+
+  Result r;
+  r.n = g.num_tasks();
+  r.mode = "block_peek";
+  r.candidates = moves.size();
+
+  core::ScheduleEvaluator eval(g, model);
+  (void)eval.full_eval(base);
+
+  // Cross-check: block σ vs scalar peek σ over one pass of the stream.
+  {
+    std::vector<std::size_t> swap_pos;
+    std::vector<core::ScheduleEvaluator::ReplaceCandidate> bump_cands;
+    std::vector<double> sigmas;
+    for (std::size_t at = 0; at < moves.size(); at += kGroup) {
+      const std::size_t hi = std::min(moves.size(), at + kGroup);
+      swap_pos.clear();
+      bump_cands.clear();
+      for (std::size_t i = at; i < hi; ++i) {
+        if (moves[i].swap)
+          swap_pos.push_back(moves[i].pos);
+        else
+          bump_cands.push_back({moves[i].pos, moves[i].duration, moves[i].current});
+      }
+      sigmas.resize(swap_pos.size());
+      eval.peek_swap_adjacent_block(swap_pos, sigmas);
+      for (std::size_t j = 0; j < swap_pos.size(); ++j) {
+        const double want = eval.peek_swap_adjacent(swap_pos[j]);
+        r.max_rel_err = std::max(r.max_rel_err,
+                                 std::abs(sigmas[j] - want) / std::max(1.0, std::abs(want)));
+      }
+      sigmas.resize(bump_cands.size());
+      eval.peek_replace_block(bump_cands, sigmas);
+      for (std::size_t j = 0; j < bump_cands.size(); ++j) {
+        const double want = eval.peek_replace(bump_cands[j].pos, bump_cands[j].duration,
+                                              bump_cands[j].current);
+        r.max_rel_err = std::max(r.max_rel_err,
+                                 std::abs(sigmas[j] - want) / std::max(1.0, std::abs(want)));
+      }
+    }
+  }
+
+  // Scalar side: one peek per candidate, cold caches per pass.
+  r.full_evals_per_sec = throughput(moves.size(), budget_s, [&](std::size_t i) {
+    if (i == 0) {
+      eval = core::ScheduleEvaluator(g, model);
+      (void)eval.full_eval(base);
+    }
+    (void)price_delta(eval, moves[i]);
+  });
+
+  // Block side: the same stream in K-candidate groups, cold caches per pass.
+  std::vector<std::size_t> swap_pos;
+  std::vector<core::ScheduleEvaluator::ReplaceCandidate> bump_cands;
+  std::vector<double> sigmas;
+  const std::size_t groups = (moves.size() + kGroup - 1) / kGroup;
+  const double group_passes = throughput(groups, budget_s, [&](std::size_t gi) {
+    if (gi == 0) {
+      eval = core::ScheduleEvaluator(g, model);
+      (void)eval.full_eval(base);
+    }
+    const std::size_t at = gi * kGroup;
+    const std::size_t hi = std::min(moves.size(), at + kGroup);
+    swap_pos.clear();
+    bump_cands.clear();
+    for (std::size_t i = at; i < hi; ++i) {
+      if (moves[i].swap)
+        swap_pos.push_back(moves[i].pos);
+      else
+        bump_cands.push_back({moves[i].pos, moves[i].duration, moves[i].current});
+    }
+    if (!swap_pos.empty()) {
+      sigmas.resize(swap_pos.size());
+      eval.peek_swap_adjacent_block(swap_pos, sigmas);
+    }
+    if (!bump_cands.empty()) {
+      sigmas.resize(bump_cands.size());
+      eval.peek_replace_block(bump_cands, sigmas);
+    }
+  });
+  r.delta_evals_per_sec =
+      group_passes * static_cast<double>(moves.size()) / static_cast<double>(groups);
+  r.speedup = r.delta_evals_per_sec / r.full_evals_per_sec;
+  return r;
+}
+
 /// Kernel micro-mode: exponentials/sec, element-wise std::exp vs
 /// fastmath::batch_exp, over arguments shaped like the series' exponents
 /// (90 % in the working band, a slice of deep/underflow tail).
@@ -633,7 +738,7 @@ void write_json(const std::string& path, const std::string& model_name, unsigned
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"basched-bench-search-v3\",\n");
+  std::fprintf(f, "  \"schema\": \"basched-bench-search-v4\",\n");
   std::fprintf(f, "  \"jobs\": %u,\n", jobs);
   std::fprintf(f, "  \"build\": \"%s\",\n",
 #ifdef NDEBUG
@@ -645,6 +750,7 @@ void write_json(const std::string& path, const std::string& model_name, unsigned
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"model\": \"%s\",\n", model_name.c_str());
   std::fprintf(f, "  \"exp_kernel\": \"%s\",\n", util::fastmath::exp_kernel_name());
+  std::fprintf(f, "  \"exp_isa\": \"%s\",\n", util::fastmath::exp_isa_name());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -715,13 +821,14 @@ int main(int argc, char** argv) {
     results.push_back(bench_commit_move(g, *model, 7 * n + 4, budget_s));
     results.push_back(bench_bnb_extend(g, *model, 7 * n + 3, budget_s));
     results.push_back(bench_order_tree(g, *model, budget_s));
+    results.push_back(bench_block_peek(g, *model, 7 * n + 5, budget_s));
     std::printf("n=%3zu  candidate %8.0f -> %9.0f evals/s (%5.1fx)   mix %5.1fx   "
-                "commit %5.1fx   bnb_extend %5.1fx   order_tree %5.1fx\n",
-                n, results[results.size() - 5].full_evals_per_sec,
-                results[results.size() - 5].delta_evals_per_sec,
-                results[results.size() - 5].speedup, results[results.size() - 4].speedup,
-                results[results.size() - 3].speedup, results[results.size() - 2].speedup,
-                results[results.size() - 1].speedup);
+                "commit %5.1fx   bnb_extend %5.1fx   order_tree %5.1fx   block_peek %5.1fx\n",
+                n, results[results.size() - 6].full_evals_per_sec,
+                results[results.size() - 6].delta_evals_per_sec,
+                results[results.size() - 6].speedup, results[results.size() - 5].speedup,
+                results[results.size() - 4].speedup, results[results.size() - 3].speedup,
+                results[results.size() - 2].speedup, results[results.size() - 1].speedup);
   }
 
   // Parallel modes: wall-clock scaling at --jobs vs one worker. On a
@@ -745,6 +852,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FAIL: anneal_candidate speedup at n=100 is %.2fx (< 5x gate)\n", r.speedup);
         return 1;
+      }
+      if (model_name == "rv" && r.n == 100 && r.mode == "block_peek") {
+        if (r.speedup < 2.0) {
+          std::fprintf(stderr, "FAIL: block_peek speedup at n=100 is %.2fx (< 2x gate)\n",
+                       r.speedup);
+          return 1;
+        }
+        if (r.max_rel_err > 1e-12) {
+          std::fprintf(stderr, "FAIL: block_peek max_rel_err %.3g (> 1e-12 gate)\n",
+                       r.max_rel_err);
+          return 1;
+        }
       }
       if (r.max_rel_err > 1e-9) {
         std::fprintf(stderr, "FAIL: %s n=%zu delta/full relative error %.3g (> 1e-9)\n",

@@ -8,6 +8,7 @@
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/list_scheduler.hpp"
 #include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/assert.hpp"
 #include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
 
@@ -72,94 +73,224 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   std::vector<std::size_t> pos(n);
   for (std::size_t i = 0; i < n; ++i) pos[current.sequence[i]] = i;
 
-  // Cooling sits in the loop header so that no-op proposals (boundary column
-  // bumps, dependency-violating swaps) still cool and count toward
-  // `iterations`: runtime is bounded and fixed-seed runs are comparable.
-  for (int it = 0; it < options.iterations; ++it, temp *= options.cooling) {
-    if (options.segment_reversal && n >= 3 && rng.bernoulli(options.reversal_prob)) {
-      // Move (c): reverse a short dependency-free segment. The reversal is
-      // committed first (its σ is one read off the rescaled rows) and — being
-      // its own inverse — rolled back by a second commit when rejected.
-      const std::size_t i = rng.pick_index(n - 2);
+  // One proposal, decoded from the RNG stream. Decoding consumes RNG draws
+  // but never mutates search state, so a *copy* of the RNG can speculate
+  // future proposals and the authoritative RNG replays them later with
+  // identical draws (the schedule is unchanged until a move is accepted).
+  struct Proposal {
+    enum class Kind { Noop, Bump, Swap, Reversal } kind = Kind::Noop;
+    std::size_t pos = 0;              ///< changed position (bump/swap)
+    graph::TaskId task = 0;           ///< bump: task whose column moves
+    std::size_t col = 0;              ///< bump: target column
+    std::size_t first = 0, last = 0;  ///< reversal segment (inclusive)
+  };
+  const auto propose = [&](util::Rng& r) {
+    Proposal p;
+    if (options.segment_reversal && n >= 3 && r.bernoulli(options.reversal_prob)) {
+      // Move (c): reverse a short dependency-free segment.
+      const std::size_t i = r.pick_index(n - 2);
       const std::size_t cap = std::min(options.max_segment, n - i);
-      if (cap < 3) continue;  // no-op move: still cools and counts
-      const std::size_t len = 3 + rng.pick_index(cap - 2);
+      if (cap < 3) return p;  // no-op move: still cools and counts
+      const std::size_t len = 3 + r.pick_index(cap - 2);
       const std::size_t j = i + len - 1;
-      bool legal = true;
-      for (std::size_t a = i; legal && a < j; ++a)
-        for (std::size_t b = a + 1; legal && b <= j; ++b)
-          if (graph.has_edge(current.sequence[a], current.sequence[b])) legal = false;
-      if (!legal) continue;  // reversing would violate a dependency
-      const core::CostResult prop = eval.commit_reverse_segment(i, j);
-      const double prop_cost = penalized(prop.sigma, prop.duration);
-      const double delta = prop_cost - cur_cost;
-      if (delta <= 0.0 || rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
-        std::reverse(current.sequence.begin() + static_cast<std::ptrdiff_t>(i),
-                     current.sequence.begin() + static_cast<std::ptrdiff_t>(j) + 1);
-        for (std::size_t k = i; k <= j; ++k) pos[current.sequence[k]] = k;
-        cur = prop;
-        cur_cost = prop_cost;
-        consider_best(cur);
-      } else {
-        (void)eval.commit_reverse_segment(i, j);  // roll back
-      }
-      continue;
+      for (std::size_t a = i; a < j; ++a)
+        for (std::size_t b = a + 1; b <= j; ++b)
+          if (graph.has_edge(current.sequence[a], current.sequence[b]))
+            return p;  // reversing would violate a dependency: no-op
+      p.kind = Proposal::Kind::Reversal;
+      p.first = i;
+      p.last = j;
+      return p;
     }
-    enum class Move { Bump, Swap } kind = Move::Bump;
-    std::size_t changed_pos = 0;
-    graph::TaskId bump_task = 0;
-    std::size_t bump_col = 0;
-    double prop_sigma = 0.0;
-    double prop_duration = 0.0;
-    if (m >= 2 && rng.bernoulli(0.5)) {
+    if (m >= 2 && r.bernoulli(0.5)) {
       // Move (a): bump one task's column.
-      const graph::TaskId v = rng.pick_index(n);
-      const bool up = rng.bernoulli(0.5);
+      const graph::TaskId v = r.pick_index(n);
+      const bool up = r.bernoulli(0.5);
       const std::size_t col = current.assignment[v];
-      if (up ? col + 1 >= m : col == 0) continue;  // no-op move
-      bump_task = v;
-      bump_col = up ? col + 1 : col - 1;
-      changed_pos = pos[v];
-      const auto& old_pt = graph.task(v).point(col);
-      const auto& new_pt = graph.task(v).point(bump_col);
-      prop_sigma = eval.peek_replace(changed_pos, new_pt.duration, new_pt.current);
-      prop_duration = cur.duration - old_pt.duration + new_pt.duration;
-    } else if (n >= 2) {
-      // Move (b): swap adjacent sequence entries if legal.
-      const std::size_t i = rng.pick_index(n - 1);
-      if (graph.has_edge(current.sequence[i], current.sequence[i + 1]))
-        continue;  // would violate the dependency
-      kind = Move::Swap;
-      changed_pos = i;
-      prop_sigma = eval.peek_swap_adjacent(i);
-      prop_duration = cur.duration;
-    } else {
-      continue;
+      if (up ? col + 1 >= m : col == 0) return p;  // boundary: no-op
+      p.kind = Proposal::Kind::Bump;
+      p.task = v;
+      p.col = up ? col + 1 : col - 1;
+      p.pos = pos[v];
+      return p;
     }
+    if (n >= 2) {
+      // Move (b): swap adjacent sequence entries if legal.
+      const std::size_t i = r.pick_index(n - 1);
+      if (graph.has_edge(current.sequence[i], current.sequence[i + 1]))
+        return p;  // would violate the dependency: no-op
+      p.kind = Proposal::Kind::Swap;
+      p.pos = i;
+    }
+    return p;
+  };
 
-    const double prop_cost = penalized(prop_sigma, prop_duration);
-    const double delta = prop_cost - cur_cost;
-    if (delta <= 0.0 || rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
-      // Commit the accepted move: the evaluator rescales its suffix rows
-      // analytically — O(suffix · terms) mult/adds, O(terms) exps (zero on a
-      // warm duration cache) — instead of re-extending the suffix.
-      if (kind == Move::Bump) {
-        current.assignment[bump_task] = bump_col;
-        const auto& new_pt = graph.task(bump_task).point(bump_col);
-        cur = eval.commit_replace(changed_pos, new_pt.duration, new_pt.current);
-      } else {
-        std::swap(current.sequence[changed_pos], current.sequence[changed_pos + 1]);
-        pos[current.sequence[changed_pos]] = changed_pos;
-        pos[current.sequence[changed_pos + 1]] = changed_pos + 1;
-        cur = eval.commit_swap_adjacent(changed_pos);
+  // Speculative block pricing (AnnealingOptions::block_proposals): checkpoint
+  // the RNG, decode up to `block` priceable proposals ahead — assuming the
+  // common mid-search outcome, a rejected Metropolis draw, after each — and
+  // price them through the SoA block peeks (one fused row gather per move
+  // family). The replay then re-decodes each proposal from the authoritative
+  // RNG (identical draws while the prediction holds) and applies the exact
+  // legacy acceptance test with the block-priced σ. A rejection with a draw
+  // matches the speculated stream, so the next lane stays valid; an
+  // acceptance mutates the schedule, so the remaining lanes are discarded
+  // and the next block re-speculates — which is exactly what pricing one
+  // candidate at a time would have done. Trajectories are therefore
+  // bit-identical for every block size; no-op proposals still cool and count
+  // toward `iterations` as before. Reversals cut speculation (they price
+  // through the commit machinery) and replay sequentially.
+  // The *effective* block size adapts to the recent acceptance rate
+  // (multiplicative increase on a fully-rejected block, decrease on an
+  // acceptance): hot phases accept almost every proposal, so a fixed-width
+  // block would discard most of its lanes — and churning schedules keep the
+  // peek-row cache cold, making those discards cost real exps. Adapting
+  // keeps the hot-phase exp budget at the scalar path's O(terms) per
+  // iteration while the cold (high-rejection) tail still fills full-width
+  // blocks. Trajectories don't depend on the block size (see above), so the
+  // adaptation cannot perturb results.
+  const std::size_t max_block = std::max<std::size_t>(std::size_t{1}, options.block_proposals);
+  std::size_t block = 1;
+  std::vector<Proposal> lanes;
+  std::vector<std::size_t> swap_positions, swap_lane, bump_lane;
+  std::vector<core::ScheduleEvaluator::ReplaceCandidate> bump_cands;
+  std::vector<double> swap_sigmas, bump_sigmas, lane_sigma;
+  std::uint64_t seq_evals = 1;  // the initial full_eval; see best.evaluations below
+
+  int it = 0;
+  while (it < options.iterations) {
+    // --- Speculate: decode ahead on a throwaway RNG copy. ---
+    util::Rng spec = rng;
+    lanes.clear();
+    swap_positions.clear();
+    swap_lane.clear();
+    bump_cands.clear();
+    bump_lane.clear();
+    bool cut = false;
+    for (int spec_it = it; spec_it < options.iterations && lanes.size() < block && !cut;
+         ++spec_it) {
+      const Proposal p = propose(spec);
+      switch (p.kind) {
+        case Proposal::Kind::Noop:
+          break;
+        case Proposal::Kind::Reversal:
+          cut = true;
+          break;
+        case Proposal::Kind::Bump: {
+          const auto& np = graph.task(p.task).point(p.col);
+          bump_lane.push_back(lanes.size());
+          bump_cands.push_back({p.pos, np.duration, np.current});
+          lanes.push_back(p);
+          (void)spec.next_double();  // presumed Metropolis draw (reject path)
+          break;
+        }
+        case Proposal::Kind::Swap:
+          swap_lane.push_back(lanes.size());
+          swap_positions.push_back(p.pos);
+          lanes.push_back(p);
+          (void)spec.next_double();  // presumed Metropolis draw (reject path)
+          break;
       }
-      cur_cost = penalized(cur.sigma, cur.duration);
-      consider_best(cur);
+    }
+    // --- Price the block: one fused gather per move family. ---
+    lane_sigma.resize(lanes.size());
+    if (!swap_positions.empty()) {
+      swap_sigmas.resize(swap_positions.size());
+      eval.peek_swap_adjacent_block(swap_positions, swap_sigmas);
+      for (std::size_t j = 0; j < swap_lane.size(); ++j) lane_sigma[swap_lane[j]] = swap_sigmas[j];
+    }
+    if (!bump_cands.empty()) {
+      bump_sigmas.resize(bump_cands.size());
+      eval.peek_replace_block(bump_cands, bump_sigmas);
+      for (std::size_t j = 0; j < bump_lane.size(); ++j) lane_sigma[bump_lane[j]] = bump_sigmas[j];
+    }
+    // --- Replay: exact sequential acceptance order, authoritative RNG. ---
+    std::size_t lane = 0;
+    bool done = false;
+    bool accepted_lane = false;
+    while (!done && it < options.iterations) {
+      const Proposal p = propose(rng);
+      switch (p.kind) {
+        case Proposal::Kind::Noop:
+          break;
+        case Proposal::Kind::Reversal: {
+          // Committed first (σ is one read off the rescaled rows) and —
+          // being its own inverse — rolled back by a second commit when
+          // rejected.
+          const core::CostResult prop = eval.commit_reverse_segment(p.first, p.last);
+          ++seq_evals;
+          const double prop_cost = penalized(prop.sigma, prop.duration);
+          const double delta = prop_cost - cur_cost;
+          if (delta <= 0.0 ||
+              rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
+            std::reverse(current.sequence.begin() + static_cast<std::ptrdiff_t>(p.first),
+                         current.sequence.begin() + static_cast<std::ptrdiff_t>(p.last) + 1);
+            for (std::size_t k = p.first; k <= p.last; ++k) pos[current.sequence[k]] = k;
+            cur = prop;
+            cur_cost = prop_cost;
+            consider_best(cur);
+          } else {
+            (void)eval.commit_reverse_segment(p.first, p.last);  // roll back
+            ++seq_evals;
+          }
+          done = true;  // speculation was cut at this proposal
+          break;
+        }
+        case Proposal::Kind::Bump:
+        case Proposal::Kind::Swap: {
+          BASCHED_ASSERT(lane < lanes.size());
+          const double prop_sigma = lane_sigma[lane];
+          ++seq_evals;  // the peek this lane replaced
+          double prop_duration = cur.duration;
+          if (p.kind == Proposal::Kind::Bump) {
+            const auto& old_pt = graph.task(p.task).point(current.assignment[p.task]);
+            const auto& new_pt = graph.task(p.task).point(p.col);
+            prop_duration = cur.duration - old_pt.duration + new_pt.duration;
+          }
+          const double prop_cost = penalized(prop_sigma, prop_duration);
+          const double delta = prop_cost - cur_cost;
+          if (delta <= 0.0 ||
+              rng.next_double() < util::fastmath::exp_one(-delta / std::max(temp, 1e-12))) {
+            // Commit the accepted move: the evaluator rescales its suffix
+            // rows analytically — O(suffix · terms) mult/adds, O(terms) exps
+            // (zero on a warm duration cache) — instead of re-extending.
+            if (p.kind == Proposal::Kind::Bump) {
+              current.assignment[p.task] = p.col;
+              const auto& new_pt = graph.task(p.task).point(p.col);
+              cur = eval.commit_replace(p.pos, new_pt.duration, new_pt.current);
+            } else {
+              std::swap(current.sequence[p.pos], current.sequence[p.pos + 1]);
+              pos[current.sequence[p.pos]] = p.pos;
+              pos[current.sequence[p.pos + 1]] = p.pos + 1;
+              cur = eval.commit_swap_adjacent(p.pos);
+            }
+            ++seq_evals;
+            cur_cost = penalized(cur.sigma, cur.duration);
+            consider_best(cur);
+            accepted_lane = true;
+            done = true;  // remaining lanes were priced against the old schedule
+          } else {
+            ++lane;
+            if (lane == lanes.size()) done = true;
+          }
+          break;
+        }
+      }
+      ++it;
+      temp *= options.cooling;
+    }
+    if (accepted_lane) {
+      block = std::max<std::size_t>(std::size_t{1}, block / 2);
+    } else if (!lanes.empty() && lane == lanes.size()) {
+      block = std::min(block * 2, max_block);  // whole block rejected: widen
     }
   }
 
   best.nodes_explored = static_cast<std::uint64_t>(options.iterations);
-  best.evaluations = eval.evaluations();
+  // Sequential-equivalent evaluation count: the block path wastes lanes on
+  // mispredicted (accepted) proposals, so the evaluator's own counter would
+  // depend on block size; this one is invariant and equals the pre-block
+  // scalar annealer's eval.evaluations() exactly.
+  best.evaluations = seq_evals;
   if (!best.feasible) {
     best.error = nan_sigma ? "battery model produced NaN sigma: result withheld (degenerate "
                              "model parameters?)"

@@ -44,6 +44,22 @@ struct AnnealingOptions {
   double reversal_prob = 0.2;    ///< chance an iteration proposes move (c)
   std::size_t max_segment = 6;   ///< longest segment (tasks) a reversal spans
 
+  /// Cap on the number of proposals speculatively block-priced per kernel
+  /// pass through the evaluator's SoA block peeks (1 = price one candidate
+  /// at a time). The effective width adapts between 1 and this cap with the
+  /// recent acceptance rate — halved after an acceptance, doubled after a
+  /// fully-rejected block — so hot (high-acceptance) phases spend no more
+  /// exp work than the scalar path while high-rejection tails fill whole
+  /// blocks.
+  /// Any value yields the *same trajectory bit for bit*: proposals are
+  /// speculated from an RNG checkpoint, priced as a block, then replayed in
+  /// exact sequential acceptance order — a mid-block acceptance discards the
+  /// not-yet-consumed lanes (the schedule changed under them) and the next
+  /// block re-speculates from the authoritative RNG state. Discarded lanes
+  /// cost no transcendental work once the peek-row cache is warm, so
+  /// misprediction is cheap.
+  std::size_t block_proposals = 8;
+
   /// Optional pre-warmed per-Δt decay cache the annealer's evaluator adopts
   /// (a copy) — see ScheduleEvaluator's warm constructor. Null keeps the
   /// self-warming behaviour; the pointee must outlive the call. Trajectories

@@ -24,6 +24,14 @@ namespace basched::baselines::detail {
 struct BnbWalkVisitor {
   double deadline = 0.0;
   std::uint64_t max_nodes = 0;
+  /// Leaf fan opt-in (see order_tree.hpp): at depth n−1 all surviving
+  /// children are block-priced in one peek_extend_block call. σ, pruning
+  /// decisions and the incumbent are bit-identical to the sequential path
+  /// (enter is pure here, so the enter/leaf interleaving is unobservable);
+  /// only `evaluations` can drift by < num_design_points on runs truncated
+  /// mid-fan by the node budget, because the block prices its lanes up
+  /// front. Off switch for tests pinning the sequential path.
+  bool leaf_fan = true;
 
   BnbStats stats;
   double best_sigma = std::numeric_limits<double>::infinity();
@@ -77,6 +85,22 @@ struct BnbWalkVisitor {
   void leaf(core::OrderTreeWalker& w) {
     if (!count_node(w)) return;
     const double sigma = w.evaluator().prefix_sigma();  // O(terms): prefix state is warm
+    publish_leaf(w, sigma);
+  }
+
+  [[nodiscard]] bool use_leaf_fan() const noexcept { return leaf_fan; }
+
+  /// Fan twin of `leaf`: σ arrives block-priced (bit-identical to
+  /// prefix_sigma after the extension), the budget/NaN/incumbent logic is
+  /// the same code in the same order.
+  void leaf_priced(core::OrderTreeWalker& w, graph::TaskId, std::size_t,
+                   const graph::DesignPoint&, double sigma) {
+    if (!count_node(w)) return;
+    publish_leaf(w, sigma);
+  }
+
+ private:
+  void publish_leaf(core::OrderTreeWalker& w, double sigma) {
     if (std::isnan(sigma)) {
       nan_sigma = true;  // never publish NaN — see the flag's comment
       w.stop();          // the result is an error either way; don't walk on unpruned
@@ -90,7 +114,6 @@ struct BnbWalkVisitor {
     }
   }
 
- private:
   bool count_node(core::OrderTreeWalker& w) {
     ++stats.nodes_visited;
     const std::uint64_t total =

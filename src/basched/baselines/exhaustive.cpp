@@ -46,6 +46,26 @@ struct ExhaustiveVisitor {
       best.energy = w.evaluator().prefix_energy();
     }
   }
+
+  // Leaf fan (order_tree.hpp): the node budget is counted in `enter`, which
+  // the fan calls in the identical order, so even budget-truncated walks
+  // visit, price and publish exactly the sequential leaf set. The evaluator
+  // holds the depth n−1 prefix inside the hook; the final interval's
+  // contribution to duration/energy is added with the same expressions
+  // extend_interval would use, keeping the published bits identical.
+  [[nodiscard]] bool use_leaf_fan() const noexcept { return true; }
+
+  void leaf_priced(core::OrderTreeWalker& w, graph::TaskId, std::size_t,
+                   const graph::DesignPoint& pt, double sigma) {
+    if (!best.feasible || sigma < best.sigma) {
+      best.feasible = true;
+      best.error.clear();
+      best.schedule = core::Schedule{w.sequence(), w.assignment()};
+      best.sigma = sigma;
+      best.duration = w.evaluator().prefix_duration() + pt.duration;
+      best.energy = w.evaluator().prefix_energy() + pt.current * pt.duration;
+    }
+  }
 };
 
 }  // namespace

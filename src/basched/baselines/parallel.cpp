@@ -53,6 +53,17 @@ struct FrontierCollector {
   }
 
   void leaf(core::OrderTreeWalker& w) { bnb.leaf(w); }
+
+  // Forward the leaf-fan hooks (order_tree.hpp). The fan triggers only below
+  // a node() that returned true, i.e. strictly above the cut — job recording
+  // at the cut is unaffected; a deeper-than-n cut simply lets shallow
+  // complete orders block-price here exactly as the workers do.
+  [[nodiscard]] bool use_leaf_fan() const noexcept { return bnb.use_leaf_fan(); }
+
+  void leaf_priced(core::OrderTreeWalker& w, graph::TaskId v, std::size_t col,
+                   const graph::DesignPoint& pt, double sigma) {
+    bnb.leaf_priced(w, v, col, pt, sigma);
+  }
 };
 
 struct BnbJobResult {

@@ -41,11 +41,31 @@
 ///     void leaf(OrderTreeWalker&);
 ///   };
 ///
+/// A visitor may additionally opt into the **leaf fan** by providing
+///
+///     bool use_leaf_fan() const;
+///     void leaf_priced(OrderTreeWalker&, graph::TaskId v, std::size_t col,
+///                      const graph::DesignPoint& pt, double sigma);
+///
+/// At a node whose children are all leaves (depth n−1), the walker then runs
+/// `enter` per column as usual, block-prices every passing column in ONE
+/// `ScheduleEvaluator::peek_extend_block` call, and reports each through
+/// `leaf_priced` instead of extend → `leaf` → pop. σ is bit-identical to the
+/// sequential path; `sequence()`/`assignment()` are complete inside the
+/// hook, but the *evaluator* prefix stays at depth n−1 — use the passed
+/// sigma/pt, not `evaluator().prefix_sigma()`. `enter` must be free of
+/// side effects that observe the enter/leaf interleaving (both built-in
+/// exact baselines qualify: B&B's enter is pure, exhaustive's counts enters
+/// only). A `stop()` from `enter` still delivers the already-collected
+/// leaves (sequential order would have priced them first); a `stop()` from
+/// `leaf_priced` cuts the fan immediately.
+///
 /// A visitor may call `stop()` from any hook to abort the whole walk (node
 /// budgets, anytime search). The walker is not thread-safe; parallel search
 /// uses one walker + evaluator per worker.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -57,6 +77,16 @@
 #include "basched/graph/topology.hpp"
 
 namespace basched::core {
+
+class OrderTreeWalker;
+
+/// Detected opt-in to the walker's block-priced leaf fan (see file comment).
+template <typename V>
+concept LeafFanVisitor = requires(V v, OrderTreeWalker& w, graph::TaskId t, std::size_t col,
+                                  const graph::DesignPoint& pt, double sigma) {
+  { v.use_leaf_fan() } -> std::convertible_to<bool>;
+  v.leaf_priced(w, t, col, pt, sigma);
+};
 
 /// Backtracking-Kahn DFS over the order tree (see file comment). The graph
 /// and evaluator are held by reference and must outlive the walker.
@@ -120,6 +150,14 @@ class OrderTreeWalker {
       return;
     }
     if (!visitor.node(*this)) return;
+    if constexpr (LeafFanVisitor<Visitor>) {
+      // Every child of a depth n−1 node is a leaf: price them all in one
+      // block instead of extend → leaf → pop per column.
+      if (seq_.size() + 1 == graph_->num_tasks() && visitor.use_leaf_fan()) {
+        leaf_fan(visitor);
+        return;
+      }
+    }
     frontier_.for_each_ready([&](graph::TaskId v) {
       if (stopped_) return;
       frontier_.schedule(v);
@@ -142,6 +180,48 @@ class OrderTreeWalker {
     });
   }
 
+  /// The depth n−1 fan: run `enter` per column collecting passers, price all
+  /// of them through ONE peek_extend_block call, report each via
+  /// `leaf_priced`. Child order (ascending column of the single ready task)
+  /// and the enter-call sequence are identical to the sequential path, so
+  /// every bound/budget decision a visitor makes fires in the same order
+  /// with the same inputs — only the extend/pop pair per leaf disappears.
+  template <typename Visitor>
+  void leaf_fan(Visitor& visitor) {
+    frontier_.for_each_ready([&](graph::TaskId v) {
+      if (stopped_) return;  // exactly one ready task at depth n−1 anyway
+      frontier_.schedule(v);
+      remaining_min_duration_ -= min_duration_[v];
+      remaining_min_energy_ -= min_energy_[v];
+      seq_.push_back(v);
+      const auto& task = graph_->task(v);
+      fan_cols_.clear();
+      fan_cands_.clear();
+      for (std::size_t col = 0; col < graph_->num_design_points(); ++col) {
+        if (stopped_) break;
+        if (!visitor.enter(*this, v, col, task.point(col))) continue;
+        fan_cols_.push_back(col);
+        fan_cands_.push_back({task.point(col).duration, task.point(col).current});
+      }
+      // A stop() out of `enter` (an enter-counted budget) does not cancel the
+      // collected leaves: sequentially they were priced *before* the abort.
+      const bool stopped_at_enter = stopped_;
+      if (!fan_cols_.empty()) {
+        fan_sigmas_.resize(fan_cols_.size());
+        evaluator_->peek_extend_block(fan_cands_, fan_sigmas_);
+        for (std::size_t i = 0; i < fan_cols_.size(); ++i) {
+          assignment_[v] = fan_cols_[i];
+          visitor.leaf_priced(*this, v, fan_cols_[i], task.point(fan_cols_[i]), fan_sigmas_[i]);
+          if (stopped_ && !stopped_at_enter) break;  // a leaf aborted the walk
+        }
+      }
+      seq_.pop_back();
+      remaining_min_energy_ += min_energy_[v];
+      remaining_min_duration_ += min_duration_[v];
+      frontier_.unschedule(v);
+    });
+  }
+
   const graph::TaskGraph* graph_;
   ScheduleEvaluator* evaluator_;
   graph::KahnFrontier frontier_;
@@ -149,6 +229,9 @@ class OrderTreeWalker {
   Assignment assignment_;
   std::vector<double> min_duration_;  ///< per task, fastest design-point
   std::vector<double> min_energy_;    ///< per task, cheapest design-point energy
+  std::vector<std::size_t> fan_cols_;  ///< leaf fan: columns passing enter
+  std::vector<ScheduleEvaluator::ExtendCandidate> fan_cands_;  ///< leaf fan: their intervals
+  std::vector<double> fan_sigmas_;     ///< leaf fan: block-priced σ per column
   double remaining_min_duration_ = 0.0;
   double remaining_min_energy_ = 0.0;
   bool stopped_ = false;

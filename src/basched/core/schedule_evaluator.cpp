@@ -64,6 +64,7 @@ ScheduleEvaluator::ScheduleEvaluator(const graph::TaskGraph& graph,
       decay_cache_ = *warm;
     else
       decay_cache_ = DecayRowCache(bm_);
+    peek_cache_ = DecayRowCache(bm_);
     cache_scratch_.resize(t);
     work_.resize(4 * t);
     // Warm the duration cache with the catalog's distinct Δt values: every
@@ -403,6 +404,202 @@ double ScheduleEvaluator::peek_replace(std::size_t pos, double duration, double 
   intervals_[pos] = old;
   for (std::size_t j = pos + 1; j < n; ++j) intervals_[j].start = scratch_[j - pos - 1];
   return sigma;
+}
+
+void ScheduleEvaluator::peek_swap_adjacent_block(std::span<const std::size_t> positions,
+                                                 std::span<double> sigmas) {
+  BASCHED_ASSERT(sigmas.size() >= positions.size());
+  if (positions.empty()) return;
+  if (kind_ != ModelKind::Rv) {
+    for (std::size_t j = 0; j < positions.size(); ++j)
+      sigmas[j] = peek_swap_adjacent(positions[j]);
+    return;
+  }
+  const auto t = static_cast<std::size_t>(terms_);
+  const double t_end = prefix_duration();
+  // Same four series bounds per candidate as the scalar peek — but the K×4
+  // rows are gathered through the peek-row cache in one pass: warm offsets
+  // copy exp-free, every cold offset lands in ONE fused kernel call.
+  block_keys_.resize(4 * positions.size());
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    const std::size_t pos = positions[j];
+    if (pos + 1 >= depth())
+      throw std::out_of_range(
+          "ScheduleEvaluator::peek_swap_adjacent_block: pos + 1 must be < depth()");
+    const battery::DischargeInterval& a = intervals_[pos];
+    const battery::DischargeInterval& b = intervals_[pos + 1];
+    const double x1 = t_end - a.start;   // T − t_a
+    const double x2 = x1 - a.duration;   // T − e_a == T − t_b
+    const double x4r = x2 - b.duration;  // T − e_b (clamped below)
+    const double x5 = x1 - b.duration;   // T − (t_a + Δ_b)
+    block_keys_[4 * j + 0] = x1;
+    block_keys_[4 * j + 1] = x2;
+    block_keys_[4 * j + 2] = x4r > 0.0 ? x4r : 0.0;
+    block_keys_[4 * j + 3] = x5;
+  }
+  evaluations_ += positions.size();
+  const double sig = sigma_end();
+  block_rows_.resize(4 * positions.size() * t);
+  (void)peek_cache_.rows_block(block_keys_, block_rows_.data());
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    const std::size_t pos = positions[j];
+    const battery::DischargeInterval& a = intervals_[pos];
+    const battery::DischargeInterval& b = intervals_[pos + 1];
+    const double* e1 = block_rows_.data() + 4 * j * t;
+    const double* e2 = e1 + t;
+    const double* e4 = e2 + t;
+    const double* e5 = e4 + t;
+    const double pref =
+        RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, rv_row(pos), cum_charge_[pos], e1);
+    double sa_old = 0.0, sb_old = 0.0, sb_new = 0.0, sa_new = 0.0;
+    for (int i = 0; i < terms_; ++i) {
+      const double inv = 1.0 / bm_[i];
+      sa_old += (e2[i] - e1[i]) * inv;
+      sb_old += (e4[i] - e2[i]) * inv;
+      sb_new += (e5[i] - e1[i]) * inv;
+      sa_new += (e4[i] - e5[i]) * inv;
+    }
+    const double old_terms =
+        a.current * (a.duration + 2.0 * sa_old) + b.current * (b.duration + 2.0 * sb_old);
+    const double new_terms =
+        b.current * (b.duration + 2.0 * sb_new) + a.current * (a.duration + 2.0 * sa_new);
+    const double suffix = sig - pref - old_terms;
+    sigmas[j] = pref + new_terms + suffix;
+  }
+}
+
+void ScheduleEvaluator::peek_replace_block(std::span<const ReplaceCandidate> candidates,
+                                           std::span<double> sigmas) {
+  BASCHED_ASSERT(sigmas.size() >= candidates.size());
+  if (candidates.empty()) return;
+  if (kind_ != ModelKind::Rv) {
+    for (std::size_t j = 0; j < candidates.size(); ++j)
+      sigmas[j] = peek_replace(candidates[j].pos, candidates[j].duration, candidates[j].current);
+    return;
+  }
+  const auto t = static_cast<std::size_t>(terms_);
+  const double t_end = prefix_duration();
+  block_keys_.resize(3 * candidates.size());
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    const ReplaceCandidate& cand = candidates[j];
+    if (cand.pos >= depth())
+      throw std::out_of_range("ScheduleEvaluator::peek_replace_block: pos must be < depth()");
+    if (!(cand.duration > 0.0) || !std::isfinite(cand.duration) || cand.current < 0.0 ||
+        !std::isfinite(cand.current))
+      throw std::invalid_argument("ScheduleEvaluator::peek_replace_block: malformed interval");
+    const battery::DischargeInterval& old = intervals_[cand.pos];
+    const double x1 = t_end - old.start;   // T − t_pos
+    const double x3r = x1 - old.duration;  // T − e_pos (clamped)
+    const double x3 = x3r > 0.0 ? x3r : 0.0;
+    const double x2 = x3 + cand.duration;  // T' − t_pos
+    block_keys_[3 * j + 0] = x1;
+    block_keys_[3 * j + 1] = x2;
+    block_keys_[3 * j + 2] = x3;
+  }
+  evaluations_ += candidates.size();
+  const double sig = sigma_end();
+  block_rows_.resize(3 * candidates.size() * t);
+  (void)peek_cache_.rows_block(block_keys_, block_rows_.data());
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    const ReplaceCandidate& cand = candidates[j];
+    const battery::DischargeInterval& old = intervals_[cand.pos];
+    const double* e1 = block_rows_.data() + 3 * j * t;
+    const double* e2 = e1 + t;
+    const double* e3 = e2 + t;
+    const double* row = rv_row(cand.pos);
+    const double pref_old =
+        RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, row, cum_charge_[cand.pos], e1);
+    const double pref_new =
+        RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, row, cum_charge_[cand.pos], e2);
+    double s_old = 0.0, s_new = 0.0;
+    for (int i = 0; i < terms_; ++i) {
+      const double inv = 1.0 / bm_[i];
+      s_old += (e3[i] - e1[i]) * inv;
+      s_new += (e3[i] - e2[i]) * inv;
+    }
+    const double own_old = old.current * (old.duration + 2.0 * s_old);
+    const double own_new = cand.current * (cand.duration + 2.0 * s_new);
+    const double suffix = sig - pref_old - own_old;
+    sigmas[j] = pref_new + own_new + suffix;
+  }
+}
+
+void ScheduleEvaluator::peek_extend_block(std::span<const ExtendCandidate> candidates,
+                                          std::span<double> sigmas) {
+  BASCHED_ASSERT(sigmas.size() >= candidates.size());
+  if (candidates.empty()) return;
+  for (const ExtendCandidate& cand : candidates)
+    if (!(cand.duration > 0.0) || !std::isfinite(cand.duration) || cand.current < 0.0 ||
+        !std::isfinite(cand.current))
+      throw std::invalid_argument("ScheduleEvaluator::peek_extend_block: malformed interval");
+  evaluations_ += candidates.size();
+  switch (kind_) {
+    case ModelKind::Rv: {
+      // σ after extend(candidate) splits into a candidate-independent part —
+      // the decayed partial sums advanced across the current last interval,
+      // exactly extend_interval's row recurrence — and a per-candidate Eq. 1
+      // term keyed on the candidate duration. The advance runs once for the
+      // whole block; the K duration rows (warm catalog keys) gather in one
+      // pass. Bit-identical to extend + σ + pop by construction: same
+      // expressions, same row bits.
+      const auto t = static_cast<std::size_t>(terms_);
+      const std::size_t k = intervals_.size();
+      ext_row_.resize(t);
+      if (k == 0) {
+        std::fill_n(ext_row_.data(), terms_, 0.0);
+      } else {
+        const battery::DischargeInterval& prev = intervals_[k - 1];
+        const double* c = duration_row(k - 1, cache_scratch_.data());
+        const double* prev_row = rv_row(k - 1);
+        for (int i = 0; i < terms_; ++i)
+          ext_row_[static_cast<std::size_t>(i)] =
+              prev_row[i] * c[i] + prev.current * (1.0 - c[i]) / bm_[i];
+      }
+      const double cum = cum_charge_.back();
+      block_keys_.resize(candidates.size());
+      for (std::size_t j = 0; j < candidates.size(); ++j) block_keys_[j] = candidates[j].duration;
+      block_rows_.resize(candidates.size() * t);
+      (void)decay_cache_.rows_block(block_keys_, block_rows_.data());
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        const double* c = block_rows_.data() + j * t;
+        const double pref =
+            RakhmatovVrudhulaModel::decayed_prefix_sigma_row(terms_, ext_row_.data(), cum, c);
+        double tail = 0.0;
+        for (int i = 0; i < terms_; ++i) tail += (1.0 - c[i]) / bm_[i];
+        sigmas[j] = pref + candidates[j].current * (candidates[j].duration + 2.0 * tail);
+      }
+      return;
+    }
+    case ModelKind::Kibam: {
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        KibamCheckpoint cp = kstates_.back();
+        cp.state = kibam_->advance(cp.state, cp.dead, candidates[j].current,
+                                   candidates[j].duration);
+        sigmas[j] = kibam_->sigma_of(cp.state);
+      }
+      return;
+    }
+    case ModelKind::Peukert: {
+      for (std::size_t j = 0; j < candidates.size(); ++j)
+        sigmas[j] = peff_.back() +
+                    peukert_->apparent_rate(candidates[j].current) * candidates[j].duration;
+      return;
+    }
+    case ModelKind::Ideal: {
+      for (std::size_t j = 0; j < candidates.size(); ++j)
+        sigmas[j] = cum_charge_.back() + candidates[j].current * candidates[j].duration;
+      return;
+    }
+    case ModelKind::Generic:
+      break;
+  }
+  // Generic models: extend for real, price through charge_lost, pop. Same
+  // operations a walker leaf performs, so the bits match that path too.
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    extend_interval(candidates[j].duration, candidates[j].current);
+    sigmas[j] = sigma_end_uncached();
+    truncate(intervals_.size() - 1);
+  }
 }
 
 CostResult ScheduleEvaluator::commit_swap_adjacent(std::size_t pos) {

@@ -156,6 +156,58 @@ class ScheduleEvaluator {
   /// std::invalid_argument on a malformed interval.
   [[nodiscard]] double peek_replace(std::size_t pos, double duration, double current);
 
+  // ---- SoA block peeks (horizontal pricing across candidates) -------------
+  //
+  // Each block call prices K independent candidates against the same loaded
+  // schedule in one pass: the per-candidate decay rows are gathered from a
+  // dedicated peek-row DecayRowCache into contiguous K-major SoA scratch
+  // (warm rows copy exp-free; all cold rows batch through ONE fused
+  // batch_exp_block), then the same reductions as the scalar peeks run per
+  // lane. σ outputs are bit-identical to the corresponding scalar peek —
+  // the kernel is batch-boundary invariant and the reduction code is the
+  // same expression graph — so search drivers can switch freely between
+  // block and scalar pricing without perturbing pinned trajectories.
+  // Duplicate/overlapping positions are fine (peeks never mutate). Non-RV
+  // models fall back to the scalar peeks per candidate (same values, same
+  // evaluation counts). Each lane counts one evaluation.
+
+  /// One candidate of `peek_replace_block`: interval `pos` replaced by
+  /// (duration, current).
+  struct ReplaceCandidate {
+    std::size_t pos = 0;
+    double duration = 0.0;
+    double current = 0.0;
+  };
+
+  /// One candidate of `peek_extend_block`: a prospective next interval.
+  struct ExtendCandidate {
+    double duration = 0.0;
+    double current = 0.0;
+  };
+
+  /// Block form of `peek_swap_adjacent`: sigmas[j] = σ with intervals
+  /// positions[j] and positions[j]+1 swapped. Throws std::out_of_range
+  /// (before pricing anything) unless every positions[j] + 1 < depth().
+  /// `sigmas` must hold at least positions.size() doubles.
+  void peek_swap_adjacent_block(std::span<const std::size_t> positions,
+                                std::span<double> sigmas);
+
+  /// Block form of `peek_replace`: sigmas[j] = σ with candidates[j] applied.
+  /// Same validation as `peek_replace`, performed for the whole block before
+  /// pricing any lane.
+  void peek_replace_block(std::span<const ReplaceCandidate> candidates,
+                          std::span<double> sigmas);
+
+  /// Prices extending the current prefix by each candidate interval:
+  /// sigmas[j] = σ the prefix would report after
+  /// `extend_interval(candidates[j])` — bit-identical to extend + σ + pop,
+  /// without mutating the prefix. RV shares the candidate-independent row
+  /// advance across the block and gathers the per-duration decay rows (warm
+  /// catalog keys: zero exps) in one pass — the B&B/exhaustive leaf fan.
+  /// Throws std::invalid_argument on a malformed candidate interval.
+  void peek_extend_block(std::span<const ExtendCandidate> candidates,
+                         std::span<double> sigmas);
+
   // ---- Committed moves (the annealer's accept path) -----------------------
 
   /// Applies the adjacent swap peeked by `peek_swap_adjacent` to the loaded
@@ -263,9 +315,17 @@ class ScheduleEvaluator {
 
   std::vector<double> bm_;          ///< RV: β²m², m = 1..terms
   util::fastmath::DecayRowCache decay_cache_;  ///< rows e^{-β²m²·Δt} keyed on Δt
+  /// Peek-row cache for the block peeks' suffix-offset keys (T − t_p and
+  /// friends). Separate from decay_cache_ so the churning offset key space
+  /// cannot evict/cap-out the pristine per-Δt duration rows; rows are pure
+  /// functions of the key, so staleness is impossible.
+  util::fastmath::DecayRowCache peek_cache_;
   std::vector<std::uint32_t> row_idx_;  ///< RV: per-position cache index of Δ_k's row
   std::vector<double> cache_scratch_;  ///< decay row landing zone on cache overflow
   std::vector<double> work_;           ///< fused peek/commit buffers (4·terms)
+  std::vector<double> block_keys_;     ///< block peeks: gathered row keys
+  std::vector<double> block_rows_;     ///< block peeks: K-major SoA row scratch
+  std::vector<double> ext_row_;        ///< peek_extend_block: advanced prefix row
 
   bool sigma_cached_ = false;
   double sigma_cache_ = 0.0;

@@ -113,22 +113,85 @@ __attribute__((target("avx2,fma"))) void batch_exp_blocks_avx2(double* p,
                                                                std::size_t remaining) noexcept {
   BASCHED_BATCH_EXP_BODY(p, remaining);
 }
+// Same body again at 8-wide: avx512f covers the 512-bit FP lanes, avx512dq
+// the int64↔double casts the exponent-bit assembly vectorizes through. Both
+// wide arms contract through FMA, so avx2 and avx512 produce identical bits
+// element for element (verified by tests/util/fastmath_test.cpp).
+__attribute__((target("avx512f,avx512dq,fma"))) void batch_exp_blocks_avx512(
+    double* p, std::size_t remaining) noexcept {
+  BASCHED_BATCH_EXP_BODY(p, remaining);
+}
+#elif defined(__aarch64__)
+#define BASCHED_FASTMATH_NEON 1
+// On AArch64 ASIMD (NEON) is part of the baseline ABI, so the "neon" arm is
+// the default-target body — named separately so the dispatch table, the
+// `BASCHED_EXP_ISA` hook and the bench JSON report the arm explicitly
+// instead of hiding it inside "portable".
+void batch_exp_blocks_neon(double* p, std::size_t remaining) noexcept {
+  BASCHED_BATCH_EXP_BODY(p, remaining);
+}
 #endif
 
 using BatchFn = void (*)(double*, std::size_t) noexcept;
 
-BatchFn select_batch_fn() noexcept {
+/// One ISA arm of the batched kernel: a name for logs/env/bench JSON, the
+/// instantiation, and whether this host can execute it.
+struct IsaArm {
+  const char* name;
+  BatchFn fn;
+  bool supported;
+};
+
+/// Dispatch table, best arm first. Built once; `supported` is resolved via
+/// cpuid on x86-64 and statically elsewhere.
+std::span<const IsaArm> isa_table() noexcept {
+  static const std::vector<IsaArm> table = [] {
+    std::vector<IsaArm> t;
 #ifdef BASCHED_FASTMATH_MULTIARCH
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-    return batch_exp_blocks_avx2;
+    __builtin_cpu_init();
+    const bool fma = __builtin_cpu_supports("fma");
+    t.push_back({"avx512", batch_exp_blocks_avx512,
+                 bool(__builtin_cpu_supports("avx512f")) &&
+                     bool(__builtin_cpu_supports("avx512dq")) && fma});
+    t.push_back({"avx2", batch_exp_blocks_avx2, bool(__builtin_cpu_supports("avx2")) && fma});
 #endif
-  return batch_exp_blocks;
+#ifdef BASCHED_FASTMATH_NEON
+    t.push_back({"neon", batch_exp_blocks_neon, true});
+#endif
+    t.push_back({"portable", batch_exp_blocks, true});
+    return t;
+  }();
+  return table;
+}
+
+/// Best supported arm — the startup ("auto") selection.
+int auto_isa() noexcept {
+  const auto table = isa_table();
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (table[i].supported) return static_cast<int>(i);
+  return static_cast<int>(table.size() - 1);  // portable is always last + supported
+}
+
+int initial_isa() noexcept {
+  const char* env = std::getenv("BASCHED_EXP_ISA");
+  if (env != nullptr) {
+    const auto table = isa_table();
+    for (std::size_t i = 0; i < table.size(); ++i)
+      if (std::strcmp(env, table[i].name) == 0 && table[i].supported) return static_cast<int>(i);
+    // Unknown or unsupported name: fall through to auto rather than crash a
+    // run over an env typo; exp_isa_name() makes the outcome observable.
+  }
+  return auto_isa();
+}
+
+std::atomic<int>& isa_state() noexcept {
+  static std::atomic<int> state{initial_isa()};
+  return state;
 }
 
 void batch_exp_batched(std::span<double> xs) noexcept {
-  static const BatchFn fn = select_batch_fn();
-  fn(xs.data(), xs.size());
+  isa_table()[static_cast<std::size_t>(isa_state().load(std::memory_order_relaxed))].fn(
+      xs.data(), xs.size());
 }
 
 std::uint64_t mix_bits(std::uint64_t h) noexcept {
@@ -166,6 +229,30 @@ void batch_exp(std::span<double> xs) noexcept {
     return;
   }
   batch_exp_batched(xs);
+}
+
+void batch_exp_block(double* block, std::size_t k, std::size_t terms) noexcept {
+  batch_exp(std::span<double>(block, k * terms));
+}
+
+const char* exp_isa_name() noexcept {
+  return isa_table()[static_cast<std::size_t>(isa_state().load(std::memory_order_relaxed))].name;
+}
+
+bool set_exp_isa(const char* name) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "auto") == 0) {
+    isa_state().store(auto_isa(), std::memory_order_relaxed);
+    return true;
+  }
+  const auto table = isa_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (std::strcmp(name, table[i].name) != 0) continue;
+    if (!table[i].supported) return false;
+    isa_state().store(static_cast<int>(i), std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t exp_evaluations() noexcept {
@@ -240,6 +327,95 @@ const double* DecayRowCache::row(double key, double* scratch) {
     return scratch;
   }
   return row_at(idx);
+}
+
+std::uint32_t DecayRowCache::find_index(std::uint64_t bits) const noexcept {
+  if (bits == 0 || slot_keys_.empty()) return kNoIndex;
+  const std::uint64_t mask = slot_keys_.size() - 1;
+  std::uint64_t pos = mix_bits(bits) & mask;
+  while (slot_keys_[pos] != 0) {
+    if (slot_keys_[pos] == bits) return slot_rows_[pos];
+    pos = (pos + 1) & mask;
+  }
+  return kNoIndex;
+}
+
+std::uint32_t DecayRowCache::insert_row(double key, const double* row) {
+  const std::size_t n = coeffs_.size();
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(key);
+  if (bits == 0 || n == 0 || max_entries_ == 0 || entries_ >= max_entries_) return kNoIndex;
+  if (entries_ * 4 >= slot_keys_.size() * 3) grow();  // load factor <= 0.75
+  const std::uint64_t mask = slot_keys_.size() - 1;
+  std::uint64_t pos = mix_bits(bits) & mask;
+  while (slot_keys_[pos] != 0) {
+    if (slot_keys_[pos] == bits) return slot_rows_[pos];
+    pos = (pos + 1) & mask;
+  }
+  const std::uint32_t idx = static_cast<std::uint32_t>(entries_++);
+  rows_.resize(rows_.size() + n);
+  std::copy_n(row, n, rows_.data() + static_cast<std::size_t>(idx) * n);
+  slot_keys_[pos] = bits;
+  slot_rows_[pos] = idx;
+  return idx;
+}
+
+std::size_t DecayRowCache::rows_block(std::span<const double> keys, double* out) {
+  const std::size_t t = coeffs_.size();
+  cold_.clear();
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    double* dst = out + j * t;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(keys[j]);
+    if (bits == 0) {
+      // exp(-c·(+0.0)) is exactly 1.0 under libm and the batched kernel
+      // alike, and bit pattern 0 doubles as the empty-slot sentinel — fill
+      // the row directly instead of burning a lane on a constant.
+      std::fill_n(dst, t, 1.0);
+      continue;
+    }
+    const std::uint32_t idx = find_index(bits);
+    if (idx != kNoIndex) {
+      ++hits_;
+      std::copy_n(row_at(idx), t, dst);
+    } else {
+      cold_.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  if (cold_.empty()) return 0;
+  // Deduplicate cold keys on bit pattern (blocks are small — K ≲ 40 lanes —
+  // so the quadratic scan beats hashing), fill their exponent lanes into one
+  // compact SoA buffer, and evaluate every cold row in ONE fused pass.
+  cold_unique_.clear();
+  cold_slot_.clear();
+  for (const std::uint32_t j : cold_) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(keys[j]);
+    std::uint32_t slot = kNoIndex;
+    for (std::size_t u = 0; u < cold_unique_.size(); ++u) {
+      if (std::bit_cast<std::uint64_t>(keys[cold_unique_[u]]) == bits) {
+        slot = static_cast<std::uint32_t>(u);
+        break;
+      }
+    }
+    if (slot == kNoIndex) {
+      slot = static_cast<std::uint32_t>(cold_unique_.size());
+      cold_unique_.push_back(j);
+    }
+    cold_slot_.push_back(slot);
+  }
+  block_scratch_.resize(cold_unique_.size() * t);
+  for (std::size_t u = 0; u < cold_unique_.size(); ++u) {
+    const double key = keys[cold_unique_[u]];
+    double* lane = block_scratch_.data() + u * t;
+    for (std::size_t i = 0; i < t; ++i) lane[i] = -coeffs_[i] * key;
+  }
+  batch_exp_block(block_scratch_.data(), cold_unique_.size(), t);
+  for (std::size_t u = 0; u < cold_unique_.size(); ++u) {
+    ++misses_;
+    (void)insert_row(keys[cold_unique_[u]], block_scratch_.data() + u * t);
+  }
+  for (std::size_t c = 0; c < cold_.size(); ++c)
+    std::copy_n(block_scratch_.data() + static_cast<std::size_t>(cold_slot_[c]) * t, t,
+                out + static_cast<std::size_t>(cold_[c]) * t);
+  return cold_unique_.size();
 }
 
 }  // namespace basched::util::fastmath

@@ -31,6 +31,18 @@
 ///    the way to cross-check any result against libm;
 ///  * runtime: `set_exp_kernel()` for tests and benches.
 ///
+/// Below the kernel switch sits the ISA dispatch table of the batched
+/// kernel: the same block body is instantiated per instruction set —
+/// portable (baseline), AVX2+FMA and AVX-512 on x86-64, NEON on aarch64
+/// (where ASIMD is the baseline) — and the best arm the CPU supports is
+/// selected once at startup via cpuid. `BASCHED_EXP_ISA=<name>` (read once)
+/// or `set_exp_isa()` force a specific arm for cross-checks; `exp_isa_name()`
+/// reports the active one. Every arm evaluates the identical expression
+/// graph under the same FP contraction rules, so arms that share FMA
+/// (avx2/avx512) produce identical bits; the portable arm may differ from
+/// them by ≤1 ulp where contraction decisions differ, and the scalar
+/// *kernel* stays bit-identical to libm on every arch.
+///
 /// `exp_evaluations()` counts exp evaluations served per element (relaxed
 /// atomic, both kernels). Probe tests use deltas of this counter to verify
 /// that hot paths — e.g. the annealer's committed moves — stay O(terms)
@@ -68,6 +80,27 @@ void set_exp_kernel(ExpKernel kernel) noexcept;
 /// element outside [-706, 706]; elements inside differ from libm by ~1e-15
 /// relative under the batched kernel. noexcept and allocation-free.
 void batch_exp(std::span<double> xs) noexcept;
+
+/// SoA block form of `batch_exp`: `block` holds K rows of `terms` exponent
+/// lanes in contiguous K-major layout (row j at block + j·terms) and every
+/// lane is exponentiated in one fused pass through the active kernel — same
+/// dispatch, same fixup, same per-element bits as K separate `batch_exp`
+/// calls (the kernel is batch-boundary invariant), but one kernel entry and
+/// long vectors instead of K short ones. The block-pricing layer
+/// (`DecayRowCache::rows_block`, ScheduleEvaluator's `peek_*_block`) funnels
+/// through here.
+void batch_exp_block(double* block, std::size_t k, std::size_t terms) noexcept;
+
+/// Name of the batched kernel's active ISA arm: "avx512", "avx2", "neon" or
+/// "portable". Independent of the kernel switch (the scalar kernel bypasses
+/// the table entirely).
+[[nodiscard]] const char* exp_isa_name() noexcept;
+
+/// Forces the batched kernel onto the named ISA arm ("avx512", "avx2",
+/// "neon", "portable", or "auto" to restore startup selection). Returns
+/// false — leaving the dispatch unchanged — when the name is unknown or the
+/// host CPU lacks the arm. Thread-safe (relaxed); for tests and benches.
+[[nodiscard]] bool set_exp_isa(const char* name) noexcept;
 
 /// Total exp evaluations served so far, counted per element across both
 /// kernels and all threads (relaxed atomic). Monotone; probe via deltas.
@@ -139,6 +172,18 @@ class DecayRowCache {
   /// Fills out[i] = exp(-coeff[i]·key) without touching the cache.
   void compute(double key, double* out) const noexcept;
 
+  /// Gathers the decay rows of `keys` into `out` (contiguous K-major SoA:
+  /// row j at out + j·terms()). Warm keys are copied from the cache with
+  /// zero exp evaluations; all cold keys are deduplicated and evaluated in
+  /// ONE fused `batch_exp_block` pass (then inserted, capacity permitting).
+  /// Key bit-pattern 0 (+0.0) is filled with exact 1.0 rows directly —
+  /// exp(-c·0) is 1.0 bit-exactly under both kernels — since the cache
+  /// cannot hold it. Element bits equal what per-key `row()` calls would
+  /// produce (the kernel is batch-boundary invariant). Returns the number
+  /// of unique cold keys (== exp rows actually evaluated); a fully warm
+  /// block returns 0. `out` must hold keys.size()·terms() doubles.
+  std::size_t rows_block(std::span<const double> keys, double* out);
+
   [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
@@ -146,10 +191,22 @@ class DecayRowCache {
  private:
   void grow();
 
+  /// Probe-only lookup on a key's bit pattern; never inserts, never counts.
+  [[nodiscard]] std::uint32_t find_index(std::uint64_t bits) const noexcept;
+
+  /// Inserts an already-computed row (no exp evaluations). Returns the row's
+  /// index, the existing index when the key is already present, or kNoIndex
+  /// when the key is uncacheable or the cache is full.
+  std::uint32_t insert_row(double key, const double* row);
+
   std::vector<double> coeffs_;
   std::vector<std::uint64_t> slot_keys_;  ///< key bit patterns; 0 == empty
   std::vector<std::uint32_t> slot_rows_;  ///< row index per slot
   std::vector<double> rows_;              ///< entries_ rows of terms() doubles
+  std::vector<double> block_scratch_;     ///< rows_block: cold-key lane buffer
+  std::vector<std::uint32_t> cold_;       ///< rows_block: cold key positions
+  std::vector<std::uint32_t> cold_slot_;  ///< rows_block: cold → unique-key slot
+  std::vector<std::uint32_t> cold_unique_;  ///< rows_block: first-occurrence keys
   std::size_t entries_ = 0;
   std::size_t max_entries_ = 0;
   std::uint64_t hits_ = 0;

@@ -144,6 +144,49 @@ TEST(Annealing, SingleTaskGraph) {
   EXPECT_EQ(r.schedule.assignment[0], 1u);  // slow point fits and wins
 }
 
+TEST(Annealing, BlockWidthNeverChangesTheTrajectory) {
+  // The block-speculation rewrite prices proposals K at a time but must
+  // replay the *exact* legacy trajectory: for any block_proposals cap —
+  // including 1, which disables speculation entirely — every field of the
+  // result is bit-identical, under both exp kernels and with segment
+  // reversal on and off. evaluations reports the sequential count, so it
+  // may not drift with the cap either.
+  util::Rng rng(31);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  const auto g = graph::make_series_parallel(14, synth, rng);
+  const double d =
+      g.column_time(0) + 0.6 * (g.column_time(g.num_design_points() - 1) - g.column_time(0));
+
+  const auto saved_kernel = util::fastmath::exp_kernel();
+  for (const auto kernel :
+       {util::fastmath::ExpKernel::Batched, util::fastmath::ExpKernel::Scalar}) {
+    util::fastmath::set_exp_kernel(kernel);
+    for (const bool reversal : {false, true}) {
+      AnnealingOptions base;
+      base.iterations = 3000;
+      base.seed = 77;
+      base.segment_reversal = reversal;
+      base.block_proposals = 1;
+      const auto ref = schedule_annealing(g, d, kModel, base);
+      ASSERT_TRUE(ref.feasible) << ref.error;
+      for (const std::size_t cap : {std::size_t{2}, std::size_t{8}, std::size_t{64}}) {
+        AnnealingOptions opts = base;
+        opts.block_proposals = cap;
+        const auto r = schedule_annealing(g, d, kModel, opts);
+        ASSERT_TRUE(r.feasible) << r.error;
+        EXPECT_EQ(r.sigma, ref.sigma) << "cap=" << cap << " reversal=" << reversal;
+        EXPECT_EQ(r.duration, ref.duration) << "cap=" << cap;
+        EXPECT_EQ(r.energy, ref.energy) << "cap=" << cap;
+        EXPECT_EQ(r.schedule.sequence, ref.schedule.sequence) << "cap=" << cap;
+        EXPECT_EQ(r.schedule.assignment, ref.schedule.assignment) << "cap=" << cap;
+        EXPECT_EQ(r.evaluations, ref.evaluations) << "cap=" << cap;
+      }
+    }
+  }
+  util::fastmath::set_exp_kernel(saved_kernel);
+}
+
 TEST(Annealing, Validation) {
   const auto g = graph::make_g2();
   EXPECT_THROW((void)schedule_annealing(g, 0.0, kModel), std::invalid_argument);

@@ -1,0 +1,108 @@
+/// The B&B walk visitor's leaf fan (peek_extend_block over all surviving
+/// depth-(n−1) children) must be unobservable in every output: incumbent σ
+/// and schedule, found/aborted flags, and all node/prune counters equal the
+/// sequential extend-σ-pop path — including on runs truncated mid-search by
+/// the node budget. Only the evaluator's raw evaluations() counter may
+/// drift (< num_design_points) on a truncated run, so it is deliberately
+/// NOT compared here.
+#include "basched/baselines/bnb_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/core/order_tree.hpp"
+#include "basched/core/schedule_evaluator.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::baselines::detail {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph random_graph(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  switch (seed % 3) {
+    case 0:
+      return graph::make_chain(n, synth, rng);
+    case 1:
+      return graph::make_series_parallel(n, synth, rng);
+    default:
+      return graph::make_layered_random(3, (n + 2) / 3, 0.4, synth, rng);
+  }
+}
+
+BnbWalkVisitor run_walk(const graph::TaskGraph& g, double deadline, std::uint64_t max_nodes,
+                        bool fan) {
+  core::ScheduleEvaluator eval(g, kModel);
+  core::OrderTreeWalker walker(g, eval);
+  BnbWalkVisitor v;
+  v.deadline = deadline;
+  v.max_nodes = max_nodes;
+  v.leaf_fan = fan;
+  (void)walker.walk(v);
+  return v;
+}
+
+void expect_identical(const BnbWalkVisitor& fan, const BnbWalkVisitor& seq,
+                      const std::string& ctx) {
+  EXPECT_EQ(fan.found, seq.found) << ctx;
+  EXPECT_EQ(fan.aborted, seq.aborted) << ctx;
+  EXPECT_EQ(fan.nan_sigma, seq.nan_sigma) << ctx;
+  EXPECT_EQ(fan.best_sigma, seq.best_sigma) << ctx;  // bitwise, incl. +inf
+  EXPECT_EQ(fan.best.sequence, seq.best.sequence) << ctx;
+  EXPECT_EQ(fan.best.assignment, seq.best.assignment) << ctx;
+  EXPECT_EQ(fan.stats.nodes_visited, seq.stats.nodes_visited) << ctx;
+  EXPECT_EQ(fan.stats.pruned_deadline, seq.stats.pruned_deadline) << ctx;
+  EXPECT_EQ(fan.stats.pruned_sigma, seq.stats.pruned_sigma) << ctx;
+}
+
+TEST(BnbWalk, LeafFanMatchesSequentialWalkOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = random_graph(seed, 7 + seed % 3);
+    const double lo = g.column_time(0);
+    const double hi = g.column_time(g.num_design_points() - 1);
+    for (const double frac : {0.3, 0.7, 1.0}) {
+      const double deadline = lo + frac * (hi - lo);
+      const auto fan = run_walk(g, deadline, std::numeric_limits<std::uint64_t>::max(), true);
+      const auto seq = run_walk(g, deadline, std::numeric_limits<std::uint64_t>::max(), false);
+      expect_identical(fan, seq,
+                       "seed=" + std::to_string(seed) + " frac=" + std::to_string(frac));
+      if (frac == 1.0) {
+        EXPECT_TRUE(fan.found);  // slowest-everywhere fits
+      }
+    }
+  }
+}
+
+TEST(BnbWalk, LeafFanMatchesSequentialWalkWhenBudgetTruncates) {
+  // Truncation can hit mid-fan: the fan has already block-priced lanes the
+  // sequential path never reaches, but every *observable* output — the
+  // incumbent at abort, node/prune counters, the aborted flag — must agree.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 8);
+    const double deadline = g.column_time(g.num_design_points() - 1);
+    for (const std::uint64_t budget : {5u, 23u, 101u, 517u}) {
+      const auto fan = run_walk(g, deadline, budget, true);
+      const auto seq = run_walk(g, deadline, budget, false);
+      expect_identical(fan, seq,
+                       "seed=" + std::to_string(seed) + " budget=" + std::to_string(budget));
+    }
+  }
+}
+
+TEST(BnbWalk, InfeasibleDeadlinePrunesEverythingIdentically) {
+  const auto g = random_graph(2, 7);
+  const auto fan = run_walk(g, g.column_time(0) * 0.5, 1u << 20, true);
+  const auto seq = run_walk(g, g.column_time(0) * 0.5, 1u << 20, false);
+  expect_identical(fan, seq, "infeasible");
+  EXPECT_FALSE(fan.found);
+}
+
+}  // namespace
+}  // namespace basched::baselines::detail

@@ -1,0 +1,232 @@
+/// Block-peek equivalence suite: the SoA block entry points
+/// (peek_swap_adjacent_block, peek_replace_block, peek_extend_block) must
+/// produce the *same bits* as their scalar twins on every battery model —
+/// the RV path by construction (same reduction expressions over rows from
+/// the same kernel, which is batch-boundary invariant), every other model by
+/// per-candidate fallback. Duplicate and overlapping positions inside one
+/// block are legal (lanes price independently against the unchanged prefix)
+/// and covered explicitly. Probe tests pin warm blocks to O(terms) exps.
+#include "basched/core/schedule_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/ideal.hpp"
+#include "basched/battery/kibam.hpp"
+#include "basched/battery/peukert.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/fastmath.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::core {
+namespace {
+
+graph::TaskGraph random_graph(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  switch (seed % 3) {
+    case 0:
+      return graph::make_chain(n, synth, rng);
+    case 1:
+      return graph::make_series_parallel(n, synth, rng);
+    default:
+      return graph::make_layered_random(3, (n + 2) / 3, 0.4, synth, rng);
+  }
+}
+
+Schedule random_schedule(const graph::TaskGraph& g, util::Rng& rng) {
+  Schedule s;
+  s.sequence = baselines::random_topological_order(g, rng);
+  s.assignment.resize(g.num_tasks());
+  for (auto& col : s.assignment) col = rng.pick_index(g.num_design_points());
+  return s;
+}
+
+std::vector<std::unique_ptr<battery::BatteryModel>> all_models() {
+  std::vector<std::unique_ptr<battery::BatteryModel>> models;
+  models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.273));
+  models.push_back(std::make_unique<battery::RakhmatovVrudhulaModel>(0.6, 5));
+  models.push_back(std::make_unique<battery::KibamModel>(0.5, 0.1, 5.0e6));
+  models.push_back(std::make_unique<battery::PeukertModel>(1.2, 500.0));
+  models.push_back(std::make_unique<battery::IdealModel>());
+  return models;
+}
+
+/// Blocks with deliberate duplicates and overlaps: every position appears,
+/// position 0 three times, and (for swaps) adjacent pairs overlap — lane
+/// independence means repeats must price to the identical bits.
+std::vector<std::size_t> overlapping_positions(std::size_t n_positions, util::Rng& rng) {
+  std::vector<std::size_t> pos;
+  for (std::size_t p = 0; p < n_positions; ++p) pos.push_back(p);
+  pos.push_back(0);
+  pos.push_back(0);
+  for (int i = 0; i < 5; ++i) pos.push_back(rng.pick_index(n_positions));
+  return pos;
+}
+
+TEST(ScheduleEvaluatorBlock, SwapBlockMatchesScalarPeeksAllModels) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 7 + seed % 4);
+    util::Rng rng(seed * 11 + 3);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      const Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      const std::vector<std::size_t> pos = overlapping_positions(g.num_tasks() - 1, rng);
+      std::vector<double> sigmas(pos.size());
+      eval.peek_swap_adjacent_block(pos, sigmas);
+      for (std::size_t j = 0; j < pos.size(); ++j) {
+        EXPECT_EQ(sigmas[j], eval.peek_swap_adjacent(pos[j]))
+            << model->name() << " seed=" << seed << " lane=" << j << " pos=" << pos[j];
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluatorBlock, ReplaceBlockMatchesScalarPeeksAllModels) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 7 + seed % 4);
+    util::Rng rng(seed * 17 + 5);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      const Schedule s = random_schedule(g, rng);
+      (void)eval.full_eval(s);
+      std::vector<ScheduleEvaluator::ReplaceCandidate> cands;
+      for (const std::size_t p : overlapping_positions(g.num_tasks(), rng)) {
+        const std::size_t col = rng.pick_index(g.num_design_points());
+        const auto& pt = g.task(s.sequence[p]).point(col);
+        cands.push_back({p, pt.duration, pt.current});
+        // Same position, non-catalog interval: replace accepts arbitrary
+        // (duration, current) pairs, blocks must too.
+        cands.push_back({p, pt.duration * 1.25 + 0.5, pt.current * 0.75 + 0.1});
+      }
+      std::vector<double> sigmas(cands.size());
+      eval.peek_replace_block(cands, sigmas);
+      for (std::size_t j = 0; j < cands.size(); ++j) {
+        EXPECT_EQ(sigmas[j],
+                  eval.peek_replace(cands[j].pos, cands[j].duration, cands[j].current))
+            << model->name() << " seed=" << seed << " lane=" << j;
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluatorBlock, ExtendBlockMatchesExtendSigmaPopAllModels) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = random_graph(seed, 8);
+    util::Rng rng(seed * 23 + 7);
+    const Schedule s = random_schedule(g, rng);
+    for (const auto& model : all_models()) {
+      ScheduleEvaluator eval(g, *model);
+      // Price the leaf fan at every prefix depth, including the empty prefix:
+      // all catalog columns of the next task, plus a duplicate lane of col 0.
+      for (std::size_t depth = 0; depth < g.num_tasks(); ++depth) {
+        const graph::TaskId next = s.sequence[depth];
+        std::vector<ScheduleEvaluator::ExtendCandidate> cands;
+        for (std::size_t col = 0; col < g.num_design_points(); ++col) {
+          const auto& pt = g.task(next).point(col);
+          cands.push_back({pt.duration, pt.current});
+        }
+        cands.push_back(cands.front());  // duplicate lane
+        std::vector<double> sigmas(cands.size());
+        eval.peek_extend_block(cands, sigmas);
+        // Reference: actually extend with the lane's column, read σ, pop.
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+          const std::size_t col = j < g.num_design_points() ? j : 0;
+          eval.extend(next, col);
+          EXPECT_EQ(sigmas[j], eval.prefix_sigma())
+              << model->name() << " seed=" << seed << " depth=" << depth << " lane=" << j;
+          eval.pop();
+        }
+        eval.extend(next, s.assignment[next]);
+      }
+    }
+  }
+}
+
+TEST(ScheduleEvaluatorBlock, WarmSwapBlockStaysUnderTwoTermsExps) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(2, 12);
+  util::Rng rng(99);
+  const Schedule s = random_schedule(g, rng);
+  ScheduleEvaluator eval(g, model);
+  (void)eval.full_eval(s);
+
+  std::vector<std::size_t> pos;
+  for (std::size_t p = 0; p + 1 < g.num_tasks(); ++p) pos.push_back(p);
+  std::vector<double> sigmas(pos.size());
+  eval.peek_swap_adjacent_block(pos, sigmas);  // warms the peek-row cache
+
+  const std::uint64_t before = util::fastmath::exp_evaluations();
+  eval.peek_swap_adjacent_block(pos, sigmas);
+  const std::uint64_t spent = util::fastmath::exp_evaluations() - before;
+  EXPECT_LE(spent, 2u * static_cast<std::uint64_t>(model.terms()));
+}
+
+TEST(ScheduleEvaluatorBlock, WarmReplaceBlockStaysUnderTwoTermsExps) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(4, 12);
+  util::Rng rng(7);
+  const Schedule s = random_schedule(g, rng);
+  ScheduleEvaluator eval(g, model);
+  (void)eval.full_eval(s);
+
+  std::vector<ScheduleEvaluator::ReplaceCandidate> cands;
+  for (std::size_t p = 0; p < g.num_tasks(); ++p) {
+    const auto& pt = g.task(s.sequence[p]).point(0);
+    cands.push_back({p, pt.duration, pt.current});
+  }
+  std::vector<double> sigmas(cands.size());
+  eval.peek_replace_block(cands, sigmas);  // warm
+
+  const std::uint64_t before = util::fastmath::exp_evaluations();
+  eval.peek_replace_block(cands, sigmas);
+  const std::uint64_t spent = util::fastmath::exp_evaluations() - before;
+  EXPECT_LE(spent, 2u * static_cast<std::uint64_t>(model.terms()));
+}
+
+TEST(ScheduleEvaluatorBlock, BlockPeeksValidatePositionsBeforePricing) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(1, 6);
+  util::Rng rng(3);
+  const Schedule s = random_schedule(g, rng);
+  ScheduleEvaluator eval(g, model);
+  (void)eval.full_eval(s);
+
+  const std::size_t n = g.num_tasks();
+  {
+    const std::vector<std::size_t> bad = {0, n - 1};  // n-1 has no right neighbour
+    std::vector<double> sigmas(bad.size());
+    EXPECT_THROW(eval.peek_swap_adjacent_block(bad, sigmas), std::out_of_range);
+  }
+  {
+    const std::vector<ScheduleEvaluator::ReplaceCandidate> bad = {{n, 1.0, 1.0}};
+    std::vector<double> sigmas(bad.size());
+    EXPECT_THROW(eval.peek_replace_block(bad, sigmas), std::out_of_range);
+  }
+}
+
+TEST(ScheduleEvaluatorBlock, BlockPeeksCountOneEvaluationPerLane) {
+  const battery::RakhmatovVrudhulaModel model(0.273);
+  const auto g = random_graph(5, 9);
+  util::Rng rng(21);
+  const Schedule s = random_schedule(g, rng);
+  ScheduleEvaluator eval(g, model);
+  (void)eval.full_eval(s);
+
+  const std::uint64_t before = eval.evaluations();
+  const std::vector<std::size_t> pos = {0, 1, 2, 0};
+  std::vector<double> sigmas(pos.size());
+  eval.peek_swap_adjacent_block(pos, sigmas);
+  EXPECT_EQ(eval.evaluations() - before, pos.size());
+}
+
+}  // namespace
+}  // namespace basched::core

@@ -98,6 +98,34 @@ TEST(basched_lint, usage_and_missing_path_exit_two) {
   EXPECT_EQ(run_lint(fixtures("does_not_exist")).exit_code, 2);
 }
 
+TEST(basched_lint, repo_root_scratch_files_are_rejected) {
+  // root_bad/: a zero-byte r1.json (debugging leftover) and a non-BENCH_
+  // out.json must both fire root-scratch; BENCH_ok.json and the dotfile are
+  // sanctioned. Immediate children only — no recursion.
+  const LintRun r = run_lint("--repo-root " + fixtures("root_bad"));
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_TRUE(has_line(r.out, "root_bad/r1.json:1: root-scratch:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "root_bad/out.json:1: root-scratch:")) << r.out;
+  EXPECT_EQ(r.out.find("BENCH_ok.json"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find(".scratchrc"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("2 violation(s)"), std::string::npos) << r.out;
+}
+
+TEST(basched_lint, repo_root_clean_exits_zero) {
+  const LintRun r = run_lint("--repo-root " + fixtures("root_clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("0 violation(s)"), std::string::npos) << r.out;
+}
+
+TEST(basched_lint, repo_root_missing_directory_exits_two) {
+  EXPECT_EQ(run_lint("--repo-root " + fixtures("does_not_exist")).exit_code, 2);
+}
+
+TEST(basched_lint, real_repo_root_is_clean) {
+  const LintRun r = run_lint("--repo-root " + std::string(BASCHED_SOURCE_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
 TEST(basched_lint, real_library_sources_are_clean) {
   // The ctest lint_basched_src gate runs this same invocation from CMake;
   // duplicating it here keeps `ctest -R lint` meaningful even when filtered

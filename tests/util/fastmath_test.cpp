@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "basched/util/rng.hpp"
@@ -165,6 +166,154 @@ TEST(Fastmath, DecayRowCacheServesWarmKeysWithoutExpEvaluations) {
   EXPECT_EQ(exp_evaluations(), before);  // all hits, zero exps
   EXPECT_EQ(cache.hits(), 10u);
   EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(Fastmath, BatchExpBlockMatchesPerRowBatchExpBitwise) {
+  KernelGuard guard;
+  for (const ExpKernel kernel : {ExpKernel::Batched, ExpKernel::Scalar}) {
+    set_exp_kernel(kernel);
+    util::Rng rng(17);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      for (const std::size_t terms : {std::size_t{1}, std::size_t{5}, std::size_t{10}}) {
+        std::vector<double> block(k * terms);
+        for (auto& x : block) x = -60.0 * rng.next_double();
+        block[0] = -745.5;  // one denormal-tail lane through the fixup
+        std::vector<double> rows = block;
+        batch_exp_block(block.data(), k, terms);
+        for (std::size_t j = 0; j < k; ++j) {
+          batch_exp(std::span<double>(rows.data() + j * terms, terms));
+        }
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          EXPECT_EQ(block[i], rows[i])
+              << exp_kernel_name() << " k=" << k << " terms=" << terms << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fastmath, BatchExpBlockCountsEveryLane) {
+  double block[12];
+  for (double& x : block) x = -1.5;
+  const std::uint64_t before = exp_evaluations();
+  batch_exp_block(block, 3, 4);
+  EXPECT_EQ(exp_evaluations() - before, 12u);
+  batch_exp_block(block, 0, 4);  // empty block counts nothing
+  batch_exp_block(block, 3, 0);
+  EXPECT_EQ(exp_evaluations() - before, 12u);
+}
+
+TEST(Fastmath, IsaDispatchRoundTripsAndRejectsUnknownArms) {
+  const std::string startup = exp_isa_name();
+  EXPECT_FALSE(set_exp_isa("mmx"));
+  EXPECT_FALSE(set_exp_isa(""));
+  EXPECT_STREQ(exp_isa_name(), startup.c_str());  // failed sets leave it alone
+
+  ASSERT_TRUE(set_exp_isa("portable"));
+  EXPECT_STREQ(exp_isa_name(), "portable");
+  ASSERT_TRUE(set_exp_isa("auto"));
+  EXPECT_STREQ(exp_isa_name(), startup.c_str());
+}
+
+TEST(Fastmath, IsaArmsAgreeBitwiseWhereSupported) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Batched);
+  const std::string startup = exp_isa_name();
+  const std::vector<double> args = series_arguments();
+
+  ASSERT_TRUE(set_exp_isa("portable"));
+  std::vector<double> portable = args;
+  batch_exp(portable);
+
+  // Every arm the host supports must agree with the portable arm to ≤1 ulp
+  // (same polynomial, same fixup; only the vector width differs) — and SIMD
+  // siblings (avx2 vs avx512) must agree with each other bit-for-bit.
+  for (const char* arm : {"avx2", "avx512", "neon"}) {
+    if (!set_exp_isa(arm)) continue;  // host lacks this arm
+    std::vector<double> got = args;
+    batch_exp(got);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (std::isnan(portable[i])) {
+        EXPECT_TRUE(std::isnan(got[i])) << arm << " x=" << args[i];
+        continue;
+      }
+      if (std::isinf(portable[i])) {
+        EXPECT_EQ(got[i], portable[i]) << arm << " x=" << args[i];
+        continue;
+      }
+      EXPECT_NEAR(got[i], portable[i],
+                  std::abs(portable[i]) * std::numeric_limits<double>::epsilon())
+          << arm << " x=" << args[i];
+    }
+  }
+  ASSERT_TRUE(set_exp_isa("auto"));
+  EXPECT_STREQ(exp_isa_name(), startup.c_str());
+}
+
+TEST(Fastmath, IsaSwitchDoesNotAffectScalarKernel) {
+  KernelGuard guard;
+  set_exp_kernel(ExpKernel::Scalar);
+  if (!set_exp_isa("portable")) GTEST_SKIP();
+  double x = -3.25;
+  batch_exp(std::span<double>(&x, 1));
+  EXPECT_EQ(x, std::exp(-3.25));  // scalar kernel is libm regardless of arm
+  ASSERT_TRUE(set_exp_isa("auto"));
+}
+
+TEST(Fastmath, RowsBlockMatchesPerKeyRowsBitwise) {
+  const double beta_sq = 0.273 * 0.273;
+  std::vector<double> coeffs;
+  for (int m = 1; m <= 10; ++m) coeffs.push_back(beta_sq * m * m);
+  const std::size_t terms = coeffs.size();
+  util::Rng rng(5);
+  // Fresh caches so the block path sees the same cold/warm state as the
+  // per-key reference.
+  DecayRowCache block_cache(coeffs, 64);
+  DecayRowCache row_cache(coeffs, 64);
+  std::vector<double> scratch(terms);
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<double> keys;
+    for (int j = 0; j < 6; ++j) keys.push_back(0.01 + 30.0 * rng.next_double());
+    keys.push_back(keys[1]);  // duplicate cold key inside one block
+    keys.push_back(0.0);      // the uncacheable +0.0 key
+    std::vector<double> out(keys.size() * terms);
+    (void)block_cache.rows_block(keys, out.data());
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      const double* row = row_cache.row(keys[j], scratch.data());
+      for (std::size_t i = 0; i < terms; ++i) {
+        EXPECT_EQ(out[j * terms + i], row[i]) << "rep=" << rep << " j=" << j << " i=" << i;
+      }
+    }
+  }
+  EXPECT_EQ(block_cache.entries(), row_cache.entries());
+}
+
+TEST(Fastmath, RowsBlockReturnsUniqueColdCountAndDedupes) {
+  std::vector<double> coeffs{0.1, 0.2, 0.3};
+  DecayRowCache cache(coeffs, 16);
+  const std::size_t terms = coeffs.size();
+
+  // 5 lanes, 2 unique cold keys (2.0 appears three times), one +0.0 lane.
+  const std::vector<double> keys{2.0, 3.0, 2.0, 0.0, 2.0};
+  std::vector<double> out(keys.size() * terms);
+  const std::uint64_t before = exp_evaluations();
+  EXPECT_EQ(cache.rows_block(keys, out.data()), 2u);
+  // Deduplication: exactly unique_cold·terms exp lanes, repeats are copies.
+  EXPECT_EQ(exp_evaluations() - before, 2u * terms);
+  for (std::size_t i = 0; i < terms; ++i) {
+    EXPECT_EQ(out[3 * terms + i], 1.0);               // +0.0 row is exact ones
+    EXPECT_EQ(out[0 * terms + i], out[2 * terms + i]);  // duplicate lanes match
+    EXPECT_EQ(out[0 * terms + i], out[4 * terms + i]);
+  }
+
+  // Re-gathering the same block is fully warm: zero cold keys, zero exps.
+  const std::uint64_t warm_before = exp_evaluations();
+  EXPECT_EQ(cache.rows_block(keys, out.data()), 0u);
+  EXPECT_EQ(exp_evaluations(), warm_before);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Empty block is a no-op.
+  EXPECT_EQ(cache.rows_block(std::span<const double>(), out.data()), 0u);
 }
 
 TEST(Fastmath, DecayRowCacheCapsInsertionsButStaysCorrect) {

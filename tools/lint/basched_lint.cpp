@@ -29,6 +29,12 @@
 ///   pragma-once     every header carries `#pragma once`.
 ///   include-direct  a header using a std:: symbol must include its standard
 ///                   header directly (self-containment; no transitive rides).
+///   root-scratch    (only with --repo-root DIR) scratch files at the repo
+///                   root: zero-byte files, and .json files that are not
+///                   committed BENCH_*.json snapshots. Debugging leftovers
+///                   (r1.json, out.json, ...) land at the root and then ride
+///                   into commits silently; the snapshot naming convention is
+///                   the only sanctioned root-level JSON.
 ///
 /// Escape hatch: a comment `basched-lint: allow(<rule>) <justification>` on
 /// the offending line or the line directly above suppresses that rule there.
@@ -546,15 +552,56 @@ bool wanted_file(const fs::path& p) {
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
 }
 
+/// root-scratch: immediate children of the repo root only (no recursion —
+/// build trees and source dirs have their own conventions). Directories are
+/// never flagged.
+void lint_repo_root(const std::string& root, Report& report) {
+  std::error_code ec;
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(root, ec))
+    if (entry.is_regular_file()) entries.push_back(entry.path());
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& p : entries) {
+    const std::string name = p.filename().string();
+    if (!name.empty() && name.front() == '.') continue;  // dotfiles are config
+    std::error_code size_ec;
+    const auto size = fs::file_size(p, size_ec);
+    if (!size_ec && size == 0) {
+      report.violations.push_back(
+          {p.string(), 1, "root-scratch",
+           "zero-byte file at the repo root — debugging leftover? delete it or move it "
+           "where it belongs"});
+      continue;
+    }
+    if (p.extension() == ".json" && name.compare(0, 6, "BENCH_") != 0) {
+      report.violations.push_back(
+          {p.string(), 1, "root-scratch",
+           "root-level JSON that is not a committed BENCH_*.json snapshot — scratch "
+           "output? delete it or write it under /tmp"});
+    }
+  }
+  ++report.files;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: basched_lint <dir-or-file>...\n");
+    std::fprintf(stderr, "usage: basched_lint [--repo-root DIR] <dir-or-file>...\n");
     return 2;
   }
   std::vector<std::string> files;
+  std::vector<std::string> repo_roots;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repo-root") == 0 && i + 1 < argc) {
+      std::error_code root_ec;
+      if (!fs::is_directory(argv[i + 1], root_ec)) {
+        std::fprintf(stderr, "basched_lint: --repo-root: no such directory: %s\n", argv[i + 1]);
+        return 2;
+      }
+      repo_roots.emplace_back(argv[++i]);
+      continue;
+    }
     std::error_code ec;
     const fs::path root(argv[i]);
     if (fs::is_regular_file(root, ec)) {
@@ -578,6 +625,7 @@ int main(int argc, char** argv) {
   Report report;
   for (const std::string& f : files)
     if (!lint_file(f, report)) return 2;
+  for (const std::string& root : repo_roots) lint_repo_root(root, report);
 
   for (const auto& [f, reason] : report.suppressed)
     std::printf("%s:%zu: allowed: %s (%s)\n", f.path.c_str(), f.line, f.rule.c_str(),
