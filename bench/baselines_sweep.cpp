@@ -61,7 +61,7 @@ int main() {
     auto opt = baselines::schedule_exhaustive(inst.graph, inst.deadline, model);
     // A budget-truncated walk is a best-found, not a proven optimum — show
     // the instance as intractable rather than mislabel the column.
-    if (opt && opt->truncated) opt = std::nullopt;
+    if (opt && opt->truncated()) opt = std::nullopt;
     table.add_row({inst.name, cell(ours.feasible, ours.sigma), cell(dp.feasible, dp.sigma),
                    cell(ch.feasible, ch.sigma), cell(sa.feasible, sa.sigma),
                    cell(rnd.feasible, rnd.sigma),

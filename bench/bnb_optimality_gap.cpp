@@ -43,7 +43,7 @@ int main() {
   for (auto& inst : insts) {
     baselines::BnbStats stats;
     const auto opt = baselines::schedule_branch_and_bound(inst.g, inst.deadline, model, {}, &stats);
-    if (!opt.feasible || opt.truncated) {  // a truncated σ is not an optimum to gap against
+    if (!opt.feasible || opt.truncated()) {  // a truncated σ is not an optimum to gap against
       table.add_row({inst.name, "-", "-", "-", "-", "-", "-", "-"});
       continue;
     }

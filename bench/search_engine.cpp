@@ -532,7 +532,7 @@ Result bench_parallel_bnb(const battery::BatteryModel& model, unsigned jobs, dou
   const auto solve = [&](analysis::Executor& executor) {
     const auto res =
         baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor);
-    return res.feasible && !res.truncated ? res.sigma : -1.0;
+    return res.feasible && !res.truncated() ? res.sigma : -1.0;
   };
   const double sigma_serial = solve(serial);
   const double sigma_parallel = solve(parallel);

@@ -21,6 +21,19 @@
 ///    socket numbers are runner-dependent, so bench_diff reports this row as
 ///    info and gates only its accuracy (byte-identity of repeated payloads).
 ///
+///  * `serve_deadline` — budgeted requests over the socket: branch-and-bound
+///    on a graph far too large to finish, with a small `timeout_ms`. Extra
+///    fields count `timeouts` (responses reporting stop_reason deadline) and
+///    `cancels`; `deadline_hit` is the fraction of requests whose budget
+///    tripped. "max_rel_err" is the anytime-contract check: 0 only when
+///    every response arrived within timeout + grace AND carried a feasible
+///    best-so-far schedule. Wall-clock dependent, so bench_diff reports it
+///    as info and gates only that contract bit.
+///
+/// Overloaded responses (never expected with one connection, but possible
+/// in principle) are retried through serve::Backoff, honoring the server's
+/// retry_after_ms hint — the same helper the fault-injection tests use.
+///
 /// Flags: --quick (shorter timing windows), --out <path> (default
 /// BENCH_serve.json).
 #include <sys/socket.h>
@@ -28,6 +41,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,8 +56,10 @@
 #include "basched/graph/generators.hpp"
 #include "basched/graph/io.hpp"
 #include "basched/serve/json.hpp"
+#include "basched/serve/retry.hpp"
 #include "basched/serve/server.hpp"
 #include "basched/serve/service.hpp"
+#include "basched/serve/socket_io.hpp"
 #include "basched/util/rng.hpp"
 
 namespace {
@@ -61,6 +77,9 @@ struct Result {
   std::uint64_t requests = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  std::uint64_t timeouts = 0;  ///< responses with stop_reason "deadline"
+  std::uint64_t cancels = 0;   ///< responses with stop_reason "cancelled"
+  double deadline_hit = 0.0;   ///< fraction of requests whose budget tripped
 };
 
 double seconds_since(Clock::time_point t0) {
@@ -140,18 +159,45 @@ Result bench_serve_warm(const std::string& graph_text, double budget_s) {
   return r;
 }
 
-/// One blocking JSON-lines round trip on a connected fd.
+/// One blocking JSON-lines round trip on a connected fd, through the
+/// fault-injection shim (so BASCHED_FAULT also exercises this client).
 std::string round_trip(int fd, const std::string& line) {
   const std::string framed = line + "\n";
-  if (::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL) !=
-      static_cast<ssize_t>(framed.size())) {
+  if (!serve::sock::send_all(fd, framed)) {
     std::fprintf(stderr, "serve_latency: send failed\n");
     std::exit(1);
   }
   std::string response;
   char c = 0;
-  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+  for (;;) {
+    const auto got = serve::sock::recv_some(fd, &c, 1);
+    if (got < 0 && errno == EINTR) continue;
+    if (got != 1 || c == '\n') break;
+    response.push_back(c);
+  }
   return response;
+}
+
+/// round_trip plus the standard overloaded-retry dance: exponential backoff
+/// with full jitter, floored at the server's retry_after_ms hint.
+std::string round_trip_retry(int fd, const std::string& line, serve::Backoff& backoff) {
+  for (;;) {
+    std::string response = round_trip(fd, line);
+    const auto frame = serve::json::parse(response).as_object();
+    if (!frame.at("ok").as_bool()) {
+      const auto& err = frame.at("error").as_object();
+      if (err.at("code").as_string() == "overloaded") {
+        std::uint64_t hint_ms = 0;
+        if (const auto it = err.find("retry_after_ms"); it != err.end())
+          hint_ms = static_cast<std::uint64_t>(it->second.as_number());
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff.next_delay_ms(hint_ms)));
+        continue;
+      }
+    }
+    backoff.reset();
+    return response;
+  }
 }
 
 Result bench_serve_rtt(const std::string& graph_text, double budget_s) {
@@ -225,6 +271,117 @@ Result bench_serve_rtt(const std::string& graph_text, double budget_s) {
   return r;
 }
 
+Result bench_serve_deadline(double budget_s, std::uint64_t timeout_ms) {
+  // A graph the exact search cannot finish inside the budget: the row then
+  // measures the deadline path, not bnb throughput.
+  constexpr std::size_t kBigTasks = 20;
+  util::Rng rng(7);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  const std::string graph_text =
+      graph::serialize(graph::make_series_parallel(kBigTasks, synth, rng));
+
+  char dir_template[] = "/tmp/basched_serve_bench_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "serve_latency: mkdtemp failed\n");
+    std::exit(1);
+  }
+  const std::string socket_path = std::string(dir_template) + "/bench.sock";
+
+  serve::Service service;
+  serve::ServerOptions options;
+  options.unix_path = socket_path;
+  options.jobs = 2;
+  serve::Server server(service, options);
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "serve_latency: cannot connect to %s\n", socket_path.c_str());
+    std::exit(1);
+  }
+
+  serve::json::Object params;
+  params["graph"] = graph_text;
+  params["deadline"] = 200.0;
+  params["algorithm"] = std::string("bnb");
+  params["timeout_ms"] = static_cast<double>(timeout_ms);
+  serve::json::Object frame;
+  frame["verb"] = "schedule";
+  frame["params"] = serve::json::Value(std::move(params));
+  const std::string request = serve::json::dump(serve::json::Value(std::move(frame)));
+
+  // Warm the catalog with a fast heuristic request first, so the timed loop
+  // measures the budgeted search, not the one-time decay-cache build.
+  {
+    serve::json::Object wparams;
+    wparams["graph"] = graph_text;
+    wparams["deadline"] = 200.0;
+    serve::json::Object wframe;
+    wframe["verb"] = "schedule";
+    wframe["params"] = serve::json::Value(std::move(wparams));
+    (void)round_trip(fd, serve::json::dump(serve::json::Value(std::move(wframe))));
+  }
+
+  Result r;
+  r.n = kBigTasks;
+  r.mode = "serve_deadline";
+  // Grace covers request framing, executor handoff and the budget's
+  // amortized clock stride — generous so slow/sanitized runners don't flap.
+  const double grace_ms = 400.0;
+  serve::Backoff backoff({}, util::Rng(99));
+  std::vector<double> latencies_us;
+  bool contract_ok = true;
+  const auto t0 = Clock::now();
+  do {
+    const auto q0 = Clock::now();
+    const std::string response = round_trip_retry(fd, request, backoff);
+    const double rtt_ms = seconds_since(q0) * 1e3;
+    latencies_us.push_back(rtt_ms * 1e3);
+
+    const auto rframe = serve::json::parse(response).as_object();
+    if (!rframe.at("ok").as_bool()) {
+      contract_ok = false;
+      continue;
+    }
+    const auto& result = rframe.at("result").as_object();
+    // Anytime contract: answered within budget + grace, with a feasible
+    // best-so-far schedule (bnb seeds from the heuristic incumbent).
+    if (rtt_ms > static_cast<double>(timeout_ms) + grace_ms) contract_ok = false;
+    if (!result.at("feasible").as_bool()) contract_ok = false;
+    if (const auto it = result.find("stop_reason"); it != result.end()) {
+      if (it->second.as_string() == "deadline") ++r.timeouts;
+      if (it->second.as_string() == "cancelled") ++r.cancels;
+    }
+  } while (seconds_since(t0) < budget_s);
+
+  r.requests = latencies_us.size();
+  r.full_evals_per_sec = static_cast<double>(r.requests) / seconds_since(t0);
+  r.delta_evals_per_sec = r.full_evals_per_sec;
+  r.speedup = 1.0;
+  r.max_rel_err = contract_ok ? 0.0 : 1.0;
+  r.deadline_hit =
+      r.requests > 0 ? static_cast<double>(r.timeouts) / static_cast<double>(r.requests) : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  if (!latencies_us.empty()) {
+    const auto pct = [&latencies_us](double p) {
+      const auto idx = static_cast<std::size_t>(p * static_cast<double>(latencies_us.size() - 1));
+      return latencies_us[idx];
+    };
+    r.p50_us = pct(0.50);
+    r.p99_us = pct(0.99);
+  }
+
+  ::close(fd);
+  server.request_drain();
+  runner.join();
+  ::rmdir(dir_template);
+  return r;
+}
+
 void write_json(const std::string& path, const std::vector<Result>& results, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -232,7 +389,7 @@ void write_json(const std::string& path, const std::vector<Result>& results, boo
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"basched-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"basched-bench-serve-v2\",\n");
   std::fprintf(f, "  \"build\": \"%s\",\n",
 #ifdef NDEBUG
                "release"
@@ -248,9 +405,12 @@ void write_json(const std::string& path, const std::vector<Result>& results, boo
     std::fprintf(f,
                  "    {\"n\": %zu, \"mode\": \"%s\", \"full_evals_per_sec\": %.6g, "
                  "\"delta_evals_per_sec\": %.6g, \"speedup\": %.6g, \"max_rel_err\": %.3g, "
-                 "\"stream_len\": %llu, \"p50_us\": %.6g, \"p99_us\": %.6g}%s\n",
+                 "\"stream_len\": %llu, \"p50_us\": %.6g, \"p99_us\": %.6g, "
+                 "\"timeouts\": %llu, \"cancels\": %llu, \"deadline_hit\": %.3g}%s\n",
                  r.n, r.mode.c_str(), r.full_evals_per_sec, r.delta_evals_per_sec, r.speedup,
                  r.max_rel_err, static_cast<unsigned long long>(r.requests), r.p50_us, r.p99_us,
+                 static_cast<unsigned long long>(r.timeouts),
+                 static_cast<unsigned long long>(r.cancels), r.deadline_hit,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -285,14 +445,18 @@ int main(int argc, char** argv) {
   std::printf("serve_rtt   n=%zu  ping %.0f rt/s  sched %.0f req/s  p50 %.0fus  p99 %.0fus\n",
               results.back().n, results.back().full_evals_per_sec,
               results.back().delta_evals_per_sec, results.back().p50_us, results.back().p99_us);
+  results.push_back(bench_serve_deadline(budget_s, quick ? 20 : 40));
+  std::printf(
+      "serve_deadline n=%zu  %.1f req/s  p99 %.0fus  deadline_hit %.0f%%  contract=%s\n",
+      results.back().n, results.back().full_evals_per_sec, results.back().p99_us,
+      results.back().deadline_hit * 100.0, results.back().max_rel_err == 0.0 ? "ok" : "VIOLATED");
 
   write_json(out, results, quick);
   std::printf("wrote %s\n", out.c_str());
 
   for (const Result& r : results) {
     if (r.max_rel_err > 0.0) {
-      std::fprintf(stderr, "FAIL: %s payload not byte-identical across requests\n",
-                   r.mode.c_str());
+      std::fprintf(stderr, "FAIL: %s violated its correctness contract\n", r.mode.c_str());
       return 1;
     }
   }

@@ -9,34 +9,57 @@
 #include "basched/battery/rakhmatov_vrudhula.hpp"
 #include "basched/core/iterative_scheduler.hpp"
 #include "basched/util/csv.hpp"
+#include "basched/util/stop.hpp"
 #include "basched/util/table.hpp"
 
 namespace basched::analysis {
 
 std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,
-                                          int steps, double beta, Executor& executor) {
+                                          int steps, double beta, Executor& executor,
+                                          const util::StopToken& stop,
+                                          const util::Deadline& time_budget) {
   graph.validate();
   if (!(from > 0.0) || to < from) throw std::invalid_argument("deadline_sweep: bad range");
   if (steps < 2) throw std::invalid_argument("deadline_sweep: steps must be >= 2");
 
   return executor.map(static_cast<std::size_t>(steps), [&](std::size_t i) {
+    // Sweep points are all-or-nothing (see the header): check the budget
+    // between algorithm runs and abort by throwing; the executor rethrows
+    // the lowest-index failure after the batch drains. Stride 1: a handful
+    // of checks per item, each worth a clock read.
+    util::RunBudget budget(stop, time_budget, 1);
+    const auto check = [&budget] {
+      if (budget.expired()) {
+        if (budget.reason() == util::StopReason::cancelled) throw util::OperationCancelled();
+        throw util::DeadlineExceeded();
+      }
+    };
     // Each work item owns its model: construction is trivial and the
     // instances stay independent across threads.
     const battery::RakhmatovVrudhulaModel model(beta);
     DeadlinePoint p;
     p.deadline = from + (to - from) * static_cast<double>(i) / (steps - 1);
+    check();
     const auto ours = core::schedule_battery_aware(graph, p.deadline, model);
     p.ours_feasible = ours.feasible;
     p.ours_sigma = ours.sigma;
     p.ours_energy = ours.energy;
+    check();
     const auto dp = baselines::schedule_rv_dp(graph, p.deadline, model);
     p.rvdp_feasible = dp.feasible;
     p.rvdp_sigma = dp.sigma;
+    check();
     const auto ch = baselines::schedule_chowdhury(graph, p.deadline, model);
     p.chowdhury_feasible = ch.feasible;
     p.chowdhury_sigma = ch.sigma;
     return p;
   });
+}
+
+std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,
+                                          int steps, double beta, Executor& executor) {
+  return deadline_sweep(graph, from, to, steps, beta, executor, util::StopToken(),
+                        util::Deadline::never());
 }
 
 std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph, double from, double to,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "basched/graph/task_graph.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::analysis {
 
@@ -37,6 +38,20 @@ struct DeadlinePoint {
 [[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,
                                                         double from, double to, int steps,
                                                         double beta, Executor& executor);
+
+/// Budgeted variant. A sweep table is all-or-nothing — a ragged partial
+/// table would silently misrepresent the curve — so instead of anytime
+/// semantics the run *aborts* when the budget expires: work items check the
+/// token/deadline between algorithm runs and throw util::DeadlineExceeded /
+/// util::OperationCancelled, which the executor rethrows from the
+/// lowest-index item after the batch drains (deterministic abort, no ragged
+/// output). Inert token + Deadline::never() make this identical to the
+/// unbudgeted overload.
+[[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,
+                                                        double from, double to, int steps,
+                                                        double beta, Executor& executor,
+                                                        const util::StopToken& stop,
+                                                        const util::Deadline& time_budget);
 
 /// Serial convenience overload (equivalent to an Executor with jobs == 1).
 [[nodiscard]] std::vector<DeadlinePoint> deadline_sweep(const graph::TaskGraph& graph,

@@ -11,6 +11,7 @@
 #include "basched/util/assert.hpp"
 #include "basched/util/fastmath.hpp"
 #include "basched/util/rng.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -156,8 +157,19 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
   std::vector<double> swap_sigmas, bump_sigmas, lane_sigma;
   std::uint64_t seq_evals = 1;  // the initial full_eval; see best.evaluations below
 
+  // Anytime budget: checked at block boundaries (a block is at most
+  // `max_block` proposals, so the check granularity is a handful of O(terms)
+  // peeks). The check consumes no RNG draws and mutates no search state, so
+  // an expiring budget truncates the fixed-seed trajectory without
+  // perturbing it — and an inactive budget costs one predictable branch.
+  util::RunBudget budget(options.stop, options.time_budget);
+
   int it = 0;
   while (it < options.iterations) {
+    if (budget.expired()) {
+      best.stop_reason = budget.reason();
+      break;
+    }
     // --- Speculate: decode ahead on a throwaway RNG copy. ---
     util::Rng spec = rng;
     lanes.clear();
@@ -285,7 +297,9 @@ ScheduleResult schedule_annealing(const graph::TaskGraph& graph, double deadline
     }
   }
 
-  best.nodes_explored = static_cast<std::uint64_t>(options.iterations);
+  // `it` proposals actually ran — equals options.iterations unless the
+  // anytime budget cut the run short.
+  best.nodes_explored = static_cast<std::uint64_t>(it);
   // Sequential-equivalent evaluation count: the block path wastes lanes on
   // mispredicted (accepted) proposals, so the evaluator's own counter would
   // depend on block size; this one is invariant and equals the pre-block

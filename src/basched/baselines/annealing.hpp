@@ -23,6 +23,7 @@
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::util::fastmath {
 class DecayRowCache;
@@ -59,6 +60,18 @@ struct AnnealingOptions {
   /// cost no transcendental work once the peek-row cache is warm, so
   /// misprediction is cheap.
   std::size_t block_proposals = 8;
+
+  /// Cooperative cancellation: when the token fires, the run stops at the
+  /// next iteration boundary and returns its best incumbent with
+  /// `StopReason::cancelled`. A default token never fires.
+  util::StopToken stop;
+
+  /// Wall-clock budget (monotonic). Named `time_budget` — `deadline` is the
+  /// schedule-makespan parameter throughout this codebase. On expiry the run
+  /// returns its best incumbent with `StopReason::deadline`. Checked at
+  /// iteration boundaries without consuming RNG draws, so an expiring budget
+  /// truncates — never perturbs — the fixed-seed trajectory.
+  util::Deadline time_budget;
 
   /// Optional pre-warmed per-Δt decay cache the annealer's evaluator adopts
   /// (a copy) — see ScheduleEvaluator's warm constructor. Null keeps the

@@ -15,6 +15,7 @@
 #include "basched/analysis/executor.hpp"
 #include "basched/baselines/branch_and_bound.hpp"
 #include "basched/core/order_tree.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines::detail {
 
@@ -33,11 +34,22 @@ struct BnbWalkVisitor {
   /// front. Off switch for tests pinning the sequential path.
   bool leaf_fan = true;
 
+  /// Anytime time budget / cancellation. Per-instance (workers each own
+  /// one over copies of the same token), checked in count_node alongside the
+  /// node budget. Inactive by default.
+  util::RunBudget budget;
+
   BnbStats stats;
   double best_sigma = std::numeric_limits<double>::infinity();
   core::Schedule best;
   bool found = false;
-  bool aborted = false;
+  /// How this walk ended; `node_budget`/`deadline`/`cancelled` all mean the
+  /// walk stopped early and the incumbent is best-found, not proven.
+  util::StopReason stop_reason = util::StopReason::completed;
+
+  [[nodiscard]] bool aborted() const noexcept {
+    return stop_reason != util::StopReason::completed;
+  }
   /// A leaf priced to NaN (degenerate battery model). NaN compares false
   /// against everything, so without this flag such a leaf would neither
   /// become the incumbent nor tighten SharedMinBound — the search would
@@ -120,7 +132,12 @@ struct BnbWalkVisitor {
         shared_nodes != nullptr ? shared_nodes->fetch_add(1, std::memory_order_relaxed) + 1
                                 : stats.nodes_visited;
     if (total > max_nodes) {
-      aborted = true;
+      stop_reason = util::merge_stop_reason(stop_reason, util::StopReason::node_budget);
+      w.stop();
+      return false;
+    }
+    if (budget.expired()) {
+      stop_reason = util::merge_stop_reason(stop_reason, budget.reason());
       w.stop();
       return false;
     }

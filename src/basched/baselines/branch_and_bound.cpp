@@ -8,6 +8,7 @@
 #include "basched/core/iterative_scheduler.hpp"
 #include "basched/core/order_tree.hpp"
 #include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -25,6 +26,7 @@ ScheduleResult schedule_branch_and_bound(const graph::TaskGraph& graph, double d
   detail::BnbWalkVisitor visitor;
   visitor.deadline = deadline;
   visitor.max_nodes = options.max_nodes;
+  visitor.budget = util::RunBudget(options.stop, options.time_budget);
 
   if (options.seed_with_heuristic) {
     const auto seed = core::schedule_battery_aware(graph, deadline, model);
@@ -45,15 +47,19 @@ ScheduleResult schedule_branch_and_bound(const graph::TaskGraph& graph, double d
   ScheduleResult result;
   result.nodes_explored = visitor.stats.nodes_visited;
   result.evaluations = evaluator.evaluations();
-  result.truncated = visitor.aborted;
+  result.stop_reason = visitor.stop_reason;
   if (visitor.nan_sigma) {
     result.error =
         "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
     return result;
   }
   if (!visitor.found) {
-    result.error = visitor.aborted
+    // Reason-specific wording; the node_budget string predates StopReason
+    // and stays byte-identical for budget-less configurations.
+    result.error = visitor.stop_reason == util::StopReason::node_budget
                        ? "node budget exceeded before any feasible schedule was found"
+                   : visitor.aborted()
+                       ? "search budget expired before any feasible schedule was found"
                        : "deadline unmeetable: every completion exceeds it";
     return result;
   }

@@ -25,6 +25,7 @@
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::util::fastmath {
 class DecayRowCache;
@@ -36,6 +37,13 @@ namespace basched::baselines {
 struct BnbOptions {
   std::uint64_t max_nodes = 5'000'000;  ///< abort when the tree exceeds this
   bool seed_with_heuristic = true;      ///< start from the paper algorithm's incumbent
+
+  /// Cooperative cancellation / wall-clock budget (see AnnealingOptions):
+  /// on stop the walk aborts and the best incumbent so far is returned with
+  /// the matching StopReason. Checked alongside the node budget (clock reads
+  /// amortized); defaults are inert.
+  util::StopToken stop;
+  util::Deadline time_budget;
   /// Optional pre-warmed per-Δt decay cache the search evaluators adopt (a
   /// copy each) — see ScheduleEvaluator's warm constructor. Null keeps the
   /// self-warming behaviour; the pointee must outlive the call.

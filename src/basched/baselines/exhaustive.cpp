@@ -5,6 +5,7 @@
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/order_tree.hpp"
 #include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -19,8 +20,9 @@ struct ExhaustiveVisitor {
   double tol;                 ///< deadline * (1 + 1e-9)
   std::uint64_t max_nodes;    ///< 0 = unbounded
   ScheduleResult& best;
+  util::RunBudget& budget;    ///< anytime time budget / cancellation token
   std::uint64_t steps = 0;
-  bool truncated = false;
+  util::StopReason stop_reason = util::StopReason::completed;
 
   bool node(core::OrderTreeWalker&) { return true; }
 
@@ -28,7 +30,12 @@ struct ExhaustiveVisitor {
              const graph::DesignPoint& pt) {
     ++steps;
     if (max_nodes != 0 && steps > max_nodes) {
-      truncated = true;
+      stop_reason = util::StopReason::node_budget;
+      w.stop();
+      return false;
+    }
+    if (budget.expired()) {
+      stop_reason = budget.reason();
       w.stop();
       return false;
     }
@@ -91,16 +98,19 @@ std::optional<ScheduleResult> schedule_exhaustive(const graph::TaskGraph& graph,
 
   core::ScheduleEvaluator eval(graph, model);
   core::OrderTreeWalker walker(graph, eval);
-  ExhaustiveVisitor visitor{deadline * (1.0 + 1e-9), options.max_nodes, best};
+  util::RunBudget run_budget(options.stop, options.time_budget);
+  ExhaustiveVisitor visitor{deadline * (1.0 + 1e-9), options.max_nodes, best, run_budget};
   walker.walk(visitor);
 
   best.nodes_explored = visitor.steps;
   best.evaluations = eval.evaluations();
-  best.truncated = visitor.truncated;
-  if (!best.feasible && best.truncated) {
+  best.stop_reason = visitor.stop_reason;
+  if (!best.feasible && best.truncated()) {
     // The walk stopped before covering the tree, so "unmeetable" would be
     // an unproven claim — report the budget, not a verdict.
-    best.error = "node budget exceeded before any feasible schedule was found";
+    best.error = visitor.stop_reason == util::StopReason::node_budget
+                     ? "node budget exceeded before any feasible schedule was found"
+                     : "search budget expired before any feasible schedule was found";
   }
   if (best.feasible) {
     // Report the winner at reference precision (outside the enumeration).

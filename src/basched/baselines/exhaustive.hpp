@@ -18,6 +18,7 @@
 #include "basched/baselines/result.hpp"
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -28,13 +29,20 @@ struct ExhaustiveOptions {
   std::size_t max_assignments = 200000;
   /// Walk budget in enumeration steps (design-point attempts). When the
   /// budget trips mid-walk the best schedule found so far is returned with
-  /// `ScheduleResult::truncated == true` — reported, never silent. 0 means
-  /// unbounded (fully exact).
+  /// `StopReason::node_budget` — reported, never silent. 0 means unbounded
+  /// (fully exact).
   std::uint64_t max_nodes = 2'000'000;
+
+  /// Cooperative cancellation / wall-clock budget (see AnnealingOptions):
+  /// on stop the walk aborts and returns the best leaf seen so far with the
+  /// matching StopReason. Checked per enumeration step (clock reads
+  /// amortized); defaults are inert.
+  util::StopToken stop;
+  util::Deadline time_budget;
 };
 
-/// Returns the optimal feasible schedule (truncated == false), the best
-/// found when the node budget tripped (truncated == true), a
+/// Returns the optimal feasible schedule (stop_reason == completed), the
+/// best found when a budget tripped (node_budget/deadline/cancelled), a
 /// feasible == false result when the deadline is unmeetable, or std::nullopt
 /// when m^n exceeds max_assignments. Throws std::invalid_argument on
 /// empty/cyclic graphs or non-positive deadlines.

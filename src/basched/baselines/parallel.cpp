@@ -14,6 +14,7 @@
 #include "basched/core/order_tree.hpp"
 #include "basched/core/schedule_evaluator.hpp"
 #include "basched/util/rng.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -70,7 +71,7 @@ struct BnbJobResult {
   double sigma = 0.0;
   core::Schedule schedule;
   bool found = false;
-  bool aborted = false;
+  util::StopReason stop_reason = util::StopReason::completed;
   bool nan_sigma = false;
   BnbStats stats;
   std::uint64_t evaluations = 0;
@@ -133,6 +134,7 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
     enum_vis = detail::BnbWalkVisitor{};
     enum_vis.deadline = deadline;
     enum_vis.max_nodes = max_nodes;
+    enum_vis.budget = util::RunBudget(options.base.stop, options.base.time_budget);
     if (incumbent_found) {
       enum_vis.best_sigma = incumbent_sigma;
       enum_vis.best = incumbent;
@@ -143,7 +145,7 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
     FrontierCollector collector{cut, enum_vis, jobs};
     walker.walk(collector);
     enum_evaluations = eval.evaluations();
-    if (enum_vis.aborted || enum_vis.nan_sigma) {
+    if (enum_vis.aborted() || enum_vis.nan_sigma) {
       jobs.clear();  // budget spent or result poisoned: skip the worker phase
       break;
     }
@@ -173,6 +175,9 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
     detail::BnbWalkVisitor vis;
     vis.deadline = deadline;
     vis.max_nodes = max_nodes;
+    // Each worker owns a RunBudget over copies of the same token/deadline:
+    // the stop flag is process-wide, the clock amortization per-worker.
+    vis.budget = util::RunBudget(options.base.stop, options.base.time_budget);
     vis.best_sigma = threshold;  // a job result must strictly beat the incumbent
     vis.shared_bound = &shared_bound;
     vis.shared_nodes = &shared_nodes;
@@ -181,7 +186,7 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
     r.sigma = vis.best_sigma;
     r.schedule = std::move(vis.best);
     r.found = vis.found;
-    r.aborted = vis.aborted;
+    r.stop_reason = vis.stop_reason;
     r.nan_sigma = vis.nan_sigma;
     r.stats = vis.stats;
     r.evaluations = eval.evaluations();
@@ -192,13 +197,15 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
   std::uint64_t evaluations = enum_evaluations;
   // Truncation is an any-worker property: the node budget is shared, so the
   // walk is incomplete as soon as *any* worker tripped it (not just worker 0
-  // or the enumeration pass) — the merged result must say so.
-  bool truncated = enum_vis.aborted;
+  // or the enumeration pass) — the merged result must say so. The merged
+  // reason keeps the most severe member reason (cancelled > deadline >
+  // node_budget), deterministic because severity merging is commutative.
+  util::StopReason stop_reason = enum_vis.stop_reason;
   nan_sigma = nan_sigma || enum_vis.nan_sigma;
   for (const BnbJobResult& r : results) {
     accumulate(total, r.stats);
     evaluations += r.evaluations;
-    truncated = truncated || r.aborted;
+    stop_reason = util::merge_stop_reason(stop_reason, r.stop_reason);
     nan_sigma = nan_sigma || r.nan_sigma;
   }
   if (stats != nullptr) *stats = total;
@@ -206,7 +213,7 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
   ScheduleResult result;
   result.nodes_explored = total.nodes_visited;
   result.evaluations = evaluations;
-  result.truncated = truncated;
+  result.stop_reason = stop_reason;
   if (nan_sigma) {
     result.error =
         "battery model produced NaN sigma: result withheld (degenerate model parameters?)";
@@ -226,8 +233,10 @@ ScheduleResult schedule_branch_and_bound_parallel(const graph::TaskGraph& graph,
     }
 
   if (best == nullptr) {
-    result.error = truncated
+    result.error = stop_reason == util::StopReason::node_budget
                        ? "node budget exceeded before any feasible schedule was found"
+                   : stop_reason != util::StopReason::completed
+                       ? "search budget expired before any feasible schedule was found"
                        : "deadline unmeetable: every completion exceeds it";
     return result;
   }
@@ -253,12 +262,12 @@ ScheduleResult reduce_portfolio(std::vector<ScheduleResult> results, const char*
   ScheduleResult best;
   std::uint64_t nodes = 0;
   std::uint64_t evaluations = 0;
-  bool truncated = false;
+  util::StopReason stop_reason = util::StopReason::completed;
   bool nan_sigma = false;
   for (const ScheduleResult& r : results) {
     nodes += r.nodes_explored;
     evaluations += r.evaluations;
-    truncated = truncated || r.truncated;
+    stop_reason = util::merge_stop_reason(stop_reason, r.stop_reason);
     if (r.feasible && std::isnan(r.sigma)) {
       nan_sigma = true;
       continue;
@@ -289,7 +298,7 @@ ScheduleResult reduce_portfolio(std::vector<ScheduleResult> results, const char*
   }
   best.nodes_explored = nodes;
   best.evaluations = evaluations;
-  best.truncated = truncated;
+  best.stop_reason = stop_reason;
   return best;
 }
 

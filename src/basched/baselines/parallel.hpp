@@ -26,7 +26,7 @@
 /// One caveat follows from the node counters being timing-dependent: the
 /// *truncation* decision of the parallel B&B compares them against the
 /// shared `max_nodes` budget, so an instance whose (pruned) tree size sits
-/// near the budget can nondeterministically flip `truncated`. The
+/// near the budget can nondeterministically flip the node_budget stop. The
 /// byte-determinism contract is for searches that complete; size the budget
 /// with headroom (the default leaves plenty for paper-scale instances) when
 /// reproducibility of the truncation flag itself matters.
@@ -70,9 +70,10 @@ struct ParallelBnbOptions {
   /// balancing mechanism: workers drain the job queue dynamically.
 };
 
-/// Parallel B&B: same contract as schedule_branch_and_bound (truncated ==
-/// true when the shared node budget ran out in the enumeration pass *or any
-/// worker* — the result is then "best found so far", not proven optimal;
+/// Parallel B&B: same contract as schedule_branch_and_bound (stop_reason !=
+/// completed when the shared node budget or the base options' time budget /
+/// stop token ran out in the enumeration pass *or any worker* — the result
+/// is then "best found so far", not proven optimal;
 /// feasible == false for unmeetable deadlines; a NaN σ from a degenerate
 /// model yields an explicit error result instead of a silently unpruned
 /// search), identical optimum σ, and a byte-identical schedule for any

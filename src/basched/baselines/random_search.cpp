@@ -5,6 +5,7 @@
 
 #include "basched/core/battery_cost.hpp"
 #include "basched/core/schedule_evaluator.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -67,7 +68,17 @@ ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double dead
   core::Schedule sched;
   sched.assignment.resize(n);
   bool nan_sigma = false;
+  // Anytime budget: one check per sample, before any RNG draw for that
+  // sample, so an expiring budget is a clean prefix truncation of the
+  // fixed-seed sample stream.
+  util::RunBudget run_budget(options.stop, options.time_budget);
+  int drawn = 0;
   for (int s = 0; s < options.samples; ++s) {
+    if (run_budget.expired()) {
+      best.stop_reason = run_budget.reason();
+      break;
+    }
+    drawn = s + 1;
     sampler.sample(rng, sched.sequence);
     for (auto& col : sched.assignment) col = rng.pick_index(m);
     if (sched.duration(graph) > tol) continue;
@@ -87,7 +98,7 @@ ScheduleResult schedule_random_search(const graph::TaskGraph& graph, double dead
       best.energy = cost.energy;
     }
   }
-  best.nodes_explored = static_cast<std::uint64_t>(options.samples);
+  best.nodes_explored = static_cast<std::uint64_t>(drawn);
   best.evaluations = eval.evaluations();
   if (!best.feasible && nan_sigma)
     best.error =

@@ -15,6 +15,7 @@
 #include "basched/battery/model.hpp"
 #include "basched/graph/task_graph.hpp"
 #include "basched/util/rng.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::util::fastmath {
 class DecayRowCache;
@@ -26,6 +27,12 @@ namespace basched::baselines {
 struct RandomSearchOptions {
   std::uint64_t seed = 1;
   int samples = 2000;
+
+  /// Cooperative cancellation / wall-clock budget (see AnnealingOptions for
+  /// semantics): on stop the run returns its best sample so far with the
+  /// matching StopReason. Checked once per sample; defaults are inert.
+  util::StopToken stop;
+  util::Deadline time_budget;
 
   /// Optional pre-warmed per-Δt decay cache the sampler's evaluator adopts
   /// (a copy) — see ScheduleEvaluator's warm constructor. Null keeps the

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "basched/core/schedule.hpp"
+#include "basched/util/stop.hpp"
 
 namespace basched::baselines {
 
@@ -22,12 +23,20 @@ struct ScheduleResult {
   std::uint64_t nodes_explored = 0;
   /// Candidate schedules priced (delta or full) via the ScheduleEvaluator.
   std::uint64_t evaluations = 0;
-  /// True when an exact search stopped at its node budget before covering
-  /// the whole tree: the result is the best *found*, not a proven optimum.
-  /// Never silently set — exhaustive enumeration is exact unless the caller
-  /// configured a budget.
-  bool truncated = false;
+  /// How the run ended. `completed` means the full configured budget ran;
+  /// anything else means the result is the best *found* so far, not a proven
+  /// optimum (`node_budget` = old `truncated`, `deadline`/`cancelled` =
+  /// anytime stop). Never silently set — searches are exact/exhaustive
+  /// unless the caller configured a budget or armed a token.
+  util::StopReason stop_reason = util::StopReason::completed;
   std::string error;      ///< non-empty when !feasible
+
+  /// Legacy view of `stop_reason`: did the search stop short of its full
+  /// configured work? (Kept as a method so every pre-StopReason call site
+  /// reads unchanged modulo parentheses.)
+  [[nodiscard]] bool truncated() const noexcept {
+    return stop_reason != util::StopReason::completed;
+  }
 };
 
 }  // namespace basched::baselines

@@ -46,7 +46,12 @@ std::string ok_line(const json::Value& id, json::Object result) {
 
 std::string error_line(const json::Value& id, const std::string& code,
                        const std::string& message) {
-  json::Object err;
+  return error_line(id, code, message, json::Object{});
+}
+
+std::string error_line(const json::Value& id, const std::string& code,
+                       const std::string& message, json::Object detail) {
+  json::Object err = std::move(detail);
   err["code"] = code;
   err["message"] = message;
   json::Object frame;

@@ -12,8 +12,13 @@
 ///
 /// Error codes: `bad_json` (frame is not valid JSON), `bad_request` (valid
 /// JSON, invalid shape/params), `unknown_verb`, `line_too_long`,
-/// `overloaded` (admission control rejected the request; retry later),
-/// `draining` (server is shutting down), `internal`.
+/// `overloaded` (admission control rejected the request; the error object
+/// carries a `retry_after_ms` hint — back off at least that long, see
+/// serve/retry.hpp), `draining` (server is shutting down), `deadline` (the
+/// request's time budget expired on an all-or-nothing verb like `sweep`;
+/// anytime verbs return ok with a `stop_reason` field instead), `cancelled`
+/// (the server cancelled the request — client disconnect or forced drain),
+/// `internal`.
 #pragma once
 
 #include <stdexcept>
@@ -53,5 +58,11 @@ struct Request {
 /// Builds a failure response line (no trailing newline).
 [[nodiscard]] std::string error_line(const json::Value& id, const std::string& code,
                                      const std::string& message);
+
+/// Same, with extra machine-readable fields merged into the error object
+/// (e.g. {"retry_after_ms": 25} on `overloaded`). `code`/`message` win on a
+/// key collision.
+[[nodiscard]] std::string error_line(const json::Value& id, const std::string& code,
+                                     const std::string& message, json::Object detail);
 
 }  // namespace basched::serve

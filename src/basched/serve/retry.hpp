@@ -1,0 +1,82 @@
+/// \file retry.hpp
+/// \brief Exponential backoff with jitter for `overloaded` retries.
+///
+/// The daemon's admission control answers `overloaded` with a
+/// `retry_after_ms` hint. Naive clients that retry immediately (or all on
+/// the same fixed schedule) convert one burst into a synchronized retry
+/// storm; the standard fix is exponential backoff with *full jitter*: sleep
+/// a uniformly random duration in [base, current_cap] and double the cap per
+/// attempt. This helper computes those delays deterministically from a
+/// util::Rng (seeded, platform-stable — the repo-wide randomness contract),
+/// so bench runs and tests that exercise the retry path stay reproducible.
+///
+/// Usage (bench/serve_latency.cpp, tests/serve/retry_test.cpp):
+///
+///   BackoffPolicy policy;                 // or tune fields
+///   Backoff backoff(policy, util::Rng(seed));
+///   while (response is overloaded) {
+///     sleep_ms(backoff.next_delay_ms(server_retry_after_ms));
+///   }
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+
+/// Backoff shape. Defaults suit a local daemon: first retry a few ms out,
+/// capped well under a second so tests stay fast.
+struct BackoffPolicy {
+  std::uint64_t base_ms = 2;    ///< floor of every delay (and the first cap)
+  std::uint64_t max_ms = 250;   ///< hard ceiling on any single delay
+  double multiplier = 2.0;      ///< cap growth per attempt
+};
+
+/// Stateful delay generator: one instance per retried operation. Not
+/// thread-safe (owns an Rng) — give each client thread its own.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, util::Rng rng) noexcept
+      : policy_(policy), rng_(rng), cap_ms_(std::max<std::uint64_t>(policy.base_ms, 1)) {}
+
+  /// Delay before the next attempt, in ms: uniform in [floor, cap] (full
+  /// jitter), where floor is the larger of the policy base and the server's
+  /// `retry_after_ms` hint — the server knows its queue better than the
+  /// client's schedule does, so the hint is honored as a lower bound, never
+  /// ignored. The cap then grows by `multiplier`, saturating at `max_ms`.
+  [[nodiscard]] std::uint64_t next_delay_ms(std::uint64_t server_hint_ms = 0) noexcept {
+    ++attempts_;
+    const std::uint64_t floor_ms =
+        std::min(policy_.max_ms, std::max(policy_.base_ms, server_hint_ms));
+    const std::uint64_t cap = std::max(cap_ms_, floor_ms);
+    // pick_index(n) is uniform over [0, n); span is small (<= max_ms).
+    const std::uint64_t span = cap - floor_ms + 1;
+    const std::uint64_t delay =
+        floor_ms + rng_.pick_index(static_cast<std::size_t>(span));
+    const double grown = static_cast<double>(cap_ms_) * policy_.multiplier;
+    cap_ms_ = grown >= static_cast<double>(policy_.max_ms)
+                  ? policy_.max_ms
+                  : static_cast<std::uint64_t>(grown);
+    return delay;
+  }
+
+  /// Attempts generated so far (== calls to next_delay_ms).
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+
+  /// Back to the initial cap (e.g. after a success, for connection reuse).
+  void reset() noexcept {
+    cap_ms_ = std::max<std::uint64_t>(policy_.base_ms, 1);
+    attempts_ = 0;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  util::Rng rng_;
+  std::uint64_t cap_ms_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace basched::serve

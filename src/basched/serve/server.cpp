@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <future>
@@ -15,6 +16,7 @@
 #include <utility>
 
 #include "basched/serve/protocol.hpp"
+#include "basched/serve/socket_io.hpp"
 
 namespace basched::serve {
 
@@ -131,38 +133,98 @@ void Server::request_drain() noexcept {
   [[maybe_unused]] const auto rc = ::write(pipe_wr_, &byte, 1);
 }
 
-bool Server::send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const auto n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // peer gone; the connection loop closes the fd
+ServerStats Server::stats() const noexcept {
+  ServerStats s;
+  s.disconnect_cancels = disconnect_cancels_.load(std::memory_order_relaxed);
+  s.drain_cancels = drain_cancels_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::watch_request(int fd, const util::StopSource& source) {
+  const util::MutexLock lock(watch_mutex_);
+  watches_.push_back(Watch{fd, source, false});
+  watch_cv_.notify_all();  // wake the watchdog out of its idle wait
+}
+
+void Server::unwatch_request(int fd) {
+  const util::MutexLock lock(watch_mutex_);
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
+                                [fd](const Watch& w) { return w.fd == fd; }),
+                 watches_.end());
+}
+
+// Polls in-flight requests for client disconnect and enforces the drain
+// timeout. All probing is non-blocking (poll timeout 0 + MSG_PEEK), so
+// holding watch_mutex_ across a scan is fine; the 15ms cadence bounds how
+// stale a disconnect can go unnoticed while costing nothing measurable.
+void Server::watchdog() {
+  using namespace std::chrono_literals;
+  util::MutexLock lock(watch_mutex_);
+  for (;;) {
+    if (watch_exit_) return;
+    if (watches_.empty() && !drain_deadline_.armed()) {
+      watch_cv_.wait(lock);  // idle: nothing to poll, sleep until woken
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    watch_cv_.wait_for(lock, 15ms);
+    if (watch_exit_) return;
+
+    if (drain_deadline_.armed() && drain_deadline_.expired()) {
+      for (Watch& w : watches_) {
+        if (w.cancelled) continue;
+        w.source.request_stop();
+        w.cancelled = true;
+        drain_cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+      drain_deadline_ = util::Deadline::never();  // one-shot
+    }
+    // Disconnect probing stops once a drain begins: run() SHUT_RDs every
+    // connection at drain start, which reads as EOF here and would cancel
+    // still-connected clients' requests immediately — stealing the grace
+    // period the drain deadline exists to provide.
+    if (draining_.load(std::memory_order_relaxed)) continue;
+    for (Watch& w : watches_) {
+      if (w.cancelled) continue;
+      if (sock::peer_disconnected(w.fd)) {
+        w.source.request_stop();
+        w.cancelled = true;
+        disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  return true;
 }
 
 bool Server::answer(int fd, const std::string& line) {
   if (draining_.load(std::memory_order_relaxed)) {
-    return send_all(fd, error_line(json::Value(), "draining",
-                                   "server is shutting down") + "\n");
+    return sock::send_all(fd, error_line(json::Value(), "draining",
+                                         "server is shutting down") + "\n");
   }
 
   // Admission control: each connection has at most one outstanding request,
   // so this counter bounds the executor queue exactly.
   if (inflight_.fetch_add(1, std::memory_order_acq_rel) >= opts_.max_inflight) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    return send_all(fd, error_line(json::Value(), "overloaded",
-                                   "too many in-flight requests; retry later") + "\n");
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    json::Object detail;
+    detail["retry_after_ms"] = opts_.retry_after_ms;
+    return sock::send_all(fd, error_line(json::Value(), "overloaded",
+                                         "too many in-flight requests; retry later",
+                                         std::move(detail)) + "\n");
   }
+
+  // Watchdog supervision for the duration of the request: a disconnect or a
+  // drain-timeout fires the token, and the search inside handle_line returns
+  // early with its incumbent instead of running on for a dead client.
+  util::StopSource source;
+  watch_request(fd, source);
+  const RequestContext ctx{source.token(), opts_.default_timeout_ms};
 
   std::promise<Service::Outcome> promise;
   auto future = promise.get_future();
-  executor_.submit([this, &promise, &line] {
+  executor_.submit([this, &promise, &line, &ctx] {
     try {
-      promise.set_value(service_.handle_line(line));
+      promise.set_value(service_.handle_line(line, ctx));
     } catch (...) {
       promise.set_exception(std::current_exception());  // defensive; handle_line never throws
     }
@@ -173,9 +235,10 @@ bool Server::answer(int fd, const std::string& line) {
   } catch (const std::exception& e) {
     outcome.line = error_line(json::Value(), "internal", e.what());
   }
+  unwatch_request(fd);
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
 
-  if (!send_all(fd, outcome.line + "\n")) return false;
+  if (!sock::send_all(fd, outcome.line + "\n")) return false;
   if (outcome.shutdown) {
     request_drain();
     return false;
@@ -188,7 +251,7 @@ void Server::serve_connection(int fd) {
   char chunk[4096];
   bool open = true;
   while (open) {
-    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const auto n = sock::recv_some(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // read error (or SHUT_RD during drain): close
@@ -212,9 +275,11 @@ void Server::serve_connection(int fd) {
 
     if (open && buffer.size() > opts_.max_line) {
       // The line can't be framed any more; answer and drop the connection.
-      send_all(fd, error_line(json::Value(), "line_too_long",
-                              "request line exceeds " + std::to_string(opts_.max_line) +
-                                  " bytes") + "\n");
+      [[maybe_unused]] const bool sent =
+          sock::send_all(fd, error_line(json::Value(), "line_too_long",
+                                        "request line exceeds " +
+                                            std::to_string(opts_.max_line) + " bytes") +
+                                 "\n");
       break;
     }
   }
@@ -227,6 +292,7 @@ void Server::serve_connection(int fd) {
 }
 
 void Server::run() {
+  watchdog_thread_ = std::thread([this] { watchdog(); });
   for (;;) {
     pollfd fds[3];
     nfds_t n = 0;
@@ -266,9 +332,23 @@ void Server::run() {
     const util::MutexLock lock(conn_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
   }
+  // Bound the drain: once drain_timeout_ms elapses the watchdog fires every
+  // remaining request's token, so the joins below can't hang behind an
+  // unbounded search (0 = wait forever, the legacy behavior).
+  {
+    const util::MutexLock lock(watch_mutex_);
+    drain_deadline_ = util::Deadline::after_ms(opts_.drain_timeout_ms);
+    watch_cv_.notify_all();
+  }
   for (auto& t : conn_threads_) t.join();
   conn_threads_.clear();
   executor_.wait_idle();
+  {
+    const util::MutexLock lock(watch_mutex_);
+    watch_exit_ = true;
+    watch_cv_.notify_all();
+  }
+  watchdog_thread_.join();
 }
 
 }  // namespace basched::serve

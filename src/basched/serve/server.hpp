@@ -19,16 +19,25 @@
 ///    connection so blocked reads wake, answers already-parsed requests,
 ///    joins the connection threads, and waits for the executor to go idle.
 ///    Requests that arrive after the drain began get a `draining` error.
+///  - Watchdog: a dedicated thread polls every in-flight request's socket
+///    for client disconnect (sock::peer_disconnected) and fires that
+///    request's StopToken, so an abandoned search stops burning CPU instead
+///    of running to completion for nobody. The same thread bounds the drain:
+///    once `drain_timeout_ms` elapses after a drain begins, every request
+///    still in flight is force-cancelled through its token, which is what
+///    keeps a SIGTERM from hanging behind an unbounded search.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "basched/analysis/executor.hpp"
 #include "basched/serve/service.hpp"
+#include "basched/util/stop.hpp"
 #include "basched/util/sync.hpp"
 #include "basched/util/thread_annotations.hpp"
 
@@ -50,6 +59,26 @@ struct ServerOptions {
   /// Executor worker threads (0 = default_jobs(); clamped to >= 2 because
   /// request execution must run off the connection threads).
   unsigned jobs = 0;
+  /// Default `timeout_ms` applied to requests that don't set one (0 = no
+  /// default; an explicit timeout_ms in the request always wins).
+  std::uint64_t default_timeout_ms = 0;
+  /// Bound on the graceful drain: requests still in flight this long after a
+  /// drain begins are force-cancelled via their StopToken (0 = wait forever,
+  /// the pre-watchdog behavior).
+  std::uint64_t drain_timeout_ms = 5000;
+  /// Backoff hint attached to `overloaded` rejections (retry_after_ms field
+  /// in the error object; see serve/retry.hpp).
+  std::uint64_t retry_after_ms = 25;
+};
+
+/// Counters for the hardening paths; snapshot via Server::stats().
+struct ServerStats {
+  /// In-flight requests cancelled because the client disconnected.
+  std::uint64_t disconnect_cancels = 0;
+  /// In-flight requests force-cancelled by the drain timeout.
+  std::uint64_t drain_cancels = 0;
+  /// Requests refused by admission control.
+  std::uint64_t overloaded = 0;
 };
 
 /// Binds, listens, serves. Construction binds the listeners (throws
@@ -74,12 +103,25 @@ class Server {
   /// request answered, all connection threads joined).
   void run();
 
+  /// Hardening counters (disconnect/drain cancellations, overload refusals).
+  [[nodiscard]] ServerStats stats() const noexcept;
+
  private:
   void serve_connection(int fd);
   /// Answers one parsed request line; returns false when the connection
   /// should close (send failure or shutdown verb).
   bool answer(int fd, const std::string& line);
-  static bool send_all(int fd, const std::string& data);
+
+  /// One in-flight request under watchdog supervision, keyed by its
+  /// connection fd (each connection has at most one outstanding request).
+  struct Watch {
+    int fd = -1;
+    util::StopSource source;
+    bool cancelled = false;  ///< token already fired; don't count twice
+  };
+  void watch_request(int fd, const util::StopSource& source);
+  void unwatch_request(int fd);
+  void watchdog();
 
   Service& service_;
   ServerOptions opts_;
@@ -102,6 +144,20 @@ class Server {
   /// Touched only by the run() thread (accept loop + drain join) — the
   /// connection threads never see their own std::thread handle.
   std::vector<std::thread> conn_threads_;
+
+  util::Mutex watch_mutex_;
+  std::vector<Watch> watches_ BASCHED_GUARDED_BY(watch_mutex_);
+  /// Armed once when the drain begins; the watchdog force-cancels every
+  /// remaining watch when it expires, then disarms it (one-shot).
+  util::Deadline drain_deadline_ BASCHED_GUARDED_BY(watch_mutex_);
+  bool watch_exit_ BASCHED_GUARDED_BY(watch_mutex_) = false;
+  util::CondVar watch_cv_;
+  /// Started by run(), joined at the end of the drain.
+  std::thread watchdog_thread_;
+
+  std::atomic<std::uint64_t> disconnect_cancels_{0};
+  std::atomic<std::uint64_t> drain_cancels_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
 };
 
 }  // namespace basched::serve

@@ -101,8 +101,9 @@ ServiceStats Service::stats() const {
 // cache. The cache holds exact rows (pure functions of coeffs and Δt), so
 // the payload stays byte-identical to the CLI; only who computed the exps
 // changes.
-json::Object Service::run_schedule(const json::Object& params) {
-  check_keys(params, {"graph", "deadline", "beta", "algorithm", "seed", "restarts"}, "schedule");
+json::Object Service::run_schedule(const json::Object& params, const RequestContext& ctx) {
+  check_keys(params, {"graph", "deadline", "beta", "algorithm", "seed", "restarts", "timeout_ms"},
+             "schedule");
   const std::string graph_text = require_string(params, "graph");
   const double deadline = require_number(params, "deadline");
   const double beta = number_or(params, "beta", 0.273);
@@ -110,6 +111,11 @@ json::Object Service::run_schedule(const json::Object& params) {
   const auto seed = uint_or(params, "seed", 1);
   const auto restarts = static_cast<std::size_t>(uint_or(params, "restarts", 1));
   if (restarts < 1) throw ProtocolError("bad_request", "param 'restarts' must be >= 1");
+  // The time budget starts here — graph parsing and catalog warm-up count
+  // against it conceptually, but only the search loops poll it; an explicit
+  // timeout_ms of 0 opts this request out of the server default.
+  const std::uint64_t timeout_ms = uint_or(params, "timeout_ms", ctx.default_timeout_ms);
+  const util::Deadline time_budget = util::Deadline::after_ms(timeout_ms);
 
   const std::uint64_t exp_before = util::fastmath::exp_evaluations();
   const auto entry = registry_.acquire(graph_text, beta);
@@ -121,6 +127,7 @@ json::Object Service::run_schedule(const json::Object& params) {
   double sigma = 0.0;
   bool feasible = false;
   bool truncated = false;
+  util::StopReason stop_reason = util::StopReason::completed;
   std::string error;
   if (algorithm == "ours") {
     core::IterativeOptions iopts;
@@ -140,6 +147,8 @@ json::Object Service::run_schedule(const json::Object& params) {
       baselines::AnnealingOptions opts;
       opts.seed = seed;
       opts.warm_cache = warm;
+      opts.stop = ctx.stop;
+      opts.time_budget = time_budget;
       if (restarts > 1) {
         analysis::Executor executor(1);
         baselines::AnnealingPortfolioOptions popts;
@@ -153,6 +162,8 @@ json::Object Service::run_schedule(const json::Object& params) {
       baselines::RandomSearchOptions opts;
       opts.seed = seed;
       opts.warm_cache = warm;
+      opts.stop = ctx.stop;
+      opts.time_budget = time_budget;
       if (restarts > 1) {
         analysis::Executor executor(1);
         baselines::RandomPortfolioOptions popts;
@@ -165,14 +176,17 @@ json::Object Service::run_schedule(const json::Object& params) {
     } else if (algorithm == "bnb") {
       baselines::BnbOptions opts;
       opts.warm_cache = warm;
+      opts.stop = ctx.stop;
+      opts.time_budget = time_budget;
       r = baselines::schedule_branch_and_bound(g, deadline, model, opts);
-      truncated = r.truncated;
+      truncated = r.truncated();
     } else {
       throw ProtocolError("bad_request", "unknown algorithm '" + algorithm + "'");
     }
     feasible = r.feasible;
     schedule = r.schedule;
     sigma = r.sigma;
+    stop_reason = r.stop_reason;
     error = r.error;
   }
 
@@ -187,22 +201,39 @@ json::Object Service::run_schedule(const json::Object& params) {
     result["error"] = error;
   }
   if (truncated) result["truncated"] = true;
+  // Only deadline/cancelled stops are surfaced (and counted): a node-budget
+  // stop predates this field and already shows up as `truncated`, so keeping
+  // it silent preserves byte-identical payloads for pre-deadline requests.
+  if (stop_reason == util::StopReason::deadline ||
+      stop_reason == util::StopReason::cancelled) {
+    result["stop_reason"] = util::stop_reason_name(stop_reason);
+    const util::MutexLock lock(stats_mutex_);
+    if (stop_reason == util::StopReason::deadline)
+      ++stats_.deadline_stops;
+    else
+      ++stats_.cancelled_stops;
+  }
   result["exp_evals"] = util::fastmath::exp_evaluations() - exp_before;
   return result;
 }
 
-json::Object Service::run_sweep(const json::Object& params) {
-  check_keys(params, {"graph", "from", "to", "steps", "beta"}, "sweep");
+json::Object Service::run_sweep(const json::Object& params, const RequestContext& ctx) {
+  check_keys(params, {"graph", "from", "to", "steps", "beta", "timeout_ms"}, "sweep");
   const std::string graph_text = require_string(params, "graph");
   const double from = require_number(params, "from");
   const double to = require_number(params, "to");
   const auto steps = static_cast<int>(uint_or(params, "steps", 16));
   const double beta = number_or(params, "beta", 0.273);
+  const std::uint64_t timeout_ms = uint_or(params, "timeout_ms", ctx.default_timeout_ms);
 
   const std::uint64_t exp_before = util::fastmath::exp_evaluations();
   const auto entry = registry_.acquire(graph_text, beta);
   analysis::Executor executor(1);
-  const auto points = analysis::deadline_sweep(entry->graph(), from, to, steps, beta, executor);
+  // Sweeps are all-or-nothing: a tripped budget throws (DeadlineExceeded /
+  // OperationCancelled) and handle_line maps it to the matching error code.
+  const auto points =
+      analysis::deadline_sweep(entry->graph(), from, to, steps, beta, executor, ctx.stop,
+                               util::Deadline::after_ms(timeout_ms));
 
   json::Object result;
   result["points"] = points.size();
@@ -273,11 +304,20 @@ json::Object Service::run_stats() {
   result["errors"] = s.errors;
   result["by_verb"] = json::Value(std::move(by_verb));
   result["catalog"] = json::Value(std::move(catalog));
+  // Emitted only once a stop has actually happened, so stats payloads from
+  // deployments that never set a timeout stay byte-identical to pre-deadline
+  // builds.
+  if (s.deadline_stops > 0) result["deadline_stops"] = s.deadline_stops;
+  if (s.cancelled_stops > 0) result["cancelled_stops"] = s.cancelled_stops;
   result["exp_evals_total"] = util::fastmath::exp_evaluations();
   return result;
 }
 
 Service::Outcome Service::handle_line(const std::string& line) {
+  return handle_line(line, RequestContext{});
+}
+
+Service::Outcome Service::handle_line(const std::string& line, const RequestContext& ctx) {
   json::Value id;  // null until the frame parses far enough to know better
   try {
     const Request req = parse_request(line);
@@ -297,10 +337,10 @@ Service::Outcome Service::handle_line(const std::string& line) {
       result["pong"] = true;
       bump(&ServiceStats::ping);
     } else if (req.verb == "schedule") {
-      result = run_schedule(req.params);
+      result = run_schedule(req.params, ctx);
       bump(&ServiceStats::schedule);
     } else if (req.verb == "sweep") {
-      result = run_sweep(req.params);
+      result = run_sweep(req.params, ctx);
       bump(&ServiceStats::sweep);
     } else if (req.verb == "suite") {
       result = run_suite(req.params);
@@ -326,6 +366,17 @@ Service::Outcome Service::handle_line(const std::string& line) {
     const util::MutexLock lock(stats_mutex_);
     ++stats_.errors;
     return Outcome{error_line(id, "bad_request", e.what()), false};
+  } catch (const util::DeadlineExceeded& e) {
+    // All-or-nothing verbs (sweep) abort when the time budget expires.
+    const util::MutexLock lock(stats_mutex_);
+    ++stats_.errors;
+    ++stats_.deadline_stops;
+    return Outcome{error_line(id, "deadline", e.what()), false};
+  } catch (const util::OperationCancelled& e) {
+    const util::MutexLock lock(stats_mutex_);
+    ++stats_.errors;
+    ++stats_.cancelled_stops;
+    return Outcome{error_line(id, "cancelled", e.what()), false};
   } catch (const std::exception& e) {
     const util::MutexLock lock(stats_mutex_);
     ++stats_.errors;

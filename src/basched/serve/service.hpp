@@ -8,8 +8,9 @@
 ///   --------   ----------------------------------------   ------------------
 ///   ping       —                                          {"pong":true}
 ///   schedule   graph*, deadline*, beta, algorithm,        feasible/σ/duration,
-///              seed, restarts                             serialized schedule
-///   sweep      graph*, from*, to*, steps, beta            deadline-sweep CSV
+///              seed, restarts, timeout_ms                 serialized schedule
+///   sweep      graph*, from*, to*, steps, beta,           deadline-sweep CSV
+///              timeout_ms
 ///   suite      seed, per_family, tightness, beta          suite summary text
 ///   evaluate   graph*, schedule*, beta, alpha             σ/duration/energy
 ///   stats      —                                          counters + catalog
@@ -30,6 +31,7 @@
 
 #include "basched/serve/catalog.hpp"
 #include "basched/serve/protocol.hpp"
+#include "basched/util/stop.hpp"
 #include "basched/util/sync.hpp"
 #include "basched/util/thread_annotations.hpp"
 
@@ -44,6 +46,26 @@ struct ServiceStats {
   std::uint64_t suite = 0;
   std::uint64_t evaluate = 0;
   std::uint64_t ping = 0;
+  /// Requests whose time budget expired: anytime verbs that returned a
+  /// best-so-far result plus all-or-nothing verbs that answered `deadline`.
+  std::uint64_t deadline_stops = 0;
+  /// Requests cancelled via the request context's StopToken (client
+  /// disconnect, forced drain).
+  std::uint64_t cancelled_stops = 0;
+};
+
+/// Per-request execution context, supplied by the transport (serve/server).
+/// Default-constructed = no cancellation, no server-side default timeout —
+/// exactly the pre-deadline behavior.
+struct RequestContext {
+  /// Fired by the server's watchdog when the client disconnects or a drain
+  /// force-cancels stragglers; search verbs return best-so-far `cancelled`,
+  /// sweeps abort with the `cancelled` error code.
+  util::StopToken stop;
+  /// Server default for the `timeout_ms` request param (0 = none). An
+  /// explicit `timeout_ms` in the request wins, including an explicit 0
+  /// (= this request runs unbounded).
+  std::uint64_t default_timeout_ms = 0;
 };
 
 /// Thread-safe verb executor; one instance per daemon.
@@ -57,15 +79,19 @@ class Service {
   };
 
   /// Parses and executes one request line. Never throws: every failure
-  /// becomes an error frame (bad_json/bad_request/unknown_verb/internal).
+  /// becomes an error frame (bad_json/bad_request/unknown_verb/deadline/
+  /// cancelled/internal). The context supplies the cancellation token and
+  /// the server's default timeout; the one-argument form is the inert
+  /// context (direct library use, tests, bench warm path).
   [[nodiscard]] Outcome handle_line(const std::string& line);
+  [[nodiscard]] Outcome handle_line(const std::string& line, const RequestContext& ctx);
 
   [[nodiscard]] CatalogRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] ServiceStats stats() const;
 
  private:
-  json::Object run_schedule(const json::Object& params);
-  json::Object run_sweep(const json::Object& params);
+  json::Object run_schedule(const json::Object& params, const RequestContext& ctx);
+  json::Object run_sweep(const json::Object& params, const RequestContext& ctx);
   json::Object run_suite(const json::Object& params);
   json::Object run_evaluate(const json::Object& params);
   json::Object run_stats();

@@ -1,0 +1,168 @@
+#include "basched/serve/socket_io.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace basched::serve::sock {
+
+namespace {
+
+// The active spec, as independent atomics: tests flip faults on and off
+// while connection threads are mid-transfer, and a torn read of two
+// *independently valid* knobs is harmless (each call reads each knob once).
+std::atomic<std::size_t> g_short_write_cap{0};
+std::atomic<std::uint32_t> g_eintr_every{0};
+std::atomic<std::uint64_t> g_calls{0};
+std::atomic<std::uint64_t> g_injected_eintr{0};
+std::atomic<std::uint64_t> g_short_writes{0};
+std::once_flag g_env_once;
+
+void apply(const FaultSpec& spec) {
+  g_short_write_cap.store(spec.short_write_cap, std::memory_order_relaxed);
+  g_eintr_every.store(spec.eintr_every, std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("BASCHED_FAULT");
+    if (env != nullptr && *env != '\0') apply(parse_fault_spec(env));
+  });
+}
+
+/// One shim call elapsed; true when this call should fail with EINTR.
+bool inject_eintr() {
+  const std::uint32_t every = g_eintr_every.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  const std::uint64_t call = g_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (call % every != 0) return false;
+  g_injected_eintr.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+
+    std::string name = clause;
+    std::uint64_t count = 0;
+    bool has_count = false;
+    if (const std::size_t colon = clause.find(':'); colon != std::string::npos) {
+      name = clause.substr(0, colon);
+      const std::string digits = clause.substr(colon + 1);
+      if (digits.empty()) throw std::invalid_argument("fault spec: empty count in '" + clause + "'");
+      for (const char c : digits) {
+        if (c < '0' || c > '9')
+          throw std::invalid_argument("fault spec: bad count in '" + clause + "'");
+        count = count * 10 + static_cast<std::uint64_t>(c - '0');
+        if (count > 1'000'000'000) throw std::invalid_argument("fault spec: count too large");
+      }
+      has_count = true;
+    }
+
+    if (name == "short_write") {
+      out.short_write_cap = has_count ? static_cast<std::size_t>(count) : 1;
+      if (out.short_write_cap == 0)
+        throw std::invalid_argument("fault spec: short_write cap must be >= 1");
+    } else if (name == "eintr") {
+      out.eintr_every = has_count ? static_cast<std::uint32_t>(count) : 3;
+      if (out.eintr_every == 0)
+        throw std::invalid_argument("fault spec: eintr period must be >= 1");
+    } else {
+      throw std::invalid_argument("fault spec: unknown fault '" + name + "'");
+    }
+  }
+  return out;
+}
+
+void set_fault_spec(const FaultSpec& spec) {
+  init_from_env();  // settle the env init so it can't overwrite this later
+  apply(spec);
+}
+
+FaultSpec fault_spec() {
+  init_from_env();
+  FaultSpec spec;
+  spec.short_write_cap = g_short_write_cap.load(std::memory_order_relaxed);
+  spec.eintr_every = g_eintr_every.load(std::memory_order_relaxed);
+  return spec;
+}
+
+FaultCounters fault_counters() {
+  FaultCounters c;
+  c.injected_eintr = g_injected_eintr.load(std::memory_order_relaxed);
+  c.short_writes = g_short_writes.load(std::memory_order_relaxed);
+  return c;
+}
+
+ssize_t send_some(int fd, const char* data, std::size_t len) {
+  init_from_env();
+  if (inject_eintr()) {
+    errno = EINTR;
+    return -1;
+  }
+  std::size_t n = len;
+  const std::size_t cap = g_short_write_cap.load(std::memory_order_relaxed);
+  if (cap != 0 && n > cap) {
+    n = cap;
+    g_short_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ::send(fd, data, n, MSG_NOSIGNAL);
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send_some(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone; the caller closes the fd
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t recv_some(int fd, char* buf, std::size_t len) {
+  init_from_env();
+  if (inject_eintr()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+bool peer_disconnected(int fd) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int rc = ::poll(&p, 1, 0);
+  if (rc <= 0) return false;  // quiet socket (or transient poll failure): alive
+  if ((p.revents & (POLLERR | POLLNVAL)) != 0) return true;
+  if ((p.revents & (POLLIN | POLLHUP)) == 0) return false;
+  // POLLIN can mean pipelined request bytes from a live client; only an
+  // orderly EOF (peek returns 0) or a hard error marks the peer gone.
+  // MSG_PEEK consumes nothing, so the owning connection thread still sees
+  // every byte when it resumes reading. Raw ::recv on purpose: the probe
+  // must see the real socket state, never an injected fault.
+  char b = 0;
+  const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;
+  if (n < 0) return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+  return false;
+}
+
+}  // namespace basched::serve::sock

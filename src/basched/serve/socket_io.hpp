@@ -1,0 +1,79 @@
+/// \file socket_io.hpp
+/// \brief The daemon's single socket I/O choke point, with fault injection.
+///
+/// Every byte the serve layer moves goes through these wrappers — the
+/// `basched_lint` `raw-socket` rule bans `::recv`/`::send` anywhere else in
+/// `src/` — which makes socket-level fault injection a property of the whole
+/// daemon instead of whichever call site a test happens to reach:
+///
+///   BASCHED_FAULT=short_write:1,eintr:3 ./baschedule serve ...
+///
+///  - `short_write[:N]` caps every send at N bytes (default 1), forcing the
+///    retry loop in `send_all` to reassemble each response from single-byte
+///    writes.
+///  - `eintr[:K]` synthesizes an `EINTR` failure on every Kth shim call
+///    (default 3) *without* performing the syscall, exercising the
+///    interrupted-syscall retry paths under conditions `kill -s` timing can
+///    never reproduce deterministically.
+///
+/// The env spec is parsed once on first use; tests can override it at any
+/// time through `set_fault_spec` (all state is atomic, so flipping faults
+/// on/off mid-traffic is safe). Unknown clauses throw std::invalid_argument
+/// from the parser — a typo'd fault spec must never silently test nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace basched::serve::sock {
+
+/// Active fault-injection configuration. Default-constructed = no faults.
+struct FaultSpec {
+  std::size_t short_write_cap = 0;  ///< cap bytes per send; 0 = off
+  std::uint32_t eintr_every = 0;    ///< inject EINTR every Kth call; 0 = off
+};
+
+/// Parses a `BASCHED_FAULT`-style spec string ("short_write:1,eintr:3"; ""
+/// = no faults). Throws std::invalid_argument on unknown clauses or
+/// malformed counts.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Test hook: replaces the active spec (normally initialized once from the
+/// BASCHED_FAULT environment variable). Thread-safe.
+void set_fault_spec(const FaultSpec& spec);
+
+/// The active spec (env-initialized on first call).
+[[nodiscard]] FaultSpec fault_spec();
+
+/// How many faults the shim has injected since process start — lets tests
+/// assert a fault actually fired rather than silently passing on a path
+/// that never reached the shim.
+struct FaultCounters {
+  std::uint64_t injected_eintr = 0;
+  std::uint64_t short_writes = 0;
+};
+[[nodiscard]] FaultCounters fault_counters();
+
+/// `::send(fd, ..., MSG_NOSIGNAL)` with injected faults. Returns the byte
+/// count, or -1 with errno set (injected EINTR included).
+[[nodiscard]] ssize_t send_some(int fd, const char* data, std::size_t len);
+
+/// Sends the whole buffer, retrying short writes and EINTR. False when the
+/// peer is gone (any other send failure).
+[[nodiscard]] bool send_all(int fd, const std::string& data);
+
+/// `::recv` with injected faults. Same contract as recv: 0 = orderly EOF,
+/// -1 with errno set on failure (injected EINTR included).
+[[nodiscard]] ssize_t recv_some(int fd, char* buf, std::size_t len);
+
+/// Non-blocking liveness probe for a connection some *other* thread owns:
+/// true when the peer has disconnected (orderly EOF or error/hangup),
+/// false while it is alive — including when it merely has unread pipelined
+/// data queued. Uses poll + MSG_PEEK, so it never consumes bytes; safe to
+/// call from the watchdog while the owning thread is blocked on a response
+/// future (the owner only reads the socket *between* requests).
+[[nodiscard]] bool peer_disconnected(int fd);
+
+}  // namespace basched::serve::sock

@@ -1,0 +1,218 @@
+/// \file stop.hpp
+/// \brief Cooperative cancellation and time budgets for anytime search.
+///
+/// Three small primitives, composable and header-only:
+///
+///  - `StopSource` / `StopToken` — a shared sticky flag. The owner keeps the
+///    source and calls `request_stop()`; workers carry copies of the token
+///    and poll `stop_requested()` (one relaxed atomic load). A
+///    default-constructed token never stops, so plumbing a token through an
+///    options struct costs nothing on the no-cancellation path.
+///  - `Deadline` — a point on the monotonic clock. `Deadline::never()` (the
+///    default) never expires; `Deadline::after_ms(b)` expires `b`
+///    milliseconds from now. Monotonic by construction: wall-clock steps
+///    can't fire or starve a budget.
+///  - `RunBudget` — the amortized checker the search loops actually call.
+///    `expired()` reads the token every call but only touches the clock
+///    every `stride` calls, so a tight evaluator loop pays one relaxed load
+///    per iteration and a `steady_clock::now()` every ~64. Once it trips it
+///    stays tripped (sticky), and `reason()` says why — `cancelled` when the
+///    token fired, `deadline` when the clock ran out. An inactive budget
+///    (no token armed, `Deadline::never()`) always returns false, keeping
+///    no-deadline runs bit-identical to builds that predate this layer.
+///
+/// `StopReason` is the vocabulary search results use to say how they ended;
+/// it subsumes the old `truncated` bool (`node_budget`) and adds the two
+/// new anytime outcomes. `DeadlineExceeded` / `OperationCancelled` are for
+/// the all-or-nothing paths (sweeps) where a half-finished result is not
+/// meaningful and the work item aborts by throwing instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace basched::util {
+
+/// How a search run ended. Ordered by "severity" so merge sites (portfolio
+/// reduction) can keep the most significant member reason with a max().
+enum class StopReason : std::uint8_t {
+  completed = 0,    ///< ran its full configured budget
+  node_budget = 1,  ///< tripped max_nodes / max_assignments (old `truncated`)
+  deadline = 2,     ///< time budget expired; result is the best incumbent
+  cancelled = 3,    ///< a StopToken fired (client vanished, drain, Ctrl-C)
+};
+
+[[nodiscard]] constexpr const char* stop_reason_name(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::completed: return "completed";
+    case StopReason::node_budget: return "node_budget";
+    case StopReason::deadline: return "deadline";
+    case StopReason::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Keep the most severe of two reasons (portfolio/frontier merge rule).
+[[nodiscard]] constexpr StopReason merge_stop_reason(StopReason a, StopReason b) noexcept {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+/// Read side of the stop flag. Copyable, cheap (shared_ptr copy); a
+/// default-constructed token is "never stops" and polls without any atomic
+/// (null state), so options structs can carry one unconditionally.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// One relaxed load; sticky (stop never un-happens), so relaxed ordering
+  /// is enough — the flag carries no data dependency, searches re-derive
+  /// everything from their own state.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source (can ever fire).
+  [[nodiscard]] bool stop_possible() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag) noexcept
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side of the stop flag. The owner (watchdog, signal handler thread,
+/// test) calls `request_stop()`; every token copied from this source sees it.
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() noexcept { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] StopToken token() const noexcept { return StopToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A monotonic point in time a run must not pass. Value type, trivially
+/// copyable; `never()` is the default and compares as "infinitely far".
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  constexpr Deadline() = default;
+
+  [[nodiscard]] static constexpr Deadline never() noexcept { return Deadline(); }
+
+  /// Expires `budget_ms` milliseconds from now. `budget_ms == 0` is treated
+  /// as "no budget" (never), matching the CLI/serve convention where 0
+  /// disables the timeout.
+  [[nodiscard]] static Deadline after_ms(std::uint64_t budget_ms) {
+    if (budget_ms == 0) return never();
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(budget_ms);
+    return d;
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  [[nodiscard]] bool expired() const noexcept { return armed_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry, clamped at 0; a huge value when not armed.
+  [[nodiscard]] std::uint64_t remaining_ms() const noexcept {
+    if (!armed_) return UINT64_MAX;
+    const auto left = at_ - Clock::now();
+    if (left <= Clock::duration::zero()) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+  }
+
+  [[nodiscard]] Clock::time_point time_point() const noexcept { return at_; }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+/// Thrown by all-or-nothing work items (sweep points) when their budget
+/// expires mid-item; the executor rethrows the lowest-index exception, so a
+/// budgeted sweep aborts deterministically instead of returning a ragged
+/// partial table.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("deadline exceeded") {}
+};
+
+/// Same, for token-driven cancellation (client disconnect, drain).
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+/// The amortized check search loops call once per unit of work. Combines a
+/// token (checked every call — one relaxed load) with a deadline (clock read
+/// every `stride` calls). Sticky: after the first trip every later call
+/// returns true without touching the clock, so "check then finish the
+/// current block" patterns stay cheap.
+class RunBudget {
+ public:
+  /// Default: inactive. Never expires, never reads the clock — byte-for-byte
+  /// the pre-deadline behavior.
+  RunBudget() = default;
+
+  RunBudget(StopToken token, Deadline deadline, std::uint32_t stride = 64) noexcept
+      : token_(std::move(token)), deadline_(deadline),
+        stride_(stride == 0 ? 1 : stride) {
+    active_ = token_.stop_possible() || deadline_.armed();
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// One unit of work elapsed; true once the budget is gone (and forever
+  /// after). Never consumes RNG draws or mutates search state, so calling it
+  /// cannot perturb a trajectory.
+  [[nodiscard]] bool expired() noexcept {
+    if (stopped_) return true;
+    if (!active_) return false;
+    if (token_.stop_requested()) {
+      stopped_ = true;
+      reason_ = StopReason::cancelled;
+      return true;
+    }
+    if (deadline_.armed() && ++calls_ >= stride_) {
+      calls_ = 0;
+      if (deadline_.expired()) {
+        stopped_ = true;
+        reason_ = StopReason::deadline;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Why `expired()` tripped; `completed` while still running.
+  [[nodiscard]] StopReason reason() const noexcept { return reason_; }
+
+  [[nodiscard]] const StopToken& token() const noexcept { return token_; }
+  [[nodiscard]] const Deadline& deadline() const noexcept { return deadline_; }
+
+ private:
+  StopToken token_;
+  Deadline deadline_;
+  std::uint32_t stride_ = 64;
+  std::uint32_t calls_ = 0;
+  bool active_ = false;
+  bool stopped_ = false;
+  StopReason reason_ = StopReason::completed;
+};
+
+}  // namespace basched::util

@@ -30,6 +30,7 @@
 /// is held at every *source* read point, which is what the analysis checks.)
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -84,6 +85,14 @@ class CondVar {
   /// Atomically releases `lock`, sleeps, reacquires before returning. As
   /// always with condition variables: re-check the predicate in a loop.
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait; returns false on timeout, true when notified (possibly
+  /// spuriously — re-check the predicate either way). Same no-predicate
+  /// policy as `wait`.
+  template <class Rep, class Period>
+  bool wait_for(MutexLock& lock, std::chrono::duration<Rep, Period> dur) {
+    return cv_.wait_for(lock.lock_, dur) == std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

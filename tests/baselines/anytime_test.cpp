@@ -1,0 +1,238 @@
+/// Anytime-search contract across every search entry point: with a deadline
+/// or a fired StopToken each returns its best incumbent and says why it
+/// stopped; with no budget the results (and trajectories) are bit-identical
+/// to an unbudgeted run at any job count — adding the deadline layer must
+/// not move a single byte on the default path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "basched/analysis/executor.hpp"
+#include "basched/baselines/annealing.hpp"
+#include "basched/baselines/branch_and_bound.hpp"
+#include "basched/baselines/exhaustive.hpp"
+#include "basched/baselines/parallel.hpp"
+#include "basched/baselines/random_search.hpp"
+#include "basched/battery/rakhmatov_vrudhula.hpp"
+#include "basched/graph/generators.hpp"
+#include "basched/util/rng.hpp"
+#include "basched/util/stop.hpp"
+
+namespace basched::baselines {
+namespace {
+
+const battery::RakhmatovVrudhulaModel kModel(0.273);
+
+graph::TaskGraph test_graph(std::size_t tasks, std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::make_series_parallel(tasks, synth, rng);
+}
+
+util::StopToken fired_token() {
+  util::StopSource source;
+  source.request_stop();
+  return source.token();
+}
+
+// With a loose deadline every algorithm's initial incumbent is feasible, so
+// even an immediately-cancelled run must hand back a usable schedule.
+void expect_valid_incumbent(const ScheduleResult& r, const graph::TaskGraph& g,
+                            double deadline) {
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(std::isnan(r.sigma));
+  EXPECT_LE(r.schedule.duration(g), deadline * (1.0 + 1e-9));
+}
+
+// ---- cancelled: a pre-fired token stops every entry point at once --------
+
+TEST(Anytime, AnnealingReturnsIncumbentWhenCancelled) {
+  const auto g = test_graph(8);
+  AnnealingOptions opts;
+  opts.stop = fired_token();
+  const auto r = schedule_annealing(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::cancelled);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.nodes_explored, 0u);  // stopped before the first move
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, RandomSearchReportsCancelledBeforeFirstSample) {
+  // Random search has no seeded incumbent: the budget is checked before any
+  // sample is drawn, so an already-fired token yields an *honest* empty
+  // result — infeasible, zero samples, reason `cancelled` — never a crash.
+  const auto g = test_graph(8);
+  RandomSearchOptions opts;
+  opts.stop = fired_token();
+  const auto r = schedule_random_search(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::cancelled);
+  EXPECT_EQ(r.nodes_explored, 0u);  // no sample drawn after the trip
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Anytime, BranchAndBoundReturnsIncumbentWhenCancelled) {
+  const auto g = test_graph(8);
+  BnbOptions opts;
+  opts.stop = fired_token();
+  const auto r = schedule_branch_and_bound(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::cancelled);
+  // seed_with_heuristic hands bnb a feasible incumbent before the walk.
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, ExhaustiveReportsCancelled) {
+  const auto g = test_graph(6);
+  ExhaustiveOptions opts;
+  opts.stop = fired_token();
+  const auto r = schedule_exhaustive(g, 200.0, kModel, opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->stop_reason, util::StopReason::cancelled);
+  EXPECT_TRUE(r->truncated());
+  // Exhaustive has no seeded incumbent: an immediate stop may yield an
+  // infeasible result, but it must say so rather than crash or hang.
+  if (!r->feasible) {
+    EXPECT_NE(r->error.find("budget"), std::string::npos) << r->error;
+  }
+}
+
+TEST(Anytime, ParallelBnbReturnsIncumbentWhenCancelled) {
+  const auto g = test_graph(10);
+  analysis::Executor executor(4);
+  ParallelBnbOptions opts;
+  opts.base.stop = fired_token();
+  const auto r = schedule_branch_and_bound_parallel(g, 200.0, kModel, executor, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::cancelled);
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, PortfoliosPropagateCancellation) {
+  const auto g = test_graph(8);
+  analysis::Executor executor(2);
+
+  AnnealingPortfolioOptions ap;
+  ap.annealing.stop = fired_token();
+  ap.restarts = 4;
+  const auto a = schedule_annealing_portfolio(g, 200.0, kModel, executor, ap);
+  EXPECT_EQ(a.stop_reason, util::StopReason::cancelled);
+  expect_valid_incumbent(a, g, 200.0);
+
+  // Every random shard stops before its first sample (no seeded incumbent),
+  // so the reduction must report an honest infeasible + cancelled result.
+  RandomPortfolioOptions rp;
+  rp.search.stop = fired_token();
+  rp.restarts = 4;
+  const auto r = schedule_random_search_portfolio(g, 200.0, kModel, executor, rp);
+  EXPECT_EQ(r.stop_reason, util::StopReason::cancelled);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.error.empty());
+}
+
+// ---- deadline: an expired clock stops with reason `deadline` -------------
+
+TEST(Anytime, AnnealingStopsOnExpiredDeadline) {
+  const auto g = test_graph(8);
+  AnnealingOptions opts;
+  opts.iterations = 50'000'000;  // would run ~minutes unbudgeted
+  opts.time_budget = util::Deadline::after_ms(30);
+  const auto r = schedule_annealing(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::deadline);
+  EXPECT_LT(r.nodes_explored, 50'000'000u);
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, RandomSearchStopsOnExpiredDeadline) {
+  const auto g = test_graph(8);
+  RandomSearchOptions opts;
+  opts.samples = 50'000'000;
+  opts.time_budget = util::Deadline::after_ms(30);
+  const auto r = schedule_random_search(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::deadline);
+  EXPECT_LT(r.nodes_explored, 50'000'000u);
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, BranchAndBoundStopsOnExpiredDeadline) {
+  const auto g = test_graph(16);  // tree far too big to finish in 30ms
+  BnbOptions opts;
+  opts.max_nodes = UINT64_MAX;
+  opts.time_budget = util::Deadline::after_ms(30);
+  const auto r = schedule_branch_and_bound(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::deadline);
+  expect_valid_incumbent(r, g, 200.0);
+}
+
+TEST(Anytime, NodeBudgetStillReportsNodeBudget) {
+  // The old truncation path keeps its identity: a node-budget trip is
+  // node_budget, never deadline, even when a (generous) deadline is armed.
+  const auto g = test_graph(12);
+  BnbOptions opts;
+  opts.max_nodes = 50;
+  opts.time_budget = util::Deadline::after_ms(60'000);
+  const auto r = schedule_branch_and_bound(g, 200.0, kModel, opts);
+  EXPECT_EQ(r.stop_reason, util::StopReason::node_budget);
+  EXPECT_TRUE(r.truncated());
+}
+
+// ---- no budget: byte-identity with the pre-deadline behavior -------------
+
+void expect_identical(const ScheduleResult& a, const ScheduleResult& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.sigma, b.sigma);  // bitwise
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.schedule.sequence, b.schedule.sequence);
+  EXPECT_EQ(a.schedule.assignment, b.schedule.assignment);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+}
+
+TEST(Anytime, InertBudgetIsBitIdenticalAcrossJobCounts) {
+  const auto g = test_graph(9, 11);
+  const double deadline = 60.0;
+
+  // Default options vs. explicitly-inert budget: the RunBudget must be
+  // pure observation — no RNG draws, no trajectory perturbation.
+  AnnealingOptions aopts;
+  aopts.seed = 5;
+  AnnealingOptions aopts_inert = aopts;
+  aopts_inert.stop = util::StopToken();
+  aopts_inert.time_budget = util::Deadline::never();
+  expect_identical(schedule_annealing(g, deadline, kModel, aopts),
+                   schedule_annealing(g, deadline, kModel, aopts_inert));
+
+  RandomSearchOptions ropts;
+  ropts.seed = 5;
+  expect_identical(schedule_random_search(g, deadline, kModel, ropts),
+                   schedule_random_search(g, deadline, kModel, ropts));
+
+  const auto serial = schedule_branch_and_bound(g, deadline, kModel);
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    analysis::Executor executor(jobs);
+    ParallelBnbOptions popts;
+    const auto parallel = schedule_branch_and_bound_parallel(g, deadline, kModel, executor, popts);
+    expect_identical(serial, parallel);
+
+    AnnealingPortfolioOptions ap;
+    ap.annealing = aopts;
+    ap.restarts = 4;
+    const auto pa = schedule_annealing_portfolio(g, deadline, kModel, executor, ap);
+    analysis::Executor one(1);
+    expect_identical(pa, schedule_annealing_portfolio(g, deadline, kModel, one, ap));
+  }
+}
+
+TEST(Anytime, CompletedRunsReportCompleted) {
+  const auto g = test_graph(6);
+  AnnealingOptions opts;
+  opts.iterations = 500;
+  EXPECT_EQ(schedule_annealing(g, 200.0, kModel, opts).stop_reason,
+            util::StopReason::completed);
+  EXPECT_EQ(schedule_branch_and_bound(g, 200.0, kModel).stop_reason,
+            util::StopReason::completed);
+  EXPECT_FALSE(schedule_branch_and_bound(g, 200.0, kModel).truncated());
+}
+
+}  // namespace
+}  // namespace basched::baselines

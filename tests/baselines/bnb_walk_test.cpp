@@ -52,7 +52,7 @@ BnbWalkVisitor run_walk(const graph::TaskGraph& g, double deadline, std::uint64_
 void expect_identical(const BnbWalkVisitor& fan, const BnbWalkVisitor& seq,
                       const std::string& ctx) {
   EXPECT_EQ(fan.found, seq.found) << ctx;
-  EXPECT_EQ(fan.aborted, seq.aborted) << ctx;
+  EXPECT_EQ(fan.aborted(), seq.aborted()) << ctx;
   EXPECT_EQ(fan.nan_sigma, seq.nan_sigma) << ctx;
   EXPECT_EQ(fan.best_sigma, seq.best_sigma) << ctx;  // bitwise, incl. +inf
   EXPECT_EQ(fan.best.sequence, seq.best.sequence) << ctx;

@@ -36,7 +36,7 @@ TEST_P(BnbVsExhaustive, MatchesExhaustiveOptimum) {
   const auto exhaustive = schedule_exhaustive(g, d, kModel);
   const auto bnb = schedule_branch_and_bound(g, d, kModel);
   ASSERT_TRUE(exhaustive.has_value());
-  EXPECT_FALSE(bnb.truncated);
+  EXPECT_FALSE(bnb.truncated());
   ASSERT_EQ(exhaustive->feasible, bnb.feasible);
   if (exhaustive->feasible) { EXPECT_NEAR(bnb.sigma, exhaustive->sigma, 1e-6); }
 }
@@ -77,7 +77,7 @@ TEST(Bnb, NodeLimitReportedAsTruncated) {
   opts.max_nodes = 50;
   opts.seed_with_heuristic = false;
   const auto r = schedule_branch_and_bound(g, 1e6, kModel, opts);
-  EXPECT_TRUE(r.truncated);  // budget tripped: best-found, not proven — reported, never silent
+  EXPECT_TRUE(r.truncated());  // budget tripped: best-found, not proven — reported, never silent
   if (!r.feasible) {
     EXPECT_FALSE(r.error.empty());
   }
@@ -90,7 +90,7 @@ TEST(Bnb, TruncatedSeededRunStillReturnsSeedIncumbent) {
   BnbOptions opts;
   opts.max_nodes = 1;
   const auto r = schedule_branch_and_bound(g, mid_deadline(g), kModel, opts);
-  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.truncated());
   ASSERT_TRUE(r.feasible);
   const auto seed = core::schedule_battery_aware(g, mid_deadline(g), kModel);
   ASSERT_TRUE(seed.feasible);
@@ -101,7 +101,7 @@ TEST(Bnb, UnmeetableDeadlineReported) {
   const auto g = graph::make_g3();
   const auto bnb = schedule_branch_and_bound(g, 50.0, kModel);
   EXPECT_FALSE(bnb.feasible);
-  EXPECT_FALSE(bnb.truncated);
+  EXPECT_FALSE(bnb.truncated());
   EXPECT_FALSE(bnb.error.empty());
 }
 

@@ -87,7 +87,10 @@ TEST(BaselineDeterminism, EffortCountersPopulated) {
   const auto sa = schedule_annealing(g, d, kModel, aopts);
   EXPECT_EQ(sa.nodes_explored, 1000u);
   EXPECT_GT(sa.evaluations, 0u);
-  const auto rnd = schedule_random_search(g, d, kModel, {.seed = 1, .samples = 200});
+  RandomSearchOptions ropts;
+  ropts.seed = 1;
+  ropts.samples = 200;
+  const auto rnd = schedule_random_search(g, d, kModel, ropts);
   EXPECT_EQ(rnd.nodes_explored, 200u);
   EXPECT_GT(rnd.evaluations, 0u);
   EXPECT_LE(rnd.evaluations, 201u);  // <= samples (+1 would mean a stray count)
@@ -121,7 +124,10 @@ TEST(SearchLoopProbe, RandomSearchRunsExactlyOneFullEvaluation) {
   const auto g = small_graph(22);
   const double d = mid_deadline(g);
   const std::uint64_t before = model.full_evaluations();
-  const auto r = schedule_random_search(g, d, model, {.seed = 3, .samples = 500});
+  RandomSearchOptions ropts;
+  ropts.seed = 3;
+  ropts.samples = 500;
+  const auto r = schedule_random_search(g, d, model, ropts);
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(model.full_evaluations(), before + 1);
 }

@@ -68,7 +68,7 @@ TEST(Exhaustive, NodeBudgetReportsTruncation) {
   ASSERT_TRUE(r.has_value());
   // The budget trips mid-walk: the best-so-far is returned and the
   // truncation is *reported*, never silent.
-  EXPECT_TRUE(r->truncated);
+  EXPECT_TRUE(r->truncated());
   EXPECT_TRUE(r->feasible);  // a loose deadline: early leaves are feasible
   EXPECT_LE(r->nodes_explored, 1001u);
 }
@@ -83,7 +83,7 @@ TEST(Exhaustive, TruncatedInfeasibleDoesNotClaimUnmeetable) {
   const auto r = schedule_exhaustive(g, g.column_time(0), kModel, opts);
   ASSERT_TRUE(r.has_value());
   EXPECT_FALSE(r->feasible);
-  EXPECT_TRUE(r->truncated);
+  EXPECT_TRUE(r->truncated());
   // An under-searched tree proves nothing about the deadline.
   EXPECT_EQ(r->error.find("unmeetable"), std::string::npos);
   EXPECT_NE(r->error.find("budget"), std::string::npos);
@@ -93,7 +93,7 @@ TEST(Exhaustive, ExactByDefaultAndUntruncated) {
   const auto g = tiny_graph();
   const auto r = schedule_exhaustive(g, 5.0, kModel);
   ASSERT_TRUE(r.has_value());
-  EXPECT_FALSE(r->truncated);
+  EXPECT_FALSE(r->truncated());
 }
 
 TEST(Exhaustive, UnboundedBudgetWalksEverything) {
@@ -103,7 +103,7 @@ TEST(Exhaustive, UnboundedBudgetWalksEverything) {
   const auto bounded = schedule_exhaustive(g, 5.0, kModel);
   const auto unbounded = schedule_exhaustive(g, 5.0, kModel, opts);
   ASSERT_TRUE(bounded.has_value() && unbounded.has_value());
-  EXPECT_FALSE(unbounded->truncated);
+  EXPECT_FALSE(unbounded->truncated());
   EXPECT_EQ(bounded->sigma, unbounded->sigma);
   EXPECT_EQ(bounded->nodes_explored, unbounded->nodes_explored);
 }

@@ -93,7 +93,10 @@ TEST(NanHardening, AnnealingReturnsExplicitError) {
 TEST(NanHardening, RandomSearchReturnsExplicitError) {
   const NanModel model;
   const auto g = small_graph(4);
-  expect_nan_error(schedule_random_search(g, kLooseDeadline, model, {.seed = 1, .samples = 50}));
+  RandomSearchOptions ropts;
+  ropts.seed = 1;
+  ropts.samples = 50;
+  expect_nan_error(schedule_random_search(g, kLooseDeadline, model, ropts));
 }
 
 TEST(NanHardening, PortfolioReductionSkipsNanMembers) {

@@ -53,7 +53,7 @@ TEST(ParallelBnb, ByteIdenticalAcrossJobs) {
     for (const unsigned jobs : {1u, 2u, 8u}) {
       analysis::Executor executor(jobs);
       const auto r = schedule_branch_and_bound_parallel(g, d, kModel, executor);
-      EXPECT_FALSE(r.truncated) << "seed " << seed << " jobs " << jobs;
+      EXPECT_FALSE(r.truncated()) << "seed " << seed << " jobs " << jobs;
       EXPECT_GT(r.nodes_explored, 0u);
       EXPECT_GT(r.evaluations, 0u);
       if (!reference) {
@@ -92,7 +92,7 @@ TEST(ParallelBnb, ExplicitFrontierDepthStillIdentical) {
   for (const unsigned jobs : {1u, 8u}) {
     analysis::Executor executor(jobs);
     const auto r = schedule_branch_and_bound_parallel(g, d, kModel, executor, opts);
-    EXPECT_FALSE(r.truncated);
+    EXPECT_FALSE(r.truncated());
     if (!reference) {
       reference = r;
     } else {
@@ -106,7 +106,7 @@ TEST(ParallelBnb, UnmeetableDeadlineReported) {
   analysis::Executor executor(2);
   const auto r = schedule_branch_and_bound_parallel(g, 50.0, kModel, executor);
   EXPECT_FALSE(r.feasible);
-  EXPECT_FALSE(r.truncated);
+  EXPECT_FALSE(r.truncated());
   EXPECT_FALSE(r.error.empty());
 }
 
@@ -120,7 +120,7 @@ TEST(ParallelBnb, SharedNodeBudgetReportedAsTruncated) {
   opts.base.seed_with_heuristic = false;
   analysis::Executor executor(2);
   const auto r = schedule_branch_and_bound_parallel(g, 1e6, kModel, executor, opts);
-  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.truncated());
   if (!r.feasible) {
     EXPECT_FALSE(r.error.empty());
   }
@@ -142,7 +142,7 @@ TEST(ParallelBnb, WorkerBudgetTripPropagatesToMergedResult) {
     opts.base.max_nodes = budget;
     analysis::Executor executor(2);
     const auto r = schedule_branch_and_bound_parallel(g, 1e6, kModel, executor, opts);
-    if (!r.truncated) continue;  // generous budget: nothing to check
+    if (!r.truncated()) continue;  // generous budget: nothing to check
     // Seeded: the merged result still carries the best incumbent found.
     ASSERT_TRUE(r.feasible) << r.error;
     return;

@@ -265,8 +265,8 @@ TEST(WalkerVsLegacy, PaperGraphLifetimeAndSigmaMatchBruteForce) {
   ASSERT_TRUE(exhaustive.has_value());
   ASSERT_TRUE(reference.feasible);
   ASSERT_TRUE(exhaustive->feasible && bnb.feasible);
-  EXPECT_FALSE(exhaustive->truncated);
-  EXPECT_FALSE(bnb.truncated);
+  EXPECT_FALSE(exhaustive->truncated());
+  EXPECT_FALSE(bnb.truncated());
   const double tol = 1e-12 * std::max(1.0, reference.sigma);
   EXPECT_NEAR(exhaustive->sigma, reference.sigma, tol);
   EXPECT_NEAR(bnb.sigma, reference.sigma, tol);

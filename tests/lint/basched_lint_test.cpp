@@ -51,6 +51,7 @@ TEST(basched_lint, fixture_tree_reports_every_rule_with_exact_locations) {
 
   EXPECT_TRUE(has_line(r.out, "src/core/raw_exp_bad.cpp:5: raw-exp:")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/battery/raw_rng_bad.cpp:5: raw-rng:")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/serve/raw_socket_bad.cpp:6: raw-socket:")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/serve/unordered_iter_bad.cpp:8: unordered-iter:")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/util/stdout_bad.cpp:5: stdout-write:")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/util/missing_pragma.hpp:1: pragma-once:")) << r.out;
@@ -63,6 +64,7 @@ TEST(basched_lint, fixture_tree_reports_every_rule_with_exact_locations) {
   // Justified suppressions are reported as 'allowed', not as violations.
   EXPECT_TRUE(has_line(r.out, "src/core/raw_exp_allowed.cpp:6: allowed: raw-exp")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/battery/raw_rng_allowed.cpp:5: allowed: raw-rng")) << r.out;
+  EXPECT_TRUE(has_line(r.out, "src/serve/raw_socket_allowed.cpp:7: allowed: raw-socket")) << r.out;
   EXPECT_TRUE(has_line(r.out, "src/serve/unordered_iter_allowed.cpp:10: allowed: unordered-iter"))
       << r.out;
   EXPECT_TRUE(has_line(r.out, "src/util/stdout_allowed.cpp:6: allowed: stdout-write")) << r.out;
@@ -70,7 +72,7 @@ TEST(basched_lint, fixture_tree_reports_every_rule_with_exact_locations) {
   // raw-exp is path-scoped: the graph/ fixture uses std::exp legally.
   EXPECT_EQ(r.out.find("raw_exp_unrestricted"), std::string::npos) << r.out;
 
-  EXPECT_NE(r.out.find("basched_lint: 12 file(s), 8 violation(s), 4 allowed suppression(s)"),
+  EXPECT_NE(r.out.find("basched_lint: 14 file(s), 9 violation(s), 5 allowed suppression(s)"),
             std::string::npos)
       << r.out;
 }

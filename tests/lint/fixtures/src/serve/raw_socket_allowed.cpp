@@ -1,0 +1,8 @@
+// Fixture: raw-socket suppressed with a justification on the line above.
+#include <sys/socket.h>
+
+long probe(int fd) {
+  char c = 0;
+  // basched-lint: allow(raw-socket) fixture for line-above suppression
+  return ::recv(fd, &c, 1, MSG_PEEK);
+}

@@ -1,0 +1,7 @@
+// Fixture: a bare ::send outside serve/socket_io must trip raw-socket
+// (line 6); the wrapper names (send_all, recv_some) must not.
+#include <sys/socket.h>
+
+long leak_bytes(int fd, const char* data, unsigned len) {
+  return ::send(fd, data, len, 0);
+}

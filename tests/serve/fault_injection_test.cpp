@@ -1,0 +1,373 @@
+/// Fault-injected hardening tests for the serve daemon: every byte the
+/// server moves goes through serve/socket_io, so flipping the shim's fault
+/// knobs (short writes, synthetic EINTR) stresses *all* retry loops at once.
+/// On top of the wire faults this suite drives the watchdog paths — client
+/// disconnect mid-request, per-request timeouts, and the bounded drain —
+/// and asserts the server answers, cancels, and exits cleanly instead of
+/// crashing, wedging, or leaking the connection.
+///
+/// The fault spec is process-global; every test that sets it restores the
+/// no-fault spec before returning (gtest_discover_tests runs each case in
+/// its own process, so cross-test leakage cannot happen either way).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "basched/graph/generators.hpp"
+#include "basched/graph/io.hpp"
+#include "basched/serve/json.hpp"
+#include "basched/serve/server.hpp"
+#include "basched/serve/socket_io.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+namespace {
+
+std::string graph_text(std::uint64_t seed, std::size_t tasks = 5) {
+  util::Rng rng(seed);
+  graph::DesignPointSynthesis synth;
+  synth.num_points = 3;
+  return graph::serialize(graph::make_series_parallel(tasks, synth, rng));
+}
+
+/// A schedule request frame; `extra` merges additional params (timeout_ms…).
+std::string schedule_request(const std::string& graph, const std::string& algorithm,
+                             json::Object extra = {}) {
+  json::Object params = std::move(extra);
+  params["graph"] = graph;
+  params["deadline"] = 500.0;
+  params["algorithm"] = algorithm;
+  json::Object frame;
+  frame["verb"] = "schedule";
+  frame["id"] = 1;
+  frame["params"] = json::Value(std::move(params));
+  return json::dump(json::Value(std::move(frame))) + "\n";
+}
+
+/// Restores the clean (no-fault) spec when a test scope ends, pass or fail.
+struct FaultGuard {
+  explicit FaultGuard(const sock::FaultSpec& spec) { sock::set_fault_spec(spec); }
+  ~FaultGuard() { sock::set_fault_spec(sock::FaultSpec{}); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+/// Minimal blocking client (same shape as server_test's): receive timeout so
+/// a wedged server fails the test instead of hanging it.
+class Client {
+ public:
+  static Client tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    return Client(fd);
+  }
+
+  explicit Client(int fd) : fd_(fd) {
+    timeval tv{30, 0};  // generous: sanitizer builds are slow
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~Client() { close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+
+  void send(const std::string& data) const {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  void try_send(const std::string& data) const {
+    [[maybe_unused]] const auto rc = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = make_tcp_options()) : service_(4) {
+    server_ = std::make_unique<Server>(service_, std::move(options));
+    runner_ = std::thread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() { drain_and_join(); }
+
+  static ServerOptions make_tcp_options() {
+    ServerOptions o;
+    o.tcp_port = 0;  // ephemeral
+    o.jobs = 2;
+    return o;
+  }
+
+  [[nodiscard]] Client connect() const { return Client::tcp(server_->tcp_port()); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] Service& service() { return service_; }
+
+  void drain_and_join() {
+    if (!runner_.joinable()) return;
+    server_->request_drain();
+    runner_.join();
+  }
+
+ private:
+  Service service_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+// ---- fault spec parsing ---------------------------------------------------
+
+TEST(ServeFault, ParseFaultSpecAcceptsKnownClauses) {
+  const sock::FaultSpec off = sock::parse_fault_spec("");
+  EXPECT_EQ(off.short_write_cap, 0u);
+  EXPECT_EQ(off.eintr_every, 0u);
+
+  const sock::FaultSpec defaults = sock::parse_fault_spec("short_write,eintr");
+  EXPECT_EQ(defaults.short_write_cap, 1u);
+  EXPECT_EQ(defaults.eintr_every, 3u);
+
+  const sock::FaultSpec counted = sock::parse_fault_spec("short_write:4,eintr:2");
+  EXPECT_EQ(counted.short_write_cap, 4u);
+  EXPECT_EQ(counted.eintr_every, 2u);
+}
+
+TEST(ServeFault, ParseFaultSpecRejectsGarbageLoudly) {
+  // A typo'd BASCHED_FAULT must never silently test nothing.
+  EXPECT_THROW((void)sock::parse_fault_spec("short_wrote:1"), std::invalid_argument);
+  EXPECT_THROW((void)sock::parse_fault_spec("eintr:abc"), std::invalid_argument);
+  EXPECT_THROW((void)sock::parse_fault_spec("eintr:"), std::invalid_argument);
+  EXPECT_THROW((void)sock::parse_fault_spec("short_write:0"), std::invalid_argument);
+  EXPECT_THROW((void)sock::parse_fault_spec("eintr:0"), std::invalid_argument);
+  EXPECT_THROW((void)sock::parse_fault_spec("eintr:99999999999"), std::invalid_argument);
+}
+
+// ---- wire faults ----------------------------------------------------------
+
+TEST(ServeFault, SingleByteWritesStillDeliverWholeResponses) {
+  const auto before = sock::fault_counters();
+  const FaultGuard guard(sock::parse_fault_spec("short_write:1"));
+  ServerFixture fx;
+  Client c = fx.connect();
+
+  c.send("{\"verb\":\"ping\",\"id\":1}\n");
+  EXPECT_EQ(c.read_line(), R"({"id":1,"ok":true,"result":{"pong":true}})");
+
+  // A schedule response is hundreds of bytes — all reassembled from
+  // single-byte sends by send_all's retry loop.
+  c.send(schedule_request(graph_text(1), "ours"));
+  const auto frame = json::parse(c.read_line()).as_object();
+  EXPECT_TRUE(frame.at("ok").as_bool());
+  EXPECT_TRUE(frame.at("result").as_object().at("feasible").as_bool());
+
+  const auto after = sock::fault_counters();
+  EXPECT_GT(after.short_writes, before.short_writes);  // the fault really fired
+}
+
+TEST(ServeFault, InjectedEintrIsRetriedOnEveryPath) {
+  const auto before = sock::fault_counters();
+  const FaultGuard guard(sock::parse_fault_spec("eintr:3,short_write:7"));
+  ServerFixture fx;
+  Client c = fx.connect();
+
+  for (int i = 0; i < 4; ++i) {
+    c.send(schedule_request(graph_text(1), "ours"));
+    const auto frame = json::parse(c.read_line()).as_object();
+    EXPECT_TRUE(frame.at("ok").as_bool()) << json::dump(json::Value(frame));
+  }
+
+  const auto after = sock::fault_counters();
+  EXPECT_GT(after.injected_eintr, before.injected_eintr);
+}
+
+TEST(ServeFault, SlowLorisRequestIsAssembledAndAnswered) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  const std::string req = "{\"verb\":\"ping\",\"id\":9}\n";
+  for (const char ch : req) {
+    c.send(std::string(1, ch));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(c.read_line(), R"({"id":9,"ok":true,"result":{"pong":true}})");
+}
+
+TEST(ServeFault, TruncatedFrameThenCloseLeavesServerServing) {
+  const FaultGuard guard(sock::parse_fault_spec("short_write:1,eintr:3"));
+  ServerFixture fx;
+  {
+    Client c = fx.connect();
+    c.send("{\"verb\":\"schedule\",\"params\":{\"gra");  // no newline, then gone
+    c.close();
+  }
+  Client c2 = fx.connect();
+  c2.send("{\"verb\":\"ping\"}\n");
+  const auto frame = json::parse(c2.read_line()).as_object();
+  EXPECT_TRUE(frame.at("ok").as_bool());
+}
+
+// ---- watchdog: disconnect, timeout, bounded drain -------------------------
+
+/// A schedule request that runs 1-2 s unbudgeted (512 serial annealing
+/// restarts) but unwinds within one annealing block of its token firing —
+/// the knob the watchdog/timeout tests hang their timing margins on.
+std::string long_request(json::Object extra = {}) {
+  extra["restarts"] = 512.0;
+  return schedule_request(graph_text(3, 22), "annealing", std::move(extra));
+}
+
+TEST(ServeFault, DisconnectMidRequestCancelsTheSearch) {
+  ServerFixture fx;
+  {
+    Client c = fx.connect();
+    // The request runs far longer than the watchdog's poll period; the
+    // client vanishing must cancel it, not let it burn seconds of search
+    // on a dead connection.
+    c.send(long_request());
+    c.close();
+  }
+  // The watchdog fires the request's stop token; the search unwinds as
+  // `cancelled` and the worker finds the peer gone on the response write.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (fx.server().stats().disconnect_cancels == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  fx.drain_and_join();
+  EXPECT_GE(fx.server().stats().disconnect_cancels, 1u);
+  EXPECT_GE(fx.service().stats().cancelled_stops, 1u);
+}
+
+TEST(ServeFault, RequestTimeoutReturnsBestSoFarWithDeadlineReason) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  json::Object extra;
+  extra["timeout_ms"] = 30.0;
+  c.send(long_request(std::move(extra)));
+  const auto frame = json::parse(c.read_line()).as_object();
+  ASSERT_TRUE(frame.at("ok").as_bool());
+  const auto& result = frame.at("result").as_object();
+  // Anytime contract: the budgeted search answers in time with its best
+  // incumbent and says why it stopped.
+  EXPECT_TRUE(result.at("feasible").as_bool());
+  EXPECT_EQ(result.at("stop_reason").as_string(), "deadline");
+  EXPECT_GE(fx.service().stats().deadline_stops, 1u);
+}
+
+TEST(ServeFault, ServerDefaultTimeoutAppliesWhenRequestSetsNone) {
+  ServerOptions o = ServerFixture::make_tcp_options();
+  o.default_timeout_ms = 30;
+  ServerFixture fx(o);
+  Client c = fx.connect();
+  c.send(long_request());
+  const auto frame = json::parse(c.read_line()).as_object();
+  ASSERT_TRUE(frame.at("ok").as_bool());
+  EXPECT_EQ(frame.at("result").as_object().at("stop_reason").as_string(), "deadline");
+}
+
+TEST(ServeFault, SweepAbortsWithDeadlineErrorWhenBudgetTrips) {
+  ServerFixture fx;
+  Client c = fx.connect();
+  json::Object params;
+  params["graph"] = graph_text(3, 22);
+  // A realistic (partly feasible) deadline range: ~0.4 ms of algorithm work
+  // per point, 256 points — two orders of magnitude past the 1 ms budget.
+  params["from"] = 50.0;
+  params["to"] = 500.0;
+  params["steps"] = 256.0;
+  params["timeout_ms"] = 1.0;
+  json::Object frame;
+  frame["verb"] = "sweep";
+  frame["id"] = 2;
+  frame["params"] = json::Value(std::move(params));
+  c.send(json::dump(json::Value(std::move(frame))) + "\n");
+
+  const auto resp = json::parse(c.read_line()).as_object();
+  ASSERT_FALSE(resp.at("ok").as_bool());
+  // Sweeps are all-or-nothing: a tripped budget is an explicit `deadline`
+  // error, never a silently shortened curve.
+  EXPECT_EQ(resp.at("error").as_object().at("code").as_string(), "deadline");
+  EXPECT_GE(fx.service().stats().deadline_stops, 1u);
+}
+
+TEST(ServeFault, DrainTimeoutForceCancelsInflightRequests) {
+  ServerOptions o = ServerFixture::make_tcp_options();
+  o.drain_timeout_ms = 50;
+  ServerFixture fx(o);
+  Client c = fx.connect();
+  c.send(long_request());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let it start
+
+  // run() must return promptly: the drain deadline force-cancels the search
+  // instead of waiting out its remaining restarts.
+  const auto t0 = std::chrono::steady_clock::now();
+  fx.drain_and_join();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(20));
+  EXPECT_GE(fx.server().stats().drain_cancels, 1u);
+
+  // The cancelled request still got an answer before the connection closed:
+  // its best-so-far incumbent, marked `cancelled`.
+  const std::string line = c.read_line();
+  if (!line.empty()) {
+    const auto frame = json::parse(line).as_object();
+    if (frame.at("ok").as_bool()) {
+      EXPECT_EQ(frame.at("result").as_object().at("stop_reason").as_string(), "cancelled");
+    }
+  }
+}
+
+TEST(ServeFault, OverloadedRejectionCarriesRetryHint) {
+  ServerOptions o = ServerFixture::make_tcp_options();
+  o.max_inflight = 0;  // admission control refuses everything
+  o.retry_after_ms = 40;
+  ServerFixture fx(o);
+  Client c = fx.connect();
+  c.send("{\"verb\":\"ping\"}\n");
+  const auto frame = json::parse(c.read_line()).as_object();
+  ASSERT_FALSE(frame.at("ok").as_bool());
+  const auto& error = frame.at("error").as_object();
+  EXPECT_EQ(error.at("code").as_string(), "overloaded");
+  EXPECT_EQ(error.at("retry_after_ms").as_number(), 40.0);
+  EXPECT_GE(fx.server().stats().overloaded, 1u);
+}
+
+}  // namespace
+}  // namespace basched::serve

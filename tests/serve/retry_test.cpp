@@ -1,0 +1,89 @@
+/// Tests for the overloaded-retry backoff helper (serve/retry.hpp): full
+/// jitter bounds, server-hint flooring, cap growth and saturation, and the
+/// determinism contract (same seed → same delay sequence) that keeps the
+/// bench's retry path reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "basched/serve/retry.hpp"
+#include "basched/util/rng.hpp"
+
+namespace basched::serve {
+namespace {
+
+TEST(ServeRetry, DelaysStayWithinFloorAndCap) {
+  BackoffPolicy policy;
+  policy.base_ms = 2;
+  policy.max_ms = 100;
+  Backoff backoff(policy, util::Rng(1));
+  // Attempt k draws from [floor, cap_k] where cap_k = base * 2^k, saturated.
+  std::uint64_t cap = policy.base_ms;
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t d = backoff.next_delay_ms();
+    EXPECT_GE(d, policy.base_ms);
+    EXPECT_LE(d, cap);
+    EXPECT_LE(d, policy.max_ms);  // the ceiling is hard, even late
+    cap = std::min<std::uint64_t>(cap * 2, policy.max_ms);
+  }
+  EXPECT_EQ(backoff.attempts(), 12u);
+}
+
+TEST(ServeRetry, ServerHintIsHonoredAsALowerBound) {
+  BackoffPolicy policy;
+  policy.base_ms = 2;
+  policy.max_ms = 250;
+  Backoff backoff(policy, util::Rng(2));
+  // The daemon's retry_after_ms knows its queue better than the client's
+  // schedule: every delay must respect it, from the very first attempt.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GE(backoff.next_delay_ms(/*server_hint_ms=*/40), 40u);
+  }
+  // A hint above max_ms cannot push a delay past the hard ceiling.
+  Backoff clamped(policy, util::Rng(3));
+  EXPECT_LE(clamped.next_delay_ms(/*server_hint_ms=*/10'000), policy.max_ms);
+}
+
+TEST(ServeRetry, CapGrowsExponentiallyAndSaturates) {
+  // With a degenerate single-point jitter window we can observe the cap
+  // directly: floor == cap when the hint pins the floor to the cap value.
+  BackoffPolicy policy;
+  policy.base_ms = 4;
+  policy.max_ms = 32;
+  policy.multiplier = 2.0;
+  Backoff backoff(policy, util::Rng(4));
+  // Caps: 4, 8, 16, 32, 32, ... Pin floor to max_ms so [floor, cap]
+  // collapses once the cap saturates.
+  for (int i = 0; i < 3; ++i) (void)backoff.next_delay_ms();
+  EXPECT_EQ(backoff.next_delay_ms(/*server_hint_ms=*/32), 32u);  // cap == 32
+  EXPECT_EQ(backoff.next_delay_ms(/*server_hint_ms=*/32), 32u);  // stays
+}
+
+TEST(ServeRetry, SameSeedSameDelaySequence) {
+  const BackoffPolicy policy;
+  Backoff a(policy, util::Rng(77));
+  Backoff b(policy, util::Rng(77));
+  std::vector<std::uint64_t> da;
+  std::vector<std::uint64_t> db;
+  for (int i = 0; i < 16; ++i) {
+    da.push_back(a.next_delay_ms(i % 3 == 0 ? 10 : 0));
+    db.push_back(b.next_delay_ms(i % 3 == 0 ? 10 : 0));
+  }
+  EXPECT_EQ(da, db);
+}
+
+TEST(ServeRetry, ResetRestoresTheInitialCap) {
+  BackoffPolicy policy;
+  policy.base_ms = 2;
+  policy.max_ms = 250;
+  Backoff backoff(policy, util::Rng(5));
+  for (int i = 0; i < 10; ++i) (void)backoff.next_delay_ms();  // cap at max
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  // Post-reset the window is [base, base] again: the delay is exactly base.
+  EXPECT_EQ(backoff.next_delay_ms(), policy.base_ms);
+}
+
+}  // namespace
+}  // namespace basched::serve

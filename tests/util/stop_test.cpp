@@ -1,0 +1,127 @@
+/// Unit tests for the cooperative cancellation primitives (util/stop.hpp):
+/// token/source wiring, deadline arming, the amortized RunBudget checker,
+/// and the StopReason merge used by portfolio reductions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "basched/util/stop.hpp"
+
+namespace basched::util {
+namespace {
+
+TEST(Stop, DefaultTokenNeverStopsAndCannotStop) {
+  const StopToken t;
+  EXPECT_FALSE(t.stop_possible());
+  EXPECT_FALSE(t.stop_requested());
+}
+
+TEST(Stop, SourceFiresEveryCopiedToken) {
+  StopSource source;
+  const StopToken a = source.token();
+  const StopToken b = a;  // copies share the flag
+  EXPECT_TRUE(a.stop_possible());
+  EXPECT_FALSE(a.stop_requested());
+
+  source.request_stop();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+
+  // Sticky: stop never un-happens.
+  source.request_stop();
+  EXPECT_TRUE(a.stop_requested());
+}
+
+TEST(Stop, DeadlineNeverAndZeroBudgetAreUnarmed) {
+  EXPECT_FALSE(Deadline::never().armed());
+  EXPECT_FALSE(Deadline::never().expired());
+  EXPECT_FALSE(Deadline().armed());
+  // 0 means "no budget" by the CLI/serve convention, not "already expired".
+  EXPECT_FALSE(Deadline::after_ms(0).armed());
+  EXPECT_EQ(Deadline::never().remaining_ms(), UINT64_MAX);
+}
+
+TEST(Stop, DeadlineExpiresOnTheMonotonicClock) {
+  const Deadline d = Deadline::after_ms(1);
+  EXPECT_TRUE(d.armed());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0u);
+
+  const Deadline far = Deadline::after_ms(60'000);
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_ms(), 1'000u);
+}
+
+TEST(Stop, InactiveRunBudgetNeverExpires) {
+  RunBudget budget;  // default: no token, no deadline
+  EXPECT_FALSE(budget.active());
+  for (int i = 0; i < 10'000; ++i) EXPECT_FALSE(budget.expired());
+  EXPECT_EQ(budget.reason(), StopReason::completed);
+}
+
+TEST(Stop, RunBudgetTripsOnTokenWithCancelledReason) {
+  StopSource source;
+  RunBudget budget(source.token(), Deadline::never());
+  EXPECT_TRUE(budget.active());
+  EXPECT_FALSE(budget.expired());
+
+  source.request_stop();
+  EXPECT_TRUE(budget.expired());
+  EXPECT_EQ(budget.reason(), StopReason::cancelled);
+  // Sticky after the trip.
+  EXPECT_TRUE(budget.expired());
+}
+
+TEST(Stop, RunBudgetTripsOnDeadlineWithDeadlineReason) {
+  RunBudget budget(StopToken(), Deadline::after_ms(1), /*stride=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(budget.expired());
+  EXPECT_EQ(budget.reason(), StopReason::deadline);
+}
+
+TEST(Stop, RunBudgetAmortizesClockReadsByStride) {
+  // With a huge stride the already-expired deadline is not noticed until
+  // the stride-th call — that's the amortization contract.
+  RunBudget budget(StopToken(), Deadline::after_ms(1), /*stride=*/64);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int calls = 0;
+  while (!budget.expired()) ++calls;
+  EXPECT_EQ(calls, 63);  // the 64th call reads the clock and trips
+}
+
+TEST(Stop, TokenBeatsDeadlineWhenBothArePending) {
+  // The token is checked every call, the clock only per stride — a fired
+  // token therefore always reports `cancelled`, even if the deadline also
+  // passed.
+  StopSource source;
+  RunBudget budget(source.token(), Deadline::after_ms(1), /*stride=*/64);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  source.request_stop();
+  EXPECT_TRUE(budget.expired());
+  EXPECT_EQ(budget.reason(), StopReason::cancelled);
+}
+
+TEST(Stop, MergeKeepsTheMostSevereReason) {
+  EXPECT_EQ(merge_stop_reason(StopReason::completed, StopReason::node_budget),
+            StopReason::node_budget);
+  EXPECT_EQ(merge_stop_reason(StopReason::deadline, StopReason::node_budget),
+            StopReason::deadline);
+  EXPECT_EQ(merge_stop_reason(StopReason::cancelled, StopReason::deadline),
+            StopReason::cancelled);
+  // Commutative — merge order (worker completion order) cannot matter.
+  EXPECT_EQ(merge_stop_reason(StopReason::node_budget, StopReason::deadline),
+            merge_stop_reason(StopReason::deadline, StopReason::node_budget));
+}
+
+TEST(Stop, ReasonNamesAreStable) {
+  EXPECT_STREQ(stop_reason_name(StopReason::completed), "completed");
+  EXPECT_STREQ(stop_reason_name(StopReason::node_budget), "node_budget");
+  EXPECT_STREQ(stop_reason_name(StopReason::deadline), "deadline");
+  EXPECT_STREQ(stop_reason_name(StopReason::cancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace basched::util

@@ -7,15 +7,17 @@
 ///   baschedule schedule --graph FILE --deadline D [--beta B]
 ///                       [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]
 ///                       [--seed S] [--jobs N] [--restarts K]
-///                       [--frontier-depth D] [--out FILE] [--csv FILE]
+///                       [--frontier-depth D] [--timeout-ms T]
+///                       [--out FILE] [--csv FILE]
 ///   baschedule evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]
 ///   baschedule sweep    --graph FILE --from A --to B [--steps N] [--beta B]
-///                       [--jobs N] [--out FILE]
+///                       [--jobs N] [--timeout-ms T] [--out FILE]
 ///   baschedule suite    [--seed S] [--per-family K] [--tightness T]
 ///                       [--beta B] [--jobs N]
 ///   baschedule dot      --graph FILE
 ///   baschedule serve    [--socket PATH] [--port N] [--max-inflight K]
-///                       [--jobs N] [--catalog-capacity K]
+///                       [--jobs N] [--catalog-capacity K] [--timeout-ms T]
+///                       [--drain-timeout MS] [--retry-after-ms MS]
 ///
 /// `--jobs N` runs sweep/suite work items on N threads (default: hardware
 /// concurrency; `--jobs 1` is serial and byte-identical to any other N).
@@ -23,6 +25,9 @@
 /// concurrency): `bnb` splits the order tree across workers, and
 /// `annealing`/`random` with `--restarts K` run a K-seed portfolio — in
 /// every case the result is byte-identical for any job count.
+/// `--timeout-ms T` (0 = off, the default) bounds the wall-clock of the
+/// search: the anytime algorithms (annealing/random/bnb) return their best
+/// incumbent when the budget expires; a sweep is all-or-nothing and aborts.
 /// Graphs use the text format of basched/graph/io.hpp; schedules the format
 /// of basched/core/schedule_io.hpp. `--out -` (default) writes to stdout.
 #include <unistd.h>
@@ -53,6 +58,7 @@
 #include "basched/serve/server.hpp"
 #include "basched/serve/service.hpp"
 #include "basched/util/args.hpp"
+#include "basched/util/stop.hpp"
 
 namespace {
 
@@ -113,6 +119,9 @@ int cmd_schedule(const util::Args& args) {
   const auto jobs = static_cast<unsigned>(args.get_uint("jobs", 1));
   const auto restarts = static_cast<std::size_t>(args.get_uint("restarts", 1));
   if (restarts < 1) throw std::invalid_argument("--restarts must be >= 1");
+  // Anytime budget: 0 (the default) disables the clock entirely, so a run
+  // without --timeout-ms is byte-identical to builds without the option.
+  const util::Deadline time_budget = util::Deadline::after_ms(args.get_uint("timeout-ms", 0));
 
   core::Schedule schedule;
   double sigma = 0.0;
@@ -133,6 +142,7 @@ int cmd_schedule(const util::Args& args) {
     } else if (algorithm == "annealing") {
       baselines::AnnealingOptions opts;
       opts.seed = seed;
+      opts.time_budget = time_budget;
       if (restarts > 1) {
         // Portfolio restart k streams from derive_seed(seed, k), so the
         // result depends on --restarts and --seed but never on --jobs.
@@ -147,6 +157,7 @@ int cmd_schedule(const util::Args& args) {
     } else if (algorithm == "random") {
       baselines::RandomSearchOptions opts;
       opts.seed = seed;
+      opts.time_budget = time_budget;
       if (restarts > 1) {
         analysis::Executor executor(jobs);
         baselines::RandomPortfolioOptions popts;
@@ -162,16 +173,21 @@ int cmd_schedule(const util::Args& args) {
         baselines::ParallelBnbOptions popts;
         popts.frontier_depth =
             static_cast<std::size_t>(args.get_uint("frontier-depth", 0));
+        popts.base.time_budget = time_budget;
         r = baselines::schedule_branch_and_bound_parallel(g, deadline, model, executor, popts);
       } else {
-        r = baselines::schedule_branch_and_bound(g, deadline, model);
+        baselines::BnbOptions opts;
+        opts.time_budget = time_budget;
+        r = baselines::schedule_branch_and_bound(g, deadline, model, opts);
       }
-      if (r.truncated)
+      if (r.stop_reason == util::StopReason::node_budget)
         std::fprintf(stderr,
                      "warning: node budget exceeded — result is best-found, not proven optimal\n");
     } else {
       throw std::invalid_argument(error);
     }
+    if (r.stop_reason == util::StopReason::deadline)
+      std::fprintf(stderr, "warning: time budget expired — result is best-so-far\n");
     feasible = r.feasible;
     schedule = r.schedule;
     sigma = r.sigma;
@@ -225,9 +241,20 @@ int cmd_sweep(const util::Args& args) {
   const double to = args.get_double("to");
   const auto steps = static_cast<int>(args.get_uint("steps", 16));
   const double beta = args.get_double("beta", 0.273);
+  const auto timeout_ms = args.get_uint("timeout-ms", 0);
   analysis::Executor executor = make_executor(args);
-  const auto points = analysis::deadline_sweep(g, from, to, steps, beta, executor);
-  write_output(args.get_string("out", "-"), analysis::deadline_sweep_csv(points));
+  try {
+    const auto points = analysis::deadline_sweep(g, from, to, steps, beta, executor,
+                                                 util::StopToken{},
+                                                 util::Deadline::after_ms(timeout_ms));
+    write_output(args.get_string("out", "-"), analysis::deadline_sweep_csv(points));
+  } catch (const util::DeadlineExceeded&) {
+    // All-or-nothing: a partial sweep table would be misleading, so nothing
+    // is written when the budget expires.
+    std::fprintf(stderr, "sweep aborted: time budget (%llu ms) expired\n",
+                 static_cast<unsigned long long>(timeout_ms));
+    return 1;
+  }
   return 0;
 }
 
@@ -267,6 +294,9 @@ int cmd_serve(const util::Args& args) {
   }
   opts.max_inflight = static_cast<std::size_t>(args.get_uint("max-inflight", 8));
   opts.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
+  opts.default_timeout_ms = args.get_uint("timeout-ms", 0);
+  opts.drain_timeout_ms = args.get_uint("drain-timeout", 5000);
+  opts.retry_after_ms = args.get_uint("retry-after-ms", 25);
 
   serve::Service service(static_cast<std::size_t>(args.get_uint("catalog-capacity", 16)));
   serve::Server server(service, opts);
@@ -289,6 +319,17 @@ int cmd_serve(const util::Args& args) {
   std::fprintf(stderr, "drained: %llu requests (%llu errors)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.errors));
+  const auto hard = server.stats();
+  if (hard.disconnect_cancels > 0 || hard.drain_cancels > 0 || hard.overloaded > 0 ||
+      stats.deadline_stops > 0 || stats.cancelled_stops > 0)
+    std::fprintf(stderr,
+                 "hardening: %llu disconnect-cancelled, %llu drain-cancelled, "
+                 "%llu overloaded, %llu deadline stops, %llu cancelled stops\n",
+                 static_cast<unsigned long long>(hard.disconnect_cancels),
+                 static_cast<unsigned long long>(hard.drain_cancels),
+                 static_cast<unsigned long long>(hard.overloaded),
+                 static_cast<unsigned long long>(stats.deadline_stops),
+                 static_cast<unsigned long long>(stats.cancelled_stops));
   return 0;
 }
 
@@ -300,15 +341,16 @@ void usage() {
       "  schedule --graph FILE --deadline D [--beta B] [--seed S]\n"
       "           [--algorithm ours|rvdp|chowdhury|annealing|random|bnb]\n"
       "           [--jobs N] [--restarts K] [--frontier-depth D]\n"
-      "           [--out FILE] [--csv FILE]\n"
+      "           [--timeout-ms T] [--out FILE] [--csv FILE]\n"
       "  evaluate --graph FILE --schedule FILE [--beta B] [--alpha A]\n"
       "  sweep    --graph FILE --from A --to B [--steps N] [--beta B]\n"
-      "           [--jobs N] [--out FILE]\n"
+      "           [--jobs N] [--timeout-ms T] [--out FILE]\n"
       "  suite    [--seed S] [--per-family K] [--tightness T] [--beta B]\n"
       "           [--jobs N] [--out FILE]\n"
       "  dot      --graph FILE [--out FILE]\n"
       "  serve    [--socket PATH] [--port N] [--max-inflight K] [--jobs N]\n"
-      "           [--catalog-capacity K]   (JSON-lines daemon; SIGTERM drains)\n",
+      "           [--catalog-capacity K] [--timeout-ms T] [--drain-timeout MS]\n"
+      "           [--retry-after-ms MS]   (JSON-lines daemon; SIGTERM drains)\n",
       stderr);
 }
 

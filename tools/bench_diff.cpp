@@ -140,13 +140,15 @@ const Row* find_row(const BenchFile& f, const std::string& mode, std::size_t n) 
 /// under review: exp_batch measures the batched-vs-libm kernel (ISA level),
 /// parallel_bnb/portfolio measure multicore wall-clock scaling (core count,
 /// --jobs), serve_rtt measures socket round trips (scheduler/loopback
-/// latency). Their rows are reported for context and gated only on
-/// accuracy — which for the parallel modes is the cross-job
-/// byte-determinism check, and for the serve modes the byte-identity of
-/// repeated request payloads.
+/// latency), serve_deadline measures wall-clock timeout behavior. Their
+/// rows are reported for context and gated only on accuracy — which for
+/// the parallel modes is the cross-job byte-determinism check, for
+/// serve_rtt the byte-identity of repeated request payloads, and for
+/// serve_deadline the anytime contract (every budgeted request answered
+/// in time with a valid best-so-far result).
 bool hardware_dependent(const std::string& mode) {
   return mode == "exp_batch" || mode == "parallel_bnb" || mode == "portfolio" ||
-         mode == "serve_rtt";
+         mode == "serve_rtt" || mode == "serve_deadline";
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 ///                   exp-counter probes and warm caches stay truthful.
 ///   raw-rng         rand()/srand()/std::random_device/... outside util/rng —
 ///                   all randomness flows through util::Rng's seeded streams.
+///   raw-socket      bare `::recv`/`::send` outside serve/socket_io — all
+///                   daemon socket I/O goes through the shim so BASCHED_FAULT
+///                   fault injection (short writes, EINTR) covers every byte.
 ///   unordered-iter  iteration over a std::unordered_* container — unordered
 ///                   iteration order is implementation-defined and must never
 ///                   feed an output or reduction path (determinism contract).
@@ -290,6 +293,28 @@ void rule_raw_rng(const std::string& path, const std::vector<Line>& lines,
       }
 }
 
+// Bare socket syscalls bypass the serve layer's fault-injection shim
+// (serve/socket_io.hpp), so a test matrix that injects short writes or EINTR
+// would silently not cover them. find_token's identifier-boundary match
+// keeps the shim's own wrappers (send_all(, recv_some() from tripping it.
+const char* const kSocketTokens[] = {"recv(", "send("};
+
+void rule_raw_socket(const std::string& path, const std::vector<Line>& lines,
+                     std::vector<Finding>& out) {
+  if (path_contains(path, "/serve/socket_io")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    for (const char* tok : kSocketTokens)
+      if (find_token(lines[i].code, tok) != std::string::npos) {
+        std::string name(tok);
+        name.pop_back();
+        out.push_back({path, i + 1, "raw-socket",
+                       "raw '" + name + "' syscall; route socket I/O through "
+                       "serve/socket_io.hpp (send_all / recv_some) so fault injection "
+                       "covers every byte the daemon moves"});
+        break;
+      }
+}
+
 void rule_unordered_iter(const std::string& path, const std::vector<Line>& lines,
                          std::vector<Finding>& out) {
   // Pass 1: names declared with a std::unordered_* type on one line. The
@@ -519,6 +544,7 @@ bool lint_file(const std::string& path, Report& report) {
 
   rule_raw_exp(path, lines, findings);
   rule_raw_rng(path, lines, findings);
+  rule_raw_socket(path, lines, findings);
   rule_unordered_iter(path, lines, findings);
   rule_stdout_write(path, lines, findings);
   rule_pragma_once(path, lines, findings);
